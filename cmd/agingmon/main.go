@@ -1,0 +1,240 @@
+// Command agingmon is the External Front-end of the paper's architecture:
+// a CLI that talks to the JMX Manager Agent (and any other MBean) through
+// the HTTP protocol adapter of a running tpcwsim (or any embedding of the
+// framework).
+//
+// Usage:
+//
+//	agingmon [-url http://localhost:9990] <command> [args]
+//
+// Commands:
+//
+//	names [pattern]              list registered MBeans
+//	describe <name>              show an MBean's attributes and operations
+//	get <name> <attr>            read one attribute
+//	set <name> <attr> <value>    write one attribute (true/false/number/string)
+//	invoke <name> <op> [args]    invoke an operation (string args)
+//	suspects [resource]          ask the manager for the aging ranking
+//	map [resource]               print the manager's consumption×usage map
+//	components                   list instrumented components
+//	activate <component>         enable a component's AC
+//	deactivate <component>       disable a component's AC
+//	reboot <component>           micro-reboot a component
+//	tte                          time-to-exhaustion estimate (seconds)
+//	notifications [since-seq]    poll buffered JMX notifications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/jmxhttp"
+)
+
+const managerName = "aging:type=Manager"
+
+func main() {
+	url := flag.String("url", "http://localhost:9990", "base URL of the JMX HTTP adapter")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := jmxhttp.NewClient(*url, nil)
+	if err := dispatch(client, args); err != nil {
+		fmt.Fprintln(os.Stderr, "agingmon:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(client *jmxhttp.Client, args []string) error {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "names":
+		pattern := ""
+		if len(rest) > 0 {
+			pattern = rest[0]
+		}
+		names, err := client.Names(pattern)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "describe":
+		if len(rest) != 1 {
+			return fmt.Errorf("describe wants <name>")
+		}
+		d, err := client.DescribeBean(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s — %s\n", d.Name, d.Description)
+		fmt.Println("attributes:")
+		for k, v := range d.Attributes {
+			fmt.Printf("  %s = %v\n", k, v)
+		}
+		fmt.Println("operations:")
+		for _, op := range d.Operations {
+			fmt.Printf("  %s\n", op)
+		}
+		return nil
+
+	case "get":
+		if len(rest) != 2 {
+			return fmt.Errorf("get wants <name> <attr>")
+		}
+		v, err := client.Get(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+		return nil
+
+	case "set":
+		if len(rest) != 3 {
+			return fmt.Errorf("set wants <name> <attr> <value>")
+		}
+		return client.Set(rest[0], rest[1], parseValue(rest[2]))
+
+	case "invoke":
+		if len(rest) < 2 {
+			return fmt.Errorf("invoke wants <name> <op> [args]")
+		}
+		opArgs := make([]any, len(rest)-2)
+		for i, a := range rest[2:] {
+			opArgs[i] = a
+		}
+		v, err := client.Invoke(rest[0], rest[1], opArgs...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+		return nil
+
+	case "suspects":
+		resource := "memory"
+		if len(rest) > 0 {
+			resource = rest[0]
+		}
+		v, err := client.Invoke(managerName, "Suspects", resource)
+		if err != nil {
+			return err
+		}
+		list, _ := v.([]any)
+		for i, name := range list {
+			fmt.Printf("%2d. %v\n", i+1, name)
+		}
+		return nil
+
+	case "map":
+		resource := "memory"
+		if len(rest) > 0 {
+			resource = rest[0]
+		}
+		v, err := client.Invoke(managerName, "Map", resource)
+		if err != nil {
+			return err
+		}
+		printMap(v)
+		return nil
+
+	case "components":
+		v, err := client.Get(managerName, "Components")
+		if err != nil {
+			return err
+		}
+		list, _ := v.([]any)
+		for _, c := range list {
+			fmt.Println(c)
+		}
+		return nil
+
+	case "activate", "deactivate":
+		if len(rest) != 1 {
+			return fmt.Errorf("%s wants <component>", cmd)
+		}
+		op := "ActivateAC"
+		if cmd == "deactivate" {
+			op = "DeactivateAC"
+		}
+		_, err := client.Invoke(managerName, op, rest[0])
+		return err
+
+	case "reboot":
+		if len(rest) != 1 {
+			return fmt.Errorf("reboot wants <component>")
+		}
+		v, err := client.Invoke(managerName, "MicroReboot", rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("freed %v bytes\n", v)
+		return nil
+
+	case "tte":
+		v, err := client.Invoke(managerName, "TimeToExhaustion")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v seconds\n", v)
+		return nil
+
+	case "notifications":
+		var since uint64
+		if len(rest) > 0 {
+			n, err := strconv.ParseUint(rest[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("notifications wants a numeric cursor: %w", err)
+			}
+			since = n
+		}
+		ns, err := client.Notifications(since)
+		if err != nil {
+			return err
+		}
+		for _, n := range ns {
+			fmt.Printf("%6d %s %-24s %s %s\n", n.Seq, n.Time, n.Type, n.Source, n.Message)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// printMap renders the JSON form of a rootcause.Ranking.
+func printMap(v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		fmt.Println(v)
+		return
+	}
+	fmt.Printf("strategy=%v resource=%v\n", m["Strategy"], m["Resource"])
+	entries, _ := m["Entries"].([]any)
+	for i, e := range entries {
+		em, _ := e.(map[string]any)
+		fmt.Printf("%2d. %-28v score=%8.4v consumption=%.3v usage=%.3v\n",
+			i+1, em["Name"], em["Score"], em["NormConsumption"], em["NormUsage"])
+	}
+}
+
+// parseValue turns a CLI literal into a JSON-compatible value.
+func parseValue(s string) any {
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if n, err := strconv.ParseFloat(s, 64); err == nil {
+		return n
+	}
+	return s
+}

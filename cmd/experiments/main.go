@@ -1,0 +1,84 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (plus the extension and ablation studies indexed in
+// DESIGN.md) and prints the full reports with pass/fail verdicts.
+//
+// Usage:
+//
+//	experiments [-run all|T1,F3,F4,...] [-scale 1.0] [-seed 42] [-ebs 50]
+//
+// -scale 1.0 runs the paper's full one-hour scenarios in virtual time;
+// smaller factors shorten them proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Float64("scale", 1.0, "time scale factor for scenario durations")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		ebs   = flag.Int("ebs", 50, "emulated browsers for single-phase experiments")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{TimeScale: *scale, Seed: *seed, EBs: *ebs}
+	runners := map[string]func(experiment.Config) experiment.Result{
+		"T1":  experiment.TableI,
+		"F2":  experiment.Fig2,
+		"F3":  experiment.Fig3,
+		"F4":  experiment.Fig4,
+		"F5":  experiment.Fig5,
+		"F6":  experiment.Fig6,
+		"F7":  experiment.Fig7,
+		"E8":  experiment.E8CPUThreadLeaks,
+		"E9":  experiment.E9PinpointCoupled,
+		"E10": experiment.E10TimeToFailure,
+		"E11": experiment.E11StrategyComparison,
+		"A1":  experiment.A1MonitoringLevels,
+		"A2":  experiment.A2SizingPolicies,
+		"A3":  experiment.A3MixSensitivity,
+	}
+	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"}
+
+	var ids []string
+	if *run == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", id, strings.Join(order, ","))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	failures := 0
+	var verdicts []string
+	for _, id := range ids {
+		fmt.Printf("running %s (scale %.2f)...\n", id, *scale)
+		res := runners[id](cfg)
+		fmt.Println(res.String())
+		verdicts = append(verdicts, res.Verdict())
+		if !res.Pass {
+			failures++
+		}
+	}
+	fmt.Println("==== summary ====")
+	for _, v := range verdicts {
+		fmt.Println(v)
+	}
+	if failures > 0 {
+		fmt.Printf("%d of %d experiments did not reproduce\n", failures, len(ids))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments reproduced\n", len(ids))
+}

@@ -1,0 +1,83 @@
+// Command tpcwsim runs the monitored TPC-W simulation with a configurable
+// leak injection and serves the JMX management plane over HTTP while it
+// runs, so cmd/agingmon (the external front-end) can interrogate the
+// manager agent live.
+//
+// Usage:
+//
+//	tpcwsim [-addr :9990] [-duration 1h] [-ebs 50] [-leak tpcw.home]
+//	        [-leaksize 102400] [-leakn 100] [-hold]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eb"
+	"repro/internal/experiment"
+	"repro/internal/jmxhttp"
+	"repro/internal/tpcw"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9990", "JMX HTTP adapter listen address")
+		duration = flag.Duration("duration", time.Hour, "virtual experiment duration")
+		ebs      = flag.Int("ebs", 50, "emulated browser population")
+		leak     = flag.String("leak", tpcw.CompHome, "component to inject a memory leak into ('' disables)")
+		leakSize = flag.Int("leaksize", 100<<10, "leak bytes per injection")
+		leakN    = flag.Int("leakn", 100, "the paper's N: uniform [0,N] requests between injections")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		hold     = flag.Bool("hold", false, "keep serving the management plane after the run ends")
+	)
+	flag.Parse()
+
+	stack, err := experiment.NewStack(experiment.StackConfig{
+		Seed:      *seed,
+		Monitored: true,
+		Mix:       eb.Shopping,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Close()
+	if *leak != "" {
+		if _, err := stack.InjectLeak(*leak, *leakSize, *leakN, *seed); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("injected %dB/N=%d memory leak into %s", *leakSize, *leakN, *leak)
+	}
+
+	notifBuf := jmxhttp.NewNotificationBuffer(stack.Framework.Server(), 0)
+	defer notifBuf.Close()
+	go func() {
+		log.Printf("JMX HTTP adapter on %s (try: agingmon -url http://localhost%s suspects)", *addr, *addr)
+		handler := jmxhttp.NewHandlerWithNotifications(stack.Framework.Server(), notifBuf)
+		if err := http.ListenAndServe(*addr, handler); err != nil {
+			log.Fatalf("jmx adapter: %v", err)
+		}
+	}()
+
+	log.Printf("running %v of virtual time at %d EBs (shopping mix)", *duration, *ebs)
+	start := time.Now()
+	stack.Driver.Run([]eb.Phase{{Duration: *duration, EBs: *ebs}})
+	log.Printf("done: %d interactions (%d failed) in %v wall time",
+		stack.Driver.Completed(), stack.Driver.Failed(), time.Since(start).Truncate(time.Millisecond))
+
+	ranking := stack.Framework.Manager().Map(core.ResourceMemory)
+	fmt.Println(ranking.String())
+	if top, ok := ranking.Top(); ok {
+		fmt.Printf("top aging suspect: %s (score %.3f)\n", top.Name, top.Score)
+	}
+	tte := stack.Framework.Manager().TimeToExhaustion()
+	fmt.Printf("estimated time to heap exhaustion: %v\n", tte.Truncate(time.Second))
+
+	if *hold {
+		log.Printf("holding; management plane stays on %s (Ctrl-C to exit)", *addr)
+		select {}
+	}
+}

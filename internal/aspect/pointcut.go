@@ -1,0 +1,228 @@
+package aspect
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/glob"
+)
+
+// Pointcut is a compiled pointcut expression. It decides which join points
+// an aspect's advice applies to.
+//
+// The expression language is the subset of AspectJ the paper's framework
+// needs, with '*' wildcards:
+//
+//	execution(component.method)   matches executions of a method
+//	within(component)             matches any method of a component
+//	expr && expr                  both match
+//	expr || expr                  either matches
+//	!expr                         negation
+//	(expr)                        grouping
+//
+// Component names may contain dots; the method part of an execution
+// designator is everything after the last dot.
+type Pointcut struct {
+	expr pcNode
+	src  string
+}
+
+// ErrBadPointcut reports a syntactically invalid pointcut expression.
+var ErrBadPointcut = errors.New("aspect: bad pointcut")
+
+// ParsePointcut compiles src into a Pointcut.
+func ParsePointcut(src string) (*Pointcut, error) {
+	p := &pcParser{src: src}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("%w: trailing input at %d in %q", ErrBadPointcut, p.pos, src)
+	}
+	return &Pointcut{expr: expr, src: src}, nil
+}
+
+// MustPointcut compiles src and panics on error; for constants.
+func MustPointcut(src string) *Pointcut {
+	pc, err := ParsePointcut(src)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+// Matches reports whether the pointcut selects the given component.method
+// join point.
+func (pc *Pointcut) Matches(component, method string) bool {
+	return pc.expr.matches(component, method)
+}
+
+// String returns the source expression.
+func (pc *Pointcut) String() string { return pc.src }
+
+type pcNode interface {
+	matches(component, method string) bool
+}
+
+type pcExecution struct{ comp, method string }
+
+func (n pcExecution) matches(c, m string) bool {
+	return glob.Match(n.comp, c) && glob.Match(n.method, m)
+}
+
+type pcWithin struct{ comp string }
+
+func (n pcWithin) matches(c, _ string) bool { return glob.Match(n.comp, c) }
+
+type pcNot struct{ inner pcNode }
+
+func (n pcNot) matches(c, m string) bool { return !n.inner.matches(c, m) }
+
+type pcAnd struct{ l, r pcNode }
+
+func (n pcAnd) matches(c, m string) bool { return n.l.matches(c, m) && n.r.matches(c, m) }
+
+type pcOr struct{ l, r pcNode }
+
+func (n pcOr) matches(c, m string) bool { return n.l.matches(c, m) || n.r.matches(c, m) }
+
+// pcParser is a recursive-descent parser with precedence ! > && > ||.
+type pcParser struct {
+	src string
+	pos int
+}
+
+func (p *pcParser) parseExpr() (pcNode, error) { // '||' level
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.eat("||") {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = pcOr{l: left, r: right}
+	}
+}
+
+func (p *pcParser) parseAnd() (pcNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.eat("&&") {
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = pcAnd{l: left, r: right}
+	}
+}
+
+func (p *pcParser) parseUnary() (pcNode, error) {
+	p.skipSpace()
+	if p.eat("!") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return pcNot{inner: inner}, nil
+	}
+	if p.eat("(") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eat(")") {
+			return nil, fmt.Errorf("%w: missing ')' at %d in %q", ErrBadPointcut, p.pos, p.src)
+		}
+		return inner, nil
+	}
+	return p.parseDesignator()
+}
+
+func (p *pcParser) parseDesignator() (pcNode, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("execution"):
+		arg, err := p.parseParenArg()
+		if err != nil {
+			return nil, err
+		}
+		dot := strings.LastIndexByte(arg, '.')
+		if dot <= 0 || dot == len(arg)-1 {
+			return nil, fmt.Errorf("%w: execution wants component.method, got %q", ErrBadPointcut, arg)
+		}
+		return pcExecution{comp: arg[:dot], method: arg[dot+1:]}, nil
+	case p.eat("within"):
+		arg, err := p.parseParenArg()
+		if err != nil {
+			return nil, err
+		}
+		return pcWithin{comp: arg}, nil
+	default:
+		return nil, fmt.Errorf("%w: expected designator at %d in %q", ErrBadPointcut, p.pos, p.src)
+	}
+}
+
+func (p *pcParser) parseParenArg() (string, error) {
+	p.skipSpace()
+	if !p.eat("(") {
+		return "", fmt.Errorf("%w: missing '(' at %d in %q", ErrBadPointcut, p.pos, p.src)
+	}
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ')' {
+		p.pos++
+	}
+	if p.pos == len(p.src) {
+		return "", fmt.Errorf("%w: missing ')' in %q", ErrBadPointcut, p.src)
+	}
+	arg := strings.TrimSpace(p.src[start:p.pos])
+	p.pos++ // consume ')'
+	if arg == "" {
+		return "", fmt.Errorf("%w: empty designator argument in %q", ErrBadPointcut, p.src)
+	}
+	for _, r := range arg {
+		if !isNameRune(r) {
+			return "", fmt.Errorf("%w: bad character %q in argument %q", ErrBadPointcut, r, arg)
+		}
+	}
+	return arg, nil
+}
+
+func isNameRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '_', r == '*', r == '.', r == '-':
+		return true
+	}
+	return false
+}
+
+func (p *pcParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *pcParser) eat(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package aspect
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExecutionPointcut(t *testing.T) {
+	pc := MustPointcut("execution(tpcw.home.Service)")
+	if !pc.Matches("tpcw.home", "Service") {
+		t.Fatal("exact execution did not match")
+	}
+	if pc.Matches("tpcw.home", "Init") || pc.Matches("tpcw.search", "Service") {
+		t.Fatal("execution over-matched")
+	}
+}
+
+func TestExecutionWildcards(t *testing.T) {
+	pc := MustPointcut("execution(tpcw.*.Service)")
+	if !pc.Matches("tpcw.home", "Service") || !pc.Matches("tpcw.search", "Service") {
+		t.Fatal("component wildcard failed")
+	}
+	if pc.Matches("dao.cart", "Service") {
+		t.Fatal("component wildcard over-matched")
+	}
+	all := MustPointcut("execution(*.*)")
+	if !all.Matches("anything", "Anything") {
+		t.Fatal("universal execution failed")
+	}
+}
+
+func TestWithinPointcut(t *testing.T) {
+	pc := MustPointcut("within(tpcw.*)")
+	if !pc.Matches("tpcw.home", "Service") || !pc.Matches("tpcw.home", "Init") {
+		t.Fatal("within should match every method")
+	}
+	if pc.Matches("dao.cart", "Service") {
+		t.Fatal("within over-matched")
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	pc := MustPointcut("within(tpcw.*) && !execution(*.Init)")
+	if !pc.Matches("tpcw.home", "Service") {
+		t.Fatal("and/not combination failed")
+	}
+	if pc.Matches("tpcw.home", "Init") {
+		t.Fatal("negation failed")
+	}
+	or := MustPointcut("within(a.*) || within(b.*)")
+	if !or.Matches("a.x", "M") || !or.Matches("b.y", "M") || or.Matches("c.z", "M") {
+		t.Fatal("or failed")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// || binds looser than &&: a || b && c  ==  a || (b && c)
+	pc := MustPointcut("within(a.*) || within(b.*) && within(none.*)")
+	if !pc.Matches("a.x", "M") {
+		t.Fatal("precedence: left or-branch should match")
+	}
+	if pc.Matches("b.x", "M") {
+		t.Fatal("precedence: b && none should not match")
+	}
+	grouped := MustPointcut("(within(a.*) || within(b.*)) && execution(*.Service)")
+	if !grouped.Matches("b.x", "Service") || grouped.Matches("b.x", "Init") {
+		t.Fatal("grouping failed")
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	pc := MustPointcut("!!within(a.*)")
+	if !pc.Matches("a.x", "M") || pc.Matches("b.x", "M") {
+		t.Fatal("double negation failed")
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	pc := MustPointcut("  within( tpcw.* )   &&  ! execution( *.Init ) ")
+	if !pc.Matches("tpcw.home", "Service") || pc.Matches("tpcw.home", "Init") {
+		t.Fatal("whitespace handling failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"execution",
+		"execution(",
+		"execution()",
+		"execution(nodot)",
+		"execution(trailingdot.)",
+		"execution(.leading)",
+		"within",
+		"within()",
+		"bogus(a.b)",
+		"within(a) &&",
+		"within(a) && ",
+		"(within(a)",
+		"within(a) within(b)",
+		"execution(sp ace.M)",
+		"execution(a.b) garbage",
+		"within(a;b)",
+	}
+	for _, src := range bad {
+		if _, err := ParsePointcut(src); err == nil {
+			t.Errorf("ParsePointcut(%q) succeeded, want error", src)
+		} else if !errors.Is(err, ErrBadPointcut) {
+			t.Errorf("ParsePointcut(%q) error %v is not ErrBadPointcut", src, err)
+		}
+	}
+}
+
+func TestMustPointcutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPointcut did not panic")
+		}
+	}()
+	MustPointcut("not valid")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := "within(tpcw.*) && !execution(*.Init)"
+	pc := MustPointcut(src)
+	if pc.String() != src {
+		t.Fatalf("String = %q", pc.String())
+	}
+	re := MustPointcut(pc.String())
+	for _, probe := range []struct{ c, m string }{
+		{"tpcw.home", "Service"}, {"tpcw.home", "Init"}, {"x", "Y"},
+	} {
+		if pc.Matches(probe.c, probe.m) != re.Matches(probe.c, probe.m) {
+			t.Fatalf("reparse changed semantics for %v", probe)
+		}
+	}
+}
+
+func TestMethodPartIsLastDot(t *testing.T) {
+	pc := MustPointcut("execution(a.b.c.Method)")
+	if !pc.Matches("a.b.c", "Method") {
+		t.Fatal("multi-dot component failed")
+	}
+	if pc.Matches("a.b", "c.Method") {
+		t.Fatal("method must be the last segment only")
+	}
+}

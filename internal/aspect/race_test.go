@@ -1,0 +1,88 @@
+package aspect
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentDispatchWithRegistration hammers woven handles from many
+// goroutines while aspects register and unregister — the real-time
+// container mode exercises exactly this. Run with -race.
+func TestConcurrentDispatchWithRegistration(t *testing.T) {
+	w := NewWeaver(nil)
+	var calls atomic.Int64
+	handles := make([]Func, 8)
+	for i := range handles {
+		handles[i] = w.Weave(fmt.Sprintf("svc.c%d", i), "Service",
+			func(args ...any) (any, error) { calls.Add(1); return nil, nil })
+	}
+	var advice atomic.Int64
+	var wg sync.WaitGroup
+	for _, fn := range handles {
+		wg.Add(1)
+		go func(fn Func) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if _, err := fn(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(fn)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 50; round++ {
+			name := fmt.Sprintf("probe-%d", round)
+			if err := w.Register(&Aspect{
+				Name:     name,
+				Pointcut: MustPointcut("within(svc.*)"),
+				Before:   func(*JoinPoint) { advice.Add(1) },
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			w.SetComponentEnabled("svc.c0", round%2 == 0)
+			if !w.Unregister(name) {
+				t.Error("unregister failed")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if calls.Load() != 8*2000 {
+		t.Fatalf("calls = %d, want %d", calls.Load(), 8*2000)
+	}
+}
+
+// TestConcurrentEnableDisable toggles an aspect under dispatch load.
+func TestConcurrentEnableDisable(t *testing.T) {
+	w := NewWeaver(nil)
+	a := &Aspect{
+		Name:     "toggler",
+		Pointcut: MustPointcut("within(*)"),
+		Before:   func(*JoinPoint) {},
+	}
+	if err := w.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	fn := w.Weave("svc.x", "Service", func(args ...any) (any, error) { return nil, nil })
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if g == 0 {
+					a.SetEnabled(i%2 == 0)
+				} else {
+					fn()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,248 @@
+package aspect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Weaver owns the registered aspects and produces woven invocation
+// handles. It is the load-time weaver of the reproduction: components hand
+// their invocation Func to Weave when they are deployed and receive the
+// advised Func back. Aspects registered later still apply to
+// already-woven components because the advice chain is resolved lazily and
+// cached per join point, invalidated whenever the aspect set changes.
+type Weaver struct {
+	clock sim.Clock
+
+	mu       sync.RWMutex
+	aspects  []*Aspect // sorted by (Order, registration)
+	regSeq   map[*Aspect]int
+	nextReg  int
+	disabled map[string]bool // component name -> woven interception off
+	gen      atomic.Int64
+
+	cacheMu sync.RWMutex
+	cache   map[string]*chainEntry
+
+	joinPoints atomic.Int64
+}
+
+type chainEntry struct {
+	gen     int64
+	aspects []*Aspect
+}
+
+// NewWeaver creates a weaver stamping join points with clock (WallClock
+// when nil).
+func NewWeaver(clock sim.Clock) *Weaver {
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	return &Weaver{
+		clock:    clock,
+		regSeq:   make(map[*Aspect]int),
+		disabled: make(map[string]bool),
+		cache:    make(map[string]*chainEntry),
+	}
+}
+
+// Register adds an aspect. The aspect starts enabled. Registering two
+// aspects with the same name is an error.
+func (w *Weaver) Register(a *Aspect) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, ex := range w.aspects {
+		if ex.Name == a.Name {
+			return fmt.Errorf("aspect: aspect %q already registered", a.Name)
+		}
+	}
+	a.SetEnabled(true)
+	w.regSeq[a] = w.nextReg
+	w.nextReg++
+	w.aspects = append(w.aspects, a)
+	sort.SliceStable(w.aspects, func(i, j int) bool {
+		if w.aspects[i].Order != w.aspects[j].Order {
+			return w.aspects[i].Order < w.aspects[j].Order
+		}
+		return w.regSeq[w.aspects[i]] < w.regSeq[w.aspects[j]]
+	})
+	w.gen.Add(1)
+	return nil
+}
+
+// Unregister removes the named aspect; it reports whether it was present.
+func (w *Weaver) Unregister(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, a := range w.aspects {
+		if a.Name == name {
+			delete(w.regSeq, a)
+			w.aspects = append(w.aspects[:i], w.aspects[i+1:]...)
+			w.gen.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Aspects returns the registered aspects in precedence order.
+func (w *Weaver) Aspects() []*Aspect {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]*Aspect(nil), w.aspects...)
+}
+
+// Find returns the registered aspect with the given name.
+func (w *Weaver) Find(name string) (*Aspect, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for _, a := range w.aspects {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// SetComponentEnabled switches interception for one component on or off at
+// runtime — the per-AC activation of the paper. While off, woven handles
+// of the component call straight through with near-zero overhead.
+func (w *Weaver) SetComponentEnabled(component string, on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if on {
+		delete(w.disabled, component)
+	} else {
+		w.disabled[component] = true
+	}
+}
+
+// ComponentEnabled reports whether interception is active for component.
+func (w *Weaver) ComponentEnabled(component string) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return !w.disabled[component]
+}
+
+// JoinPoints returns the total number of advised executions so far.
+func (w *Weaver) JoinPoints() int64 { return w.joinPoints.Load() }
+
+// Clock returns the weaver's time source.
+func (w *Weaver) Clock() sim.Clock { return w.clock }
+
+// Weave wraps fn so that every invocation becomes a join point advised by
+// the matching aspects. The depth argument of the returned function is
+// managed by Invoke; use the returned Func through Invoke or call it with
+// the raw args directly (depth 0).
+func (w *Weaver) Weave(component, method string, fn Func) Func {
+	if fn == nil {
+		panic("aspect: weave of nil func")
+	}
+	sig := component + "." + method
+	return func(args ...any) (any, error) {
+		return w.dispatch(sig, component, method, fn, args, 0)
+	}
+}
+
+// WeaveDepth is like Weave but produces a handle whose invocations carry
+// an explicit nesting depth, used by the container when one woven
+// component calls another.
+func (w *Weaver) WeaveDepth(component, method string, fn Func) func(depth int, args ...any) (any, error) {
+	if fn == nil {
+		panic("aspect: weave of nil func")
+	}
+	sig := component + "." + method
+	return func(depth int, args ...any) (any, error) {
+		return w.dispatch(sig, component, method, fn, args, depth)
+	}
+}
+
+func (w *Weaver) dispatch(sig, component, method string, fn Func, args []any, depth int) (any, error) {
+	if !w.ComponentEnabled(component) {
+		return fn(args...)
+	}
+	chain := w.chainFor(sig, component, method)
+	if len(chain) == 0 {
+		return fn(args...)
+	}
+	w.joinPoints.Add(1)
+	jp := &JoinPoint{
+		Component: component,
+		Method:    method,
+		Args:      args,
+		Start:     w.clock.Now(),
+		Depth:     depth,
+	}
+	res, err := w.runChain(jp, chain, 0, fn)
+	jp.End = w.clock.Now()
+	return res, err
+}
+
+// runChain executes the advice layers from index i outward-in, ending at
+// the component function.
+func (w *Weaver) runChain(jp *JoinPoint, chain []*Aspect, i int, fn Func) (res any, err error) {
+	if i == len(chain) {
+		return fn(jp.Args...)
+	}
+	a := chain[i]
+	if !a.Enabled() {
+		return w.runChain(jp, chain, i+1, fn)
+	}
+	a.executions.Add(1)
+
+	// After advice is exception-safe: it runs even if an inner layer or
+	// the component panics, like AspectJ's after() finally semantics.
+	if a.After != nil {
+		defer a.After(jp)
+	}
+	if a.Before != nil {
+		a.Before(jp)
+	}
+	proceed := func() (any, error) {
+		return w.runChain(jp, chain, i+1, fn)
+	}
+	if a.Around != nil {
+		res, err = a.Around(jp, proceed)
+	} else {
+		res, err = proceed()
+	}
+	jp.Result, jp.Err = res, err
+	if err == nil {
+		if a.AfterReturning != nil {
+			a.AfterReturning(jp)
+		}
+	} else if a.AfterThrowing != nil {
+		a.AfterThrowing(jp)
+	}
+	return res, err
+}
+
+// chainFor resolves and caches the matching aspects for a join point.
+func (w *Weaver) chainFor(sig, component, method string) []*Aspect {
+	gen := w.gen.Load()
+	w.cacheMu.RLock()
+	e, ok := w.cache[sig]
+	w.cacheMu.RUnlock()
+	if ok && e.gen == gen {
+		return e.aspects
+	}
+	w.mu.RLock()
+	var matched []*Aspect
+	for _, a := range w.aspects {
+		if a.Pointcut.Matches(component, method) {
+			matched = append(matched, a)
+		}
+	}
+	w.mu.RUnlock()
+	w.cacheMu.Lock()
+	w.cache[sig] = &chainEntry{gen: gen, aspects: matched}
+	w.cacheMu.Unlock()
+	return matched
+}

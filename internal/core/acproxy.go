@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/jmx"
+)
+
+// acProxyBean builds the AC Proxy of one component: the management
+// channel between the manager (or the external front-end) and the
+// component's Aspect Component. Through it, interception is activated and
+// deactivated at runtime and the component's live statistics are read —
+// "from asking some information like how many requests have used the
+// component to activating or deactivating the AC in runtime" (§III.B.1).
+func (f *Framework) acProxyBean(component string) *jmx.Bean {
+	return jmx.NewBean("Aspect Component proxy for "+component).
+		AttrRW("Enabled", "whether this component's interception is active",
+			func() any { return f.weaver.ComponentEnabled(component) },
+			func(v any) error {
+				on, ok := v.(bool)
+				if !ok {
+					return jmx.ErrNoSuchAttribute // wrong type reads as a bad write
+				}
+				f.weaver.SetComponentEnabled(component, on)
+				return nil
+			}).
+		Attr("Invocations", "executions observed by the AC", func() any {
+			return f.invocations.StatsOf(component).Count
+		}).
+		Attr("Failures", "failed executions observed by the AC", func() any {
+			return f.invocations.StatsOf(component).Failures
+		}).
+		Attr("MeanServiceSeconds", "mean observed service time", func() any {
+			return f.invocations.StatsOf(component).MeanDuration().Seconds()
+		}).
+		Attr("ObjectSizeBytes", "current retained size of the component object", func() any {
+			n, err := f.objSize.Measure(component)
+			if err != nil {
+				return int64(-1)
+			}
+			return n
+		}).
+		Attr("CPUSeconds", "CPU time charged to the component", func() any {
+			return f.cpu.TimeOf(component).Seconds()
+		}).
+		Attr("LiveThreads", "live threads owned by the component", func() any {
+			return f.threads.LiveOf(component)
+		}).
+		Op("MicroReboot", "release the component's retained memory", func(...any) (any, error) {
+			return f.MicroReboot(component), nil
+		})
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/jmx"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/rootcause"
+)
+
+// NotifSuspect is the notification type the manager emits when the top
+// aging suspect changes.
+const NotifSuspect = "aging.suspect"
+
+// Resources the manager can build maps for.
+const (
+	ResourceMemory  = "memory"
+	ResourceCPU     = "cpu"
+	ResourceThreads = "threads"
+	// ResourceMemoryDelta ranks on the per-invocation heap deltas the
+	// AC's before/after advice accumulates (§III.B.1), the paper's
+	// original measurement path; available when a heap is attached.
+	ResourceMemoryDelta = "memory-delta"
+)
+
+// componentRecord holds the manager's per-component series.
+type componentRecord struct {
+	name     string
+	target   any
+	size     *metrics.Series // measured object size, bytes
+	usage    *metrics.Series // cumulative invocations
+	cpu      *metrics.Series // cumulative CPU seconds
+	threads  *metrics.Series // live threads
+	delta    *metrics.Series // accumulated per-invocation heap deltas
+	baseline int64           // first measured size
+	hasBase  bool
+}
+
+// Manager is the JMX Manager Agent: it samples the monitoring agents
+// through the MBeanServer (preserving the paper's decoupling — replacing
+// an agent never requires touching the manager), accumulates per-component
+// time series, and answers root-cause queries.
+type Manager struct {
+	f *Framework
+
+	mu           sync.Mutex
+	components   map[string]*componentRecord
+	order        []string
+	heapRetained *metrics.Series
+	samples      int64
+	lastSuspect  string
+}
+
+func newManager(f *Framework) *Manager {
+	return &Manager{
+		f:            f,
+		components:   make(map[string]*componentRecord),
+		heapRetained: metrics.NewSeries("heap.retained"),
+	}
+}
+
+func (m *Manager) addComponent(name string, target any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.components[name]; dup {
+		return fmt.Errorf("core: component %q already instrumented", name)
+	}
+	m.components[name] = &componentRecord{
+		name:    name,
+		target:  target,
+		size:    metrics.NewSeries(name + ".size"),
+		usage:   metrics.NewSeries(name + ".usage"),
+		cpu:     metrics.NewSeries(name + ".cpu"),
+		threads: metrics.NewSeries(name + ".threads"),
+		delta:   metrics.NewSeries(name + ".delta"),
+	}
+	m.order = append(m.order, name)
+	sort.Strings(m.order)
+	return nil
+}
+
+func (m *Manager) removeComponent(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.components, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (m *Manager) target(name string) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.components[name]
+	if !ok {
+		return nil, false
+	}
+	return rec.target, true
+}
+
+// Components lists the instrumented component names.
+func (m *Manager) Components() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// Samples returns how many sampling rounds have run.
+func (m *Manager) Samples() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}
+
+// Sample performs one collection round at the given instant: for every
+// instrumented component it asks the object-size agent (via the
+// MBeanServer, as the paper's ACs do) for the current retained size and
+// reads the invocation/CPU/thread agents, appending to the series.
+func (m *Manager) Sample(now time.Time) {
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	m.mu.Unlock()
+
+	type measured struct {
+		name       string
+		size       int64
+		usage      int64
+		cpuSeconds float64
+		threads    int64
+		delta      int64
+		sizeOK     bool
+	}
+	results := make([]measured, 0, len(names))
+	for _, name := range names {
+		r := measured{name: name}
+		if v, err := m.f.server.Invoke(monitor.AgentName("ObjectSize"), "Measure", name); err == nil {
+			r.size = v.(int64)
+			r.sizeOK = true
+		}
+		r.usage = m.f.invocations.StatsOf(name).Count
+		r.cpuSeconds = m.f.cpu.TimeOf(name).Seconds()
+		r.threads = m.f.threads.LiveOf(name)
+		if m.f.deltas != nil {
+			r.delta, _ = m.f.deltas.DeltaOf(name)
+		}
+		results = append(results, r)
+	}
+
+	m.mu.Lock()
+	for _, r := range results {
+		rec, ok := m.components[r.name]
+		if !ok {
+			continue
+		}
+		if r.sizeOK {
+			if !rec.hasBase {
+				rec.baseline = r.size
+				rec.hasBase = true
+			}
+			rec.size.Append(now, float64(r.size))
+		}
+		rec.usage.Append(now, float64(r.usage))
+		rec.cpu.Append(now, r.cpuSeconds)
+		rec.threads.Append(now, float64(r.threads))
+		rec.delta.Append(now, float64(r.delta))
+	}
+	if m.f.heap != nil {
+		m.heapRetained.Append(now, float64(m.f.heap.Stats().Retained))
+	}
+	m.samples++
+	m.mu.Unlock()
+
+	m.notifyIfSuspectChanged()
+}
+
+// notifyIfSuspectChanged emits an aging.suspect notification when the
+// most suspicious component changes and its score is meaningful.
+func (m *Manager) notifyIfSuspectChanged() {
+	ranking := m.Rank(ResourceMemory, rootcause.PaperMap{})
+	top, ok := ranking.Top()
+	if !ok || top.Score < 0.1 {
+		return
+	}
+	m.mu.Lock()
+	changed := top.Name != m.lastSuspect
+	if changed {
+		m.lastSuspect = top.Name
+	}
+	m.mu.Unlock()
+	if changed {
+		m.f.server.Emit(jmx.Notification{
+			Type:    NotifSuspect,
+			Source:  ManagerName(),
+			Message: fmt.Sprintf("top aging suspect: %s (score %.3f)", top.Name, top.Score),
+			Data:    top,
+		})
+	}
+}
+
+// SizeSeries returns a copy of the measured size series of a component.
+func (m *Manager) SizeSeries(name string) []metrics.Point {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.components[name]; ok {
+		return rec.size.Points()
+	}
+	return nil
+}
+
+// HeapRetainedSeries returns the sampled heap retained-bytes series.
+func (m *Manager) HeapRetainedSeries() []metrics.Point {
+	return m.heapRetained.Points()
+}
+
+// Data assembles the per-component evidence for a resource, the input to
+// the ranking strategies. For memory, consumption is the measured size
+// net of the component's first-sample baseline.
+func (m *Manager) Data(resource string) ([]rootcause.ComponentData, error) {
+	switch resource {
+	case ResourceMemory, ResourceCPU, ResourceThreads, ResourceMemoryDelta:
+	default:
+		return nil, fmt.Errorf("core: unknown resource %q", resource)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]rootcause.ComponentData, 0, len(m.order))
+	for _, name := range m.order {
+		rec := m.components[name]
+		d := rootcause.ComponentData{Name: name}
+		if last, ok := rec.usage.Last(); ok {
+			d.Usage = int64(last.V)
+		}
+		switch resource {
+		case ResourceMemory:
+			if last, ok := rec.size.Last(); ok {
+				d.Consumption = math.Max(0, last.V-float64(rec.baseline))
+			}
+			d.Series = rec.size.Points()
+		case ResourceCPU:
+			if last, ok := rec.cpu.Last(); ok {
+				d.Consumption = last.V
+			}
+			d.Series = rec.cpu.Points()
+		case ResourceThreads:
+			if last, ok := rec.threads.Last(); ok {
+				d.Consumption = last.V
+			}
+			d.Series = rec.threads.Points()
+		case ResourceMemoryDelta:
+			if last, ok := rec.delta.Last(); ok {
+				d.Consumption = math.Max(0, last.V)
+			}
+			d.Series = rec.delta.Points()
+		default:
+			return nil, fmt.Errorf("core: unknown resource %q", resource)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Rank runs a strategy over the current evidence for a resource. Unknown
+// resources yield an empty ranking.
+func (m *Manager) Rank(resource string, strategy rootcause.Strategy) rootcause.Ranking {
+	data, err := m.Data(resource)
+	if err != nil {
+		return rootcause.Ranking{Resource: resource, Strategy: strategy.Name()}
+	}
+	return strategy.Rank(resource, data)
+}
+
+// Map builds the paper's consumption × usage map for a resource.
+func (m *Manager) Map(resource string) rootcause.Ranking {
+	return m.Rank(resource, rootcause.PaperMap{})
+}
+
+// TimeToExhaustion extrapolates the time until heap exhaustion from the
+// retained-bytes series (Sen slope over the sampled history). It returns
+// +Inf when the heap is not growing or no heap is attached.
+func (m *Manager) TimeToExhaustion() time.Duration {
+	if m.f.heap == nil {
+		return time.Duration(math.MaxInt64)
+	}
+	trend := metrics.MannKendallSeries(m.HeapRetainedSeries(), 0.05)
+	secs := m.f.heap.HeadroomSeconds(trend.SenSlope)
+	if math.IsInf(secs, 1) || secs > float64(math.MaxInt64/int64(time.Second)) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// bean exposes the manager over JMX.
+func (m *Manager) bean() *jmx.Bean {
+	return jmx.NewBean("JMX Manager Agent: resource-component map and root cause determination").
+		Attr("Components", "instrumented component names", func() any { return m.Components() }).
+		Attr("Samples", "collection rounds so far", func() any { return m.Samples() }).
+		Attr("MonitoringEnabled", "whether the AC advice is active", func() any {
+			return m.f.MonitoringEnabled()
+		}).
+		Op("Sample", "run one collection round now", func(...any) (any, error) {
+			m.Sample(m.f.clock.Now())
+			return m.Samples(), nil
+		}).
+		Op("Map", "build the consumption×usage map for a resource", func(args ...any) (any, error) {
+			resource, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return m.Map(resource), nil
+		}).
+		Op("Suspects", "rank components for a resource with the paper strategy", func(args ...any) (any, error) {
+			resource, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			ranking := m.Map(resource)
+			names := make([]string, len(ranking.Entries))
+			for i, e := range ranking.Entries {
+				names[i] = e.Name
+			}
+			return names, nil
+		}).
+		Op("ActivateAC", "enable interception of the named component", func(args ...any) (any, error) {
+			name, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			m.f.weaver.SetComponentEnabled(name, true)
+			return true, nil
+		}).
+		Op("DeactivateAC", "disable interception of the named component", func(args ...any) (any, error) {
+			name, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			m.f.weaver.SetComponentEnabled(name, false)
+			return true, nil
+		}).
+		Op("MicroReboot", "release the named component's retained memory", func(args ...any) (any, error) {
+			name, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return m.f.MicroReboot(name), nil
+		}).
+		Op("TimeToExhaustion", "seconds until heap exhaustion at the current trend", func(...any) (any, error) {
+			return m.TimeToExhaustion().Seconds(), nil
+		})
+}
+
+func stringArg(args []any) (string, error) {
+	if len(args) != 1 {
+		return "", errors.New("core: want exactly one string argument")
+	}
+	s, ok := args[0].(string)
+	if !ok {
+		return "", errors.New("core: want a string argument")
+	}
+	return s, nil
+}

@@ -1,0 +1,151 @@
+package eb
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/tpcw"
+)
+
+// searchTerms is the vocabulary EBs search with; "Book" matches broadly,
+// the others narrow (every populated title contains "Book Title <n>" and a
+// subject word).
+var searchTerms = []string{"Book", "Title", "COMPUTERS", "HISTORY", "ROMANCE", "1"}
+
+// Browser is one emulated browser: it holds session state, walks the
+// transition matrix and fabricates request parameters the way the TPC-W
+// remote browser emulator does (Zipf-skewed item popularity, subject and
+// search-term draws, an assigned customer identity).
+type Browser struct {
+	id        int
+	sessionID string
+	rng       *sim.Stream
+	zipf      *sim.Zipf
+	matrix    Matrix
+	items     int
+	customers int
+
+	current   string
+	lastItems []int64
+	requests  int64
+	failures  int64
+}
+
+// NewBrowser creates browser id with its own derived random stream.
+func NewBrowser(id int, seed uint64, matrix Matrix, items, customers int) *Browser {
+	rng := sim.DeriveStable(seed, uint64(id)+1)
+	return &Browser{
+		id:        id,
+		sessionID: fmt.Sprintf("eb-%d", id),
+		rng:       rng,
+		zipf:      sim.NewZipf(rng.Derive(99), items, 0.8),
+		matrix:    matrix,
+		items:     items,
+		customers: customers,
+		current:   tpcw.CompHome,
+	}
+}
+
+// ID returns the browser number.
+func (b *Browser) ID() int { return b.id }
+
+// SessionID returns the browser's HTTP session id.
+func (b *Browser) SessionID() string { return b.sessionID }
+
+// Requests returns how many requests this browser has issued.
+func (b *Browser) Requests() int64 { return b.requests }
+
+// Failures returns how many of them failed.
+func (b *Browser) Failures() int64 { return b.failures }
+
+// Current returns the interaction the browser is on.
+func (b *Browser) Current() string { return b.current }
+
+// NextRequest advances the state machine and fabricates the next request.
+// The first request of a session is always the home page.
+func (b *Browser) NextRequest() *servlet.Request {
+	next := b.current
+	if b.requests > 0 {
+		next = b.pickNext()
+	}
+	b.current = next
+	b.requests++
+	return &servlet.Request{
+		Interaction: next,
+		SessionID:   b.sessionID,
+		Params:      b.paramsFor(next),
+	}
+}
+
+// Observe feeds the response back so the browser can follow page links
+// (item ids) like a real user, and restart from home after failures.
+func (b *Browser) Observe(resp *servlet.Response) {
+	if !resp.OK() {
+		b.failures++
+		b.current = tpcw.CompHome
+		return
+	}
+	if ids, ok := resp.Get("item_ids").([]int64); ok && len(ids) > 0 {
+		b.lastItems = ids
+	}
+}
+
+func (b *Browser) pickNext() string {
+	row, ok := b.matrix[b.current]
+	if !ok || len(row) == 0 {
+		return tpcw.CompHome
+	}
+	weights := make([]float64, len(row))
+	for i, tr := range row {
+		weights[i] = tr.Weight
+	}
+	return row[b.rng.PickWeighted(weights)].To
+}
+
+// pickItem prefers a link from the last page; otherwise draws a
+// Zipf-popular catalogue item.
+func (b *Browser) pickItem() int64 {
+	if len(b.lastItems) > 0 && b.rng.Float64() < 0.7 {
+		return b.lastItems[b.rng.IntN(len(b.lastItems))]
+	}
+	return int64(b.zipf.Next())
+}
+
+// uname returns the customer identity assigned to this browser.
+func (b *Browser) uname() string {
+	return tpcw.Uname(b.id%b.customers + 1)
+}
+
+func (b *Browser) paramsFor(interaction string) map[string]string {
+	p := make(map[string]string, 4)
+	switch interaction {
+	case tpcw.CompHome:
+		p["I_ID"] = strconv.FormatInt(b.pickItem(), 10)
+	case tpcw.CompNewProducts, tpcw.CompBestSellers:
+		p["SUBJECT"] = tpcw.Subjects[b.rng.IntN(len(tpcw.Subjects))]
+	case tpcw.CompProductDetail, tpcw.CompAdminRequest, tpcw.CompAdminConfirm:
+		p["I_ID"] = strconv.FormatInt(b.pickItem(), 10)
+	case tpcw.CompSearchResults:
+		if b.rng.Float64() < 0.8 {
+			p["FIELD"] = "title"
+			p["TERM"] = searchTerms[b.rng.IntN(len(searchTerms))]
+		} else {
+			p["FIELD"] = "author"
+			p["TERM"] = "AuthorL" + strconv.Itoa(1+b.rng.IntN(20))
+		}
+	case tpcw.CompShoppingCart:
+		p["ACTION"] = "add"
+		p["I_ID"] = strconv.FormatInt(b.pickItem(), 10)
+		p["QTY"] = strconv.Itoa(1 + b.rng.IntN(3))
+	case tpcw.CompBuyRequest:
+		// Returning customers log in; 20% register fresh accounts.
+		if b.rng.Float64() < 0.8 {
+			p["UNAME"] = b.uname()
+		}
+	case tpcw.CompOrderDisplay:
+		p["UNAME"] = b.uname()
+	}
+	return p
+}

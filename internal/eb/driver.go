@@ -1,0 +1,188 @@
+package eb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+)
+
+// Phase is one segment of the load schedule: a population held for a
+// duration.
+type Phase struct {
+	Duration time.Duration
+	EBs      int
+}
+
+// Fig3Schedule returns the paper's dynamic workload: a two-minute warm-up
+// at 50 EBs, thirty minutes at 100 EBs and thirty minutes at 200 EBs.
+func Fig3Schedule() []Phase {
+	return []Phase{
+		{Duration: 2 * time.Minute, EBs: 50},
+		{Duration: 30 * time.Minute, EBs: 100},
+		{Duration: 30 * time.Minute, EBs: 200},
+	}
+}
+
+// Config parameterises a Driver.
+type Config struct {
+	// Mix selects the transition matrix (Shopping in all experiments).
+	Mix Mix
+	// Seed derives every browser's random stream.
+	Seed uint64
+	// ThinkMean is the mean think time (default 7s, the TPC-W value).
+	ThinkMean time.Duration
+	// ThinkCap truncates think time (default 70s).
+	ThinkCap time.Duration
+	// Items and Customers mirror the database scale for parameter
+	// generation.
+	Items     int
+	Customers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 7 * time.Second
+	}
+	if c.ThinkCap <= 0 {
+		c.ThinkCap = 70 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Items <= 0 {
+		c.Items = 1000
+	}
+	if c.Customers <= 0 {
+		c.Customers = 1440
+	}
+	return c
+}
+
+// Driver runs a population of emulated browsers against a container on the
+// discrete-event engine, following a phase schedule. The number of
+// concurrent EBs is exactly the phase population, as the TPC-W
+// specification requires.
+type Driver struct {
+	engine    *sim.Engine
+	container *servlet.Container
+	cfg       Config
+	matrix    Matrix
+
+	target   int
+	browsers []*Browser
+	active   map[int]bool
+
+	completed metrics.Counter
+	failed    metrics.Counter
+	wips      *metrics.Series
+}
+
+// NewDriver creates a driver over container.
+func NewDriver(engine *sim.Engine, container *servlet.Container, cfg Config) *Driver {
+	cfg = cfg.withDefaults()
+	m := TransitionMatrix(cfg.Mix)
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &Driver{
+		engine:    engine,
+		container: container,
+		cfg:       cfg,
+		matrix:    m,
+		active:    make(map[int]bool),
+		wips:      metrics.NewSeries("wips"),
+	}
+}
+
+// WIPS returns the web-interactions-per-second series sampled during Run.
+func (d *Driver) WIPS() *metrics.Series { return d.wips }
+
+// Completed returns the total completed interactions.
+func (d *Driver) Completed() int64 { return d.completed.Value() }
+
+// Failed returns the total failed interactions.
+func (d *Driver) Failed() int64 { return d.failed.Value() }
+
+// ActiveEBs returns the current concurrent browser population.
+func (d *Driver) ActiveEBs() int { return len(d.active) }
+
+// Run schedules the phase transitions and a 30-second WIPS sampler, then
+// runs the engine until the schedule ends. It returns the total schedule
+// duration.
+func (d *Driver) Run(phases []Phase) time.Duration {
+	if len(phases) == 0 {
+		panic("eb: empty phase schedule")
+	}
+	var offset time.Duration
+	for _, ph := range phases {
+		if ph.Duration <= 0 || ph.EBs < 0 {
+			panic(fmt.Sprintf("eb: bad phase %+v", ph))
+		}
+		ebs := ph.EBs
+		at := offset
+		d.engine.Schedule(d.engine.Now().Add(at), func(time.Time) {
+			d.setPopulation(ebs)
+		})
+		offset += ph.Duration
+	}
+	stopSampler := d.engine.Every(30*time.Second, func(now time.Time) {
+		d.wips.Append(now, d.container.Throughput())
+	})
+	defer stopSampler()
+
+	end := d.engine.Now().Add(offset)
+	d.engine.RunUntil(end)
+	// Quiesce: browsers frozen mid-think will see the zero target if the
+	// engine ever resumes, and the driver reports an empty population.
+	d.target = 0
+	d.active = make(map[int]bool)
+	return offset
+}
+
+// setPopulation grows or shrinks the live browser set. Growth starts new
+// browser loops with a small random stagger; shrinkage lets excess
+// browsers finish their in-flight request and then stop.
+func (d *Driver) setPopulation(n int) {
+	d.target = n
+	for id := 0; id < n; id++ {
+		if d.active[id] {
+			continue
+		}
+		d.active[id] = true
+		b := d.browserFor(id)
+		// Stagger session starts across one mean think time.
+		delay := time.Duration(b.rng.Float64() * float64(d.cfg.ThinkMean))
+		d.engine.ScheduleAfter(delay, func(time.Time) { d.step(b) })
+	}
+}
+
+func (d *Driver) browserFor(id int) *Browser {
+	for id >= len(d.browsers) {
+		d.browsers = append(d.browsers,
+			NewBrowser(len(d.browsers), d.cfg.Seed, d.matrix, d.cfg.Items, d.cfg.Customers))
+	}
+	return d.browsers[id]
+}
+
+// step issues one request for browser b and schedules the next one after
+// the think time, unless the population shrank below b's id.
+func (d *Driver) step(b *Browser) {
+	if b.ID() >= d.target {
+		delete(d.active, b.ID())
+		return
+	}
+	req := b.NextRequest()
+	d.container.Submit(req, func(_ *servlet.Request, resp *servlet.Response) {
+		d.completed.Inc()
+		if !resp.OK() {
+			d.failed.Inc()
+		}
+		b.Observe(resp)
+		think := time.Duration(b.rng.TruncExp(
+			d.cfg.ThinkMean.Seconds(), d.cfg.ThinkCap.Seconds()) * float64(time.Second))
+		d.engine.ScheduleAfter(think, func(time.Time) { d.step(b) })
+	})
+}

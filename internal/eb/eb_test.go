@@ -1,0 +1,267 @@
+package eb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/jvmheap"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+	"repro/internal/tpcw"
+)
+
+func TestMatrixValidAllMixes(t *testing.T) {
+	for _, mix := range []Mix{Browsing, Shopping, Ordering} {
+		if err := TransitionMatrix(mix).Validate(); err != nil {
+			t.Errorf("%v matrix invalid: %v", mix, err)
+		}
+	}
+}
+
+func TestMatrixValidateCatchesErrors(t *testing.T) {
+	bad := Matrix{"ghost": {{To: tpcw.CompHome, Weight: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown row accepted")
+	}
+	bad = Matrix{tpcw.CompHome: {{To: "ghost", Weight: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown target accepted")
+	}
+	bad = Matrix{tpcw.CompHome: {{To: tpcw.CompHome, Weight: -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	bad = Matrix{tpcw.CompHome: {{To: tpcw.CompHome, Weight: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-weight row accepted")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if Browsing.String() != "browsing" || Shopping.String() != "shopping" ||
+		Ordering.String() != "ordering" || Mix(9).String() != "unknown" {
+		t.Fatal("Mix.String wrong")
+	}
+}
+
+func TestUnknownMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown mix did not panic")
+		}
+	}()
+	TransitionMatrix(Mix(42))
+}
+
+func TestBrowserDeterminism(t *testing.T) {
+	mk := func() []string {
+		b := NewBrowser(3, 42, TransitionMatrix(Shopping), 100, 50)
+		var seq []string
+		for i := 0; i < 50; i++ {
+			seq = append(seq, b.NextRequest().Interaction)
+		}
+		return seq
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("browser walk diverged at step %d", i)
+		}
+	}
+}
+
+func TestBrowserStartsAtHome(t *testing.T) {
+	b := NewBrowser(0, 1, TransitionMatrix(Shopping), 100, 50)
+	req := b.NextRequest()
+	if req.Interaction != tpcw.CompHome {
+		t.Fatalf("first interaction = %s", req.Interaction)
+	}
+	if req.SessionID != "eb-0" {
+		t.Fatalf("session = %s", req.SessionID)
+	}
+}
+
+func TestBrowserFailureRestartsAtHome(t *testing.T) {
+	b := NewBrowser(0, 1, TransitionMatrix(Shopping), 100, 50)
+	b.NextRequest()
+	b.Observe(&servlet.Response{Status: servlet.StatusServerError})
+	if b.Failures() != 1 {
+		t.Fatalf("failures = %d", b.Failures())
+	}
+	if b.Current() != tpcw.CompHome {
+		t.Fatalf("after failure at %s, want home", b.Current())
+	}
+}
+
+func TestBrowserFollowsPageLinks(t *testing.T) {
+	b := NewBrowser(0, 1, TransitionMatrix(Shopping), 100, 50)
+	b.NextRequest()
+	b.Observe(&servlet.Response{Status: servlet.StatusOK,
+		Data: map[string]any{"item_ids": []int64{77}}})
+	linked := 0
+	for i := 0; i < 200; i++ {
+		req := b.NextRequest()
+		if req.Params["I_ID"] == "77" {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Fatal("browser never followed a page link")
+	}
+}
+
+func TestBrowserVisitDistribution(t *testing.T) {
+	// Under the shopping mix, browse pages dominate and admin pages are
+	// rare — the usage-frequency structure Figs. 5-7 rely on.
+	b := NewBrowser(0, 123, TransitionMatrix(Shopping), 1000, 100)
+	visits := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		visits[b.NextRequest().Interaction]++
+		b.Observe(&servlet.Response{Status: servlet.StatusOK})
+	}
+	if visits[tpcw.CompHome] < 2000 {
+		t.Fatalf("home visits = %d, want heavy usage", visits[tpcw.CompHome])
+	}
+	if visits[tpcw.CompProductDetail] < 2000 {
+		t.Fatalf("product_detail visits = %d", visits[tpcw.CompProductDetail])
+	}
+	admin := visits[tpcw.CompAdminConfirm]
+	if admin >= visits[tpcw.CompHome]/20 {
+		t.Fatalf("admin_confirm = %d vs home = %d; admin should be rare",
+			admin, visits[tpcw.CompHome])
+	}
+	if visits[tpcw.CompBuyConfirm] == 0 {
+		t.Fatal("shopping mix never bought anything")
+	}
+}
+
+func TestOrderingMixBuysMore(t *testing.T) {
+	count := func(mix Mix) int {
+		b := NewBrowser(0, 5, TransitionMatrix(mix), 1000, 100)
+		buys := 0
+		for i := 0; i < 20000; i++ {
+			if b.NextRequest().Interaction == tpcw.CompBuyConfirm {
+				buys++
+			}
+			b.Observe(&servlet.Response{Status: servlet.StatusOK})
+		}
+		return buys
+	}
+	browsing, ordering := count(Browsing), count(Ordering)
+	if ordering <= browsing*2 {
+		t.Fatalf("ordering mix buys (%d) not clearly above browsing (%d)", ordering, browsing)
+	}
+}
+
+func newLoadedStack(t *testing.T) (*sim.Engine, *servlet.Container) {
+	t.Helper()
+	engine := sim.NewEngine()
+	weaver := aspect.NewWeaver(engine.Clock())
+	db := sqldb.NewDB()
+	app, err := tpcw.NewApp(db, weaver, engine.Clock(), tpcw.Scale{Items: 100, Customers: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := jvmheap.New(1<<28, engine.Clock())
+	c := servlet.NewContainer(engine, weaver, db, heap, servlet.Config{})
+	if err := app.DeployAll(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return engine, c
+}
+
+func TestDriverRunsSchedule(t *testing.T) {
+	engine, c := newLoadedStack(t)
+	d := NewDriver(engine, c, Config{Mix: Shopping, Seed: 9, Items: 100, Customers: 50})
+	total := d.Run([]Phase{
+		{Duration: 2 * time.Minute, EBs: 5},
+		{Duration: 3 * time.Minute, EBs: 10},
+	})
+	if total != 5*time.Minute {
+		t.Fatalf("schedule duration = %v", total)
+	}
+	if d.Completed() == 0 {
+		t.Fatal("no interactions completed")
+	}
+	// 10 EBs × ~7s think over 5 minutes ≈ 400 requests; anything in the
+	// hundreds confirms the population drove load.
+	if d.Completed() < 100 {
+		t.Fatalf("completed = %d, want hundreds", d.Completed())
+	}
+	failRatio := float64(d.Failed()) / float64(d.Completed())
+	if failRatio > 0.02 {
+		t.Fatalf("failure ratio %.3f, want ~0 on a healthy app", failRatio)
+	}
+	if d.WIPS().Len() == 0 {
+		t.Fatal("no WIPS samples recorded")
+	}
+	if d.ActiveEBs() != 0 {
+		t.Fatalf("active EBs after run = %d", d.ActiveEBs())
+	}
+}
+
+func TestDriverPopulationScalesThroughput(t *testing.T) {
+	run := func(ebs int) float64 {
+		engine, c := newLoadedStack(t)
+		d := NewDriver(engine, c, Config{Mix: Shopping, Seed: 9, Items: 100, Customers: 50})
+		d.Run([]Phase{{Duration: 10 * time.Minute, EBs: ebs}})
+		return float64(d.Completed())
+	}
+	small, large := run(5), run(20)
+	if large < small*2.5 {
+		t.Fatalf("throughput did not scale with population: 5 EBs=%v, 20 EBs=%v", small, large)
+	}
+}
+
+func TestDriverDeterminism(t *testing.T) {
+	run := func() int64 {
+		engine, c := newLoadedStack(t)
+		d := NewDriver(engine, c, Config{Mix: Shopping, Seed: 77, Items: 100, Customers: 50})
+		d.Run([]Phase{{Duration: 5 * time.Minute, EBs: 8}})
+		return d.Completed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("driver runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestDriverPanicsOnBadSchedule(t *testing.T) {
+	engine, c := newLoadedStack(t)
+	d := NewDriver(engine, c, Config{})
+	for _, phases := range [][]Phase{
+		{},
+		{{Duration: 0, EBs: 5}},
+		{{Duration: time.Minute, EBs: -1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad schedule %v did not panic", phases)
+				}
+			}()
+			d.Run(phases)
+		}()
+	}
+}
+
+func TestFig3Schedule(t *testing.T) {
+	phases := Fig3Schedule()
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	if phases[0].EBs != 50 || phases[1].EBs != 100 || phases[2].EBs != 200 {
+		t.Fatalf("populations = %v", phases)
+	}
+	var total time.Duration
+	for _, p := range phases {
+		total += p.Duration
+	}
+	if total != 62*time.Minute {
+		t.Fatalf("total = %v, want 62m (2+30+30)", total)
+	}
+}

@@ -1,0 +1,174 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation (plus the extension and ablation studies listed in
+// DESIGN.md). Each runner assembles the full system — TPC-W over the
+// servlet container, emulated browsers, the monitoring framework — runs a
+// deterministic virtual-time scenario, and reports the observed result
+// against the paper's expectation.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/core"
+	"repro/internal/eb"
+	"repro/internal/faultinject"
+	"repro/internal/jvmheap"
+	"repro/internal/rootcause"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+	"repro/internal/tpcw"
+)
+
+// StackConfig sizes one experiment system.
+type StackConfig struct {
+	// Seed drives every random stream in the stack.
+	Seed uint64
+	// Scale sizes the TPC-W database.
+	Scale tpcw.Scale
+	// Monitored attaches the monitoring framework (AC + agents +
+	// manager with sampling).
+	Monitored bool
+	// CollectTraces attaches the Pinpoint trace collector.
+	CollectTraces bool
+	// HeapBytes sizes the simulated JVM heap (1 GB default, as the
+	// paper's Tomcat).
+	HeapBytes int64
+	// SampleInterval is the manager sampling period (default 30s).
+	SampleInterval time.Duration
+	// Mix is the EB workload mix (Shopping in all paper experiments).
+	Mix eb.Mix
+}
+
+// Stack is one fully assembled system under test.
+type Stack struct {
+	Engine    *sim.Engine
+	Weaver    *aspect.Weaver
+	DB        *sqldb.DB
+	App       *tpcw.App
+	Heap      *jvmheap.Heap
+	Container *servlet.Container
+	Framework *core.Framework // nil when not monitored
+	Driver    *eb.Driver
+	Traces    *rootcause.TraceCollector // nil unless collecting
+
+	stopSampling func()
+}
+
+// NewStack builds and starts a system.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.HeapBytes <= 0 {
+		cfg.HeapBytes = jvmheap.DefaultCapacity
+	}
+	if cfg.Scale.Seed == 0 {
+		cfg.Scale.Seed = cfg.Seed + 1
+	}
+	engine := sim.NewEngine()
+	weaver := aspect.NewWeaver(engine.Clock())
+	db := sqldb.NewDB()
+	app, err := tpcw.NewApp(db, weaver, engine.Clock(), cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	heap := jvmheap.New(cfg.HeapBytes, engine.Clock())
+	container := servlet.NewContainer(engine, weaver, db, heap, servlet.Config{})
+	if err := app.DeployAll(container); err != nil {
+		return nil, err
+	}
+	if err := container.Start(); err != nil {
+		return nil, err
+	}
+	s := &Stack{
+		Engine:    engine,
+		Weaver:    weaver,
+		DB:        db,
+		App:       app,
+		Heap:      heap,
+		Container: container,
+	}
+	if cfg.Monitored {
+		f, err := core.New(core.Options{
+			Weaver:         weaver,
+			Clock:          engine.Clock(),
+			Heap:           heap,
+			SampleInterval: cfg.SampleInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range tpcw.Interactions {
+			servletObj, _ := app.Servlet(name)
+			if err := f.InstrumentComponent(name, servletObj); err != nil {
+				return nil, err
+			}
+		}
+		s.Framework = f
+		s.stopSampling = f.StartSampling(engine)
+	}
+	if cfg.CollectTraces {
+		s.Traces = rootcause.NewTraceCollector(0)
+		if err := weaver.Register(s.Traces.Aspect()); err != nil {
+			return nil, err
+		}
+	}
+	s.Driver = eb.NewDriver(engine, container, eb.Config{
+		Mix:       cfg.Mix,
+		Seed:      cfg.Seed,
+		Items:     cfg.Scale.Items,
+		Customers: cfg.Scale.Customers,
+	})
+	return s, nil
+}
+
+// InjectLeak arms the paper's memory-leak error in a component and
+// returns the injector for inspection.
+func (s *Stack) InjectLeak(component string, size, n int, seed uint64) (*faultinject.MemoryLeak, error) {
+	target, ok := s.App.Servlet(component)
+	if !ok {
+		return nil, fmt.Errorf("experiment: no servlet %q", component)
+	}
+	retainer, ok := target.(faultinject.Retainer)
+	if !ok {
+		return nil, fmt.Errorf("experiment: servlet %q is not injectable", component)
+	}
+	leak := &faultinject.MemoryLeak{
+		Component: component,
+		Target:    retainer,
+		Size:      size,
+		N:         n,
+		Heap:      s.Heap,
+		Seed:      seed,
+	}
+	if err := s.Weaver.Register(leak.Aspect()); err != nil {
+		return nil, err
+	}
+	return leak, nil
+}
+
+// Close stops background sampling.
+func (s *Stack) Close() {
+	if s.stopSampling != nil {
+		s.stopSampling()
+	}
+	s.Container.Stop()
+}
+
+// scalePhases multiplies every phase duration by factor (factor <= 0
+// means 1), letting benchmarks run shortened versions of the paper's
+// one-hour scenarios while cmd/experiments runs them at full length.
+func scalePhases(phases []eb.Phase, factor float64) []eb.Phase {
+	if factor <= 0 || factor == 1 {
+		return phases
+	}
+	out := make([]eb.Phase, len(phases))
+	for i, p := range phases {
+		d := time.Duration(float64(p.Duration) * factor)
+		if d < time.Minute {
+			d = time.Minute
+		}
+		out[i] = eb.Phase{Duration: d, EBs: p.EBs}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Package faultinject reproduces the paper's aging-error injection. The
+// paper modifies TPC-W servlets so that a random draw in [0,N] decides how
+// many requests use the servlet before the next memory leak of a fixed
+// size is injected; the average consumption rate then depends on the
+// component's usage frequency — which is exactly what the experiments
+// exploit. This package implements that scheme (plus the CPU-hog and
+// thread-leak injectors of the paper's future work) as aspects, so faults
+// are attached to unmodified components at runtime.
+package faultinject
+
+import (
+	"sync"
+)
+
+// LeakStore is the retention point embedded in every injectable component.
+// Leaked bytes are appended to one flat buffer so the paper's one-level
+// object-size policy measures them (a fresh allocation per leak would hide
+// behind a second level of indirection). A LeakStore is safe for
+// concurrent use.
+type LeakStore struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Retain appends n leaked bytes to the store.
+func (s *LeakStore) Retain(n int) {
+	if n < 0 {
+		panic("faultinject: negative leak size")
+	}
+	s.mu.Lock()
+	s.buf = append(s.buf, make([]byte, n)...)
+	s.mu.Unlock()
+}
+
+// LeakedBytes returns the number of bytes retained so far.
+func (s *LeakStore) LeakedBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Release drops every retained byte (micro-reboot of the component) and
+// returns how many were held.
+func (s *LeakStore) Release() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf)
+	s.buf = nil
+	return n
+}
+
+// Retainer is what the memory-leak injector needs from its target: any
+// component embedding a LeakStore satisfies it.
+type Retainer interface {
+	Retain(n int)
+}
+
+var _ Retainer = (*LeakStore)(nil)

@@ -1,0 +1,41 @@
+// Package glob implements the '*' wildcard matching shared by JMX object
+// name patterns and aspect pointcut expressions.
+package glob
+
+// Match reports whether s matches pattern, where '*' matches any (possibly
+// empty) substring and every other byte matches itself.
+func Match(pattern, s string) bool {
+	px, sx := 0, 0
+	star, mark := -1, 0
+	for sx < len(s) {
+		switch {
+		case px < len(pattern) && pattern[px] == s[sx]:
+			px++
+			sx++
+		case px < len(pattern) && pattern[px] == '*':
+			star = px
+			mark = sx
+			px++
+		case star != -1:
+			px = star + 1
+			mark++
+			sx = mark
+		default:
+			return false
+		}
+	}
+	for px < len(pattern) && pattern[px] == '*' {
+		px++
+	}
+	return px == len(pattern)
+}
+
+// IsPattern reports whether pattern contains a wildcard.
+func IsPattern(pattern string) bool {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '*' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package glob
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "x", true},
+		{"", "", true},
+		{"", "x", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abd", false},
+		{"*suffix", "hassuffix", true},
+		{"prefix*", "prefixhas", true},
+		{"*mid*", "XmidY", true},
+		{"a**b", "aXb", true},
+		{"tpcw.*", "tpcw.home", true},
+		{"tpcw.*", "other.home", false},
+		{"*.Service", "tpcw.home.Service", true},
+	}
+	for _, tc := range cases {
+		if got := Match(tc.pat, tc.s); got != tc.want {
+			t.Errorf("Match(%q,%q) = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestIsPattern(t *testing.T) {
+	if IsPattern("abc") || !IsPattern("a*c") {
+		t.Fatal("IsPattern misclassified")
+	}
+}
+
+func TestExactAlwaysMatchesSelf(t *testing.T) {
+	f := func(s string) bool {
+		if strings.Contains(s, "*") {
+			return true
+		}
+		return Match(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarMatchesEverything(t *testing.T) {
+	f := func(s string) bool { return Match("*", s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixProperty(t *testing.T) {
+	f := func(prefix, rest string) bool {
+		if strings.Contains(prefix, "*") {
+			return true
+		}
+		return Match(prefix+"*", prefix+rest)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

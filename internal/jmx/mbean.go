@@ -1,0 +1,184 @@
+package jmx
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by attribute and operation dispatch.
+var (
+	ErrNoSuchAttribute = errors.New("jmx: no such attribute")
+	ErrNoSuchOperation = errors.New("jmx: no such operation")
+	ErrReadOnly        = errors.New("jmx: attribute is read-only")
+)
+
+// DynamicMBean is the management interface every probe, aspect proxy and
+// manager exposes. It mirrors javax.management.DynamicMBean: attribute
+// get/set and operation invocation by name, plus self-description.
+type DynamicMBean interface {
+	// Description returns a one-line human description of the bean.
+	Description() string
+	// AttributeNames lists readable attributes in sorted order.
+	AttributeNames() []string
+	// GetAttribute reads one attribute.
+	GetAttribute(name string) (any, error)
+	// SetAttribute writes one attribute.
+	SetAttribute(name string, value any) error
+	// OperationNames lists invocable operations in sorted order.
+	OperationNames() []string
+	// Invoke calls one operation.
+	Invoke(op string, args ...any) (any, error)
+}
+
+// Bean is a DynamicMBean assembled from getter/setter/operation functions.
+// It is the Go analogue of a StandardMBean and is how every agent in this
+// reproduction exposes itself. A Bean is safe for concurrent use; the
+// registered functions must be safe themselves.
+type Bean struct {
+	mu    sync.RWMutex
+	desc  string
+	attrs map[string]*beanAttr
+	ops   map[string]*beanOp
+}
+
+type beanAttr struct {
+	get  func() any
+	set  func(any) error
+	desc string
+}
+
+type beanOp struct {
+	invoke func(args ...any) (any, error)
+	desc   string
+}
+
+// NewBean creates an empty bean with the given description.
+func NewBean(description string) *Bean {
+	return &Bean{
+		desc:  description,
+		attrs: make(map[string]*beanAttr),
+		ops:   make(map[string]*beanOp),
+	}
+}
+
+// Attr registers a read-only attribute backed by get. It returns the bean
+// for chaining.
+func (b *Bean) Attr(name, desc string, get func() any) *Bean {
+	return b.AttrRW(name, desc, get, nil)
+}
+
+// AttrRW registers an attribute with a getter and an optional setter (nil
+// means read-only).
+func (b *Bean) AttrRW(name, desc string, get func() any, set func(any) error) *Bean {
+	if get == nil {
+		panic("jmx: attribute without getter")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.attrs[name]; dup {
+		panic(fmt.Sprintf("jmx: duplicate attribute %q", name))
+	}
+	b.attrs[name] = &beanAttr{get: get, set: set, desc: desc}
+	return b
+}
+
+// Op registers an operation.
+func (b *Bean) Op(name, desc string, invoke func(args ...any) (any, error)) *Bean {
+	if invoke == nil {
+		panic("jmx: operation without body")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.ops[name]; dup {
+		panic(fmt.Sprintf("jmx: duplicate operation %q", name))
+	}
+	b.ops[name] = &beanOp{invoke: invoke, desc: desc}
+	return b
+}
+
+// Description implements DynamicMBean.
+func (b *Bean) Description() string { return b.desc }
+
+// AttributeNames implements DynamicMBean.
+func (b *Bean) AttributeNames() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.attrs))
+	for k := range b.attrs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttributeDescription returns the doc string of an attribute.
+func (b *Bean) AttributeDescription(name string) string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if a, ok := b.attrs[name]; ok {
+		return a.desc
+	}
+	return ""
+}
+
+// GetAttribute implements DynamicMBean.
+func (b *Bean) GetAttribute(name string) (any, error) {
+	b.mu.RLock()
+	a, ok := b.attrs[name]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchAttribute, name)
+	}
+	return a.get(), nil
+}
+
+// SetAttribute implements DynamicMBean.
+func (b *Bean) SetAttribute(name string, value any) error {
+	b.mu.RLock()
+	a, ok := b.attrs[name]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchAttribute, name)
+	}
+	if a.set == nil {
+		return fmt.Errorf("%w: %q", ErrReadOnly, name)
+	}
+	return a.set(value)
+}
+
+// OperationNames implements DynamicMBean.
+func (b *Bean) OperationNames() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.ops))
+	for k := range b.ops {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OperationDescription returns the doc string of an operation.
+func (b *Bean) OperationDescription(name string) string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if o, ok := b.ops[name]; ok {
+		return o.desc
+	}
+	return ""
+}
+
+// Invoke implements DynamicMBean.
+func (b *Bean) Invoke(op string, args ...any) (any, error) {
+	b.mu.RLock()
+	o, ok := b.ops[op]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchOperation, op)
+	}
+	return o.invoke(args...)
+}
+
+var _ DynamicMBean = (*Bean)(nil)

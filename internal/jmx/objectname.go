@@ -1,0 +1,141 @@
+// Package jmx reimplements the slice of Java Management Extensions the
+// paper's architecture relies on: ObjectNames, dynamic MBeans, an
+// MBeanServer registry with attribute/operation dispatch, pattern queries,
+// and notifications. The JMX layer is what decouples the Aspect Components
+// from the Monitoring Agents and lets the Manager Agent discover probes at
+// runtime without code changes — that architectural property is preserved
+// here even though the implementation is pure Go.
+package jmx
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/glob"
+)
+
+// ObjectName identifies an MBean as "domain:key=value,key=value". Names are
+// canonicalised (keys sorted) so equal names compare equal as strings. A
+// name containing "*" wildcards in its domain or property values, or the
+// property wildcard ",*", is a pattern usable in queries.
+type ObjectName struct {
+	domain   string
+	keys     []string // sorted
+	props    map[string]string
+	propWild bool // pattern allows additional properties
+}
+
+// ErrBadObjectName reports a malformed object name string.
+var ErrBadObjectName = errors.New("jmx: malformed object name")
+
+// ParseObjectName parses s into an ObjectName.
+func ParseObjectName(s string) (ObjectName, error) {
+	domain, rest, ok := strings.Cut(s, ":")
+	if !ok || domain == "" || rest == "" {
+		return ObjectName{}, fmt.Errorf("%w: %q", ErrBadObjectName, s)
+	}
+	n := ObjectName{domain: domain, props: make(map[string]string)}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" {
+			n.propWild = true
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" || v == "" {
+			return ObjectName{}, fmt.Errorf("%w: property %q in %q", ErrBadObjectName, part, s)
+		}
+		if _, dup := n.props[k]; dup {
+			return ObjectName{}, fmt.Errorf("%w: duplicate key %q in %q", ErrBadObjectName, k, s)
+		}
+		n.props[k] = v
+		n.keys = append(n.keys, k)
+	}
+	if len(n.props) == 0 && !n.propWild {
+		return ObjectName{}, fmt.Errorf("%w: no properties in %q", ErrBadObjectName, s)
+	}
+	sort.Strings(n.keys)
+	return n, nil
+}
+
+// MustObjectName parses s and panics on error; for compile-time constants.
+func MustObjectName(s string) ObjectName {
+	n, err := ParseObjectName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Domain returns the domain part of the name.
+func (n ObjectName) Domain() string { return n.domain }
+
+// Get returns the value of the property key ("" when absent).
+func (n ObjectName) Get(key string) string { return n.props[key] }
+
+// Keys returns the sorted property keys.
+func (n ObjectName) Keys() []string { return append([]string(nil), n.keys...) }
+
+// String renders the canonical form: sorted properties, ",*" last.
+func (n ObjectName) String() string {
+	var b strings.Builder
+	b.WriteString(n.domain)
+	b.WriteByte(':')
+	for i, k := range n.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(n.props[k])
+	}
+	if n.propWild {
+		if len(n.keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('*')
+	}
+	return b.String()
+}
+
+// IsPattern reports whether the name contains wildcards and therefore can
+// only be used in queries, not registrations.
+func (n ObjectName) IsPattern() bool {
+	if n.propWild || strings.Contains(n.domain, "*") {
+		return true
+	}
+	for _, v := range n.props {
+		if strings.Contains(v, "*") {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether the concrete name other matches pattern n.
+// Matching follows JMX semantics: the domain is glob-matched, every
+// property in the pattern must be present with a glob-matching value, and
+// extra properties in other are allowed only when the pattern carries the
+// ",*" property wildcard.
+func (n ObjectName) Matches(other ObjectName) bool {
+	if !glob.Match(n.domain, other.domain) {
+		return false
+	}
+	for k, pv := range n.props {
+		ov, ok := other.props[k]
+		if !ok || !glob.Match(pv, ov) {
+			return false
+		}
+	}
+	if !n.propWild && len(other.props) != len(n.props) {
+		return false
+	}
+	return true
+}
+
+// Equal reports whether two names are identical (canonical comparison).
+func (n ObjectName) Equal(other ObjectName) bool {
+	return n.String() == other.String()
+}

@@ -1,0 +1,131 @@
+package jmx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseObjectName(t *testing.T) {
+	n, err := ParseObjectName("aging:type=Component,name=A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Domain() != "aging" || n.Get("type") != "Component" || n.Get("name") != "A" {
+		t.Fatalf("parsed %+v", n)
+	}
+}
+
+func TestCanonicalOrdering(t *testing.T) {
+	a := MustObjectName("d:b=2,a=1")
+	b := MustObjectName("d:a=1,b=2")
+	if a.String() != b.String() {
+		t.Fatalf("canonical forms differ: %q vs %q", a, b)
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal false for canonical-equal names")
+	}
+	if a.String() != "d:a=1,b=2" {
+		t.Fatalf("canonical = %q", a.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "nodomain", ":a=1", "d:", "d:novalue", "d:k=", "d:=v",
+		"d:a=1,a=2", // duplicate key
+	} {
+		if _, err := ParseObjectName(s); err == nil {
+			t.Errorf("ParseObjectName(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMustObjectNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustObjectName did not panic on bad input")
+		}
+	}()
+	MustObjectName("bad")
+}
+
+func TestIsPattern(t *testing.T) {
+	cases := map[string]bool{
+		"d:a=1":        false,
+		"d:a=*":        true,
+		"*:a=1":        true,
+		"d:*":          true,
+		"d:a=1,*":      true,
+		"aging:name=A": false,
+	}
+	for s, want := range cases {
+		if got := MustObjectName(s).IsPattern(); got != want {
+			t.Errorf("IsPattern(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	target := MustObjectName("aging:type=Component,name=TPCW_home")
+	cases := map[string]bool{
+		"aging:type=Component,name=TPCW_home": true,
+		"aging:type=Component,*":              true,
+		"aging:*":                             true,
+		"*:*":                                 true,
+		"aging:type=Component":                false, // extra props, no wildcard
+		"aging:type=Agent,*":                  false,
+		"other:*":                             false,
+		"aging:name=TPCW_*,*":                 true,
+		"aging:name=*home,*":                  true,
+		"ag*:*":                               true,
+		"aging:name=TPCW_search,*":            false,
+	}
+	for pat, want := range cases {
+		if got := MustObjectName(pat).Matches(target); got != want {
+			t.Errorf("%q.Matches(target) = %v, want %v", pat, got, want)
+		}
+	}
+}
+
+func TestMatchesRequiresAllPatternProps(t *testing.T) {
+	pat := MustObjectName("d:a=1,b=2,*")
+	if pat.Matches(MustObjectName("d:a=1")) {
+		t.Fatal("pattern with b=2 matched target lacking b")
+	}
+}
+
+func TestKeysCopy(t *testing.T) {
+	n := MustObjectName("d:a=1,b=2")
+	ks := n.Keys()
+	ks[0] = "zz"
+	if n.Keys()[0] != "a" {
+		t.Fatal("Keys leaked internal storage")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Property: canonical strings reparse to an equal name.
+	f := func(a, b uint8) bool {
+		n := MustObjectName("dom:k1=v" + string(rune('a'+a%26)) + ",k2=v" + string(rune('a'+b%26)))
+		re, err := ParseObjectName(n.String())
+		return err == nil && re.Equal(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfMatch(t *testing.T) {
+	// Property: every concrete name matches itself.
+	names := []string{
+		"aging:type=Component,name=A",
+		"d:a=1",
+		"monitoring:agent=Memory,resource=heap",
+	}
+	for _, s := range names {
+		n := MustObjectName(s)
+		if !n.Matches(n) {
+			t.Errorf("%q does not match itself", s)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package jmx
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Registration and lookup errors.
+var (
+	ErrNotRegistered     = errors.New("jmx: mbean not registered")
+	ErrAlreadyRegistered = errors.New("jmx: mbean already registered")
+	ErrPatternName       = errors.New("jmx: pattern names cannot be registered")
+)
+
+// Built-in notification types emitted by the server itself.
+const (
+	NotifRegistered   = "jmx.mbean.registered"
+	NotifUnregistered = "jmx.mbean.unregistered"
+)
+
+// Notification is an event emitted through the MBeanServer, mirroring
+// javax.management.Notification. The manager agent uses notifications to
+// announce aging suspects to the front-end.
+type Notification struct {
+	Type    string
+	Source  ObjectName
+	Seq     uint64
+	Time    time.Time
+	Message string
+	Data    any
+}
+
+// Listener receives notifications synchronously. Implementations must be
+// fast and must not call back into the emitting server while handling.
+type Listener func(Notification)
+
+// Server is the Agent Level of the JMX architecture: the MBeanServer that
+// registers probes, routes attribute/operation access and fans out
+// notifications. It is safe for concurrent use.
+type Server struct {
+	clock sim.Clock
+
+	mu        sync.RWMutex
+	beans     map[string]DynamicMBean
+	names     map[string]ObjectName
+	listeners map[int]Listener
+	nextLis   int
+	seq       uint64
+}
+
+// NewServer creates an empty MBeanServer stamping notifications with clock
+// (WallClock when nil).
+func NewServer(clock sim.Clock) *Server {
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	return &Server{
+		clock:     clock,
+		beans:     make(map[string]DynamicMBean),
+		names:     make(map[string]ObjectName),
+		listeners: make(map[int]Listener),
+	}
+}
+
+// Register binds bean to name. Registering a pattern name or a duplicate
+// name fails. A registration notification is emitted on success.
+func (s *Server) Register(name ObjectName, bean DynamicMBean) error {
+	if name.IsPattern() {
+		return fmt.Errorf("%w: %s", ErrPatternName, name)
+	}
+	if bean == nil {
+		return errors.New("jmx: nil mbean")
+	}
+	key := name.String()
+	s.mu.Lock()
+	if _, dup := s.beans[key]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrAlreadyRegistered, name)
+	}
+	s.beans[key] = bean
+	s.names[key] = name
+	s.mu.Unlock()
+	s.Emit(Notification{Type: NotifRegistered, Source: name, Message: bean.Description()})
+	return nil
+}
+
+// Unregister removes the binding for name and emits a notification.
+func (s *Server) Unregister(name ObjectName) error {
+	key := name.String()
+	s.mu.Lock()
+	if _, ok := s.beans[key]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRegistered, name)
+	}
+	delete(s.beans, key)
+	delete(s.names, key)
+	s.mu.Unlock()
+	s.Emit(Notification{Type: NotifUnregistered, Source: name})
+	return nil
+}
+
+// IsRegistered reports whether name has a bound MBean.
+func (s *Server) IsRegistered(name ObjectName) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.beans[name.String()]
+	return ok
+}
+
+// Lookup returns the MBean bound to name.
+func (s *Server) Lookup(name ObjectName) (DynamicMBean, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.beans[name.String()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotRegistered, name)
+	}
+	return b, nil
+}
+
+// Count returns the number of registered MBeans.
+func (s *Server) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.beans)
+}
+
+// Names returns all registered names in canonical sorted order.
+func (s *Server) Names() []ObjectName {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.names))
+	for k := range s.names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ObjectName, len(keys))
+	for i, k := range keys {
+		out[i] = s.names[k]
+	}
+	return out
+}
+
+// Query returns the registered names matching pattern, in canonical order.
+// A non-pattern name queries for exactly itself. This is how the AC Proxy
+// and the Manager Agent discover each other and the monitoring agents.
+func (s *Server) Query(pattern ObjectName) []ObjectName {
+	var out []ObjectName
+	for _, n := range s.Names() {
+		if pattern.Matches(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// GetAttribute reads an attribute of the named MBean.
+func (s *Server) GetAttribute(name ObjectName, attr string) (any, error) {
+	b, err := s.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.GetAttribute(attr)
+}
+
+// SetAttribute writes an attribute of the named MBean.
+func (s *Server) SetAttribute(name ObjectName, attr string, value any) error {
+	b, err := s.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return b.SetAttribute(attr, value)
+}
+
+// Invoke calls an operation on the named MBean.
+func (s *Server) Invoke(name ObjectName, op string, args ...any) (any, error) {
+	b, err := s.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Invoke(op, args...)
+}
+
+// AddListener subscribes fn to all notifications and returns an id for
+// RemoveListener.
+func (s *Server) AddListener(fn Listener) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextLis
+	s.nextLis++
+	s.listeners[id] = fn
+	return id
+}
+
+// RemoveListener unsubscribes the listener with the given id.
+func (s *Server) RemoveListener(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, id)
+}
+
+// Emit stamps n with a sequence number and timestamp and delivers it to all
+// listeners synchronously. MBeans use it to broadcast their own events.
+func (s *Server) Emit(n Notification) {
+	s.mu.Lock()
+	s.seq++
+	n.Seq = s.seq
+	n.Time = s.clock.Now()
+	fns := make([]Listener, 0, len(s.listeners))
+	ids := make([]int, 0, len(s.listeners))
+	for id := range s.listeners {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fns = append(fns, s.listeners[id])
+	}
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(n)
+	}
+}

@@ -1,0 +1,276 @@
+package jmx
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTestBean(desc string) (*Bean, *int) {
+	v := new(int)
+	b := NewBean(desc).
+		AttrRW("Value", "the value", func() any { return *v }, func(x any) error {
+			i, ok := x.(int)
+			if !ok {
+				return errors.New("want int")
+			}
+			*v = i
+			return nil
+		}).
+		Attr("Doubled", "twice the value", func() any { return 2 * *v }).
+		Op("Reset", "set value to zero", func(args ...any) (any, error) {
+			old := *v
+			*v = 0
+			return old, nil
+		})
+	return b, v
+}
+
+func TestBeanAttributes(t *testing.T) {
+	b, _ := newTestBean("test")
+	if got := b.AttributeNames(); len(got) != 2 || got[0] != "Doubled" || got[1] != "Value" {
+		t.Fatalf("AttributeNames = %v", got)
+	}
+	if err := b.SetAttribute("Value", 21); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.GetAttribute("Doubled")
+	if err != nil || got.(int) != 42 {
+		t.Fatalf("Doubled = %v, %v", got, err)
+	}
+	if err := b.SetAttribute("Doubled", 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("set read-only: %v", err)
+	}
+	if _, err := b.GetAttribute("Nope"); !errors.Is(err, ErrNoSuchAttribute) {
+		t.Fatalf("get missing: %v", err)
+	}
+	if err := b.SetAttribute("Nope", 1); !errors.Is(err, ErrNoSuchAttribute) {
+		t.Fatalf("set missing: %v", err)
+	}
+	if d := b.AttributeDescription("Value"); d != "the value" {
+		t.Fatalf("description = %q", d)
+	}
+	if d := b.AttributeDescription("Nope"); d != "" {
+		t.Fatalf("missing description = %q", d)
+	}
+}
+
+func TestBeanOperations(t *testing.T) {
+	b, v := newTestBean("test")
+	*v = 9
+	out, err := b.Invoke("Reset")
+	if err != nil || out.(int) != 9 || *v != 0 {
+		t.Fatalf("Reset = %v, %v, v=%d", out, err, *v)
+	}
+	if _, err := b.Invoke("Nope"); !errors.Is(err, ErrNoSuchOperation) {
+		t.Fatalf("missing op: %v", err)
+	}
+	if got := b.OperationNames(); len(got) != 1 || got[0] != "Reset" {
+		t.Fatalf("OperationNames = %v", got)
+	}
+	if d := b.OperationDescription("Reset"); d == "" {
+		t.Fatal("operation description empty")
+	}
+}
+
+func TestBeanBuilderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil getter": func() { NewBean("x").Attr("A", "", nil) },
+		"dup attr": func() {
+			b := NewBean("x")
+			b.Attr("A", "", func() any { return 1 })
+			b.Attr("A", "", func() any { return 2 })
+		},
+		"nil op": func() { NewBean("x").Op("O", "", nil) },
+		"duplicate op": func() {
+			b := NewBean("x")
+			op := func(...any) (any, error) { return nil, nil }
+			b.Op("O", "", op)
+			b.Op("O", "", op)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestServerRegisterLookup(t *testing.T) {
+	s := NewServer(nil)
+	b, _ := newTestBean("bean A")
+	name := MustObjectName("test:name=A")
+	if err := s.Register(name, b); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsRegistered(name) {
+		t.Fatal("IsRegistered false after register")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	got, err := s.Lookup(name)
+	if err != nil || got != DynamicMBean(b) {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if err := s.Register(name, b); !errors.Is(err, ErrAlreadyRegistered) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if err := s.Unregister(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister(name); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("double unregister: %v", err)
+	}
+}
+
+func TestServerRejectsPatternAndNil(t *testing.T) {
+	s := NewServer(nil)
+	if err := s.Register(MustObjectName("d:*"), NewBean("x")); !errors.Is(err, ErrPatternName) {
+		t.Fatalf("pattern register: %v", err)
+	}
+	if err := s.Register(MustObjectName("d:a=1"), nil); err == nil {
+		t.Fatal("nil bean registered")
+	}
+}
+
+func TestServerDispatch(t *testing.T) {
+	s := NewServer(nil)
+	b, v := newTestBean("bean")
+	name := MustObjectName("test:name=A")
+	if err := s.Register(name, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttribute(name, "Value", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetAttribute(name, "Value"); got.(int) != 5 {
+		t.Fatalf("GetAttribute = %v", got)
+	}
+	if _, err := s.Invoke(name, "Reset"); err != nil {
+		t.Fatal(err)
+	}
+	if *v != 0 {
+		t.Fatal("Invoke did not reach bean")
+	}
+	missing := MustObjectName("test:name=B")
+	if _, err := s.GetAttribute(missing, "Value"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("missing bean get: %v", err)
+	}
+	if err := s.SetAttribute(missing, "Value", 1); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("missing bean set: %v", err)
+	}
+	if _, err := s.Invoke(missing, "Reset"); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("missing bean invoke: %v", err)
+	}
+}
+
+func TestServerQuery(t *testing.T) {
+	s := NewServer(nil)
+	for _, n := range []string{
+		"aging:type=Component,name=A",
+		"aging:type=Component,name=B",
+		"aging:type=Agent,name=Memory",
+		"other:type=Component,name=C",
+	} {
+		if err := s.Register(MustObjectName(n), NewBean(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Query(MustObjectName("aging:type=Component,*"))
+	if len(got) != 2 {
+		t.Fatalf("Query components = %v", got)
+	}
+	if got[0].Get("name") != "A" || got[1].Get("name") != "B" {
+		t.Fatalf("Query order = %v", got)
+	}
+	if all := s.Query(MustObjectName("*:*")); len(all) != 4 {
+		t.Fatalf("Query all = %d", len(all))
+	}
+	if one := s.Query(MustObjectName("aging:type=Agent,name=Memory")); len(one) != 1 {
+		t.Fatalf("exact query = %v", one)
+	}
+}
+
+func TestServerNotifications(t *testing.T) {
+	clock := sim.NewVirtualClock()
+	s := NewServer(clock)
+	var got []Notification
+	id := s.AddListener(func(n Notification) { got = append(got, n) })
+	name := MustObjectName("test:name=A")
+	if err := s.Register(name, NewBean("the bean")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unregister(name); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("notifications = %d, want 2", len(got))
+	}
+	if got[0].Type != NotifRegistered || got[1].Type != NotifUnregistered {
+		t.Fatalf("types = %v, %v", got[0].Type, got[1].Type)
+	}
+	if got[0].Seq >= got[1].Seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+	if !got[0].Time.Equal(sim.Epoch) {
+		t.Fatalf("notification time = %v", got[0].Time)
+	}
+	s.RemoveListener(id)
+	s.Emit(Notification{Type: "custom"})
+	if len(got) != 2 {
+		t.Fatal("removed listener still invoked")
+	}
+}
+
+func TestServerNamesSorted(t *testing.T) {
+	s := NewServer(nil)
+	for _, n := range []string{"d:name=C", "d:name=A", "d:name=B"} {
+		if err := s.Register(MustObjectName(n), NewBean("")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := s.Names()
+	if names[0].Get("name") != "A" || names[2].Get("name") != "C" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestServerConcurrentAccess(t *testing.T) {
+	s := NewServer(nil)
+	var v atomic.Int64
+	b := NewBean("bean").AttrRW("Value", "",
+		func() any { return int(v.Load()) },
+		func(x any) error { v.Store(int64(x.(int))); return nil })
+	name := MustObjectName("test:name=A")
+	if err := s.Register(name, b); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				switch i % 4 {
+				case 0:
+					_ = s.SetAttribute(name, "Value", j)
+				case 1:
+					_, _ = s.GetAttribute(name, "Value")
+				case 2:
+					s.Query(MustObjectName("test:*"))
+				case 3:
+					s.Emit(Notification{Type: "tick"})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

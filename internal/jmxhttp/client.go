@@ -1,0 +1,144 @@
+package jmxhttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a jmxhttp adapter — the reproduction's JMX connector.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the adapter at base (e.g.
+// "http://localhost:9999"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// Notifications polls the adapter's notification buffer for entries with
+// sequence numbers above since. The adapter must have been constructed
+// with NewHandlerWithNotifications.
+func (c *Client) Notifications(since uint64) ([]NotificationWire, error) {
+	var out []NotificationWire
+	err := c.get(fmt.Sprintf("%s/api/notifications?since=%d", c.base, since), &out)
+	return out, err
+}
+
+// Names lists object names matching pattern ("" for all).
+func (c *Client) Names(pattern string) ([]string, error) {
+	var out []string
+	url := c.base + "/api/names"
+	if pattern != "" {
+		url += "?pattern=" + escape(pattern)
+	}
+	if err := c.get(url, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DescribeBean returns an MBean's description, attributes and operations.
+func (c *Client) DescribeBean(name string) (Describe, error) {
+	var out Describe
+	err := c.get(c.base+"/api/describe?name="+escape(name), &out)
+	return out, err
+}
+
+// Get reads one attribute.
+func (c *Client) Get(name, attr string) (any, error) {
+	var out any
+	err := c.get(c.base+"/api/attr?name="+escape(name)+"&attr="+escape(attr), &out)
+	return out, err
+}
+
+// Set writes one attribute.
+func (c *Client) Set(name, attr string, value any) error {
+	body, err := json.Marshal(map[string]any{"name": name, "attr": attr, "value": value})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/api/attr", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var out any
+	return c.do(req, &out)
+}
+
+// Invoke calls an operation.
+func (c *Client) Invoke(name, op string, args ...any) (any, error) {
+	if args == nil {
+		args = []any{}
+	}
+	body, err := json.Marshal(map[string]any{"name": name, "op": op, "args": args})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/api/invoke", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var out any
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) get(url string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var envelope struct {
+		OK    bool            `json:"ok"`
+		Value json.RawMessage `json:"value"`
+		Error string          `json:"error"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return fmt.Errorf("jmxhttp: bad response (%s): %w", resp.Status, err)
+	}
+	if !envelope.OK {
+		return fmt.Errorf("jmxhttp: remote error: %s", envelope.Error)
+	}
+	if out != nil && len(envelope.Value) > 0 {
+		return json.Unmarshal(envelope.Value, out)
+	}
+	return nil
+}
+
+// escape percent-encodes the few characters object names use that are
+// significant in URLs.
+func escape(s string) string {
+	var b bytes.Buffer
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '=', ',', ':', '*', '&', '?', '#', '+', '%', ' ':
+			fmt.Fprintf(&b, "%%%02X", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

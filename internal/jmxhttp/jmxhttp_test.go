@@ -1,0 +1,148 @@
+package jmxhttp
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/jmx"
+)
+
+func newStack(t *testing.T) (*jmx.Server, *Client) {
+	t.Helper()
+	server := jmx.NewServer(nil)
+	var mu sync.Mutex
+	value := 7
+	bean := jmx.NewBean("a test bean").
+		AttrRW("Value", "the value",
+			func() any { mu.Lock(); defer mu.Unlock(); return value },
+			func(v any) error {
+				f, ok := v.(float64) // JSON numbers arrive as float64
+				if !ok {
+					return jmx.ErrReadOnly
+				}
+				mu.Lock()
+				value = int(f)
+				mu.Unlock()
+				return nil
+			}).
+		Op("Echo", "returns its argument", func(args ...any) (any, error) {
+			if len(args) != 1 {
+				return nil, jmx.ErrNoSuchOperation
+			}
+			return args[0], nil
+		})
+	if err := server.Register(jmx.MustObjectName("test:name=A"), bean); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(server))
+	t.Cleanup(ts.Close)
+	return server, NewClient(ts.URL, nil)
+}
+
+func TestNames(t *testing.T) {
+	_, c := newStack(t)
+	names, err := c.Names("")
+	if err != nil || len(names) != 1 || names[0] != "test:name=A" {
+		t.Fatalf("Names = %v, %v", names, err)
+	}
+	names, err = c.Names("test:*")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("pattern Names = %v, %v", names, err)
+	}
+	none, err := c.Names("other:*")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("non-matching Names = %v, %v", none, err)
+	}
+	if _, err := c.Names("%%%bad"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, c := newStack(t)
+	d, err := c.DescribeBean("test:name=A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Description != "a test bean" {
+		t.Fatalf("description = %q", d.Description)
+	}
+	if v, ok := d.Attributes["Value"]; !ok || v.(float64) != 7 {
+		t.Fatalf("attributes = %v", d.Attributes)
+	}
+	if len(d.Operations) != 1 || d.Operations[0] != "Echo" {
+		t.Fatalf("operations = %v", d.Operations)
+	}
+	if _, err := c.DescribeBean("test:name=Ghost"); err == nil {
+		t.Fatal("describe of ghost bean succeeded")
+	}
+}
+
+func TestGetSetAttr(t *testing.T) {
+	_, c := newStack(t)
+	v, err := c.Get("test:name=A", "Value")
+	if err != nil || v.(float64) != 7 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	if err := c.Set("test:name=A", "Value", 42); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = c.Get("test:name=A", "Value")
+	if v.(float64) != 42 {
+		t.Fatalf("after Set, Value = %v", v)
+	}
+	if _, err := c.Get("test:name=A", "Ghost"); err == nil {
+		t.Fatal("Get ghost attr succeeded")
+	}
+	if err := c.Set("test:name=Ghost", "Value", 1); err == nil {
+		t.Fatal("Set on ghost bean succeeded")
+	}
+}
+
+func TestInvoke(t *testing.T) {
+	_, c := newStack(t)
+	out, err := c.Invoke("test:name=A", "Echo", "hello")
+	if err != nil || out.(string) != "hello" {
+		t.Fatalf("Invoke = %v, %v", out, err)
+	}
+	if _, err := c.Invoke("test:name=A", "Ghost"); err == nil {
+		t.Fatal("ghost op succeeded")
+	}
+	if _, err := c.Invoke("test:name=Ghost", "Echo", 1); err == nil {
+		t.Fatal("ghost bean invoke succeeded")
+	}
+	// Remote errors carry the server-side message.
+	_, err = c.Invoke("test:name=A", "Echo")
+	if err == nil || !strings.Contains(err.Error(), "remote error") {
+		t.Fatalf("error shape = %v", err)
+	}
+}
+
+func TestInvokeNoArgs(t *testing.T) {
+	server, _ := newStack(t)
+	counter := 0
+	bean := jmx.NewBean("counter").Op("Tick", "", func(args ...any) (any, error) {
+		counter++
+		return counter, nil
+	})
+	if err := server.Register(jmx.MustObjectName("test:name=B"), bean); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(server))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	if _, err := c.Invoke("test:name=B", "Tick"); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 {
+		t.Fatal("no-arg invoke did not reach bean")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("aging:type=ACProxy,component=tpcw.home"); strings.ContainsAny(got, ":=,") {
+		t.Fatalf("escape left specials: %q", got)
+	}
+}

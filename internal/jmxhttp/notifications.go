@@ -1,0 +1,92 @@
+package jmxhttp
+
+import (
+	"sync"
+
+	"repro/internal/jmx"
+)
+
+// NotificationBuffer retains the most recent notifications of an
+// MBeanServer so remote front-ends can poll them — the reproduction of a
+// JMX connector's notification forwarding. Attach one with
+// NewNotificationBuffer, then serve it through the handler's
+// /api/notifications route by constructing the handler with
+// NewHandlerWithNotifications.
+type NotificationBuffer struct {
+	mu       sync.Mutex
+	capacity int
+	entries  []jmx.Notification
+	detach   func()
+}
+
+// NotificationWire is the JSON form of a notification.
+type NotificationWire struct {
+	Type    string `json:"type"`
+	Source  string `json:"source"`
+	Seq     uint64 `json:"seq"`
+	Time    string `json:"time"`
+	Message string `json:"message"`
+}
+
+// NewNotificationBuffer subscribes to server and retains up to capacity
+// notifications (default 1024). Call Close to detach.
+func NewNotificationBuffer(server *jmx.Server, capacity int) *NotificationBuffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	b := &NotificationBuffer{capacity: capacity}
+	id := server.AddListener(func(n jmx.Notification) {
+		b.mu.Lock()
+		b.entries = append(b.entries, n)
+		if len(b.entries) > b.capacity {
+			b.entries = b.entries[len(b.entries)-b.capacity:]
+		}
+		b.mu.Unlock()
+	})
+	b.detach = func() { server.RemoveListener(id) }
+	return b
+}
+
+// Close detaches the buffer from the server.
+func (b *NotificationBuffer) Close() {
+	if b.detach != nil {
+		b.detach()
+		b.detach = nil
+	}
+}
+
+// Len returns the number of retained notifications.
+func (b *NotificationBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Since returns the retained notifications with Seq strictly greater than
+// seq, oldest first.
+func (b *NotificationBuffer) Since(seq uint64) []jmx.Notification {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []jmx.Notification
+	for _, n := range b.entries {
+		if n.Seq > seq {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// wire converts notifications to their JSON form.
+func wire(ns []jmx.Notification) []NotificationWire {
+	out := make([]NotificationWire, len(ns))
+	for i, n := range ns {
+		out[i] = NotificationWire{
+			Type:    n.Type,
+			Source:  n.Source.String(),
+			Seq:     n.Seq,
+			Time:    n.Time.UTC().Format("2006-01-02T15:04:05.000Z"),
+			Message: n.Message,
+		}
+	}
+	return out
+}

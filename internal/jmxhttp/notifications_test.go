@@ -1,0 +1,94 @@
+package jmxhttp
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/jmx"
+)
+
+func TestNotificationBuffer(t *testing.T) {
+	server := jmx.NewServer(nil)
+	buf := NewNotificationBuffer(server, 3)
+	defer buf.Close()
+	for i := 0; i < 5; i++ {
+		server.Emit(jmx.Notification{Type: "tick"})
+	}
+	if buf.Len() != 3 {
+		t.Fatalf("capacity not enforced: %d", buf.Len())
+	}
+	// Seqs 1..5 emitted; only 3..5 retained.
+	got := buf.Since(0)
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("Since(0) = %+v", got)
+	}
+	if len(buf.Since(4)) != 1 {
+		t.Fatalf("Since(4) = %v", buf.Since(4))
+	}
+	if len(buf.Since(99)) != 0 {
+		t.Fatal("Since beyond head returned entries")
+	}
+}
+
+func TestNotificationBufferClose(t *testing.T) {
+	server := jmx.NewServer(nil)
+	buf := NewNotificationBuffer(server, 0)
+	buf.Close()
+	buf.Close() // idempotent
+	server.Emit(jmx.Notification{Type: "tick"})
+	if buf.Len() != 0 {
+		t.Fatal("closed buffer still recording")
+	}
+}
+
+func TestNotificationsOverHTTP(t *testing.T) {
+	server := jmx.NewServer(nil)
+	buf := NewNotificationBuffer(server, 0)
+	defer buf.Close()
+	ts := httptest.NewServer(NewHandlerWithNotifications(server, buf))
+	defer ts.Close()
+	client := NewClient(ts.URL, nil)
+
+	// Registration events flow into the buffer.
+	if err := server.Register(jmx.MustObjectName("test:name=A"), jmx.NewBean("a")); err != nil {
+		t.Fatal(err)
+	}
+	server.Emit(jmx.Notification{
+		Type:    "aging.suspect",
+		Source:  jmx.MustObjectName("aging:type=Manager"),
+		Message: "top aging suspect: x",
+	})
+
+	ns, err := client.Notifications(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("notifications = %d, want 2", len(ns))
+	}
+	if ns[0].Type != jmx.NotifRegistered || ns[1].Type != "aging.suspect" {
+		t.Fatalf("types = %v, %v", ns[0].Type, ns[1].Type)
+	}
+	if ns[1].Source != "aging:type=Manager" || ns[1].Message == "" {
+		t.Fatalf("wire form = %+v", ns[1])
+	}
+	// Incremental polling.
+	ns2, err := client.Notifications(ns[1].Seq)
+	if err != nil || len(ns2) != 0 {
+		t.Fatalf("incremental poll = %v, %v", ns2, err)
+	}
+	// Bad cursor rejected.
+	if _, err := client.Notifications(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotificationsRouteAbsentWithoutBuffer(t *testing.T) {
+	server := jmx.NewServer(nil)
+	ts := httptest.NewServer(NewHandler(server))
+	defer ts.Close()
+	client := NewClient(ts.URL, nil)
+	if _, err := client.Notifications(0); err == nil {
+		t.Fatal("notifications served without a buffer")
+	}
+}

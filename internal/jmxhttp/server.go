@@ -1,0 +1,198 @@
+// Package jmxhttp is the Remote Management Level of the reproduction's JMX
+// architecture: an HTTP+JSON protocol adapter over an MBeanServer, plus a
+// Go client. The paper's External Front-end talks to the JMX Manager Agent
+// through exactly this kind of connector.
+//
+// Values cross the wire as JSON, so clients observe JSON's type system
+// (numbers arrive as float64, integer attribute values included).
+package jmxhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jmx"
+)
+
+// response is the uniform JSON envelope.
+type response struct {
+	OK    bool   `json:"ok"`
+	Value any    `json:"value,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Describe is the wire form of an MBean's self-description.
+type Describe struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description"`
+	Attributes  map[string]any `json:"attributes"`
+	Operations  []string       `json:"operations"`
+}
+
+// NewHandler adapts server to HTTP. Routes (all JSON):
+//
+//	GET  /api/names?pattern=<objectname-pattern>   -> []string
+//	GET  /api/describe?name=<objectname>           -> Describe
+//	GET  /api/attr?name=<objectname>&attr=<name>   -> value
+//	PUT  /api/attr    {"name","attr","value"}      -> true
+//	POST /api/invoke  {"name","op","args":[...]}   -> result
+func NewHandler(server *jmx.Server) http.Handler {
+	return newHandler(server, nil)
+}
+
+// NewHandlerWithNotifications is NewHandler plus a notification polling
+// route:
+//
+//	GET /api/notifications?since=<seq>  -> []NotificationWire
+//
+// The buffer must be attached to the same server.
+func NewHandlerWithNotifications(server *jmx.Server, buf *NotificationBuffer) http.Handler {
+	return newHandler(server, buf)
+}
+
+func newHandler(server *jmx.Server, buf *NotificationBuffer) http.Handler {
+	mux := http.NewServeMux()
+
+	if buf != nil {
+		mux.HandleFunc("GET /api/notifications", func(w http.ResponseWriter, r *http.Request) {
+			var since uint64
+			if s := r.URL.Query().Get("since"); s != "" {
+				if _, err := fmt.Sscanf(s, "%d", &since); err != nil {
+					writeErr(w, http.StatusBadRequest, err)
+					return
+				}
+			}
+			writeOK(w, wire(buf.Since(since)))
+		})
+	}
+
+	mux.HandleFunc("GET /api/names", func(w http.ResponseWriter, r *http.Request) {
+		pat := r.URL.Query().Get("pattern")
+		if pat == "" {
+			pat = "*:*"
+		}
+		pattern, err := jmx.ParseObjectName(pat)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		names := server.Query(pattern)
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = n.String()
+		}
+		writeOK(w, out)
+	})
+
+	mux.HandleFunc("GET /api/describe", func(w http.ResponseWriter, r *http.Request) {
+		name, bean, err := lookup(server, r.URL.Query().Get("name"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		d := Describe{
+			Name:        name.String(),
+			Description: bean.Description(),
+			Attributes:  make(map[string]any),
+			Operations:  bean.OperationNames(),
+		}
+		for _, a := range bean.AttributeNames() {
+			if v, err := bean.GetAttribute(a); err == nil {
+				d.Attributes[a] = v
+			}
+		}
+		writeOK(w, d)
+	})
+
+	mux.HandleFunc("GET /api/attr", func(w http.ResponseWriter, r *http.Request) {
+		_, bean, err := lookup(server, r.URL.Query().Get("name"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		v, err := bean.GetAttribute(r.URL.Query().Get("attr"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeOK(w, v)
+	})
+
+	mux.HandleFunc("PUT /api/attr", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Name  string `json:"name"`
+			Attr  string `json:"attr"`
+			Value any    `json:"value"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		_, bean, err := lookup(server, body.Name)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if err := bean.SetAttribute(body.Attr, body.Value); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeOK(w, true)
+	})
+
+	mux.HandleFunc("POST /api/invoke", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Name string `json:"name"`
+			Op   string `json:"op"`
+			Args []any  `json:"args"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		_, bean, err := lookup(server, body.Name)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		v, err := bean.Invoke(body.Op, body.Args...)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeOK(w, v)
+	})
+
+	return mux
+}
+
+func lookup(server *jmx.Server, rawName string) (jmx.ObjectName, jmx.DynamicMBean, error) {
+	if rawName == "" {
+		return jmx.ObjectName{}, nil, errors.New("jmxhttp: missing name")
+	}
+	name, err := jmx.ParseObjectName(rawName)
+	if err != nil {
+		return jmx.ObjectName{}, nil, err
+	}
+	bean, err := server.Lookup(name)
+	if err != nil {
+		return jmx.ObjectName{}, nil, err
+	}
+	return name, bean, nil
+}
+
+func writeOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(response{OK: true, Value: v}); err != nil {
+		// The connection failed mid-write; nothing sensible remains.
+		return
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(response{OK: false, Error: fmt.Sprint(err)})
+}

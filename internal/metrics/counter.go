@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotone event counter, safe for concurrent use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (which must be non-negative) to the counter.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative Add on Counter")
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a settable instantaneous value, safe for concurrent use.
+type Gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// RateWindow converts a stream of event timestamps into a rate (events per
+// second) over a sliding window. The throughput curves of Fig. 3 are
+// produced by sampling one of these.
+type RateWindow struct {
+	mu     sync.Mutex
+	window time.Duration
+	events []time.Time
+}
+
+// NewRateWindow creates a sliding window of the given width.
+func NewRateWindow(window time.Duration) *RateWindow {
+	if window <= 0 {
+		panic("metrics: non-positive rate window")
+	}
+	return &RateWindow{window: window}
+}
+
+// Observe records one event at time t. Events must be recorded in
+// non-decreasing time order.
+func (r *RateWindow) Observe(t time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, t)
+	r.trim(t)
+}
+
+// Rate returns events per second over the window ending at now.
+func (r *RateWindow) Rate(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trim(now)
+	return float64(len(r.events)) / r.window.Seconds()
+}
+
+// Count returns the number of events inside the window ending at now.
+func (r *RateWindow) Count(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trim(now)
+	return len(r.events)
+}
+
+func (r *RateWindow) trim(now time.Time) {
+	cut := now.Add(-r.window)
+	i := 0
+	for i < len(r.events) && !r.events[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		r.events = append(r.events[:0], r.events[i:]...)
+	}
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram accumulates observations into fixed buckets and supports
+// quantile estimation by linear interpolation within the winning bucket.
+// It records response-time distributions in the container.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; implicit +Inf bucket at the end
+	counts []int64   // len(bounds)+1
+	total  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. An implicit overflow bucket captures values above the last bound.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// ExponentialBounds returns n bounds starting at start, each factor times
+// the previous — the usual latency bucket layout.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: invalid exponential bounds")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1). Values in the overflow
+// bucket are attributed to the observed maximum. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("metrics: quantile out of [0,1]")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum int64
+	for i, c := range h.counts {
+		if float64(cum+c) >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// String renders a compact textual summary.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.3g", h.total, safeDiv(h.sum, float64(h.total)))
+	if h.total > 0 {
+		fmt.Fprintf(&b, " min=%.3g max=%.3g", h.min, h.max)
+	}
+	return b.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over vs. An empty sample yields the zero
+// Summary.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	var w Welford
+	mn, mx := vs[0], vs[0]
+	for _, v := range vs {
+		w.Add(v)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	var med float64
+	n := len(sorted)
+	if n%2 == 1 {
+		med = sorted[n/2]
+	} else {
+		med = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return Summary{N: n, Mean: w.Mean(), Std: w.Std(), Min: mn, Max: mx, Median: med}
+}
+
+// Welford is a numerically stable online mean/variance accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds v into the accumulator.
+func (w *Welford) Add(v float64) {
+	w.n++
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// LinReg holds an ordinary-least-squares fit y = Intercept + Slope*x.
+type LinReg struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// FitLine fits a least-squares line through (xs[i], ys[i]). It requires at
+// least two points; with fewer it returns a zero fit with N recorded. The
+// manager uses it to estimate per-component memory growth rates, which is
+// also how time-to-exhaustion is extrapolated.
+func FitLine(xs, ys []float64) LinReg {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	out := LinReg{N: n}
+	if n < 2 {
+		return out
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return out
+	}
+	out.Slope = sxy / sxx
+	out.Intercept = my - out.Slope*mx
+	if syy == 0 {
+		out.R2 = 1 // constant y exactly fit by the horizontal line
+	} else {
+		out.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return out
+}
+
+// FitSeries fits a line through a series with x in seconds since the first
+// observation, so Slope is units-per-second.
+func FitSeries(pts []Point) LinReg {
+	if len(pts) == 0 {
+		return LinReg{}
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	t0 := pts[0].T
+	for i, p := range pts {
+		xs[i] = p.T.Sub(t0).Seconds()
+		ys[i] = p.V
+	}
+	return FitLine(xs, ys)
+}

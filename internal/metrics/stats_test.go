@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("Median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	f := func(vs []float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(vs) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, v := range vs {
+			w.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(vs))
+		var ss float64
+		for _, v := range vs {
+			ss += (v - mean) * (v - mean)
+		}
+		direct := ss / float64(len(vs)-1)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-direct) < 1e-4*(1+direct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	fit := FitLine(xs, ys)
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineConstant(t *testing.T) {
+	fit := FitLine([]float64{0, 1, 2}, []float64{5, 5, 5})
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Fatalf("constant fit = %+v", fit)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if fit := FitLine([]float64{1}, []float64{2}); fit.N != 1 || fit.Slope != 0 {
+		t.Fatalf("single-point fit = %+v", fit)
+	}
+	// All x equal: slope undefined, reported as 0.
+	if fit := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); fit.Slope != 0 {
+		t.Fatalf("vertical fit slope = %v", fit.Slope)
+	}
+}
+
+func TestFitSeriesSecondsAxis(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i <= 10; i++ {
+		s.Append(at(i*60), float64(i)*600) // +10 units per second
+	}
+	fit := FitSeries(s.Points())
+	if math.Abs(fit.Slope-10) > 1e-9 {
+		t.Fatalf("slope = %v, want 10/s", fit.Slope)
+	}
+}
+
+func TestFitSeriesEmpty(t *testing.T) {
+	if fit := FitSeries(nil); fit.N != 0 {
+		t.Fatalf("empty FitSeries = %+v", fit)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if mean := h.Mean(); math.Abs(mean-138.875) > 1e-9 {
+		t.Fatalf("Mean = %v", mean)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExponentialBounds(1, 2, 12))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 300 || p50 > 800 {
+		t.Fatalf("p50 = %v, want within bucket of 500", p50)
+	}
+	p0 := h.Quantile(0)
+	if p0 < 0 || p0 > 1 {
+		t.Fatalf("p0 = %v", p0)
+	}
+	if hi := h.Quantile(1); hi < 512 {
+		t.Fatalf("p100 = %v, want >= 512", hi)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no bounds":       func() { NewHistogram(nil) },
+		"unsorted":        func() { NewHistogram([]float64{2, 1}) },
+		"bad quantile":    func() { NewHistogram([]float64{1}).Quantile(2) },
+		"bad exponential": func() { ExponentialBounds(0, 2, 3) },
+		"bad factor":      func() { ExponentialBounds(1, 1, 3) },
+		"bad bound count": func() { ExponentialBounds(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if got := h.String(); got != "n=0 mean=0" {
+		t.Fatalf("empty String = %q", got)
+	}
+	h.Observe(2)
+	if got := h.String(); got == "" {
+		t.Fatal("String empty after observe")
+	}
+}

@@ -1,0 +1,147 @@
+// Package metrics provides the measurement substrate shared by the
+// monitoring agents and the manager: append-only time series, counters,
+// sliding-window rates, histograms, and the summary/trend statistics the
+// root-cause strategies consume (linear regression, Mann-Kendall, Sen's
+// slope).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one observation of a time series.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an append-only time series. It is safe for concurrent use: the
+// real-time container mode samples from worker goroutines while the manager
+// reads snapshots.
+type Series struct {
+	mu   sync.RWMutex
+	name string
+	pts  []Point
+}
+
+// NewSeries returns an empty series with the given name.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records v at time t. Observations must arrive in non-decreasing
+// time order; out-of-order appends panic because they indicate the caller
+// mixed clocks, which would silently corrupt trend estimates.
+func (s *Series) Append(t time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.pts); n > 0 && t.Before(s.pts[n-1].T) {
+		panic(fmt.Sprintf("metrics: out-of-order append to %q: %v before %v",
+			s.name, t, s.pts[n-1].T))
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pts)
+}
+
+// Last returns the most recent observation and whether one exists.
+func (s *Series) Last() (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	return s.pts[len(s.pts)-1], true
+}
+
+// First returns the earliest observation and whether one exists.
+func (s *Series) First() (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	return s.pts[0], true
+}
+
+// Points returns a copy of all observations.
+func (s *Series) Points() []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Point, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Values returns a copy of the observation values in time order.
+func (s *Series) Values() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Between returns a copy of the observations with from <= T < to.
+func (s *Series) Between(from, to time.Time) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := sort.Search(len(s.pts), func(i int) bool { return !s.pts[i].T.Before(from) })
+	hi := sort.Search(len(s.pts), func(i int) bool { return !s.pts[i].T.Before(to) })
+	out := make([]Point, hi-lo)
+	copy(out, s.pts[lo:hi])
+	return out
+}
+
+// At returns the value in effect at time t: the latest observation not
+// after t. It reports false when t precedes the first observation.
+func (s *Series) At(t time.Time) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T.After(t) })
+	if i == 0 {
+		return 0, false
+	}
+	return s.pts[i-1].V, true
+}
+
+// Downsample reduces the series to one point per bucket of width step,
+// keeping the bucket's last value. It is used when rendering figure series
+// so one-hour experiments print at a readable resolution.
+func (s *Series) Downsample(step time.Duration) []Point {
+	if step <= 0 {
+		panic("metrics: non-positive downsample step")
+	}
+	pts := s.Points()
+	if len(pts) == 0 {
+		return nil
+	}
+	var out []Point
+	bucketEnd := pts[0].T.Add(step)
+	cur := pts[0]
+	for _, p := range pts[1:] {
+		if !p.T.Before(bucketEnd) {
+			out = append(out, Point{T: bucketEnd, V: cur.V})
+			for !p.T.Before(bucketEnd) {
+				bucketEnd = bucketEnd.Add(step)
+			}
+		}
+		cur = p
+	}
+	out = append(out, Point{T: bucketEnd, V: cur.V})
+	return out
+}
+
+// Summary computes summary statistics over all values.
+func (s *Series) Summary() Summary { return Summarize(s.Values()) }

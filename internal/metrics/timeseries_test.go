@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+func TestSeriesAppendAndAccess(t *testing.T) {
+	s := NewSeries("mem")
+	if s.Name() != "mem" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series reported ok")
+	}
+	if _, ok := s.First(); ok {
+		t.Fatal("First on empty series reported ok")
+	}
+	for i := 0; i < 5; i++ {
+		s.Append(at(i), float64(i*10))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	first, _ := s.First()
+	last, _ := s.Last()
+	if first.V != 0 || last.V != 40 {
+		t.Fatalf("first=%v last=%v", first.V, last.V)
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(at(10), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	s.Append(at(5), 2)
+}
+
+func TestSeriesSameInstantAllowed(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(at(1), 1)
+	s.Append(at(1), 2)
+	if s.Len() != 2 {
+		t.Fatal("equal-timestamp appends should be allowed")
+	}
+}
+
+func TestSeriesBetween(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Append(at(i), float64(i))
+	}
+	got := s.Between(at(3), at(7))
+	if len(got) != 4 {
+		t.Fatalf("Between returned %d points, want 4", len(got))
+	}
+	if got[0].V != 3 || got[3].V != 6 {
+		t.Fatalf("Between range wrong: %v..%v", got[0].V, got[3].V)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(at(10), 100)
+	s.Append(at(20), 200)
+	if _, ok := s.At(at(5)); ok {
+		t.Fatal("At before first observation reported ok")
+	}
+	if v, _ := s.At(at(10)); v != 100 {
+		t.Fatalf("At(10) = %v", v)
+	}
+	if v, _ := s.At(at(15)); v != 100 {
+		t.Fatalf("At(15) = %v, want value-in-effect 100", v)
+	}
+	if v, _ := s.At(at(25)); v != 200 {
+		t.Fatalf("At(25) = %v", v)
+	}
+}
+
+func TestSeriesValuesIsCopy(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(at(0), 1)
+	vs := s.Values()
+	vs[0] = 99
+	if got := s.Values()[0]; got != 1 {
+		t.Fatalf("Values leaked internal storage: %v", got)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 60; i++ {
+		s.Append(at(i), float64(i))
+	}
+	ds := s.Downsample(10 * time.Second)
+	if len(ds) != 6 {
+		t.Fatalf("downsample buckets = %d, want 6", len(ds))
+	}
+	if ds[0].V != 9 {
+		t.Fatalf("bucket keeps last value; got %v, want 9", ds[0].V)
+	}
+	if ds[5].V != 59 {
+		t.Fatalf("final bucket = %v, want 59", ds[5].V)
+	}
+}
+
+func TestSeriesDownsampleBadStepPanics(t *testing.T) {
+	s := NewSeries("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive step did not panic")
+		}
+	}()
+	s.Downsample(0)
+}
+
+func TestSeriesDownsampleEmpty(t *testing.T) {
+	s := NewSeries("x")
+	if got := s.Downsample(time.Second); got != nil {
+		t.Fatalf("downsample of empty series = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("Gauge = %v", g.Value())
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	r := NewRateWindow(10 * time.Second)
+	for i := 0; i < 20; i++ {
+		r.Observe(at(i))
+	}
+	// At t=19, events in (9,19] are inside the window: t=10..19 -> 10 events.
+	if got := r.Count(at(19)); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if got := r.Rate(at(19)); got != 1.0 {
+		t.Fatalf("Rate = %v, want 1.0", got)
+	}
+	// Much later, the window is empty.
+	if got := r.Rate(at(100)); got != 0 {
+		t.Fatalf("Rate after idle = %v", got)
+	}
+}
+
+func TestRateWindowBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive window did not panic")
+		}
+	}()
+	NewRateWindow(0)
+}

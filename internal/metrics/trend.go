@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// TrendDirection classifies the outcome of a Mann-Kendall test.
+type TrendDirection int
+
+// Trend directions.
+const (
+	TrendNone TrendDirection = iota
+	TrendIncreasing
+	TrendDecreasing
+)
+
+func (d TrendDirection) String() string {
+	switch d {
+	case TrendIncreasing:
+		return "increasing"
+	case TrendDecreasing:
+		return "decreasing"
+	default:
+		return "none"
+	}
+}
+
+// TrendResult is the outcome of a Mann-Kendall monotone trend test plus
+// Sen's slope estimate. The paper's future work calls for "more intelligent
+// decision makers"; the trend-based root-cause strategy is built on this.
+type TrendResult struct {
+	Direction TrendDirection
+	S         int64   // Mann-Kendall S statistic
+	Z         float64 // normal approximation of S
+	P         float64 // two-sided p-value
+	SenSlope  float64 // robust slope estimate, units per x-unit
+}
+
+// MannKendall runs the Mann-Kendall test on ys observed at xs, with
+// significance level alpha (e.g. 0.05). Fewer than 4 observations always
+// yield TrendNone: the normal approximation is meaningless below that.
+func MannKendall(xs, ys []float64, alpha float64) TrendResult {
+	n := len(ys)
+	if len(xs) < n {
+		n = len(xs)
+	}
+	res := TrendResult{}
+	if n < 4 {
+		return res
+	}
+	var s int64
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case ys[j] > ys[i]:
+				s++
+			case ys[j] < ys[i]:
+				s--
+			}
+		}
+	}
+	res.S = s
+
+	// Variance with tie correction.
+	ties := map[float64]int64{}
+	for _, y := range ys[:n] {
+		ties[y]++
+	}
+	varS := float64(n*(n-1)*(2*n+5)) / 18
+	for _, t := range ties {
+		if t > 1 {
+			varS -= float64(t*(t-1)*(2*t+5)) / 18
+		}
+	}
+	if varS <= 0 {
+		return res
+	}
+	switch {
+	case s > 0:
+		res.Z = float64(s-1) / math.Sqrt(varS)
+	case s < 0:
+		res.Z = float64(s+1) / math.Sqrt(varS)
+	}
+	res.P = 2 * (1 - stdNormalCDF(math.Abs(res.Z)))
+	if res.P < alpha {
+		if s > 0 {
+			res.Direction = TrendIncreasing
+		} else {
+			res.Direction = TrendDecreasing
+		}
+	}
+	res.SenSlope = senSlope(xs[:n], ys[:n])
+	return res
+}
+
+// MannKendallSeries applies MannKendall to a series with x in seconds since
+// the first point, so SenSlope is units-per-second.
+func MannKendallSeries(pts []Point, alpha float64) TrendResult {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	if len(pts) > 0 {
+		t0 := pts[0].T
+		for i, p := range pts {
+			xs[i] = p.T.Sub(t0).Seconds()
+			ys[i] = p.V
+		}
+	}
+	return MannKendall(xs, ys, alpha)
+}
+
+// senSlope returns the median of all pairwise slopes.
+func senSlope(xs, ys []float64) float64 {
+	var slopes []float64
+	for i := 0; i < len(ys)-1; i++ {
+		for j := i + 1; j < len(ys); j++ {
+			dx := xs[j] - xs[i]
+			if dx == 0 {
+				continue
+			}
+			slopes = append(slopes, (ys[j]-ys[i])/dx)
+		}
+	}
+	if len(slopes) == 0 {
+		return 0
+	}
+	sort.Float64s(slopes)
+	n := len(slopes)
+	if n%2 == 1 {
+		return slopes[n/2]
+	}
+	return (slopes[n/2-1] + slopes[n/2]) / 2
+}
+
+// stdNormalCDF is Phi(x) via the complementary error function.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

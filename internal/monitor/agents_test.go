@@ -1,0 +1,236 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/jmx"
+	"repro/internal/jvmheap"
+	"repro/internal/objsize"
+)
+
+func TestRegisterAllAndQuery(t *testing.T) {
+	server := jmx.NewServer(nil)
+	heap := jvmheap.New(1<<20, nil)
+	agents := []Agent{
+		NewMemoryAgent(heap),
+		NewObjectSizeAgent(objsize.Transitive),
+		NewCPUAgent(),
+		NewThreadAgent(),
+		NewInvocationAgent(),
+	}
+	if err := RegisterAll(server, agents...); err != nil {
+		t.Fatal(err)
+	}
+	found := server.Query(QueryAllAgents())
+	if len(found) != len(agents) {
+		t.Fatalf("discovered %d agents, want %d", len(found), len(agents))
+	}
+}
+
+func TestRegisterAllRollsBack(t *testing.T) {
+	server := jmx.NewServer(nil)
+	cpu := NewCPUAgent()
+	// Pre-register a conflicting name so the second registration fails.
+	if err := server.Register(AgentName("Thread"), jmx.NewBean("conflict")); err != nil {
+		t.Fatal(err)
+	}
+	err := RegisterAll(server, cpu, NewThreadAgent())
+	if err == nil {
+		t.Fatal("RegisterAll succeeded despite conflict")
+	}
+	if server.IsRegistered(cpu.ObjectName()) {
+		t.Fatal("partial registration not rolled back")
+	}
+}
+
+func TestMemoryAgent(t *testing.T) {
+	heap := jvmheap.New(1000, nil)
+	a := NewMemoryAgent(heap)
+	if a.Heap() != heap {
+		t.Fatal("Heap accessor broken")
+	}
+	if err := heap.Allocate("comp", 200); err != nil {
+		t.Fatal(err)
+	}
+	used, err := a.Bean().GetAttribute("Used")
+	if err != nil || used.(int64) != 200 {
+		t.Fatalf("Used = %v, %v", used, err)
+	}
+	got, err := a.Bean().Invoke("RetainedBy", "comp")
+	if err != nil || got.(int64) != 200 {
+		t.Fatalf("RetainedBy = %v, %v", got, err)
+	}
+	freed, err := a.Bean().Invoke("FreeAll", "comp")
+	if err != nil || freed.(int64) != 200 {
+		t.Fatalf("FreeAll = %v, %v", freed, err)
+	}
+	if _, err := a.Bean().Invoke("RetainedBy"); err == nil {
+		t.Fatal("RetainedBy with no args should fail")
+	}
+	if _, err := a.Bean().Invoke("RetainedBy", 7); err == nil {
+		t.Fatal("RetainedBy with non-string should fail")
+	}
+	if _, err := a.Bean().Invoke("GC"); err != nil {
+		t.Fatal(err)
+	}
+	if cap, _ := a.Bean().GetAttribute("Capacity"); cap.(int64) != 1000 {
+		t.Fatalf("Capacity = %v", cap)
+	}
+}
+
+func TestObjectSizeAgent(t *testing.T) {
+	a := NewObjectSizeAgent(objsize.OneLevel)
+	type comp struct{ leak []byte }
+	c := &comp{leak: make([]byte, 4096)}
+	a.RegisterTarget("tpcw.A", c)
+	n, err := a.Measure("tpcw.A")
+	if err != nil || n < 4096 {
+		t.Fatalf("Measure = %d, %v", n, err)
+	}
+	c.leak = append(c.leak, make([]byte, 4096)...)
+	n2, _ := a.Measure("tpcw.A")
+	if n2 <= n {
+		t.Fatalf("size did not grow: %d -> %d", n, n2)
+	}
+	if _, err := a.Measure("ghost"); err == nil {
+		t.Fatal("Measure of unknown target succeeded")
+	}
+	all := a.MeasureAll()
+	if len(all) != 1 || all["tpcw.A"] != n2 {
+		t.Fatalf("MeasureAll = %v", all)
+	}
+	via, err := a.Bean().Invoke("Measure", "tpcw.A")
+	if err != nil || via.(int64) != n2 {
+		t.Fatalf("bean Measure = %v, %v", via, err)
+	}
+	if pol, _ := a.Bean().GetAttribute("Policy"); pol.(string) != "one-level" {
+		t.Fatalf("Policy = %v", pol)
+	}
+	a.UnregisterTarget("tpcw.A")
+	if len(a.Components()) != 0 {
+		t.Fatal("UnregisterTarget left target behind")
+	}
+}
+
+func TestObjectSizeAgentNilTargetPanics(t *testing.T) {
+	a := NewObjectSizeAgent(objsize.Transitive)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil target did not panic")
+		}
+	}()
+	a.RegisterTarget("x", nil)
+}
+
+func TestCPUAgent(t *testing.T) {
+	a := NewCPUAgent()
+	a.AddTime("A", 100*time.Millisecond)
+	a.AddTime("A", 200*time.Millisecond)
+	a.AddTime("B", 50*time.Millisecond)
+	if got := a.TimeOf("A"); got != 300*time.Millisecond {
+		t.Fatalf("TimeOf(A) = %v", got)
+	}
+	if got := a.Total(); got != 350*time.Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	all := a.All()
+	if len(all) != 2 || all["B"] != 50*time.Millisecond {
+		t.Fatalf("All = %v", all)
+	}
+	sec, err := a.Bean().Invoke("TimeOf", "A")
+	if err != nil || sec.(float64) != 0.3 {
+		t.Fatalf("bean TimeOf = %v, %v", sec, err)
+	}
+	if tot, _ := a.Bean().GetAttribute("TotalSeconds"); tot.(float64) != 0.35 {
+		t.Fatalf("TotalSeconds = %v", tot)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AddTime did not panic")
+		}
+	}()
+	a.AddTime("A", -time.Second)
+}
+
+func TestThreadAgent(t *testing.T) {
+	a := NewThreadAgent()
+	a.ThreadStarted("A")
+	a.ThreadStarted("A")
+	a.ThreadStarted("B")
+	if a.LiveOf("A") != 2 || a.TotalLive() != 3 {
+		t.Fatalf("live A=%d total=%d", a.LiveOf("A"), a.TotalLive())
+	}
+	a.ThreadFinished("A")
+	if a.LiveOf("A") != 1 || a.StartedOf("A") != 2 {
+		t.Fatalf("after finish: live=%d started=%d", a.LiveOf("A"), a.StartedOf("A"))
+	}
+	all := a.All()
+	if all["A"] != 1 || all["B"] != 1 {
+		t.Fatalf("All = %v", all)
+	}
+	n, err := a.Bean().Invoke("LiveOf", "B")
+	if err != nil || n.(int64) != 1 {
+		t.Fatalf("bean LiveOf = %v, %v", n, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced ThreadFinished did not panic")
+		}
+	}()
+	a.ThreadFinished("ghost")
+}
+
+func TestInvocationAgent(t *testing.T) {
+	a := NewInvocationAgent()
+	a.Record("A", 10*time.Millisecond, false)
+	a.Record("A", 20*time.Millisecond, true)
+	a.Record("B", 5*time.Millisecond, false)
+	st := a.StatsOf("A")
+	if st.Count != 2 || st.Failures != 1 || st.TotalDuration != 30*time.Millisecond {
+		t.Fatalf("StatsOf(A) = %+v", st)
+	}
+	if st.MeanDuration() != 15*time.Millisecond {
+		t.Fatalf("MeanDuration = %v", st.MeanDuration())
+	}
+	if (InvocationStats{}).MeanDuration() != 0 {
+		t.Fatal("empty MeanDuration != 0")
+	}
+	if a.Total() != 3 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	comps := a.Components()
+	if len(comps) != 2 || comps[0] != "A" || comps[1] != "B" {
+		t.Fatalf("Components = %v", comps)
+	}
+	if ghost := a.StatsOf("ghost"); ghost.Count != 0 {
+		t.Fatalf("ghost stats = %+v", ghost)
+	}
+	n, err := a.Bean().Invoke("CountOf", "A")
+	if err != nil || n.(int64) != 2 {
+		t.Fatalf("bean CountOf = %v, %v", n, err)
+	}
+	allAny, err := a.Bean().Invoke("All")
+	if err != nil || allAny.(map[string]int64)["B"] != 1 {
+		t.Fatalf("bean All = %v, %v", allAny, err)
+	}
+}
+
+func TestAgentNames(t *testing.T) {
+	if got := AgentName("Memory").String(); got != "monitoring:agent=Memory" {
+		t.Fatalf("AgentName = %q", got)
+	}
+	if !QueryAllAgents().Matches(AgentName("CPU")) {
+		t.Fatal("QueryAllAgents does not match agent names")
+	}
+}
+
+func TestInvocationErrorArgs(t *testing.T) {
+	a := NewInvocationAgent()
+	if _, err := a.Bean().Invoke("CountOf"); err == nil {
+		t.Fatal("CountOf without args should fail")
+	}
+	if _, err := a.Bean().Invoke("CountOf", 3); err == nil {
+		t.Fatal("CountOf with int should fail")
+	}
+}

@@ -1,0 +1,87 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/jmx"
+)
+
+// CPUAgent accumulates per-component CPU time. In the simulation the
+// container charges each request's modelled service time to the component
+// that executed it; a CPU-hogging aging bug therefore shows up as one
+// component's share growing without a matching workload change — the CPU
+// analogue of the paper's future-work direction.
+type CPUAgent struct {
+	bean *jmx.Bean
+
+	mu    sync.RWMutex
+	times map[string]time.Duration
+	total time.Duration
+}
+
+// NewCPUAgent creates an empty CPU accounting agent.
+func NewCPUAgent() *CPUAgent {
+	a := &CPUAgent{times: make(map[string]time.Duration)}
+	a.bean = jmx.NewBean("per-component CPU time monitoring agent").
+		Attr("TotalSeconds", "CPU seconds charged across all components", func() any {
+			return a.Total().Seconds()
+		}).
+		Op("TimeOf", "CPU seconds charged to the named component", func(args ...any) (any, error) {
+			name, err := oneStringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return a.TimeOf(name).Seconds(), nil
+		}).
+		Op("All", "CPU seconds per component", func(...any) (any, error) {
+			out := make(map[string]float64)
+			for c, d := range a.All() {
+				out[c] = d.Seconds()
+			}
+			return out, nil
+		})
+	return a
+}
+
+// AddTime charges d of CPU time to component.
+func (a *CPUAgent) AddTime(component string, d time.Duration) {
+	if d < 0 {
+		panic("monitor: negative CPU time")
+	}
+	a.mu.Lock()
+	a.times[component] += d
+	a.total += d
+	a.mu.Unlock()
+}
+
+// TimeOf returns the CPU time charged to component.
+func (a *CPUAgent) TimeOf(component string) time.Duration {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.times[component]
+}
+
+// Total returns the CPU time charged across all components.
+func (a *CPUAgent) Total() time.Duration {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.total
+}
+
+// All returns a copy of the per-component CPU times.
+func (a *CPUAgent) All() map[string]time.Duration {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[string]time.Duration, len(a.times))
+	for c, d := range a.times {
+		out[c] = d
+	}
+	return out
+}
+
+// ObjectName implements Agent.
+func (a *CPUAgent) ObjectName() jmx.ObjectName { return AgentName("CPU") }
+
+// Bean implements Agent.
+func (a *CPUAgent) Bean() *jmx.Bean { return a.bean }

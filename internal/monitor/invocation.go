@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/jmx"
+)
+
+// InvocationStats aggregates the executions of one component.
+type InvocationStats struct {
+	Count         int64
+	Failures      int64
+	TotalDuration time.Duration
+}
+
+// MeanDuration returns the mean execution time (0 when never invoked).
+func (s InvocationStats) MeanDuration() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalDuration / time.Duration(s.Count)
+}
+
+// InvocationAgent counts component executions and their outcomes. Its
+// counters are the usage-frequency axis of the paper's resource-consumption
+// × usage map, and its failure counts feed the Pinpoint-style baseline.
+type InvocationAgent struct {
+	bean *jmx.Bean
+
+	mu    sync.RWMutex
+	stats map[string]*InvocationStats
+}
+
+// NewInvocationAgent creates an empty invocation accounting agent.
+func NewInvocationAgent() *InvocationAgent {
+	a := &InvocationAgent{stats: make(map[string]*InvocationStats)}
+	a.bean = jmx.NewBean("per-component invocation monitoring agent").
+		Attr("Total", "executions across all components", func() any { return a.Total() }).
+		Attr("Components", "component names seen so far", func() any { return a.Components() }).
+		Op("CountOf", "executions of the named component", func(args ...any) (any, error) {
+			name, err := oneStringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return a.StatsOf(name).Count, nil
+		}).
+		Op("All", "execution counts per component", func(...any) (any, error) {
+			out := make(map[string]int64)
+			for c, st := range a.All() {
+				out[c] = st.Count
+			}
+			return out, nil
+		})
+	return a
+}
+
+// Record notes one execution of component taking d, failed or not.
+func (a *InvocationAgent) Record(component string, d time.Duration, failed bool) {
+	a.mu.Lock()
+	st, ok := a.stats[component]
+	if !ok {
+		st = &InvocationStats{}
+		a.stats[component] = st
+	}
+	st.Count++
+	if failed {
+		st.Failures++
+	}
+	st.TotalDuration += d
+	a.mu.Unlock()
+}
+
+// StatsOf returns a copy of the stats of component.
+func (a *InvocationAgent) StatsOf(component string) InvocationStats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if st, ok := a.stats[component]; ok {
+		return *st
+	}
+	return InvocationStats{}
+}
+
+// Total returns the execution count across all components.
+func (a *InvocationAgent) Total() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var n int64
+	for _, st := range a.stats {
+		n += st.Count
+	}
+	return n
+}
+
+// Components lists component names seen so far, sorted.
+func (a *InvocationAgent) Components() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.stats))
+	for c := range a.stats {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns a copy of the per-component stats.
+func (a *InvocationAgent) All() map[string]InvocationStats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[string]InvocationStats, len(a.stats))
+	for c, st := range a.stats {
+		out[c] = *st
+	}
+	return out
+}
+
+// ObjectName implements Agent.
+func (a *InvocationAgent) ObjectName() jmx.ObjectName { return AgentName("Invocation") }
+
+// Bean implements Agent.
+func (a *InvocationAgent) Bean() *jmx.Bean { return a.bean }

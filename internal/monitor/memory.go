@@ -1,0 +1,66 @@
+package monitor
+
+import (
+	"errors"
+
+	"repro/internal/jmx"
+	"repro/internal/jvmheap"
+)
+
+// MemoryAgent exposes the JVM heap as a monitoring agent. ACs query it
+// before and after component executions to learn memory deltas, and the
+// manager samples it for the global utilisation series.
+type MemoryAgent struct {
+	heap *jvmheap.Heap
+	bean *jmx.Bean
+}
+
+// NewMemoryAgent wraps heap.
+func NewMemoryAgent(heap *jvmheap.Heap) *MemoryAgent {
+	a := &MemoryAgent{heap: heap}
+	a.bean = jmx.NewBean("JVM heap monitoring agent").
+		Attr("Capacity", "heap capacity in bytes", func() any { return heap.Stats().Capacity }).
+		Attr("Used", "bytes in use (retained+transient)", func() any { return heap.Stats().Used }).
+		Attr("Retained", "live bytes charged to owners", func() any { return heap.Stats().Retained }).
+		Attr("Transient", "garbage awaiting collection", func() any { return heap.Stats().Transient }).
+		Attr("Utilization", "fraction of capacity in use", func() any { return heap.Stats().Utilization }).
+		Attr("GCCount", "number of collections so far", func() any { return heap.Stats().GCCount }).
+		Op("GC", "force a garbage collection", func(...any) (any, error) {
+			return heap.GC(), nil
+		}).
+		Op("RetainedBy", "retained bytes charged to the named owner", func(args ...any) (any, error) {
+			owner, err := oneStringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return heap.RetainedBy(owner), nil
+		}).
+		Op("FreeAll", "release every byte retained by the named owner (micro-reboot)", func(args ...any) (any, error) {
+			owner, err := oneStringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return heap.FreeAll(owner), nil
+		})
+	return a
+}
+
+// Heap returns the wrapped heap.
+func (a *MemoryAgent) Heap() *jvmheap.Heap { return a.heap }
+
+// ObjectName implements Agent.
+func (a *MemoryAgent) ObjectName() jmx.ObjectName { return AgentName("Memory") }
+
+// Bean implements Agent.
+func (a *MemoryAgent) Bean() *jmx.Bean { return a.bean }
+
+func oneStringArg(args []any) (string, error) {
+	if len(args) != 1 {
+		return "", errors.New("monitor: want exactly one argument")
+	}
+	s, ok := args[0].(string)
+	if !ok {
+		return "", errors.New("monitor: want a string argument")
+	}
+	return s, nil
+}

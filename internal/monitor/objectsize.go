@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/jmx"
+	"repro/internal/objsize"
+)
+
+// ObjectSizeAgent measures the retained size of registered component
+// objects — the reproduction of the paper's agent that "allows us to know
+// the real size of a Java Object". Components register their live object;
+// the agent measures it on demand with the configured depth policy.
+type ObjectSizeAgent struct {
+	sizer *objsize.Sizer
+	bean  *jmx.Bean
+
+	mu      sync.RWMutex
+	targets map[string]any
+}
+
+// NewObjectSizeAgent creates an agent measuring with the given policy.
+func NewObjectSizeAgent(policy objsize.Policy) *ObjectSizeAgent {
+	a := &ObjectSizeAgent{
+		sizer:   objsize.New(policy),
+		targets: make(map[string]any),
+	}
+	a.bean = jmx.NewBean("component object size monitoring agent").
+		Attr("Policy", "reference-following policy", func() any { return policy.String() }).
+		Attr("Targets", "registered component names", func() any { return a.Components() }).
+		Op("Measure", "retained size of the named component in bytes", func(args ...any) (any, error) {
+			name, err := oneStringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return a.Measure(name)
+		}).
+		Op("MeasureAll", "retained size of every registered component", func(...any) (any, error) {
+			return a.MeasureAll(), nil
+		})
+	return a
+}
+
+// RegisterTarget makes the live object of component measurable. Passing a
+// pointer to the component's state is the caller's responsibility; the
+// agent never copies it.
+func (a *ObjectSizeAgent) RegisterTarget(component string, target any) {
+	if target == nil {
+		panic("monitor: nil object-size target")
+	}
+	a.mu.Lock()
+	a.targets[component] = target
+	a.mu.Unlock()
+}
+
+// UnregisterTarget removes a component's target.
+func (a *ObjectSizeAgent) UnregisterTarget(component string) {
+	a.mu.Lock()
+	delete(a.targets, component)
+	a.mu.Unlock()
+}
+
+// Components lists registered component names, sorted.
+func (a *ObjectSizeAgent) Components() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.targets))
+	for c := range a.targets {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Measure returns the current retained size of the named component.
+func (a *ObjectSizeAgent) Measure(component string) (int64, error) {
+	a.mu.RLock()
+	target, ok := a.targets[component]
+	a.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("monitor: no size target for component %q", component)
+	}
+	return a.sizer.Of(target), nil
+}
+
+// MeasureAll measures every registered component.
+func (a *ObjectSizeAgent) MeasureAll() map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range a.Components() {
+		if n, err := a.Measure(c); err == nil {
+			out[c] = n
+		}
+	}
+	return out
+}
+
+// ObjectName implements Agent.
+func (a *ObjectSizeAgent) ObjectName() jmx.ObjectName { return AgentName("ObjectSize") }
+
+// Bean implements Agent.
+func (a *ObjectSizeAgent) Bean() *jmx.Bean { return a.bean }

@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"sync"
+
+	"repro/internal/jmx"
+)
+
+// ThreadAgent tracks live threads per component. Unterminated threads are
+// one of the classic aging vectors the paper lists; a thread-leaking
+// component shows a monotonically growing live count here while healthy
+// components return to their baseline after each request.
+type ThreadAgent struct {
+	bean *jmx.Bean
+
+	mu      sync.RWMutex
+	live    map[string]int64
+	started map[string]int64
+	total   int64
+}
+
+// NewThreadAgent creates an empty thread accounting agent.
+func NewThreadAgent() *ThreadAgent {
+	a := &ThreadAgent{live: make(map[string]int64), started: make(map[string]int64)}
+	a.bean = jmx.NewBean("per-component live thread monitoring agent").
+		Attr("TotalLive", "live threads across all components", func() any { return a.TotalLive() }).
+		Op("LiveOf", "live threads owned by the named component", func(args ...any) (any, error) {
+			name, err := oneStringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return a.LiveOf(name), nil
+		}).
+		Op("All", "live threads per component", func(...any) (any, error) {
+			return a.All(), nil
+		})
+	return a
+}
+
+// ThreadStarted records component starting a thread.
+func (a *ThreadAgent) ThreadStarted(component string) {
+	a.mu.Lock()
+	a.live[component]++
+	a.started[component]++
+	a.total++
+	a.mu.Unlock()
+}
+
+// ThreadFinished records a thread of component terminating. Finishing more
+// threads than were started panics: it means the instrumentation is
+// miscounting, which must not be papered over.
+func (a *ThreadAgent) ThreadFinished(component string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.live[component] == 0 {
+		panic("monitor: ThreadFinished without matching ThreadStarted for " + component)
+	}
+	a.live[component]--
+	a.total--
+	if a.live[component] == 0 {
+		delete(a.live, component)
+	}
+}
+
+// LiveOf returns the live thread count of component.
+func (a *ThreadAgent) LiveOf(component string) int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.live[component]
+}
+
+// StartedOf returns how many threads component has ever started.
+func (a *ThreadAgent) StartedOf(component string) int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.started[component]
+}
+
+// TotalLive returns the live thread count across all components.
+func (a *ThreadAgent) TotalLive() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.total
+}
+
+// All returns a copy of the per-component live counts.
+func (a *ThreadAgent) All() map[string]int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[string]int64, len(a.live))
+	for c, n := range a.live {
+		out[c] = n
+	}
+	return out
+}
+
+// ObjectName implements Agent.
+func (a *ThreadAgent) ObjectName() jmx.ObjectName { return AgentName("Thread") }
+
+// Bean implements Agent.
+func (a *ThreadAgent) Bean() *jmx.Bean { return a.bean }

@@ -1,0 +1,48 @@
+package rootcause
+
+// Evaluation quantifies how well a ranking localises a known set of
+// faulty components — the scoring used when comparing determination
+// strategies against each other and against baselines.
+type Evaluation struct {
+	Strategy string
+	// TopHit reports whether rank 1 is a truly faulty component.
+	TopHit bool
+	// ReciprocalRank is 1/rank of the first faulty component (0 when
+	// none is ranked).
+	ReciprocalRank float64
+	// PrecisionAtK is the fraction of the top-K entries that are truly
+	// faulty, with K = min(k, len(truth)).
+	PrecisionAtK float64
+	// K is the cutoff actually used.
+	K int
+}
+
+// Evaluate scores ranking against the ground-truth faulty set.
+func Evaluate(r Ranking, truth []string, k int) Evaluation {
+	isFaulty := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		isFaulty[t] = true
+	}
+	if k <= 0 || k > len(truth) {
+		k = len(truth)
+	}
+	ev := Evaluation{Strategy: r.Strategy, K: k}
+	hits := 0
+	for i, e := range r.Entries {
+		if isFaulty[e.Name] {
+			if ev.ReciprocalRank == 0 {
+				ev.ReciprocalRank = 1 / float64(i+1)
+			}
+			if i < k {
+				hits++
+			}
+		}
+	}
+	if len(r.Entries) > 0 && isFaulty[r.Entries[0].Name] {
+		ev.TopHit = true
+	}
+	if k > 0 {
+		ev.PrecisionAtK = float64(hits) / float64(k)
+	}
+	return ev
+}

@@ -1,0 +1,81 @@
+package rootcause
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func rankingOf(names ...string) Ranking {
+	r := Ranking{Strategy: "test"}
+	for i, n := range names {
+		r.Entries = append(r.Entries, Ranked{Name: n, Score: float64(len(names) - i)})
+	}
+	return r
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	r := rankingOf("A", "B", "C", "D")
+	ev := Evaluate(r, []string{"A", "B"}, 2)
+	if !ev.TopHit || ev.ReciprocalRank != 1 || ev.PrecisionAtK != 1 || ev.K != 2 {
+		t.Fatalf("perfect evaluation = %+v", ev)
+	}
+}
+
+func TestEvaluateMisses(t *testing.T) {
+	r := rankingOf("X", "Y", "A")
+	ev := Evaluate(r, []string{"A"}, 1)
+	if ev.TopHit {
+		t.Fatal("TopHit on miss")
+	}
+	if ev.ReciprocalRank != 1.0/3 {
+		t.Fatalf("RR = %v", ev.ReciprocalRank)
+	}
+	if ev.PrecisionAtK != 0 {
+		t.Fatalf("P@1 = %v", ev.PrecisionAtK)
+	}
+}
+
+func TestEvaluateAbsent(t *testing.T) {
+	r := rankingOf("X", "Y")
+	ev := Evaluate(r, []string{"A"}, 1)
+	if ev.ReciprocalRank != 0 || ev.TopHit {
+		t.Fatalf("absent = %+v", ev)
+	}
+}
+
+func TestEvaluateKClamped(t *testing.T) {
+	r := rankingOf("A", "B")
+	ev := Evaluate(r, []string{"A"}, 99)
+	if ev.K != 1 {
+		t.Fatalf("K = %d, want clamp to |truth|", ev.K)
+	}
+	ev = Evaluate(r, []string{"A"}, 0)
+	if ev.K != 1 {
+		t.Fatalf("K=0 not defaulted: %d", ev.K)
+	}
+}
+
+func TestEvaluateEmptyRanking(t *testing.T) {
+	ev := Evaluate(Ranking{}, []string{"A"}, 1)
+	if ev.TopHit || ev.ReciprocalRank != 0 || ev.PrecisionAtK != 0 {
+		t.Fatalf("empty = %+v", ev)
+	}
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	// Property: metrics stay in [0,1].
+	f := func(order []uint8, truthSel uint8) bool {
+		names := []string{"A", "B", "C", "D", "E"}
+		r := Ranking{}
+		for _, o := range order {
+			r.Entries = append(r.Entries, Ranked{Name: names[int(o)%5]})
+		}
+		truth := []string{names[int(truthSel)%5]}
+		ev := Evaluate(r, truth, 3)
+		return ev.ReciprocalRank >= 0 && ev.ReciprocalRank <= 1 &&
+			ev.PrecisionAtK >= 0 && ev.PrecisionAtK <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package rootcause
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/aspect"
+)
+
+// Trace is one request's component path and outcome — the input unit of
+// the Pinpoint-style baseline (Chen et al., NSDI'04), which correlates
+// components with failed requests.
+type Trace struct {
+	Components []string
+	Failed     bool
+}
+
+// TraceCollector is an aspect that reconstructs per-request traces from
+// join points: a depth-0 execution opens a trace, nested executions with
+// the same flow key join it, and the depth-0 completion closes it. It is
+// safe for concurrent use.
+type TraceCollector struct {
+	capacity int
+
+	mu   sync.Mutex
+	open map[any][]string
+	done []Trace
+}
+
+// NewTraceCollector creates a collector retaining up to capacity completed
+// traces (oldest evicted first; default 100000).
+func NewTraceCollector(capacity int) *TraceCollector {
+	if capacity <= 0 {
+		capacity = 100000
+	}
+	return &TraceCollector{
+		capacity: capacity,
+		open:     make(map[any][]string),
+	}
+}
+
+// Aspect returns the collecting advice. Register it with the weaver; the
+// pointcut spans every component so DAO executions join their request's
+// trace.
+func (tc *TraceCollector) Aspect() *aspect.Aspect {
+	return &aspect.Aspect{
+		Name:     "rootcause.pinpoint.collector",
+		Order:    -100, // outermost: sees the execution even if advice below fails it
+		Pointcut: aspect.MustPointcut("within(*)"),
+		Before: func(jp *aspect.JoinPoint) {
+			key := jp.Key()
+			if key == nil {
+				return
+			}
+			tc.mu.Lock()
+			defer tc.mu.Unlock()
+			if jp.Depth == 0 {
+				tc.open[key] = []string{jp.Component}
+				return
+			}
+			if path, ok := tc.open[key]; ok {
+				tc.open[key] = append(path, jp.Component)
+			}
+		},
+		After: func(jp *aspect.JoinPoint) {
+			if jp.Depth != 0 {
+				return
+			}
+			key := jp.Key()
+			if key == nil {
+				return
+			}
+			tc.mu.Lock()
+			defer tc.mu.Unlock()
+			path, ok := tc.open[key]
+			if !ok {
+				return
+			}
+			delete(tc.open, key)
+			tc.done = append(tc.done, Trace{Components: dedupe(path), Failed: jp.Err != nil})
+			if len(tc.done) > tc.capacity {
+				tc.done = tc.done[len(tc.done)-tc.capacity:]
+			}
+		},
+	}
+}
+
+func dedupe(path []string) []string {
+	seen := make(map[string]bool, len(path))
+	out := path[:0]
+	for _, c := range path {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Len returns the number of completed traces held.
+func (tc *TraceCollector) Len() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.done)
+}
+
+// Traces returns a copy of the completed traces.
+func (tc *TraceCollector) Traces() []Trace {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make([]Trace, len(tc.done))
+	copy(out, tc.done)
+	return out
+}
+
+// Reset drops all completed traces.
+func (tc *TraceCollector) Reset() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.done = nil
+}
+
+// Pinpoint scores components by how strongly their presence correlates
+// with failed requests, using the Jaccard similarity between "traces
+// containing the component" and "failed traces" — the simplified data
+// clustering of the Pinpoint project. Its known blind spot, which the
+// paper's related work calls out and experiment E9 demonstrates, is that
+// components always used together receive identical scores.
+type Pinpoint struct{}
+
+// Name identifies the analyzer.
+func (Pinpoint) Name() string { return "pinpoint" }
+
+// Analyze ranks components from traces.
+func (Pinpoint) Analyze(traces []Trace) Ranking {
+	type sets struct {
+		with       int // traces containing the component
+		withFailed int // failed traces containing the component
+	}
+	byComp := make(map[string]*sets)
+	failed := 0
+	for _, tr := range traces {
+		if tr.Failed {
+			failed++
+		}
+		for _, c := range tr.Components {
+			s, ok := byComp[c]
+			if !ok {
+				s = &sets{}
+				byComp[c] = s
+			}
+			s.with++
+			if tr.Failed {
+				s.withFailed++
+			}
+		}
+	}
+	out := Ranking{Resource: "failures", Strategy: Pinpoint{}.Name()}
+	names := make([]string, 0, len(byComp))
+	for c := range byComp {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		s := byComp[c]
+		union := s.with + failed - s.withFailed
+		var score float64
+		if union > 0 {
+			score = float64(s.withFailed) / float64(union)
+		}
+		out.Entries = append(out.Entries, Ranked{Name: c, Score: score})
+	}
+	sortRanked(out.Entries)
+	return out
+}

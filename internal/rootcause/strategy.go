@@ -1,0 +1,260 @@
+// Package rootcause implements the determination strategies that decide
+// which component is responsible for observed software aging.
+//
+// The primary strategy is the paper's resource-consumption × usage-
+// frequency map (Figs. 2 and 6): a component is more aging-suspicious the
+// more resource it has accumulated and the more it is used. The package
+// also provides the trend-based ranking the paper names as future work
+// ("more intelligent decision makers"), a Pinpoint-style failure-
+// correlation baseline from the related-work discussion, and a black-box
+// baseline representing system-level monitors that cannot localise at all.
+package rootcause
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// ComponentData is the per-component evidence a strategy ranks on,
+// produced by the manager agent.
+type ComponentData struct {
+	// Name is the component name.
+	Name string
+	// Consumption is the accumulated resource consumption attributable
+	// to the component (bytes for memory, seconds for CPU, count for
+	// threads), net of its baseline.
+	Consumption float64
+	// Usage is the component's invocation count.
+	Usage int64
+	// Series is the consumption time series (for trend strategies).
+	Series []metrics.Point
+}
+
+// Zone places a component on the paper's Fig. 2 map. The paper's most
+// suspicious region is high consumption combined with high usage.
+type Zone int
+
+// Map zones.
+const (
+	ZoneQuiet       Zone = iota // low consumption, low usage
+	ZoneHighUsage               // low consumption, high usage
+	ZoneHighConsume             // high consumption, low usage
+	ZoneSuspect                 // high consumption, high usage
+)
+
+func (z Zone) String() string {
+	switch z {
+	case ZoneQuiet:
+		return "quiet"
+	case ZoneHighUsage:
+		return "high-usage"
+	case ZoneHighConsume:
+		return "high-consumption"
+	case ZoneSuspect:
+		return "suspect"
+	default:
+		return "unknown"
+	}
+}
+
+// Ranked is one component's position in a ranking.
+type Ranked struct {
+	Name  string
+	Score float64
+	Zone  Zone
+	// NormConsumption and NormUsage are the map coordinates in [0,1].
+	NormConsumption float64
+	NormUsage       float64
+	// Trend is filled by the trend strategy.
+	Trend metrics.TrendResult
+}
+
+// Ranking is a strategy's verdict, most suspicious first.
+type Ranking struct {
+	Resource string
+	Strategy string
+	Entries  []Ranked
+}
+
+// Top returns the most suspicious component.
+func (r Ranking) Top() (Ranked, bool) {
+	if len(r.Entries) == 0 {
+		return Ranked{}, false
+	}
+	return r.Entries[0], true
+}
+
+// Position returns the 1-based rank of a component (0 when absent).
+func (r Ranking) Position(name string) int {
+	for i, e := range r.Entries {
+		if e.Name == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// String renders the ranking as a table.
+func (r Ranking) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranking[%s/%s]\n", r.Strategy, r.Resource)
+	for i, e := range r.Entries {
+		fmt.Fprintf(&b, "%2d. %-28s score=%8.4f zone=%-16s consumption=%.2f usage=%.2f\n",
+			i+1, e.Name, e.Score, e.Zone, e.NormConsumption, e.NormUsage)
+	}
+	return b.String()
+}
+
+// Strategy ranks components by aging suspiciousness.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Rank orders the components, most suspicious first.
+	Rank(resource string, data []ComponentData) Ranking
+}
+
+// PaperMap is the paper's determination mechanism: normalise accumulated
+// consumption and usage against the worst offender, split each axis at
+// Threshold into the four Fig. 2 zones, and score components by
+// consumption weighted with usage. The paper calls the mechanism "very
+// simplistic" — this implementation keeps that spirit.
+type PaperMap struct {
+	// Threshold splits each normalised axis into low/high (default 0.5).
+	Threshold float64
+}
+
+// Name implements Strategy.
+func (PaperMap) Name() string { return "paper-map" }
+
+// Rank implements Strategy.
+func (s PaperMap) Rank(resource string, data []ComponentData) Ranking {
+	thr := s.Threshold
+	if thr <= 0 || thr >= 1 {
+		thr = 0.5
+	}
+	var maxC float64
+	var maxU int64
+	for _, d := range data {
+		if d.Consumption > maxC {
+			maxC = d.Consumption
+		}
+		if d.Usage > maxU {
+			maxU = d.Usage
+		}
+	}
+	out := Ranking{Resource: resource, Strategy: s.Name()}
+	for _, d := range data {
+		e := Ranked{Name: d.Name}
+		if maxC > 0 {
+			e.NormConsumption = d.Consumption / maxC
+		}
+		if maxU > 0 {
+			e.NormUsage = float64(d.Usage) / float64(maxU)
+		}
+		switch {
+		case e.NormConsumption >= thr && e.NormUsage >= thr:
+			e.Zone = ZoneSuspect
+		case e.NormConsumption >= thr:
+			e.Zone = ZoneHighConsume
+		case e.NormUsage >= thr:
+			e.Zone = ZoneHighUsage
+		default:
+			e.Zone = ZoneQuiet
+		}
+		// Accumulated consumption dominates; usage amplifies, so of two
+		// equal consumers the busier one ranks higher — the paper's
+		// "consumption and usage frequency is high" rule.
+		e.Score = e.NormConsumption * (0.6 + 0.4*e.NormUsage)
+		out.Entries = append(out.Entries, e)
+	}
+	sortRanked(out.Entries)
+	return out
+}
+
+// Trend ranks by the robust growth rate of each component's consumption
+// series, gated by a Mann-Kendall monotone-trend test: components without
+// a statistically significant increasing trend score zero no matter how
+// large their static footprint. This is the "more intelligent decision
+// maker" of the paper's future work.
+type Trend struct {
+	// Alpha is the Mann-Kendall significance level (default 0.05).
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (Trend) Name() string { return "trend" }
+
+// Rank implements Strategy.
+func (s Trend) Rank(resource string, data []ComponentData) Ranking {
+	alpha := s.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	out := Ranking{Resource: resource, Strategy: s.Name()}
+	var maxU int64
+	for _, d := range data {
+		if d.Usage > maxU {
+			maxU = d.Usage
+		}
+	}
+	for _, d := range data {
+		e := Ranked{Name: d.Name}
+		if maxU > 0 {
+			e.NormUsage = float64(d.Usage) / float64(maxU)
+		}
+		e.Trend = metrics.MannKendallSeries(d.Series, alpha)
+		if e.Trend.Direction == metrics.TrendIncreasing && e.Trend.SenSlope > 0 {
+			e.Score = e.Trend.SenSlope
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	sortRanked(out.Entries)
+	// Zones still come from the map geometry for display purposes.
+	var maxC float64
+	for _, d := range data {
+		if d.Consumption > maxC {
+			maxC = d.Consumption
+		}
+	}
+	for i := range out.Entries {
+		for _, d := range data {
+			if d.Name == out.Entries[i].Name && maxC > 0 {
+				out.Entries[i].NormConsumption = d.Consumption / maxC
+			}
+		}
+	}
+	return out
+}
+
+// BlackBox represents the Ganglia/Nagios class of monitors the paper's
+// related work discusses: they see the aggregate resource exhaustion but
+// have no per-component signal, so every component ties. Its value is as
+// an accuracy floor in strategy comparisons.
+type BlackBox struct{}
+
+// Name implements Strategy.
+func (BlackBox) Name() string { return "black-box" }
+
+// Rank implements Strategy.
+func (BlackBox) Rank(resource string, data []ComponentData) Ranking {
+	out := Ranking{Resource: resource, Strategy: BlackBox{}.Name()}
+	for _, d := range data {
+		out.Entries = append(out.Entries, Ranked{Name: d.Name, Score: 1})
+	}
+	sortRanked(out.Entries)
+	return out
+}
+
+// sortRanked orders by descending score, breaking ties by name so
+// rankings are deterministic.
+func sortRanked(es []Ranked) {
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Score != es[j].Score {
+			return es[i].Score > es[j].Score
+		}
+		return es[i].Name < es[j].Name
+	})
+}

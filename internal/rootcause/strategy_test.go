@@ -1,0 +1,313 @@
+package rootcause
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/metrics"
+)
+
+var epoch = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func growthSeries(perSecond float64, n int) []metrics.Point {
+	pts := make([]metrics.Point, n)
+	for i := range pts {
+		pts[i] = metrics.Point{
+			T: epoch.Add(time.Duration(i) * 30 * time.Second),
+			V: perSecond * 30 * float64(i),
+		}
+	}
+	return pts
+}
+
+func flatSeries(v float64, n int) []metrics.Point {
+	pts := make([]metrics.Point, n)
+	for i := range pts {
+		pts[i] = metrics.Point{T: epoch.Add(time.Duration(i) * 30 * time.Second), V: v}
+	}
+	return pts
+}
+
+// fig5Data mirrors the paper's four-component experiment: A and B leak
+// equally at high usage, C leaks slower, D never fires.
+func fig5Data() []ComponentData {
+	return []ComponentData{
+		{Name: "A", Consumption: 40e6, Usage: 20000, Series: growthSeries(11000, 120)},
+		{Name: "B", Consumption: 39e6, Usage: 19500, Series: growthSeries(10800, 120)},
+		{Name: "C", Consumption: 12e6, Usage: 6000, Series: growthSeries(3300, 120)},
+		{Name: "D", Consumption: 2e3, Usage: 40, Series: flatSeries(2e3, 120)},
+	}
+}
+
+func TestPaperMapFig5Ordering(t *testing.T) {
+	r := PaperMap{}.Rank("memory", fig5Data())
+	want := []string{"A", "B", "C", "D"}
+	for i, name := range want {
+		if r.Entries[i].Name != name {
+			t.Fatalf("rank %d = %s, want %s\n%s", i+1, r.Entries[i].Name, name, r)
+		}
+	}
+	if top, ok := r.Top(); !ok || top.Name != "A" {
+		t.Fatalf("Top = %+v", top)
+	}
+	if r.Position("D") != 4 || r.Position("ghost") != 0 {
+		t.Fatalf("positions wrong: D=%d", r.Position("D"))
+	}
+}
+
+func TestPaperMapZones(t *testing.T) {
+	r := PaperMap{}.Rank("memory", fig5Data())
+	zones := map[string]Zone{}
+	for _, e := range r.Entries {
+		zones[e.Name] = e.Zone
+	}
+	if zones["A"] != ZoneSuspect || zones["B"] != ZoneSuspect {
+		t.Fatalf("A/B zones = %v/%v, want suspect", zones["A"], zones["B"])
+	}
+	if zones["D"] != ZoneQuiet {
+		t.Fatalf("D zone = %v, want quiet", zones["D"])
+	}
+}
+
+// fig7Data mirrors the mixed-size experiment: C leaks 1MB per injection
+// and overtakes A (100KB) despite lower usage; B (10KB) trails; D is
+// unused.
+func fig7Data() []ComponentData {
+	return []ComponentData{
+		{Name: "A", Consumption: 40e6, Usage: 20000, Series: growthSeries(11000, 120)},
+		{Name: "B", Consumption: 4e6, Usage: 19500, Series: growthSeries(1100, 120)},
+		{Name: "C", Consumption: 120e6, Usage: 6000, Series: growthSeries(33000, 120)},
+		{Name: "D", Consumption: 2e3, Usage: 40, Series: flatSeries(2e3, 120)},
+	}
+}
+
+func TestPaperMapFig7Ordering(t *testing.T) {
+	r := PaperMap{}.Rank("memory", fig7Data())
+	want := []string{"C", "A", "B", "D"}
+	for i, name := range want {
+		if r.Entries[i].Name != name {
+			t.Fatalf("rank %d = %s, want %s\n%s", i+1, r.Entries[i].Name, name, r)
+		}
+	}
+}
+
+func TestPaperMapEmptyAndZero(t *testing.T) {
+	r := PaperMap{}.Rank("memory", nil)
+	if _, ok := r.Top(); ok {
+		t.Fatal("empty ranking has a top")
+	}
+	r = PaperMap{}.Rank("memory", []ComponentData{{Name: "A"}, {Name: "B"}})
+	if len(r.Entries) != 2 {
+		t.Fatal("zero-data components dropped")
+	}
+	for _, e := range r.Entries {
+		if e.Score != 0 || e.Zone != ZoneQuiet {
+			t.Fatalf("zero data scored: %+v", e)
+		}
+	}
+}
+
+func TestPaperMapUsageBreaksTies(t *testing.T) {
+	data := []ComponentData{
+		{Name: "busy", Consumption: 10e6, Usage: 10000},
+		{Name: "idle", Consumption: 10e6, Usage: 10},
+	}
+	r := PaperMap{}.Rank("memory", data)
+	if r.Entries[0].Name != "busy" {
+		t.Fatalf("equal consumption: busier should rank first\n%s", r)
+	}
+}
+
+func TestTrendStrategyGatesFlatComponents(t *testing.T) {
+	r := Trend{}.Rank("memory", fig5Data())
+	if r.Entries[0].Name != "A" {
+		t.Fatalf("trend top = %s", r.Entries[0].Name)
+	}
+	if pos := r.Position("D"); pos != 4 {
+		t.Fatalf("D at %d", pos)
+	}
+	for _, e := range r.Entries {
+		if e.Name == "D" && e.Score != 0 {
+			t.Fatalf("flat component scored %v", e.Score)
+		}
+	}
+}
+
+func TestTrendStrategyIgnoresStaticBloat(t *testing.T) {
+	// A huge but constant footprint must not outrank a growing one.
+	data := []ComponentData{
+		{Name: "bloated", Consumption: 500e6, Usage: 100, Series: flatSeries(500e6, 60)},
+		{Name: "leaking", Consumption: 5e6, Usage: 100, Series: growthSeries(10000, 60)},
+	}
+	r := Trend{}.Rank("memory", data)
+	if r.Entries[0].Name != "leaking" {
+		t.Fatalf("trend ranked static bloat first\n%s", r)
+	}
+	// The paper map, by contrast, ranks by accumulated consumption —
+	// that contrast is the ablation's point.
+	pm := PaperMap{}.Rank("memory", data)
+	if pm.Entries[0].Name != "bloated" {
+		t.Fatalf("paper map should rank accumulated footprint first\n%s", pm)
+	}
+}
+
+func TestBlackBoxCannotLocalize(t *testing.T) {
+	r := BlackBox{}.Rank("memory", fig5Data())
+	for _, e := range r.Entries {
+		if e.Score != 1 {
+			t.Fatalf("black box differentiates: %+v", e)
+		}
+	}
+}
+
+func TestRankingString(t *testing.T) {
+	r := PaperMap{}.Rank("memory", fig5Data())
+	s := r.String()
+	if s == "" || r.Strategy != "paper-map" {
+		t.Fatal("ranking string empty")
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	for z, want := range map[Zone]string{
+		ZoneQuiet: "quiet", ZoneHighUsage: "high-usage",
+		ZoneHighConsume: "high-consumption", ZoneSuspect: "suspect",
+		Zone(9): "unknown",
+	} {
+		if z.String() != want {
+			t.Fatalf("Zone(%d) = %q", z, z.String())
+		}
+	}
+}
+
+type keyedArg struct{ id int }
+
+func (k *keyedArg) TraceKey() any { return k }
+
+func TestTraceCollector(t *testing.T) {
+	tc := NewTraceCollector(0)
+	w := aspect.NewWeaver(nil)
+	if err := w.Register(tc.Aspect()); err != nil {
+		t.Fatal(err)
+	}
+	flow := &keyedArg{}
+	dao := w.WeaveDepth("dao.X", "Get", func(args ...any) (any, error) { return nil, nil })
+	servlet := w.WeaveDepth("svc.A", "Service", func(args ...any) (any, error) {
+		return dao(1, flow)
+	})
+	if _, err := servlet(0, flow); err != nil {
+		t.Fatal(err)
+	}
+	traces := tc.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if len(tr.Components) != 2 || tr.Components[0] != "svc.A" || tr.Components[1] != "dao.X" {
+		t.Fatalf("path = %v", tr.Components)
+	}
+	if tr.Failed {
+		t.Fatal("successful request marked failed")
+	}
+}
+
+func TestTraceCollectorFailuresAndDedupe(t *testing.T) {
+	tc := NewTraceCollector(0)
+	w := aspect.NewWeaver(nil)
+	if err := w.Register(tc.Aspect()); err != nil {
+		t.Fatal(err)
+	}
+	flow := &keyedArg{}
+	boom := func(args ...any) (any, error) { return nil, errFail }
+	dao := w.WeaveDepth("dao.X", "Get", func(args ...any) (any, error) { return nil, nil })
+	servlet := w.WeaveDepth("svc.A", "Service", func(args ...any) (any, error) {
+		dao(1, flow)
+		dao(1, flow) // second call dedupes in the trace
+		return boom(flow)
+	})
+	servlet(0, flow)
+	tr := tc.Traces()[0]
+	if !tr.Failed {
+		t.Fatal("failed request not marked")
+	}
+	if len(tr.Components) != 2 {
+		t.Fatalf("dedupe failed: %v", tr.Components)
+	}
+	tc.Reset()
+	if tc.Len() != 0 {
+		t.Fatal("Reset kept traces")
+	}
+}
+
+func TestTraceCollectorCapacity(t *testing.T) {
+	tc := NewTraceCollector(5)
+	w := aspect.NewWeaver(nil)
+	if err := w.Register(tc.Aspect()); err != nil {
+		t.Fatal(err)
+	}
+	fn := w.WeaveDepth("svc.A", "Service", func(args ...any) (any, error) { return nil, nil })
+	for i := 0; i < 20; i++ {
+		fn(0, &keyedArg{id: i})
+	}
+	if tc.Len() != 5 {
+		t.Fatalf("capacity not enforced: %d", tc.Len())
+	}
+}
+
+func TestTraceCollectorIgnoresKeylessFlows(t *testing.T) {
+	tc := NewTraceCollector(0)
+	w := aspect.NewWeaver(nil)
+	if err := w.Register(tc.Aspect()); err != nil {
+		t.Fatal(err)
+	}
+	fn := w.WeaveDepth("svc.A", "Service", func(args ...any) (any, error) { return nil, nil })
+	fn(0, "not keyed")
+	if tc.Len() != 0 {
+		t.Fatal("keyless flow produced a trace")
+	}
+}
+
+var errFail = errorString("injected failure")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestPinpointFindsFaultyComponent(t *testing.T) {
+	var traces []Trace
+	// svc.B fails half the time; svc.A never fails.
+	for i := 0; i < 100; i++ {
+		traces = append(traces, Trace{Components: []string{"svc.A", "dao.X"}})
+		traces = append(traces, Trace{Components: []string{"svc.B", "dao.X"}, Failed: i%2 == 0})
+	}
+	r := Pinpoint{}.Analyze(traces)
+	if r.Entries[0].Name != "svc.B" {
+		t.Fatalf("pinpoint top = %s\n%s", r.Entries[0].Name, r)
+	}
+}
+
+func TestPinpointCoupledComponentsTie(t *testing.T) {
+	// The blind spot from the paper's related work: X and its
+	// always-coupled callee Y get identical scores even though only X
+	// is faulty.
+	var traces []Trace
+	for i := 0; i < 100; i++ {
+		traces = append(traces, Trace{Components: []string{"svc.X", "svc.Y"}, Failed: i%4 == 0})
+	}
+	r := Pinpoint{}.Analyze(traces)
+	if len(r.Entries) != 2 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	if r.Entries[0].Score != r.Entries[1].Score {
+		t.Fatalf("coupled components should tie: %v vs %v",
+			r.Entries[0].Score, r.Entries[1].Score)
+	}
+}
+
+func TestPinpointEmpty(t *testing.T) {
+	r := Pinpoint{}.Analyze(nil)
+	if len(r.Entries) != 0 {
+		t.Fatal("empty traces produced entries")
+	}
+}

@@ -1,0 +1,131 @@
+// Package servlet is the reproduction's web application server — the role
+// Apache Tomcat 5.5 plays in the paper's testbed. It hosts components
+// implementing the Servlet interface, binds one database connection per
+// request, manages sessions, bounds concurrency with a worker-pool model,
+// and — critically for the paper — routes every component execution
+// through the aspect weaver so that monitoring can be injected without the
+// application noticing.
+//
+// The container runs in two modes. In simulation mode, requests are
+// submitted at virtual instants, component code executes for real, and the
+// observed database work is converted into simulated service time through
+// the cost model; queueing and completion are scheduled on the
+// discrete-event engine. In direct mode (used by the wall-clock overhead
+// benchmarks), Invoke executes a request synchronously on the caller's
+// goroutine.
+package servlet
+
+import (
+	"time"
+
+	"repro/internal/jvmheap"
+	"repro/internal/sqldb"
+)
+
+// Servlet is the component contract, mirroring javax.servlet: Init once at
+// deployment, Service per request, Destroy at undeployment.
+type Servlet interface {
+	Init(ctx *Context) error
+	Service(req *Request, resp *Response) error
+	Destroy()
+}
+
+// Context is what servlets receive at Init: the shared resources of the
+// container.
+type Context struct {
+	// Pool is the container's database connection pool.
+	Pool *sqldb.Pool
+	// Sessions is the container's session manager.
+	Sessions *SessionManager
+	// Heap is the simulated JVM heap requests allocate from.
+	Heap *jvmheap.Heap
+}
+
+// Request is one web interaction request.
+type Request struct {
+	// Interaction is the target component name (the servlet name).
+	Interaction string
+	// SessionID identifies the emulated browser's session ("" for none).
+	SessionID string
+	// Params carries the request parameters.
+	Params map[string]string
+	// Conn is the database connection the container bound to this
+	// request; servlets and DAOs execute queries through it.
+	Conn *sqldb.Conn
+	// Session is resolved by the container before Service runs.
+	Session *Session
+
+	submitted   time.Time
+	extraCost   time.Duration
+	serviceTime time.Duration
+	jpMark      int64 // weaver join point count at dispatch, for overhead accounting
+}
+
+// Param returns the named parameter ("" when absent).
+func (r *Request) Param(name string) string { return r.Params[name] }
+
+// AddCost charges additional simulated CPU time to this request. The
+// CPU-hog fault injector uses it to model computational aging bugs.
+func (r *Request) AddCost(d time.Duration) {
+	if d < 0 {
+		panic("servlet: negative AddCost")
+	}
+	r.extraCost += d
+}
+
+// ReportedCost returns the simulated service time of the completed
+// request. It implements the cost-reporting contract the monitoring
+// aspects look for on join point arguments, which is how virtual durations
+// reach the CPU and invocation agents even though the virtual clock stands
+// still during component execution.
+func (r *Request) ReportedCost() time.Duration { return r.serviceTime }
+
+// Submitted returns when the request entered the container.
+func (r *Request) Submitted() time.Time { return r.submitted }
+
+// TraceKey identifies the request flow for trace-collecting aspects: the
+// bound database connection, which nested DAO executions also carry. It
+// falls back to the request itself before a connection is bound.
+func (r *Request) TraceKey() any {
+	if r.Conn != nil {
+		return r.Conn
+	}
+	return r
+}
+
+// HTTP-ish response status codes the container uses.
+const (
+	StatusOK          = 200
+	StatusServerError = 500
+	StatusUnavailable = 503
+)
+
+// Response is the outcome of one request.
+type Response struct {
+	// Status is the response code (StatusOK on success).
+	Status int
+	// Err is the component error for StatusServerError responses.
+	Err error
+	// Data carries interaction results (the "page" content); the
+	// emulated browsers read navigation state from it.
+	Data map[string]any
+}
+
+// Set stores a result value, allocating the map on first use.
+func (resp *Response) Set(key string, v any) {
+	if resp.Data == nil {
+		resp.Data = make(map[string]any)
+	}
+	resp.Data[key] = v
+}
+
+// Get reads a result value (nil when absent).
+func (resp *Response) Get(key string) any {
+	if resp.Data == nil {
+		return nil
+	}
+	return resp.Data[key]
+}
+
+// OK reports whether the response succeeded.
+func (resp *Response) OK() bool { return resp.Status == StatusOK }

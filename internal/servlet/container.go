@@ -1,0 +1,427 @@
+package servlet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/jvmheap"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+)
+
+// Dispatch errors.
+var (
+	ErrNoSuchServlet = errors.New("servlet: no such servlet")
+	ErrOverloaded    = errors.New("servlet: accept queue full")
+	ErrStopped       = errors.New("servlet: container is stopped")
+)
+
+// Config sizes a container.
+type Config struct {
+	// Workers bounds concurrent request execution (default 50).
+	Workers int
+	// QueueCapacity bounds the accept queue; requests beyond it are
+	// rejected with StatusUnavailable (default 500).
+	QueueCapacity int
+	// DBConnections sizes the connection pool (default Workers).
+	DBConnections int
+	// SessionTimeout is the idle expiry (default 30m).
+	SessionTimeout time.Duration
+	// Cost is the service-time model (DefaultCostModel when zero).
+	Cost CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 50
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 500
+	}
+	if c.DBConnections <= 0 {
+		c.DBConnections = c.Workers
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	return c
+}
+
+// Completion receives the outcome of a submitted request.
+type Completion func(req *Request, resp *Response)
+
+type deployed struct {
+	servlet Servlet
+	woven   func(depth int, args ...any) (any, error)
+}
+
+type pending struct {
+	req  *Request
+	done Completion
+}
+
+// Container hosts servlets. See the package comment for the two execution
+// modes. All simulation-mode entry points (Submit and the completion
+// events) must run on the engine goroutine; Invoke may be called from any
+// goroutine once Start has returned.
+type Container struct {
+	engine *sim.Engine
+	clock  sim.Clock
+	weaver *aspect.Weaver
+	cfg    Config
+
+	pool     *sqldb.Pool
+	sessions *SessionManager
+	heap     *jvmheap.Heap
+
+	mu       sync.RWMutex
+	servlets map[string]*deployed
+	started  bool
+
+	filterReg filterRegistry
+
+	// Simulation-mode worker state (engine goroutine only).
+	busyWorkers int
+	queue       []pending
+
+	completed  metrics.Counter
+	failed     metrics.Counter
+	rejected   metrics.Counter
+	respTimes  *metrics.Histogram
+	throughput *metrics.RateWindow
+	perInter   sync.Map // interaction -> *metrics.Counter
+}
+
+// NewContainer assembles a container. engine may be nil for direct-mode
+// use only (Submit then panics). The weaver must not be nil — weaving is
+// the whole point.
+func NewContainer(engine *sim.Engine, weaver *aspect.Weaver, db *sqldb.DB, heap *jvmheap.Heap, cfg Config) *Container {
+	if weaver == nil {
+		panic("servlet: nil weaver")
+	}
+	cfg = cfg.withDefaults()
+	var clock sim.Clock
+	if engine != nil {
+		clock = engine.Clock()
+	} else {
+		clock = sim.WallClock{}
+	}
+	c := &Container{
+		engine:     engine,
+		clock:      clock,
+		weaver:     weaver,
+		cfg:        cfg,
+		pool:       sqldb.NewPool(db, cfg.DBConnections),
+		sessions:   NewSessionManager(clock, heap, cfg.SessionTimeout),
+		heap:       heap,
+		servlets:   make(map[string]*deployed),
+		respTimes:  metrics.NewHistogram(metrics.ExponentialBounds(0.0005, 2, 16)),
+		throughput: metrics.NewRateWindow(10 * time.Second),
+	}
+	return c
+}
+
+// Weaver returns the aspect weaver components are woven through.
+func (c *Container) Weaver() *aspect.Weaver { return c.weaver }
+
+// Sessions returns the session manager.
+func (c *Container) Sessions() *SessionManager { return c.sessions }
+
+// Pool returns the database connection pool.
+func (c *Container) Pool() *sqldb.Pool { return c.pool }
+
+// Heap returns the simulated JVM heap (may be nil).
+func (c *Container) Heap() *jvmheap.Heap { return c.heap }
+
+// Clock returns the container's time source.
+func (c *Container) Clock() sim.Clock { return c.clock }
+
+// Deploy registers a servlet under the given component name and weaves its
+// Service method. Deploying after Start initialises the servlet
+// immediately — J2EE hot deployment.
+func (c *Container) Deploy(name string, s Servlet) error {
+	if s == nil {
+		return errors.New("servlet: deploy of nil servlet")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.servlets[name]; dup {
+		return fmt.Errorf("servlet: %q already deployed", name)
+	}
+	// The inner function computes the simulated service time immediately
+	// after the servlet body returns, while still inside the advice
+	// chain, so after-advice (the AC) observes the request's reported
+	// cost.
+	inner := func(args ...any) (any, error) {
+		req := args[0].(*Request)
+		resp := args[1].(*Response)
+		err := s.Service(req, resp)
+		var cost sqldb.QueryCost
+		if req.Conn != nil {
+			cost = req.Conn.Cost()
+		}
+		jps := c.weaver.JoinPoints() - req.jpMark
+		req.serviceTime = c.cfg.Cost.ServiceTime(cost, jps, req.extraCost)
+		return nil, err
+	}
+	d := &deployed{
+		servlet: s,
+		woven:   c.weaver.WeaveDepth(name, "Service", inner),
+	}
+	if c.started {
+		if err := s.Init(c.context()); err != nil {
+			return fmt.Errorf("servlet: init %q: %w", name, err)
+		}
+	}
+	c.servlets[name] = d
+	return nil
+}
+
+// Undeploy destroys and removes a servlet, reporting whether it existed.
+func (c *Container) Undeploy(name string) bool {
+	c.mu.Lock()
+	d, ok := c.servlets[name]
+	delete(c.servlets, name)
+	c.mu.Unlock()
+	if ok {
+		d.servlet.Destroy()
+	}
+	return ok
+}
+
+// ServletNames lists deployed servlet component names, sorted.
+func (c *Container) ServletNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.servlets))
+	for n := range c.servlets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Servlet returns the deployed servlet instance for name.
+func (c *Container) Servlet(name string) (Servlet, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.servlets[name]
+	if !ok {
+		return nil, false
+	}
+	return d.servlet, true
+}
+
+func (c *Container) context() *Context {
+	return &Context{Pool: c.pool, Sessions: c.sessions, Heap: c.heap}
+}
+
+// Start initialises every deployed servlet and begins the session expiry
+// sweep (simulation mode only).
+func (c *Container) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("servlet: already started")
+	}
+	ctx := c.context()
+	for name, d := range c.servlets {
+		if err := d.servlet.Init(ctx); err != nil {
+			return fmt.Errorf("servlet: init %q: %w", name, err)
+		}
+	}
+	if err := c.initFilters(); err != nil {
+		return err
+	}
+	c.started = true
+	if c.engine != nil {
+		c.engine.Every(time.Minute, func(time.Time) { c.sessions.ExpireIdle() })
+	}
+	return nil
+}
+
+// Stop destroys every servlet. The container cannot be restarted.
+func (c *Container) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return
+	}
+	c.started = false
+	for _, d := range c.servlets {
+		d.servlet.Destroy()
+	}
+	c.destroyFilters()
+}
+
+// Started reports whether Start has completed.
+func (c *Container) Started() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.started
+}
+
+// Submit enqueues a request at the current virtual instant; done fires
+// when it completes (same instant semantics as the event engine). It must
+// be called from the engine goroutine (an EB event).
+func (c *Container) Submit(req *Request, done Completion) {
+	if c.engine == nil {
+		panic("servlet: Submit on a container without an engine")
+	}
+	if !c.Started() {
+		c.finish(req, &Response{Status: StatusUnavailable, Err: ErrStopped}, done)
+		return
+	}
+	req.submitted = c.clock.Now()
+	if c.busyWorkers >= c.cfg.Workers {
+		if len(c.queue) >= c.cfg.QueueCapacity {
+			c.rejected.Inc()
+			c.finish(req, &Response{Status: StatusUnavailable, Err: ErrOverloaded}, done)
+			return
+		}
+		c.queue = append(c.queue, pending{req: req, done: done})
+		return
+	}
+	c.startJob(pending{req: req, done: done})
+}
+
+// startJob executes the request now (in real code), then schedules its
+// completion after the simulated service time.
+func (c *Container) startJob(p pending) {
+	c.busyWorkers++
+	resp, serviceTime := c.execute(p.req)
+	c.engine.ScheduleAfter(serviceTime, func(time.Time) {
+		c.busyWorkers--
+		c.finish(p.req, resp, p.done)
+		if len(c.queue) > 0 && c.busyWorkers < c.cfg.Workers {
+			next := c.queue[0]
+			c.queue = c.queue[1:]
+			c.startJob(next)
+		}
+	})
+}
+
+// Invoke executes a request synchronously (direct mode): no queueing, no
+// virtual time. The response and the real execution duration are returned.
+// This is what the wall-clock overhead benchmarks drive.
+func (c *Container) Invoke(req *Request) (*Response, time.Duration) {
+	start := time.Now()
+	resp, _ := c.execute(req)
+	elapsed := time.Since(start)
+	c.account(req, resp, elapsed)
+	return resp, elapsed
+}
+
+// execute runs the servlet through its woven handle with a bound
+// connection and session, returning the response and simulated service
+// time.
+func (c *Container) execute(req *Request) (*Response, time.Duration) {
+	c.mu.RLock()
+	d, ok := c.servlets[req.Interaction]
+	c.mu.RUnlock()
+	resp := &Response{Status: StatusOK}
+	if !ok {
+		resp.Status = StatusServerError
+		resp.Err = fmt.Errorf("%w: %q", ErrNoSuchServlet, req.Interaction)
+		return resp, c.cfg.Cost.ServiceTime(sqldb.QueryCost{}, 0, 0)
+	}
+	if req.SessionID != "" {
+		req.Session = c.sessions.GetOrCreate(req.SessionID)
+	}
+	conn := c.pool.Acquire()
+	req.Conn = conn
+	req.jpMark = c.weaver.JoinPoints()
+	chain := c.newChain(func(req *Request, resp *Response) error {
+		_, err := d.woven(0, req, resp)
+		return err
+	})
+	if err := c.safeChain(chain, req, resp); err != nil {
+		resp.Status = StatusServerError
+		resp.Err = err
+	}
+	serviceTime := req.serviceTime
+	if serviceTime == 0 {
+		// A filter short-circuited before the servlet ran; charge the
+		// fixed dispatch cost only.
+		serviceTime = c.cfg.Cost.ServiceTime(sqldb.QueryCost{}, 0, req.extraCost)
+	}
+	req.Conn = nil
+	c.pool.Release(conn)
+	return resp, serviceTime
+}
+
+// safeChain runs the filter chain converting servlet/filter panics into
+// errors, as a J2EE container turns runtime exceptions into 500 responses
+// instead of dying.
+func (c *Container) safeChain(chain *FilterChain, req *Request, resp *Response) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("servlet: panic in %q: %v", req.Interaction, r)
+		}
+	}()
+	return chain.Next(req, resp)
+}
+
+func (c *Container) finish(req *Request, resp *Response, done Completion) {
+	elapsed := c.clock.Now().Sub(req.submitted)
+	c.account(req, resp, elapsed)
+	if done != nil {
+		done(req, resp)
+	}
+}
+
+func (c *Container) account(req *Request, resp *Response, elapsed time.Duration) {
+	c.completed.Inc()
+	if !resp.OK() {
+		c.failed.Inc()
+	}
+	c.respTimes.Observe(elapsed.Seconds())
+	c.throughput.Observe(c.clock.Now())
+	v, _ := c.perInter.LoadOrStore(req.Interaction, &metrics.Counter{})
+	v.(*metrics.Counter).Inc()
+}
+
+// Stats is a point-in-time view of container load metrics.
+type Stats struct {
+	Completed    int64
+	Failed       int64
+	Rejected     int64
+	BusyWorkers  int
+	QueueLength  int
+	LiveSessions int
+}
+
+// Stats returns current counters. BusyWorkers and QueueLength are only
+// meaningful from the engine goroutine in simulation mode.
+func (c *Container) Stats() Stats {
+	return Stats{
+		Completed:    c.completed.Value(),
+		Failed:       c.failed.Value(),
+		Rejected:     c.rejected.Value(),
+		BusyWorkers:  c.busyWorkers,
+		QueueLength:  len(c.queue),
+		LiveSessions: c.sessions.Live(),
+	}
+}
+
+// Throughput returns the completion rate (requests/second) over the last
+// 10 seconds at the current instant.
+func (c *Container) Throughput() float64 {
+	return c.throughput.Rate(c.clock.Now())
+}
+
+// ResponseTimes returns the response-time histogram (seconds).
+func (c *Container) ResponseTimes() *metrics.Histogram { return c.respTimes }
+
+// InteractionCount returns completions of one interaction.
+func (c *Container) InteractionCount(name string) int64 {
+	if v, ok := c.perInter.Load(name); ok {
+		return v.(*metrics.Counter).Value()
+	}
+	return 0
+}

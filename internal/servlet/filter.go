@@ -1,0 +1,225 @@
+package servlet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Filter mirrors javax.servlet.Filter: it wraps request processing before
+// the servlet runs, may short-circuit, and must call chain.Next to
+// proceed. Filters run in registration order, outside the aspect-woven
+// servlet execution (as in a real container, where filters are container
+// plumbing and weaving applies to application components).
+type Filter interface {
+	Init(ctx *Context) error
+	DoFilter(req *Request, resp *Response, chain *FilterChain) error
+	Destroy()
+}
+
+// FilterChain advances processing to the next filter or, at the end, the
+// servlet itself.
+type FilterChain struct {
+	filters []registeredFilter
+	index   int
+	final   func(req *Request, resp *Response) error
+}
+
+// Next continues the chain.
+func (c *FilterChain) Next(req *Request, resp *Response) error {
+	if c.index < len(c.filters) {
+		f := c.filters[c.index]
+		c.index++
+		return f.filter.DoFilter(req, resp, c)
+	}
+	return c.final(req, resp)
+}
+
+type registeredFilter struct {
+	name   string
+	filter Filter
+}
+
+// filterRegistry is the container-side bookkeeping.
+type filterRegistry struct {
+	mu      sync.RWMutex
+	filters []registeredFilter
+	started bool
+	ctx     *Context
+}
+
+// AddFilter appends a filter to the container's chain. Filters added after
+// Start are initialised immediately.
+func (c *Container) AddFilter(name string, f Filter) error {
+	if f == nil {
+		return errors.New("servlet: nil filter")
+	}
+	c.filterReg.mu.Lock()
+	defer c.filterReg.mu.Unlock()
+	for _, rf := range c.filterReg.filters {
+		if rf.name == name {
+			return fmt.Errorf("servlet: filter %q already registered", name)
+		}
+	}
+	if c.Started() {
+		if err := f.Init(c.context()); err != nil {
+			return fmt.Errorf("servlet: init filter %q: %w", name, err)
+		}
+	}
+	c.filterReg.filters = append(c.filterReg.filters, registeredFilter{name: name, filter: f})
+	return nil
+}
+
+// RemoveFilter destroys and removes a filter, reporting whether it
+// existed.
+func (c *Container) RemoveFilter(name string) bool {
+	c.filterReg.mu.Lock()
+	defer c.filterReg.mu.Unlock()
+	for i, rf := range c.filterReg.filters {
+		if rf.name == name {
+			c.filterReg.filters = append(c.filterReg.filters[:i], c.filterReg.filters[i+1:]...)
+			rf.filter.Destroy()
+			return true
+		}
+	}
+	return false
+}
+
+// FilterNames lists registered filters in chain order.
+func (c *Container) FilterNames() []string {
+	c.filterReg.mu.RLock()
+	defer c.filterReg.mu.RUnlock()
+	out := make([]string, len(c.filterReg.filters))
+	for i, rf := range c.filterReg.filters {
+		out[i] = rf.name
+	}
+	return out
+}
+
+// newChain builds a chain snapshot ending at final.
+func (c *Container) newChain(final func(req *Request, resp *Response) error) *FilterChain {
+	c.filterReg.mu.RLock()
+	filters := append([]registeredFilter(nil), c.filterReg.filters...)
+	c.filterReg.mu.RUnlock()
+	return &FilterChain{filters: filters, final: final}
+}
+
+// initFilters runs Init on all filters (called from Start).
+func (c *Container) initFilters() error {
+	c.filterReg.mu.RLock()
+	defer c.filterReg.mu.RUnlock()
+	ctx := c.context()
+	for _, rf := range c.filterReg.filters {
+		if err := rf.filter.Init(ctx); err != nil {
+			return fmt.Errorf("servlet: init filter %q: %w", rf.name, err)
+		}
+	}
+	return nil
+}
+
+// destroyFilters runs Destroy on all filters (called from Stop).
+func (c *Container) destroyFilters() {
+	c.filterReg.mu.RLock()
+	defer c.filterReg.mu.RUnlock()
+	for _, rf := range c.filterReg.filters {
+		rf.filter.Destroy()
+	}
+}
+
+// AccessLogFilter is a stock filter recording per-interaction hit counts
+// and last-access times, the access.log of the miniature container.
+type AccessLogFilter struct {
+	clock sim.Clock
+
+	mu   sync.Mutex
+	hits map[string]int64
+	last map[string]time.Time
+}
+
+// NewAccessLogFilter creates an access log against clock (wall clock when
+// nil).
+func NewAccessLogFilter(clock sim.Clock) *AccessLogFilter {
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	return &AccessLogFilter{
+		clock: clock,
+		hits:  make(map[string]int64),
+		last:  make(map[string]time.Time),
+	}
+}
+
+// Init implements Filter.
+func (f *AccessLogFilter) Init(*Context) error { return nil }
+
+// Destroy implements Filter.
+func (f *AccessLogFilter) Destroy() {}
+
+// DoFilter implements Filter.
+func (f *AccessLogFilter) DoFilter(req *Request, resp *Response, chain *FilterChain) error {
+	f.mu.Lock()
+	f.hits[req.Interaction]++
+	f.last[req.Interaction] = f.clock.Now()
+	f.mu.Unlock()
+	return chain.Next(req, resp)
+}
+
+// Hits returns the recorded hit count of an interaction.
+func (f *AccessLogFilter) Hits(interaction string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[interaction]
+}
+
+// LastAccess returns the last access time of an interaction.
+func (f *AccessLogFilter) LastAccess(interaction string) (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t, ok := f.last[interaction]
+	return t, ok
+}
+
+// RateLimitFilter is a stock filter rejecting requests beyond a rate per
+// second (sliding 1s window), useful for overload protection experiments.
+type RateLimitFilter struct {
+	clock  sim.Clock
+	limit  float64
+	window *metrics.RateWindow
+}
+
+// NewRateLimitFilter creates a limiter allowing limit requests/second.
+func NewRateLimitFilter(clock sim.Clock, limit float64) *RateLimitFilter {
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	if limit <= 0 {
+		panic("servlet: non-positive rate limit")
+	}
+	return &RateLimitFilter{
+		clock:  clock,
+		limit:  limit,
+		window: metrics.NewRateWindow(time.Second),
+	}
+}
+
+// Init implements Filter.
+func (f *RateLimitFilter) Init(*Context) error { return nil }
+
+// Destroy implements Filter.
+func (f *RateLimitFilter) Destroy() {}
+
+// DoFilter implements Filter.
+func (f *RateLimitFilter) DoFilter(req *Request, resp *Response, chain *FilterChain) error {
+	now := f.clock.Now()
+	if f.window.Rate(now) >= f.limit {
+		resp.Status = StatusUnavailable
+		resp.Err = ErrOverloaded
+		return nil // handled, not a servlet error
+	}
+	f.window.Observe(now)
+	return chain.Next(req, resp)
+}

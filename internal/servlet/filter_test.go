@@ -1,0 +1,185 @@
+package servlet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingFilter logs lifecycle and pass-through order.
+type recordingFilter struct {
+	name     string
+	log      *[]string
+	inits    int
+	destroys int
+	block    bool
+	fail     error
+}
+
+func (f *recordingFilter) Init(*Context) error { f.inits++; return nil }
+func (f *recordingFilter) Destroy()            { f.destroys++ }
+func (f *recordingFilter) DoFilter(req *Request, resp *Response, chain *FilterChain) error {
+	*f.log = append(*f.log, f.name+".in")
+	if f.fail != nil {
+		return f.fail
+	}
+	if f.block {
+		resp.Status = StatusUnavailable
+		return nil
+	}
+	err := chain.Next(req, resp)
+	*f.log = append(*f.log, f.name+".out")
+	return err
+}
+
+func TestFilterChainOrder(t *testing.T) {
+	engine, c, _ := newTestContainer(t, Config{})
+	var log []string
+	if err := c.AddFilter("outer", &recordingFilter{name: "outer", log: &log}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFilter("inner", &recordingFilter{name: "inner", log: &log}); err != nil {
+		t.Fatal(err)
+	}
+	var resp *Response
+	engine.ScheduleAfter(0, func(time.Time) {
+		c.Submit(&Request{Interaction: "tpcw.echo"}, func(_ *Request, r *Response) { resp = r })
+	})
+	engine.RunFor(30 * time.Second)
+	if !resp.OK() {
+		t.Fatalf("resp = %+v", resp)
+	}
+	want := "outer.in,inner.in,inner.out,outer.out"
+	got := ""
+	for i, s := range log {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("chain order = %s, want %s", got, want)
+	}
+}
+
+func TestFilterShortCircuit(t *testing.T) {
+	engine, c, s := newTestContainer(t, Config{})
+	var log []string
+	if err := c.AddFilter("gate", &recordingFilter{name: "gate", log: &log, block: true}); err != nil {
+		t.Fatal(err)
+	}
+	var resp *Response
+	engine.ScheduleAfter(0, func(time.Time) {
+		c.Submit(&Request{Interaction: "tpcw.echo"}, func(_ *Request, r *Response) { resp = r })
+	})
+	engine.RunFor(30 * time.Second)
+	if resp.Status != StatusUnavailable {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if s.inits == 0 {
+		t.Fatal("servlet was never initialised")
+	}
+	// The servlet body must not have run: the echo servlet sets "rows".
+	if resp.Get("rows") != nil {
+		t.Fatal("servlet ran despite filter short-circuit")
+	}
+}
+
+func TestFilterErrorBecomes500(t *testing.T) {
+	engine, c, _ := newTestContainer(t, Config{})
+	boom := errors.New("filter boom")
+	var log []string
+	if err := c.AddFilter("bad", &recordingFilter{name: "bad", log: &log, fail: boom}); err != nil {
+		t.Fatal(err)
+	}
+	var resp *Response
+	engine.ScheduleAfter(0, func(time.Time) {
+		c.Submit(&Request{Interaction: "tpcw.echo"}, func(_ *Request, r *Response) { resp = r })
+	})
+	engine.RunFor(30 * time.Second)
+	if resp.Status != StatusServerError || !errors.Is(resp.Err, boom) {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestFilterLifecycle(t *testing.T) {
+	engine, c, _ := newTestContainer(t, Config{})
+	_ = engine
+	var log []string
+	f := &recordingFilter{name: "f", log: &log}
+	// Container already started: init happens at AddFilter.
+	if err := c.AddFilter("f", f); err != nil {
+		t.Fatal(err)
+	}
+	if f.inits != 1 {
+		t.Fatalf("inits = %d", f.inits)
+	}
+	if err := c.AddFilter("f", f); err == nil {
+		t.Fatal("duplicate filter accepted")
+	}
+	if err := c.AddFilter("nil", nil); err == nil {
+		t.Fatal("nil filter accepted")
+	}
+	if names := c.FilterNames(); len(names) != 1 || names[0] != "f" {
+		t.Fatalf("FilterNames = %v", names)
+	}
+	if !c.RemoveFilter("f") || f.destroys != 1 {
+		t.Fatal("RemoveFilter did not destroy")
+	}
+	if c.RemoveFilter("f") {
+		t.Fatal("double remove reported true")
+	}
+}
+
+func TestAccessLogFilter(t *testing.T) {
+	engine, c, _ := newTestContainer(t, Config{})
+	alog := NewAccessLogFilter(engine.Clock())
+	if err := c.AddFilter("access", alog); err != nil {
+		t.Fatal(err)
+	}
+	engine.ScheduleAfter(0, func(time.Time) {
+		for i := 0; i < 3; i++ {
+			c.Submit(&Request{Interaction: "tpcw.echo"}, nil)
+		}
+	})
+	engine.RunFor(30 * time.Second)
+	if got := alog.Hits("tpcw.echo"); got != 3 {
+		t.Fatalf("hits = %d", got)
+	}
+	if _, ok := alog.LastAccess("tpcw.echo"); !ok {
+		t.Fatal("no last access recorded")
+	}
+	if _, ok := alog.LastAccess("ghost"); ok {
+		t.Fatal("ghost access recorded")
+	}
+}
+
+func TestRateLimitFilter(t *testing.T) {
+	engine, c, _ := newTestContainer(t, Config{})
+	if err := c.AddFilter("limit", NewRateLimitFilter(engine.Clock(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	engine.ScheduleAfter(0, func(time.Time) {
+		for i := 0; i < 5; i++ {
+			c.Submit(&Request{Interaction: "tpcw.echo"}, func(_ *Request, r *Response) {
+				if r.Status == StatusUnavailable {
+					rejected++
+				}
+			})
+		}
+	})
+	engine.RunFor(time.Second)
+	if rejected != 3 {
+		t.Fatalf("rejected = %d, want 3 of 5 at 2/s", rejected)
+	}
+}
+
+func TestRateLimitValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive limit did not panic")
+		}
+	}()
+	NewRateLimitFilter(nil, 0)
+}

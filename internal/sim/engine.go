@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled at a virtual instant. Events run on the
+// engine goroutine; they may schedule further events.
+type Event func(now time.Time)
+
+// scheduled is one pending event. seq breaks ties between events scheduled
+// for the same instant so execution order is deterministic (FIFO within an
+// instant), which the reproducibility of every experiment depends on.
+type scheduled struct {
+	at  time.Time
+	seq uint64
+	fn  Event
+	id  uint64
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event executor over a VirtualClock.
+// It is intentionally not safe for concurrent scheduling: all experiment
+// logic runs inside event callbacks on one goroutine, which is what makes
+// runs deterministic.
+type Engine struct {
+	clock     *VirtualClock
+	queue     eventQueue
+	seq       uint64
+	nextID    uint64
+	cancelled map[uint64]bool
+	executed  uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine driving a fresh VirtualClock set to Epoch.
+func NewEngine() *Engine {
+	return &Engine{
+		clock:     NewVirtualClock(),
+		cancelled: make(map[uint64]bool),
+	}
+}
+
+// Clock returns the engine's virtual clock.
+func (e *Engine) Clock() *VirtualClock { return e.clock }
+
+// Now returns the current virtual instant.
+func (e *Engine) Now() time.Time { return e.clock.Now() }
+
+// Len reports the number of pending (non-cancelled) events.
+func (e *Engine) Len() int { return len(e.queue) - len(e.cancelled) }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn at the given absolute virtual instant and returns a
+// handle that can cancel it. Scheduling in the past panics — it would be a
+// logic bug in the caller, not a recoverable condition.
+func (e *Engine) Schedule(at time.Time, fn Event) uint64 {
+	if at.Before(e.clock.Now()) {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.clock.Now()))
+	}
+	if fn == nil {
+		panic("sim: Schedule with nil event")
+	}
+	e.seq++
+	e.nextID++
+	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn, id: e.nextID})
+	return e.nextID
+}
+
+// ScheduleAfter runs fn after delay d from the current instant. A negative
+// delay is clamped to zero.
+func (e *Engine) ScheduleAfter(d time.Duration, fn Event) uint64 {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.clock.Now().Add(d), fn)
+}
+
+// Cancel prevents the event with the given handle from running. Cancelling
+// an already-run or unknown handle is a no-op and reports false.
+func (e *Engine) Cancel(id uint64) bool {
+	for _, s := range e.queue {
+		if s.id == id && !e.cancelled[id] {
+			e.cancelled[id] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its instant. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*scheduled)
+		if e.cancelled[it.id] {
+			delete(e.cancelled, it.id)
+			continue
+		}
+		e.clock.SetNow(it.at)
+		e.executed++
+		it.fn(it.at)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty, Stop is
+// called, or the next event lies strictly after deadline. The clock is left
+// at deadline when the horizon is reached with events still pending, so
+// time-series recorded against the clock have a well-defined end.
+func (e *Engine) RunUntil(deadline time.Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok {
+			break
+		}
+		if next.After(deadline) {
+			e.clock.SetNow(deadline)
+			return
+		}
+		e.Step()
+	}
+	if e.clock.Now().Before(deadline) && !e.stopped {
+		e.clock.SetNow(deadline)
+	}
+}
+
+// RunFor is RunUntil with a horizon relative to the current instant.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.clock.Now().Add(d))
+}
+
+// Drain executes every pending event regardless of horizon.
+func (e *Engine) Drain() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+func (e *Engine) peek() (time.Time, bool) {
+	for len(e.queue) > 0 {
+		it := e.queue[0]
+		if e.cancelled[it.id] {
+			heap.Pop(&e.queue)
+			delete(e.cancelled, it.id)
+			continue
+		}
+		return it.at, true
+	}
+	return time.Time{}, false
+}
+
+// Every schedules fn to run at the given period until the returned stop
+// function is invoked or the engine drains. The first firing happens one
+// period from now. It is the virtual-time analogue of time.Ticker and is
+// used by sampling monitors.
+func (e *Engine) Every(period time.Duration, fn Event) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	stopped := false
+	var tick Event
+	tick = func(now time.Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			e.ScheduleAfter(period, tick)
+		}
+	}
+	e.ScheduleAfter(period, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,84 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoSuchTable reports a reference to an unknown table.
+var ErrNoSuchTable = errors.New("sqldb: no such table")
+
+// DB is a named collection of tables with engine-wide statistics.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	queries     atomic.Int64
+	rowsScanned atomic.Int64
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table described by schema.
+func (db *DB) CreateTable(schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("sqldb: table %q already exists", schema.Name)
+	}
+	t := newTable(schema)
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// TableNames lists the tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EngineStats aggregates engine-wide counters.
+type EngineStats struct {
+	Queries     int64
+	RowsScanned int64
+}
+
+// Stats returns engine-wide counters (selects only; point reads and writes
+// are charged one scanned row each).
+func (db *DB) Stats() EngineStats {
+	return EngineStats{
+		Queries:     db.queries.Load(),
+		RowsScanned: db.rowsScanned.Load(),
+	}
+}
+
+func (db *DB) charge(queries, scanned int64) {
+	db.queries.Add(queries)
+	db.rowsScanned.Add(scanned)
+}

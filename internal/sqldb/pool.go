@@ -1,0 +1,167 @@
+package sqldb
+
+import (
+	"fmt"
+)
+
+// QueryCost is the work a connection has performed since its cost was last
+// reset. The container converts it into simulated service time, which is
+// how query shape influences response times and throughput.
+type QueryCost struct {
+	Queries      int64
+	RowsScanned  int64
+	RowsReturned int64
+}
+
+// Add accumulates other into c.
+func (c *QueryCost) Add(other QueryCost) {
+	c.Queries += other.Queries
+	c.RowsScanned += other.RowsScanned
+	c.RowsReturned += other.RowsReturned
+}
+
+// Conn is a database connection: the handle DAOs execute through. Each
+// Conn tracks the cost of the work it performed. A Conn is not safe for
+// concurrent use — exactly like a JDBC connection, one request borrows it
+// from the pool, uses it, and returns it.
+type Conn struct {
+	db   *DB
+	pool *Pool
+	cost QueryCost
+}
+
+// Select runs q against the named table.
+func (c *Conn) Select(table string, q Query) ([]Row, error) {
+	t, err := c.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	rows, scanned, err := t.selectRows(q)
+	c.cost.Queries++
+	c.cost.RowsScanned += scanned
+	c.cost.RowsReturned += int64(len(rows))
+	c.db.charge(1, scanned)
+	return rows, err
+}
+
+// Get reads one row by primary key.
+func (c *Conn) Get(table string, pk any) (Row, bool, error) {
+	t, err := c.db.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	r, ok := t.Get(pk)
+	c.cost.Queries++
+	c.cost.RowsScanned++
+	if ok {
+		c.cost.RowsReturned++
+	}
+	c.db.charge(1, 1)
+	return r, ok, nil
+}
+
+// Insert adds a row and returns its primary key.
+func (c *Conn) Insert(table string, row Row) (any, error) {
+	t, err := c.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := t.Insert(row)
+	c.cost.Queries++
+	c.cost.RowsScanned++
+	c.db.charge(1, 1)
+	return pk, err
+}
+
+// Update modifies the row with the given primary key.
+func (c *Conn) Update(table string, pk any, set map[string]any) error {
+	t, err := c.db.Table(table)
+	if err != nil {
+		return err
+	}
+	err = t.Update(pk, set)
+	c.cost.Queries++
+	c.cost.RowsScanned++
+	c.db.charge(1, 1)
+	return err
+}
+
+// Delete removes the row with the given primary key.
+func (c *Conn) Delete(table string, pk any) (bool, error) {
+	t, err := c.db.Table(table)
+	if err != nil {
+		return false, err
+	}
+	ok := t.Delete(pk)
+	c.cost.Queries++
+	c.cost.RowsScanned++
+	c.db.charge(1, 1)
+	return ok, nil
+}
+
+// Cost returns the accumulated cost since the last ResetCost.
+func (c *Conn) Cost() QueryCost { return c.cost }
+
+// TraceKey identifies the request flow this connection is bound to (the
+// connection itself); see the aspect package's Keyed interface.
+func (c *Conn) TraceKey() any { return c }
+
+// ResetCost zeroes the accumulated cost; the pool does this on Release.
+func (c *Conn) ResetCost() { c.cost = QueryCost{} }
+
+// Pool is a fixed-size connection pool, mirroring the data-source pool a
+// J2EE container provides. Acquire blocks when the pool is exhausted,
+// which under overload surfaces as queueing — a behaviour the container's
+// saturation model depends on.
+type Pool struct {
+	db    *DB
+	conns chan *Conn
+	size  int
+}
+
+// NewPool creates a pool of size connections against db.
+func NewPool(db *DB, size int) *Pool {
+	if size <= 0 {
+		panic("sqldb: pool size must be positive")
+	}
+	p := &Pool{db: db, conns: make(chan *Conn, size), size: size}
+	for i := 0; i < size; i++ {
+		p.conns <- &Conn{db: db, pool: p}
+	}
+	return p
+}
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return p.size }
+
+// Idle returns the number of idle connections.
+func (p *Pool) Idle() int { return len(p.conns) }
+
+// Acquire borrows a connection, blocking until one is free.
+func (p *Pool) Acquire() *Conn { return <-p.conns }
+
+// TryAcquire borrows a connection without blocking; it reports whether one
+// was available.
+func (p *Pool) TryAcquire() (*Conn, bool) {
+	select {
+	case c := <-p.conns:
+		return c, true
+	default:
+		return nil, false
+	}
+}
+
+// Release returns a connection to the pool with its cost reset. Releasing
+// a foreign or double-released connection panics: both are serious caller
+// bugs that would silently distort cost accounting.
+func (p *Pool) Release(c *Conn) {
+	if c == nil || c.pool != p {
+		panic("sqldb: Release of connection not owned by this pool")
+	}
+	c.ResetCost()
+	select {
+	case p.conns <- c:
+	default:
+		panic(fmt.Sprintf("sqldb: pool overflow on Release (size %d)", p.size))
+	}
+}

@@ -1,0 +1,213 @@
+package sqldb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newPoolDB(t *testing.T) (*DB, *Pool) {
+	t.Helper()
+	db := NewDB()
+	if _, err := db.CreateTable(bookSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return db, NewPool(db, 2)
+}
+
+func TestDBCreateAndLookup(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable(bookSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(bookSchema()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := db.Table("item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("ghost"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("ghost table err = %v", err)
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "item" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if _, err := db.CreateTable(Schema{}); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
+
+func TestConnCostAccounting(t *testing.T) {
+	db, pool := newPoolDB(t)
+	c := pool.Acquire()
+	defer pool.Release(c)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Insert("item", Row{nil, "B", "ARTS", 1.0, int64(9)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ResetCost()
+	rows, err := c.Select("item", Where("i_subject", Eq, "ARTS"))
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("select = %d rows, %v", len(rows), err)
+	}
+	cost := c.Cost()
+	if cost.Queries != 1 || cost.RowsScanned != 5 || cost.RowsReturned != 5 {
+		t.Fatalf("cost = %+v", cost)
+	}
+	if _, ok, err := c.Get("item", int64(1)); err != nil || !ok {
+		t.Fatal("Get failed")
+	}
+	if err := c.Update("item", int64(1), map[string]any{"i_stock": int64(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Delete("item", int64(5)); err != nil || !ok {
+		t.Fatal("Delete failed")
+	}
+	cost = c.Cost()
+	if cost.Queries != 4 {
+		t.Fatalf("queries = %d, want 4", cost.Queries)
+	}
+	st := db.Stats()
+	if st.Queries < 4 {
+		t.Fatalf("engine queries = %d", st.Queries)
+	}
+}
+
+func TestConnErrorsOnGhostTable(t *testing.T) {
+	_, pool := newPoolDB(t)
+	c := pool.Acquire()
+	defer pool.Release(c)
+	if _, err := c.Select("ghost", Query{}); err == nil {
+		t.Fatal("select ghost table succeeded")
+	}
+	if _, _, err := c.Get("ghost", int64(1)); err == nil {
+		t.Fatal("get ghost table succeeded")
+	}
+	if _, err := c.Insert("ghost", Row{}); err == nil {
+		t.Fatal("insert ghost table succeeded")
+	}
+	if err := c.Update("ghost", int64(1), nil); err == nil {
+		t.Fatal("update ghost table succeeded")
+	}
+	if _, err := c.Delete("ghost", int64(1)); err == nil {
+		t.Fatal("delete ghost table succeeded")
+	}
+}
+
+func TestPoolAcquireRelease(t *testing.T) {
+	_, pool := newPoolDB(t)
+	if pool.Size() != 2 || pool.Idle() != 2 {
+		t.Fatalf("size=%d idle=%d", pool.Size(), pool.Idle())
+	}
+	c1 := pool.Acquire()
+	c2, ok := pool.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed with idle connection")
+	}
+	if _, ok := pool.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded on empty pool")
+	}
+	pool.Release(c1)
+	pool.Release(c2)
+	if pool.Idle() != 2 {
+		t.Fatalf("idle = %d after releases", pool.Idle())
+	}
+}
+
+func TestPoolReleaseResetsCost(t *testing.T) {
+	_, pool := newPoolDB(t)
+	c := pool.Acquire()
+	if _, err := c.Insert("item", Row{nil, "B", "ARTS", 1.0, int64(9)}); err != nil {
+		t.Fatal(err)
+	}
+	pool.Release(c)
+	c2 := pool.Acquire()
+	defer pool.Release(c2)
+	if c2.Cost() != (QueryCost{}) {
+		t.Fatalf("cost not reset: %+v", c2.Cost())
+	}
+}
+
+func TestPoolForeignReleasePanics(t *testing.T) {
+	_, p1 := newPoolDB(t)
+	_, p2 := newPoolDB(t)
+	c := p1.Acquire()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign release did not panic")
+		}
+	}()
+	p2.Release(c)
+}
+
+func TestPoolBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size pool did not panic")
+		}
+	}()
+	NewPool(NewDB(), 0)
+}
+
+func TestQueryCostAdd(t *testing.T) {
+	a := QueryCost{Queries: 1, RowsScanned: 2, RowsReturned: 3}
+	a.Add(QueryCost{Queries: 10, RowsScanned: 20, RowsReturned: 30})
+	if a.Queries != 11 || a.RowsScanned != 22 || a.RowsReturned != 33 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestPoolConcurrentBorrowers(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable(bookSchema()); err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(db, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := pool.Acquire()
+				_, _ = c.Insert("item", Row{nil, "B", "ARTS", 1.0, int64(1)})
+				_, _ = c.Select("item", Where("i_subject", Eq, "ARTS").Limited(1))
+				pool.Release(c)
+			}
+		}()
+	}
+	wg.Wait()
+	tb, _ := db.Table("item")
+	if tb.Len() != 16*50 {
+		t.Fatalf("rows = %d, want %d", tb.Len(), 16*50)
+	}
+	if pool.Idle() != 4 {
+		t.Fatalf("idle = %d", pool.Idle())
+	}
+}
+
+func TestInsertSelectRoundTrip(t *testing.T) {
+	// Property: every inserted row is retrievable by its returned key
+	// and equal to what was inserted.
+	f := func(title string, cost float64, stock uint16) bool {
+		if cost != cost || cost > 1e300 || cost < -1e300 { // NaN/huge guard
+			return true
+		}
+		db := NewDB()
+		tb, err := db.CreateTable(bookSchema())
+		if err != nil {
+			return false
+		}
+		pk, err := tb.Insert(Row{nil, title, "ARTS", cost, int64(stock)})
+		if err != nil {
+			return false
+		}
+		r, ok := tb.Get(pk)
+		return ok && r[1].(string) == title && r[3].(float64) == cost && r[4].(int64) == int64(stock)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

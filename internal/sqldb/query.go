@@ -1,0 +1,179 @@
+package sqldb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Op is a predicate comparison operator.
+type Op int
+
+// Supported operators. Contains applies to String columns only
+// (substring match, the engine's LIKE '%x%').
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Contains
+)
+
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Contains:
+		return "CONTAINS"
+	default:
+		return "?"
+	}
+}
+
+// Pred is one WHERE predicate; a query's predicates are ANDed.
+type Pred struct {
+	Col string
+	Op  Op
+	Val any
+}
+
+// Query selects rows: ANDed predicates, optional ordering and limit.
+// The zero Query selects everything.
+type Query struct {
+	Where   []Pred
+	OrderBy string // column name; empty for storage order
+	Desc    bool
+	Limit   int // 0 means no limit
+}
+
+// Where is a convenience constructor for a single-predicate query.
+func Where(col string, op Op, val any) Query {
+	return Query{Where: []Pred{{Col: col, Op: op, Val: val}}}
+}
+
+// And appends a predicate, returning the updated query for chaining.
+func (q Query) And(col string, op Op, val any) Query {
+	q.Where = append(q.Where, Pred{Col: col, Op: op, Val: val})
+	return q
+}
+
+// Ordered sets the ordering column and direction.
+func (q Query) Ordered(col string, desc bool) Query {
+	q.OrderBy = col
+	q.Desc = desc
+	return q
+}
+
+// Limited sets the row limit.
+func (q Query) Limited(n int) Query {
+	q.Limit = n
+	return q
+}
+
+// matches evaluates all predicates against row r of schema s.
+func (q Query) matches(s Schema, r Row) (bool, error) {
+	for _, p := range q.Where {
+		i := s.colIndex(p.Col)
+		if i < 0 {
+			return false, fmt.Errorf("sqldb: no column %q in %q", p.Col, s.Name)
+		}
+		ok, err := evalPred(s.Columns[i].Type, r[i], p.Op, p.Val)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func evalPred(t ColType, have any, op Op, want any) (bool, error) {
+	if op == Contains {
+		if t != String {
+			return false, fmt.Errorf("sqldb: CONTAINS on non-string column type %s", t)
+		}
+		h, _ := have.(string)
+		w, ok := want.(string)
+		if !ok {
+			return false, fmt.Errorf("%w: CONTAINS wants string, got %T", ErrBadValue, want)
+		}
+		return strings.Contains(h, w), nil
+	}
+	c, err := compare(t, have, want)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case Eq:
+		return c == 0, nil
+	case Ne:
+		return c != 0, nil
+	case Lt:
+		return c < 0, nil
+	case Le:
+		return c <= 0, nil
+	case Gt:
+		return c > 0, nil
+	case Ge:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("sqldb: unknown operator %d", op)
+	}
+}
+
+// compare orders two values of column type t.
+func compare(t ColType, a, b any) (int, error) {
+	if err := checkValue(t, a); err != nil {
+		return 0, err
+	}
+	if err := checkValue(t, b); err != nil {
+		return 0, err
+	}
+	switch t {
+	case Int64:
+		x, y := a.(int64), b.(int64)
+		return cmpOrdered(x, y), nil
+	case Float64:
+		x, y := a.(float64), b.(float64)
+		return cmpOrdered(x, y), nil
+	case String:
+		return strings.Compare(a.(string), b.(string)), nil
+	case Bool:
+		x, y := a.(bool), b.(bool)
+		switch {
+		case x == y:
+			return 0, nil
+		case !x:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	case Bytes:
+		return bytes.Compare(a.([]byte), b.([]byte)), nil
+	}
+	return 0, fmt.Errorf("sqldb: cannot compare type %s", t)
+}
+
+func cmpOrdered[T int64 | float64](x, y T) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,169 @@
+package sqldb
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refSelect is a naive reference implementation of query evaluation used
+// to cross-check the engine: filter all rows, sort, limit.
+func refSelect(rows []Row, s Schema, q Query) ([]Row, error) {
+	var out []Row
+	for _, r := range rows {
+		ok, err := q.matches(s, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, append(Row(nil), r...))
+		}
+	}
+	if q.OrderBy != "" {
+		ci := s.colIndex(q.OrderBy)
+		ct := s.Columns[ci].Type
+		sort.SliceStable(out, func(i, j int) bool {
+			c, _ := compare(ct, out[i][ci], out[j][ci])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// TestSelectMatchesReference cross-checks the engine (with its index
+// shortcuts) against the naive reference over randomized tables and
+// queries.
+func TestSelectMatchesReference(t *testing.T) {
+	type spec struct {
+		Stocks   []uint8 // row data
+		Subject  uint8   // subject selector
+		UseIndex bool
+		Gt       bool
+		Desc     bool
+		Limit    uint8
+	}
+	subjects := []string{"ARTS", "BIO", "CS"}
+	f := func(sp spec) bool {
+		db := NewDB()
+		tb, err := db.CreateTable(bookSchema())
+		if err != nil {
+			return false
+		}
+		var raw []Row
+		for i, st := range sp.Stocks {
+			row := Row{nil, "Book", subjects[i%3], float64(i), int64(st)}
+			pk, err := tb.Insert(row)
+			if err != nil {
+				return false
+			}
+			stored, _ := tb.Get(pk)
+			raw = append(raw, stored)
+		}
+		if sp.UseIndex {
+			if err := tb.CreateIndex("i_subject"); err != nil {
+				return false
+			}
+		}
+		q := Where("i_subject", Eq, subjects[int(sp.Subject)%3])
+		if sp.Gt {
+			q = q.And("i_stock", Gt, int64(100))
+		}
+		q = q.Ordered("i_cost", sp.Desc).Limited(int(sp.Limit % 8))
+
+		got, _, err := tb.selectRows(q)
+		if err != nil {
+			return false
+		}
+		want, err := refSelect(raw, tb.Schema(), q)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexInvariant checks that index maintenance keeps query results
+// identical across a random sequence of inserts, updates and deletes.
+func TestIndexInvariant(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		Key     uint8
+		Subject uint8
+	}
+	subjects := []string{"ARTS", "BIO", "CS"}
+	f := func(ops []op) bool {
+		indexed := NewDB()
+		plain := NewDB()
+		ti, _ := indexed.CreateTable(bookSchema())
+		tp, _ := plain.CreateTable(bookSchema())
+		if err := ti.CreateIndex("i_subject"); err != nil {
+			return false
+		}
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // insert
+				row := Row{nil, "B", subjects[int(o.Subject)%3], 1.0, int64(o.Key)}
+				if _, err := ti.Insert(row); err != nil {
+					return false
+				}
+				if _, err := tp.Insert(row); err != nil {
+					return false
+				}
+			case 1: // update
+				pk := int64(o.Key%16) + 1
+				set := map[string]any{"i_subject": subjects[int(o.Subject)%3]}
+				e1 := ti.Update(pk, set)
+				e2 := tp.Update(pk, set)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			case 2: // delete
+				pk := int64(o.Key%16) + 1
+				if ti.Delete(pk) != tp.Delete(pk) {
+					return false
+				}
+			}
+		}
+		for _, subj := range subjects {
+			a, _, err := ti.selectRows(Where("i_subject", Eq, subj).Ordered("i_id", false))
+			if err != nil {
+				return false
+			}
+			b, _, err := tp.selectRows(Where("i_subject", Eq, subj).Ordered("i_id", false))
+			if err != nil {
+				return false
+			}
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i][0] != b[i][0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

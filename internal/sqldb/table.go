@@ -1,0 +1,262 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Row-level errors.
+var (
+	ErrNoSuchRow    = errors.New("sqldb: no such row")
+	ErrDuplicateKey = errors.New("sqldb: duplicate primary key")
+	ErrNoSuchColumn = errors.New("sqldb: no such column")
+)
+
+// Table is one table: rows keyed by primary key plus optional secondary
+// hash indexes. Tables are safe for concurrent use.
+type Table struct {
+	schema Schema
+	pkIdx  int
+
+	mu      sync.RWMutex
+	rows    map[any]Row
+	order   []any // insertion order of live keys
+	indexes map[string]map[any][]any
+	autoinc int64
+}
+
+func newTable(s Schema) *Table {
+	return &Table{
+		schema:  s,
+		pkIdx:   s.colIndex(s.PrimaryKey),
+		rows:    make(map[any]Row),
+		indexes: make(map[string]map[any][]any),
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// CreateIndex builds a secondary hash index on col. Only Eq predicates use
+// indexes. Creating an existing index is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	ci := t.schema.colIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("%w: %q in %q", ErrNoSuchColumn, col, t.schema.Name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	idx := make(map[any][]any)
+	for _, key := range t.order {
+		v := t.rows[key][ci]
+		idx[v] = append(idx[v], key)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Insert adds row and returns its primary key. A nil Int64 primary key
+// auto-increments. Column values are type-checked.
+func (t *Table) Insert(row Row) (any, error) {
+	if len(row) != len(t.schema.Columns) {
+		return nil, fmt.Errorf("sqldb: row width %d, table %q has %d columns",
+			len(row), t.schema.Name, len(t.schema.Columns))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if row[t.pkIdx] == nil && t.schema.Columns[t.pkIdx].Type == Int64 {
+		t.autoinc++
+		row = append(Row(nil), row...)
+		row[t.pkIdx] = t.autoinc
+	}
+	for i, c := range t.schema.Columns {
+		if err := checkValue(c.Type, row[i]); err != nil {
+			return nil, fmt.Errorf("column %q: %w", c.Name, err)
+		}
+	}
+	key := row[t.pkIdx]
+	if _, dup := t.rows[key]; dup {
+		return nil, fmt.Errorf("%w: %v in %q", ErrDuplicateKey, key, t.schema.Name)
+	}
+	stored := append(Row(nil), row...)
+	t.rows[key] = stored
+	t.order = append(t.order, key)
+	for col, idx := range t.indexes {
+		v := stored[t.schema.colIndex(col)]
+		idx[v] = append(idx[v], key)
+	}
+	// Keep auto-increment ahead of explicit integer keys.
+	if k, ok := key.(int64); ok && k > t.autoinc {
+		t.autoinc = k
+	}
+	return key, nil
+}
+
+// Get returns a copy of the row with the given primary key.
+func (t *Table) Get(pk any) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[pk]
+	if !ok {
+		return nil, false
+	}
+	return append(Row(nil), r...), true
+}
+
+// Update applies the column=value assignments in set to the row with the
+// given primary key. The primary key column cannot be updated.
+func (t *Table) Update(pk any, set map[string]any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rows[pk]
+	if !ok {
+		return fmt.Errorf("%w: %v in %q", ErrNoSuchRow, pk, t.schema.Name)
+	}
+	for col, v := range set {
+		ci := t.schema.colIndex(col)
+		if ci < 0 {
+			return fmt.Errorf("%w: %q in %q", ErrNoSuchColumn, col, t.schema.Name)
+		}
+		if ci == t.pkIdx {
+			return fmt.Errorf("sqldb: cannot update primary key of %q", t.schema.Name)
+		}
+		if err := checkValue(t.schema.Columns[ci].Type, v); err != nil {
+			return fmt.Errorf("column %q: %w", col, err)
+		}
+	}
+	for col, v := range set {
+		ci := t.schema.colIndex(col)
+		if idx, ok := t.indexes[col]; ok {
+			old := r[ci]
+			idx[old] = removeKey(idx[old], pk)
+			if len(idx[old]) == 0 {
+				delete(idx, old)
+			}
+			idx[v] = append(idx[v], pk)
+		}
+		r[ci] = v
+	}
+	return nil
+}
+
+// Delete removes the row with the given primary key, reporting whether it
+// existed.
+func (t *Table) Delete(pk any) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rows[pk]
+	if !ok {
+		return false
+	}
+	for col, idx := range t.indexes {
+		v := r[t.schema.colIndex(col)]
+		idx[v] = removeKey(idx[v], pk)
+		if len(idx[v]) == 0 {
+			delete(idx, v)
+		}
+	}
+	delete(t.rows, pk)
+	for i, k := range t.order {
+		if k == pk {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func removeKey(keys []any, pk any) []any {
+	for i, k := range keys {
+		if k == pk {
+			return append(keys[:i], keys[i+1:]...)
+		}
+	}
+	return keys
+}
+
+// selectRows evaluates q and returns copies of the matching rows plus the
+// number of rows scanned (the cost driver). An Eq predicate on the primary
+// key or an indexed column narrows the scan; otherwise the whole table is
+// walked in insertion order.
+func (t *Table) selectRows(q Query) ([]Row, int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	candidates := t.candidatesLocked(q)
+	var scanned int64
+	var out []Row
+	for _, key := range candidates {
+		r, ok := t.rows[key]
+		if !ok {
+			continue
+		}
+		scanned++
+		match, err := q.matches(t.schema, r)
+		if err != nil {
+			return nil, scanned, err
+		}
+		if match {
+			out = append(out, append(Row(nil), r...))
+		}
+	}
+	if q.OrderBy != "" {
+		ci := t.schema.colIndex(q.OrderBy)
+		if ci < 0 {
+			return nil, scanned, fmt.Errorf("%w: order by %q in %q", ErrNoSuchColumn, q.OrderBy, t.schema.Name)
+		}
+		ct := t.schema.Columns[ci].Type
+		var sortErr error
+		sort.SliceStable(out, func(i, j int) bool {
+			c, err := compare(ct, out[i][ci], out[j][ci])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return nil, scanned, sortErr
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, scanned, nil
+}
+
+// candidatesLocked picks the narrowest key set for the query: an Eq
+// predicate on the primary key, then an Eq predicate on an indexed column,
+// then the full table.
+func (t *Table) candidatesLocked(q Query) []any {
+	for _, p := range q.Where {
+		if p.Op == Eq && p.Col == t.schema.PrimaryKey {
+			if _, ok := t.rows[p.Val]; ok {
+				return []any{p.Val}
+			}
+			return nil
+		}
+	}
+	for _, p := range q.Where {
+		if p.Op != Eq {
+			continue
+		}
+		if idx, ok := t.indexes[p.Col]; ok {
+			return append([]any(nil), idx[p.Val]...)
+		}
+	}
+	return append([]any(nil), t.order...)
+}

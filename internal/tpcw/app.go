@@ -1,0 +1,115 @@
+package tpcw
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/aspect"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+)
+
+// App assembles the TPC-W application: the database, the woven DAO
+// components, and the fourteen interaction servlets. One App deploys into
+// one container.
+type App struct {
+	// Catalog, Customers, Orders and Promo are the woven data-access
+	// components servlets execute through.
+	Catalog   *CatalogDAO
+	Customers *CustomerDAO
+	Orders    *OrderDAO
+	Promo     *PromoSvc
+
+	db       *sqldb.DB
+	clock    sim.Clock
+	scale    Scale
+	servlets map[string]servlet.Servlet
+
+	fallbackItem atomic.Int64
+	unameSeq     atomic.Int64
+}
+
+// NewApp creates the schema, populates it at the given scale, weaves the
+// DAOs and instantiates the servlets. The clock stamps order dates
+// (WallClock when nil).
+func NewApp(db *sqldb.DB, weaver *aspect.Weaver, clock sim.Clock, scale Scale) (*App, error) {
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	scale = scale.withDefaults()
+	if err := CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if err := Populate(db, scale); err != nil {
+		return nil, err
+	}
+	a := &App{
+		Catalog:   NewCatalogDAO(weaver),
+		Customers: NewCustomerDAO(weaver),
+		Orders:    NewOrderDAO(weaver),
+		Promo:     NewPromoSvc(weaver),
+		db:        db,
+		clock:     clock,
+		scale:     scale,
+	}
+	a.unameSeq.Store(int64(scale.Customers))
+	a.servlets = map[string]servlet.Servlet{
+		CompHome:          &homeServlet{base{app: a}},
+		CompNewProducts:   &newProductsServlet{base{app: a}},
+		CompBestSellers:   &bestSellersServlet{base{app: a}},
+		CompProductDetail: &productDetailServlet{base{app: a}},
+		CompSearchRequest: &searchRequestServlet{base{app: a}},
+		CompSearchResults: &searchResultsServlet{base{app: a}},
+		CompShoppingCart:  &shoppingCartServlet{base{app: a}},
+		CompCustomerReg:   &customerRegServlet{base{app: a}},
+		CompBuyRequest:    &buyRequestServlet{base{app: a}},
+		CompBuyConfirm:    &buyConfirmServlet{base{app: a}},
+		CompOrderInquiry:  &orderInquiryServlet{base{app: a}},
+		CompOrderDisplay:  &orderDisplayServlet{base{app: a}},
+		CompAdminRequest:  &adminRequestServlet{base{app: a}},
+		CompAdminConfirm:  &adminConfirmServlet{base{app: a}},
+	}
+	return a, nil
+}
+
+// DeployAll deploys every interaction servlet into c.
+func (a *App) DeployAll(c *servlet.Container) error {
+	for _, name := range Interactions {
+		if err := c.Deploy(name, a.servlets[name]); err != nil {
+			return fmt.Errorf("tpcw: deploy %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Servlet returns the servlet instance of an interaction — the live object
+// the ObjectSizeAgent measures and the fault injectors retain into.
+func (a *App) Servlet(name string) (servlet.Servlet, bool) {
+	s, ok := a.servlets[name]
+	return s, ok
+}
+
+// DB returns the application database.
+func (a *App) DB() *sqldb.DB { return a.db }
+
+// Scale returns the population scale in effect.
+func (a *App) Scale() Scale { return a.scale }
+
+// nextFallbackItem rotates deterministically through the catalogue for
+// requests that arrive without an I_ID parameter.
+func (a *App) nextFallbackItem() int64 {
+	n := a.fallbackItem.Add(1)
+	return (n-1)%int64(a.scale.Items) + 1
+}
+
+// freshUname allocates a unique user name for ad-hoc registration.
+func (a *App) freshUname() string {
+	return Uname(int(a.unameSeq.Add(1)))
+}
+
+// clockSeconds returns the current clock time in whole seconds since the
+// simulation epoch, used as order/publication dates.
+func (a *App) clockSeconds(*servlet.Request) int64 {
+	return int64(a.clock.Now().Sub(sim.Epoch).Seconds())
+}

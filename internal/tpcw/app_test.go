@@ -1,0 +1,406 @@
+package tpcw
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/jvmheap"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+)
+
+func newTestApp(t *testing.T) (*sim.Engine, *servlet.Container, *App) {
+	t.Helper()
+	engine := sim.NewEngine()
+	weaver := aspect.NewWeaver(engine.Clock())
+	db := sqldb.NewDB()
+	app, err := NewApp(db, weaver, engine.Clock(), Scale{Items: 200, Customers: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := jvmheap.New(1<<28, engine.Clock())
+	c := servlet.NewContainer(engine, weaver, db, heap, servlet.Config{})
+	if err := app.DeployAll(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return engine, c, app
+}
+
+// run submits one request and returns its response.
+func run(t *testing.T, engine *sim.Engine, c *servlet.Container, req *servlet.Request) *servlet.Response {
+	t.Helper()
+	var resp *servlet.Response
+	engine.ScheduleAfter(0, func(time.Time) {
+		c.Submit(req, func(_ *servlet.Request, r *servlet.Response) { resp = r })
+	})
+	engine.RunFor(10 * time.Second)
+	if resp == nil {
+		t.Fatal("request did not complete")
+	}
+	return resp
+}
+
+func TestPopulationCardinalities(t *testing.T) {
+	_, _, app := newTestApp(t)
+	for table, want := range map[string]int{
+		TableItem:     200,
+		TableCustomer: 100,
+		TableOrders:   90,
+		TableCountry:  16,
+		TableAddress:  200,
+		TableAuthor:   51,
+	} {
+		tb, err := app.DB().Table(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Len() != want {
+			t.Errorf("%s rows = %d, want %d", table, tb.Len(), want)
+		}
+	}
+	// Order lines: 1-5 per order.
+	ol, _ := app.DB().Table(TableOrderLine)
+	if n := ol.Len(); n < 90 || n > 450 {
+		t.Errorf("order_line rows = %d, want 90..450", n)
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	mk := func() []sqldb.Row {
+		db := sqldb.NewDB()
+		w := aspect.NewWeaver(nil)
+		if _, err := NewApp(db, w, nil, Scale{Items: 50, Customers: 20, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+		tb, _ := db.Table(TableItem)
+		var rows []sqldb.Row
+		for i := int64(1); i <= 50; i++ {
+			r, _ := tb.Get(i)
+			rows = append(rows, r)
+		}
+		return rows
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("population not deterministic at row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestHomeInteraction(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	resp := run(t, engine, c, &servlet.Request{
+		Interaction: CompHome, SessionID: "eb1",
+		Params: map[string]string{"I_ID": "5"},
+	})
+	if !resp.OK() {
+		t.Fatalf("home failed: %+v", resp)
+	}
+	ids := resp.Get("item_ids").([]int64)
+	if len(ids) != 2 {
+		t.Fatalf("promo ids = %v", ids)
+	}
+}
+
+func TestProductDetailAndRelated(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	resp := run(t, engine, c, &servlet.Request{
+		Interaction: CompProductDetail, SessionID: "eb1",
+		Params: map[string]string{"I_ID": "7"},
+	})
+	if !resp.OK() || resp.Get("item").(int64) != 7 {
+		t.Fatalf("product_detail = %+v", resp)
+	}
+	if ids := resp.Get("item_ids").([]int64); len(ids) != 2 {
+		t.Fatalf("related ids = %v", ids)
+	}
+}
+
+func TestNewProductsAndBestSellers(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	np := run(t, engine, c, &servlet.Request{
+		Interaction: CompNewProducts, SessionID: "eb1",
+		Params: map[string]string{"SUBJECT": "ARTS"},
+	})
+	if !np.OK() {
+		t.Fatalf("new_products failed: %+v", np)
+	}
+	bs := run(t, engine, c, &servlet.Request{
+		Interaction: CompBestSellers, SessionID: "eb1",
+		Params: map[string]string{"SUBJECT": ""},
+	})
+	if !bs.OK() {
+		t.Fatalf("best_sellers failed: %+v", bs)
+	}
+	if ids := bs.Get("item_ids").([]int64); len(ids) == 0 {
+		t.Fatal("best_sellers returned nothing despite order history")
+	}
+}
+
+func TestSearchFlow(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	form := run(t, engine, c, &servlet.Request{Interaction: CompSearchRequest, SessionID: "eb1"})
+	if !form.OK() || len(form.Get("subjects").([]string)) != len(Subjects) {
+		t.Fatalf("search_request = %+v", form)
+	}
+	res := run(t, engine, c, &servlet.Request{
+		Interaction: CompSearchResults, SessionID: "eb1",
+		Params: map[string]string{"FIELD": "title", "TERM": "Book"},
+	})
+	if !res.OK() || len(res.Get("item_ids").([]int64)) == 0 {
+		t.Fatalf("title search = %+v", res)
+	}
+	byAuthor := run(t, engine, c, &servlet.Request{
+		Interaction: CompSearchResults, SessionID: "eb1",
+		Params: map[string]string{"FIELD": "author", "TERM": "AuthorL1"},
+	})
+	if !byAuthor.OK() {
+		t.Fatalf("author search = %+v", byAuthor)
+	}
+}
+
+func TestFullPurchaseFlow(t *testing.T) {
+	engine, c, app := newTestApp(t)
+	sid := "buyer"
+	add := run(t, engine, c, &servlet.Request{
+		Interaction: CompShoppingCart, SessionID: sid,
+		Params: map[string]string{"ACTION": "add", "I_ID": "3", "QTY": "2"},
+	})
+	if !add.OK() || add.Get("cart_lines").(int) != 1 {
+		t.Fatalf("cart add = %+v", add)
+	}
+	buyReq := run(t, engine, c, &servlet.Request{
+		Interaction: CompBuyRequest, SessionID: sid,
+		Params: map[string]string{"UNAME": Uname(1)},
+	})
+	if !buyReq.OK() || buyReq.Get("customer_id").(int64) != 1 {
+		t.Fatalf("buy_request = %+v", buyReq)
+	}
+	confirm := run(t, engine, c, &servlet.Request{Interaction: CompBuyConfirm, SessionID: sid})
+	if !confirm.OK() {
+		t.Fatalf("buy_confirm = %+v", confirm)
+	}
+	oid := confirm.Get("order_id").(int64)
+	if oid == 0 {
+		t.Fatal("no order created")
+	}
+	// The order must be in the database with its line and transaction.
+	orders, _ := app.DB().Table(TableOrders)
+	if _, ok := orders.Get(oid); !ok {
+		t.Fatal("order row missing")
+	}
+	display := run(t, engine, c, &servlet.Request{Interaction: CompOrderDisplay, SessionID: sid})
+	if !display.OK() || display.Get("order_id").(int64) != oid {
+		t.Fatalf("order_display = %+v", display)
+	}
+	// The cart is cleared after purchase.
+	refresh := run(t, engine, c, &servlet.Request{
+		Interaction: CompShoppingCart, SessionID: sid,
+		Params: map[string]string{"ACTION": "refresh"},
+	})
+	if refresh.Get("cart_lines").(int) != 0 {
+		t.Fatal("cart not cleared after purchase")
+	}
+}
+
+func TestBuyRequestRegistersNewCustomer(t *testing.T) {
+	engine, c, app := newTestApp(t)
+	before, _ := app.DB().Table(TableCustomer)
+	n := before.Len()
+	resp := run(t, engine, c, &servlet.Request{Interaction: CompBuyRequest, SessionID: "new"})
+	if !resp.OK() {
+		t.Fatalf("buy_request = %+v", resp)
+	}
+	if before.Len() != n+1 {
+		t.Fatal("registration did not insert customer")
+	}
+}
+
+func TestBuyConfirmWithoutSessionFails(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	resp := run(t, engine, c, &servlet.Request{Interaction: CompBuyConfirm, SessionID: "anon"})
+	if resp.OK() {
+		t.Fatal("buy_confirm without customer should fail")
+	}
+}
+
+func TestCartUpdateAndRemove(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	sid := "cartupd"
+	run(t, engine, c, &servlet.Request{
+		Interaction: CompShoppingCart, SessionID: sid,
+		Params: map[string]string{"ACTION": "add", "I_ID": "3"},
+	})
+	upd := run(t, engine, c, &servlet.Request{
+		Interaction: CompShoppingCart, SessionID: sid,
+		Params: map[string]string{"ACTION": "update", "I_ID": "3", "QTY": "5"},
+	})
+	if !upd.OK() || upd.Get("cart_lines").(int) != 1 {
+		t.Fatalf("cart update = %+v", upd)
+	}
+	rm := run(t, engine, c, &servlet.Request{
+		Interaction: CompShoppingCart, SessionID: sid,
+		Params: map[string]string{"ACTION": "update", "I_ID": "3", "QTY": "0"},
+	})
+	if rm.Get("cart_lines").(int) != 0 {
+		t.Fatal("cart line not removed")
+	}
+	bad := run(t, engine, c, &servlet.Request{
+		Interaction: CompShoppingCart, SessionID: sid,
+		Params: map[string]string{"ACTION": "explode"},
+	})
+	if bad.OK() {
+		t.Fatal("unknown cart action accepted")
+	}
+}
+
+func TestAdminFlow(t *testing.T) {
+	engine, c, app := newTestApp(t)
+	reqResp := run(t, engine, c, &servlet.Request{
+		Interaction: CompAdminRequest, SessionID: "adm",
+		Params: map[string]string{"I_ID": "9"},
+	})
+	if !reqResp.OK() {
+		t.Fatalf("admin_request = %+v", reqResp)
+	}
+	conf := run(t, engine, c, &servlet.Request{
+		Interaction: CompAdminConfirm, SessionID: "adm",
+		Params: map[string]string{"I_ID": "9", "COST": "42.5"},
+	})
+	if !conf.OK() {
+		t.Fatalf("admin_confirm = %+v", conf)
+	}
+	items, _ := app.DB().Table(TableItem)
+	row, _ := items.Get(int64(9))
+	if row[6].(float64) != 42.5 {
+		t.Fatalf("cost not updated: %v", row[6])
+	}
+}
+
+func TestOrderInquiryAndRegistrationPages(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	if resp := run(t, engine, c, &servlet.Request{Interaction: CompOrderInquiry, SessionID: "x"}); !resp.OK() {
+		t.Fatalf("order_inquiry = %+v", resp)
+	}
+	if resp := run(t, engine, c, &servlet.Request{Interaction: CompCustomerReg, SessionID: "x"}); !resp.OK() {
+		t.Fatalf("customer_registration = %+v", resp)
+	}
+	// order_display without session renders empty, not failure.
+	if resp := run(t, engine, c, &servlet.Request{Interaction: CompOrderDisplay, SessionID: "y"}); !resp.OK() {
+		t.Fatalf("anon order_display = %+v", resp)
+	}
+}
+
+func TestDAOJoinPointsRecorded(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	var components []string
+	if err := c.Weaver().Register(&aspect.Aspect{
+		Name:     "tracer",
+		Pointcut: aspect.MustPointcut("within(tpcw.*)"),
+		Before: func(jp *aspect.JoinPoint) {
+			components = append(components, jp.Component)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, engine, c, &servlet.Request{
+		Interaction: CompHome, SessionID: "t",
+		Params: map[string]string{"I_ID": "5"},
+	})
+	// home always crosses the Promo service: the coupled pair.
+	var sawHome, sawPromo bool
+	for _, comp := range components {
+		if comp == CompHome {
+			sawHome = true
+		}
+		if comp == CompPromoSvc {
+			sawPromo = true
+		}
+	}
+	if !sawHome || !sawPromo {
+		t.Fatalf("trace = %v, want home and promo", components)
+	}
+}
+
+func TestAllInteractionsComplete(t *testing.T) {
+	engine, c, _ := newTestApp(t)
+	for i, name := range Interactions {
+		req := &servlet.Request{
+			Interaction: name,
+			SessionID:   "all" + strconv.Itoa(i),
+			Params:      map[string]string{"I_ID": "11", "SUBJECT": "ARTS", "UNAME": Uname(2)},
+		}
+		resp := run(t, engine, c, req)
+		if name == CompBuyConfirm {
+			continue // requires a prior buy_request in the session
+		}
+		if !resp.OK() {
+			t.Errorf("%s failed: %v", name, resp.Err)
+		}
+	}
+}
+
+func TestServletAccessors(t *testing.T) {
+	_, _, app := newTestApp(t)
+	if _, ok := app.Servlet(CompHome); !ok {
+		t.Fatal("Servlet(home) missing")
+	}
+	if _, ok := app.Servlet("ghost"); ok {
+		t.Fatal("ghost servlet found")
+	}
+	if app.Scale().Items != 200 {
+		t.Fatalf("Scale = %+v", app.Scale())
+	}
+	if len(Interactions) != 14 {
+		t.Fatalf("interactions = %d, want 14", len(Interactions))
+	}
+}
+
+func TestCartModel(t *testing.T) {
+	c := &Cart{}
+	if !c.Empty() {
+		t.Fatal("new cart not empty")
+	}
+	c.Add(1, 2, 10)
+	c.Add(1, 1, 10) // merges
+	c.Add(2, 1, 5)
+	if len(c.Lines) != 2 || c.Lines[0].Qty != 3 {
+		t.Fatalf("cart lines = %+v", c.Lines)
+	}
+	if c.Total() != 35 {
+		t.Fatalf("total = %v", c.Total())
+	}
+	if !c.Update(2, 4) || c.Total() != 50 {
+		t.Fatalf("update failed: %v", c.Total())
+	}
+	if c.Update(99, 1) {
+		t.Fatal("update of missing line reported true")
+	}
+	if !c.Update(1, 0) || len(c.Lines) != 1 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestFallbackItemRotation(t *testing.T) {
+	_, _, app := newTestApp(t)
+	seen := make(map[int64]bool)
+	for i := 0; i < 400; i++ {
+		id := app.nextFallbackItem()
+		if id < 1 || id > 200 {
+			t.Fatalf("fallback id %d out of range", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("rotation covered %d items, want 200", len(seen))
+	}
+}

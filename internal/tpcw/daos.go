@@ -1,0 +1,411 @@
+package tpcw
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/aspect"
+	"repro/internal/sqldb"
+)
+
+// DAO component names. DAOs are woven components like servlets, so every
+// request's component path includes the data-access components it crossed
+// — the structure the Pinpoint-style baseline needs and the coupling the
+// paper's related-work section discusses.
+const (
+	CompCatalogDAO  = "tpcw.dao.Catalog"
+	CompCustomerDAO = "tpcw.dao.Customer"
+	CompOrderDAO    = "tpcw.dao.Order"
+	CompPromoSvc    = "tpcw.svc.Promo"
+)
+
+// ErrNotFound reports a missing entity.
+var ErrNotFound = errors.New("tpcw: not found")
+
+// bestSellerWindow is how many recent orders the best-sellers interaction
+// aggregates over (TPC-W uses the latest 3333 orders).
+const bestSellerWindow int64 = 3333
+
+// weave wraps fn as a depth-1 woven component method.
+func weave(w *aspect.Weaver, comp, method string, fn aspect.Func) func(args ...any) (any, error) {
+	h := w.WeaveDepth(comp, method, fn)
+	return func(args ...any) (any, error) { return h(1, args...) }
+}
+
+// CatalogDAO reads the item catalogue.
+type CatalogDAO struct {
+	itemByID    func(args ...any) (any, error)
+	newProducts func(args ...any) (any, error)
+	bestSellers func(args ...any) (any, error)
+	search      func(args ...any) (any, error)
+}
+
+// NewCatalogDAO weaves a catalogue DAO through w.
+func NewCatalogDAO(w *aspect.Weaver) *CatalogDAO {
+	d := &CatalogDAO{}
+	d.itemByID = weave(w, CompCatalogDAO, "ItemByID", func(args ...any) (any, error) {
+		conn, id := args[0].(*sqldb.Conn), args[1].(int64)
+		row, ok, err := conn.Get(TableItem, id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: item %d", ErrNotFound, id)
+		}
+		return itemFromRow(row), nil
+	})
+	d.newProducts = weave(w, CompCatalogDAO, "NewProducts", func(args ...any) (any, error) {
+		conn, subject := args[0].(*sqldb.Conn), args[1].(string)
+		rows, err := conn.Select(TableItem,
+			sqldb.Where("i_subject", sqldb.Eq, subject).Ordered("i_pub_date", true).Limited(50))
+		if err != nil {
+			return nil, err
+		}
+		return itemsFromRows(rows), nil
+	})
+	d.bestSellers = weave(w, CompCatalogDAO, "BestSellers", func(args ...any) (any, error) {
+		conn, subject := args[0].(*sqldb.Conn), args[1].(string)
+		return bestSellers(conn, subject)
+	})
+	d.search = weave(w, CompCatalogDAO, "Search", func(args ...any) (any, error) {
+		conn, field, term := args[0].(*sqldb.Conn), args[1].(string), args[2].(string)
+		return searchItems(conn, field, term)
+	})
+	return d
+}
+
+// ItemByID fetches one item.
+func (d *CatalogDAO) ItemByID(conn *sqldb.Conn, id int64) (Item, error) {
+	v, err := d.itemByID(conn, id)
+	if err != nil {
+		return Item{}, err
+	}
+	return v.(Item), nil
+}
+
+// NewProducts returns the newest items of a subject.
+func (d *CatalogDAO) NewProducts(conn *sqldb.Conn, subject string) ([]Item, error) {
+	v, err := d.newProducts(conn, subject)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Item), nil
+}
+
+// BestSellers aggregates recent order lines into the subject's top sellers
+// — deliberately the most expensive interaction, as in TPC-W.
+func (d *CatalogDAO) BestSellers(conn *sqldb.Conn, subject string) ([]Item, error) {
+	v, err := d.bestSellers(conn, subject)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Item), nil
+}
+
+// Search finds items by "title" or "author" term.
+func (d *CatalogDAO) Search(conn *sqldb.Conn, field, term string) ([]Item, error) {
+	v, err := d.search(conn, field, term)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Item), nil
+}
+
+func itemsFromRows(rows []sqldb.Row) []Item {
+	out := make([]Item, len(rows))
+	for i, r := range rows {
+		out[i] = itemFromRow(r)
+	}
+	return out
+}
+
+func bestSellers(conn *sqldb.Conn, subject string) ([]Item, error) {
+	// Latest order id bounds the window.
+	latest, err := conn.Select(TableOrders, sqldb.Query{}.Ordered("o_id", true).Limited(1))
+	if err != nil {
+		return nil, err
+	}
+	if len(latest) == 0 {
+		return nil, nil
+	}
+	minOrder := latest[0][0].(int64) - bestSellerWindow
+	lines, err := conn.Select(TableOrderLine, sqldb.Where("ol_o_id", sqldb.Gt, minOrder))
+	if err != nil {
+		return nil, err
+	}
+	sold := make(map[int64]int64)
+	for _, l := range lines {
+		sold[l[2].(int64)] += l[3].(int64)
+	}
+	ids := make([]int64, 0, len(sold))
+	for id := range sold {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if sold[ids[i]] != sold[ids[j]] {
+			return sold[ids[i]] > sold[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	var out []Item
+	for _, id := range ids {
+		row, ok, err := conn.Get(TableItem, id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		it := itemFromRow(row)
+		if subject != "" && it.Subject != subject {
+			continue
+		}
+		out = append(out, it)
+		if len(out) == 50 {
+			break
+		}
+	}
+	return out, nil
+}
+
+func searchItems(conn *sqldb.Conn, field, term string) ([]Item, error) {
+	switch field {
+	case "title":
+		rows, err := conn.Select(TableItem,
+			sqldb.Where("i_title", sqldb.Contains, term).Limited(50))
+		if err != nil {
+			return nil, err
+		}
+		return itemsFromRows(rows), nil
+	case "author":
+		authors, err := conn.Select(TableAuthor,
+			sqldb.Where("a_lname", sqldb.Contains, term).Limited(10))
+		if err != nil {
+			return nil, err
+		}
+		var out []Item
+		for _, a := range authors {
+			rows, err := conn.Select(TableItem,
+				sqldb.Where("i_a_id", sqldb.Eq, a[0].(int64)).Limited(50))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, itemsFromRows(rows)...)
+			if len(out) >= 50 {
+				out = out[:50]
+				break
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tpcw: unknown search field %q", field)
+	}
+}
+
+// CustomerDAO reads and writes customers.
+type CustomerDAO struct {
+	byUname  func(args ...any) (any, error)
+	byID     func(args ...any) (any, error)
+	register func(args ...any) (any, error)
+}
+
+// NewCustomerDAO weaves a customer DAO through w.
+func NewCustomerDAO(w *aspect.Weaver) *CustomerDAO {
+	d := &CustomerDAO{}
+	d.byUname = weave(w, CompCustomerDAO, "ByUname", func(args ...any) (any, error) {
+		conn, uname := args[0].(*sqldb.Conn), args[1].(string)
+		rows, err := conn.Select(TableCustomer, sqldb.Where("c_uname", sqldb.Eq, uname).Limited(1))
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("%w: customer %q", ErrNotFound, uname)
+		}
+		return customerFromRow(rows[0]), nil
+	})
+	d.byID = weave(w, CompCustomerDAO, "ByID", func(args ...any) (any, error) {
+		conn, id := args[0].(*sqldb.Conn), args[1].(int64)
+		row, ok, err := conn.Get(TableCustomer, id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: customer %d", ErrNotFound, id)
+		}
+		return customerFromRow(row), nil
+	})
+	d.register = weave(w, CompCustomerDAO, "Register", func(args ...any) (any, error) {
+		conn, uname := args[0].(*sqldb.Conn), args[1].(string)
+		pk, err := conn.Insert(TableCustomer, sqldb.Row{
+			nil, uname, "password", "New", "Customer", int64(1), int64(0), 0.0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return pk.(int64), nil
+	})
+	return d
+}
+
+// ByUname fetches a customer by user name.
+func (d *CustomerDAO) ByUname(conn *sqldb.Conn, uname string) (Customer, error) {
+	v, err := d.byUname(conn, uname)
+	if err != nil {
+		return Customer{}, err
+	}
+	return v.(Customer), nil
+}
+
+// ByID fetches a customer by id.
+func (d *CustomerDAO) ByID(conn *sqldb.Conn, id int64) (Customer, error) {
+	v, err := d.byID(conn, id)
+	if err != nil {
+		return Customer{}, err
+	}
+	return v.(Customer), nil
+}
+
+// Register creates a new customer and returns its id.
+func (d *CustomerDAO) Register(conn *sqldb.Conn, uname string) (int64, error) {
+	v, err := d.register(conn, uname)
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// OrderDAO reads and writes orders.
+type OrderDAO struct {
+	mostRecent func(args ...any) (any, error)
+	create     func(args ...any) (any, error)
+}
+
+// NewOrderDAO weaves an order DAO through w.
+func NewOrderDAO(w *aspect.Weaver) *OrderDAO {
+	d := &OrderDAO{}
+	d.mostRecent = weave(w, CompOrderDAO, "MostRecentByCustomer", func(args ...any) (any, error) {
+		conn, cid := args[0].(*sqldb.Conn), args[1].(int64)
+		rows, err := conn.Select(TableOrders,
+			sqldb.Where("o_c_id", sqldb.Eq, cid).Ordered("o_date", true).Limited(1))
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("%w: no orders for customer %d", ErrNotFound, cid)
+		}
+		order := orderFromRow(rows[0])
+		lineRows, err := conn.Select(TableOrderLine, sqldb.Where("ol_o_id", sqldb.Eq, order.ID))
+		if err != nil {
+			return nil, err
+		}
+		lines := make([]OrderLine, len(lineRows))
+		for i, r := range lineRows {
+			lines[i] = orderLineFromRow(r)
+		}
+		return struct {
+			Order Order
+			Lines []OrderLine
+		}{order, lines}, nil
+	})
+	d.create = weave(w, CompOrderDAO, "Create", func(args ...any) (any, error) {
+		conn := args[0].(*sqldb.Conn)
+		cid := args[1].(int64)
+		cart := args[2].(*Cart)
+		date := args[3].(int64)
+		oid, err := conn.Insert(TableOrders, sqldb.Row{nil, cid, date, cart.Total(), "PENDING"})
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range cart.Lines {
+			if _, err := conn.Insert(TableOrderLine,
+				sqldb.Row{nil, oid.(int64), l.ItemID, l.Qty, 0.0}); err != nil {
+				return nil, err
+			}
+			// Decrement stock, restocking when exhausted (TPC-W rule).
+			row, ok, err := conn.Get(TableItem, l.ItemID)
+			if err != nil || !ok {
+				continue
+			}
+			stock := row[8].(int64) - l.Qty
+			if stock < 0 {
+				stock += 21
+			}
+			if err := conn.Update(TableItem, l.ItemID, map[string]any{"i_stock": stock}); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := conn.Insert(TableCCXacts,
+			sqldb.Row{nil, oid.(int64), "VISA", cart.Total(), date}); err != nil {
+			return nil, err
+		}
+		return oid.(int64), nil
+	})
+	return d
+}
+
+// MostRecentByCustomer returns the customer's latest order and its lines.
+func (d *OrderDAO) MostRecentByCustomer(conn *sqldb.Conn, cid int64) (Order, []OrderLine, error) {
+	v, err := d.mostRecent(conn, cid)
+	if err != nil {
+		return Order{}, nil, err
+	}
+	res := v.(struct {
+		Order Order
+		Lines []OrderLine
+	})
+	return res.Order, res.Lines, nil
+}
+
+// Create persists the cart as a new order and returns the order id.
+func (d *OrderDAO) Create(conn *sqldb.Conn, cid int64, cart *Cart, date int64) (int64, error) {
+	v, err := d.create(conn, cid, cart, date)
+	if err != nil {
+		return 0, err
+	}
+	return v.(int64), nil
+}
+
+// PromoSvc computes the promotional slate shown on the home and product
+// pages. The home servlet always invokes it — the "coupled components"
+// situation the paper argues Pinpoint cannot disentangle.
+type PromoSvc struct {
+	related func(args ...any) (any, error)
+}
+
+// NewPromoSvc weaves a promotion service through w.
+func NewPromoSvc(w *aspect.Weaver) *PromoSvc {
+	s := &PromoSvc{}
+	s.related = weave(w, CompPromoSvc, "Related", func(args ...any) (any, error) {
+		conn, itemID := args[0].(*sqldb.Conn), args[1].(int64)
+		row, ok, err := conn.Get(TableItem, itemID)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return []Item{}, nil
+		}
+		it := itemFromRow(row)
+		var out []Item
+		for _, rid := range []int64{it.Related1, it.Related2} {
+			rrow, ok, err := conn.Get(TableItem, rid)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, itemFromRow(rrow))
+			}
+		}
+		return out, nil
+	})
+	return s
+}
+
+// Related returns the promotional items for the given anchor item.
+func (s *PromoSvc) Related(conn *sqldb.Conn, itemID int64) ([]Item, error) {
+	v, err := s.related(conn, itemID)
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Item), nil
+}

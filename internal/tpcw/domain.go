@@ -1,0 +1,150 @@
+package tpcw
+
+import (
+	"repro/internal/sqldb"
+)
+
+// Item is one catalogue entry.
+type Item struct {
+	ID       int64
+	Title    string
+	AuthorID int64
+	PubDate  int64
+	Subject  string
+	Desc     string
+	Cost     float64
+	SRP      float64
+	Stock    int64
+	Related1 int64
+	Related2 int64
+}
+
+func itemFromRow(r sqldb.Row) Item {
+	return Item{
+		ID:       r[0].(int64),
+		Title:    r[1].(string),
+		AuthorID: r[2].(int64),
+		PubDate:  r[3].(int64),
+		Subject:  r[4].(string),
+		Desc:     r[5].(string),
+		Cost:     r[6].(float64),
+		SRP:      r[7].(float64),
+		Stock:    r[8].(int64),
+		Related1: r[9].(int64),
+		Related2: r[10].(int64),
+	}
+}
+
+// Customer is one registered user.
+type Customer struct {
+	ID       int64
+	Uname    string
+	FName    string
+	LName    string
+	AddrID   int64
+	Since    int64
+	Discount float64
+}
+
+func customerFromRow(r sqldb.Row) Customer {
+	return Customer{
+		ID:       r[0].(int64),
+		Uname:    r[1].(string),
+		FName:    r[3].(string),
+		LName:    r[4].(string),
+		AddrID:   r[5].(int64),
+		Since:    r[6].(int64),
+		Discount: r[7].(float64),
+	}
+}
+
+// Order is one order header.
+type Order struct {
+	ID       int64
+	Customer int64
+	Date     int64
+	Total    float64
+	Status   string
+}
+
+func orderFromRow(r sqldb.Row) Order {
+	return Order{
+		ID:       r[0].(int64),
+		Customer: r[1].(int64),
+		Date:     r[2].(int64),
+		Total:    r[3].(float64),
+		Status:   r[4].(string),
+	}
+}
+
+// OrderLine is one line of an order.
+type OrderLine struct {
+	ID       int64
+	OrderID  int64
+	ItemID   int64
+	Qty      int64
+	Discount float64
+}
+
+func orderLineFromRow(r sqldb.Row) OrderLine {
+	return OrderLine{
+		ID:       r[0].(int64),
+		OrderID:  r[1].(int64),
+		ItemID:   r[2].(int64),
+		Qty:      r[3].(int64),
+		Discount: r[4].(float64),
+	}
+}
+
+// CartLine is one entry of a session shopping cart.
+type CartLine struct {
+	ItemID int64
+	Qty    int64
+	Cost   float64
+}
+
+// Cart is the session shopping cart. It lives in the HTTP session (as in
+// the servlet edition of TPC-W) and is not safe for concurrent use beyond
+// the session's own synchronisation.
+type Cart struct {
+	Lines []CartLine
+}
+
+// Add inserts or increments a line.
+func (c *Cart) Add(itemID int64, qty int64, cost float64) {
+	for i := range c.Lines {
+		if c.Lines[i].ItemID == itemID {
+			c.Lines[i].Qty += qty
+			return
+		}
+	}
+	c.Lines = append(c.Lines, CartLine{ItemID: itemID, Qty: qty, Cost: cost})
+}
+
+// Update sets the quantity of an existing line; qty <= 0 removes it. It
+// reports whether the line existed.
+func (c *Cart) Update(itemID, qty int64) bool {
+	for i := range c.Lines {
+		if c.Lines[i].ItemID == itemID {
+			if qty <= 0 {
+				c.Lines = append(c.Lines[:i], c.Lines[i+1:]...)
+			} else {
+				c.Lines[i].Qty = qty
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Total returns the cart total cost.
+func (c *Cart) Total() float64 {
+	var t float64
+	for _, l := range c.Lines {
+		t += float64(l.Qty) * l.Cost
+	}
+	return t
+}
+
+// Empty reports whether the cart has no lines.
+func (c *Cart) Empty() bool { return len(c.Lines) == 0 }

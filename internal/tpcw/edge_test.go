@@ -1,0 +1,171 @@
+package tpcw
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/servlet"
+	"repro/internal/sqldb"
+)
+
+func newDAOFixture(t *testing.T) (*sqldb.Pool, *App) {
+	t.Helper()
+	db := sqldb.NewDB()
+	w := aspect.NewWeaver(nil)
+	app, err := NewApp(db, w, nil, Scale{Items: 60, Customers: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sqldb.NewPool(db, 2), app
+}
+
+func TestCatalogDAOEdges(t *testing.T) {
+	pool, app := newDAOFixture(t)
+	conn := pool.Acquire()
+	defer pool.Release(conn)
+
+	if _, err := app.Catalog.ItemByID(conn, 99999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing item err = %v", err)
+	}
+	if _, err := app.Catalog.Search(conn, "isbn", "x"); err == nil {
+		t.Fatal("unknown search field accepted")
+	}
+	// Subject with no items yields an empty (not error) result.
+	items, err := app.Catalog.NewProducts(conn, "NO-SUCH-SUBJECT")
+	if err != nil || len(items) != 0 {
+		t.Fatalf("empty subject = %v, %v", items, err)
+	}
+	// Best sellers respect the subject filter.
+	arts, err := app.Catalog.BestSellers(conn, "ARTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range arts {
+		if it.Subject != "ARTS" {
+			t.Fatalf("best seller with wrong subject: %+v", it)
+		}
+	}
+}
+
+func TestBestSellersEmptyOrderHistory(t *testing.T) {
+	db := sqldb.NewDB()
+	if err := CreateSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	w := aspect.NewWeaver(nil)
+	dao := NewCatalogDAO(w)
+	pool := sqldb.NewPool(db, 1)
+	conn := pool.Acquire()
+	defer pool.Release(conn)
+	items, err := dao.BestSellers(conn, "")
+	if err != nil || items != nil {
+		t.Fatalf("empty history best sellers = %v, %v", items, err)
+	}
+}
+
+func TestCustomerDAOEdges(t *testing.T) {
+	pool, app := newDAOFixture(t)
+	conn := pool.Acquire()
+	defer pool.Release(conn)
+
+	if _, err := app.Customers.ByUname(conn, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing customer err = %v", err)
+	}
+	if _, err := app.Customers.ByID(conn, 99999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing id err = %v", err)
+	}
+	c, err := app.Customers.ByUname(conn, Uname(1))
+	if err != nil || c.ID != 1 {
+		t.Fatalf("ByUname = %+v, %v", c, err)
+	}
+	id, err := app.Customers.Register(conn, "newuser01")
+	if err != nil || id == 0 {
+		t.Fatalf("Register = %d, %v", id, err)
+	}
+	got, err := app.Customers.ByID(conn, id)
+	if err != nil || got.Uname != "newuser01" {
+		t.Fatalf("registered lookup = %+v, %v", got, err)
+	}
+}
+
+func TestOrderDAOEdges(t *testing.T) {
+	pool, app := newDAOFixture(t)
+	conn := pool.Acquire()
+	defer pool.Release(conn)
+
+	// A customer registered fresh has no orders.
+	id, err := app.Customers.Register(conn, "freshbuyer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app.Orders.MostRecentByCustomer(conn, id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("no-orders err = %v", err)
+	}
+	// Creating an order decrements stock and restocks at zero.
+	itemRow, _, err := conn.Get(TableItem, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := itemRow[8].(int64)
+	cart := &Cart{}
+	cart.Add(1, before+1, 10) // force a restock (stock goes negative then +21)
+	oid, err := app.Orders.Create(conn, id, cart, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := conn.Get(TableItem, int64(1))
+	want := before - (before + 1) + 21
+	if after[8].(int64) != want {
+		t.Fatalf("restock: stock = %d, want %d", after[8].(int64), want)
+	}
+	order, lines, err := app.Orders.MostRecentByCustomer(conn, id)
+	if err != nil || order.ID != oid || len(lines) != 1 {
+		t.Fatalf("recent order = %+v, %d lines, %v", order, len(lines), err)
+	}
+	// The credit-card transaction row exists.
+	xacts, err := conn.Select(TableCCXacts, sqldb.Where("cx_o_id", sqldb.Eq, oid))
+	if err != nil || len(xacts) != 1 {
+		t.Fatalf("cc_xacts = %d, %v", len(xacts), err)
+	}
+}
+
+func TestPromoSvcMissingAnchor(t *testing.T) {
+	pool, app := newDAOFixture(t)
+	conn := pool.Acquire()
+	defer pool.Release(conn)
+	items, err := app.Promo.Related(conn, 99999)
+	if err != nil || len(items) != 0 {
+		t.Fatalf("missing anchor promo = %v, %v", items, err)
+	}
+}
+
+func TestServletBaseHelpers(t *testing.T) {
+	_, app := newDAOFixture(t)
+	s, _ := app.Servlet(CompHome)
+	home := s.(*homeServlet)
+
+	// Sessionless cart is a throwaway.
+	req := &servlet.Request{Interaction: CompHome}
+	if c := home.cart(req); c == nil || !c.Empty() {
+		t.Fatal("sessionless cart wrong")
+	}
+	if _, ok := home.customerID(req); ok {
+		t.Fatal("sessionless customer found")
+	}
+	// Bad I_ID falls back to rotation.
+	req.Params = map[string]string{"I_ID": "not-a-number"}
+	if id := home.itemParam(req); id < 1 || id > 60 {
+		t.Fatalf("fallback id = %d", id)
+	}
+	// Empty subject falls back to the first subject.
+	if got := home.subjectParam(&servlet.Request{}); got != Subjects[0] {
+		t.Fatalf("subject fallback = %q", got)
+	}
+}
+
+func TestUnameStable(t *testing.T) {
+	if Uname(7) != "user000007" {
+		t.Fatalf("Uname = %q", Uname(7))
+	}
+}

@@ -1,0 +1,298 @@
+// Package tpcw implements the evaluation application of the paper: the
+// TPC-W on-line bookstore, as servlets over the sqldb engine, matching the
+// Java servlet edition the paper runs on Tomcat. All fourteen web
+// interactions are present, backed by DAO components that are themselves
+// woven through the aspect layer, so per-request component paths include
+// the servlet and the data-access components it touches.
+package tpcw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+)
+
+// Table names.
+const (
+	TableCountry   = "country"
+	TableAddress   = "address"
+	TableCustomer  = "customer"
+	TableAuthor    = "author"
+	TableItem      = "item"
+	TableOrders    = "orders"
+	TableOrderLine = "order_line"
+	TableCCXacts   = "cc_xacts"
+)
+
+// Subjects is the TPC-W book subject list.
+var Subjects = []string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+	"HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+	"NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+	"ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+	"YOUTH", "TRAVEL",
+}
+
+// Scale configures database population. The TPC-W cardinality ratios are
+// preserved at a laptop-friendly default size.
+type Scale struct {
+	Items     int // catalogue size (default 1000)
+	Customers int // registered customers (default 1440)
+	Seed      uint64
+}
+
+func (s Scale) withDefaults() Scale {
+	if s.Items <= 0 {
+		s.Items = 1000
+	}
+	if s.Customers <= 0 {
+		s.Customers = 1440
+	}
+	if s.Seed == 0 {
+		s.Seed = 20100419 // IPDPS 2010 week; any fixed value works
+	}
+	return s
+}
+
+// CreateSchema creates the TPC-W tables and indexes in db.
+func CreateSchema(db *sqldb.DB) error {
+	specs := []struct {
+		schema  sqldb.Schema
+		indexes []string
+	}{
+		{
+			schema: sqldb.Schema{Name: TableCountry, PrimaryKey: "co_id", Columns: []sqldb.Column{
+				{Name: "co_id", Type: sqldb.Int64},
+				{Name: "co_name", Type: sqldb.String},
+			}},
+		},
+		{
+			schema: sqldb.Schema{Name: TableAddress, PrimaryKey: "addr_id", Columns: []sqldb.Column{
+				{Name: "addr_id", Type: sqldb.Int64},
+				{Name: "addr_street", Type: sqldb.String},
+				{Name: "addr_city", Type: sqldb.String},
+				{Name: "addr_co_id", Type: sqldb.Int64},
+			}},
+		},
+		{
+			schema: sqldb.Schema{Name: TableCustomer, PrimaryKey: "c_id", Columns: []sqldb.Column{
+				{Name: "c_id", Type: sqldb.Int64},
+				{Name: "c_uname", Type: sqldb.String},
+				{Name: "c_passwd", Type: sqldb.String},
+				{Name: "c_fname", Type: sqldb.String},
+				{Name: "c_lname", Type: sqldb.String},
+				{Name: "c_addr_id", Type: sqldb.Int64},
+				{Name: "c_since", Type: sqldb.Int64},
+				{Name: "c_discount", Type: sqldb.Float64},
+			}},
+			indexes: []string{"c_uname"},
+		},
+		{
+			schema: sqldb.Schema{Name: TableAuthor, PrimaryKey: "a_id", Columns: []sqldb.Column{
+				{Name: "a_id", Type: sqldb.Int64},
+				{Name: "a_fname", Type: sqldb.String},
+				{Name: "a_lname", Type: sqldb.String},
+			}},
+		},
+		{
+			schema: sqldb.Schema{Name: TableItem, PrimaryKey: "i_id", Columns: []sqldb.Column{
+				{Name: "i_id", Type: sqldb.Int64},
+				{Name: "i_title", Type: sqldb.String},
+				{Name: "i_a_id", Type: sqldb.Int64},
+				{Name: "i_pub_date", Type: sqldb.Int64},
+				{Name: "i_subject", Type: sqldb.String},
+				{Name: "i_desc", Type: sqldb.String},
+				{Name: "i_cost", Type: sqldb.Float64},
+				{Name: "i_srp", Type: sqldb.Float64},
+				{Name: "i_stock", Type: sqldb.Int64},
+				{Name: "i_related1", Type: sqldb.Int64},
+				{Name: "i_related2", Type: sqldb.Int64},
+				{Name: "i_thumbnail", Type: sqldb.String},
+			}},
+			indexes: []string{"i_subject", "i_a_id"},
+		},
+		{
+			schema: sqldb.Schema{Name: TableOrders, PrimaryKey: "o_id", Columns: []sqldb.Column{
+				{Name: "o_id", Type: sqldb.Int64},
+				{Name: "o_c_id", Type: sqldb.Int64},
+				{Name: "o_date", Type: sqldb.Int64},
+				{Name: "o_total", Type: sqldb.Float64},
+				{Name: "o_status", Type: sqldb.String},
+			}},
+			indexes: []string{"o_c_id"},
+		},
+		{
+			schema: sqldb.Schema{Name: TableOrderLine, PrimaryKey: "ol_id", Columns: []sqldb.Column{
+				{Name: "ol_id", Type: sqldb.Int64},
+				{Name: "ol_o_id", Type: sqldb.Int64},
+				{Name: "ol_i_id", Type: sqldb.Int64},
+				{Name: "ol_qty", Type: sqldb.Int64},
+				{Name: "ol_discount", Type: sqldb.Float64},
+			}},
+			indexes: []string{"ol_o_id"},
+		},
+		{
+			schema: sqldb.Schema{Name: TableCCXacts, PrimaryKey: "cx_id", Columns: []sqldb.Column{
+				{Name: "cx_id", Type: sqldb.Int64},
+				{Name: "cx_o_id", Type: sqldb.Int64},
+				{Name: "cx_type", Type: sqldb.String},
+				{Name: "cx_amt", Type: sqldb.Float64},
+				{Name: "cx_auth_date", Type: sqldb.Int64},
+			}},
+			indexes: []string{"cx_o_id"},
+		},
+	}
+	for _, spec := range specs {
+		table, err := db.CreateTable(spec.schema)
+		if err != nil {
+			return fmt.Errorf("tpcw: create %s: %w", spec.schema.Name, err)
+		}
+		for _, col := range spec.indexes {
+			if err := table.CreateIndex(col); err != nil {
+				return fmt.Errorf("tpcw: index %s.%s: %w", spec.schema.Name, col, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Populate fills db with TPC-W-ratio data at the given scale. It is
+// deterministic for a fixed seed.
+func Populate(db *sqldb.DB, scale Scale) error {
+	scale = scale.withDefaults()
+	rng := sim.NewStream(scale.Seed)
+
+	countries := []string{
+		"United States", "United Kingdom", "Canada", "Germany", "France",
+		"Japan", "Netherlands", "Italy", "Switzerland", "Australia",
+		"Spain", "Brazil", "Mexico", "India", "China", "South Korea",
+	}
+	country, err := db.Table(TableCountry)
+	if err != nil {
+		return err
+	}
+	for _, name := range countries {
+		if _, err := country.Insert(sqldb.Row{nil, name}); err != nil {
+			return err
+		}
+	}
+
+	address, err := db.Table(TableAddress)
+	if err != nil {
+		return err
+	}
+	numAddresses := 2 * scale.Customers
+	for i := 0; i < numAddresses; i++ {
+		row := sqldb.Row{
+			nil,
+			fmt.Sprintf("%d Main Street", 1+rng.IntN(9999)),
+			fmt.Sprintf("City%03d", rng.IntN(500)),
+			int64(1 + rng.IntN(len(countries))),
+		}
+		if _, err := address.Insert(row); err != nil {
+			return err
+		}
+	}
+
+	customer, err := db.Table(TableCustomer)
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= scale.Customers; i++ {
+		row := sqldb.Row{
+			nil,
+			Uname(i),
+			"password",
+			fmt.Sprintf("First%d", i),
+			fmt.Sprintf("Last%d", i),
+			int64(1 + rng.IntN(numAddresses)),
+			int64(rng.IntN(1 << 20)),
+			float64(rng.IntN(51)) / 100, // 0..0.50 discount
+		}
+		if _, err := customer.Insert(row); err != nil {
+			return err
+		}
+	}
+
+	author, err := db.Table(TableAuthor)
+	if err != nil {
+		return err
+	}
+	numAuthors := scale.Items/4 + 1
+	for i := 1; i <= numAuthors; i++ {
+		row := sqldb.Row{nil, fmt.Sprintf("AuthorF%d", i), fmt.Sprintf("AuthorL%d", i)}
+		if _, err := author.Insert(row); err != nil {
+			return err
+		}
+	}
+
+	item, err := db.Table(TableItem)
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= scale.Items; i++ {
+		srp := 1 + float64(rng.IntN(9999))/100
+		row := sqldb.Row{
+			nil,
+			fmt.Sprintf("Book Title %d %s", i, Subjects[rng.IntN(len(Subjects))]),
+			int64(1 + rng.IntN(numAuthors)),
+			int64(rng.IntN(1 << 20)),
+			Subjects[rng.IntN(len(Subjects))],
+			fmt.Sprintf("Description of book %d", i),
+			srp * (0.5 + rng.Float64()/2),
+			srp,
+			int64(10 + rng.IntN(21)),
+			int64(1 + rng.IntN(scale.Items)),
+			int64(1 + rng.IntN(scale.Items)),
+			fmt.Sprintf("img/thumb_%d.gif", i),
+		}
+		if _, err := item.Insert(row); err != nil {
+			return err
+		}
+	}
+
+	// Historical orders: 0.9 × customers, 1-5 lines each.
+	orders, err := db.Table(TableOrders)
+	if err != nil {
+		return err
+	}
+	orderLine, err := db.Table(TableOrderLine)
+	if err != nil {
+		return err
+	}
+	numOrders := scale.Customers * 9 / 10
+	for i := 1; i <= numOrders; i++ {
+		// Historical orders predate the simulation epoch (negative
+		// seconds) so orders placed during an experiment always sort as
+		// most recent.
+		oid, err := orders.Insert(sqldb.Row{
+			nil,
+			int64(1 + rng.IntN(scale.Customers)),
+			-int64(1 + rng.IntN(1<<20)),
+			float64(10 + rng.IntN(500)),
+			"SHIPPED",
+		})
+		if err != nil {
+			return err
+		}
+		lines := 1 + rng.IntN(5)
+		for l := 0; l < lines; l++ {
+			row := sqldb.Row{
+				nil,
+				oid.(int64),
+				int64(1 + rng.IntN(scale.Items)),
+				int64(1 + rng.IntN(5)),
+				float64(rng.IntN(21)) / 100,
+			}
+			if _, err := orderLine.Insert(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Uname returns the deterministic user name of customer i, mirroring
+// TPC-W's derived usernames.
+func Uname(i int) string { return fmt.Sprintf("user%06d", i) }

@@ -1,0 +1,363 @@
+package tpcw
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/faultinject"
+	"repro/internal/servlet"
+)
+
+// Component names of the fourteen TPC-W web interactions.
+const (
+	CompHome          = "tpcw.home"
+	CompNewProducts   = "tpcw.new_products"
+	CompBestSellers   = "tpcw.best_sellers"
+	CompProductDetail = "tpcw.product_detail"
+	CompSearchRequest = "tpcw.search_request"
+	CompSearchResults = "tpcw.search_results"
+	CompShoppingCart  = "tpcw.shopping_cart"
+	CompCustomerReg   = "tpcw.customer_registration"
+	CompBuyRequest    = "tpcw.buy_request"
+	CompBuyConfirm    = "tpcw.buy_confirm"
+	CompOrderInquiry  = "tpcw.order_inquiry"
+	CompOrderDisplay  = "tpcw.order_display"
+	CompAdminRequest  = "tpcw.admin_request"
+	CompAdminConfirm  = "tpcw.admin_confirm"
+)
+
+// Interactions lists the fourteen interaction component names in a stable
+// order.
+var Interactions = []string{
+	CompHome, CompNewProducts, CompBestSellers, CompProductDetail,
+	CompSearchRequest, CompSearchResults, CompShoppingCart, CompCustomerReg,
+	CompBuyRequest, CompBuyConfirm, CompOrderInquiry, CompOrderDisplay,
+	CompAdminRequest, CompAdminConfirm,
+}
+
+// Session attribute keys.
+const (
+	sessCart     = "cart"
+	sessCustomer = "c_id"
+)
+
+// base carries what every TPC-W servlet shares: the application handle and
+// the leak store that makes the component injectable (the reproduction of
+// the paper's "modified TPC-W implementation").
+type base struct {
+	faultinject.LeakStore
+	app *App
+}
+
+func (b *base) Init(*servlet.Context) error { return nil }
+func (b *base) Destroy()                    {}
+
+func (b *base) cart(req *servlet.Request) *Cart {
+	if req.Session == nil {
+		return &Cart{} // throwaway cart for sessionless probes
+	}
+	if c, ok := req.Session.Get(sessCart).(*Cart); ok {
+		return c
+	}
+	c := &Cart{}
+	req.Session.Set(sessCart, c)
+	return c
+}
+
+func (b *base) customerID(req *servlet.Request) (int64, bool) {
+	if req.Session == nil {
+		return 0, false
+	}
+	id, ok := req.Session.Get(sessCustomer).(int64)
+	return id, ok
+}
+
+// itemParam parses the I_ID parameter, falling back to a deterministic
+// rotating id so parameterless probes still exercise the catalogue.
+func (b *base) itemParam(req *servlet.Request) int64 {
+	if s := req.Param("I_ID"); s != "" {
+		if id, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return id
+		}
+	}
+	return b.app.nextFallbackItem()
+}
+
+func (b *base) subjectParam(req *servlet.Request) string {
+	if s := req.Param("SUBJECT"); s != "" {
+		return s
+	}
+	return Subjects[0]
+}
+
+// setItems publishes navigable item ids on the response for the EBs.
+func setItems(resp *servlet.Response, items []Item) {
+	ids := make([]int64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	resp.Set("item_ids", ids)
+}
+
+// homeServlet is the entry page: greets the customer and shows promotions.
+type homeServlet struct{ base }
+
+func (s *homeServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	if cid, ok := s.customerID(req); ok {
+		c, err := s.app.Customers.ByID(req.Conn, cid)
+		if err != nil {
+			return err
+		}
+		resp.Set("customer", c.Uname)
+	}
+	// The promotional slate is always computed: home is permanently
+	// coupled to the Promo service.
+	promos, err := s.app.Promo.Related(req.Conn, s.itemParam(req))
+	if err != nil {
+		return err
+	}
+	setItems(resp, promos)
+	return nil
+}
+
+// newProductsServlet lists the newest items of a subject.
+type newProductsServlet struct{ base }
+
+func (s *newProductsServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	items, err := s.app.Catalog.NewProducts(req.Conn, s.subjectParam(req))
+	if err != nil {
+		return err
+	}
+	setItems(resp, items)
+	return nil
+}
+
+// bestSellersServlet aggregates recent sales — the heavy interaction.
+type bestSellersServlet struct{ base }
+
+func (s *bestSellersServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	items, err := s.app.Catalog.BestSellers(req.Conn, s.subjectParam(req))
+	if err != nil {
+		return err
+	}
+	setItems(resp, items)
+	return nil
+}
+
+// productDetailServlet shows one item.
+type productDetailServlet struct{ base }
+
+func (s *productDetailServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	it, err := s.app.Catalog.ItemByID(req.Conn, s.itemParam(req))
+	if err != nil {
+		return err
+	}
+	resp.Set("item", it.ID)
+	resp.Set("item_ids", []int64{it.Related1, it.Related2})
+	return nil
+}
+
+// searchRequestServlet renders the search form (no database work).
+type searchRequestServlet struct{ base }
+
+func (s *searchRequestServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	resp.Set("subjects", Subjects)
+	return nil
+}
+
+// searchResultsServlet executes a title or author search.
+type searchResultsServlet struct{ base }
+
+func (s *searchResultsServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	field := req.Param("FIELD")
+	if field == "" {
+		field = "title"
+	}
+	term := req.Param("TERM")
+	if term == "" {
+		term = "Book"
+	}
+	items, err := s.app.Catalog.Search(req.Conn, field, term)
+	if err != nil {
+		return err
+	}
+	setItems(resp, items)
+	return nil
+}
+
+// shoppingCartServlet adds to, updates, or displays the session cart.
+type shoppingCartServlet struct{ base }
+
+func (s *shoppingCartServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	cart := s.cart(req)
+	switch req.Param("ACTION") {
+	case "add", "":
+		id := s.itemParam(req)
+		it, err := s.app.Catalog.ItemByID(req.Conn, id)
+		if err != nil {
+			return err
+		}
+		qty := int64(1)
+		if q := req.Param("QTY"); q != "" {
+			if v, err := strconv.ParseInt(q, 10, 64); err == nil && v > 0 {
+				qty = v
+			}
+		}
+		cart.Add(it.ID, qty, it.Cost)
+	case "update":
+		id := s.itemParam(req)
+		qty := int64(0)
+		if q := req.Param("QTY"); q != "" {
+			if v, err := strconv.ParseInt(q, 10, 64); err == nil {
+				qty = v
+			}
+		}
+		cart.Update(id, qty)
+	case "refresh":
+		// Display only.
+	default:
+		return fmt.Errorf("tpcw: unknown cart action %q", req.Param("ACTION"))
+	}
+	resp.Set("cart_lines", len(cart.Lines))
+	resp.Set("cart_total", cart.Total())
+	return nil
+}
+
+// customerRegServlet renders the registration/login page.
+type customerRegServlet struct{ base }
+
+func (s *customerRegServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	resp.Set("returning", req.Param("UNAME") != "")
+	return nil
+}
+
+// buyRequestServlet resolves or creates the customer and shows the order
+// preview.
+type buyRequestServlet struct{ base }
+
+func (s *buyRequestServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	var cid int64
+	if uname := req.Param("UNAME"); uname != "" {
+		c, err := s.app.Customers.ByUname(req.Conn, uname)
+		if err != nil {
+			return err
+		}
+		cid = c.ID
+	} else if existing, ok := s.customerID(req); ok {
+		cid = existing
+	} else {
+		id, err := s.app.Customers.Register(req.Conn, s.app.freshUname())
+		if err != nil {
+			return err
+		}
+		cid = id
+	}
+	if req.Session != nil {
+		req.Session.Set(sessCustomer, cid)
+	}
+	cart := s.cart(req)
+	resp.Set("cart_total", cart.Total())
+	resp.Set("customer_id", cid)
+	return nil
+}
+
+// buyConfirmServlet turns the session cart into a persisted order.
+type buyConfirmServlet struct{ base }
+
+func (s *buyConfirmServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	cid, ok := s.customerID(req)
+	if !ok {
+		return fmt.Errorf("tpcw: buy_confirm without customer in session")
+	}
+	cart := s.cart(req)
+	if cart.Empty() {
+		// An empty-cart confirm renders an apology page; it is not a
+		// component failure.
+		resp.Set("order_id", int64(0))
+		return nil
+	}
+	date := s.app.clockSeconds(req)
+	oid, err := s.app.Orders.Create(req.Conn, cid, cart, date)
+	if err != nil {
+		return err
+	}
+	cart.Lines = nil
+	resp.Set("order_id", oid)
+	return nil
+}
+
+// orderInquiryServlet renders the order-lookup form.
+type orderInquiryServlet struct{ base }
+
+func (s *orderInquiryServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	resp.Set("form", "order_inquiry")
+	return nil
+}
+
+// orderDisplayServlet shows the customer's most recent order.
+type orderDisplayServlet struct{ base }
+
+func (s *orderDisplayServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	var cid int64
+	if uname := req.Param("UNAME"); uname != "" {
+		c, err := s.app.Customers.ByUname(req.Conn, uname)
+		if err != nil {
+			return err
+		}
+		cid = c.ID
+	} else if existing, ok := s.customerID(req); ok {
+		cid = existing
+	} else {
+		resp.Set("order_id", int64(0))
+		return nil
+	}
+	order, lines, err := s.app.Orders.MostRecentByCustomer(req.Conn, cid)
+	if err != nil {
+		// No order history renders an empty page, not a failure.
+		resp.Set("order_id", int64(0))
+		return nil
+	}
+	resp.Set("order_id", order.ID)
+	resp.Set("order_lines", len(lines))
+	return nil
+}
+
+// adminRequestServlet shows the item-edit form.
+type adminRequestServlet struct{ base }
+
+func (s *adminRequestServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	it, err := s.app.Catalog.ItemByID(req.Conn, s.itemParam(req))
+	if err != nil {
+		return err
+	}
+	resp.Set("item", it.ID)
+	return nil
+}
+
+// adminConfirmServlet applies an item update (price, image, related
+// items), TPC-W's only catalogue write.
+type adminConfirmServlet struct{ base }
+
+func (s *adminConfirmServlet) Service(req *servlet.Request, resp *servlet.Response) error {
+	id := s.itemParam(req)
+	it, err := s.app.Catalog.ItemByID(req.Conn, id)
+	if err != nil {
+		return err
+	}
+	newCost := it.SRP * 0.9
+	if c := req.Param("COST"); c != "" {
+		if v, err := strconv.ParseFloat(c, 64); err == nil && v > 0 {
+			newCost = v
+		}
+	}
+	set := map[string]any{
+		"i_cost":      newCost,
+		"i_thumbnail": fmt.Sprintf("img/thumb_%d_v2.gif", id),
+		"i_pub_date":  s.app.clockSeconds(req),
+	}
+	if err := req.Conn.Update(TableItem, id, set); err != nil {
+		return err
+	}
+	resp.Set("item", id)
+	return nil
+}
