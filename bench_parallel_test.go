@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/servlet"
+	"repro/internal/tpcw"
+)
+
+// Parallel counterparts of the wall-clock microbenchmarks: they drive the
+// same woven hot paths from GOMAXPROCS goroutines at once. With the
+// sharded, lock-free pipeline the per-op cost should stay roughly flat as
+// cores are added (throughput scales); a serial-lock pipeline flat-lines
+// because every invocation serialises on the weaver and metrics mutexes.
+
+func advisedWeaver(b *testing.B) aspect.Func {
+	b.Helper()
+	w := aspect.NewWeaver(nil)
+	var count atomic.Int64
+	if err := w.Register(&aspect.Aspect{
+		Name:     "bench.ac",
+		Pointcut: aspect.MustPointcut("within(bench.*)"),
+		Before:   func(*aspect.JoinPoint) { count.Add(1) },
+		After:    func(*aspect.JoinPoint) { count.Add(1) },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return w.Weave("bench.comp", "Service", rawComponent)
+}
+
+// BenchmarkAspectAdvisedParallel measures the advised woven handle under
+// concurrent dispatch — the steady-state interception cost when many
+// requests cross the same component at once.
+func BenchmarkAspectAdvisedParallel(b *testing.B) {
+	fn := advisedWeaver(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAspectWovenNoMatchParallel measures the zero-lock fast path
+// (no aspect matches) under concurrent dispatch.
+func BenchmarkAspectWovenNoMatchParallel(b *testing.B) {
+	w := aspect.NewWeaver(nil)
+	fn := w.Weave("bench.comp", "Service", rawComponent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAspectAdvisedScaling sweeps GOMAXPROCS to show how advised
+// dispatch throughput scales with cores: ns/op should hold roughly
+// constant (scaling) rather than grow with the core count (serialising).
+func BenchmarkAspectAdvisedScaling(b *testing.B) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	for procs := 1; procs <= maxProcs; procs *= 2 {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			fn := advisedWeaver(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func benchRequestsParallel(b *testing.B, monitored bool) {
+	container := benchStack(b, monitored)
+	var sessions atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		session := fmt.Sprintf("bench-%d", sessions.Add(1))
+		for pb.Next() {
+			req := &servlet.Request{
+				Interaction: tpcw.CompHome,
+				SessionID:   session,
+				Params:      map[string]string{"I_ID": "5"},
+			}
+			resp, _ := container.Invoke(req)
+			if !resp.OK() {
+				b.Fatalf("request failed: %v", resp.Err)
+			}
+		}
+	})
+}
+
+// BenchmarkRequestUnmonitoredParallel measures concurrent home-page
+// requests through the container with no monitoring attached.
+func BenchmarkRequestUnmonitoredParallel(b *testing.B) { benchRequestsParallel(b, false) }
+
+// BenchmarkRequestMonitoredParallel measures the same concurrent requests
+// with the full framework attached (AC + agents): the whole
+// weaver → metrics → manager recording pipeline under contention.
+func BenchmarkRequestMonitoredParallel(b *testing.B) { benchRequestsParallel(b, true) }
+
+// BenchmarkRequestMonitoredScaling sweeps GOMAXPROCS over the monitored
+// request path — the end-to-end variant of BenchmarkAspectAdvisedScaling.
+func BenchmarkRequestMonitoredScaling(b *testing.B) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	for procs := 1; procs <= maxProcs; procs *= 2 {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			benchRequestsParallel(b, true)
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -14,27 +15,52 @@ import (
 // their invocation Func to Weave when they are deployed and receive the
 // advised Func back. Aspects registered later still apply to
 // already-woven components because the advice chain is resolved lazily and
-// cached per join point, invalidated whenever the aspect set changes.
+// cached per woven handle, invalidated whenever the aspect set changes.
+//
+// Concurrency contract: the woven fast path is lock-free. All weaver
+// configuration (the aspect set, precedence order and per-component
+// interception switches) lives in an immutable snapshot published through
+// an atomic pointer; mutations copy, rebuild and swap the snapshot under
+// a mutex that dispatch never touches. Each woven handle caches its
+// resolved advice chain stamped with the snapshot generation it was built
+// against and revalidates that stamp on every invocation, so a
+// registration, unregistration or component toggle is observed by every
+// handle on its very next call — no stale chain survives a generation
+// bump.
 type Weaver struct {
 	clock sim.Clock
 
-	mu       sync.RWMutex
+	// mu serialises configuration changes only; dispatch never takes it.
+	mu      sync.Mutex
+	regSeq  map[*Aspect]int
+	nextReg int
+
+	snap atomic.Pointer[snapshot]
+
+	// joinPoints is striped: it is bumped on every advised execution
+	// from every dispatching goroutine, so a single atomic cell would be
+	// the last contended cache line on the hot path.
+	joinPoints *metrics.StripedCounter
+}
+
+// snapshot is the weaver's immutable copy-on-write configuration. Never
+// mutated after publication, so dispatch may read it without locks.
+type snapshot struct {
+	gen      int64
 	aspects  []*Aspect // sorted by (Order, registration)
-	regSeq   map[*Aspect]int
-	nextReg  int
-	disabled map[string]bool // component name -> woven interception off
-	gen      atomic.Int64
-
-	cacheMu sync.RWMutex
-	cache   map[string]*chainEntry
-
-	joinPoints atomic.Int64
+	disabled map[string]bool
 }
 
-type chainEntry struct {
-	gen     int64
-	aspects []*Aspect
-}
+// JoinPointTap is implemented by invocation arguments that want per-flow
+// join point accounting. On every advised execution the weaver calls
+// JoinPointCrossed on the first argument that implements it, which lets
+// a request (and the database connection bound to it) count exactly the
+// advised executions it crossed without reading the weaver's
+// process-global counter — the accounting stays correct when many
+// requests dispatch concurrently. A woven component invoked without any
+// tap-bearing argument is invisible to per-flow accounting; wire the
+// flow's connection (or the request itself) through such calls.
+type JoinPointTap interface{ JoinPointCrossed() }
 
 // NewWeaver creates a weaver stamping join points with clock (WallClock
 // when nil).
@@ -42,12 +68,13 @@ func NewWeaver(clock sim.Clock) *Weaver {
 	if clock == nil {
 		clock = sim.WallClock{}
 	}
-	return &Weaver{
-		clock:    clock,
-		regSeq:   make(map[*Aspect]int),
-		disabled: make(map[string]bool),
-		cache:    make(map[string]*chainEntry),
+	w := &Weaver{
+		clock:      clock,
+		regSeq:     make(map[*Aspect]int),
+		joinPoints: metrics.NewStripedCounter(),
 	}
+	w.snap.Store(&snapshot{disabled: map[string]bool{}})
+	return w
 }
 
 // Register adds an aspect. The aspect starts enabled. Registering two
@@ -58,7 +85,8 @@ func (w *Weaver) Register(a *Aspect) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for _, ex := range w.aspects {
+	cur := w.snap.Load()
+	for _, ex := range cur.aspects {
 		if ex.Name == a.Name {
 			return fmt.Errorf("aspect: aspect %q already registered", a.Name)
 		}
@@ -66,14 +94,16 @@ func (w *Weaver) Register(a *Aspect) error {
 	a.SetEnabled(true)
 	w.regSeq[a] = w.nextReg
 	w.nextReg++
-	w.aspects = append(w.aspects, a)
-	sort.SliceStable(w.aspects, func(i, j int) bool {
-		if w.aspects[i].Order != w.aspects[j].Order {
-			return w.aspects[i].Order < w.aspects[j].Order
+	aspects := make([]*Aspect, 0, len(cur.aspects)+1)
+	aspects = append(aspects, cur.aspects...)
+	aspects = append(aspects, a)
+	sort.SliceStable(aspects, func(i, j int) bool {
+		if aspects[i].Order != aspects[j].Order {
+			return aspects[i].Order < aspects[j].Order
 		}
-		return w.regSeq[w.aspects[i]] < w.regSeq[w.aspects[j]]
+		return w.regSeq[aspects[i]] < w.regSeq[aspects[j]]
 	})
-	w.gen.Add(1)
+	w.snap.Store(&snapshot{gen: cur.gen + 1, aspects: aspects, disabled: cur.disabled})
 	return nil
 }
 
@@ -81,11 +111,14 @@ func (w *Weaver) Register(a *Aspect) error {
 func (w *Weaver) Unregister(name string) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for i, a := range w.aspects {
+	cur := w.snap.Load()
+	for i, a := range cur.aspects {
 		if a.Name == name {
 			delete(w.regSeq, a)
-			w.aspects = append(w.aspects[:i], w.aspects[i+1:]...)
-			w.gen.Add(1)
+			aspects := make([]*Aspect, 0, len(cur.aspects)-1)
+			aspects = append(aspects, cur.aspects[:i]...)
+			aspects = append(aspects, cur.aspects[i+1:]...)
+			w.snap.Store(&snapshot{gen: cur.gen + 1, aspects: aspects, disabled: cur.disabled})
 			return true
 		}
 	}
@@ -94,16 +127,12 @@ func (w *Weaver) Unregister(name string) bool {
 
 // Aspects returns the registered aspects in precedence order.
 func (w *Weaver) Aspects() []*Aspect {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return append([]*Aspect(nil), w.aspects...)
+	return append([]*Aspect(nil), w.snap.Load().aspects...)
 }
 
 // Find returns the registered aspect with the given name.
 func (w *Weaver) Find(name string) (*Aspect, bool) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	for _, a := range w.aspects {
+	for _, a := range w.snap.Load().aspects {
 		if a.Name == name {
 			return a, true
 		}
@@ -117,37 +146,69 @@ func (w *Weaver) Find(name string) (*Aspect, bool) {
 func (w *Weaver) SetComponentEnabled(component string, on bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if on {
-		delete(w.disabled, component)
-	} else {
-		w.disabled[component] = true
+	cur := w.snap.Load()
+	disabled := make(map[string]bool, len(cur.disabled)+1)
+	for c, off := range cur.disabled {
+		disabled[c] = off
 	}
+	if on {
+		delete(disabled, component)
+	} else {
+		disabled[component] = true
+	}
+	w.snap.Store(&snapshot{gen: cur.gen + 1, aspects: cur.aspects, disabled: disabled})
 }
 
 // ComponentEnabled reports whether interception is active for component.
 func (w *Weaver) ComponentEnabled(component string) bool {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return !w.disabled[component]
+	return !w.snap.Load().disabled[component]
 }
 
+// Generation returns the configuration generation, bumped by every
+// registration, unregistration and component toggle. Handles woven
+// through this weaver never execute a chain resolved against an older
+// generation than the one returned before their invocation started.
+func (w *Weaver) Generation() int64 { return w.snap.Load().gen }
+
 // JoinPoints returns the total number of advised executions so far.
-func (w *Weaver) JoinPoints() int64 { return w.joinPoints.Load() }
+func (w *Weaver) JoinPoints() int64 { return w.joinPoints.Value() }
 
 // Clock returns the weaver's time source.
 func (w *Weaver) Clock() sim.Clock { return w.clock }
+
+// handle is the dispatch state of one woven signature. cached holds the
+// advice chain resolved against a specific snapshot generation; dispatch
+// revalidates the stamp against the current snapshot on every call and
+// re-resolves lock-free when the configuration changed.
+type handle struct {
+	w         *Weaver
+	component string
+	method    string
+	fn        Func
+	cached    atomic.Pointer[resolvedChain]
+}
+
+type resolvedChain struct {
+	gen       int64
+	intercept bool // component interception on in this generation
+	chain     []*Aspect
+}
+
+func (w *Weaver) newHandle(component, method string, fn Func) *handle {
+	if fn == nil {
+		panic("aspect: weave of nil func")
+	}
+	return &handle{w: w, component: component, method: method, fn: fn}
+}
 
 // Weave wraps fn so that every invocation becomes a join point advised by
 // the matching aspects. The depth argument of the returned function is
 // managed by Invoke; use the returned Func through Invoke or call it with
 // the raw args directly (depth 0).
 func (w *Weaver) Weave(component, method string, fn Func) Func {
-	if fn == nil {
-		panic("aspect: weave of nil func")
-	}
-	sig := component + "." + method
+	h := w.newHandle(component, method, fn)
 	return func(args ...any) (any, error) {
-		return w.dispatch(sig, component, method, fn, args, 0)
+		return h.dispatch(args, 0)
 	}
 }
 
@@ -155,34 +216,64 @@ func (w *Weaver) Weave(component, method string, fn Func) Func {
 // an explicit nesting depth, used by the container when one woven
 // component calls another.
 func (w *Weaver) WeaveDepth(component, method string, fn Func) func(depth int, args ...any) (any, error) {
-	if fn == nil {
-		panic("aspect: weave of nil func")
-	}
-	sig := component + "." + method
+	h := w.newHandle(component, method, fn)
 	return func(depth int, args ...any) (any, error) {
-		return w.dispatch(sig, component, method, fn, args, depth)
+		return h.dispatch(args, depth)
 	}
 }
 
-func (w *Weaver) dispatch(sig, component, method string, fn Func, args []any, depth int) (any, error) {
-	if !w.ComponentEnabled(component) {
-		return fn(args...)
+// dispatch is the woven hot path: two atomic pointer loads and a
+// generation compare when the aspect set is unchanged; no mutex is
+// acquired and the no-match and disabled cases allocate nothing.
+func (h *handle) dispatch(args []any, depth int) (any, error) {
+	snap := h.w.snap.Load()
+	rc := h.cached.Load()
+	if rc == nil || rc.gen != snap.gen {
+		rc = h.resolve(snap)
 	}
-	chain := w.chainFor(sig, component, method)
-	if len(chain) == 0 {
-		return fn(args...)
+	if !rc.intercept || len(rc.chain) == 0 {
+		return h.fn(args...)
 	}
-	w.joinPoints.Add(1)
+	w := h.w
+	w.joinPoints.Inc()
+	for _, arg := range args {
+		if tap, ok := arg.(JoinPointTap); ok {
+			tap.JoinPointCrossed()
+			break
+		}
+	}
 	jp := &JoinPoint{
-		Component: component,
-		Method:    method,
+		Component: h.component,
+		Method:    h.method,
 		Args:      args,
 		Start:     w.clock.Now(),
 		Depth:     depth,
 	}
-	res, err := w.runChain(jp, chain, 0, fn)
+	res, err := w.runChain(jp, rc.chain, 0, h.fn)
 	jp.End = w.clock.Now()
 	return res, err
+}
+
+// resolve matches the snapshot's aspects against this handle's signature
+// and publishes the result. Two goroutines may resolve concurrently and
+// the slower (possibly older-generation) publication can land last; that
+// is benign because every dispatch revalidates the stamp against the
+// snapshot it loaded — a stale publication only costs one re-resolve, it
+// is never executed against a newer snapshot.
+func (h *handle) resolve(snap *snapshot) *resolvedChain {
+	var chain []*Aspect
+	for _, a := range snap.aspects {
+		if a.Pointcut.Matches(h.component, h.method) {
+			chain = append(chain, a)
+		}
+	}
+	rc := &resolvedChain{
+		gen:       snap.gen,
+		intercept: !snap.disabled[h.component],
+		chain:     chain,
+	}
+	h.cached.Store(rc)
+	return rc
 }
 
 // runChain executes the advice layers from index i outward-in, ending at
@@ -222,27 +313,4 @@ func (w *Weaver) runChain(jp *JoinPoint, chain []*Aspect, i int, fn Func) (res a
 		a.AfterThrowing(jp)
 	}
 	return res, err
-}
-
-// chainFor resolves and caches the matching aspects for a join point.
-func (w *Weaver) chainFor(sig, component, method string) []*Aspect {
-	gen := w.gen.Load()
-	w.cacheMu.RLock()
-	e, ok := w.cache[sig]
-	w.cacheMu.RUnlock()
-	if ok && e.gen == gen {
-		return e.aspects
-	}
-	w.mu.RLock()
-	var matched []*Aspect
-	for _, a := range w.aspects {
-		if a.Pointcut.Matches(component, method) {
-			matched = append(matched, a)
-		}
-	}
-	w.mu.RUnlock()
-	w.cacheMu.Lock()
-	w.cache[sig] = &chainEntry{gen: gen, aspects: matched}
-	w.cacheMu.Unlock()
-	return matched
 }

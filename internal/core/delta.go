@@ -3,9 +3,11 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/jmx"
 	"repro/internal/jvmheap"
+	"repro/internal/metrics"
 )
 
 // DeltaRecorder implements the paper's per-invocation measurement
@@ -23,23 +25,25 @@ import (
 // framework) also keeps the object-size sampling path; the recorder's
 // accumulated deltas converge to the right per-component attribution over
 // many requests because unrelated allocations cancel out in expectation.
+// Recording is lock-free on both advice sides: open flows live in a
+// sync.Map keyed by flow (stored on before, LoadAndDelete on after) and
+// the per-component accumulators are atomic cells, so concurrent requests
+// never serialise on the recorder.
 type DeltaRecorder struct {
 	heap *jvmheap.Heap
 
-	mu     sync.Mutex
-	open   map[any]int64 // flow key -> retained bytes at before-advice
-	totals map[string]int64
-	counts map[string]int64
+	open  sync.Map // flow key -> int64 retained bytes at before-advice
+	cells sync.Map // component name -> *deltaCell
+}
+
+type deltaCell struct {
+	total atomic.Int64
+	count atomic.Int64
 }
 
 // NewDeltaRecorder creates a recorder over heap.
 func NewDeltaRecorder(heap *jvmheap.Heap) *DeltaRecorder {
-	return &DeltaRecorder{
-		heap:   heap,
-		open:   make(map[any]int64),
-		totals: make(map[string]int64),
-		counts: make(map[string]int64),
-	}
+	return &DeltaRecorder{heap: heap}
 }
 
 // before snapshots the resource level for a flow.
@@ -47,10 +51,7 @@ func (d *DeltaRecorder) before(key any) {
 	if key == nil {
 		return
 	}
-	retained := d.heap.Stats().Retained
-	d.mu.Lock()
-	d.open[key] = retained
-	d.mu.Unlock()
+	d.open.Store(key, d.heap.Stats().Retained)
 }
 
 // after computes and accumulates the delta for a flow.
@@ -59,45 +60,43 @@ func (d *DeltaRecorder) after(component string, key any) {
 		return
 	}
 	retained := d.heap.Stats().Retained
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	start, ok := d.open[key]
+	v, ok := d.open.LoadAndDelete(key)
 	if !ok {
 		return
 	}
-	delete(d.open, key)
-	d.totals[component] += retained - start
-	d.counts[component]++
+	c := metrics.LoadOrCreate(&d.cells, component, func() *deltaCell { return &deltaCell{} })
+	c.total.Add(retained - v.(int64))
+	c.count.Add(1)
 }
 
 // DeltaOf returns the accumulated retained-bytes delta attributed to
 // component and the number of observations.
 func (d *DeltaRecorder) DeltaOf(component string) (total int64, observations int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.totals[component], d.counts[component]
+	if v, ok := d.cells.Load(component); ok {
+		c := v.(*deltaCell)
+		return c.total.Load(), c.count.Load()
+	}
+	return 0, 0
 }
 
 // Components lists components with recorded deltas, sorted.
 func (d *DeltaRecorder) Components() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]string, 0, len(d.totals))
-	for c := range d.totals {
-		out = append(out, c)
-	}
+	var out []string
+	d.cells.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
 
 // Totals returns a copy of all accumulated deltas.
 func (d *DeltaRecorder) Totals() map[string]int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make(map[string]int64, len(d.totals))
-	for c, v := range d.totals {
-		out[c] = v
-	}
+	out := make(map[string]int64)
+	d.cells.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*deltaCell).total.Load()
+		return true
+	})
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jmx"
@@ -29,7 +30,10 @@ const (
 	ResourceMemoryDelta = "memory-delta"
 )
 
-// componentRecord holds the manager's per-component series.
+// componentRecord holds the manager's per-component series. The series
+// are internally concurrent (lock-free appends, non-blocking reads) and
+// the baseline is atomic, so records need no lock of their own: readers
+// and the sampler touch them directly.
 type componentRecord struct {
 	name     string
 	target   any
@@ -38,23 +42,35 @@ type componentRecord struct {
 	cpu      *metrics.Series // cumulative CPU seconds
 	threads  *metrics.Series // live threads
 	delta    *metrics.Series // accumulated per-invocation heap deltas
-	baseline int64           // first measured size
-	hasBase  bool
+	baseline atomic.Int64    // first measured size
+	hasBase  atomic.Bool
 }
 
 // Manager is the JMX Manager Agent: it samples the monitoring agents
 // through the MBeanServer (preserving the paper's decoupling — replacing
 // an agent never requires touching the manager), accumulates per-component
 // time series, and answers root-cause queries.
+//
+// Locking is split so the paths that used to serialise on one mutex no
+// longer meet: recsMu guards only the component registry (instrument /
+// uninstrument, both rare); sampleMu serialises sampling rounds with each
+// other (keeping every series time-ordered) but is never held while
+// root-cause queries read; Data/Rank/Map take a registry read-lock just
+// long enough to snapshot the record pointers and then read the series
+// lock-free, concurrently with invocation recording and sampling.
 type Manager struct {
 	f *Framework
 
-	mu           sync.Mutex
-	components   map[string]*componentRecord
-	order        []string
+	recsMu     sync.RWMutex
+	components map[string]*componentRecord
+	order      []string
+
+	sampleMu     sync.Mutex
 	heapRetained *metrics.Series
-	samples      int64
-	lastSuspect  string
+	samples      atomic.Int64
+
+	suspectMu   sync.Mutex
+	lastSuspect string
 }
 
 func newManager(f *Framework) *Manager {
@@ -66,8 +82,8 @@ func newManager(f *Framework) *Manager {
 }
 
 func (m *Manager) addComponent(name string, target any) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.recsMu.Lock()
+	defer m.recsMu.Unlock()
 	if _, dup := m.components[name]; dup {
 		return fmt.Errorf("core: component %q already instrumented", name)
 	}
@@ -86,8 +102,8 @@ func (m *Manager) addComponent(name string, target any) error {
 }
 
 func (m *Manager) removeComponent(name string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.recsMu.Lock()
+	defer m.recsMu.Unlock()
 	delete(m.components, name)
 	for i, n := range m.order {
 		if n == name {
@@ -98,8 +114,8 @@ func (m *Manager) removeComponent(name string) {
 }
 
 func (m *Manager) target(name string) (any, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.recsMu.RLock()
+	defer m.recsMu.RUnlock()
 	rec, ok := m.components[name]
 	if !ok {
 		return nil, false
@@ -109,29 +125,39 @@ func (m *Manager) target(name string) (any, bool) {
 
 // Components lists the instrumented component names.
 func (m *Manager) Components() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.recsMu.RLock()
+	defer m.recsMu.RUnlock()
 	return append([]string(nil), m.order...)
 }
 
 // Samples returns how many sampling rounds have run.
-func (m *Manager) Samples() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.samples
+func (m *Manager) Samples() int64 { return m.samples.Load() }
+
+// records snapshots the instrumented records in name order.
+func (m *Manager) records() []*componentRecord {
+	m.recsMu.RLock()
+	defer m.recsMu.RUnlock()
+	out := make([]*componentRecord, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, m.components[name])
+	}
+	return out
 }
 
 // Sample performs one collection round at the given instant: for every
 // instrumented component it asks the object-size agent (via the
 // MBeanServer, as the paper's ACs do) for the current retained size and
-// reads the invocation/CPU/thread agents, appending to the series.
+// reads the invocation/CPU/thread agents, batching the measurements and
+// then appending to the series. Rounds are serialised against each other
+// (so the series stay time-ordered) but the round holds no lock that
+// invocation recording or root-cause queries take: ingestion appends go
+// straight to the per-record lock-free series.
 func (m *Manager) Sample(now time.Time) {
-	m.mu.Lock()
-	names := append([]string(nil), m.order...)
-	m.mu.Unlock()
+	m.sampleMu.Lock()
 
+	recs := m.records()
 	type measured struct {
-		name       string
+		rec        *componentRecord
 		size       int64
 		usage      int64
 		cpuSeconds float64
@@ -139,32 +165,28 @@ func (m *Manager) Sample(now time.Time) {
 		delta      int64
 		sizeOK     bool
 	}
-	results := make([]measured, 0, len(names))
-	for _, name := range names {
-		r := measured{name: name}
-		if v, err := m.f.server.Invoke(monitor.AgentName("ObjectSize"), "Measure", name); err == nil {
+	batch := make([]measured, 0, len(recs))
+	for _, rec := range recs {
+		r := measured{rec: rec}
+		if v, err := m.f.server.Invoke(monitor.AgentName("ObjectSize"), "Measure", rec.name); err == nil {
 			r.size = v.(int64)
 			r.sizeOK = true
 		}
-		r.usage = m.f.invocations.StatsOf(name).Count
-		r.cpuSeconds = m.f.cpu.TimeOf(name).Seconds()
-		r.threads = m.f.threads.LiveOf(name)
+		r.usage = m.f.invocations.StatsOf(rec.name).Count
+		r.cpuSeconds = m.f.cpu.TimeOf(rec.name).Seconds()
+		r.threads = m.f.threads.LiveOf(rec.name)
 		if m.f.deltas != nil {
-			r.delta, _ = m.f.deltas.DeltaOf(name)
+			r.delta, _ = m.f.deltas.DeltaOf(rec.name)
 		}
-		results = append(results, r)
+		batch = append(batch, r)
 	}
 
-	m.mu.Lock()
-	for _, r := range results {
-		rec, ok := m.components[r.name]
-		if !ok {
-			continue
-		}
+	for _, r := range batch {
+		rec := r.rec
 		if r.sizeOK {
-			if !rec.hasBase {
-				rec.baseline = r.size
-				rec.hasBase = true
+			if !rec.hasBase.Load() {
+				rec.baseline.Store(r.size)
+				rec.hasBase.Store(true)
 			}
 			rec.size.Append(now, float64(r.size))
 		}
@@ -176,8 +198,8 @@ func (m *Manager) Sample(now time.Time) {
 	if m.f.heap != nil {
 		m.heapRetained.Append(now, float64(m.f.heap.Stats().Retained))
 	}
-	m.samples++
-	m.mu.Unlock()
+	m.samples.Add(1)
+	m.sampleMu.Unlock()
 
 	m.notifyIfSuspectChanged()
 }
@@ -190,12 +212,12 @@ func (m *Manager) notifyIfSuspectChanged() {
 	if !ok || top.Score < 0.1 {
 		return
 	}
-	m.mu.Lock()
+	m.suspectMu.Lock()
 	changed := top.Name != m.lastSuspect
 	if changed {
 		m.lastSuspect = top.Name
 	}
-	m.mu.Unlock()
+	m.suspectMu.Unlock()
 	if changed {
 		m.f.server.Emit(jmx.Notification{
 			Type:    NotifSuspect,
@@ -208,9 +230,10 @@ func (m *Manager) notifyIfSuspectChanged() {
 
 // SizeSeries returns a copy of the measured size series of a component.
 func (m *Manager) SizeSeries(name string) []metrics.Point {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if rec, ok := m.components[name]; ok {
+	m.recsMu.RLock()
+	rec, ok := m.components[name]
+	m.recsMu.RUnlock()
+	if ok {
 		return rec.size.Points()
 	}
 	return nil
@@ -230,19 +253,17 @@ func (m *Manager) Data(resource string) ([]rootcause.ComponentData, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown resource %q", resource)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]rootcause.ComponentData, 0, len(m.order))
-	for _, name := range m.order {
-		rec := m.components[name]
-		d := rootcause.ComponentData{Name: name}
+	recs := m.records()
+	out := make([]rootcause.ComponentData, 0, len(recs))
+	for _, rec := range recs {
+		d := rootcause.ComponentData{Name: rec.name}
 		if last, ok := rec.usage.Last(); ok {
 			d.Usage = int64(last.V)
 		}
 		switch resource {
 		case ResourceMemory:
 			if last, ok := rec.size.Last(); ok {
-				d.Consumption = math.Max(0, last.V-float64(rec.baseline))
+				d.Consumption = math.Max(0, last.V-float64(rec.baseline.Load()))
 			}
 			d.Series = rec.size.Points()
 		case ResourceCPU:

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,40 +26,36 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Gauge is a settable instantaneous value, safe for concurrent use.
+// Gauge is a settable instantaneous value, safe for concurrent use. It is
+// a single lock-free cell (the float64 bits behind an atomic word); for a
+// heavily contended up/down accumulator use StripedGauge.
 type Gauge struct {
-	mu sync.RWMutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set stores v.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta (which may be negative).
-func (g *Gauge) Add(delta float64) {
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
-}
+func (g *Gauge) Add(delta float64) { addFloatBits(&g.bits, delta) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // RateWindow converts a stream of event timestamps into a rate (events per
 // second) over a sliding window. The throughput curves of Fig. 3 are
-// produced by sampling one of these.
+// produced by sampling one of these. Observations land on per-shard event
+// lists (each with its own short-lived lock) so concurrent recorders do
+// not serialise on one mutex; reads trim and merge the shards.
 type RateWindow struct {
-	mu     sync.Mutex
 	window time.Duration
+	shards []rateShard
+}
+
+type rateShard struct {
+	mu     sync.Mutex
 	events []time.Time
+	_      [cacheLine - 32]byte
 }
 
 // NewRateWindow creates a sliding window of the given width.
@@ -66,41 +63,49 @@ func NewRateWindow(window time.Duration) *RateWindow {
 	if window <= 0 {
 		panic("metrics: non-positive rate window")
 	}
-	return &RateWindow{window: window}
+	return &RateWindow{window: window, shards: make([]rateShard, defaultShards())}
 }
 
 // Observe records one event at time t. Events must be recorded in
-// non-decreasing time order.
+// non-decreasing time order per recording goroutine.
 func (r *RateWindow) Observe(t time.Time) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = append(r.events, t)
-	r.trim(t)
+	s := &r.shards[shardHint(len(r.shards))]
+	s.mu.Lock()
+	s.events = append(s.events, t)
+	s.trim(t.Add(-r.window))
+	s.mu.Unlock()
 }
 
 // Rate returns events per second over the window ending at now.
 func (r *RateWindow) Rate(now time.Time) float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.trim(now)
-	return float64(len(r.events)) / r.window.Seconds()
+	return float64(r.Count(now)) / r.window.Seconds()
 }
 
 // Count returns the number of events inside the window ending at now.
 func (r *RateWindow) Count(now time.Time) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.trim(now)
-	return len(r.events)
+	cut := now.Add(-r.window)
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.trim(cut)
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-func (r *RateWindow) trim(now time.Time) {
-	cut := now.Add(-r.window)
+// trim drops the expired prefix (events at or before cut). Shards
+// interleave events from goroutines whose clocks may be read slightly out
+// of order, but the prefix scan stops at the first in-window event, so an
+// interleaved straggler only delays its own expiry by one window — and
+// the common nothing-to-trim case stays O(1) per observation.
+func (s *rateShard) trim(cut time.Time) {
 	i := 0
-	for i < len(r.events) && !r.events[i].After(cut) {
+	for i < len(s.events) && !s.events[i].After(cut) {
 		i++
 	}
 	if i > 0 {
-		r.events = append(r.events[:0], r.events[i:]...)
+		s.events = append(s.events[:0], s.events[i:]...)
 	}
 }

@@ -5,20 +5,33 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 )
 
 // Histogram accumulates observations into fixed buckets and supports
 // quantile estimation by linear interpolation within the winning bucket.
 // It records response-time distributions in the container.
+//
+// Observations land on per-shard cells (bucket counts, sum, min, max all
+// updated with atomics) so concurrent recorders never block each other or
+// readers; reads merge the cells. A merged read is not an atomic snapshot
+// — an observation racing the read may have updated some cells and not
+// others — which only blurs in-flight observations, never loses settled
+// ones.
 type Histogram struct {
-	mu     sync.Mutex
 	bounds []float64 // ascending upper bounds; implicit +Inf bucket at the end
-	counts []int64   // len(bounds)+1
-	total  int64
-	sum    float64
-	min    float64
-	max    float64
+	cells  []histCell
+}
+
+// histCell is one shard of a histogram. The bucket counts live in a
+// separately allocated slice, so only the scalar hot fields need padding.
+type histCell struct {
+	counts  []atomic.Int64 // len(bounds)+1
+	total   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	_       [cacheLine - 56]byte
 }
 
 // NewHistogram creates a histogram with the given ascending bucket upper
@@ -34,12 +47,16 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{
+	h := &Histogram{
 		bounds: b,
-		counts: make([]int64, len(bounds)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
+		cells:  make([]histCell, defaultShards()),
 	}
+	for i := range h.cells {
+		h.cells[i].counts = make([]atomic.Int64, len(bounds)+1)
+		h.cells[i].minBits.Store(math.Float64bits(math.Inf(1)))
+		h.cells[i].maxBits.Store(math.Float64bits(math.Inf(-1)))
+	}
+	return h
 }
 
 // ExponentialBounds returns n bounds starting at start, each factor times
@@ -57,37 +74,65 @@ func ExponentialBounds(start, factor float64, n int) []float64 {
 	return out
 }
 
-// Observe records v.
+// Observe records v. The scalar extrema are updated before the bucket
+// count so a reader that sees the count also sees a max/min covering it
+// (merge loads counts first).
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	c := &h.cells[shardHint(len(h.cells))]
+	addFloatBits(&c.sumBits, v)
+	minFloatBits(&c.minBits, v)
+	maxFloatBits(&c.maxBits, v)
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.total++
-	h.sum += v
-	if v < h.min {
-		h.min = v
+	c.counts[i].Add(1)
+	c.total.Add(1)
+}
+
+// merged is a point-in-time merge of all cells.
+type merged struct {
+	counts []int64
+	total  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func (h *Histogram) merge() merged {
+	m := merged{
+		counts: make([]int64, len(h.bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
 	}
-	if v > h.max {
-		h.max = v
+	for i := range h.cells {
+		c := &h.cells[i]
+		for b := range m.counts {
+			m.counts[b] += c.counts[b].Load()
+		}
+		m.sum += math.Float64frombits(c.sumBits.Load())
+		m.min = math.Min(m.min, math.Float64frombits(c.minBits.Load()))
+		m.max = math.Max(m.max, math.Float64frombits(c.maxBits.Load()))
 	}
+	for _, n := range m.counts {
+		m.total += n
+	}
+	return m
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+	var n int64
+	for i := range h.cells {
+		n += h.cells[i].total.Load()
+	}
+	return n
 }
 
 // Mean returns the arithmetic mean of all observations (0 when empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	m := h.merge()
+	if m.total == 0 {
 		return 0
 	}
-	return h.sum / float64(h.total)
+	return m.sum / float64(m.total)
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1). Values in the overflow
@@ -96,20 +141,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q < 0 || q > 1 {
 		panic("metrics: quantile out of [0,1]")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
+	m := h.merge()
+	if m.total == 0 {
 		return 0
 	}
-	rank := q * float64(h.total)
+	rank := q * float64(m.total)
 	var cum int64
-	for i, c := range h.counts {
+	for i, c := range m.counts {
 		if float64(cum+c) >= rank && c > 0 {
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			hi := h.max
+			hi := m.max
 			if i < len(h.bounds) {
 				hi = h.bounds[i]
 			}
@@ -124,17 +168,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
-	return h.max
+	return m.max
 }
 
 // String renders a compact textual summary.
 func (h *Histogram) String() string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	m := h.merge()
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d mean=%.3g", h.total, safeDiv(h.sum, float64(h.total)))
-	if h.total > 0 {
-		fmt.Fprintf(&b, " min=%.3g max=%.3g", h.min, h.max)
+	fmt.Fprintf(&b, "n=%d mean=%.3g", m.total, safeDiv(m.sum, float64(m.total)))
+	if m.total > 0 {
+		fmt.Fprintf(&b, " min=%.3g max=%.3g", m.min, m.max)
 	}
 	return b.String()
 }

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file holds the striped (sharded) primitives behind the package's
+// hot-path metrics. Writers spread across per-shard cells padded to cache
+// lines so concurrent recorders do not bounce one line between cores;
+// readers merge the cells. Merged reads are monotone but not atomic
+// snapshots — two cells read microseconds apart may straddle a concurrent
+// write — which is the usual monitoring trade-off: recording must never
+// block, reading tolerates a point-in-time blur.
+
+// cacheLine is the assumed coherence granularity cells are padded to.
+const cacheLine = 64
+
+// maxShards bounds the memory a striped metric spends on contention
+// avoidance.
+const maxShards = 128
+
+// defaultShards returns the stripe width: the smallest power of two
+// covering GOMAXPROCS, capped at maxShards.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s > maxShards {
+		s = maxShards
+	}
+	return s
+}
+
+// shardHint returns a cheap quasi-goroutine-local index in [0, n); n must
+// be a power of two. It hashes the address of a stack variable: goroutine
+// stacks are disjoint, so concurrent goroutines spread across cells while
+// one goroutine keeps returning to the same cell from the same call
+// depth. The pointer never escapes (it degrades to a uintptr
+// immediately), so the hint costs no allocation.
+func shardHint(n int) int {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h & uint64(n-1))
+}
+
+// LoadOrCreate returns the value stored in m under key, creating it with
+// mk on first use. It is the recording-side idiom for per-key atomic
+// cells behind a sync.Map: the Load fast path is a lock-free hash lookup
+// once the key has been seen, and mk runs (possibly redundantly — the
+// loser's cell is discarded) only on first contact with a key. The key
+// is typed string (not any) so the hot-path boxing stays stack-allocated
+// under inlining, as it is for a direct sync.Map.Load call.
+func LoadOrCreate[T any](m *sync.Map, key string, mk func() T) T {
+	if v, ok := m.Load(key); ok {
+		return v.(T)
+	}
+	v, _ := m.LoadOrStore(key, mk())
+	return v.(T)
+}
+
+// counterCell is one shard of a StripedCounter, padded so neighbouring
+// cells never share a cache line.
+type counterCell struct {
+	n atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// StripedCounter is a monotone event counter whose increments land on
+// per-shard cells. Use it instead of Counter when many goroutines
+// increment the same counter concurrently; Value merges the cells.
+type StripedCounter struct {
+	cells []counterCell
+}
+
+// NewStripedCounter creates a counter striped across the default shard
+// count.
+func NewStripedCounter() *StripedCounter {
+	return &StripedCounter{cells: make([]counterCell, defaultShards())}
+}
+
+// Inc adds one to the counter.
+func (c *StripedCounter) Inc() {
+	c.cells[shardHint(len(c.cells))].n.Add(1)
+}
+
+// Add adds delta (which must be non-negative) to the counter.
+func (c *StripedCounter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative Add on StripedCounter")
+	}
+	c.cells[shardHint(len(c.cells))].n.Add(delta)
+}
+
+// Value returns the current count, merged across shards.
+func (c *StripedCounter) Value() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+// gaugeCell is one shard of a StripedGauge.
+type gaugeCell struct {
+	bits atomic.Uint64 // float64 bits of the cell's accumulated delta
+	_    [cacheLine - 8]byte
+}
+
+// StripedGauge is an up/down accumulator (the float analogue of Java's
+// DoubleAdder): concurrent Adds land on per-shard cells and Value merges
+// them. It deliberately has no Set — a settable value cannot be
+// decomposed across shards; use Gauge for set-style instantaneous values.
+type StripedGauge struct {
+	cells []gaugeCell
+}
+
+// NewStripedGauge creates a gauge striped across the default shard count.
+func NewStripedGauge() *StripedGauge {
+	return &StripedGauge{cells: make([]gaugeCell, defaultShards())}
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *StripedGauge) Add(delta float64) {
+	addFloatBits(&g.cells[shardHint(len(g.cells))].bits, delta)
+}
+
+// Value returns the accumulated value, merged across shards.
+func (g *StripedGauge) Value() float64 {
+	var sum float64
+	for i := range g.cells {
+		sum += math.Float64frombits(g.cells[i].bits.Load())
+	}
+	return sum
+}
+
+// addFloatBits adds delta to the float64 stored as bits in a.
+func addFloatBits(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// minFloatBits lowers the float64 stored as bits in a to v if v is
+// smaller.
+func minFloatBits(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// maxFloatBits raises the float64 stored as bits in a to v if v is
+// larger.
+func maxFloatBits(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStripedCounterConcurrent(t *testing.T) {
+	c := NewStripedCounter()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*(per+5) {
+		t.Fatalf("Value = %d, want %d", got, goroutines*(per+5))
+	}
+}
+
+func TestStripedCounterNegativeAddPanics(t *testing.T) {
+	c := NewStripedCounter()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestStripedGaugeConcurrent(t *testing.T) {
+	g := NewStripedGauge()
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				g.Add(2)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != goroutines*per {
+		t.Fatalf("Value = %v, want %d", got, goroutines*per)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	g.Set(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 4100 {
+		t.Fatalf("Gauge = %v, want 4100", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g%4) + 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if mean := h.Mean(); mean != 2.0 {
+		t.Fatalf("Mean = %v, want 2.0", mean)
+	}
+	// q=1 interpolates to the top of the winning (2,4] bucket.
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("Quantile(1) = %v, want 4", q)
+	}
+}
+
+func TestRateWindowConcurrentObserve(t *testing.T) {
+	r := NewRateWindow(time.Minute)
+	now := at(30)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(now)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(at(31)); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
+
+func TestSeriesConcurrentAppendAndRead(t *testing.T) {
+	s := NewSeries("x")
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers spin over snapshots while writers append at one instant per
+	// step (equal timestamps are legal), exercising the lock-free
+	// committed-prefix protocol under -race.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pts := s.Points()
+				for i := 1; i < len(pts); i++ {
+					if pts[i].T.Before(pts[i-1].T) {
+						t.Error("snapshot out of time order")
+						return
+					}
+				}
+				if p, ok := s.Last(); ok && p.V < 0 {
+					t.Error("impossible value")
+					return
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				s.Append(t0, float64(i))
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := s.Len(); got != goroutines*per {
+		t.Fatalf("Len = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestSeriesCrossesChunks(t *testing.T) {
+	s := NewSeries("x")
+	n := seriesChunkSize*3 + 17
+	for i := 0; i < n; i++ {
+		s.Append(at(i), float64(i))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	pts := s.Points()
+	for i, p := range pts {
+		if p.V != float64(i) {
+			t.Fatalf("point %d = %v", i, p.V)
+		}
+	}
+	if v, ok := s.At(at(seriesChunkSize + 5)); !ok || v != float64(seriesChunkSize+5) {
+		t.Fatalf("At across chunks = %v, %v", v, ok)
+	}
+	between := s.Between(at(seriesChunkSize-2), at(seriesChunkSize+2))
+	if len(between) != 4 {
+		t.Fatalf("Between across chunk boundary = %d points, want 4", len(between))
+	}
+}

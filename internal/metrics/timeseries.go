@@ -7,8 +7,8 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,102 +18,202 @@ type Point struct {
 	V float64
 }
 
+// seriesChunkSize is the number of points per storage chunk. Chunks are
+// allocated whole and never moved, so readers can traverse them while
+// writers append.
+const seriesChunkSize = 256
+
+type seriesChunk struct {
+	pts   [seriesChunkSize]Point
+	ready [seriesChunkSize]atomic.Bool
+}
+
 // Series is an append-only time series. It is safe for concurrent use: the
 // real-time container mode samples from worker goroutines while the manager
 // reads snapshots.
+//
+// Storage is chunked and appends are lock-free: a writer reserves a slot
+// with one atomic increment, fills it in place and marks it ready; a
+// committed watermark then advances over the contiguously-ready prefix.
+// Readers consume only the committed prefix and never take a lock, so
+// recorders cannot block root-cause queries (nor the other way round).
+// The only mutex in the structure serialises the rare growth of the chunk
+// directory — at most once per seriesChunkSize appends.
 type Series struct {
-	mu   sync.RWMutex
 	name string
-	pts  []Point
+
+	reserved  atomic.Int64 // slots handed to writers
+	committed atomic.Int64 // length of the contiguously-ready prefix
+	dir       atomic.Pointer[[]*seriesChunk]
+	growMu    sync.Mutex
 }
 
 // NewSeries returns an empty series with the given name.
-func NewSeries(name string) *Series { return &Series{name: name} }
+func NewSeries(name string) *Series {
+	s := &Series{name: name}
+	s.dir.Store(&[]*seriesChunk{})
+	return s
+}
 
 // Name returns the series name.
 func (s *Series) Name() string { return s.name }
 
 // Append records v at time t. Observations must arrive in non-decreasing
 // time order; out-of-order appends panic because they indicate the caller
-// mixed clocks, which would silently corrupt trend estimates.
+// mixed clocks, which would silently corrupt trend estimates. Slot
+// reservation order is the authoritative order, and the watermark
+// advance validates each slot against its predecessor — so an inversion
+// (from one goroutine misusing the series or from two goroutines racing
+// appends of distinct timestamps) always panics before readers can
+// observe an unsorted prefix, never silently commits.
 func (s *Series) Append(t time.Time, v float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := len(s.pts); n > 0 && t.Before(s.pts[n-1].T) {
-		panic(fmt.Sprintf("metrics: out-of-order append to %q: %v before %v",
-			s.name, t, s.pts[n-1].T))
+	i := s.reserved.Add(1) - 1
+	ck := s.chunkFor(i / seriesChunkSize)
+	slot := i % seriesChunkSize
+	ck.pts[slot] = Point{T: t, V: v}
+	ck.ready[slot].Store(true)
+	s.advance()
+}
+
+// chunkFor returns the chunk holding index ci, growing the directory
+// copy-on-write when the reservation crossed into a new chunk.
+func (s *Series) chunkFor(ci int64) *seriesChunk {
+	dir := *s.dir.Load()
+	if int(ci) < len(dir) {
+		return dir[ci]
 	}
-	s.pts = append(s.pts, Point{T: t, V: v})
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	dir = *s.dir.Load()
+	for int(ci) >= len(dir) {
+		nd := make([]*seriesChunk, len(dir)+1)
+		copy(nd, dir)
+		nd[len(dir)] = &seriesChunk{}
+		s.dir.Store(&nd)
+		dir = nd
+	}
+	return dir[ci]
+}
+
+// advance moves the committed watermark over every contiguously-ready
+// slot, validating time order against each slot's predecessor before
+// publishing it. Concurrent writers help each other: whichever appender
+// observes the prefix complete publishes it (and trips the out-of-order
+// panic if the prefix is inverted).
+func (s *Series) advance() {
+	for {
+		c := s.committed.Load()
+		if c >= s.reserved.Load() {
+			return
+		}
+		dir := *s.dir.Load()
+		ci, slot := c/seriesChunkSize, c%seriesChunkSize
+		if int(ci) >= len(dir) || !dir[ci].ready[slot].Load() {
+			return
+		}
+		cur := dir[ci].pts[slot]
+		if c > 0 {
+			if prev := pointAt(dir, int(c-1)); cur.T.Before(prev.T) {
+				panic(fmt.Sprintf("metrics: out-of-order append to %q: %v before %v",
+					s.name, cur.T, prev.T))
+			}
+		}
+		s.committed.CompareAndSwap(c, c+1)
+	}
+}
+
+// view returns the chunk directory and the committed length. The
+// directory is loaded after the watermark, so it always covers the
+// returned length.
+func (s *Series) view() ([]*seriesChunk, int) {
+	n := s.committed.Load()
+	return *s.dir.Load(), int(n)
+}
+
+func pointAt(dir []*seriesChunk, i int) Point {
+	return dir[i/seriesChunkSize].pts[i%seriesChunkSize]
 }
 
 // Len returns the number of observations.
 func (s *Series) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pts)
+	_, n := s.view()
+	return n
 }
 
 // Last returns the most recent observation and whether one exists.
 func (s *Series) Last() (Point, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if len(s.pts) == 0 {
+	dir, n := s.view()
+	if n == 0 {
 		return Point{}, false
 	}
-	return s.pts[len(s.pts)-1], true
+	return pointAt(dir, n-1), true
 }
 
 // First returns the earliest observation and whether one exists.
 func (s *Series) First() (Point, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if len(s.pts) == 0 {
+	dir, n := s.view()
+	if n == 0 {
 		return Point{}, false
 	}
-	return s.pts[0], true
+	return pointAt(dir, 0), true
 }
 
 // Points returns a copy of all observations.
 func (s *Series) Points() []Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Point, len(s.pts))
-	copy(out, s.pts)
+	dir, n := s.view()
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = pointAt(dir, i)
+	}
 	return out
 }
 
 // Values returns a copy of the observation values in time order.
 func (s *Series) Values() []float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]float64, len(s.pts))
-	for i, p := range s.pts {
-		out[i] = p.V
+	dir, n := s.view()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = pointAt(dir, i).V
 	}
 	return out
 }
 
+// search returns the smallest index in [0, n) for which pred is true,
+// assuming pred is monotone over the time-ordered points (n if none).
+func search(dir []*seriesChunk, n int, pred func(Point) bool) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pred(pointAt(dir, mid)) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // Between returns a copy of the observations with from <= T < to.
 func (s *Series) Between(from, to time.Time) []Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	lo := sort.Search(len(s.pts), func(i int) bool { return !s.pts[i].T.Before(from) })
-	hi := sort.Search(len(s.pts), func(i int) bool { return !s.pts[i].T.Before(to) })
+	dir, n := s.view()
+	lo := search(dir, n, func(p Point) bool { return !p.T.Before(from) })
+	hi := search(dir, n, func(p Point) bool { return !p.T.Before(to) })
 	out := make([]Point, hi-lo)
-	copy(out, s.pts[lo:hi])
+	for i := range out {
+		out[i] = pointAt(dir, lo+i)
+	}
 	return out
 }
 
 // At returns the value in effect at time t: the latest observation not
 // after t. It reports false when t precedes the first observation.
 func (s *Series) At(t time.Time) (float64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T.After(t) })
+	dir, n := s.view()
+	i := search(dir, n, func(p Point) bool { return p.T.After(t) })
 	if i == 0 {
 		return 0, false
 	}
-	return s.pts[i-1].V, true
+	return pointAt(dir, i-1).V, true
 }
 
 // Downsample reduces the series to one point per bucket of width step,

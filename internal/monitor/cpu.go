@@ -2,27 +2,29 @@ package monitor
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jmx"
+	"repro/internal/metrics"
 )
 
 // CPUAgent accumulates per-component CPU time. In the simulation the
 // container charges each request's modelled service time to the component
 // that executed it; a CPU-hogging aging bug therefore shows up as one
 // component's share growing without a matching workload change — the CPU
-// analogue of the paper's future-work direction.
+// analogue of the paper's future-work direction. Charging is lock-free:
+// per-component atomic nanosecond accumulators behind a sync.Map.
 type CPUAgent struct {
 	bean *jmx.Bean
 
-	mu    sync.RWMutex
-	times map[string]time.Duration
-	total time.Duration
+	times sync.Map // component name -> *atomic.Int64 (nanoseconds)
+	total atomic.Int64
 }
 
 // NewCPUAgent creates an empty CPU accounting agent.
 func NewCPUAgent() *CPUAgent {
-	a := &CPUAgent{times: make(map[string]time.Duration)}
+	a := &CPUAgent{}
 	a.bean = jmx.NewBean("per-component CPU time monitoring agent").
 		Attr("TotalSeconds", "CPU seconds charged across all components", func() any {
 			return a.Total().Seconds()
@@ -49,34 +51,31 @@ func (a *CPUAgent) AddTime(component string, d time.Duration) {
 	if d < 0 {
 		panic("monitor: negative CPU time")
 	}
-	a.mu.Lock()
-	a.times[component] += d
-	a.total += d
-	a.mu.Unlock()
+	cell := metrics.LoadOrCreate(&a.times, component, func() *atomic.Int64 { return new(atomic.Int64) })
+	cell.Add(int64(d))
+	a.total.Add(int64(d))
 }
 
 // TimeOf returns the CPU time charged to component.
 func (a *CPUAgent) TimeOf(component string) time.Duration {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.times[component]
+	if v, ok := a.times.Load(component); ok {
+		return time.Duration(v.(*atomic.Int64).Load())
+	}
+	return 0
 }
 
 // Total returns the CPU time charged across all components.
 func (a *CPUAgent) Total() time.Duration {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.total
+	return time.Duration(a.total.Load())
 }
 
 // All returns a copy of the per-component CPU times.
 func (a *CPUAgent) All() map[string]time.Duration {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make(map[string]time.Duration, len(a.times))
-	for c, d := range a.times {
-		out[c] = d
-	}
+	out := make(map[string]time.Duration)
+	a.times.Range(func(k, v any) bool {
+		out[k.(string)] = time.Duration(v.(*atomic.Int64).Load())
+		return true
+	})
 	return out
 }
 

@@ -3,9 +3,11 @@ package monitor
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jmx"
+	"repro/internal/metrics"
 )
 
 // InvocationStats aggregates the executions of one component.
@@ -23,19 +25,30 @@ func (s InvocationStats) MeanDuration() time.Duration {
 	return s.TotalDuration / time.Duration(s.Count)
 }
 
+// invocationCell holds one component's live counters. All fields are
+// atomic so Record — which runs inside the AC's after-advice on every
+// woven execution — touches no lock.
+type invocationCell struct {
+	count    atomic.Int64
+	failures atomic.Int64
+	durNanos atomic.Int64
+}
+
 // InvocationAgent counts component executions and their outcomes. Its
 // counters are the usage-frequency axis of the paper's resource-consumption
 // × usage map, and its failure counts feed the Pinpoint-style baseline.
+// Recording is lock-free: components map to atomic counter cells through a
+// sync.Map, whose read path is a lock-free hash lookup once a component
+// has been seen.
 type InvocationAgent struct {
 	bean *jmx.Bean
 
-	mu    sync.RWMutex
-	stats map[string]*InvocationStats
+	stats sync.Map // component name -> *invocationCell
 }
 
 // NewInvocationAgent creates an empty invocation accounting agent.
 func NewInvocationAgent() *InvocationAgent {
-	a := &InvocationAgent{stats: make(map[string]*InvocationStats)}
+	a := &InvocationAgent{}
 	a.bean = jmx.NewBean("per-component invocation monitoring agent").
 		Attr("Total", "executions across all components", func() any { return a.Total() }).
 		Attr("Components", "component names seen so far", func() any { return a.Components() }).
@@ -58,61 +71,60 @@ func NewInvocationAgent() *InvocationAgent {
 
 // Record notes one execution of component taking d, failed or not.
 func (a *InvocationAgent) Record(component string, d time.Duration, failed bool) {
-	a.mu.Lock()
-	st, ok := a.stats[component]
-	if !ok {
-		st = &InvocationStats{}
-		a.stats[component] = st
-	}
-	st.Count++
+	c := metrics.LoadOrCreate(&a.stats, component, func() *invocationCell { return &invocationCell{} })
+	c.count.Add(1)
 	if failed {
-		st.Failures++
+		c.failures.Add(1)
 	}
-	st.TotalDuration += d
-	a.mu.Unlock()
+	c.durNanos.Add(int64(d))
 }
 
 // StatsOf returns a copy of the stats of component.
 func (a *InvocationAgent) StatsOf(component string) InvocationStats {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	if st, ok := a.stats[component]; ok {
-		return *st
+	if v, ok := a.stats.Load(component); ok {
+		c := v.(*invocationCell)
+		return InvocationStats{
+			Count:         c.count.Load(),
+			Failures:      c.failures.Load(),
+			TotalDuration: time.Duration(c.durNanos.Load()),
+		}
 	}
 	return InvocationStats{}
 }
 
 // Total returns the execution count across all components.
 func (a *InvocationAgent) Total() int64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	var n int64
-	for _, st := range a.stats {
-		n += st.Count
-	}
+	a.stats.Range(func(_, v any) bool {
+		n += v.(*invocationCell).count.Load()
+		return true
+	})
 	return n
 }
 
 // Components lists component names seen so far, sorted.
 func (a *InvocationAgent) Components() []string {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make([]string, 0, len(a.stats))
-	for c := range a.stats {
-		out = append(out, c)
-	}
+	var out []string
+	a.stats.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
 
 // All returns a copy of the per-component stats.
 func (a *InvocationAgent) All() map[string]InvocationStats {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make(map[string]InvocationStats, len(a.stats))
-	for c, st := range a.stats {
-		out[c] = *st
-	}
+	out := make(map[string]InvocationStats)
+	a.stats.Range(func(k, v any) bool {
+		c := v.(*invocationCell)
+		out[k.(string)] = InvocationStats{
+			Count:         c.count.Load(),
+			Failures:      c.failures.Load(),
+			TotalDuration: time.Duration(c.durNanos.Load()),
+		}
+		return true
+	})
 	return out
 }
 

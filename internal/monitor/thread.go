@@ -2,9 +2,18 @@ package monitor
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/jmx"
+	"repro/internal/metrics"
 )
+
+// threadCell tracks one component's thread counts with atomics so starts
+// and finishes from concurrent requests never serialise.
+type threadCell struct {
+	live    atomic.Int64
+	started atomic.Int64
+}
 
 // ThreadAgent tracks live threads per component. Unterminated threads are
 // one of the classic aging vectors the paper lists; a thread-leaking
@@ -13,15 +22,12 @@ import (
 type ThreadAgent struct {
 	bean *jmx.Bean
 
-	mu      sync.RWMutex
-	live    map[string]int64
-	started map[string]int64
-	total   int64
+	cells sync.Map // component name -> *threadCell
 }
 
 // NewThreadAgent creates an empty thread accounting agent.
 func NewThreadAgent() *ThreadAgent {
-	a := &ThreadAgent{live: make(map[string]int64), started: make(map[string]int64)}
+	a := &ThreadAgent{}
 	a.bean = jmx.NewBean("per-component live thread monitoring agent").
 		Attr("TotalLive", "live threads across all components", func() any { return a.TotalLive() }).
 		Op("LiveOf", "live threads owned by the named component", func(args ...any) (any, error) {
@@ -39,58 +45,70 @@ func NewThreadAgent() *ThreadAgent {
 
 // ThreadStarted records component starting a thread.
 func (a *ThreadAgent) ThreadStarted(component string) {
-	a.mu.Lock()
-	a.live[component]++
-	a.started[component]++
-	a.total++
-	a.mu.Unlock()
+	c := metrics.LoadOrCreate(&a.cells, component, func() *threadCell { return &threadCell{} })
+	c.live.Add(1)
+	c.started.Add(1)
 }
 
 // ThreadFinished records a thread of component terminating. Finishing more
 // threads than were started panics: it means the instrumentation is
 // miscounting, which must not be papered over.
 func (a *ThreadAgent) ThreadFinished(component string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.live[component] == 0 {
+	v, ok := a.cells.Load(component)
+	if !ok {
 		panic("monitor: ThreadFinished without matching ThreadStarted for " + component)
 	}
-	a.live[component]--
-	a.total--
-	if a.live[component] == 0 {
-		delete(a.live, component)
+	c := v.(*threadCell)
+	for {
+		l := c.live.Load()
+		if l == 0 {
+			panic("monitor: ThreadFinished without matching ThreadStarted for " + component)
+		}
+		if c.live.CompareAndSwap(l, l-1) {
+			break
+		}
 	}
 }
 
 // LiveOf returns the live thread count of component.
 func (a *ThreadAgent) LiveOf(component string) int64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.live[component]
+	if v, ok := a.cells.Load(component); ok {
+		return v.(*threadCell).live.Load()
+	}
+	return 0
 }
 
 // StartedOf returns how many threads component has ever started.
 func (a *ThreadAgent) StartedOf(component string) int64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.started[component]
-}
-
-// TotalLive returns the live thread count across all components.
-func (a *ThreadAgent) TotalLive() int64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.total
-}
-
-// All returns a copy of the per-component live counts.
-func (a *ThreadAgent) All() map[string]int64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make(map[string]int64, len(a.live))
-	for c, n := range a.live {
-		out[c] = n
+	if v, ok := a.cells.Load(component); ok {
+		return v.(*threadCell).started.Load()
 	}
+	return 0
+}
+
+// TotalLive returns the live thread count across all components. It is
+// the sum of the per-component cells — each non-negative by the
+// ThreadFinished CAS — so the total can never transiently read negative
+// the way a separately maintained global counter could.
+func (a *ThreadAgent) TotalLive() int64 {
+	var n int64
+	a.cells.Range(func(_, v any) bool {
+		n += v.(*threadCell).live.Load()
+		return true
+	})
+	return n
+}
+
+// All returns the per-component live counts (components whose threads all
+// terminated are omitted).
+func (a *ThreadAgent) All() map[string]int64 {
+	out := make(map[string]int64)
+	a.cells.Range(func(k, v any) bool {
+		if n := v.(*threadCell).live.Load(); n > 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
 	return out
 }
 

@@ -58,7 +58,7 @@ type Request struct {
 	submitted   time.Time
 	extraCost   time.Duration
 	serviceTime time.Duration
-	jpMark      int64 // weaver join point count at dispatch, for overhead accounting
+	joinPoints  int64 // advised executions this request crossed, for overhead accounting
 }
 
 // Param returns the named parameter ("" when absent).
@@ -82,6 +82,13 @@ func (r *Request) ReportedCost() time.Duration { return r.serviceTime }
 
 // Submitted returns when the request entered the container.
 func (r *Request) Submitted() time.Time { return r.submitted }
+
+// JoinPointCrossed implements the aspect package's JoinPointTap: the
+// weaver calls it once per advised execution whose first argument is this
+// request (the servlet's own Service join point). Together with the tap
+// on the bound connection this gives each request an exact join point
+// count even when many requests dispatch concurrently.
+func (r *Request) JoinPointCrossed() { r.joinPoints++ }
 
 // TraceKey identifies the request flow for trace-collecting aspects: the
 // bound database connection, which nested DAO executions also carry. It

@@ -156,16 +156,19 @@ func (c *Container) Deploy(name string, s Servlet) error {
 	// The inner function computes the simulated service time immediately
 	// after the servlet body returns, while still inside the advice
 	// chain, so after-advice (the AC) observes the request's reported
-	// cost.
+	// cost. Join points are counted per flow — the request taps its own
+	// Service join point, the bound connection taps the nested DAO ones —
+	// so concurrent requests never cross-charge each other.
 	inner := func(args ...any) (any, error) {
 		req := args[0].(*Request)
 		resp := args[1].(*Response)
 		err := s.Service(req, resp)
 		var cost sqldb.QueryCost
+		jps := req.joinPoints
 		if req.Conn != nil {
 			cost = req.Conn.Cost()
+			jps += req.Conn.JoinPointsCrossed()
 		}
-		jps := c.weaver.JoinPoints() - req.jpMark
 		req.serviceTime = c.cfg.Cost.ServiceTime(cost, jps, req.extraCost)
 		return nil, err
 	}
@@ -335,7 +338,7 @@ func (c *Container) execute(req *Request) (*Response, time.Duration) {
 	}
 	conn := c.pool.Acquire()
 	req.Conn = conn
-	req.jpMark = c.weaver.JoinPoints()
+	req.joinPoints = 0
 	chain := c.newChain(func(req *Request, resp *Response) error {
 		_, err := d.woven(0, req, resp)
 		return err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -132,12 +133,18 @@ func (c *Container) destroyFilters() {
 
 // AccessLogFilter is a stock filter recording per-interaction hit counts
 // and last-access times, the access.log of the miniature container.
+// Recording is on the per-request hot path, so each interaction gets a
+// striped hit counter and an atomic last-access cell behind a sync.Map —
+// concurrent requests to the same interaction never serialise here.
 type AccessLogFilter struct {
 	clock sim.Clock
 
-	mu   sync.Mutex
-	hits map[string]int64
-	last map[string]time.Time
+	entries sync.Map // interaction -> *accessEntry
+}
+
+type accessEntry struct {
+	hits      *metrics.StripedCounter
+	lastNanos atomic.Int64
 }
 
 // NewAccessLogFilter creates an access log against clock (wall clock when
@@ -146,11 +153,7 @@ func NewAccessLogFilter(clock sim.Clock) *AccessLogFilter {
 	if clock == nil {
 		clock = sim.WallClock{}
 	}
-	return &AccessLogFilter{
-		clock: clock,
-		hits:  make(map[string]int64),
-		last:  make(map[string]time.Time),
-	}
+	return &AccessLogFilter{clock: clock}
 }
 
 // Init implements Filter.
@@ -161,26 +164,41 @@ func (f *AccessLogFilter) Destroy() {}
 
 // DoFilter implements Filter.
 func (f *AccessLogFilter) DoFilter(req *Request, resp *Response, chain *FilterChain) error {
-	f.mu.Lock()
-	f.hits[req.Interaction]++
-	f.last[req.Interaction] = f.clock.Now()
-	f.mu.Unlock()
+	e := metrics.LoadOrCreate(&f.entries, req.Interaction, func() *accessEntry {
+		return &accessEntry{hits: metrics.NewStripedCounter()}
+	})
+	e.hits.Inc()
+	now := f.clock.Now().UnixNano()
+	for {
+		last := e.lastNanos.Load()
+		if now <= last || e.lastNanos.CompareAndSwap(last, now) {
+			break
+		}
+	}
 	return chain.Next(req, resp)
 }
 
 // Hits returns the recorded hit count of an interaction.
 func (f *AccessLogFilter) Hits(interaction string) int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.hits[interaction]
+	if v, ok := f.entries.Load(interaction); ok {
+		return v.(*accessEntry).hits.Value()
+	}
+	return 0
 }
 
-// LastAccess returns the last access time of an interaction.
+// LastAccess returns the last access time of an interaction. A zero
+// lastNanos means the entry was published but its first access time is
+// still being recorded — reported as absent, like the pre-hit state.
 func (f *AccessLogFilter) LastAccess(interaction string) (time.Time, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	t, ok := f.last[interaction]
-	return t, ok
+	v, ok := f.entries.Load(interaction)
+	if !ok {
+		return time.Time{}, false
+	}
+	n := v.(*accessEntry).lastNanos.Load()
+	if n == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, n), true
 }
 
 // RateLimitFilter is a stock filter rejecting requests beyond a rate per

@@ -25,9 +25,10 @@ func (c *QueryCost) Add(other QueryCost) {
 // concurrent use — exactly like a JDBC connection, one request borrows it
 // from the pool, uses it, and returns it.
 type Conn struct {
-	db   *DB
-	pool *Pool
-	cost QueryCost
+	db         *DB
+	pool       *Pool
+	cost       QueryCost
+	joinPoints int64
 }
 
 // Select runs q against the named table.
@@ -106,8 +107,21 @@ func (c *Conn) Cost() QueryCost { return c.cost }
 // connection itself); see the aspect package's Keyed interface.
 func (c *Conn) TraceKey() any { return c }
 
+// JoinPointCrossed implements the aspect package's JoinPointTap: the
+// weaver calls it once per advised execution whose first argument is this
+// connection, so nested DAO join points are charged to the request the
+// connection is bound to rather than read off a process-global counter.
+func (c *Conn) JoinPointCrossed() { c.joinPoints++ }
+
+// JoinPointsCrossed returns the advised executions recorded since the
+// last ResetCost.
+func (c *Conn) JoinPointsCrossed() int64 { return c.joinPoints }
+
 // ResetCost zeroes the accumulated cost; the pool does this on Release.
-func (c *Conn) ResetCost() { c.cost = QueryCost{} }
+func (c *Conn) ResetCost() {
+	c.cost = QueryCost{}
+	c.joinPoints = 0
+}
 
 // Pool is a fixed-size connection pool, mirroring the data-source pool a
 // J2EE container provides. Acquire blocks when the pool is exhausted,
