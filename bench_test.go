@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/aspect"
+	"repro/internal/detect"
 	"repro/internal/experiment"
 	"repro/internal/jmx"
 	"repro/internal/jvmheap"
@@ -195,6 +196,12 @@ func benchStack(b *testing.B, monitored bool) *servlet.Container {
 			if err := f.InstrumentComponent(name, s); err != nil {
 				b.Fatal(err)
 			}
+		}
+		// The online detectors ride the sampling rounds, not the request
+		// path; attaching them here keeps the monitored benchmarks honest
+		// about the full production configuration.
+		if _, err := f.AttachDetectors(detect.Config{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 	return container

@@ -16,6 +16,10 @@
 //	invoke <name> <op> [args]    invoke an operation (string args)
 //	suspects [resource]          ask the manager for the aging ranking
 //	map [resource]               print the manager's consumption×usage map
+//	live [resource]              rank with the online detector verdicts
+//	verdicts [resource]          print the latest online detection report
+//	watch [resource]             live-watch mode: poll verdicts + alarms
+//	                             until interrupted (-interval sets the period)
 //	components                   list instrumented components
 //	activate <component>         enable a component's AC
 //	deactivate <component>       disable a component's AC
@@ -29,11 +33,15 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/jmxhttp"
 )
 
 const managerName = "aging:type=Manager"
+
+var watchInterval = flag.Duration("interval", 5*time.Second, "poll period of the watch command")
 
 func main() {
 	url := flag.String("url", "http://localhost:9990", "base URL of the JMX HTTP adapter")
@@ -145,6 +153,37 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		printMap(v)
 		return nil
 
+	case "live":
+		resource := "memory"
+		if len(rest) > 0 {
+			resource = rest[0]
+		}
+		v, err := client.Invoke(managerName, "LiveMap", resource)
+		if err != nil {
+			return err
+		}
+		printLiveMap(v)
+		return nil
+
+	case "verdicts":
+		resource := "memory"
+		if len(rest) > 0 {
+			resource = rest[0]
+		}
+		v, err := client.Invoke(managerName, "Verdicts", resource)
+		if err != nil {
+			return err
+		}
+		printVerdicts(v)
+		return nil
+
+	case "watch":
+		resource := "memory"
+		if len(rest) > 0 {
+			resource = rest[0]
+		}
+		return watch(client, resource)
+
 	case "components":
 		v, err := client.Get(managerName, "Components")
 		if err != nil {
@@ -206,6 +245,78 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// watch is the live-watch mode: every interval it polls the latest
+// detection report for the resource and any new aging.* notifications,
+// printing both — a terminal dashboard over the online detectors. It runs
+// until the process is interrupted or the remote end goes away.
+func watch(client *jmxhttp.Client, resource string) error {
+	var cursor uint64
+	fmt.Printf("watching %s verdicts every %v (Ctrl-C to stop)\n", resource, *watchInterval)
+	for {
+		v, err := client.Invoke(managerName, "Verdicts", resource)
+		if err != nil {
+			// "no detectors attached" cannot resolve itself — bail out
+			// with a diagnostic instead of polling forever. "No report
+			// yet" just means the first sampling round hasn't run;
+			// keep polling.
+			if strings.Contains(err.Error(), "no detectors attached") {
+				return fmt.Errorf("%w (start the server with detectors, e.g. tpcwsim -detect)", err)
+			}
+			fmt.Printf("%s  (no verdicts: %v)\n", time.Now().Format(time.TimeOnly), err)
+		} else {
+			fmt.Printf("--- %s ---\n", time.Now().Format(time.TimeOnly))
+			printVerdicts(v)
+		}
+		ns, err := client.Notifications(cursor)
+		if err != nil {
+			return err
+		}
+		for _, n := range ns {
+			cursor = n.Seq
+			if n.Type == "aging.alarm" || n.Type == "aging.suspect" {
+				fmt.Printf("!! %s %s %s\n", n.Time, n.Type, n.Message)
+			}
+		}
+		time.Sleep(*watchInterval)
+	}
+}
+
+// printVerdicts renders the JSON form of a detect.Report.
+func printVerdicts(v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		fmt.Println(v)
+		return
+	}
+	fmt.Printf("resource=%v round=%v suppressed=%v shift=%.3v entropy=%.3v\n",
+		m["Resource"], m["Round"], m["Suppressed"], m["ShiftDistance"], m["Entropy"])
+	if alarm, _ := m["EntropyAlarm"].(bool); alarm {
+		fmt.Printf("entropy alarm: dominant consumer %v\n", m["EntropySuspect"])
+	}
+	comps, _ := m["Components"].([]any)
+	for i, c := range comps {
+		cm, _ := c.(map[string]any)
+		fmt.Printf("%2d. %-28v alarm=%-5v score=%8.4v streak=%v samples=%v\n",
+			i+1, cm["Component"], cm["Alarm"], cm["Score"], cm["Streak"], cm["Samples"])
+	}
+}
+
+// printLiveMap renders the live strategy's ranking.
+func printLiveMap(v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		fmt.Println(v)
+		return
+	}
+	fmt.Printf("strategy=%v resource=%v\n", m["Strategy"], m["Resource"])
+	entries, _ := m["Entries"].([]any)
+	for i, e := range entries {
+		em, _ := e.(map[string]any)
+		fmt.Printf("%2d. %-28v alarm=%-5v score=%8.4v consumption=%.3v usage=%.3v\n",
+			i+1, em["Name"], em["Alarm"], em["Score"], em["NormConsumption"], em["NormUsage"])
 	}
 }
 

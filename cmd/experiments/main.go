@@ -44,8 +44,12 @@ func main() {
 		"A1":  experiment.A1MonitoringLevels,
 		"A2":  experiment.A2SizingPolicies,
 		"A3":  experiment.A3MixSensitivity,
+		"S1":  experiment.S1WorkloadShift,
+		"S2":  experiment.S2OnlineLeakDetection,
+		"S3":  experiment.S3DiurnalCycle,
+		"S4":  experiment.S4BurstWithLeak,
 	}
-	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"}
+	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "S1", "S2", "S3", "S4"}
 
 	var ids []string
 	if *run == "all" {

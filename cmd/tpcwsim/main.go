@@ -6,7 +6,15 @@
 // Usage:
 //
 //	tpcwsim [-addr :9990] [-duration 1h] [-ebs 50] [-leak tpcw.home]
-//	        [-leaksize 102400] [-leakn 100] [-hold]
+//	        [-leaksize 102400] [-leakn 100] [-scenario steady] [-hold]
+//
+// The -scenario flag picks the workload shape the detectors are exposed
+// to: steady (one flat phase), shift (the mix walks browsing → shopping →
+// ordering), diurnal (a sinusoidal population cycle) or burst (a 4× flash
+// crowd mid-run). With -detect (on by default) the streaming detectors
+// run off every sampling round; watch them live with
+//
+//	agingmon -url http://localhost:9990 watch memory
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"repro/internal/eb"
 	"repro/internal/experiment"
 	"repro/internal/jmxhttp"
+	"repro/internal/sim"
 	"repro/internal/tpcw"
 )
 
@@ -32,6 +41,8 @@ func main() {
 		leakSize = flag.Int("leaksize", 100<<10, "leak bytes per injection")
 		leakN    = flag.Int("leakn", 100, "the paper's N: uniform [0,N] requests between injections")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		scenario = flag.String("scenario", "steady", "workload shape: steady, shift, diurnal or burst")
+		doDetect = flag.Bool("detect", true, "attach the streaming aging detectors")
 		hold     = flag.Bool("hold", false, "keep serving the management plane after the run ends")
 	)
 	flag.Parse()
@@ -39,6 +50,7 @@ func main() {
 	stack, err := experiment.NewStack(experiment.StackConfig{
 		Seed:      *seed,
 		Monitored: true,
+		Detect:    *doDetect,
 		Mix:       eb.Shopping,
 	})
 	if err != nil {
@@ -62,9 +74,9 @@ func main() {
 		}
 	}()
 
-	log.Printf("running %v of virtual time at %d EBs (shopping mix)", *duration, *ebs)
+	log.Printf("running %v of virtual time at %d EBs (%s scenario)", *duration, *ebs, *scenario)
 	start := time.Now()
-	stack.Driver.Run([]eb.Phase{{Duration: *duration, EBs: *ebs}})
+	runScenario(stack, *scenario, *duration, *ebs)
 	log.Printf("done: %d interactions (%d failed) in %v wall time",
 		stack.Driver.Completed(), stack.Driver.Failed(), time.Since(start).Truncate(time.Millisecond))
 
@@ -73,11 +85,45 @@ func main() {
 	if top, ok := ranking.Top(); ok {
 		fmt.Printf("top aging suspect: %s (score %.3f)\n", top.Name, top.Score)
 	}
+	if stack.Detectors != nil {
+		if rep := stack.Detectors.Report(core.ResourceMemory); rep != nil {
+			fmt.Println(rep.String())
+			if top, ok := rep.Top(); ok {
+				fmt.Printf("online verdict: %s aging on memory (slope %.4g/s since round %d)\n",
+					top.Component, top.Score, top.FirstAlarmRound)
+			} else {
+				fmt.Println("online verdict: no component currently flagged on memory")
+			}
+		}
+	}
 	tte := stack.Framework.Manager().TimeToExhaustion()
 	fmt.Printf("estimated time to heap exhaustion: %v\n", tte.Truncate(time.Second))
 
 	if *hold {
 		log.Printf("holding; management plane stays on %s (Ctrl-C to exit)", *addr)
 		select {}
+	}
+}
+
+// runScenario drives the chosen workload shape over the run duration.
+func runScenario(stack *experiment.Stack, scenario string, duration time.Duration, ebs int) {
+	switch scenario {
+	case "steady":
+		stack.Driver.Run([]eb.Phase{{Duration: duration, EBs: ebs}})
+	case "shift":
+		third := duration / 3
+		stack.Driver.RunMixed([]eb.MixedPhase{
+			{Duration: third, EBs: ebs, Mix: eb.Browsing},
+			{Duration: third, EBs: ebs, Mix: eb.Shopping},
+			{Duration: duration - 2*third, EBs: 2 * ebs, Mix: eb.Ordering},
+		})
+	case "diurnal":
+		profile := sim.DiurnalProfile(float64(ebs), float64(ebs)/2, duration)
+		stack.Driver.Run(eb.ProfileSchedule(profile, duration, duration/12))
+	case "burst":
+		profile := sim.BurstProfile(float64(ebs), float64(ebs)*4, duration/3, duration/10)
+		stack.Driver.Run(eb.ProfileSchedule(profile, duration, duration/30))
+	default:
+		log.Fatalf("unknown scenario %q (want steady, shift, diurnal or burst)", scenario)
 	}
 }

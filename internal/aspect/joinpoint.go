@@ -8,6 +8,16 @@
 // advice executes before/after/around every matched component execution,
 // aspects can be added and (de)activated at runtime without touching
 // application code, and the interception cost is real and measurable.
+//
+// Concurrency contract: woven handles may be invoked from any number of
+// goroutines concurrently with configuration changes. Dispatch is
+// lock-free — it reads an immutable configuration snapshot through an
+// atomic pointer and revalidates a generation-stamped per-handle advice
+// chain cache; mutations (Register, Unregister, SetComponentEnabled) copy
+// and swap the snapshot under a mutex dispatch never touches, and every
+// handle observes a configuration change on its very next call. Advice
+// bodies themselves must be safe for concurrent execution; the weaver
+// gives them no serialisation.
 package aspect
 
 import (

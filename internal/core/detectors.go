@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/jmx"
+	"repro/internal/rootcause"
+)
+
+// NotifAlarm is the notification type the detector bank emits when a
+// component starts (or stops) being flagged by the online detectors.
+const NotifAlarm = "aging.alarm"
+
+// DetectorBank runs one streaming detect.Monitor per resource off the
+// manager's sampling rounds. It is wired in through Manager.Subscribe, so
+// its detectors update incrementally as each round's batch is ingested —
+// never touching a lock the invocation-recording hot path takes (the
+// observer runs under sampleMu, which recorders and root-cause queries
+// never acquire).
+//
+// Alarm transitions are queued under the bank's own mutex and emitted as
+// aging.alarm notifications by the sampling round after sampleMu is
+// released, mirroring how the manager emits aging.suspect.
+type DetectorBank struct {
+	// resources fixes the per-round processing order (map iteration
+	// would be nondeterministic, and notification order must be
+	// bit-reproducible like everything else driven by the engine).
+	resources []string
+	monitors  map[string]*detect.Monitor
+
+	mu       sync.Mutex
+	alarmed  map[string]map[string]bool // resource -> component -> alarming
+	pending  []jmx.Notification
+	entropyA map[string]bool // resource -> entropy alarm latched
+}
+
+// DefaultCPUMinSlope is the Sen-slope floor applied to the CPU detector
+// when the caller leaves Config.MinSlope at zero, in (seconds per
+// invocation) per second. Per-invocation CPU cost exhibits real but slow
+// secular drift even in a healthy system — queries get more expensive as
+// tables grow over a run — and a floor of zero would flag that data
+// growth as component aging. 5e-4 (+30ms of mean service time per minute)
+// is an order of magnitude above the drift the TPC-W scenarios exhibit
+// while far below what a runaway computational bug produces.
+const DefaultCPUMinSlope = 5e-4
+
+// AttachDetectors creates a detector bank over the manager's sampling
+// stream and subscribes it. Memory and threads are watched as raw levels;
+// CPU is watched per invocation (cumulative CPU grows with traffic whether
+// or not anything ages, so it needs the workload normalisation) and gets
+// the DefaultCPUMinSlope floor unless the config sets its own. Attaching
+// twice is an error.
+func (m *Manager) AttachDetectors(cfg detect.Config) (*DetectorBank, error) {
+	cpuCfg := cfg
+	cpuCfg.PerInvocation = true
+	if cpuCfg.MinSlope == 0 {
+		cpuCfg.MinSlope = DefaultCPUMinSlope
+	}
+	bank := &DetectorBank{
+		resources: []string{ResourceMemory, ResourceCPU, ResourceThreads},
+		monitors: map[string]*detect.Monitor{
+			ResourceMemory:  detect.NewMonitor(ResourceMemory, cfg),
+			ResourceCPU:     detect.NewMonitor(ResourceCPU, cpuCfg),
+			ResourceThreads: detect.NewMonitor(ResourceThreads, cfg),
+		},
+		alarmed:  make(map[string]map[string]bool),
+		entropyA: make(map[string]bool),
+	}
+	if !m.detectors.CompareAndSwap(nil, bank) {
+		return nil, fmt.Errorf("core: detectors already attached")
+	}
+	m.Subscribe(bank)
+	return bank, nil
+}
+
+// Detectors returns the attached bank (nil when none).
+func (m *Manager) Detectors() *DetectorBank { return m.detectors.Load() }
+
+// Monitor returns the bank's detector for a resource.
+func (b *DetectorBank) Monitor(resource string) (*detect.Monitor, bool) {
+	mon, ok := b.monitors[resource]
+	return mon, ok
+}
+
+// Report returns the latest published report for a resource (nil before
+// the first sampling round). Safe from any goroutine.
+func (b *DetectorBank) Report(resource string) *detect.Report {
+	if mon, ok := b.monitors[resource]; ok {
+		return mon.Latest()
+	}
+	return nil
+}
+
+// Verdicts adapts the latest report of a resource to the live root-cause
+// strategy's verdict type. Safe from any goroutine.
+func (b *DetectorBank) Verdicts(resource string) []rootcause.LiveVerdict {
+	rep := b.Report(resource)
+	if rep == nil {
+		return nil
+	}
+	out := make([]rootcause.LiveVerdict, 0, len(rep.Components))
+	for _, v := range rep.Components {
+		out = append(out, rootcause.LiveVerdict{
+			Component: v.Component,
+			Alarm:     v.Alarm,
+			Score:     v.Score,
+		})
+	}
+	return out
+}
+
+// ObserveSample implements SampleObserver: it fans the round's batch out
+// to the per-resource monitors and queues notifications for alarm
+// transitions. It runs on the sampling goroutine, serialised by the
+// manager's sampleMu, which is what the single-owner detectors require.
+func (b *DetectorBank) ObserveSample(now time.Time, batch []ComponentSample) {
+	for _, resource := range b.resources {
+		mon := b.monitors[resource]
+		obs := make([]detect.Observation, 0, len(batch))
+		for _, s := range batch {
+			o := detect.Observation{Component: s.Component, Usage: float64(s.Usage)}
+			switch resource {
+			case ResourceMemory:
+				if !s.SizeOK {
+					continue
+				}
+				o.Value = float64(s.Size)
+			case ResourceCPU:
+				o.Value = s.CPUSeconds
+			case ResourceThreads:
+				o.Value = float64(s.Threads)
+			}
+			obs = append(obs, o)
+		}
+		rep := mon.Observe(now, obs)
+		b.queueTransitions(rep)
+	}
+}
+
+// queueTransitions diffs the report against the previously-alarming set
+// and queues one notification per transition.
+func (b *DetectorBank) queueTransitions(rep *detect.Report) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	was := b.alarmed[rep.Resource]
+	if was == nil {
+		was = make(map[string]bool)
+		b.alarmed[rep.Resource] = was
+	}
+	for _, v := range rep.Components {
+		if v.Alarm && !was[v.Component] {
+			was[v.Component] = true
+			b.pending = append(b.pending, jmx.Notification{
+				Type:   NotifAlarm,
+				Source: ManagerName(),
+				Message: fmt.Sprintf("online detector flags %s on %s (slope %.4g/s, round %d)",
+					v.Component, rep.Resource, v.Score, rep.Round),
+				Data: v,
+			})
+		} else if !v.Alarm && was[v.Component] {
+			delete(was, v.Component)
+			b.pending = append(b.pending, jmx.Notification{
+				Type:   NotifAlarm,
+				Source: ManagerName(),
+				Message: fmt.Sprintf("online detector clears %s on %s (round %d)",
+					v.Component, rep.Resource, rep.Round),
+				Data: v,
+			})
+		}
+	}
+	if rep.EntropyAlarm && !b.entropyA[rep.Resource] {
+		b.entropyA[rep.Resource] = true
+		b.pending = append(b.pending, jmx.Notification{
+			Type:   NotifAlarm,
+			Source: ManagerName(),
+			Message: fmt.Sprintf("consumption entropy collapsing on %s, dominant consumer %s (round %d)",
+				rep.Resource, rep.EntropySuspect, rep.Round),
+			Data: rep.EntropySuspect,
+		})
+	} else if !rep.EntropyAlarm && b.entropyA[rep.Resource] {
+		delete(b.entropyA, rep.Resource)
+		b.pending = append(b.pending, jmx.Notification{
+			Type:   NotifAlarm,
+			Source: ManagerName(),
+			Message: fmt.Sprintf("consumption entropy alarm cleared on %s (round %d)",
+				rep.Resource, rep.Round),
+		})
+	}
+}
+
+// drainNotifications returns and clears the queued alarm transitions.
+func (b *DetectorBank) drainNotifications() []jmx.Notification {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+// AlarmCount returns how many components are currently flagged for a
+// resource (observability for tests and the front-end).
+func (b *DetectorBank) AlarmCount(resource string) int {
+	rep := b.Report(resource)
+	if rep == nil {
+		return 0
+	}
+	return len(rep.Alarms())
+}
+
+// LiveRank runs the live strategy for a resource: detector verdicts give
+// the scores and alarms, the current evidence gives the map coordinates.
+// It returns an empty ranking when no detectors are attached.
+func (m *Manager) LiveRank(resource string) rootcause.Ranking {
+	bank := m.detectors.Load()
+	if bank == nil {
+		return rootcause.Ranking{Resource: resource, Strategy: rootcause.Live{}.Name()}
+	}
+	return m.Rank(resource, rootcause.Live{Source: bank.Verdicts})
+}

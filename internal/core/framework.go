@@ -9,6 +9,17 @@
 // components woven through the aspect weaver, with no changes to
 // application source — the property the paper gets from AspectJ load-time
 // weaving and this reproduction gets from registration-time weaving.
+//
+// Concurrency contract: the AC's advice runs on every invoking goroutine
+// and records only into lock-free structures (sync.Map-backed atomic
+// cells, striped counters), so recording never blocks and is never
+// blocked. The manager splits its state onto three locks — recsMu for the
+// component registry (rare instrument/uninstrument), sampleMu serialising
+// sampling rounds (and the SampleObservers they feed, detectors included)
+// against each other only, and suspectMu for notification bookkeeping —
+// with the invariant that no lock is shared between invocation recording,
+// sampling and root-cause queries: queries snapshot record pointers under
+// a read-lock and then read the lock-free series concurrently with both.
 package core
 
 import (
@@ -16,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/aspect"
+	"repro/internal/detect"
 	"repro/internal/jmx"
 	"repro/internal/jvmheap"
 	"repro/internal/monitor"
@@ -244,6 +256,12 @@ func (f *Framework) InstrumentComponent(name string, target any) error {
 		return err
 	}
 	return nil
+}
+
+// AttachDetectors wires the streaming aging detectors into the manager's
+// sampling rounds (see internal/detect and Manager.AttachDetectors).
+func (f *Framework) AttachDetectors(cfg detect.Config) (*DetectorBank, error) {
+	return f.manager.AttachDetectors(cfg)
 }
 
 // StartSampling schedules periodic manager sampling on the engine and

@@ -71,6 +71,55 @@ type Manager struct {
 
 	suspectMu   sync.Mutex
 	lastSuspect string
+
+	// observers receive each round's batch; the slice is copy-on-write
+	// behind an atomic pointer so Sample reads it without locking, and
+	// obsMu serialises the rare Subscribe calls.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]SampleObserver]
+	detectors atomic.Pointer[DetectorBank]
+}
+
+// ComponentSample is one component's measurements in a sampling round, as
+// delivered to subscribed SampleObservers.
+type ComponentSample struct {
+	// Component is the component name.
+	Component string
+	// Size is the measured retained size in bytes (valid when SizeOK).
+	Size   int64
+	SizeOK bool
+	// Usage is the cumulative invocation count.
+	Usage int64
+	// CPUSeconds is the cumulative attributed CPU time.
+	CPUSeconds float64
+	// Threads is the live thread count.
+	Threads int64
+	// Delta is the accumulated per-invocation heap delta.
+	Delta int64
+}
+
+// SampleObserver consumes sampling rounds as they are ingested. Observers
+// run on the sampling goroutine, serialised by the round lock (which the
+// invocation-recording hot path never takes), so an observer may keep
+// unsynchronised per-round state; it must not call Sample re-entrantly and
+// should stay cheap — it adds latency to the round, though never to
+// recording.
+type SampleObserver interface {
+	ObserveSample(now time.Time, batch []ComponentSample)
+}
+
+// Subscribe registers an observer for future sampling rounds.
+func (m *Manager) Subscribe(o SampleObserver) {
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	var cur []SampleObserver
+	if p := m.observers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]SampleObserver, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = o
+	m.observers.Store(&next)
 }
 
 func newManager(f *Framework) *Manager {
@@ -199,8 +248,37 @@ func (m *Manager) Sample(now time.Time) {
 		m.heapRetained.Append(now, float64(m.f.heap.Stats().Retained))
 	}
 	m.samples.Add(1)
+
+	// Deliver the round to subscribed observers (the detector bank lives
+	// here). Still under sampleMu: rounds are totally ordered for
+	// observers, which lets them keep single-owner state — and sampleMu
+	// is not on the recording or query paths, so nothing contends.
+	if p := m.observers.Load(); p != nil && len(*p) > 0 {
+		samples := make([]ComponentSample, len(batch))
+		for i, r := range batch {
+			samples[i] = ComponentSample{
+				Component:  r.rec.name,
+				Size:       r.size,
+				SizeOK:     r.sizeOK,
+				Usage:      r.usage,
+				CPUSeconds: r.cpuSeconds,
+				Threads:    r.threads,
+				Delta:      r.delta,
+			}
+		}
+		for _, o := range *p {
+			o.ObserveSample(now, samples)
+		}
+	}
 	m.sampleMu.Unlock()
 
+	// Notifications go out after the round lock drops, so listeners may
+	// query the manager freely.
+	if bank := m.detectors.Load(); bank != nil {
+		for _, n := range bank.drainNotifications() {
+			m.f.server.Emit(n)
+		}
+	}
 	m.notifyIfSuspectChanged()
 }
 
@@ -375,6 +453,28 @@ func (m *Manager) bean() *jmx.Bean {
 		}).
 		Op("TimeToExhaustion", "seconds until heap exhaustion at the current trend", func(...any) (any, error) {
 			return m.TimeToExhaustion().Seconds(), nil
+		}).
+		Op("LiveMap", "rank components with the online detector verdicts", func(args ...any) (any, error) {
+			resource, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			return m.LiveRank(resource), nil
+		}).
+		Op("Verdicts", "latest online detection report for a resource", func(args ...any) (any, error) {
+			resource, err := stringArg(args)
+			if err != nil {
+				return nil, err
+			}
+			bank := m.detectors.Load()
+			if bank == nil {
+				return nil, errors.New("core: no detectors attached")
+			}
+			rep := bank.Report(resource)
+			if rep == nil {
+				return nil, fmt.Errorf("core: no report yet for %q", resource)
+			}
+			return rep, nil
 		})
 }
 

@@ -1,0 +1,389 @@
+// Package detect implements online software-aging detection over the
+// streaming metrics the monitoring pipeline records: an incremental
+// Mann-Kendall/Sen-slope trend detector (OnlineTrend), a CHAOS-style
+// sliding-window entropy detector over the per-component consumption
+// distribution (EntropyDetector), and a workload-shift guard that watches
+// the per-flow usage mix so a traffic change does not masquerade as aging
+// (ShiftGuard). A Monitor composes the three per resource and publishes a
+// Report after every sampling round.
+//
+// Concurrency contract: all detector state is owned by the single
+// goroutine that calls Observe — in this repo the manager's sampling
+// round, which is already serialised by the manager's sampleMu and holds
+// no lock the invocation-recording hot path takes. The only cross-
+// goroutine surface is the published *Report behind an atomic.Pointer:
+// Latest never blocks and never observes a half-built report, so live
+// root-cause queries read verdicts concurrently with sampling at zero
+// contention.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config tunes a Monitor. The zero value selects the defaults documented
+// on every field.
+type Config struct {
+	// Window is the sliding-window size, in sampling rounds, of the
+	// per-component trend detectors and the entropy detector
+	// (default 40; at the manager's default 30s sampling interval that
+	// is 20 minutes of history).
+	Window int
+	// Alpha is the Mann-Kendall significance level (default 0.01 — the
+	// online detectors test every round, so they need a stricter level
+	// than an offline one-shot query to keep the family-wise false-alarm
+	// rate down).
+	Alpha float64
+	// MinSlope is the smallest Sen slope (units per second) that counts
+	// as aging; significant trends below it are reported but do not
+	// alarm (default 0: any significant increase).
+	MinSlope float64
+	// MinSamples is the minimum number of window samples before a trend
+	// may alarm (default 10).
+	MinSamples int
+	// Consecutive is how many consecutive alarming rounds are required
+	// before a verdict is raised (default 3); it debounces borderline
+	// significances that flicker at the alpha boundary.
+	Consecutive int
+	// PerInvocation, when true, tracks each component's consumption per
+	// invocation (the round's consumption delta divided by its usage
+	// delta) instead of the raw level. This is the workload
+	// normalisation for cumulative resources such as CPU time, whose
+	// raw series grows with traffic whether or not anything ages.
+	PerInvocation bool
+	// ShiftThreshold is the total-variation distance in the usage mix
+	// above which a round counts as a workload shift (default 0.15).
+	ShiftThreshold float64
+	// ShiftHold is how many calm rounds must pass after a shift before
+	// alarms are re-enabled (default 5).
+	ShiftHold int
+	// ShiftEWMA is the adaptation rate of the guard's reference mix
+	// (default 0.2).
+	ShiftEWMA float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 40
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.01
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.Consecutive <= 0 {
+		c.Consecutive = 3
+	}
+	// The shift-guard defaults mirror NewShiftGuard's own fallbacks so
+	// Config() reports the values the guard actually runs with.
+	if c.ShiftThreshold <= 0 || c.ShiftThreshold >= 1 {
+		c.ShiftThreshold = 0.15
+	}
+	if c.ShiftHold <= 0 {
+		c.ShiftHold = 5
+	}
+	if c.ShiftEWMA <= 0 || c.ShiftEWMA > 1 {
+		c.ShiftEWMA = 0.2
+	}
+	return c
+}
+
+// Observation is one component's cumulative state at a sampling round.
+type Observation struct {
+	// Component is the component name.
+	Component string
+	// Value is the cumulative consumption level of the watched resource
+	// (bytes for memory, seconds for CPU, count for threads).
+	Value float64
+	// Usage is the component's cumulative invocation count, charged per
+	// request flow by the join-point taps.
+	Usage float64
+}
+
+// Verdict is one component's detection state in a Report.
+type Verdict struct {
+	// Component is the component name.
+	Component string
+	// Alarm is true when the component is currently flagged as aging.
+	Alarm bool
+	// Score ranks alarming components (the Sen slope of the watched
+	// series, units per second; 0 when not alarming).
+	Score float64
+	// Trend is the current Mann-Kendall verdict over the window.
+	Trend metrics.TrendResult
+	// Streak is how many consecutive rounds the raw alarm condition has
+	// held.
+	Streak int
+	// Samples is the current trend-window fill.
+	Samples int
+	// Share is the component's EWMA share of the resource's total
+	// consumption delta (the entropy detector's attribution signal).
+	Share float64
+	// FirstAlarmRound is the 1-based round at which the component first
+	// alarmed (0 when it never has).
+	FirstAlarmRound int64
+}
+
+// Report is the Monitor's published state after a sampling round.
+type Report struct {
+	// Resource names the watched resource.
+	Resource string
+	// Round is the 1-based number of observation rounds so far.
+	Round int64
+	// Time is the round's sampling instant.
+	Time time.Time
+	// Suppressed is true while the shift guard holds detection down.
+	Suppressed bool
+	// ShiftDistance is the latest usage-mix total-variation distance.
+	ShiftDistance float64
+	// ShiftRounds counts rounds observed in the shifting state.
+	ShiftRounds int64
+	// Entropy is the latest normalised consumption entropy. It is
+	// meaningful only when EntropyObserved is true; before any
+	// consuming round (or right after a shift reset) it is zero, which
+	// must not be read as full concentration.
+	Entropy float64
+	// EntropyObserved reports whether Entropy reflects a measured
+	// round.
+	EntropyObserved bool
+	// EntropyAlarm is true when the entropy shows a significant
+	// decreasing trend (CHAOS concentration signal).
+	EntropyAlarm bool
+	// EntropySuspect is the component the entropy alarm attributes (the
+	// largest consumption-delta share), "" when not alarming.
+	EntropySuspect string
+	// Components holds one verdict per component, highest score first.
+	Components []Verdict
+}
+
+// Alarms returns the verdicts currently alarming, highest score first.
+func (r *Report) Alarms() []Verdict {
+	var out []Verdict
+	for _, v := range r.Components {
+		if v.Alarm {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Top returns the highest-scoring alarming verdict.
+func (r *Report) Top() (Verdict, bool) {
+	a := r.Alarms()
+	if len(a) == 0 {
+		return Verdict{}, false
+	}
+	return a[0], true
+}
+
+// String renders the report as a table.
+func (r *Report) String() string {
+	var b strings.Builder
+	entropy := "-"
+	if r.EntropyObserved {
+		entropy = fmt.Sprintf("%.3f", r.Entropy)
+	}
+	fmt.Fprintf(&b, "detect[%s] round=%d suppressed=%v shift=%.3f entropy=%s",
+		r.Resource, r.Round, r.Suppressed, r.ShiftDistance, entropy)
+	if r.EntropyAlarm {
+		fmt.Fprintf(&b, " entropy-alarm(%s)", r.EntropySuspect)
+	}
+	b.WriteByte('\n')
+	for i, v := range r.Components {
+		fmt.Fprintf(&b, "%2d. %-28s alarm=%-5v score=%10.4g z=%6.2f streak=%d n=%d share=%.3f\n",
+			i+1, v.Component, v.Alarm, v.Score, v.Trend.Z, v.Streak, v.Samples, v.Share)
+	}
+	return b.String()
+}
+
+// componentState is the Monitor's per-component detector state.
+type componentState struct {
+	trend      *OnlineTrend
+	prevValue  float64
+	prevUsage  float64
+	havePrev   bool
+	streak     int
+	firstAlarm int64
+	share      float64 // EWMA consumption-delta share
+}
+
+// Monitor composes the trend, entropy and shift detectors for one
+// resource. Observe is single-owner (the sampling round); Latest is safe
+// from any goroutine.
+type Monitor struct {
+	resource string
+	cfg      Config
+
+	comps         map[string]*componentState
+	entropy       *EntropyDetector
+	entropyStreak int
+	guard         *ShiftGuard
+	rounds        int64
+	shiftRounds   int64
+
+	report atomic.Pointer[Report]
+}
+
+// NewMonitor creates a detector bank for one resource.
+func NewMonitor(resource string, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		resource: resource,
+		cfg:      cfg,
+		comps:    make(map[string]*componentState),
+		entropy:  NewEntropyDetector(cfg.Window, cfg.Alpha),
+		guard:    NewShiftGuard(cfg.ShiftThreshold, cfg.ShiftHold, cfg.ShiftEWMA),
+	}
+}
+
+// Resource returns the watched resource name.
+func (m *Monitor) Resource() string { return m.resource }
+
+// Config returns the effective (defaulted) configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Rounds returns how many observation rounds have been absorbed.
+func (m *Monitor) Rounds() int64 { return m.rounds }
+
+// Latest returns the most recently published report (nil before the first
+// round). It never blocks: the report is an immutable snapshot behind an
+// atomic pointer.
+func (m *Monitor) Latest() *Report { return m.report.Load() }
+
+// Observe absorbs one sampling round and publishes a fresh Report. It
+// must be called from a single goroutine (the manager's sampling round).
+func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
+	m.rounds++
+
+	// Round deltas feed the shift guard (usage) and the entropy
+	// detector (consumption).
+	usageDeltas := make(map[string]float64, len(obs))
+	valueDeltas := make([]float64, len(obs))
+	var totalDelta float64
+	for i, o := range obs {
+		st := m.comps[o.Component]
+		if st == nil {
+			st = &componentState{trend: NewOnlineTrend(m.cfg.Window, m.cfg.Alpha)}
+			m.comps[o.Component] = st
+		}
+		if st.havePrev {
+			usageDeltas[o.Component] = o.Usage - st.prevUsage
+			if d := o.Value - st.prevValue; d > 0 {
+				valueDeltas[i] = d
+				totalDelta += d
+			}
+		}
+	}
+
+	suppressed := m.guard.Observe(usageDeltas)
+
+	// Feed the per-component trends. The tracked quantity is chosen to
+	// be workload-invariant: the raw level for state resources, the
+	// per-invocation mean for cumulative ones — so the window stays
+	// valid across a shift and only the alarm decision is held down.
+	for i, o := range obs {
+		st := m.comps[o.Component]
+		if st.havePrev {
+			if m.cfg.PerInvocation {
+				if du := o.Usage - st.prevUsage; du > 0 {
+					st.trend.Push(now, (o.Value-st.prevValue)/du)
+				}
+			} else {
+				st.trend.Push(now, o.Value)
+			}
+			if totalDelta > 0 {
+				st.share = 0.8*st.share + 0.2*(valueDeltas[i]/totalDelta)
+			}
+		}
+		st.prevValue, st.prevUsage, st.havePrev = o.Value, o.Usage, true
+	}
+
+	// The entropy series is mix-sensitive by construction, so a shift
+	// invalidates its window entirely; the guard resets it rather than
+	// letting pre- and post-shift distributions blend into a fake trend.
+	if suppressed {
+		m.entropy.Reset()
+		m.entropyStreak = 0
+	} else if totalDelta > 0 {
+		m.entropy.Observe(now, valueDeltas)
+	}
+
+	if suppressed {
+		m.shiftRounds++
+	}
+	rep := &Report{
+		Resource:      m.resource,
+		Round:         m.rounds,
+		Time:          now,
+		Suppressed:    suppressed,
+		ShiftDistance: m.guard.Distance(),
+		ShiftRounds:   m.shiftRounds,
+	}
+	if h, ok := m.entropy.Last(); ok {
+		rep.Entropy = h
+		rep.EntropyObserved = true
+	}
+
+	// Entropy alarm: significant concentration, debounced like the
+	// per-component alarms, attributed to the dominant consumer.
+	if !suppressed && m.entropy.Alarming() {
+		m.entropyStreak++
+	} else {
+		m.entropyStreak = 0
+	}
+	if m.entropyStreak >= m.cfg.Consecutive {
+		rep.EntropyAlarm = true
+		var best string
+		var bestShare float64
+		for c, st := range m.comps {
+			if st.share > bestShare {
+				best, bestShare = c, st.share
+			}
+		}
+		rep.EntropySuspect = best
+	}
+
+	for _, o := range obs {
+		st := m.comps[o.Component]
+		v := Verdict{
+			Component: o.Component,
+			Trend:     st.trend.Result(),
+			Samples:   st.trend.Len(),
+			Share:     st.share,
+		}
+		raw := v.Trend.Direction == metrics.TrendIncreasing &&
+			v.Trend.SenSlope > m.cfg.MinSlope &&
+			v.Samples >= m.cfg.MinSamples
+		if raw && !suppressed {
+			st.streak++
+		} else {
+			st.streak = 0
+		}
+		v.Streak = st.streak
+		if st.streak >= m.cfg.Consecutive {
+			v.Alarm = true
+			v.Score = v.Trend.SenSlope
+			if st.firstAlarm == 0 {
+				st.firstAlarm = m.rounds
+			}
+		}
+		v.FirstAlarmRound = st.firstAlarm
+		rep.Components = append(rep.Components, v)
+	}
+	sort.SliceStable(rep.Components, func(i, j int) bool {
+		if rep.Components[i].Score != rep.Components[j].Score {
+			return rep.Components[i].Score > rep.Components[j].Score
+		}
+		return rep.Components[i].Component < rep.Components[j].Component
+	})
+
+	m.report.Store(rep)
+	return rep
+}

@@ -1,0 +1,131 @@
+package detect
+
+// ShiftGuard detects changes in the workload mix from the per-component
+// usage (invocation-count) distribution, so the detectors above it can
+// tell "the traffic changed" apart from "a component is aging" — the
+// false-alarm mode Moura et al. show static detectors suffer under
+// workload shift.
+//
+// Each round the guard receives the per-component usage deltas, computes
+// the share distribution, and compares it against an exponentially-
+// weighted reference distribution by total-variation distance. A distance
+// above Threshold marks the round as shifting; the guard then stays in the
+// suppressing state for Hold further calm rounds, because the first rounds
+// after a mix change still blend pre- and post-shift behaviour. The
+// reference adapts continuously (EWMA), so after a shift settles the new
+// mix becomes the baseline and detection resumes — the "adaptive" part.
+//
+// Single-owner, like the other detectors: only the sampling goroutine
+// calls Observe.
+type ShiftGuard struct {
+	threshold float64
+	hold      int
+	ewma      float64
+
+	ref       map[string]float64 // reference share distribution
+	lastDist  float64
+	calmLeft  int  // rounds of calm still required before unsuppressing
+	shifted   bool // a shift was observed at least once
+	rounds    int64
+	lastShift int64 // round of the most recent shifting observation
+}
+
+// NewShiftGuard creates a guard. threshold is the total-variation distance
+// in [0,1] above which a round counts as shifting (default 0.15); hold is
+// the number of calm rounds required before alarms are re-enabled
+// (default 5); ewma is the reference adaptation rate in (0,1]
+// (default 0.2).
+func NewShiftGuard(threshold float64, hold int, ewma float64) *ShiftGuard {
+	if threshold <= 0 || threshold >= 1 {
+		threshold = 0.15
+	}
+	if hold <= 0 {
+		hold = 5
+	}
+	if ewma <= 0 || ewma > 1 {
+		ewma = 0.2
+	}
+	return &ShiftGuard{threshold: threshold, hold: hold, ewma: ewma}
+}
+
+// Observe absorbs one round of per-component usage deltas and reports
+// whether detection should be suppressed this round. The first round only
+// seeds the reference and never suppresses.
+func (g *ShiftGuard) Observe(usageDeltas map[string]float64) bool {
+	g.rounds++
+	var total float64
+	for _, d := range usageDeltas {
+		if d > 0 {
+			total += d
+		}
+	}
+	if total <= 0 {
+		// An idle round says nothing about the mix.
+		return g.Suppressing()
+	}
+	shares := make(map[string]float64, len(usageDeltas))
+	for c, d := range usageDeltas {
+		if d > 0 {
+			shares[c] = d / total
+		}
+	}
+	if g.ref == nil {
+		g.ref = shares
+		return false
+	}
+	g.lastDist = totalVariation(g.ref, shares)
+	if g.lastDist > g.threshold {
+		g.shifted = true
+		g.lastShift = g.rounds
+		g.calmLeft = g.hold
+	} else if g.calmLeft > 0 {
+		g.calmLeft--
+	}
+	// Adapt the reference toward the observed mix.
+	for c := range g.ref {
+		if _, ok := shares[c]; !ok {
+			g.ref[c] *= 1 - g.ewma
+		}
+	}
+	for c, s := range shares {
+		g.ref[c] = (1-g.ewma)*g.ref[c] + g.ewma*s
+	}
+	return g.Suppressing()
+}
+
+// Suppressing reports whether the guard currently holds detection down: a
+// shift was seen and the calm period has not yet elapsed.
+func (g *ShiftGuard) Suppressing() bool { return g.calmLeft > 0 }
+
+// Distance returns the most recent total-variation distance between the
+// observed mix and the reference.
+func (g *ShiftGuard) Distance() float64 { return g.lastDist }
+
+// Shifted reports whether any workload shift has ever been observed.
+func (g *ShiftGuard) Shifted() bool { return g.shifted }
+
+// LastShiftRound returns the 1-based round index of the most recent
+// shifting observation (0 when none).
+func (g *ShiftGuard) LastShiftRound() int64 { return g.lastShift }
+
+// totalVariation is half the L1 distance between two share distributions,
+// in [0,1].
+func totalVariation(a, b map[string]float64) float64 {
+	var l1 float64
+	for c, pa := range a {
+		l1 += abs(pa - b[c])
+	}
+	for c, pb := range b {
+		if _, ok := a[c]; !ok {
+			l1 += pb
+		}
+	}
+	return l1 / 2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,179 @@
+package detect
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// OnlineTrend is an incremental Mann-Kendall trend detector over a sliding
+// window of the most recent Window observations. Where
+// metrics.MannKendall re-scans the whole series in O(n²) per query, this
+// detector maintains the S statistic and the tie table across pushes and
+// evictions, so absorbing one sample costs O(Window) comparisons and a
+// verdict costs O(1) (plus an O(Window²) Sen-slope estimate that is only
+// computed when the test is significant).
+//
+// It is not safe for concurrent use: one goroutine — in this repo the
+// manager's sampling round — owns it. Consumers that need the verdict from
+// other goroutines read the Monitor's published Report instead.
+type OnlineTrend struct {
+	window int
+	alpha  float64
+
+	xs   []float64 // ring buffer, seconds since first sample
+	ys   []float64 // ring buffer, values
+	head int       // index of the oldest element
+	n    int       // current fill
+
+	s     int64             // Mann-Kendall S over the window
+	ties  map[float64]int64 // value -> multiplicity, for the variance correction
+	t0    time.Time
+	seen  int64 // total samples ever absorbed
+	dirty bool  // Sen slope cache invalid
+	slope float64
+}
+
+// NewOnlineTrend creates a detector with the given window size (minimum 4,
+// the smallest n for which the normal approximation of S means anything)
+// and Mann-Kendall significance level alpha (default 0.05 when out of
+// (0,1)).
+func NewOnlineTrend(window int, alpha float64) *OnlineTrend {
+	if window < 4 {
+		window = 4
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	return &OnlineTrend{
+		window: window,
+		alpha:  alpha,
+		xs:     make([]float64, window),
+		ys:     make([]float64, window),
+		ties:   make(map[float64]int64),
+	}
+}
+
+// Window returns the configured window size.
+func (o *OnlineTrend) Window() int { return o.window }
+
+// Len returns the current number of samples in the window.
+func (o *OnlineTrend) Len() int { return o.n }
+
+// Seen returns the total number of samples ever pushed.
+func (o *OnlineTrend) Seen() int64 { return o.seen }
+
+// Reset discards the window, e.g. after a workload shift invalidated the
+// history the trend was estimated against.
+func (o *OnlineTrend) Reset() {
+	o.head, o.n, o.s = 0, 0, 0
+	o.ties = make(map[float64]int64)
+	o.dirty = true
+}
+
+// at returns the i-th oldest buffered sample, i in [0, n).
+func (o *OnlineTrend) at(i int) (x, y float64) {
+	j := (o.head + i) % o.window
+	return o.xs[j], o.ys[j]
+}
+
+// Push absorbs one observation. When the window is full the oldest
+// observation is evicted first; S is maintained incrementally through both
+// halves, which is what makes the update O(Window) instead of O(Window²).
+func (o *OnlineTrend) Push(t time.Time, v float64) {
+	if o.seen == 0 {
+		o.t0 = t
+	}
+	o.seen++
+	if o.n == o.window {
+		// Evict the oldest: remove its sign contributions against every
+		// survivor (it was the earlier element of each of those pairs).
+		_, oldest := o.at(0)
+		for i := 1; i < o.n; i++ {
+			_, yi := o.at(i)
+			o.s -= sign(yi - oldest)
+		}
+		if c := o.ties[oldest] - 1; c > 0 {
+			o.ties[oldest] = c
+		} else {
+			delete(o.ties, oldest)
+		}
+		o.head = (o.head + 1) % o.window
+		o.n--
+	}
+	// Insert the newest: it is the later element of every new pair.
+	for i := 0; i < o.n; i++ {
+		_, yi := o.at(i)
+		o.s += sign(v - yi)
+	}
+	j := (o.head + o.n) % o.window
+	o.xs[j] = t.Sub(o.t0).Seconds()
+	o.ys[j] = v
+	o.n++
+	o.ties[v]++
+	o.dirty = true
+}
+
+// Result computes the Mann-Kendall verdict over the current window. The
+// Sen slope is estimated only when the trend is significant; otherwise the
+// cached (possibly stale) slope is reported with the direction TrendNone.
+func (o *OnlineTrend) Result() metrics.TrendResult {
+	res := metrics.TrendResult{S: o.s}
+	n := o.n
+	if n < 4 {
+		return res
+	}
+	varS := float64(n*(n-1)*(2*n+5)) / 18
+	for _, t := range o.ties {
+		if t > 1 {
+			varS -= float64(t*(t-1)*(2*t+5)) / 18
+		}
+	}
+	if varS <= 0 {
+		return res
+	}
+	switch {
+	case o.s > 0:
+		res.Z = float64(o.s-1) / math.Sqrt(varS)
+	case o.s < 0:
+		res.Z = float64(o.s+1) / math.Sqrt(varS)
+	}
+	res.P = 2 * (1 - metrics.StdNormalCDF(math.Abs(res.Z)))
+	if res.P < o.alpha {
+		if o.s > 0 {
+			res.Direction = metrics.TrendIncreasing
+		} else {
+			res.Direction = metrics.TrendDecreasing
+		}
+		if o.dirty {
+			o.slope = o.senSlope()
+			o.dirty = false
+		}
+	}
+	res.SenSlope = o.slope
+	return res
+}
+
+// senSlope estimates the median pairwise slope over the window, units
+// per second, via the shared metrics.SenSlope estimator. O(Window²) —
+// called only on significant trends, where a slopes buffer of that size
+// is allocated anyway.
+func (o *OnlineTrend) senSlope() float64 {
+	xs := make([]float64, o.n)
+	ys := make([]float64, o.n)
+	for i := 0; i < o.n; i++ {
+		xs[i], ys[i] = o.at(i)
+	}
+	return metrics.SenSlope(xs, ys)
+}
+
+func sign(d float64) int64 {
+	switch {
+	case d > 0:
+		return 1
+	case d < 0:
+		return -1
+	}
+	return 0
+}

@@ -63,6 +63,11 @@ func (b *Browser) Failures() int64 { return b.failures }
 // Current returns the interaction the browser is on.
 func (b *Browser) Current() string { return b.current }
 
+// SetMatrix swaps the browser's transition matrix; the next navigation
+// decision follows the new mix. The driver uses it to shift the workload
+// mid-run without restarting sessions.
+func (b *Browser) SetMatrix(m Matrix) { b.matrix = m }
+
 // NextRequest advances the state machine and fabricates the next request.
 // The first request of a session is always the home page.
 func (b *Browser) NextRequest() *servlet.Request {

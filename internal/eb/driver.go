@@ -2,6 +2,7 @@ package eb
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/metrics"
@@ -24,6 +25,34 @@ func Fig3Schedule() []Phase {
 		{Duration: 30 * time.Minute, EBs: 100},
 		{Duration: 30 * time.Minute, EBs: 200},
 	}
+}
+
+// MixedPhase is a Phase that may also change the workload mix — the
+// request-type distribution — while it runs. A shift in mix with a steady
+// population is the classic false-alarm trap for static aging detectors,
+// which is exactly what the detect package's shift guard exists for.
+type MixedPhase struct {
+	Duration time.Duration
+	EBs      int
+	// Mix selects the transition matrix for requests issued during the
+	// phase.
+	Mix Mix
+}
+
+// ProfileSchedule discretises a load profile into a phase schedule: one
+// phase per merged profile step, with the level rounded to a browser
+// population.
+func ProfileSchedule(p sim.LoadProfile, total, step time.Duration) []Phase {
+	steps := sim.DiscretizeProfile(p, total, step)
+	out := make([]Phase, len(steps))
+	for i, st := range steps {
+		ebs := int(math.Round(st.Level))
+		if ebs < 0 {
+			ebs = 0
+		}
+		out[i] = Phase{Duration: st.Duration, EBs: ebs}
+	}
+	return out
 }
 
 // Config parameterises a Driver.
@@ -109,10 +138,36 @@ func (d *Driver) Failed() int64 { return d.failed.Value() }
 // ActiveEBs returns the current concurrent browser population.
 func (d *Driver) ActiveEBs() int { return len(d.active) }
 
+// SetMix swaps the workload mix at runtime: requests issued after the
+// call follow the new transition matrix. Live browsers pick it up on
+// their next transition, so a mid-run mix shift is seamless — no session
+// is restarted.
+func (d *Driver) SetMix(mix Mix) {
+	m := TransitionMatrix(mix)
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	d.matrix = m
+	for _, b := range d.browsers {
+		b.SetMatrix(m)
+	}
+}
+
 // Run schedules the phase transitions and a 30-second WIPS sampler, then
 // runs the engine until the schedule ends. It returns the total schedule
 // duration.
 func (d *Driver) Run(phases []Phase) time.Duration {
+	mixed := make([]MixedPhase, len(phases))
+	for i, ph := range phases {
+		mixed[i] = MixedPhase{Duration: ph.Duration, EBs: ph.EBs, Mix: d.cfg.Mix}
+	}
+	return d.RunMixed(mixed)
+}
+
+// RunMixed is Run for schedules that also shift the workload mix between
+// phases (the workload-shift scenarios of the adaptive-detection
+// literature).
+func (d *Driver) RunMixed(phases []MixedPhase) time.Duration {
 	if len(phases) == 0 {
 		panic("eb: empty phase schedule")
 	}
@@ -121,9 +176,10 @@ func (d *Driver) Run(phases []Phase) time.Duration {
 		if ph.Duration <= 0 || ph.EBs < 0 {
 			panic(fmt.Sprintf("eb: bad phase %+v", ph))
 		}
-		ebs := ph.EBs
+		ebs, mix := ph.EBs, ph.Mix
 		at := offset
 		d.engine.Schedule(d.engine.Now().Add(at), func(time.Time) {
+			d.SetMix(mix)
 			d.setPopulation(ebs)
 		})
 		offset += ph.Duration
@@ -166,6 +222,9 @@ func (d *Driver) browserFor(id int) *Browser {
 	}
 	return d.browsers[id]
 }
+
+// Matrix returns the driver's current transition matrix.
+func (d *Driver) Matrix() Matrix { return d.matrix }
 
 // step issues one request for browser b and schedules the next one after
 // the think time, unless the population shrank below b's id.

@@ -464,5 +464,9 @@ func All(cfg Config) []Result {
 		A1MonitoringLevels(cfg),
 		A2SizingPolicies(cfg),
 		A3MixSensitivity(cfg),
+		S1WorkloadShift(cfg),
+		S2OnlineLeakDetection(cfg),
+		S3DiurnalCycle(cfg),
+		S4BurstWithLeak(cfg),
 	}
 }

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// scenarioCfg shrinks the hour-long scenarios like benchCfg does for the
+// figures; the seed is fixed so the verdicts are regression checks.
+var scenarioCfg = Config{TimeScale: 0.35, Seed: 42, EBs: 50, Items: 500, Customers: 300}
+
+// TestS1WorkloadShiftRaisesNoAlarm is the false-positive half of the
+// detection contract: the request mix shifts twice (plus a population
+// step) with no aging fault, and the run must end with zero detector
+// alarms while the shift guard confirms it actually saw the mix move.
+func TestS1WorkloadShiftRaisesNoAlarm(t *testing.T) {
+	res := S1WorkloadShift(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("workload shift scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "0 alarms") {
+		t.Fatalf("expected zero alarms, observed: %s", res.Observed)
+	}
+}
+
+// TestS2TrueLeakAlarmsOnline is the true-positive half: a real leak must
+// be flagged online, with the correct suspect, within the bounded number
+// of sampling rounds the scenario encodes.
+func TestS2TrueLeakAlarmsOnline(t *testing.T) {
+	res := S2OnlineLeakDetection(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("online leak detection failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "suspect correct: true") {
+		t.Fatalf("wrong suspect: %s", res.Observed)
+	}
+}
+
+func TestS3DiurnalCycleRaisesNoAlarm(t *testing.T) {
+	res := S3DiurnalCycle(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("diurnal scenario failed:\n%s", res)
+	}
+}
+
+func TestS4BurstWithLeakStillDetects(t *testing.T) {
+	res := S4BurstWithLeak(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("burst scenario failed:\n%s", res)
+	}
+}

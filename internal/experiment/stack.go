@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/aspect"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/eb"
 	"repro/internal/faultinject"
 	"repro/internal/jvmheap"
@@ -40,6 +41,11 @@ type StackConfig struct {
 	SampleInterval time.Duration
 	// Mix is the EB workload mix (Shopping in all paper experiments).
 	Mix eb.Mix
+	// Detect attaches the streaming aging detectors to the manager's
+	// sampling rounds (requires Monitored).
+	Detect bool
+	// DetectConfig tunes the detectors (defaults per detect.Config).
+	DetectConfig detect.Config
 }
 
 // Stack is one fully assembled system under test.
@@ -50,7 +56,8 @@ type Stack struct {
 	App       *tpcw.App
 	Heap      *jvmheap.Heap
 	Container *servlet.Container
-	Framework *core.Framework // nil when not monitored
+	Framework *core.Framework    // nil when not monitored
+	Detectors *core.DetectorBank // nil unless cfg.Detect
 	Driver    *eb.Driver
 	Traces    *rootcause.TraceCollector // nil unless collecting
 
@@ -59,6 +66,9 @@ type Stack struct {
 
 // NewStack builds and starts a system.
 func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.Detect && !cfg.Monitored {
+		return nil, fmt.Errorf("experiment: StackConfig.Detect requires Monitored (detectors ride the manager's sampling rounds)")
+	}
 	if cfg.HeapBytes <= 0 {
 		cfg.HeapBytes = jvmheap.DefaultCapacity
 	}
@@ -105,6 +115,13 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			}
 		}
 		s.Framework = f
+		if cfg.Detect {
+			bank, err := f.AttachDetectors(cfg.DetectConfig)
+			if err != nil {
+				return nil, err
+			}
+			s.Detectors = bank
+		}
 		s.stopSampling = f.StartSampling(engine)
 	}
 	if cfg.CollectTraces {

@@ -3,6 +3,18 @@
 // sliding-window rates, histograms, and the summary/trend statistics the
 // root-cause strategies consume (linear regression, Mann-Kendall, Sen's
 // slope).
+//
+// Concurrency contract: every recording structure is safe for concurrent
+// use without external locking and keeps writers lock-free. Counter and
+// Gauge are single atomic cells; the Striped variants, Histogram and
+// RateWindow spread writers over cache-line-padded per-shard cells merged
+// on read (reads are monotone, not atomic snapshots); Series appends
+// reserve a slot with one atomic increment and publish through a
+// committed watermark, so readers traverse only a consistent time-ordered
+// prefix and never block appenders (its one mutex guards the rare chunk-
+// directory growth). The pure statistics functions (Summarize,
+// MannKendall, LinearRegression) operate on caller-owned slices and are
+// trivially safe.
 package metrics
 
 import (

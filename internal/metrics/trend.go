@@ -82,7 +82,7 @@ func MannKendall(xs, ys []float64, alpha float64) TrendResult {
 	case s < 0:
 		res.Z = float64(s+1) / math.Sqrt(varS)
 	}
-	res.P = 2 * (1 - stdNormalCDF(math.Abs(res.Z)))
+	res.P = 2 * (1 - StdNormalCDF(math.Abs(res.Z)))
 	if res.P < alpha {
 		if s > 0 {
 			res.Direction = TrendIncreasing
@@ -90,7 +90,7 @@ func MannKendall(xs, ys []float64, alpha float64) TrendResult {
 			res.Direction = TrendDecreasing
 		}
 	}
-	res.SenSlope = senSlope(xs[:n], ys[:n])
+	res.SenSlope = SenSlope(xs[:n], ys[:n])
 	return res
 }
 
@@ -109,8 +109,11 @@ func MannKendallSeries(pts []Point, alpha float64) TrendResult {
 	return MannKendall(xs, ys, alpha)
 }
 
-// senSlope returns the median of all pairwise slopes.
-func senSlope(xs, ys []float64) float64 {
+// SenSlope returns the median of all pairwise slopes — Sen's robust
+// slope estimator. Exported so the online detectors (internal/detect)
+// share one implementation with the batch test; the two must never
+// diverge, since the test suite asserts their verdicts agree.
+func SenSlope(xs, ys []float64) float64 {
 	var slopes []float64
 	for i := 0; i < len(ys)-1; i++ {
 		for j := i + 1; j < len(ys); j++ {
@@ -132,7 +135,8 @@ func senSlope(xs, ys []float64) float64 {
 	return (slopes[n/2-1] + slopes[n/2]) / 2
 }
 
-// stdNormalCDF is Phi(x) via the complementary error function.
-func stdNormalCDF(x float64) float64 {
+// StdNormalCDF is Phi(x) via the complementary error function. Exported
+// for the same single-implementation reason as SenSlope.
+func StdNormalCDF(x float64) float64 {
 	return 0.5 * math.Erfc(-x/math.Sqrt2)
 }

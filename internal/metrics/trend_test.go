@@ -107,10 +107,10 @@ func TestTrendDirectionString(t *testing.T) {
 }
 
 func TestStdNormalCDF(t *testing.T) {
-	if math.Abs(stdNormalCDF(0)-0.5) > 1e-12 {
-		t.Fatalf("Phi(0) = %v", stdNormalCDF(0))
+	if math.Abs(StdNormalCDF(0)-0.5) > 1e-12 {
+		t.Fatalf("Phi(0) = %v", StdNormalCDF(0))
 	}
-	if math.Abs(stdNormalCDF(1.96)-0.975) > 1e-3 {
-		t.Fatalf("Phi(1.96) = %v", stdNormalCDF(1.96))
+	if math.Abs(StdNormalCDF(1.96)-0.975) > 1e-3 {
+		t.Fatalf("Phi(1.96) = %v", StdNormalCDF(1.96))
 	}
 }

@@ -8,6 +8,16 @@
 // component object size, CPU time, live threads, and invocations. Each is
 // independent of the aspects that consume it — exactly the JMX decoupling
 // the paper emphasises (replacing an agent never requires changing an AC).
+//
+// Concurrency contract: the recording entry points the AC's advice calls
+// on every woven execution (InvocationAgent.Record, CPUAgent.AddTime,
+// ThreadAgent spawns/exits) are lock-free — each maps component names to
+// padded atomic cells through a sync.Map, whose read path is a lock-free
+// hash lookup once a component has been seen, so concurrent recorders
+// never serialise. Read-side accessors and the JMX beans may run from any
+// goroutine concurrently with recording; they observe monotone counter
+// states, not cross-component atomic snapshots. Registration
+// (RegisterTarget and friends) is the only mutating cold path.
 package monitor
 
 import (

@@ -1,0 +1,72 @@
+package rootcause
+
+// LiveVerdict is one component's state as published by a streaming aging
+// detector (see internal/detect): whether it is currently flagged and the
+// score the detector ranks it by.
+type LiveVerdict struct {
+	// Component is the component name.
+	Component string
+	// Alarm is true while the detector flags the component as aging.
+	Alarm bool
+	// Score orders alarming components (a Sen slope in the detect
+	// implementation; any consistent unit works).
+	Score float64
+}
+
+// Live is the online strategy: instead of re-scanning recorded series on
+// every query (as Trend does), it ranks on the verdicts a streaming
+// detector bank maintains incrementally as samples arrive. Source is
+// called once per Rank and must be safe for concurrent use — the detect
+// package satisfies this by publishing immutable reports through an
+// atomic pointer.
+//
+// Components without a verdict (detectors still warming up, or a
+// component instrumented after the last round) rank at score zero, so a
+// live ranking is always total over the offered data.
+type Live struct {
+	// Source returns the current verdicts for a resource.
+	Source func(resource string) []LiveVerdict
+}
+
+// Name implements Strategy.
+func (Live) Name() string { return "live" }
+
+// Rank implements Strategy. Scores and alarms come from the detector
+// verdicts; the map coordinates (normalised consumption and usage) are
+// still computed from the offered evidence so live rankings render on the
+// same Fig. 2 geometry as the offline strategies.
+func (s Live) Rank(resource string, data []ComponentData) Ranking {
+	out := Ranking{Resource: resource, Strategy: s.Name()}
+	verdicts := map[string]LiveVerdict{}
+	if s.Source != nil {
+		for _, v := range s.Source(resource) {
+			verdicts[v.Component] = v
+		}
+	}
+	var maxC float64
+	var maxU int64
+	for _, d := range data {
+		if d.Consumption > maxC {
+			maxC = d.Consumption
+		}
+		if d.Usage > maxU {
+			maxU = d.Usage
+		}
+	}
+	for _, d := range data {
+		e := Ranked{Name: d.Name}
+		if maxC > 0 {
+			e.NormConsumption = d.Consumption / maxC
+		}
+		if maxU > 0 {
+			e.NormUsage = float64(d.Usage) / float64(maxU)
+		}
+		if v, ok := verdicts[d.Name]; ok {
+			e.Alarm = v.Alarm
+			e.Score = v.Score
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	sortRanked(out.Entries)
+	return out
+}

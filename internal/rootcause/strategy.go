@@ -70,6 +70,9 @@ type Ranked struct {
 	NormUsage       float64
 	// Trend is filled by the trend strategy.
 	Trend metrics.TrendResult
+	// Alarm is filled by the live strategy: true while the streaming
+	// detectors flag the component.
+	Alarm bool
 }
 
 // Ranking is a strategy's verdict, most suspicious first.

@@ -6,6 +6,15 @@
 // testbed. The reproduction runs those experiments in virtual time so they
 // are fast and bit-reproducible; components that need a time source accept
 // the Clock interface so the same code also runs against the wall clock.
+//
+// Concurrency contract: the Engine is deliberately single-threaded — all
+// scheduling and event execution happen on one goroutine, which is what
+// makes experiments deterministic; it must never be driven from two
+// goroutines. The clocks are the exception: VirtualClock (RWMutex) and
+// WallClock may be read from any goroutine, because monitoring agents and
+// benchmarks sample time concurrently in the real-time container mode.
+// Streams (random numbers) and LoadProfiles are single-owner like the
+// engine that draws from them.
 package sim
 
 import (

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDiurnalProfile(t *testing.T) {
+	p := DiurnalProfile(100, 50, 24*time.Hour)
+	if got := p(0); got != 50 {
+		t.Fatalf("trough = %v, want 50", got)
+	}
+	if got := p(12 * time.Hour); got != 150 {
+		t.Fatalf("peak = %v, want 150", got)
+	}
+	if got := p(24 * time.Hour); got != 50 {
+		t.Fatalf("full period = %v, want 50", got)
+	}
+	// Amplitude larger than base floors at zero.
+	floor := DiurnalProfile(10, 50, time.Hour)
+	if got := floor(0); got != 0 {
+		t.Fatalf("floored trough = %v, want 0", got)
+	}
+}
+
+func TestBurstAndStepProfiles(t *testing.T) {
+	b := BurstProfile(50, 300, 10*time.Minute, 5*time.Minute)
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 50}, {10 * time.Minute, 300}, {14 * time.Minute, 300}, {15 * time.Minute, 50},
+	} {
+		if got := b(tc.at); got != tc.want {
+			t.Fatalf("burst(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	s := StepShiftProfile(100, 25, time.Hour)
+	if s(time.Hour-time.Second) != 100 || s(time.Hour) != 25 {
+		t.Fatal("step shift edge wrong")
+	}
+}
+
+func TestDiscretizeProfileMergesEqualLevels(t *testing.T) {
+	p := StepShiftProfile(100, 200, 30*time.Minute)
+	steps := DiscretizeProfile(p, time.Hour, 10*time.Minute)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %d, want 2 (merged): %+v", len(steps), steps)
+	}
+	if steps[0].Level != 100 || steps[0].Duration != 30*time.Minute {
+		t.Fatalf("first step wrong: %+v", steps[0])
+	}
+	if steps[1].Level != 200 || steps[1].Offset != 30*time.Minute {
+		t.Fatalf("second step wrong: %+v", steps[1])
+	}
+
+	// Total durations always cover the horizon exactly.
+	var sum time.Duration
+	for _, st := range DiscretizeProfile(DiurnalProfile(60, 40, time.Hour), 95*time.Minute, 10*time.Minute) {
+		sum += st.Duration
+	}
+	if sum != 95*time.Minute {
+		t.Fatalf("coverage = %v, want 95m", sum)
+	}
+}

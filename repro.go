@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/aspect"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/eb"
 	"repro/internal/experiment"
 	"repro/internal/faultinject"
@@ -83,6 +84,22 @@ type (
 	Notification = jmx.Notification
 	// JMXClient talks to a remote MBeanServer over HTTP.
 	JMXClient = jmxhttp.Client
+)
+
+// Online aging detection (internal/detect wired through the manager).
+type (
+	// DetectConfig tunes the streaming detectors (windows, alpha,
+	// shift-guard thresholds).
+	DetectConfig = detect.Config
+	// DetectReport is one resource's published detection state.
+	DetectReport = detect.Report
+	// DetectVerdict is one component's verdict in a report.
+	DetectVerdict = detect.Verdict
+	// DetectorBank runs one streaming monitor per resource off the
+	// manager's sampling rounds.
+	DetectorBank = core.DetectorBank
+	// LiveStrategy ranks components on streaming detector verdicts.
+	LiveStrategy = rootcause.Live
 )
 
 // Root-cause determination.

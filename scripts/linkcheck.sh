@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# linkcheck.sh — fail on broken relative links in README.md and docs/.
+#
+# Checks two things:
+#   1. every relative markdown link target ([text](target)) resolves to
+#      an existing file, relative to the linking document;
+#   2. every `path/to/file.go:line`-style anchor in backticks (the
+#      paper-mapping tables) names an existing file.
+# External links (http/https/mailto) and pure #fragments are skipped.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check_file() {
+  local doc="$1"
+  local dir
+  dir=$(dirname "$doc")
+
+  # 1. Markdown link targets.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+
+  # 2. Backticked file anchors (`internal/foo/bar.go:123`, `cmd/x/main.go`).
+  while IFS= read -r anchor; do
+    local path="${anchor%%:*}"
+    if [ ! -e "$path" ]; then
+      echo "BROKEN ANCHOR: $doc -> $anchor"
+      fail=1
+    fi
+  done < <(grep -o '`[A-Za-z0-9_./-]*\.\(go\|md\|json\|yml\)\(:[0-9]*\)\?`' "$doc" \
+           | tr -d '`' | grep '/' )
+}
+
+for doc in README.md docs/*.md; do
+  [ -e "$doc" ] || continue
+  check_file "$doc"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "linkcheck: FAILED"
+  exit 1
+fi
+echo "linkcheck: OK"
