@@ -26,11 +26,21 @@
 //	reboot <component>           micro-reboot a component
 //	tte                          time-to-exhaustion estimate (seconds)
 //	notifications [since-seq]    poll buffered JMX notifications
+//
+// Cluster commands (against a tpcwsim -nodes N management plane, which
+// serves the aggregator bean):
+//
+//	nodes                        list cluster nodes with status and epochs
+//	cluster [resource]           print the cluster verdict report
+//	node-verdicts <node> [res]   print one node's detection report
+//	cluster-live [resource]      rank (node, component) pairs live
+//	cluster-watch [resource]     live-watch the cluster verdicts + alarms
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,9 +49,15 @@ import (
 	"repro/internal/jmxhttp"
 )
 
-const managerName = "aging:type=Manager"
+const (
+	managerName    = "aging:type=Manager"
+	aggregatorName = "aging:type=Aggregator"
+)
 
-var watchInterval = flag.Duration("interval", 5*time.Second, "poll period of the watch command")
+var (
+	watchInterval = flag.Duration("interval", 5*time.Second, "poll period of the watch commands")
+	watchRounds   = flag.Int("watchrounds", 0, "stop watch commands after N polls (0 = forever)")
+)
 
 func main() {
 	url := flag.String("url", "http://localhost:9990", "base URL of the JMX HTTP adapter")
@@ -52,13 +68,13 @@ func main() {
 		os.Exit(2)
 	}
 	client := jmxhttp.NewClient(*url, nil)
-	if err := dispatch(client, args); err != nil {
+	if err := dispatch(client, args, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "agingmon:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(client *jmxhttp.Client, args []string) error {
+func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "names":
@@ -71,7 +87,7 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 			return err
 		}
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Fprintln(w, n)
 		}
 		return nil
 
@@ -83,14 +99,14 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s — %s\n", d.Name, d.Description)
-		fmt.Println("attributes:")
+		fmt.Fprintf(w, "%s — %s\n", d.Name, d.Description)
+		fmt.Fprintln(w, "attributes:")
 		for k, v := range d.Attributes {
-			fmt.Printf("  %s = %v\n", k, v)
+			fmt.Fprintf(w, "  %s = %v\n", k, v)
 		}
-		fmt.Println("operations:")
+		fmt.Fprintln(w, "operations:")
 		for _, op := range d.Operations {
-			fmt.Printf("  %s\n", op)
+			fmt.Fprintf(w, "  %s\n", op)
 		}
 		return nil
 
@@ -102,7 +118,7 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(v)
+		fmt.Fprintln(w, v)
 		return nil
 
 	case "set":
@@ -123,66 +139,46 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(v)
+		fmt.Fprintln(w, v)
 		return nil
 
 	case "suspects":
-		resource := "memory"
-		if len(rest) > 0 {
-			resource = rest[0]
-		}
-		v, err := client.Invoke(managerName, "Suspects", resource)
+		v, err := client.Invoke(managerName, "Suspects", resourceArg(rest))
 		if err != nil {
 			return err
 		}
 		list, _ := v.([]any)
 		for i, name := range list {
-			fmt.Printf("%2d. %v\n", i+1, name)
+			fmt.Fprintf(w, "%2d. %v\n", i+1, name)
 		}
 		return nil
 
 	case "map":
-		resource := "memory"
-		if len(rest) > 0 {
-			resource = rest[0]
-		}
-		v, err := client.Invoke(managerName, "Map", resource)
+		v, err := client.Invoke(managerName, "Map", resourceArg(rest))
 		if err != nil {
 			return err
 		}
-		printMap(v)
+		printMap(w, v)
 		return nil
 
 	case "live":
-		resource := "memory"
-		if len(rest) > 0 {
-			resource = rest[0]
-		}
-		v, err := client.Invoke(managerName, "LiveMap", resource)
+		v, err := client.Invoke(managerName, "LiveMap", resourceArg(rest))
 		if err != nil {
 			return err
 		}
-		printLiveMap(v)
+		printLiveMap(w, v)
 		return nil
 
 	case "verdicts":
-		resource := "memory"
-		if len(rest) > 0 {
-			resource = rest[0]
-		}
-		v, err := client.Invoke(managerName, "Verdicts", resource)
+		v, err := client.Invoke(managerName, "Verdicts", resourceArg(rest))
 		if err != nil {
 			return err
 		}
-		printVerdicts(v)
+		printVerdicts(w, v)
 		return nil
 
 	case "watch":
-		resource := "memory"
-		if len(rest) > 0 {
-			resource = rest[0]
-		}
-		return watch(client, resource)
+		return watch(client, resourceArg(rest), w)
 
 	case "components":
 		v, err := client.Get(managerName, "Components")
@@ -191,7 +187,7 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		}
 		list, _ := v.([]any)
 		for _, c := range list {
-			fmt.Println(c)
+			fmt.Fprintln(w, c)
 		}
 		return nil
 
@@ -214,7 +210,7 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("freed %v bytes\n", v)
+		fmt.Fprintf(w, "freed %v bytes\n", v)
 		return nil
 
 	case "tte":
@@ -222,7 +218,7 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%v seconds\n", v)
+		fmt.Fprintf(w, "%v seconds\n", v)
 		return nil
 
 	case "notifications":
@@ -239,23 +235,73 @@ func dispatch(client *jmxhttp.Client, args []string) error {
 			return err
 		}
 		for _, n := range ns {
-			fmt.Printf("%6d %s %-24s %s %s\n", n.Seq, n.Time, n.Type, n.Source, n.Message)
+			fmt.Fprintf(w, "%6d %s %-24s %s %s\n", n.Seq, n.Time, n.Type, n.Source, n.Message)
 		}
 		return nil
+
+	case "nodes":
+		v, err := client.Get(aggregatorName, "Nodes")
+		if err != nil {
+			return err
+		}
+		printNodes(w, v)
+		return nil
+
+	case "cluster":
+		v, err := client.Invoke(aggregatorName, "ClusterReport", resourceArg(rest))
+		if err != nil {
+			return err
+		}
+		printClusterReport(w, v)
+		return nil
+
+	case "node-verdicts":
+		if len(rest) < 1 {
+			return fmt.Errorf("node-verdicts wants <node> [resource]")
+		}
+		resource := "memory"
+		if len(rest) > 1 {
+			resource = rest[1]
+		}
+		v, err := client.Invoke(aggregatorName, "NodeVerdicts", rest[0], resource)
+		if err != nil {
+			return err
+		}
+		printVerdicts(w, v)
+		return nil
+
+	case "cluster-live":
+		v, err := client.Invoke(aggregatorName, "ClusterLive", resourceArg(rest))
+		if err != nil {
+			return err
+		}
+		printLiveMap(w, v)
+		return nil
+
+	case "cluster-watch":
+		return clusterWatch(client, resourceArg(rest), w)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
+// resourceArg reads the optional trailing resource argument ("memory"
+// when absent).
+func resourceArg(rest []string) string {
+	if len(rest) > 0 {
+		return rest[0]
+	}
+	return "memory"
+}
+
 // watch is the live-watch mode: every interval it polls the latest
 // detection report for the resource and any new aging.* notifications,
 // printing both — a terminal dashboard over the online detectors. It runs
-// until the process is interrupted or the remote end goes away.
-func watch(client *jmxhttp.Client, resource string) error {
-	var cursor uint64
-	fmt.Printf("watching %s verdicts every %v (Ctrl-C to stop)\n", resource, *watchInterval)
-	for {
+// until the process is interrupted, the remote end goes away, or
+// -watchrounds polls have completed.
+func watch(client *jmxhttp.Client, resource string, w io.Writer) error {
+	return watchLoop(client, w, func() error {
 		v, err := client.Invoke(managerName, "Verdicts", resource)
 		if err != nil {
 			// "no detectors attached" cannot resolve itself — bail out
@@ -265,74 +311,164 @@ func watch(client *jmxhttp.Client, resource string) error {
 			if strings.Contains(err.Error(), "no detectors attached") {
 				return fmt.Errorf("%w (start the server with detectors, e.g. tpcwsim -detect)", err)
 			}
-			fmt.Printf("%s  (no verdicts: %v)\n", time.Now().Format(time.TimeOnly), err)
-		} else {
-			fmt.Printf("--- %s ---\n", time.Now().Format(time.TimeOnly))
-			printVerdicts(v)
+			fmt.Fprintf(w, "%s  (no verdicts: %v)\n", time.Now().Format(time.TimeOnly), err)
+			return nil
+		}
+		fmt.Fprintf(w, "--- %s ---\n", time.Now().Format(time.TimeOnly))
+		printVerdicts(w, v)
+		return nil
+	})
+}
+
+// clusterWatch is watch for the cluster plane: it polls the aggregator's
+// cluster report and the aging.cluster.* notifications.
+func clusterWatch(client *jmxhttp.Client, resource string, w io.Writer) error {
+	return watchLoop(client, w, func() error {
+		v, err := client.Invoke(aggregatorName, "ClusterReport", resource)
+		if err != nil {
+			if strings.Contains(err.Error(), "not registered") {
+				return fmt.Errorf("%w (cluster commands need a cluster plane, e.g. tpcwsim -nodes 3)", err)
+			}
+			fmt.Fprintf(w, "%s  (no cluster report: %v)\n", time.Now().Format(time.TimeOnly), err)
+			return nil
+		}
+		fmt.Fprintf(w, "--- %s ---\n", time.Now().Format(time.TimeOnly))
+		printClusterReport(w, v)
+		return nil
+	})
+}
+
+// watchLoop shares the poll/notification plumbing of the watch commands.
+func watchLoop(client *jmxhttp.Client, w io.Writer, poll func() error) error {
+	var cursor uint64
+	fmt.Fprintf(w, "watching every %v (Ctrl-C to stop)\n", *watchInterval)
+	for n := 0; ; n++ {
+		if err := poll(); err != nil {
+			return err
 		}
 		ns, err := client.Notifications(cursor)
 		if err != nil {
 			return err
 		}
-		for _, n := range ns {
-			cursor = n.Seq
-			if n.Type == "aging.alarm" || n.Type == "aging.suspect" {
-				fmt.Printf("!! %s %s %s\n", n.Time, n.Type, n.Message)
+		for _, notif := range ns {
+			cursor = notif.Seq
+			if strings.HasPrefix(notif.Type, "aging.") {
+				fmt.Fprintf(w, "!! %s %s %s\n", notif.Time, notif.Type, notif.Message)
 			}
+		}
+		if *watchRounds > 0 && n+1 >= *watchRounds {
+			return nil
 		}
 		time.Sleep(*watchInterval)
 	}
 }
 
 // printVerdicts renders the JSON form of a detect.Report.
-func printVerdicts(v any) {
+func printVerdicts(w io.Writer, v any) {
 	m, ok := v.(map[string]any)
 	if !ok {
-		fmt.Println(v)
+		fmt.Fprintln(w, v)
 		return
 	}
-	fmt.Printf("resource=%v round=%v suppressed=%v shift=%.3v entropy=%.3v\n",
+	fmt.Fprintf(w, "resource=%v round=%v suppressed=%v shift=%.3v entropy=%.3v\n",
 		m["Resource"], m["Round"], m["Suppressed"], m["ShiftDistance"], m["Entropy"])
 	if alarm, _ := m["EntropyAlarm"].(bool); alarm {
-		fmt.Printf("entropy alarm: dominant consumer %v\n", m["EntropySuspect"])
+		fmt.Fprintf(w, "entropy alarm: dominant consumer %v\n", m["EntropySuspect"])
 	}
 	comps, _ := m["Components"].([]any)
 	for i, c := range comps {
 		cm, _ := c.(map[string]any)
-		fmt.Printf("%2d. %-28v alarm=%-5v score=%8.4v streak=%v samples=%v\n",
-			i+1, cm["Component"], cm["Alarm"], cm["Score"], cm["Streak"], cm["Samples"])
+		cp := ""
+		if b, _ := cm["ChangePoint"].(bool); b {
+			cp = " level-shift"
+		}
+		fmt.Fprintf(w, "%2d. %-28v alarm=%-5v score=%8.4v streak=%v samples=%v%s\n",
+			i+1, cm["Component"], cm["Alarm"], cm["Score"], cm["Streak"], cm["Samples"], cp)
 	}
 }
 
-// printLiveMap renders the live strategy's ranking.
-func printLiveMap(v any) {
+// printLiveMap renders a live strategy ranking; entries carrying a node
+// are shown as (node, component) pairs.
+func printLiveMap(w io.Writer, v any) {
 	m, ok := v.(map[string]any)
 	if !ok {
-		fmt.Println(v)
+		fmt.Fprintln(w, v)
 		return
 	}
-	fmt.Printf("strategy=%v resource=%v\n", m["Strategy"], m["Resource"])
+	fmt.Fprintf(w, "strategy=%v resource=%v\n", m["Strategy"], m["Resource"])
 	entries, _ := m["Entries"].([]any)
 	for i, e := range entries {
 		em, _ := e.(map[string]any)
-		fmt.Printf("%2d. %-28v alarm=%-5v score=%8.4v consumption=%.3v usage=%.3v\n",
-			i+1, em["Name"], em["Alarm"], em["Score"], em["NormConsumption"], em["NormUsage"])
+		label := fmt.Sprint(em["Name"])
+		if node, _ := em["Node"].(string); node != "" {
+			label = node + "/" + label
+		}
+		fmt.Fprintf(w, "%2d. %-28v alarm=%-5v score=%8.4v consumption=%.3v usage=%.3v\n",
+			i+1, label, em["Alarm"], em["Score"], em["NormConsumption"], em["NormUsage"])
 	}
 }
 
 // printMap renders the JSON form of a rootcause.Ranking.
-func printMap(v any) {
+func printMap(w io.Writer, v any) {
 	m, ok := v.(map[string]any)
 	if !ok {
-		fmt.Println(v)
+		fmt.Fprintln(w, v)
 		return
 	}
-	fmt.Printf("strategy=%v resource=%v\n", m["Strategy"], m["Resource"])
+	fmt.Fprintf(w, "strategy=%v resource=%v\n", m["Strategy"], m["Resource"])
 	entries, _ := m["Entries"].([]any)
 	for i, e := range entries {
 		em, _ := e.(map[string]any)
-		fmt.Printf("%2d. %-28v score=%8.4v consumption=%.3v usage=%.3v\n",
+		fmt.Fprintf(w, "%2d. %-28v score=%8.4v consumption=%.3v usage=%.3v\n",
 			i+1, em["Name"], em["Score"], em["NormConsumption"], em["NormUsage"])
+	}
+}
+
+// printNodes renders the aggregator's membership attribute.
+func printNodes(w io.Writer, v any) {
+	list, ok := v.([]any)
+	if !ok {
+		fmt.Fprintln(w, v)
+		return
+	}
+	fmt.Fprintf(w, "%-12s %-8s %8s %8s\n", "node", "state", "rounds", "epoch")
+	for _, item := range list {
+		m, _ := item.(map[string]any)
+		state := "inactive"
+		if b, _ := m["Active"].(bool); b {
+			state = "active"
+		}
+		fmt.Fprintf(w, "%-12v %-8s %8v %8v\n", m["Node"], state, m["Rounds"], m["Epoch"])
+	}
+}
+
+// printClusterReport renders the JSON form of a cluster.ClusterReport.
+func printClusterReport(w io.Writer, v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		fmt.Fprintln(w, v)
+		return
+	}
+	fmt.Fprintf(w, "resource=%v epoch=%v nodes=%v/%v suppressed=%v shift=%.3v\n",
+		m["Resource"], m["Epoch"], m["Active"], m["Total"], m["Suppressed"], m["ShiftDistance"])
+	verdicts, _ := m["Verdicts"].([]any)
+	if len(verdicts) == 0 {
+		fmt.Fprintln(w, "no (node, component) pair currently flagged")
+		return
+	}
+	for i, item := range verdicts {
+		vm, _ := item.(map[string]any)
+		scope := "node-local"
+		if b, _ := vm["ClusterWide"].(bool); b {
+			scope = "cluster-wide"
+		}
+		nodes, _ := vm["Nodes"].([]any)
+		names := make([]string, len(nodes))
+		for j, n := range nodes {
+			names[j] = fmt.Sprint(n)
+		}
+		fmt.Fprintf(w, "%2d. %-24v on %-20s %-12s score=%8.4v since-epoch=%v\n",
+			i+1, vm["Component"], strings.Join(names, "+"), scope, vm["Score"], vm["FirstEpoch"])
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	tpcwsim [-addr :9990] [-duration 1h] [-ebs 50] [-leak tpcw.home]
 //	        [-leaksize 102400] [-leakn 100] [-scenario steady] [-hold]
+//	        [-nodes 1] [-leaknode node2]
 //
 // The -scenario flag picks the workload shape the detectors are exposed
 // to: steady (one flat phase), shift (the mix walks browsing → shopping →
@@ -15,6 +16,18 @@
 // run off every sampling round; watch them live with
 //
 //	agingmon -url http://localhost:9990 watch memory
+//
+// With -nodes N (N > 1) the simulation becomes a cluster: N full
+// application-server nodes behind a round-robin balancer, each shipping
+// its sampling rounds to the cluster aggregator, whose bean is served on
+// the management plane instead of a single manager. The leak is then
+// armed on -leaknode only, so the cluster verdict must name that (node,
+// component) pair:
+//
+//	tpcwsim -nodes 3 -leaknode node2 &
+//	agingmon nodes
+//	agingmon cluster memory
+//	agingmon cluster-watch memory
 package main
 
 import (
@@ -22,11 +35,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eb"
 	"repro/internal/experiment"
+	"repro/internal/jmx"
 	"repro/internal/jmxhttp"
 	"repro/internal/sim"
 	"repro/internal/tpcw"
@@ -44,8 +59,20 @@ func main() {
 		scenario = flag.String("scenario", "steady", "workload shape: steady, shift, diurnal or burst")
 		doDetect = flag.Bool("detect", true, "attach the streaming aging detectors")
 		hold     = flag.Bool("hold", false, "keep serving the management plane after the run ends")
+		nodes    = flag.Int("nodes", 1, "cluster size (1 = the paper's single-node testbed)")
+		leakNode = flag.String("leaknode", "node2", "node to arm the leak on in cluster mode")
 	)
 	flag.Parse()
+
+	if *nodes > 1 {
+		if !*doDetect {
+			// Cluster verdicts are computed by the aggregator's per-node
+			// detector banks; a cluster without them has no output.
+			log.Printf("-detect=false has no effect with -nodes > 1: the aggregator always runs per-node detectors")
+		}
+		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold)
+		return
+	}
 
 	stack, err := experiment.NewStack(experiment.StackConfig{
 		Seed:      *seed,
@@ -66,17 +93,11 @@ func main() {
 
 	notifBuf := jmxhttp.NewNotificationBuffer(stack.Framework.Server(), 0)
 	defer notifBuf.Close()
-	go func() {
-		log.Printf("JMX HTTP adapter on %s (try: agingmon -url http://localhost%s suspects)", *addr, *addr)
-		handler := jmxhttp.NewHandlerWithNotifications(stack.Framework.Server(), notifBuf)
-		if err := http.ListenAndServe(*addr, handler); err != nil {
-			log.Fatalf("jmx adapter: %v", err)
-		}
-	}()
+	servePlane(*addr, stack.Framework.Server(), notifBuf)
 
 	log.Printf("running %v of virtual time at %d EBs (%s scenario)", *duration, *ebs, *scenario)
 	start := time.Now()
-	runScenario(stack, *scenario, *duration, *ebs)
+	runScenario(stack.Driver, *scenario, *duration, *ebs)
 	log.Printf("done: %d interactions (%d failed) in %v wall time",
 		stack.Driver.Completed(), stack.Driver.Failed(), time.Since(start).Truncate(time.Millisecond))
 
@@ -99,30 +120,99 @@ func main() {
 	tte := stack.Framework.Manager().TimeToExhaustion()
 	fmt.Printf("estimated time to heap exhaustion: %v\n", tte.Truncate(time.Second))
 
-	if *hold {
-		log.Printf("holding; management plane stays on %s (Ctrl-C to exit)", *addr)
+	holdOpen(*hold, *addr)
+}
+
+// runCluster is the -nodes N mode: a full cluster behind a balancer with
+// the aggregator's bean on the management plane.
+func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool) {
+	cs, err := experiment.NewClusterStack(experiment.ClusterConfig{
+		Nodes: nodes,
+		Seed:  seed,
+		Mix:   eb.Shopping,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+	if leak != "" {
+		if _, err := cs.InjectLeak(leakNode, leak, leakSize, leakN, seed); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("injected %dB/N=%d memory leak into %s on %s", leakSize, leakN, leak, leakNode)
+	}
+
+	notifBuf := jmxhttp.NewNotificationBuffer(cs.Server, 0)
+	defer notifBuf.Close()
+	servePlane(addr, cs.Server, notifBuf)
+
+	log.Printf("running %v of virtual time at %d EBs over %d nodes (%s scenario)",
+		duration, ebs, nodes, scenario)
+	start := time.Now()
+	runScenario(cs.Driver, scenario, duration, ebs)
+	if err := cs.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %d interactions (%d failed) in %v wall time; session spread %v",
+		cs.Driver.Completed(), cs.Driver.Failed(), time.Since(start).Truncate(time.Millisecond),
+		cs.Balancer.Spread())
+
+	if rep := cs.Aggregator.Report(core.ResourceMemory); rep != nil {
+		fmt.Println(rep.String())
+		if top, ok := rep.Top(); ok {
+			scope := "node-local"
+			if top.ClusterWide {
+				scope = "cluster-wide"
+			}
+			fmt.Printf("cluster verdict: %s aging on memory (%s, since epoch %d)\n",
+				top.Pair(), scope, top.FirstEpoch)
+		} else {
+			fmt.Println("cluster verdict: no (node, component) pair currently flagged on memory")
+		}
+	}
+	holdOpen(hold, addr)
+}
+
+// servePlane serves the JMX HTTP adapter for a management-plane server.
+func servePlane(addr string, server *jmx.Server, buf *jmxhttp.NotificationBuffer) {
+	go func() {
+		display := addr
+		if strings.HasPrefix(display, ":") {
+			display = "localhost" + display
+		}
+		log.Printf("JMX HTTP adapter on %s (try: agingmon -url http://%s names)", addr, display)
+		handler := jmxhttp.NewHandlerWithNotifications(server, buf)
+		if err := http.ListenAndServe(addr, handler); err != nil {
+			log.Fatalf("jmx adapter: %v", err)
+		}
+	}()
+}
+
+func holdOpen(hold bool, addr string) {
+	if hold {
+		log.Printf("holding; management plane stays on %s (Ctrl-C to exit)", addr)
 		select {}
 	}
 }
 
 // runScenario drives the chosen workload shape over the run duration.
-func runScenario(stack *experiment.Stack, scenario string, duration time.Duration, ebs int) {
+func runScenario(driver *eb.Driver, scenario string, duration time.Duration, ebs int) {
 	switch scenario {
 	case "steady":
-		stack.Driver.Run([]eb.Phase{{Duration: duration, EBs: ebs}})
+		driver.Run([]eb.Phase{{Duration: duration, EBs: ebs}})
 	case "shift":
 		third := duration / 3
-		stack.Driver.RunMixed([]eb.MixedPhase{
+		driver.RunMixed([]eb.MixedPhase{
 			{Duration: third, EBs: ebs, Mix: eb.Browsing},
 			{Duration: third, EBs: ebs, Mix: eb.Shopping},
 			{Duration: duration - 2*third, EBs: 2 * ebs, Mix: eb.Ordering},
 		})
 	case "diurnal":
 		profile := sim.DiurnalProfile(float64(ebs), float64(ebs)/2, duration)
-		stack.Driver.Run(eb.ProfileSchedule(profile, duration, duration/12))
+		driver.Run(eb.ProfileSchedule(profile, duration, duration/12))
 	case "burst":
 		profile := sim.BurstProfile(float64(ebs), float64(ebs)*4, duration/3, duration/10)
-		stack.Driver.Run(eb.ProfileSchedule(profile, duration, duration/30))
+		driver.Run(eb.ProfileSchedule(profile, duration, duration/30))
 	default:
 		log.Fatalf("unknown scenario %q (want steady, shift, diurnal or burst)", scenario)
 	}

@@ -1,0 +1,784 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/jmx"
+	"repro/internal/rootcause"
+)
+
+// NotifClusterAlarm is the notification type the aggregator emits when a
+// (node, component) pair starts or stops alarming, or when a verdict is
+// promoted to cluster-wide.
+const NotifClusterAlarm = "aging.cluster.alarm"
+
+// Config tunes an Aggregator. The zero value selects the documented
+// defaults.
+type Config struct {
+	// Detect tunes the per-node detector banks (same semantics as the
+	// single-node manager: see core.ResourceDetectorConfigs). Its
+	// Shift* fields also tune the cluster-level node-mix guard.
+	Detect detect.Config
+	// Quorum is the fraction of active nodes that must alarm on the same
+	// component before the verdict is cluster-wide rather than
+	// node-local (default 0.5: strictly more than half). Cluster-wide
+	// promotion needs at least two active nodes.
+	Quorum float64
+	// StaleEpochs is how many epochs a node may lag behind the most
+	// advanced node before it is considered gone and marked inactive
+	// (default 3). Epoch completion never stalls on a dead node.
+	StaleEpochs int
+	// ChurnHold is how many completed epochs cluster verdict promotion
+	// stays suppressed after a membership change — a join or leave
+	// redistributes traffic, which must not read as aging (default 5).
+	ChurnHold int
+	// MergedLogCap bounds the retained merged-round log (default 256).
+	MergedLogCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quorum <= 0 || c.Quorum >= 1 {
+		c.Quorum = 0.5
+	}
+	if c.StaleEpochs <= 0 {
+		c.StaleEpochs = 3
+	}
+	if c.ChurnHold <= 0 {
+		c.ChurnHold = 5
+	}
+	if c.MergedLogCap <= 0 {
+		c.MergedLogCap = 256
+	}
+	return c
+}
+
+// nodeState is the aggregator's view of one node.
+type nodeState struct {
+	name   string
+	active bool
+	seq    int64 // highest node-local round ingested
+	// epochBase aligns the node's local sequence with the cluster epoch
+	// counter: node round s carries cluster epoch epochBase + s.
+	epochBase int64
+	// offset normalises the node's local clock onto the aggregator's
+	// merged timeline; it is fixed at the node's first round.
+	offset     time.Duration
+	haveOffset bool
+	lastNorm   time.Time
+
+	monitors map[string]*detect.Monitor
+	// reportsAtSeq snapshots each round's per-resource reports until the
+	// epoch that consumes them completes, so verdict assembly reads every
+	// node at the same epoch no matter how transports interleave.
+	reportsAtSeq map[int64]map[string]*detect.Report
+	// usageAtSeq records the round's total cumulative usage, the input
+	// to the cluster-level node-mix guard.
+	usageAtSeq map[int64]float64
+	prevUsage  float64 // usage total at the last completed epoch
+
+	lastSamples []core.ComponentSample
+	firstSize   map[string]int64 // per-component size baseline
+	// firstAlarmEpoch latches, per resource and component, the cluster
+	// epoch at which the node's verdict first alarmed — recorded at fold
+	// time, because deriving it from the detector's round counter breaks
+	// whenever the epoch base moves (rejoin) or the sequence gaps
+	// (publish failures).
+	firstAlarmEpoch map[string]map[string]int64
+}
+
+func (n *nodeState) epoch() int64 { return n.epochBase + n.seq }
+
+// NodeStatus is one node's externally visible state.
+type NodeStatus struct {
+	// Node is the node identity.
+	Node string
+	// Active reports whether the node is currently part of the cluster
+	// (publishing rounds and counted in quorums).
+	Active bool
+	// Rounds is how many rounds the node has contributed.
+	Rounds int64
+	// Epoch is the cluster epoch of the node's latest round.
+	Epoch int64
+}
+
+// ClusterVerdict is one alarming component across the cluster.
+type ClusterVerdict struct {
+	// Resource names the watched resource.
+	Resource string
+	// Component is the alarming component.
+	Component string
+	// Nodes lists the alarming nodes, sorted.
+	Nodes []string
+	// ActiveNodes is the cluster size the quorum was taken over.
+	ActiveNodes int
+	// ClusterWide is true when more than the quorum fraction of active
+	// nodes alarm on the component — uniform aging, not a sick replica.
+	ClusterWide bool
+	// Score is the highest per-node detector score.
+	Score float64
+	// FirstEpoch is the earliest cluster epoch at which any node first
+	// alarmed on the component.
+	FirstEpoch int64
+	// ChangePoint is true when any alarming node attributes the alarm to
+	// a level shift rather than a trend.
+	ChangePoint bool
+}
+
+// Pair renders the verdict's (node, component) attribution: the single
+// sick node for a node-local verdict, "cluster" when cluster-wide.
+func (v ClusterVerdict) Pair() string {
+	if v.ClusterWide {
+		return "cluster/" + v.Component
+	}
+	return strings.Join(v.Nodes, "+") + "/" + v.Component
+}
+
+// ClusterReport is the aggregator's published state for one resource
+// after a completed epoch.
+type ClusterReport struct {
+	// Resource names the watched resource.
+	Resource string
+	// Epoch is the completed cluster epoch the report reflects.
+	Epoch int64
+	// Time is the epoch's instant on the merged (normalised) timeline.
+	Time time.Time
+	// Active and Total count cluster membership.
+	Active, Total int
+	// Suppressed is true while cluster verdict promotion is held down by
+	// the node-mix guard or a recent membership change.
+	Suppressed bool
+	// ShiftDistance is the node-mix guard's latest total-variation
+	// distance (how much the balancer's traffic split moved).
+	ShiftDistance float64
+	// ShiftEpochs counts epochs spent suppressed by the node-mix guard.
+	ShiftEpochs int64
+	// Churning is true while a recent join/leave holds promotion down.
+	Churning bool
+	// Verdicts lists alarming components, highest score first.
+	Verdicts []ClusterVerdict
+}
+
+// Alarming reports whether any verdict is present.
+func (r *ClusterReport) Alarming() bool { return len(r.Verdicts) > 0 }
+
+// Top returns the highest-scoring verdict.
+func (r *ClusterReport) Top() (ClusterVerdict, bool) {
+	if len(r.Verdicts) == 0 {
+		return ClusterVerdict{}, false
+	}
+	return r.Verdicts[0], true
+}
+
+// String renders the report.
+func (r *ClusterReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster[%s] epoch=%d nodes=%d/%d suppressed=%v shift=%.3f\n",
+		r.Resource, r.Epoch, r.Active, r.Total, r.Suppressed, r.ShiftDistance)
+	for i, v := range r.Verdicts {
+		scope := "node-local"
+		if v.ClusterWide {
+			scope = "cluster-wide"
+		}
+		cp := ""
+		if v.ChangePoint {
+			cp = " level-shift"
+		}
+		fmt.Fprintf(&b, "%2d. %-34s %-12s score=%10.4g since-epoch=%d%s\n",
+			i+1, v.Pair(), scope, v.Score, v.FirstEpoch, cp)
+	}
+	return b.String()
+}
+
+// Aggregator merges sampling rounds from N node collectors into per-node
+// and cluster-level aging verdicts. See the package comment for the
+// concurrency contract; everything below one mutex, nothing on any hot
+// path.
+type Aggregator struct {
+	cfg       Config
+	resources []string
+	configs   map[string]detect.Config
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+	order []string
+
+	base       time.Time // merged-timeline origin (first round's instant)
+	haveBase   bool
+	lastMerged time.Time
+	mergedLog  []Round
+	total      int64
+
+	epoch     int64
+	guard     *detect.ShiftGuard
+	churnLeft int
+	shiftEp   int64
+
+	reports map[string]*ClusterReport
+
+	// alarm bookkeeping for notification transitions: resource ->
+	// component -> latched scope. Latched by component, not by the
+	// alarming node set — the set of flagged nodes may churn while the
+	// component keeps aging, and that must not read as clear/raise.
+	alarmed map[string]map[string]*latchedAlarm
+	pending []jmx.Notification
+}
+
+// latchedAlarm is the notification latch for one alarming component.
+type latchedAlarm struct {
+	clusterWide bool
+}
+
+// New creates an aggregator.
+func New(cfg Config) *Aggregator {
+	cfg = cfg.withDefaults()
+	d := cfg.Detect
+	return &Aggregator{
+		cfg:       cfg,
+		resources: append([]string(nil), core.DetectorResources...),
+		configs:   core.ResourceDetectorConfigs(d),
+		nodes:     make(map[string]*nodeState),
+		guard:     detect.NewShiftGuardMargin(d.ShiftThreshold, d.ShiftHold, d.ShiftEWMA, d.ShiftNoiseMargin),
+		reports:   make(map[string]*ClusterReport),
+		alarmed:   make(map[string]map[string]*latchedAlarm),
+	}
+}
+
+// newNodeState creates the aggregator's state for one node. Caller holds
+// a.mu.
+func (a *Aggregator) newNodeState(name string) *nodeState {
+	st := &nodeState{
+		name:            name,
+		monitors:        make(map[string]*detect.Monitor, len(a.resources)),
+		reportsAtSeq:    make(map[int64]map[string]*detect.Report),
+		usageAtSeq:      make(map[int64]float64),
+		firstSize:       make(map[string]int64),
+		firstAlarmEpoch: make(map[string]map[string]int64),
+	}
+	for _, res := range a.resources {
+		st.monitors[res] = detect.NewMonitor(res, a.configs[res])
+	}
+	a.nodes[name] = st
+	a.order = append(a.order, name)
+	sort.Strings(a.order)
+	return st
+}
+
+// Expect pre-registers the cluster's initial membership as active nodes.
+// Without it a node joins on its first round and is aligned to whatever
+// epoch the cluster has already reached — correct, but dependent on
+// arrival order, so two transports could align the same nodes one epoch
+// apart. Pre-registering pins every expected node to epoch base zero,
+// making epoch alignment (and therefore every cluster verdict) a pure
+// function of the rounds, not of transport timing. Call it before the
+// first round arrives; expecting an already-known node is a no-op.
+func (a *Aggregator) Expect(nodes ...string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, name := range nodes {
+		if name == "" || a.nodes[name] != nil {
+			continue
+		}
+		st := a.newNodeState(name)
+		st.active = true
+	}
+}
+
+// Ingest absorbs one node round: it normalises the node's clock onto the
+// merged timeline, feeds the node's detector bank, and completes any
+// cluster epochs the round finishes. Safe for concurrent use; per-node
+// rounds must arrive in order (stale sequence numbers are dropped).
+func (a *Aggregator) Ingest(r Round) {
+	if r.Node == "" || r.Seq <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	st := a.nodes[r.Node]
+	if st == nil {
+		st = a.newNodeState(r.Node)
+	}
+	if r.Seq <= st.seq {
+		// Duplicate or reordered round; per-node order is the contract.
+		// Checked before the rejoin branch so a stale frame can never
+		// undo a Leave.
+		return
+	}
+	if !st.active {
+		// Join (or rejoin): align the node's sequence with the current
+		// epoch and hold cluster promotion down while traffic resettles.
+		st.active = true
+		st.epochBase = a.epoch - st.seq
+		a.churnLeft = a.cfg.ChurnHold
+	}
+	st.seq = r.Seq
+
+	// Clock normalisation: the node's first round pins its offset to the
+	// merged timeline (the cluster "present" for late joiners), after
+	// which its own monotone clock carries it. A defensive clamp keeps
+	// both the per-node and the merged sequences ordered even if a node
+	// clock misbehaves.
+	if !a.haveBase {
+		a.base = r.Time
+		a.lastMerged = r.Time
+		a.haveBase = true
+	}
+	if !st.haveOffset {
+		st.offset = r.Time.Sub(a.lastMerged)
+		st.haveOffset = true
+		st.lastNorm = a.lastMerged
+	}
+	norm := r.Time.Add(-st.offset)
+	if !norm.After(st.lastNorm) {
+		norm = st.lastNorm.Add(time.Millisecond)
+	}
+	st.lastNorm = norm
+	merged := norm
+	if merged.Before(a.lastMerged) {
+		merged = a.lastMerged
+	}
+	a.lastMerged = merged
+
+	// Feed the node's detectors and snapshot the reports for the epoch
+	// that will consume this round.
+	reps := make(map[string]*detect.Report, len(a.resources))
+	for _, res := range a.resources {
+		reps[res] = st.monitors[res].Observe(norm, core.ObservationsFor(res, r.Samples))
+	}
+	st.reportsAtSeq[r.Seq] = reps
+
+	var usageTotal float64
+	for _, s := range r.Samples {
+		usageTotal += float64(s.Usage)
+		if s.SizeOK {
+			if _, ok := st.firstSize[s.Component]; !ok {
+				st.firstSize[s.Component] = s.Size
+			}
+		}
+	}
+	st.usageAtSeq[r.Seq] = usageTotal
+	st.lastSamples = append([]core.ComponentSample(nil), r.Samples...)
+
+	logged := r
+	logged.Time = merged
+	a.mergedLog = append(a.mergedLog, logged)
+	if len(a.mergedLog) > a.cfg.MergedLogCap {
+		a.mergedLog = a.mergedLog[len(a.mergedLog)-a.cfg.MergedLogCap:]
+	}
+	a.total++
+
+	a.completeEpochs()
+}
+
+// completeEpochs folds finished epochs, under a.mu. Epoch k is complete
+// when every active node has delivered its round for k; nodes lagging
+// more than StaleEpochs behind the most advanced node are marked inactive
+// so a dead node never stalls the cluster.
+func (a *Aggregator) completeEpochs() {
+	for {
+		next := a.epoch + 1
+		var maxEpoch int64
+		ready := true
+		for _, name := range a.order {
+			st := a.nodes[name]
+			if !st.active {
+				continue
+			}
+			if e := st.epoch(); e > maxEpoch {
+				maxEpoch = e
+			}
+			if st.epoch() < next {
+				ready = false
+			}
+		}
+		if !ready && maxEpoch-next >= int64(a.cfg.StaleEpochs) {
+			// Evict laggards and re-check: the cluster has moved on.
+			for _, name := range a.order {
+				st := a.nodes[name]
+				if st.active && st.epoch() < next {
+					a.deactivate(st)
+				}
+			}
+			continue
+		}
+		if !ready || maxEpoch == 0 {
+			return
+		}
+		a.foldEpoch(next)
+	}
+}
+
+// deactivate marks a node inactive (leave or staleness eviction) and
+// starts the churn hold-down. Caller holds a.mu.
+func (a *Aggregator) deactivate(st *nodeState) {
+	if !st.active {
+		return
+	}
+	st.active = false
+	a.churnLeft = a.cfg.ChurnHold
+}
+
+// foldEpoch completes cluster epoch k: feeds the node-mix guard with the
+// per-node usage deltas, advances the churn hold, and publishes fresh
+// cluster reports. Caller holds a.mu.
+func (a *Aggregator) foldEpoch(k int64) {
+	a.epoch = k
+
+	deltas := make(map[string]float64)
+	for _, name := range a.order {
+		st := a.nodes[name]
+		if !st.active {
+			continue
+		}
+		seq := k - st.epochBase
+		usage, ok := st.usageAtSeq[seq]
+		if !ok {
+			continue
+		}
+		deltas[name] = usage - st.prevUsage
+		st.prevUsage = usage
+		delete(st.usageAtSeq, seq)
+	}
+	guardSuppressed := a.guard.Observe(deltas)
+	churning := a.churnLeft > 0
+	if churning {
+		a.churnLeft--
+	}
+	suppressed := guardSuppressed || churning
+	if guardSuppressed {
+		a.shiftEp++
+	}
+
+	active, total := 0, len(a.order)
+	for _, name := range a.order {
+		if a.nodes[name].active {
+			active++
+		}
+	}
+
+	for _, res := range a.resources {
+		rep := &ClusterReport{
+			Resource:      res,
+			Epoch:         k,
+			Time:          a.lastMerged,
+			Active:        active,
+			Total:         total,
+			Suppressed:    suppressed,
+			ShiftDistance: a.guard.Distance(),
+			ShiftEpochs:   a.shiftEp,
+			Churning:      churning,
+		}
+		type agg struct {
+			nodes       []string
+			score       float64
+			firstEpoch  int64
+			changePoint bool
+		}
+		byComponent := make(map[string]*agg)
+		var compOrder []string
+		for _, name := range a.order {
+			st := a.nodes[name]
+			if !st.active {
+				continue
+			}
+			seq := k - st.epochBase
+			nodeRep := st.reportsAtSeq[seq][res]
+			if nodeRep == nil {
+				continue
+			}
+			for _, v := range nodeRep.Components {
+				if !v.Alarm {
+					continue
+				}
+				c := byComponent[v.Component]
+				if c == nil {
+					c = &agg{}
+					byComponent[v.Component] = c
+					compOrder = append(compOrder, v.Component)
+				}
+				c.nodes = append(c.nodes, name)
+				if v.Score > c.score {
+					c.score = v.Score
+				}
+				firstByComp := st.firstAlarmEpoch[res]
+				if firstByComp == nil {
+					firstByComp = make(map[string]int64)
+					st.firstAlarmEpoch[res] = firstByComp
+				}
+				first, seen := firstByComp[v.Component]
+				if !seen {
+					first = k
+					firstByComp[v.Component] = k
+				}
+				if c.firstEpoch == 0 || first < c.firstEpoch {
+					c.firstEpoch = first
+				}
+				c.changePoint = c.changePoint || v.ChangePoint
+			}
+		}
+		for _, comp := range compOrder {
+			c := byComponent[comp]
+			v := ClusterVerdict{
+				Resource:    res,
+				Component:   comp,
+				Nodes:       c.nodes,
+				ActiveNodes: active,
+				Score:       c.score,
+				FirstEpoch:  c.firstEpoch,
+				ChangePoint: c.changePoint,
+			}
+			if !suppressed && active >= 2 &&
+				float64(len(c.nodes)) > a.cfg.Quorum*float64(active) {
+				v.ClusterWide = true
+			}
+			rep.Verdicts = append(rep.Verdicts, v)
+		}
+		sort.SliceStable(rep.Verdicts, func(i, j int) bool {
+			if rep.Verdicts[i].Score != rep.Verdicts[j].Score {
+				return rep.Verdicts[i].Score > rep.Verdicts[j].Score
+			}
+			return rep.Verdicts[i].Component < rep.Verdicts[j].Component
+		})
+		a.reports[res] = rep
+		a.queueTransitions(rep, suppressed)
+	}
+
+	// Release the per-seq snapshots this epoch consumed (≤ guards against
+	// stale keys surviving an epoch-base change across a rejoin).
+	for _, name := range a.order {
+		st := a.nodes[name]
+		seq := k - st.epochBase
+		for s := range st.reportsAtSeq {
+			if s <= seq {
+				delete(st.reportsAtSeq, s)
+			}
+		}
+		for s := range st.usageAtSeq {
+			if s <= seq {
+				delete(st.usageAtSeq, s)
+			}
+		}
+	}
+}
+
+// queueTransitions diffs a fresh report against the latched alarm set and
+// queues one notification per transition: a raise when a component first
+// alarms, a promotion when its verdict turns cluster-wide, a clear when
+// no node flags it any more. The alarming-node set may otherwise churn
+// without spamming the stream. New alarms and promotions are not
+// announced while suppressed (churn or node-mix shift); clears always
+// are. Caller holds a.mu.
+func (a *Aggregator) queueTransitions(rep *ClusterReport, suppressed bool) {
+	was := a.alarmed[rep.Resource]
+	if was == nil {
+		was = make(map[string]*latchedAlarm)
+		a.alarmed[rep.Resource] = was
+	}
+	seen := make(map[string]bool)
+	for _, v := range rep.Verdicts {
+		seen[v.Component] = true
+		latch := was[v.Component]
+		if latch == nil {
+			if suppressed {
+				continue
+			}
+			was[v.Component] = &latchedAlarm{clusterWide: v.ClusterWide}
+			scope := "node-local"
+			if v.ClusterWide {
+				scope = "cluster-wide"
+			}
+			a.pending = append(a.pending, jmx.Notification{
+				Type:   NotifClusterAlarm,
+				Source: AggregatorName(),
+				Message: fmt.Sprintf("%s aging: %s on %s (%d/%d nodes, score %.4g, epoch %d)",
+					scope, v.Component, strings.Join(v.Nodes, "+"), len(v.Nodes), v.ActiveNodes, v.Score, rep.Epoch),
+				Data: v,
+			})
+			continue
+		}
+		if v.ClusterWide && !latch.clusterWide && !suppressed {
+			latch.clusterWide = true
+			a.pending = append(a.pending, jmx.Notification{
+				Type:   NotifClusterAlarm,
+				Source: AggregatorName(),
+				Message: fmt.Sprintf("aging on %s promoted to cluster-wide (%s on %d/%d nodes, epoch %d)",
+					v.Component, rep.Resource, len(v.Nodes), v.ActiveNodes, rep.Epoch),
+				Data: v,
+			})
+		}
+	}
+	cleared := make([]string, 0)
+	for comp := range was {
+		if !seen[comp] {
+			cleared = append(cleared, comp)
+		}
+	}
+	sort.Strings(cleared)
+	for _, comp := range cleared {
+		delete(was, comp)
+		a.pending = append(a.pending, jmx.Notification{
+			Type:    NotifClusterAlarm,
+			Source:  AggregatorName(),
+			Message: fmt.Sprintf("cluster alarm cleared: %s (%s, epoch %d)", comp, rep.Resource, rep.Epoch),
+		})
+	}
+}
+
+// DrainNotifications returns and clears the queued cluster alarm
+// transitions; the owner (a cluster stack's notification pump, a serving
+// binary) emits them on its MBeanServer.
+func (a *Aggregator) DrainNotifications() []jmx.Notification {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.pending
+	a.pending = nil
+	return out
+}
+
+// Leave marks a node as having left the cluster: it stops counting
+// toward quorums and epoch completion, and the churn hold keeps cluster
+// promotion quiet while the balancer redistributes its traffic. A node
+// that publishes again after Leave rejoins automatically.
+func (a *Aggregator) Leave(node string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.nodes[node]; st != nil {
+		a.deactivate(st)
+		a.completeEpochs()
+	}
+}
+
+// Epoch returns the latest completed cluster epoch.
+func (a *Aggregator) Epoch() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// TotalRounds returns how many rounds have been ingested.
+func (a *Aggregator) TotalRounds() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Nodes returns the cluster membership, sorted by name.
+func (a *Aggregator) Nodes() []NodeStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]NodeStatus, 0, len(a.order))
+	for _, name := range a.order {
+		st := a.nodes[name]
+		out = append(out, NodeStatus{
+			Node:   name,
+			Active: st.active,
+			Rounds: st.seq,
+			Epoch:  st.epoch(),
+		})
+	}
+	return out
+}
+
+// Report returns the latest cluster report for a resource (nil before the
+// first completed epoch).
+func (a *Aggregator) Report(resource string) *ClusterReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reports[resource]
+}
+
+// NodeReport returns a node's latest per-node detection report for a
+// resource (nil for unknown nodes or before the node's first round).
+// Unlike cluster verdicts it reflects every round ingested so far, not
+// just completed epochs.
+func (a *Aggregator) NodeReport(node, resource string) *detect.Report {
+	a.mu.Lock()
+	st := a.nodes[node]
+	a.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	if mon, ok := st.monitors[resource]; ok {
+		return mon.Latest()
+	}
+	return nil
+}
+
+// MergedRounds returns a copy of the retained merged-round log, whose
+// times are normalised onto the aggregator's timeline and are guaranteed
+// non-decreasing regardless of node clock skew.
+func (a *Aggregator) MergedRounds() []Round {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Round(nil), a.mergedLog...)
+}
+
+// Verdicts adapts the latest per-node reports to the live root-cause
+// strategy's verdict type: one entry per (node, component) pair.
+func (a *Aggregator) Verdicts(resource string) []rootcause.LiveVerdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []rootcause.LiveVerdict
+	for _, name := range a.order {
+		st := a.nodes[name]
+		if !st.active {
+			continue
+		}
+		mon, ok := st.monitors[resource]
+		if !ok {
+			continue
+		}
+		rep := mon.Latest()
+		if rep == nil {
+			continue
+		}
+		for _, v := range rep.Components {
+			out = append(out, rootcause.LiveVerdict{
+				Component: v.Component,
+				Node:      name,
+				Alarm:     v.Alarm,
+				Score:     v.Score,
+			})
+		}
+	}
+	return out
+}
+
+// LiveRank ranks (node, component) pairs with the live strategy: detector
+// verdicts give scores and alarms, the latest round's measurements give
+// the map coordinates — so the Live strategy can say "component X on
+// node 2".
+func (a *Aggregator) LiveRank(resource string) rootcause.Ranking {
+	a.mu.Lock()
+	var data []rootcause.ComponentData
+	for _, name := range a.order {
+		st := a.nodes[name]
+		if !st.active {
+			continue
+		}
+		for _, s := range st.lastSamples {
+			d := rootcause.ComponentData{Name: s.Component, Node: name, Usage: s.Usage}
+			switch resource {
+			case core.ResourceMemory:
+				if s.SizeOK {
+					if c := float64(s.Size - st.firstSize[s.Component]); c > 0 {
+						d.Consumption = c
+					}
+				}
+			case core.ResourceCPU:
+				d.Consumption = s.CPUSeconds
+			case core.ResourceThreads:
+				d.Consumption = float64(s.Threads)
+			}
+			data = append(data, d)
+		}
+	}
+	a.mu.Unlock()
+	return rootcause.Live{Source: a.Verdicts}.Rank(resource, data)
+}

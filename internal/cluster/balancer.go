@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/servlet"
+)
+
+// Policy selects how the balancer spreads new sessions across nodes.
+type Policy int
+
+// Balancing policies.
+const (
+	// RoundRobin assigns new sessions to nodes in rotation.
+	RoundRobin Policy = iota
+	// LeastLoaded assigns new sessions to the node with the fewest
+	// in-flight requests.
+	LeastLoaded
+	// Weighted assigns new sessions by smooth weighted round-robin over
+	// the per-node weights (nginx's algorithm), so a skewed weight
+	// vector concentrates traffic without starving anyone entirely.
+	Weighted
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case Weighted:
+		return "weighted"
+	default:
+		return "unknown"
+	}
+}
+
+// Backend is the surface the balancer forwards to — satisfied by
+// *servlet.Container.
+type Backend interface {
+	Submit(req *servlet.Request, done servlet.Completion)
+	Throughput() float64
+}
+
+// member is one balanced node.
+type member struct {
+	name     string
+	backend  Backend
+	weight   int
+	current  int // smooth-WRR accumulator
+	inflight int
+}
+
+// Balancer fronts a set of servlet containers the way a load balancer
+// fronts a cluster of application servers. Sessions are sticky: a
+// session's first request picks a node by policy and every later request
+// follows it, because session state (carts, logins) lives in one node's
+// container. It satisfies the eb package's driver target, so the
+// existing emulated-browser load generator drives a whole cluster
+// unchanged.
+type Balancer struct {
+	mu       sync.Mutex
+	policy   Policy
+	members  []*member
+	sessions map[string]*member
+	// nextLL rotates LeastLoaded's tie-break start: under think-time-
+	// dominated load the in-flight counts are almost always all zero at
+	// assignment time, and a fixed tie-break would pin every session to
+	// the first node.
+	nextLL int
+}
+
+// NewBalancer creates an empty balancer with the given policy.
+func NewBalancer(policy Policy) *Balancer {
+	return &Balancer{policy: policy, sessions: make(map[string]*member)}
+}
+
+// AddNode adds a backend with the given weight (minimum 1; only the
+// Weighted policy reads it). Adding a duplicate name replaces the
+// backend.
+func (b *Balancer) AddNode(name string, backend Backend, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.members {
+		if m.name == name {
+			m.backend = backend
+			m.weight = weight
+			return
+		}
+	}
+	b.members = append(b.members, &member{name: name, backend: backend, weight: weight})
+}
+
+// RemoveNode removes a node and unpins its sessions; their next request
+// is assigned a fresh node by policy (session state on the removed node
+// is lost, as with a real backend failure). It reports whether the node
+// was present.
+func (b *Balancer) RemoveNode(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.members {
+		if m.name == name {
+			b.members = append(b.members[:i], b.members[i+1:]...)
+			for sid, owner := range b.sessions {
+				if owner == m {
+					delete(b.sessions, sid)
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// SetWeights updates per-node weights (Weighted policy). Unknown names
+// are ignored; missing names keep their weight.
+func (b *Balancer) SetWeights(weights map[string]int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.members {
+		if w, ok := weights[m.name]; ok && w >= 1 {
+			m.weight = w
+		}
+	}
+}
+
+// Rebalance unpins every session, so each session's next request is
+// re-assigned by the current policy and weights — how an operator drains
+// traffic onto (or off) nodes mid-run. Session state does not move.
+func (b *Balancer) Rebalance() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sessions = make(map[string]*member)
+}
+
+// SetPolicy switches the assignment policy for future (re-)assignments.
+func (b *Balancer) SetPolicy(p Policy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.policy = p
+}
+
+// NodeNames lists the balanced nodes in assignment order.
+func (b *Balancer) NodeNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.members))
+	for i, m := range b.members {
+		out[i] = m.name
+	}
+	return out
+}
+
+// Assignments returns how many sessions are currently pinned to each
+// node.
+func (b *Balancer) Assignments() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.members))
+	for _, m := range b.members {
+		out[m.name] = 0
+	}
+	for _, m := range b.sessions {
+		out[m.name]++
+	}
+	return out
+}
+
+// Submit routes one request: sticky to its session's node when pinned,
+// otherwise assigned by policy and pinned. With no members the request
+// completes immediately with 503, like a balancer with an empty upstream
+// pool.
+func (b *Balancer) Submit(req *servlet.Request, done servlet.Completion) {
+	b.mu.Lock()
+	m := b.route(req.SessionID)
+	if m == nil {
+		b.mu.Unlock()
+		if done != nil {
+			done(req, &servlet.Response{Status: servlet.StatusUnavailable})
+		}
+		return
+	}
+	m.inflight++
+	// Snapshot the backend under the lock: AddNode may replace a
+	// member's backend concurrently.
+	backend := m.backend
+	b.mu.Unlock()
+
+	backend.Submit(req, func(req *servlet.Request, resp *servlet.Response) {
+		b.mu.Lock()
+		m.inflight--
+		b.mu.Unlock()
+		if done != nil {
+			done(req, resp)
+		}
+	})
+}
+
+// route picks the member for a session, pinning new sessions. Caller
+// holds b.mu.
+func (b *Balancer) route(sessionID string) *member {
+	if len(b.members) == 0 {
+		return nil
+	}
+	if sessionID != "" {
+		if m, ok := b.sessions[sessionID]; ok {
+			return m
+		}
+	}
+	m := b.pick()
+	if sessionID != "" {
+		b.sessions[sessionID] = m
+	}
+	return m
+}
+
+// pick selects a member by policy. Caller holds b.mu.
+func (b *Balancer) pick() *member {
+	switch b.policy {
+	case LeastLoaded:
+		n := len(b.members)
+		best := -1
+		for i := 0; i < n; i++ {
+			idx := (b.nextLL + i) % n
+			if best < 0 || b.members[idx].inflight < b.members[best].inflight {
+				best = idx
+			}
+		}
+		b.nextLL = (best + 1) % n
+		return b.members[best]
+	default:
+		// Smooth weighted round-robin; with equal weights it degenerates
+		// to plain rotation, so it serves RoundRobin too.
+		var total int
+		var best *member
+		for _, m := range b.members {
+			w := m.weight
+			if b.policy == RoundRobin {
+				w = 1
+			}
+			m.current += w
+			total += w
+			if best == nil || m.current > best.current {
+				best = m
+			}
+		}
+		best.current -= total
+		return best
+	}
+}
+
+// Throughput sums the balanced backends' completion rates; it is what
+// the driver's WIPS sampler reads.
+func (b *Balancer) Throughput() float64 {
+	b.mu.Lock()
+	backends := make([]Backend, len(b.members))
+	for i, m := range b.members {
+		backends[i] = m.backend
+	}
+	b.mu.Unlock()
+	var sum float64
+	for _, be := range backends {
+		sum += be.Throughput()
+	}
+	return sum
+}
+
+// Spread summarises the current pin distribution as "node=count" pairs in
+// name order (observability for tests and reports).
+func (b *Balancer) Spread() []string {
+	counts := b.Assignments()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s=%d", n, counts[n])
+	}
+	return out
+}

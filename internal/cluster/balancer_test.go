@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/servlet"
+)
+
+// stubBackend records submissions and completes them synchronously.
+type stubBackend struct {
+	name string
+	hits int
+	// hold, when set, delays completions until release is called.
+	hold    bool
+	pending []func()
+}
+
+func (s *stubBackend) Submit(req *servlet.Request, done servlet.Completion) {
+	s.hits++
+	finish := func() {
+		if done != nil {
+			done(req, &servlet.Response{Status: servlet.StatusOK})
+		}
+	}
+	if s.hold {
+		s.pending = append(s.pending, finish)
+		return
+	}
+	finish()
+}
+
+func (s *stubBackend) release() {
+	for _, f := range s.pending {
+		f()
+	}
+	s.pending = nil
+}
+
+func (s *stubBackend) Throughput() float64 { return float64(s.hits) }
+
+func reqFor(session string) *servlet.Request {
+	return &servlet.Request{Interaction: "home", SessionID: session}
+}
+
+func threeNodeBalancer(p Policy) (*Balancer, map[string]*stubBackend) {
+	b := NewBalancer(p)
+	backends := make(map[string]*stubBackend)
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("node%d", i)
+		be := &stubBackend{name: name}
+		backends[name] = be
+		b.AddNode(name, be, 1)
+	}
+	return b, backends
+}
+
+func TestBalancerRoundRobinSpreadsSessions(t *testing.T) {
+	b, backends := threeNodeBalancer(RoundRobin)
+	for i := 0; i < 9; i++ {
+		b.Submit(reqFor(fmt.Sprintf("s%d", i)), nil)
+	}
+	for name, be := range backends {
+		if be.hits != 3 {
+			t.Fatalf("%s got %d requests, want 3 (assignments %v)", name, be.hits, b.Assignments())
+		}
+	}
+}
+
+func TestBalancerSessionsAreSticky(t *testing.T) {
+	b, backends := threeNodeBalancer(RoundRobin)
+	for i := 0; i < 12; i++ {
+		b.Submit(reqFor("one-session"), nil)
+	}
+	var nonZero int
+	for _, be := range backends {
+		if be.hits > 0 {
+			nonZero++
+			if be.hits != 12 {
+				t.Fatalf("sticky session split: %v", b.Assignments())
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("session touched %d nodes", nonZero)
+	}
+}
+
+func TestBalancerLeastLoadedSpreadsIdleNodes(t *testing.T) {
+	// Under think-time-dominated load every assignment sees all-zero
+	// in-flight counts; the rotating tie-break must still spread
+	// sessions instead of pinning them all to the first node.
+	b, backends := threeNodeBalancer(LeastLoaded)
+	for i := 0; i < 9; i++ {
+		b.Submit(reqFor(fmt.Sprintf("s%d", i)), nil)
+	}
+	for name, be := range backends {
+		if be.hits != 3 {
+			t.Fatalf("%s got %d requests, want 3 (assignments %v)", name, be.hits, b.Assignments())
+		}
+	}
+}
+
+func TestBalancerLeastLoadedAvoidsBusyNode(t *testing.T) {
+	b, backends := threeNodeBalancer(LeastLoaded)
+	backends["node1"].hold = true
+	// Pin three sessions while node1 holds its request open.
+	b.Submit(reqFor("a"), nil) // node1, stays in flight
+	b.Submit(reqFor("b"), nil)
+	b.Submit(reqFor("c"), nil)
+	b.Submit(reqFor("d"), nil) // must avoid node1 (inflight 1 vs 0)
+	if backends["node1"].hits != 1 {
+		t.Fatalf("busy node got %d, want 1", backends["node1"].hits)
+	}
+	backends["node1"].release()
+}
+
+func TestBalancerWeightedSkewsTraffic(t *testing.T) {
+	b, backends := threeNodeBalancer(Weighted)
+	b.SetWeights(map[string]int{"node1": 8, "node2": 1, "node3": 1})
+	for i := 0; i < 100; i++ {
+		b.Submit(reqFor(fmt.Sprintf("s%d", i)), nil)
+	}
+	if h := backends["node1"].hits; h != 80 {
+		t.Fatalf("weighted node1 got %d/100, want 80", h)
+	}
+}
+
+func TestBalancerRemoveNodeUnpinsAndRebalanceClears(t *testing.T) {
+	b, backends := threeNodeBalancer(RoundRobin)
+	for i := 0; i < 6; i++ {
+		b.Submit(reqFor(fmt.Sprintf("s%d", i)), nil)
+	}
+	if !b.RemoveNode("node2") {
+		t.Fatal("node2 not removed")
+	}
+	if b.RemoveNode("node2") {
+		t.Fatal("second removal succeeded")
+	}
+	before := backends["node2"].hits
+	for i := 0; i < 6; i++ {
+		b.Submit(reqFor(fmt.Sprintf("s%d", i)), nil)
+	}
+	if backends["node2"].hits != before {
+		t.Fatal("removed node still receives traffic")
+	}
+	b.Rebalance()
+	if n := len(b.Assignments()); n != 2 {
+		t.Fatalf("assignments over %d nodes after rebalance", n)
+	}
+	for node, pins := range b.Assignments() {
+		if pins != 0 {
+			t.Fatalf("%s still pinned %d sessions after Rebalance", node, pins)
+		}
+	}
+}
+
+func TestBalancerEmptyPoolRejects(t *testing.T) {
+	b := NewBalancer(RoundRobin)
+	var status int
+	b.Submit(reqFor("s"), func(_ *servlet.Request, resp *servlet.Response) {
+		status = resp.Status
+	})
+	if status != servlet.StatusUnavailable {
+		t.Fatalf("status=%d, want 503", status)
+	}
+}
+
+func TestBalancerThroughputSums(t *testing.T) {
+	b, _ := threeNodeBalancer(RoundRobin)
+	for i := 0; i < 9; i++ {
+		b.Submit(reqFor(fmt.Sprintf("s%d", i)), nil)
+	}
+	if got := b.Throughput(); got != 9 {
+		t.Fatalf("throughput=%v, want 9", got)
+	}
+	if got := b.Spread(); len(got) != 3 {
+		t.Fatalf("spread=%v", got)
+	}
+}

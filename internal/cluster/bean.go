@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/jmx"
+)
+
+// AggregatorName returns the aggregator's JMX object name.
+func AggregatorName() jmx.ObjectName {
+	return jmx.MustObjectName("aging:type=Aggregator")
+}
+
+// Bean exposes the aggregator over JMX, so the HTTP protocol adapter and
+// the agingmon front-end reach the cluster plane the same way they reach
+// a single node's manager.
+func (a *Aggregator) Bean() *jmx.Bean {
+	return jmx.NewBean("Cluster aggregator: merged per-node sampling rounds, quorum/outlier aging verdicts").
+		Attr("Nodes", "cluster membership with per-node status", func() any { return a.Nodes() }).
+		Attr("Epoch", "latest completed cluster epoch", func() any { return a.Epoch() }).
+		Attr("TotalRounds", "rounds ingested across all nodes", func() any { return a.TotalRounds() }).
+		Op("ClusterReport", "latest cluster verdict report for a resource", func(args ...any) (any, error) {
+			resource, err := oneString(args)
+			if err != nil {
+				return nil, err
+			}
+			rep := a.Report(resource)
+			if rep == nil {
+				return nil, fmt.Errorf("cluster: no completed epoch yet for %q", resource)
+			}
+			return rep, nil
+		}).
+		Op("NodeVerdicts", "a node's latest per-node detection report for a resource", func(args ...any) (any, error) {
+			node, resource, err := twoStrings(args)
+			if err != nil {
+				return nil, err
+			}
+			rep := a.NodeReport(node, resource)
+			if rep == nil {
+				return nil, fmt.Errorf("cluster: no report for node %q on %q", node, resource)
+			}
+			return rep, nil
+		}).
+		Op("ClusterLive", "rank (node, component) pairs with the live strategy", func(args ...any) (any, error) {
+			resource, err := oneString(args)
+			if err != nil {
+				return nil, err
+			}
+			return a.LiveRank(resource), nil
+		}).
+		Op("Leave", "mark a node as having left the cluster", func(args ...any) (any, error) {
+			node, err := oneString(args)
+			if err != nil {
+				return nil, err
+			}
+			a.Leave(node)
+			return true, nil
+		})
+}
+
+func oneString(args []any) (string, error) {
+	if len(args) != 1 {
+		return "", errors.New("cluster: want exactly one string argument")
+	}
+	s, ok := args[0].(string)
+	if !ok {
+		return "", errors.New("cluster: want a string argument")
+	}
+	return s, nil
+}
+
+func twoStrings(args []any) (string, string, error) {
+	if len(args) != 2 {
+		return "", "", errors.New("cluster: want exactly two string arguments")
+	}
+	a, ok1 := args[0].(string)
+	b, ok2 := args[1].(string)
+	if !ok1 || !ok2 {
+		return "", "", errors.New("cluster: want string arguments")
+	}
+	return a, b, nil
+}

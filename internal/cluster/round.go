@@ -1,0 +1,96 @@
+// Package cluster scales the monitoring pipeline from one process to a
+// cluster of application-server nodes: each node runs the usual framework
+// (weaver, agents, a core.Collector sampling its own components) and
+// ships every sampling round through a Transport to an Aggregator, which
+// merges the per-node streams, runs the online detectors per node, and
+// derives cluster-level (quorum/outlier) verdicts — "component X is aging
+// on node 2" or "component X is aging cluster-wide". A Balancer fronts
+// the nodes' servlet containers so the existing emulated-browser load
+// generator drives the whole cluster unchanged.
+//
+// Concurrency contract: the Aggregator serialises ingestion and queries
+// on one mutex — rounds arrive at sampling cadence (seconds apart), never
+// on any per-invocation hot path, so there is nothing to shard. Wire
+// transports deliver each node's rounds in order on a dedicated
+// goroutine; cross-node interleaving is absorbed by the epoch logic,
+// which folds rounds by per-node sequence number and therefore produces
+// transport-independent verdicts. The Balancer takes its own small mutex
+// per request; requests are emulated-browser interactions (think-time
+// scale), not join points.
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Round is one node's sampling round as shipped to the aggregator: the
+// node identity, the node-local 1-based sequence number, the node-local
+// sampling instant, and the per-component measurements. All fields are
+// exported so rounds cross process boundaries unchanged (gob over net).
+type Round struct {
+	// Node is the reporting node's identity.
+	Node string
+	// Seq is the node-local 1-based round number. Transports must
+	// preserve per-node order; the aggregator drops stale or duplicate
+	// sequence numbers.
+	Seq int64
+	// Time is the node's local sampling instant. Node clocks may
+	// disagree (different virtual-clock offsets, unsynchronised hosts);
+	// the aggregator normalises per node so merged rounds stay
+	// time-ordered.
+	Time time.Time
+	// Samples holds the round's per-component measurements.
+	Samples []core.ComponentSample
+}
+
+// Forwarder ships a collector's sampling rounds to a transport. It
+// implements core.SampleObserver, so wiring a node into a cluster is one
+// Subscribe call (see Attach); it runs under the collector's round lock
+// and therefore needs no synchronisation of its own beyond the error
+// counter, which other goroutines may read.
+type Forwarder struct {
+	node string
+	tr   Transport
+	seq  int64
+	errs atomic.Int64
+}
+
+// NewForwarder creates a forwarder publishing rounds for node over tr.
+func NewForwarder(node string, tr Transport) *Forwarder {
+	return &Forwarder{node: node, tr: tr}
+}
+
+// Attach subscribes a forwarder to the framework's collector, so every
+// future sampling round is shipped to the transport stamped with the
+// framework's node identity.
+func Attach(f *core.Framework, tr Transport) *Forwarder {
+	fw := NewForwarder(f.Node(), tr)
+	f.Collector().Subscribe(fw)
+	return fw
+}
+
+// ObserveSample implements core.SampleObserver: it wraps the batch into a
+// Round and publishes it. Publish errors are counted, not propagated —
+// a node must keep sampling locally even when its aggregator link is
+// down.
+func (f *Forwarder) ObserveSample(now time.Time, batch []core.ComponentSample) {
+	f.seq++
+	r := Round{
+		Node:    f.node,
+		Seq:     f.seq,
+		Time:    now,
+		Samples: append([]core.ComponentSample(nil), batch...),
+	}
+	if err := f.tr.Publish(r); err != nil {
+		f.errs.Add(1)
+	}
+}
+
+// Errors returns how many rounds failed to publish.
+func (f *Forwarder) Errors() int64 { return f.errs.Load() }
+
+// Rounds returns how many rounds the forwarder has published (attempted).
+func (f *Forwarder) Rounds() int64 { return f.seq }

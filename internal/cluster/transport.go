@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport carries sampling rounds from a node's collector to an
+// aggregator. Implementations must preserve per-node publish order;
+// nothing else is assumed — the in-process transport is a direct call,
+// the wire transport is gob frames over a net.Conn, and other codecs
+// (JSON, protobuf) can slot in without the collector or the aggregator
+// noticing.
+type Transport interface {
+	// Publish ships one round. It may block briefly (wire flow control)
+	// but must not be called concurrently for the same node.
+	Publish(Round) error
+	// Close releases the transport. Publishing after Close fails.
+	Close() error
+}
+
+// InProc is the zero-copy transport for nodes living in the aggregator's
+// process (the simulated cluster, tests, single-binary deployments):
+// Publish ingests synchronously, so by the time a node's sampling round
+// returns, the cluster state already reflects it.
+type InProc struct {
+	mu     sync.Mutex
+	agg    *Aggregator
+	closed bool
+}
+
+// NewInProc creates an in-process transport feeding agg.
+func NewInProc(agg *Aggregator) *InProc { return &InProc{agg: agg} }
+
+// Publish implements Transport by direct ingestion.
+func (p *InProc) Publish(r Round) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return errors.New("cluster: transport closed")
+	}
+	p.agg.Ingest(r)
+	return nil
+}
+
+// Close implements Transport.
+func (p *InProc) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return nil
+}
+
+// DefaultWireTimeout bounds one Publish's write. Publish runs under the
+// collector's round lock, so an unbounded write to a stalled aggregator
+// (dead peer, full TCP buffer) would wedge the node's sampling forever —
+// the forwarder's contract is that a node keeps sampling locally when
+// its aggregator link is down, which requires Publish to fail, not hang.
+const DefaultWireTimeout = 5 * time.Second
+
+// Wire ships rounds as gob frames over a net.Conn, so a node can live in
+// a different process (or host) from its aggregator. The encoder is
+// guarded by a mutex in case one process multiplexes several nodes'
+// forwarders onto one connection; per-node ordering is then the caller's
+// sampling order, which the collector already serialises.
+//
+// A write that exceeds Timeout fails the Publish; note a timed-out
+// encode may leave a partial frame on the stream, after which the
+// receiving decoder errors and drops the connection — fail-stop, never
+// wedged.
+type Wire struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	timeout time.Duration
+}
+
+// NewWire wraps an established connection (one end of a net.Pipe, a
+// dialed TCP/unix socket, ...) as a publishing transport with the
+// default write timeout.
+func NewWire(conn net.Conn) *Wire {
+	return &Wire{conn: conn, enc: gob.NewEncoder(conn), timeout: DefaultWireTimeout}
+}
+
+// SetTimeout overrides the per-publish write bound (0 disables it).
+func (w *Wire) SetTimeout(d time.Duration) {
+	w.mu.Lock()
+	w.timeout = d
+	w.mu.Unlock()
+}
+
+// DialWire connects to an aggregator's wire listener and returns the
+// publishing end.
+func DialWire(network, addr string) (*Wire, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewWire(conn), nil
+}
+
+// Publish implements Transport: one gob frame per round, bounded by the
+// write timeout.
+func (w *Wire) Publish(r Round) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+		defer func() { _ = w.conn.SetWriteDeadline(time.Time{}) }()
+	}
+	return w.enc.Encode(r)
+}
+
+// Close implements Transport.
+func (w *Wire) Close() error { return w.conn.Close() }
+
+// ServeConn decodes rounds from conn into the aggregator until the
+// connection closes. It returns nil on a clean EOF. Run it on its own
+// goroutine, one per node connection — per-node ordering is then the
+// connection's byte order.
+func (a *Aggregator) ServeConn(conn net.Conn) error {
+	dec := gob.NewDecoder(conn)
+	for {
+		var r Round
+		if err := dec.Decode(&r); err != nil {
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		a.Ingest(r)
+	}
+}
+
+// Serve accepts node connections from ln and serves each on its own
+// goroutine until the listener closes. It blocks; run it on a goroutine.
+func (a *Aggregator) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() { _ = a.ServeConn(conn) }()
+	}
+}

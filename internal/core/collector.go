@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+// componentRecord holds the collector's per-component series. The series
+// are internally concurrent (lock-free appends, non-blocking reads) and
+// the baseline is atomic, so records need no lock of their own: readers
+// and the sampler touch them directly.
+type componentRecord struct {
+	name     string
+	target   any
+	size     *metrics.Series // measured object size, bytes
+	usage    *metrics.Series // cumulative invocations
+	cpu      *metrics.Series // cumulative CPU seconds
+	threads  *metrics.Series // live threads
+	delta    *metrics.Series // accumulated per-invocation heap deltas
+	baseline atomic.Int64    // first measured size
+	hasBase  atomic.Bool
+}
+
+// Collector is the node-local half of the split manager: the component
+// registry, the per-component time series and the sampling round that
+// reads the monitoring agents through the MBeanServer. It is everything a
+// node needs to measure itself; the query/ranking/notification surface
+// lives in Manager, and cluster-scale merging lives in the aggregator
+// (internal/cluster), which consumes the rounds a Collector emits through
+// its SampleObservers.
+//
+// Locking is split so the paths that used to serialise on one mutex no
+// longer meet: recsMu guards only the component registry (instrument /
+// uninstrument, both rare); sampleMu serialises sampling rounds with each
+// other (keeping every series time-ordered) but is never held while
+// root-cause queries read; Data/Rank/Map take a registry read-lock just
+// long enough to snapshot the record pointers and then read the series
+// lock-free, concurrently with invocation recording and sampling.
+type Collector struct {
+	f    *Framework
+	node string
+
+	recsMu     sync.RWMutex
+	components map[string]*componentRecord
+	order      []string
+
+	sampleMu     sync.Mutex
+	heapRetained *metrics.Series
+	samples      atomic.Int64
+
+	// observers receive each round's batch; the slice is copy-on-write
+	// behind an atomic pointer so Sample reads it without locking, and
+	// obsMu serialises the rare Subscribe calls.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]SampleObserver]
+}
+
+// ComponentSample is one component's measurements in a sampling round, as
+// delivered to subscribed SampleObservers and shipped to cluster
+// aggregators. All fields are exported so a round crosses process
+// boundaries unchanged (gob/JSON wire transports).
+type ComponentSample struct {
+	// Component is the component name.
+	Component string
+	// Size is the measured retained size in bytes (valid when SizeOK).
+	Size   int64
+	SizeOK bool
+	// Usage is the cumulative invocation count.
+	Usage int64
+	// CPUSeconds is the cumulative attributed CPU time.
+	CPUSeconds float64
+	// Threads is the live thread count.
+	Threads int64
+	// Delta is the accumulated per-invocation heap delta.
+	Delta int64
+}
+
+// SampleObserver consumes sampling rounds as they are ingested. Observers
+// run on the sampling goroutine, serialised by the round lock (which the
+// invocation-recording hot path never takes), so an observer may keep
+// unsynchronised per-round state; it must not call Sample re-entrantly and
+// should stay cheap — it adds latency to the round, though never to
+// recording.
+type SampleObserver interface {
+	ObserveSample(now time.Time, batch []ComponentSample)
+}
+
+func newCollector(f *Framework, node string) *Collector {
+	return &Collector{
+		f:            f,
+		node:         node,
+		components:   make(map[string]*componentRecord),
+		heapRetained: metrics.NewSeries("heap.retained"),
+	}
+}
+
+// Node returns the collector's node identity ("" for a standalone,
+// single-node deployment).
+func (c *Collector) Node() string { return c.node }
+
+// Subscribe registers an observer for future sampling rounds.
+func (c *Collector) Subscribe(o SampleObserver) {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	var cur []SampleObserver
+	if p := c.observers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]SampleObserver, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = o
+	c.observers.Store(&next)
+}
+
+func (c *Collector) addComponent(name string, target any) error {
+	c.recsMu.Lock()
+	defer c.recsMu.Unlock()
+	if _, dup := c.components[name]; dup {
+		return fmt.Errorf("core: component %q already instrumented", name)
+	}
+	c.components[name] = &componentRecord{
+		name:    name,
+		target:  target,
+		size:    metrics.NewSeries(name + ".size"),
+		usage:   metrics.NewSeries(name + ".usage"),
+		cpu:     metrics.NewSeries(name + ".cpu"),
+		threads: metrics.NewSeries(name + ".threads"),
+		delta:   metrics.NewSeries(name + ".delta"),
+	}
+	c.order = append(c.order, name)
+	sort.Strings(c.order)
+	return nil
+}
+
+func (c *Collector) removeComponent(name string) {
+	c.recsMu.Lock()
+	defer c.recsMu.Unlock()
+	delete(c.components, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (c *Collector) target(name string) (any, bool) {
+	c.recsMu.RLock()
+	defer c.recsMu.RUnlock()
+	rec, ok := c.components[name]
+	if !ok {
+		return nil, false
+	}
+	return rec.target, true
+}
+
+// Components lists the instrumented component names.
+func (c *Collector) Components() []string {
+	c.recsMu.RLock()
+	defer c.recsMu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Samples returns how many sampling rounds have run.
+func (c *Collector) Samples() int64 { return c.samples.Load() }
+
+// records snapshots the instrumented records in name order.
+func (c *Collector) records() []*componentRecord {
+	c.recsMu.RLock()
+	defer c.recsMu.RUnlock()
+	out := make([]*componentRecord, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.components[name])
+	}
+	return out
+}
+
+// Sample performs one collection round at the given instant: for every
+// instrumented component it asks the object-size agent (via the
+// MBeanServer, as the paper's ACs do) for the current retained size and
+// reads the invocation/CPU/thread agents, batching the measurements and
+// then appending to the series. Rounds are serialised against each other
+// (so the series stay time-ordered) but the round holds no lock that
+// invocation recording or root-cause queries take: ingestion appends go
+// straight to the per-record lock-free series.
+//
+// Rounds must be sampled at non-decreasing instants of the collector's own
+// clock; cross-node clock disagreement is normalised downstream by the
+// aggregator, never here.
+func (c *Collector) Sample(now time.Time) {
+	c.sampleMu.Lock()
+
+	recs := c.records()
+	type measured struct {
+		rec        *componentRecord
+		size       int64
+		usage      int64
+		cpuSeconds float64
+		threads    int64
+		delta      int64
+		sizeOK     bool
+	}
+	batch := make([]measured, 0, len(recs))
+	for _, rec := range recs {
+		r := measured{rec: rec}
+		if v, err := c.f.server.Invoke(monitor.AgentName("ObjectSize"), "Measure", rec.name); err == nil {
+			r.size = v.(int64)
+			r.sizeOK = true
+		}
+		r.usage = c.f.invocations.StatsOf(rec.name).Count
+		r.cpuSeconds = c.f.cpu.TimeOf(rec.name).Seconds()
+		r.threads = c.f.threads.LiveOf(rec.name)
+		if c.f.deltas != nil {
+			r.delta, _ = c.f.deltas.DeltaOf(rec.name)
+		}
+		batch = append(batch, r)
+	}
+
+	for _, r := range batch {
+		rec := r.rec
+		if r.sizeOK {
+			if !rec.hasBase.Load() {
+				rec.baseline.Store(r.size)
+				rec.hasBase.Store(true)
+			}
+			rec.size.Append(now, float64(r.size))
+		}
+		rec.usage.Append(now, float64(r.usage))
+		rec.cpu.Append(now, r.cpuSeconds)
+		rec.threads.Append(now, float64(r.threads))
+		rec.delta.Append(now, float64(r.delta))
+	}
+	if c.f.heap != nil {
+		c.heapRetained.Append(now, float64(c.f.heap.Stats().Retained))
+	}
+	c.samples.Add(1)
+
+	// Deliver the round to subscribed observers (the detector bank and any
+	// cluster-transport forwarder live here). Still under sampleMu: rounds
+	// are totally ordered for observers, which lets them keep single-owner
+	// state — and sampleMu is not on the recording or query paths, so
+	// nothing contends.
+	if p := c.observers.Load(); p != nil && len(*p) > 0 {
+		samples := make([]ComponentSample, len(batch))
+		for i, r := range batch {
+			samples[i] = ComponentSample{
+				Component:  r.rec.name,
+				Size:       r.size,
+				SizeOK:     r.sizeOK,
+				Usage:      r.usage,
+				CPUSeconds: r.cpuSeconds,
+				Threads:    r.threads,
+				Delta:      r.delta,
+			}
+		}
+		for _, o := range *p {
+			o.ObserveSample(now, samples)
+		}
+	}
+	c.sampleMu.Unlock()
+}
+
+// SizeSeries returns a copy of the measured size series of a component.
+func (c *Collector) SizeSeries(name string) []metrics.Point {
+	c.recsMu.RLock()
+	rec, ok := c.components[name]
+	c.recsMu.RUnlock()
+	if ok {
+		return rec.size.Points()
+	}
+	return nil
+}
+
+// HeapRetainedSeries returns the sampled heap retained-bytes series.
+func (c *Collector) HeapRetainedSeries() []metrics.Point {
+	return c.heapRetained.Points()
+}

@@ -25,6 +25,10 @@ const NotifAlarm = "aging.alarm"
 // aging.alarm notifications by the sampling round after sampleMu is
 // released, mirroring how the manager emits aging.suspect.
 type DetectorBank struct {
+	// node is the owning manager's node identity, stamped on verdicts so
+	// live rankings match the (node, component) evidence the manager
+	// assembles.
+	node string
 	// resources fixes the per-round processing order (map iteration
 	// would be nondeterministic, and notification order must be
 	// bit-reproducible like everything else driven by the engine).
@@ -47,27 +51,45 @@ type DetectorBank struct {
 // while far below what a runaway computational bug produces.
 const DefaultCPUMinSlope = 5e-4
 
-// AttachDetectors creates a detector bank over the manager's sampling
-// stream and subscribes it. Memory and threads are watched as raw levels;
-// CPU is watched per invocation (cumulative CPU grows with traffic whether
-// or not anything ages, so it needs the workload normalisation) and gets
-// the DefaultCPUMinSlope floor unless the config sets its own. Attaching
-// twice is an error.
-func (m *Manager) AttachDetectors(cfg detect.Config) (*DetectorBank, error) {
+// DetectorResources is the fixed, deterministic order in which the
+// detector bank (and the cluster aggregator's per-node banks) process the
+// watched resources each round.
+var DetectorResources = []string{ResourceMemory, ResourceCPU, ResourceThreads}
+
+// ResourceDetectorConfigs derives the per-resource detector configuration
+// from one base config: memory and threads are watched as raw levels; CPU
+// is watched per invocation (cumulative CPU grows with traffic whether or
+// not anything ages, so it needs the workload normalisation) and gets the
+// DefaultCPUMinSlope floor unless the config sets its own. The cluster
+// aggregator reuses this so per-node verdicts carry single-node semantics.
+func ResourceDetectorConfigs(cfg detect.Config) map[string]detect.Config {
 	cpuCfg := cfg
 	cpuCfg.PerInvocation = true
 	if cpuCfg.MinSlope == 0 {
 		cpuCfg.MinSlope = DefaultCPUMinSlope
 	}
+	return map[string]detect.Config{
+		ResourceMemory:  cfg,
+		ResourceCPU:     cpuCfg,
+		ResourceThreads: cfg,
+	}
+}
+
+// AttachDetectors creates a detector bank over the manager's sampling
+// stream and subscribes it (per-resource tuning per
+// ResourceDetectorConfigs). Attaching twice is an error.
+func (m *Manager) AttachDetectors(cfg detect.Config) (*DetectorBank, error) {
+	configs := ResourceDetectorConfigs(cfg)
+	monitors := make(map[string]*detect.Monitor, len(configs))
+	for _, res := range DetectorResources {
+		monitors[res] = detect.NewMonitor(res, configs[res])
+	}
 	bank := &DetectorBank{
-		resources: []string{ResourceMemory, ResourceCPU, ResourceThreads},
-		monitors: map[string]*detect.Monitor{
-			ResourceMemory:  detect.NewMonitor(ResourceMemory, cfg),
-			ResourceCPU:     detect.NewMonitor(ResourceCPU, cpuCfg),
-			ResourceThreads: detect.NewMonitor(ResourceThreads, cfg),
-		},
-		alarmed:  make(map[string]map[string]bool),
-		entropyA: make(map[string]bool),
+		node:      m.node,
+		resources: append([]string(nil), DetectorResources...),
+		monitors:  monitors,
+		alarmed:   make(map[string]map[string]bool),
+		entropyA:  make(map[string]bool),
 	}
 	if !m.detectors.CompareAndSwap(nil, bank) {
 		return nil, fmt.Errorf("core: detectors already attached")
@@ -105,11 +127,37 @@ func (b *DetectorBank) Verdicts(resource string) []rootcause.LiveVerdict {
 	for _, v := range rep.Components {
 		out = append(out, rootcause.LiveVerdict{
 			Component: v.Component,
+			Node:      b.node,
 			Alarm:     v.Alarm,
 			Score:     v.Score,
 		})
 	}
 	return out
+}
+
+// ObservationsFor maps a sampling round's batch onto the detect package's
+// observation type for one resource. It is the single place the
+// sample→observation projection lives: the manager's bank and the cluster
+// aggregator's per-node banks both use it, so per-node cluster verdicts
+// carry exactly single-node semantics.
+func ObservationsFor(resource string, batch []ComponentSample) []detect.Observation {
+	obs := make([]detect.Observation, 0, len(batch))
+	for _, s := range batch {
+		o := detect.Observation{Component: s.Component, Usage: float64(s.Usage)}
+		switch resource {
+		case ResourceMemory:
+			if !s.SizeOK {
+				continue
+			}
+			o.Value = float64(s.Size)
+		case ResourceCPU:
+			o.Value = s.CPUSeconds
+		case ResourceThreads:
+			o.Value = float64(s.Threads)
+		}
+		obs = append(obs, o)
+	}
+	return obs
 }
 
 // ObserveSample implements SampleObserver: it fans the round's batch out
@@ -118,24 +166,7 @@ func (b *DetectorBank) Verdicts(resource string) []rootcause.LiveVerdict {
 // manager's sampleMu, which is what the single-owner detectors require.
 func (b *DetectorBank) ObserveSample(now time.Time, batch []ComponentSample) {
 	for _, resource := range b.resources {
-		mon := b.monitors[resource]
-		obs := make([]detect.Observation, 0, len(batch))
-		for _, s := range batch {
-			o := detect.Observation{Component: s.Component, Usage: float64(s.Usage)}
-			switch resource {
-			case ResourceMemory:
-				if !s.SizeOK {
-					continue
-				}
-				o.Value = float64(s.Size)
-			case ResourceCPU:
-				o.Value = s.CPUSeconds
-			case ResourceThreads:
-				o.Value = float64(s.Threads)
-			}
-			obs = append(obs, o)
-		}
-		rep := mon.Observe(now, obs)
+		rep := b.monitors[resource].Observe(now, ObservationsFor(resource, batch))
 		b.queueTransitions(rep)
 	}
 }

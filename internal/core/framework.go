@@ -10,14 +10,23 @@
 // application source — the property the paper gets from AspectJ load-time
 // weaving and this reproduction gets from registration-time weaving.
 //
+// The manager agent is split in two: Collector is the node-local half
+// (component registry, sampling rounds, per-component series) and
+// Manager embeds it, adding the management plane — root-cause queries,
+// the online detector bank, notifications and the JMX bean. A
+// single-node deployment only ever sees the Manager; a clustered one
+// ships each Collector's rounds to a cluster aggregator (see
+// internal/cluster) through the SampleObserver subscription.
+//
 // Concurrency contract: the AC's advice runs on every invoking goroutine
 // and records only into lock-free structures (sync.Map-backed atomic
 // cells, striped counters), so recording never blocks and is never
-// blocked. The manager splits its state onto three locks — recsMu for the
-// component registry (rare instrument/uninstrument), sampleMu serialising
-// sampling rounds (and the SampleObservers they feed, detectors included)
-// against each other only, and suspectMu for notification bookkeeping —
-// with the invariant that no lock is shared between invocation recording,
+// blocked. The collector splits its state onto separate locks — recsMu
+// for the component registry (rare instrument/uninstrument), sampleMu
+// serialising sampling rounds (and the SampleObservers they feed,
+// detectors and cluster forwarders included) against each other only,
+// and the manager's suspectMu for notification bookkeeping — with the
+// invariant that no lock is shared between invocation recording,
 // sampling and root-cause queries: queries snapshot record pointers under
 // a read-lock and then read the lock-free series concurrently with both.
 package core
@@ -85,6 +94,10 @@ type Options struct {
 	// Pointcut restricts which components the AC observes (default
 	// "within(*)").
 	Pointcut string
+	// Node names this framework's node in a clustered deployment; the
+	// collector stamps it on every round shipped to an aggregator. Leave
+	// empty for a standalone single-node system.
+	Node string
 }
 
 // Framework wires the agents, the AC and the manager together.
@@ -159,7 +172,7 @@ func New(opts Options) (*Framework, error) {
 		return nil, err
 	}
 
-	f.manager = newManager(f)
+	f.manager = newManager(f, opts.Node)
 	if err := server.Register(ManagerName(), f.manager.bean()); err != nil {
 		return nil, err
 	}
@@ -208,6 +221,14 @@ func (f *Framework) Server() *jmx.Server { return f.server }
 
 // Manager returns the JMX Manager Agent.
 func (f *Framework) Manager() *Manager { return f.manager }
+
+// Collector returns the node-local collector half of the manager — the
+// registry, sampling rounds and series. Cluster deployments subscribe a
+// transport forwarder here to ship rounds to an aggregator.
+func (f *Framework) Collector() *Collector { return f.manager.Collector }
+
+// Node returns the framework's node identity ("" when standalone).
+func (f *Framework) Node() string { return f.manager.Node() }
 
 // Weaver returns the aspect weaver.
 func (f *Framework) Weaver() *aspect.Weaver { return f.weaver }

@@ -4,14 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/jmx"
 	"repro/internal/metrics"
-	"repro/internal/monitor"
 	"repro/internal/rootcause"
 )
 
@@ -30,250 +28,35 @@ const (
 	ResourceMemoryDelta = "memory-delta"
 )
 
-// componentRecord holds the manager's per-component series. The series
-// are internally concurrent (lock-free appends, non-blocking reads) and
-// the baseline is atomic, so records need no lock of their own: readers
-// and the sampler touch them directly.
-type componentRecord struct {
-	name     string
-	target   any
-	size     *metrics.Series // measured object size, bytes
-	usage    *metrics.Series // cumulative invocations
-	cpu      *metrics.Series // cumulative CPU seconds
-	threads  *metrics.Series // live threads
-	delta    *metrics.Series // accumulated per-invocation heap deltas
-	baseline atomic.Int64    // first measured size
-	hasBase  atomic.Bool
-}
-
-// Manager is the JMX Manager Agent: it samples the monitoring agents
-// through the MBeanServer (preserving the paper's decoupling — replacing
-// an agent never requires touching the manager), accumulates per-component
-// time series, and answers root-cause queries.
-//
-// Locking is split so the paths that used to serialise on one mutex no
-// longer meet: recsMu guards only the component registry (instrument /
-// uninstrument, both rare); sampleMu serialises sampling rounds with each
-// other (keeping every series time-ordered) but is never held while
-// root-cause queries read; Data/Rank/Map take a registry read-lock just
-// long enough to snapshot the record pointers and then read the series
-// lock-free, concurrently with invocation recording and sampling.
+// Manager is the JMX Manager Agent: the management-plane half of the split
+// monitoring pipeline. The node-local mechanics — component registry,
+// sampling rounds, per-component series — live in the embedded Collector;
+// the Manager adds what a management plane needs on top: root-cause
+// queries (Data/Rank/Map), the online detector bank, and the aging.suspect
+// / aging.alarm notifications. A cluster deployment runs one Manager per
+// node and merges the collectors' rounds in an aggregator
+// (internal/cluster); a standalone deployment talks to the Manager alone
+// and never notices the split.
 type Manager struct {
-	f *Framework
-
-	recsMu     sync.RWMutex
-	components map[string]*componentRecord
-	order      []string
-
-	sampleMu     sync.Mutex
-	heapRetained *metrics.Series
-	samples      atomic.Int64
+	*Collector
 
 	suspectMu   sync.Mutex
 	lastSuspect string
 
-	// observers receive each round's batch; the slice is copy-on-write
-	// behind an atomic pointer so Sample reads it without locking, and
-	// obsMu serialises the rare Subscribe calls.
-	obsMu     sync.Mutex
-	observers atomic.Pointer[[]SampleObserver]
 	detectors atomic.Pointer[DetectorBank]
 }
 
-// ComponentSample is one component's measurements in a sampling round, as
-// delivered to subscribed SampleObservers.
-type ComponentSample struct {
-	// Component is the component name.
-	Component string
-	// Size is the measured retained size in bytes (valid when SizeOK).
-	Size   int64
-	SizeOK bool
-	// Usage is the cumulative invocation count.
-	Usage int64
-	// CPUSeconds is the cumulative attributed CPU time.
-	CPUSeconds float64
-	// Threads is the live thread count.
-	Threads int64
-	// Delta is the accumulated per-invocation heap delta.
-	Delta int64
+func newManager(f *Framework, node string) *Manager {
+	return &Manager{Collector: newCollector(f, node)}
 }
 
-// SampleObserver consumes sampling rounds as they are ingested. Observers
-// run on the sampling goroutine, serialised by the round lock (which the
-// invocation-recording hot path never takes), so an observer may keep
-// unsynchronised per-round state; it must not call Sample re-entrantly and
-// should stay cheap — it adds latency to the round, though never to
-// recording.
-type SampleObserver interface {
-	ObserveSample(now time.Time, batch []ComponentSample)
-}
-
-// Subscribe registers an observer for future sampling rounds.
-func (m *Manager) Subscribe(o SampleObserver) {
-	m.obsMu.Lock()
-	defer m.obsMu.Unlock()
-	var cur []SampleObserver
-	if p := m.observers.Load(); p != nil {
-		cur = *p
-	}
-	next := make([]SampleObserver, len(cur)+1)
-	copy(next, cur)
-	next[len(cur)] = o
-	m.observers.Store(&next)
-}
-
-func newManager(f *Framework) *Manager {
-	return &Manager{
-		f:            f,
-		components:   make(map[string]*componentRecord),
-		heapRetained: metrics.NewSeries("heap.retained"),
-	}
-}
-
-func (m *Manager) addComponent(name string, target any) error {
-	m.recsMu.Lock()
-	defer m.recsMu.Unlock()
-	if _, dup := m.components[name]; dup {
-		return fmt.Errorf("core: component %q already instrumented", name)
-	}
-	m.components[name] = &componentRecord{
-		name:    name,
-		target:  target,
-		size:    metrics.NewSeries(name + ".size"),
-		usage:   metrics.NewSeries(name + ".usage"),
-		cpu:     metrics.NewSeries(name + ".cpu"),
-		threads: metrics.NewSeries(name + ".threads"),
-		delta:   metrics.NewSeries(name + ".delta"),
-	}
-	m.order = append(m.order, name)
-	sort.Strings(m.order)
-	return nil
-}
-
-func (m *Manager) removeComponent(name string) {
-	m.recsMu.Lock()
-	defer m.recsMu.Unlock()
-	delete(m.components, name)
-	for i, n := range m.order {
-		if n == name {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
-	}
-}
-
-func (m *Manager) target(name string) (any, bool) {
-	m.recsMu.RLock()
-	defer m.recsMu.RUnlock()
-	rec, ok := m.components[name]
-	if !ok {
-		return nil, false
-	}
-	return rec.target, true
-}
-
-// Components lists the instrumented component names.
-func (m *Manager) Components() []string {
-	m.recsMu.RLock()
-	defer m.recsMu.RUnlock()
-	return append([]string(nil), m.order...)
-}
-
-// Samples returns how many sampling rounds have run.
-func (m *Manager) Samples() int64 { return m.samples.Load() }
-
-// records snapshots the instrumented records in name order.
-func (m *Manager) records() []*componentRecord {
-	m.recsMu.RLock()
-	defer m.recsMu.RUnlock()
-	out := make([]*componentRecord, 0, len(m.order))
-	for _, name := range m.order {
-		out = append(out, m.components[name])
-	}
-	return out
-}
-
-// Sample performs one collection round at the given instant: for every
-// instrumented component it asks the object-size agent (via the
-// MBeanServer, as the paper's ACs do) for the current retained size and
-// reads the invocation/CPU/thread agents, batching the measurements and
-// then appending to the series. Rounds are serialised against each other
-// (so the series stay time-ordered) but the round holds no lock that
-// invocation recording or root-cause queries take: ingestion appends go
-// straight to the per-record lock-free series.
+// Sample performs one collection round (see Collector.Sample) and then
+// lets the management plane react: queued detector alarms and suspect
+// changes go out as notifications after the round lock drops, so listeners
+// may query the manager freely.
 func (m *Manager) Sample(now time.Time) {
-	m.sampleMu.Lock()
+	m.Collector.Sample(now)
 
-	recs := m.records()
-	type measured struct {
-		rec        *componentRecord
-		size       int64
-		usage      int64
-		cpuSeconds float64
-		threads    int64
-		delta      int64
-		sizeOK     bool
-	}
-	batch := make([]measured, 0, len(recs))
-	for _, rec := range recs {
-		r := measured{rec: rec}
-		if v, err := m.f.server.Invoke(monitor.AgentName("ObjectSize"), "Measure", rec.name); err == nil {
-			r.size = v.(int64)
-			r.sizeOK = true
-		}
-		r.usage = m.f.invocations.StatsOf(rec.name).Count
-		r.cpuSeconds = m.f.cpu.TimeOf(rec.name).Seconds()
-		r.threads = m.f.threads.LiveOf(rec.name)
-		if m.f.deltas != nil {
-			r.delta, _ = m.f.deltas.DeltaOf(rec.name)
-		}
-		batch = append(batch, r)
-	}
-
-	for _, r := range batch {
-		rec := r.rec
-		if r.sizeOK {
-			if !rec.hasBase.Load() {
-				rec.baseline.Store(r.size)
-				rec.hasBase.Store(true)
-			}
-			rec.size.Append(now, float64(r.size))
-		}
-		rec.usage.Append(now, float64(r.usage))
-		rec.cpu.Append(now, r.cpuSeconds)
-		rec.threads.Append(now, float64(r.threads))
-		rec.delta.Append(now, float64(r.delta))
-	}
-	if m.f.heap != nil {
-		m.heapRetained.Append(now, float64(m.f.heap.Stats().Retained))
-	}
-	m.samples.Add(1)
-
-	// Deliver the round to subscribed observers (the detector bank lives
-	// here). Still under sampleMu: rounds are totally ordered for
-	// observers, which lets them keep single-owner state — and sampleMu
-	// is not on the recording or query paths, so nothing contends.
-	if p := m.observers.Load(); p != nil && len(*p) > 0 {
-		samples := make([]ComponentSample, len(batch))
-		for i, r := range batch {
-			samples[i] = ComponentSample{
-				Component:  r.rec.name,
-				Size:       r.size,
-				SizeOK:     r.sizeOK,
-				Usage:      r.usage,
-				CPUSeconds: r.cpuSeconds,
-				Threads:    r.threads,
-				Delta:      r.delta,
-			}
-		}
-		for _, o := range *p {
-			o.ObserveSample(now, samples)
-		}
-	}
-	m.sampleMu.Unlock()
-
-	// Notifications go out after the round lock drops, so listeners may
-	// query the manager freely.
 	if bank := m.detectors.Load(); bank != nil {
 		for _, n := range bank.drainNotifications() {
 			m.f.server.Emit(n)
@@ -306,22 +89,6 @@ func (m *Manager) notifyIfSuspectChanged() {
 	}
 }
 
-// SizeSeries returns a copy of the measured size series of a component.
-func (m *Manager) SizeSeries(name string) []metrics.Point {
-	m.recsMu.RLock()
-	rec, ok := m.components[name]
-	m.recsMu.RUnlock()
-	if ok {
-		return rec.size.Points()
-	}
-	return nil
-}
-
-// HeapRetainedSeries returns the sampled heap retained-bytes series.
-func (m *Manager) HeapRetainedSeries() []metrics.Point {
-	return m.heapRetained.Points()
-}
-
 // Data assembles the per-component evidence for a resource, the input to
 // the ranking strategies. For memory, consumption is the measured size
 // net of the component's first-sample baseline.
@@ -334,7 +101,7 @@ func (m *Manager) Data(resource string) ([]rootcause.ComponentData, error) {
 	recs := m.records()
 	out := make([]rootcause.ComponentData, 0, len(recs))
 	for _, rec := range recs {
-		d := rootcause.ComponentData{Name: rec.name}
+		d := rootcause.ComponentData{Name: rec.name, Node: m.node}
 		if last, ok := rec.usage.Last(); ok {
 			d.Usage = int64(last.V)
 		}
@@ -402,6 +169,7 @@ func (m *Manager) bean() *jmx.Bean {
 	return jmx.NewBean("JMX Manager Agent: resource-component map and root cause determination").
 		Attr("Components", "instrumented component names", func() any { return m.Components() }).
 		Attr("Samples", "collection rounds so far", func() any { return m.Samples() }).
+		Attr("Node", "the node identity of this manager's collector", func() any { return m.Node() }).
 		Attr("MonitoringEnabled", "whether the AC advice is active", func() any {
 			return m.f.MonitoringEnabled()
 		}).

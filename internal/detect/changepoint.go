@@ -1,0 +1,127 @@
+package detect
+
+import "math"
+
+// PageHinkley is an online change-point detector for upward level shifts,
+// complementing OnlineTrend: the Mann-Kendall test (with the Sen-slope
+// floor the CPU detector runs with) is built for gradual drifts, so a
+// resource that jumps once and then stays flat — the signature of a
+// constant-cost CPU hog switching on — can sit below the slope floor
+// forever. Page-Hinkley accumulates the deviation of each observation
+// above the running mean and alarms when the accumulated excursion since
+// its minimum exceeds a threshold, which is exactly a step detector.
+//
+// Observations are standardised against a baseline estimated from the
+// first Warmup samples (mean and standard deviation via Welford), so
+// Delta and Lambda are expressed in baseline standard deviations and one
+// tuning works across resources with wildly different units (bytes,
+// seconds, counts). A degenerate baseline (near-zero variance) falls back
+// to a floor of a small fraction of the baseline mean, so a perfectly
+// flat healthy series still yields a meaningful scale.
+//
+// Single-owner, like the other detectors: only the sampling goroutine
+// calls Push.
+type PageHinkley struct {
+	delta  float64 // tolerated drift, in baseline std devs
+	lambda float64 // alarm threshold, in baseline std devs
+	warmup int
+
+	// Welford state for the baseline.
+	n    int
+	mean float64
+	m2   float64
+
+	base    float64 // frozen baseline mean
+	scale   float64 // frozen baseline std dev (with floor)
+	ready   bool
+	cum     float64 // cumulative standardised deviation minus delta
+	minCum  float64
+	tripped bool
+}
+
+// Page-Hinkley defaults: tolerate ~half a standard deviation of drift,
+// alarm when the accumulated excursion exceeds eight standard deviations,
+// and estimate the baseline over the first ten samples.
+const (
+	DefaultPHDelta  = 0.5
+	DefaultPHLambda = 8.0
+	DefaultPHWarmup = 10
+)
+
+// NewPageHinkley creates a detector. delta is the drift tolerance and
+// lambda the alarm threshold, both in units of the baseline standard
+// deviation; warmup is the number of samples used to estimate the
+// baseline. Out-of-range values select the defaults.
+func NewPageHinkley(delta, lambda float64, warmup int) *PageHinkley {
+	if delta <= 0 {
+		delta = DefaultPHDelta
+	}
+	if lambda <= 0 {
+		lambda = DefaultPHLambda
+	}
+	if warmup < 2 {
+		warmup = DefaultPHWarmup
+	}
+	return &PageHinkley{delta: delta, lambda: lambda, warmup: warmup}
+}
+
+// Push absorbs one observation and reports whether the detector is
+// (now or already) tripped. Once tripped it stays tripped until Reset —
+// a level shift does not un-happen.
+func (p *PageHinkley) Push(v float64) bool {
+	if !p.ready {
+		p.n++
+		d := v - p.mean
+		p.mean += d / float64(p.n)
+		p.m2 += d * (v - p.mean)
+		if p.n < p.warmup {
+			return false
+		}
+		p.base = p.mean
+		p.scale = math.Sqrt(p.m2 / float64(p.n-1))
+		// Floor the scale so a near-constant healthy baseline does not
+		// turn measurement noise into instant alarms.
+		if floor := math.Abs(p.base) * 0.01; p.scale < floor {
+			p.scale = floor
+		}
+		if p.scale == 0 {
+			p.scale = 1e-12
+		}
+		p.ready = true
+		return false
+	}
+	if p.tripped {
+		return true
+	}
+	p.cum += (v-p.base)/p.scale - p.delta
+	if p.cum < p.minCum {
+		p.minCum = p.cum
+	}
+	if p.cum-p.minCum > p.lambda {
+		p.tripped = true
+	}
+	return p.tripped
+}
+
+// Tripped reports whether a level shift has been detected.
+func (p *PageHinkley) Tripped() bool { return p.tripped }
+
+// Magnitude returns the current accumulated excursion in baseline
+// standard deviations (the PH statistic); it keeps growing while the
+// shifted level persists, so it orders components by how hard they
+// stepped.
+func (p *PageHinkley) Magnitude() float64 {
+	if !p.ready {
+		return 0
+	}
+	return p.cum - p.minCum
+}
+
+// Ready reports whether the baseline warmup has completed.
+func (p *PageHinkley) Ready() bool { return p.ready }
+
+// Reset discards all state, baseline included — used when a workload
+// shift invalidates the history the baseline was estimated against.
+func (p *PageHinkley) Reset() {
+	*p = PageHinkley{delta: p.delta, lambda: p.lambda, warmup: p.warmup}
+}

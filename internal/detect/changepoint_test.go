@@ -1,0 +1,171 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// stepSeries is a synthetic per-invocation cost series: `flat` rounds at
+// the base level with small deterministic jitter, then a step of `jump`
+// that persists. This is the signature of a constant-Extra CPU hog
+// switching on — a level shift, not a trend.
+func stepSeries(n, flat int, base, jitter, jump float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := base + jitter*math.Sin(float64(i)*1.7)
+		if i >= flat {
+			v += jump
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestPageHinkleyCatchesStep(t *testing.T) {
+	ph := NewPageHinkley(0, 0, 0) // defaults
+	series := stepSeries(60, 30, 0.100, 0.002, 0.040)
+	trippedAt := -1
+	for i, v := range series {
+		if ph.Push(v) && trippedAt < 0 {
+			trippedAt = i
+		}
+	}
+	if trippedAt < 0 {
+		t.Fatal("Page-Hinkley never tripped on a 40% level step")
+	}
+	if trippedAt < 30 {
+		t.Fatalf("tripped at sample %d, before the step at 30", trippedAt)
+	}
+	if trippedAt > 40 {
+		t.Fatalf("tripped only at sample %d, more than 10 samples after the step", trippedAt)
+	}
+	if ph.Magnitude() <= 0 {
+		t.Fatalf("tripped detector reports magnitude %v", ph.Magnitude())
+	}
+}
+
+func TestPageHinkleyQuietOnFlatAndNoise(t *testing.T) {
+	// Pure noise around a level must never trip, and neither must a
+	// perfectly constant series.
+	for name, series := range map[string][]float64{
+		"noisy":    stepSeries(200, 200, 0.100, 0.004, 0),
+		"constant": stepSeries(200, 200, 0.100, 0, 0),
+	} {
+		ph := NewPageHinkley(0, 0, 0)
+		for i, v := range series {
+			if ph.Push(v) {
+				t.Fatalf("%s series tripped at sample %d", name, i)
+			}
+		}
+	}
+}
+
+func TestPageHinkleyResetRecalibrates(t *testing.T) {
+	ph := NewPageHinkley(0, 0, 0)
+	for _, v := range stepSeries(45, 30, 0.100, 0.002, 0.040) {
+		ph.Push(v)
+	}
+	if !ph.Tripped() {
+		t.Fatal("precondition: detector should have tripped")
+	}
+	ph.Reset()
+	if ph.Tripped() || ph.Ready() {
+		t.Fatal("Reset did not clear state")
+	}
+	// After the reset the shifted level becomes the new baseline; staying
+	// there must not re-trip.
+	for i, v := range stepSeries(60, 60, 0.140, 0.002, 0) {
+		if ph.Push(v) {
+			t.Fatalf("re-tripped at sample %d after recalibration", i)
+		}
+	}
+}
+
+// observeStepCPU drives a Monitor with a per-invocation CPU step: every
+// round each component gains `du` invocations, and the hogged component's
+// per-invocation cost steps from base to base+jump at round `flat`.
+func observeStepCPU(m *Monitor, rounds, flat int, base, jump float64) {
+	t0 := time.Unix(0, 0)
+	var cumHog, cumOK float64
+	var usage float64
+	for r := 0; r < rounds; r++ {
+		const du = 100
+		usage += du
+		cost := base
+		if r >= flat {
+			cost = base + jump
+		}
+		cumHog += cost * du
+		cumOK += base * du
+		m.Observe(t0.Add(time.Duration(r)*30*time.Second), []Observation{
+			{Component: "hog", Value: cumHog, Usage: usage},
+			{Component: "ok", Value: cumOK, Usage: usage},
+		})
+	}
+}
+
+func TestMonitorChangePointCatchesCPUStep(t *testing.T) {
+	// The per-invocation CPU detector with the production slope floor: a
+	// constant 40ms hog is a step that the floored trend cannot flag
+	// (that is the ROADMAP gap), but the change-point detector must.
+	base := Config{Window: 20, MinSamples: 6, Consecutive: 3, MinSlope: 5e-4, PerInvocation: true}
+
+	trendOnly := NewMonitor("cpu", base)
+	observeStepCPU(trendOnly, 40, 15, 0.100, 0.040)
+	if rep := trendOnly.Latest(); len(rep.Alarms()) != 0 {
+		t.Fatalf("trend-only monitor alarmed on a level step: %s", rep)
+	}
+
+	cpCfg := base
+	cpCfg.ChangePoint = true
+	cp := NewMonitor("cpu", cpCfg)
+	observeStepCPU(cp, 40, 15, 0.100, 0.040)
+	rep := cp.Latest()
+	top, ok := rep.Top()
+	if !ok {
+		t.Fatalf("change-point monitor raised no alarm:\n%s", rep)
+	}
+	if top.Component != "hog" || !top.ChangePoint {
+		t.Fatalf("wrong verdict: %+v", top)
+	}
+	for _, v := range rep.Components {
+		if v.Component == "ok" && v.Alarm {
+			t.Fatalf("healthy component alarmed: %+v", v)
+		}
+	}
+	if !(rep.String() != "" && top.Score > 0) {
+		t.Fatalf("alarm without a usable score: %+v", top)
+	}
+}
+
+func TestMonitorChangePointOffByDefault(t *testing.T) {
+	cfg := Config{Window: 20, MinSamples: 6, Consecutive: 3}
+	m := NewMonitor("cpu", cfg)
+	if m.Config().ChangePoint {
+		t.Fatal("ChangePoint must default to off")
+	}
+	// And the zero-value path must not allocate PH state.
+	observeStepCPU(m, 5, 99, 0.1, 0)
+	for c, st := range m.comps {
+		if st.ph != nil {
+			t.Fatalf("component %s has PH state with ChangePoint off", c)
+		}
+	}
+}
+
+func ExamplePageHinkley() {
+	ph := NewPageHinkley(0, 0, 4)
+	for i := 0; i < 20; i++ {
+		v := 1.0
+		if i >= 10 {
+			v = 1.5
+		}
+		if ph.Push(v) {
+			fmt.Printf("tripped at %d\n", i)
+			break
+		}
+	}
+	// Output: tripped at 10
+}

@@ -66,6 +66,26 @@ type Config struct {
 	// ShiftEWMA is the adaptation rate of the guard's reference mix
 	// (default 0.2).
 	ShiftEWMA float64
+	// ShiftNoiseMargin scales the guard's adaptive threshold floor
+	// (default DefaultShiftNoiseMargin); see ShiftGuard for the noise
+	// model.
+	ShiftNoiseMargin float64
+	// ChangePoint additionally runs a Page-Hinkley level-shift detector
+	// per component over the same tracked quantity as the trend detector.
+	// The Mann-Kendall trend (with the CPU slope floor) is blind to a
+	// resource that steps up once and then stays flat — a constant-cost
+	// CPU hog switching on — which is exactly what Page-Hinkley catches.
+	// Off by default; the trend-only behaviour is unchanged.
+	ChangePoint bool
+	// PHDelta is the Page-Hinkley drift tolerance in baseline standard
+	// deviations (default DefaultPHDelta).
+	PHDelta float64
+	// PHLambda is the Page-Hinkley alarm threshold in baseline standard
+	// deviations (default DefaultPHLambda).
+	PHLambda float64
+	// PHWarmup is the number of samples the Page-Hinkley baseline is
+	// estimated over (default DefaultPHWarmup).
+	PHWarmup int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShiftEWMA <= 0 || c.ShiftEWMA > 1 {
 		c.ShiftEWMA = 0.2
+	}
+	if c.ShiftNoiseMargin <= 0 {
+		c.ShiftNoiseMargin = DefaultShiftNoiseMargin
 	}
 	return c
 }
@@ -129,6 +152,12 @@ type Verdict struct {
 	// FirstAlarmRound is the 1-based round at which the component first
 	// alarmed (0 when it never has).
 	FirstAlarmRound int64
+	// ChangePoint is true when the Page-Hinkley level-shift detector is
+	// tripped for the component (only with Config.ChangePoint). An alarm
+	// with ChangePoint set and an insignificant Trend is a step, not a
+	// drift; its Score is the PH excursion in baseline standard
+	// deviations rather than a Sen slope.
+	ChangePoint bool
 }
 
 // Report is the Monitor's published state after a sampling round.
@@ -197,8 +226,12 @@ func (r *Report) String() string {
 	}
 	b.WriteByte('\n')
 	for i, v := range r.Components {
-		fmt.Fprintf(&b, "%2d. %-28s alarm=%-5v score=%10.4g z=%6.2f streak=%d n=%d share=%.3f\n",
-			i+1, v.Component, v.Alarm, v.Score, v.Trend.Z, v.Streak, v.Samples, v.Share)
+		cp := ""
+		if v.ChangePoint {
+			cp = " level-shift"
+		}
+		fmt.Fprintf(&b, "%2d. %-28s alarm=%-5v score=%10.4g z=%6.2f streak=%d n=%d share=%.3f%s\n",
+			i+1, v.Component, v.Alarm, v.Score, v.Trend.Z, v.Streak, v.Samples, v.Share, cp)
 	}
 	return b.String()
 }
@@ -206,6 +239,7 @@ func (r *Report) String() string {
 // componentState is the Monitor's per-component detector state.
 type componentState struct {
 	trend      *OnlineTrend
+	ph         *PageHinkley // nil unless Config.ChangePoint
 	prevValue  float64
 	prevUsage  float64
 	havePrev   bool
@@ -239,7 +273,7 @@ func NewMonitor(resource string, cfg Config) *Monitor {
 		cfg:      cfg,
 		comps:    make(map[string]*componentState),
 		entropy:  NewEntropyDetector(cfg.Window, cfg.Alpha),
-		guard:    NewShiftGuard(cfg.ShiftThreshold, cfg.ShiftHold, cfg.ShiftEWMA),
+		guard:    NewShiftGuardMargin(cfg.ShiftThreshold, cfg.ShiftHold, cfg.ShiftEWMA, cfg.ShiftNoiseMargin),
 	}
 }
 
@@ -271,6 +305,9 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 		st := m.comps[o.Component]
 		if st == nil {
 			st = &componentState{trend: NewOnlineTrend(m.cfg.Window, m.cfg.Alpha)}
+			if m.cfg.ChangePoint {
+				st.ph = NewPageHinkley(m.cfg.PHDelta, m.cfg.PHLambda, m.cfg.PHWarmup)
+			}
 			m.comps[o.Component] = st
 		}
 		if st.havePrev {
@@ -291,12 +328,26 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 	for i, o := range obs {
 		st := m.comps[o.Component]
 		if st.havePrev {
+			tracked, haveTracked := o.Value, true
 			if m.cfg.PerInvocation {
 				if du := o.Usage - st.prevUsage; du > 0 {
-					st.trend.Push(now, (o.Value-st.prevValue)/du)
+					tracked = (o.Value - st.prevValue) / du
+				} else {
+					haveTracked = false
 				}
-			} else {
-				st.trend.Push(now, o.Value)
+			}
+			if haveTracked {
+				st.trend.Push(now, tracked)
+				if st.ph != nil {
+					if suppressed {
+						// A workload shift invalidates the level baseline
+						// the step detector was calibrated against, just as
+						// it invalidates the entropy window.
+						st.ph.Reset()
+					} else {
+						st.ph.Push(tracked)
+					}
+				}
 			}
 			if totalDelta > 0 {
 				st.share = 0.8*st.share + 0.2*(valueDeltas[i]/totalDelta)
@@ -358,10 +409,12 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 			Samples:   st.trend.Len(),
 			Share:     st.share,
 		}
-		raw := v.Trend.Direction == metrics.TrendIncreasing &&
+		trendRaw := v.Trend.Direction == metrics.TrendIncreasing &&
 			v.Trend.SenSlope > m.cfg.MinSlope &&
 			v.Samples >= m.cfg.MinSamples
-		if raw && !suppressed {
+		cpRaw := st.ph != nil && st.ph.Tripped()
+		v.ChangePoint = cpRaw
+		if (trendRaw || cpRaw) && !suppressed {
 			st.streak++
 		} else {
 			st.streak = 0
@@ -369,7 +422,12 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 		v.Streak = st.streak
 		if st.streak >= m.cfg.Consecutive {
 			v.Alarm = true
-			v.Score = v.Trend.SenSlope
+			if trendRaw {
+				v.Score = v.Trend.SenSlope
+			} else {
+				// Step, not drift: rank by how far the level jumped.
+				v.Score = st.ph.Magnitude()
+			}
 			if st.firstAlarm == 0 {
 				st.firstAlarm = m.rounds
 			}

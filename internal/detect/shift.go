@@ -1,5 +1,7 @@
 package detect
 
+import "math"
+
 // ShiftGuard detects changes in the workload mix from the per-component
 // usage (invocation-count) distribution, so the detectors above it can
 // tell "the traffic changed" apart from "a component is aging" — the
@@ -9,11 +11,20 @@ package detect
 // Each round the guard receives the per-component usage deltas, computes
 // the share distribution, and compares it against an exponentially-
 // weighted reference distribution by total-variation distance. A distance
-// above Threshold marks the round as shifting; the guard then stays in the
-// suppressing state for Hold further calm rounds, because the first rounds
-// after a mix change still blend pre- and post-shift behaviour. The
-// reference adapts continuously (EWMA), so after a shift settles the new
-// mix becomes the baseline and detection resumes — the "adaptive" part.
+// above the threshold marks the round as shifting; the guard then stays
+// in the suppressing state for Hold further calm rounds, because the
+// first rounds after a mix change still blend pre- and post-shift
+// behaviour. The reference adapts continuously (EWMA), so after a shift
+// settles the new mix becomes the baseline and detection resumes — the
+// "adaptive" part.
+//
+// The effective threshold is noise-aware: a round built from n requests
+// over k components carries sampling noise of about sqrt(k/(2πn)) in
+// total-variation distance even when the true mix is unchanged, so a
+// fixed threshold that works for a busy single node misfires on a
+// lightly loaded cluster replica seeing a third of the traffic. Each
+// round the guard floors the configured threshold at NoiseMargin times
+// the expected noise for that round's own n and k.
 //
 // Single-owner, like the other detectors: only the sampling goroutine
 // calls Observe.
@@ -21,21 +32,37 @@ type ShiftGuard struct {
 	threshold float64
 	hold      int
 	ewma      float64
+	margin    float64
 
 	ref       map[string]float64 // reference share distribution
 	lastDist  float64
-	calmLeft  int  // rounds of calm still required before unsuppressing
-	shifted   bool // a shift was observed at least once
+	lastThr   float64 // effective threshold of the latest non-idle round
+	calmLeft  int     // rounds of calm still required before unsuppressing
+	shifted   bool    // a shift was observed at least once
 	rounds    int64
 	lastShift int64 // round of the most recent shifting observation
 }
+
+// DefaultShiftNoiseMargin multiplies the expected sampling noise of the
+// share distribution to form the adaptive threshold floor: 1.5 sits far
+// enough above the mean same-mix distance to stay quiet on light
+// per-node traffic while real mix changes (total-variation 0.3+ between
+// TPC-W mixes) still clear it.
+const DefaultShiftNoiseMargin = 1.5
 
 // NewShiftGuard creates a guard. threshold is the total-variation distance
 // in [0,1] above which a round counts as shifting (default 0.15); hold is
 // the number of calm rounds required before alarms are re-enabled
 // (default 5); ewma is the reference adaptation rate in (0,1]
-// (default 0.2).
+// (default 0.2). The noise margin defaults to DefaultShiftNoiseMargin;
+// use NewShiftGuardMargin to tune it.
 func NewShiftGuard(threshold float64, hold int, ewma float64) *ShiftGuard {
+	return NewShiftGuardMargin(threshold, hold, ewma, 0)
+}
+
+// NewShiftGuardMargin is NewShiftGuard with an explicit noise margin
+// (out-of-range values select DefaultShiftNoiseMargin).
+func NewShiftGuardMargin(threshold float64, hold int, ewma, margin float64) *ShiftGuard {
 	if threshold <= 0 || threshold >= 1 {
 		threshold = 0.15
 	}
@@ -45,7 +72,10 @@ func NewShiftGuard(threshold float64, hold int, ewma float64) *ShiftGuard {
 	if ewma <= 0 || ewma > 1 {
 		ewma = 0.2
 	}
-	return &ShiftGuard{threshold: threshold, hold: hold, ewma: ewma}
+	if margin <= 0 {
+		margin = DefaultShiftNoiseMargin
+	}
+	return &ShiftGuard{threshold: threshold, hold: hold, ewma: ewma, margin: margin}
 }
 
 // Observe absorbs one round of per-component usage deltas and reports
@@ -74,7 +104,23 @@ func (g *ShiftGuard) Observe(usageDeltas map[string]float64) bool {
 		return false
 	}
 	g.lastDist = totalVariation(g.ref, shares)
-	if g.lastDist > g.threshold {
+	// The adaptive floor: the expected total-variation distance between a
+	// k-component multinomial sample of size n and its true distribution
+	// is about sqrt(k/(2πn)), so anything below margin× that is sampling
+	// noise, not a mix change.
+	k := len(shares)
+	for c, r := range g.ref {
+		if r > 0 {
+			if _, ok := shares[c]; !ok {
+				k++
+			}
+		}
+	}
+	g.lastThr = g.threshold
+	if floor := g.margin * math.Sqrt(float64(k)/(2*math.Pi*total)); floor > g.lastThr {
+		g.lastThr = floor
+	}
+	if g.lastDist > g.lastThr {
 		g.shifted = true
 		g.lastShift = g.rounds
 		g.calmLeft = g.hold
@@ -100,6 +146,10 @@ func (g *ShiftGuard) Suppressing() bool { return g.calmLeft > 0 }
 // Distance returns the most recent total-variation distance between the
 // observed mix and the reference.
 func (g *ShiftGuard) Distance() float64 { return g.lastDist }
+
+// Threshold returns the effective (noise-floored) threshold of the most
+// recent non-idle round, 0 before any.
+func (g *ShiftGuard) Threshold() float64 { return g.lastThr }
 
 // Shifted reports whether any workload shift has ever been observed.
 func (g *ShiftGuard) Shifted() bool { return g.shifted }

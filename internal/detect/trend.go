@@ -148,6 +148,26 @@ func (o *OnlineTrend) Result() metrics.TrendResult {
 		}
 		if o.dirty {
 			o.slope = o.senSlope()
+			if o.slope == 0 {
+				// Staircase fallback: a resource that grows in sparse
+				// jumps (a leak hit once per many sampling rounds — the
+				// signature of a lightly loaded cluster replica) yields a
+				// significant Mann-Kendall verdict whose *median*
+				// pairwise slope is still exactly zero, because most
+				// pairs lie on the same tread. The endpoint slope over
+				// the window is the average growth rate and is safe here
+				// precisely because the test already confirmed a
+				// significant monotone trend — but only when the total
+				// rise is material relative to the level, so the
+				// floating-point jitter of a genuinely constant series
+				// (~1e-16 relative) never masquerades as growth.
+				x0, y0 := o.at(0)
+				xn, yn := o.at(o.n - 1)
+				rise := yn - y0
+				if xn > x0 && math.Abs(rise) > 1e-9*math.Max(math.Abs(y0), math.Abs(yn)) {
+					o.slope = rise / (xn - x0)
+				}
+			}
 			o.dirty = false
 		}
 	}

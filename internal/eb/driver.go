@@ -90,15 +90,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Driver runs a population of emulated browsers against a container on the
+// Target is the surface the driver submits interactions to: a single
+// servlet container in the paper's one-node testbed, or a cluster
+// balancer fronting N containers. *servlet.Container satisfies it
+// directly.
+type Target interface {
+	// Submit enqueues one request; done runs when it completes.
+	Submit(req *servlet.Request, done servlet.Completion)
+	// Throughput reports the recent completion rate (requests/second),
+	// sampled into the WIPS series.
+	Throughput() float64
+}
+
+// Driver runs a population of emulated browsers against a target on the
 // discrete-event engine, following a phase schedule. The number of
 // concurrent EBs is exactly the phase population, as the TPC-W
 // specification requires.
 type Driver struct {
-	engine    *sim.Engine
-	container *servlet.Container
-	cfg       Config
-	matrix    Matrix
+	engine  *sim.Engine
+	backend Target
+	cfg     Config
+	matrix  Matrix
 
 	target   int
 	browsers []*Browser
@@ -109,20 +121,20 @@ type Driver struct {
 	wips      *metrics.Series
 }
 
-// NewDriver creates a driver over container.
-func NewDriver(engine *sim.Engine, container *servlet.Container, cfg Config) *Driver {
+// NewDriver creates a driver over a target (a container or a balancer).
+func NewDriver(engine *sim.Engine, target Target, cfg Config) *Driver {
 	cfg = cfg.withDefaults()
 	m := TransitionMatrix(cfg.Mix)
 	if err := m.Validate(); err != nil {
 		panic(err)
 	}
 	return &Driver{
-		engine:    engine,
-		container: container,
-		cfg:       cfg,
-		matrix:    m,
-		active:    make(map[int]bool),
-		wips:      metrics.NewSeries("wips"),
+		engine:  engine,
+		backend: target,
+		cfg:     cfg,
+		matrix:  m,
+		active:  make(map[int]bool),
+		wips:    metrics.NewSeries("wips"),
 	}
 }
 
@@ -185,7 +197,7 @@ func (d *Driver) RunMixed(phases []MixedPhase) time.Duration {
 		offset += ph.Duration
 	}
 	stopSampler := d.engine.Every(30*time.Second, func(now time.Time) {
-		d.wips.Append(now, d.container.Throughput())
+		d.wips.Append(now, d.backend.Throughput())
 	})
 	defer stopSampler()
 
@@ -234,7 +246,7 @@ func (d *Driver) step(b *Browser) {
 		return
 	}
 	req := b.NextRequest()
-	d.container.Submit(req, func(_ *servlet.Request, resp *servlet.Response) {
+	d.backend.Submit(req, func(_ *servlet.Request, resp *servlet.Response) {
 		d.completed.Inc()
 		if !resp.OK() {
 			d.failed.Inc()

@@ -1,0 +1,343 @@
+package experiment
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/eb"
+	"repro/internal/faultinject"
+	"repro/internal/jmx"
+	"repro/internal/jvmheap"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+	"repro/internal/tpcw"
+)
+
+// ClusterConfig sizes a simulated cluster: N full application-server
+// nodes (servlet container + TPC-W + monitoring framework) behind a
+// balancer, reporting to one aggregator.
+type ClusterConfig struct {
+	// Nodes is the initial cluster size (minimum 1).
+	Nodes int
+	// Spares is how many extra nodes to build but keep out of the
+	// cluster (no balancer membership, no sampling) so a scenario can
+	// Join them mid-run.
+	Spares int
+	// Seed drives every random stream.
+	Seed uint64
+	// Scale sizes each node's TPC-W database (identical replicas).
+	Scale tpcw.Scale
+	// HeapBytes sizes each node's simulated JVM heap.
+	HeapBytes int64
+	// SampleInterval is the per-node manager sampling period (default
+	// 30s), which is also the cluster epoch cadence.
+	SampleInterval time.Duration
+	// Mix is the EB workload mix.
+	Mix eb.Mix
+	// Detect tunes the aggregator's per-node detector banks.
+	Detect detect.Config
+	// Policy selects the balancer's assignment policy.
+	Policy cluster.Policy
+	// Quorum overrides the aggregator's cluster-wide quorum fraction.
+	Quorum float64
+	// WireTransport ships rounds as gob over net.Pipe connections
+	// instead of in-process calls, exercising the real serialisation
+	// path; verdicts must not depend on the choice.
+	WireTransport bool
+}
+
+// ClusterNode is one application-server node of a ClusterStack.
+type ClusterNode struct {
+	Name      string
+	Weaver    *aspect.Weaver
+	DB        *sqldb.DB
+	App       *tpcw.App
+	Heap      *jvmheap.Heap
+	Container *servlet.Container
+	Framework *core.Framework
+
+	transport    cluster.Transport
+	forwarder    *cluster.Forwarder
+	stopSampling func()
+	inCluster    bool
+}
+
+// ClusterStack is a fully assembled simulated cluster: the nodes, the
+// balancer fronting their containers, the aggregator merging their
+// sampling rounds, a cluster-plane MBeanServer carrying the aggregator
+// bean and its notifications, and an EB driver aimed at the balancer.
+type ClusterStack struct {
+	Engine     *sim.Engine
+	Nodes      []*ClusterNode
+	Balancer   *cluster.Balancer
+	Aggregator *cluster.Aggregator
+	Server     *jmx.Server // cluster management plane
+	Driver     *eb.Driver
+
+	sampleInterval time.Duration
+	stopPump       func()
+}
+
+// NewClusterStack builds and starts a cluster.
+func NewClusterStack(cfg ClusterConfig) (*ClusterStack, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("experiment: ClusterConfig.Nodes must be >= 1")
+	}
+	if cfg.HeapBytes <= 0 {
+		cfg.HeapBytes = jvmheap.DefaultCapacity
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 30 * time.Second
+	}
+	if cfg.Scale.Seed == 0 {
+		cfg.Scale.Seed = cfg.Seed + 1
+	}
+	engine := sim.NewEngine()
+	agg := cluster.New(cluster.Config{Detect: cfg.Detect, Quorum: cfg.Quorum})
+	clusterServer := jmx.NewServer(engine.Clock())
+	if err := clusterServer.Register(cluster.AggregatorName(), agg.Bean()); err != nil {
+		return nil, err
+	}
+	balancer := cluster.NewBalancer(cfg.Policy)
+
+	cs := &ClusterStack{
+		Engine:         engine,
+		Balancer:       balancer,
+		Aggregator:     agg,
+		Server:         clusterServer,
+		sampleInterval: cfg.SampleInterval,
+	}
+
+	total := cfg.Nodes + cfg.Spares
+	var initial []string
+	for i := 1; i <= total; i++ {
+		name := fmt.Sprintf("node%d", i)
+		node, err := cs.buildNode(name, cfg)
+		if err != nil {
+			cs.Close()
+			return nil, err
+		}
+		cs.Nodes = append(cs.Nodes, node)
+		if i <= cfg.Nodes {
+			initial = append(initial, name)
+		}
+	}
+	// Pre-register the initial membership so epoch alignment is a pure
+	// function of the rounds, independent of transport timing.
+	cs.Aggregator.Expect(initial...)
+	for _, node := range cs.Nodes[:cfg.Nodes] {
+		cs.activate(node)
+	}
+
+	// The notification pump turns queued aggregator transitions into
+	// cluster-plane JMX notifications once per sampling period.
+	cs.stopPump = engine.Every(cfg.SampleInterval, func(time.Time) {
+		for _, n := range cs.Aggregator.DrainNotifications() {
+			cs.Server.Emit(n)
+		}
+	})
+
+	cs.Driver = eb.NewDriver(engine, balancer, eb.Config{
+		Mix:       cfg.Mix,
+		Seed:      cfg.Seed,
+		Items:     cfg.Scale.Items,
+		Customers: cfg.Scale.Customers,
+	})
+	return cs, nil
+}
+
+// buildNode assembles one full application-server node with its own
+// weaver, database replica, heap, container and monitoring framework.
+func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode, error) {
+	engine := cs.Engine
+	weaver := aspect.NewWeaver(engine.Clock())
+	db := sqldb.NewDB()
+	app, err := tpcw.NewApp(db, weaver, engine.Clock(), cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	heap := jvmheap.New(cfg.HeapBytes, engine.Clock())
+	container := servlet.NewContainer(engine, weaver, db, heap, servlet.Config{})
+	if err := app.DeployAll(container); err != nil {
+		return nil, err
+	}
+	if err := container.Start(); err != nil {
+		return nil, err
+	}
+	f, err := core.New(core.Options{
+		Weaver:         weaver,
+		Clock:          engine.Clock(),
+		Heap:           heap,
+		SampleInterval: cfg.SampleInterval,
+		Node:           name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, comp := range tpcw.Interactions {
+		servletObj, _ := app.Servlet(comp)
+		if err := f.InstrumentComponent(comp, servletObj); err != nil {
+			return nil, err
+		}
+	}
+
+	var tr cluster.Transport
+	if cfg.WireTransport {
+		client, server := net.Pipe()
+		go func() { _ = cs.Aggregator.ServeConn(server) }()
+		tr = cluster.NewWire(client)
+	} else {
+		tr = cluster.NewInProc(cs.Aggregator)
+	}
+	node := &ClusterNode{
+		Name:      name,
+		Weaver:    weaver,
+		DB:        db,
+		App:       app,
+		Heap:      heap,
+		Container: container,
+		Framework: f,
+		transport: tr,
+		forwarder: cluster.Attach(f, tr),
+	}
+	return node, nil
+}
+
+// activate puts a node into service: balancer membership plus periodic
+// sampling (whose rounds flow to the aggregator via the forwarder).
+func (cs *ClusterStack) activate(node *ClusterNode) {
+	if node.inCluster {
+		return
+	}
+	node.inCluster = true
+	cs.Balancer.AddNode(node.Name, node.Container, 1)
+	node.stopSampling = node.Framework.StartSampling(cs.Engine)
+}
+
+// Node returns a node by name (nil when unknown).
+func (cs *ClusterStack) Node(name string) *ClusterNode {
+	for _, n := range cs.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Join puts a spare node into service mid-run: it starts receiving new
+// sessions from the balancer and reporting sampling rounds, and the
+// aggregator folds it in with the churn hold-down.
+func (cs *ClusterStack) Join(name string) error {
+	node := cs.Node(name)
+	if node == nil {
+		return fmt.Errorf("experiment: no node %q", name)
+	}
+	cs.activate(node)
+	return nil
+}
+
+// Leave takes a node out of service mid-run: the balancer unpins its
+// sessions, sampling stops, and the aggregator marks it inactive.
+func (cs *ClusterStack) Leave(name string) error {
+	node := cs.Node(name)
+	if node == nil {
+		return fmt.Errorf("experiment: no node %q", name)
+	}
+	if !node.inCluster {
+		return fmt.Errorf("experiment: node %q is not in the cluster", name)
+	}
+	node.inCluster = false
+	cs.Balancer.RemoveNode(name)
+	if node.stopSampling != nil {
+		node.stopSampling()
+		node.stopSampling = nil
+	}
+	// Drain rounds already in flight on a wire transport before marking
+	// the node gone, so a frame decoded after Leave cannot rejoin it.
+	if err := cs.Sync(); err != nil {
+		return err
+	}
+	cs.Aggregator.Leave(name)
+	return nil
+}
+
+// InjectLeak arms the paper's memory-leak error in one component on one
+// node — the "sick replica" topology a single-process deployment cannot
+// express.
+func (cs *ClusterStack) InjectLeak(nodeName, component string, size, n int, seed uint64) (*faultinject.MemoryLeak, error) {
+	node := cs.Node(nodeName)
+	if node == nil {
+		return nil, fmt.Errorf("experiment: no node %q", nodeName)
+	}
+	target, ok := node.App.Servlet(component)
+	if !ok {
+		return nil, fmt.Errorf("experiment: no servlet %q on %s", component, nodeName)
+	}
+	retainer, ok := target.(faultinject.Retainer)
+	if !ok {
+		return nil, fmt.Errorf("experiment: servlet %q is not injectable", component)
+	}
+	leak := &faultinject.MemoryLeak{
+		Component: component,
+		Target:    retainer,
+		Size:      size,
+		N:         n,
+		Heap:      node.Heap,
+		Seed:      seed,
+	}
+	if err := node.Weaver.Register(leak.Aspect()); err != nil {
+		return nil, err
+	}
+	return leak, nil
+}
+
+// Sync blocks until every published round has been ingested — a no-op
+// for the in-process transport, and the wire transports' drain barrier
+// (gob decoding happens on reader goroutines, so the engine can finish a
+// schedule a few rounds before the aggregator does).
+func (cs *ClusterStack) Sync() error {
+	var want int64
+	for _, n := range cs.Nodes {
+		if n.forwarder != nil {
+			want += n.forwarder.Rounds() - n.forwarder.Errors()
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cs.Aggregator.TotalRounds() < want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiment: aggregator ingested %d of %d rounds",
+				cs.Aggregator.TotalRounds(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Flush any notifications the final rounds queued.
+	for _, n := range cs.Aggregator.DrainNotifications() {
+		cs.Server.Emit(n)
+	}
+	return nil
+}
+
+// Close stops sampling, the notification pump, the transports and the
+// containers.
+func (cs *ClusterStack) Close() {
+	if cs.stopPump != nil {
+		cs.stopPump()
+	}
+	for _, n := range cs.Nodes {
+		if n.stopSampling != nil {
+			n.stopSampling()
+		}
+		if n.transport != nil {
+			_ = n.transport.Close()
+		}
+		if n.Container != nil {
+			n.Container.Stop()
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eb"
+)
+
+func TestS5SingleNodeLeakNamesNodeAndComponent(t *testing.T) {
+	res := S5SingleNodeLeak(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("single-node-leak scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "node2/"+ComponentA) {
+		t.Fatalf("verdict does not name (node2, %s): %s", ComponentA, res.Observed)
+	}
+}
+
+func TestS6UniformLeakIsClusterWide(t *testing.T) {
+	res := S6UniformLeak(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("uniform-leak scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "cluster-wide=true") {
+		t.Fatalf("verdict not promoted to cluster-wide: %s", res.Observed)
+	}
+}
+
+func TestS7NodeChurnRaisesNoAlarm(t *testing.T) {
+	res := S7NodeChurn(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("node-churn scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "0 alarms") {
+		t.Fatalf("expected zero alarms: %s", res.Observed)
+	}
+}
+
+func TestS8SkewedBalancerRaisesNoAlarm(t *testing.T) {
+	res := S8SkewedBalancer(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("skewed-balancer scenario failed:\n%s", res)
+	}
+}
+
+// TestClusterScenariosFullScale runs S5-S8 at the paper's full one-hour
+// TimeScale — the acceptance contract requires both scales to hold.
+// Skipped under -short; the four runs cost a few seconds of wall time.
+func TestClusterScenariosFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale cluster scenarios skipped with -short")
+	}
+	cfg := scenarioCfg
+	cfg.TimeScale = 1.0
+	for _, run := range []func(Config) Result{
+		S5SingleNodeLeak, S6UniformLeak, S7NodeChurn, S8SkewedBalancer,
+	} {
+		if res := run(cfg); !res.Pass {
+			t.Fatalf("full-scale scenario failed:\n%s", res)
+		}
+	}
+}
+
+// TestClusterTransportParity is the transport-independence contract: the
+// same three-node leak scenario over the in-process transport and over
+// gob-on-net-pipes must produce identical cluster and per-node verdicts.
+func TestClusterTransportParity(t *testing.T) {
+	type outcome struct {
+		clusterReports map[string]cluster.ClusterReport
+		nodeVerdicts   map[string]any
+	}
+	run := func(wire bool) outcome {
+		cs, _, err := clusterScenarioStack(scenarioCfg, 3, 0, cluster.RoundRobin, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cs.Close()
+		if _, err := cs.InjectLeak("node2", ComponentA, 100*KB, 100, scenarioCfg.Seed); err != nil {
+			t.Fatal(err)
+		}
+		cs.Driver.Run([]eb.Phase{{Duration: scaleDuration(time.Hour, scenarioCfg.TimeScale), EBs: scenarioCfg.EBs}})
+		if err := cs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		out := outcome{
+			clusterReports: make(map[string]cluster.ClusterReport),
+			nodeVerdicts:   make(map[string]any),
+		}
+		for _, res := range core.DetectorResources {
+			if rep := cs.Aggregator.Report(res); rep != nil {
+				c := *rep
+				c.Time = time.Time{} // merged-timeline stamps may differ by clamp millis
+				out.clusterReports[res] = c
+			}
+			for _, n := range []string{"node1", "node2", "node3"} {
+				if nr := cs.Aggregator.NodeReport(n, res); nr != nil {
+					out.nodeVerdicts[n+"/"+res] = nr.Components
+				}
+			}
+		}
+		return out
+	}
+
+	inproc := run(false)
+	wired := run(true)
+	if !reflect.DeepEqual(inproc.clusterReports, wired.clusterReports) {
+		t.Fatalf("cluster reports differ between transports:\ninproc: %+v\nwire:   %+v",
+			inproc.clusterReports, wired.clusterReports)
+	}
+	if !reflect.DeepEqual(inproc.nodeVerdicts, wired.nodeVerdicts) {
+		t.Fatalf("per-node verdicts differ between transports")
+	}
+	// And the scenario's point holds on both: the sick pair is named.
+	memRep := inproc.clusterReports[core.ResourceMemory]
+	top, ok := (&memRep).Top()
+	if !ok || top.Pair() != "node2/"+ComponentA {
+		t.Fatalf("parity run lost the verdict: %+v", top)
+	}
+}

@@ -468,5 +468,9 @@ func All(cfg Config) []Result {
 		S2OnlineLeakDetection(cfg),
 		S3DiurnalCycle(cfg),
 		S4BurstWithLeak(cfg),
+		S5SingleNodeLeak(cfg),
+		S6UniformLeak(cfg),
+		S7NodeChurn(cfg),
+		S8SkewedBalancer(cfg),
 	}
 }

@@ -6,6 +6,10 @@ package rootcause
 type LiveVerdict struct {
 	// Component is the component name.
 	Component string
+	// Node is the cluster node the verdict was produced for ("" when
+	// standalone). A cluster aggregator publishes one verdict per
+	// (node, component) pair.
+	Node string
 	// Alarm is true while the detector flags the component as aging.
 	Alarm bool
 	// Score orders alarming components (a Sen slope in the detect
@@ -37,10 +41,14 @@ func (Live) Name() string { return "live" }
 // same Fig. 2 geometry as the offline strategies.
 func (s Live) Rank(resource string, data []ComponentData) Ranking {
 	out := Ranking{Resource: resource, Strategy: s.Name()}
-	verdicts := map[string]LiveVerdict{}
+	// Verdicts are keyed by (node, component) so a cluster-level source
+	// can distinguish the same component on different nodes; standalone
+	// sources leave Node empty on both sides and match as before.
+	type key struct{ node, component string }
+	verdicts := map[key]LiveVerdict{}
 	if s.Source != nil {
 		for _, v := range s.Source(resource) {
-			verdicts[v.Component] = v
+			verdicts[key{v.Node, v.Component}] = v
 		}
 	}
 	var maxC float64
@@ -54,14 +62,14 @@ func (s Live) Rank(resource string, data []ComponentData) Ranking {
 		}
 	}
 	for _, d := range data {
-		e := Ranked{Name: d.Name}
+		e := Ranked{Name: d.Name, Node: d.Node}
 		if maxC > 0 {
 			e.NormConsumption = d.Consumption / maxC
 		}
 		if maxU > 0 {
 			e.NormUsage = float64(d.Usage) / float64(maxU)
 		}
-		if v, ok := verdicts[d.Name]; ok {
+		if v, ok := verdicts[key{d.Node, d.Name}]; ok {
 			e.Alarm = v.Alarm
 			e.Score = v.Score
 		}

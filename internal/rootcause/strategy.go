@@ -23,6 +23,10 @@ import (
 type ComponentData struct {
 	// Name is the component name.
 	Name string
+	// Node names the cluster node the evidence was collected on ("" in a
+	// standalone deployment). Cluster-level rankings carry one entry per
+	// (node, component) pair.
+	Node string
 	// Consumption is the accumulated resource consumption attributable
 	// to the component (bytes for memory, seconds for CPU, count for
 	// threads), net of its baseline.
@@ -62,7 +66,11 @@ func (z Zone) String() string {
 
 // Ranked is one component's position in a ranking.
 type Ranked struct {
-	Name  string
+	Name string
+	// Node is the cluster node the entry belongs to ("" when standalone);
+	// with it a ranking names (node, component) pairs, so a cluster-level
+	// strategy can say "component X on node 2".
+	Node  string
 	Score float64
 	Zone  Zone
 	// NormConsumption and NormUsage are the map coordinates in [0,1].
@@ -105,8 +113,12 @@ func (r Ranking) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ranking[%s/%s]\n", r.Strategy, r.Resource)
 	for i, e := range r.Entries {
+		label := e.Name
+		if e.Node != "" {
+			label = e.Node + "/" + e.Name
+		}
 		fmt.Fprintf(&b, "%2d. %-28s score=%8.4f zone=%-16s consumption=%.2f usage=%.2f\n",
-			i+1, e.Name, e.Score, e.Zone, e.NormConsumption, e.NormUsage)
+			i+1, label, e.Score, e.Zone, e.NormConsumption, e.NormUsage)
 	}
 	return b.String()
 }
