@@ -7,7 +7,7 @@
 //
 //	tpcwsim [-addr :9990] [-duration 1h] [-ebs 50] [-leak tpcw.home]
 //	        [-leaksize 102400] [-leakn 100] [-scenario steady] [-hold]
-//	        [-nodes 1] [-leaknode node2]
+//	        [-nodes 1] [-leaknode node2] [-transport inproc]
 //
 // The -scenario flag picks the workload shape the detectors are exposed
 // to: steady (one flat phase), shift (the mix walks browsing → shopping →
@@ -28,6 +28,10 @@
 //	agingmon nodes
 //	agingmon cluster memory
 //	agingmon cluster-watch memory
+//
+// -transport picks how rounds travel from the nodes to the aggregator:
+// inproc (direct calls), gob, or binary (the delta-encoded wire codec) —
+// verdicts are transport-independent by construction.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eb"
 	"repro/internal/experiment"
@@ -61,6 +66,7 @@ func main() {
 		hold     = flag.Bool("hold", false, "keep serving the management plane after the run ends")
 		nodes    = flag.Int("nodes", 1, "cluster size (1 = the paper's single-node testbed)")
 		leakNode = flag.String("leaknode", "node2", "node to arm the leak on in cluster mode")
+		trans    = flag.String("transport", "inproc", "cluster round transport: inproc, gob or binary")
 	)
 	flag.Parse()
 
@@ -70,7 +76,7 @@ func main() {
 			// detector banks; a cluster without them has no output.
 			log.Printf("-detect=false has no effect with -nodes > 1: the aggregator always runs per-node detectors")
 		}
-		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold)
+		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold, *trans)
 		return
 	}
 
@@ -125,12 +131,23 @@ func main() {
 
 // runCluster is the -nodes N mode: a full cluster behind a balancer with
 // the aggregator's bean on the management plane.
-func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool) {
-	cs, err := experiment.NewClusterStack(experiment.ClusterConfig{
+func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool, transport string) {
+	cfg := experiment.ClusterConfig{
 		Nodes: nodes,
 		Seed:  seed,
 		Mix:   eb.Shopping,
-	})
+	}
+	switch transport {
+	case "inproc", "":
+	case "gob":
+		cfg.WireTransport = true
+	case "binary":
+		cfg.WireTransport = true
+		cfg.WireCodec = cluster.CodecBinary
+	default:
+		log.Fatalf("unknown -transport %q (want inproc, gob or binary)", transport)
+	}
+	cs, err := experiment.NewClusterStack(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -73,16 +73,25 @@ type nodeState struct {
 	lastNorm   time.Time
 
 	monitors map[string]*detect.Monitor
-	// reportsAtSeq snapshots each round's per-resource reports until the
-	// epoch that consumes them completes, so verdict assembly reads every
-	// node at the same epoch no matter how transports interleave.
-	reportsAtSeq map[int64]map[string]*detect.Report
+	// reportsAtSeq snapshots each round's per-resource reports (indexed
+	// in the aggregator's resource order) until the epoch that consumes
+	// them completes, so verdict assembly reads every node at the same
+	// epoch no matter how transports interleave. The monitors' report
+	// retention is sized to cover the longest an epoch can lag
+	// (StaleEpochs), so the snapshots stay valid without cloning; the
+	// slices themselves recycle through repsFree.
+	reportsAtSeq map[int64][]*detect.Report
+	repsFree     [][]*detect.Report
 	// usageAtSeq records the round's total cumulative usage, the input
 	// to the cluster-level node-mix guard.
 	usageAtSeq map[int64]float64
 	prevUsage  float64 // usage total at the last completed epoch
 
+	// lastSamples is the node's reusable copy of its latest round;
+	// obsScratch is the per-round observation projection buffer. Both
+	// are owned by a.mu.
 	lastSamples []core.ComponentSample
+	obsScratch  []detect.Observation
 	firstSize   map[string]int64 // per-component size baseline
 	// firstAlarmEpoch latches, per resource and component, the cluster
 	// epoch at which the node's verdict first alarmed — recorded at fold
@@ -221,12 +230,37 @@ type Aggregator struct {
 
 	reports map[string]*ClusterReport
 
+	// samplePool recycles the owned per-round sample copies that cycle
+	// through the merged log: Ingest borrows a buffer for the round's
+	// copy, the log eviction reclaims it. Owned by a.mu.
+	samplePool [][]core.ComponentSample
+
 	// alarm bookkeeping for notification transitions: resource ->
 	// component -> latched scope. Latched by component, not by the
 	// alarming node set — the set of flagged nodes may churn while the
 	// component keeps aging, and that must not read as clear/raise.
 	alarmed map[string]map[string]*latchedAlarm
 	pending []jmx.Notification
+}
+
+// borrowSamples takes a pooled sample buffer of length n (caller holds
+// a.mu).
+func (a *Aggregator) borrowSamples(n int) []core.ComponentSample {
+	if k := len(a.samplePool); k > 0 {
+		buf := a.samplePool[k-1]
+		a.samplePool = a.samplePool[:k-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]core.ComponentSample, n)
+}
+
+// reclaimSamples returns a sample buffer to the pool (caller holds a.mu).
+func (a *Aggregator) reclaimSamples(buf []core.ComponentSample) {
+	if cap(buf) > 0 {
+		a.samplePool = append(a.samplePool, buf[:0])
+	}
 }
 
 // latchedAlarm is the notification latch for one alarming component.
@@ -255,13 +289,23 @@ func (a *Aggregator) newNodeState(name string) *nodeState {
 	st := &nodeState{
 		name:            name,
 		monitors:        make(map[string]*detect.Monitor, len(a.resources)),
-		reportsAtSeq:    make(map[int64]map[string]*detect.Report),
+		reportsAtSeq:    make(map[int64][]*detect.Report),
 		usageAtSeq:      make(map[int64]float64),
 		firstSize:       make(map[string]int64),
 		firstAlarmEpoch: make(map[string]map[string]int64),
 	}
 	for _, res := range a.resources {
-		st.monitors[res] = detect.NewMonitor(res, a.configs[res])
+		cfg := a.configs[res]
+		// The epoch fold reads reports snapshotted up to StaleEpochs
+		// rounds ago; size the monitors' recycled report rings so those
+		// snapshots are still within their retention window at fold time.
+		if cfg.ReportRetention <= 0 {
+			cfg.ReportRetention = detect.DefaultReportRetention
+		}
+		if min := a.cfg.StaleEpochs + 3; cfg.ReportRetention < min {
+			cfg.ReportRetention = min
+		}
+		st.monitors[res] = detect.NewMonitor(res, cfg)
 	}
 	a.nodes[name] = st
 	a.order = append(a.order, name)
@@ -346,10 +390,19 @@ func (a *Aggregator) Ingest(r Round) {
 	a.lastMerged = merged
 
 	// Feed the node's detectors and snapshot the reports for the epoch
-	// that will consume this round.
-	reps := make(map[string]*detect.Report, len(a.resources))
+	// that will consume this round. The report-slice snapshots and the
+	// observation projection recycle through node/aggregator-owned
+	// buffers; the monitors themselves are allocation-free per round.
+	var reps []*detect.Report
+	if k := len(st.repsFree); k > 0 {
+		reps = st.repsFree[k-1][:0]
+		st.repsFree = st.repsFree[:k-1]
+	} else {
+		reps = make([]*detect.Report, 0, len(a.resources))
+	}
 	for _, res := range a.resources {
-		reps[res] = st.monitors[res].Observe(norm, core.ObservationsFor(res, r.Samples))
+		st.obsScratch = core.AppendObservations(st.obsScratch[:0], res, r.Samples)
+		reps = append(reps, st.monitors[res].Observe(norm, st.obsScratch))
 	}
 	st.reportsAtSeq[r.Seq] = reps
 
@@ -363,13 +416,22 @@ func (a *Aggregator) Ingest(r Round) {
 		}
 	}
 	st.usageAtSeq[r.Seq] = usageTotal
-	st.lastSamples = append([]core.ComponentSample(nil), r.Samples...)
 
+	// The round's samples are borrowed (a collector round buffer or a
+	// wire decoder's reuse buffer): copy once into a pooled buffer for
+	// the merged log, and once into the node's reusable last-round
+	// snapshot. The pooled copy is reclaimed when the log evicts it.
+	st.lastSamples = append(st.lastSamples[:0], r.Samples...)
 	logged := r
 	logged.Time = merged
+	logged.Samples = a.borrowSamples(len(r.Samples))
+	copy(logged.Samples, r.Samples)
 	a.mergedLog = append(a.mergedLog, logged)
-	if len(a.mergedLog) > a.cfg.MergedLogCap {
-		a.mergedLog = a.mergedLog[len(a.mergedLog)-a.cfg.MergedLogCap:]
+	if n := len(a.mergedLog) - a.cfg.MergedLogCap; n > 0 {
+		for _, old := range a.mergedLog[:n] {
+			a.reclaimSamples(old.Samples)
+		}
+		a.mergedLog = a.mergedLog[n:]
 	}
 	a.total++
 
@@ -462,7 +524,7 @@ func (a *Aggregator) foldEpoch(k int64) {
 		}
 	}
 
-	for _, res := range a.resources {
+	for ri, res := range a.resources {
 		rep := &ClusterReport{
 			Resource:      res,
 			Epoch:         k,
@@ -488,7 +550,11 @@ func (a *Aggregator) foldEpoch(k int64) {
 				continue
 			}
 			seq := k - st.epochBase
-			nodeRep := st.reportsAtSeq[seq][res]
+			reps := st.reportsAtSeq[seq]
+			if ri >= len(reps) {
+				continue
+			}
+			nodeRep := reps[ri]
 			if nodeRep == nil {
 				continue
 			}
@@ -550,12 +616,14 @@ func (a *Aggregator) foldEpoch(k int64) {
 	}
 
 	// Release the per-seq snapshots this epoch consumed (≤ guards against
-	// stale keys surviving an epoch-base change across a rejoin).
+	// stale keys surviving an epoch-base change across a rejoin). The
+	// report slices go back on the node's freelist.
 	for _, name := range a.order {
 		st := a.nodes[name]
 		seq := k - st.epochBase
-		for s := range st.reportsAtSeq {
+		for s, reps := range st.reportsAtSeq {
 			if s <= seq {
+				st.repsFree = append(st.repsFree, reps[:0])
 				delete(st.reportsAtSeq, s)
 			}
 		}
@@ -712,11 +780,17 @@ func (a *Aggregator) NodeReport(node, resource string) *detect.Report {
 
 // MergedRounds returns a copy of the retained merged-round log, whose
 // times are normalised onto the aggregator's timeline and are guaranteed
-// non-decreasing regardless of node clock skew.
+// non-decreasing regardless of node clock skew. The samples are deep
+// copies: the log's own buffers recycle as the log rolls, and a caller's
+// snapshot must not roll with them.
 func (a *Aggregator) MergedRounds() []Round {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return append([]Round(nil), a.mergedLog...)
+	out := append([]Round(nil), a.mergedLog...)
+	for i := range out {
+		out[i].Samples = append([]core.ComponentSample(nil), out[i].Samples...)
+	}
+	return out
 }
 
 // Verdicts adapts the latest per-node reports to the live root-cause

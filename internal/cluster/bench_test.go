@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// The monitoring-plane wire benchmarks: what one steady-state sampling
+// round costs to ship (encode+write), to decode, and to fold into the
+// aggregator. Every benchmark pre-warms past the cold start (name
+// interning, window fill) so the numbers are the forever-after cost the
+// cluster pays at sampling cadence. BENCH_baseline.json records the
+// before/after history.
+
+// discardConn is a net.Conn that swallows writes — the transports' write
+// path without kernel noise.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// roundGen yields successive steady-state rounds of a fixed
+// 14-component node, mutating one Round in place so generating the next
+// round costs no allocation inside a timed loop. Consumers must respect
+// the borrow contract (every Transport and Ingest does).
+type roundGen struct {
+	r Round
+}
+
+func newRoundGen(node string) *roundGen {
+	g := &roundGen{r: manyRounds(node, 1, 14)[0]}
+	g.r.Seq = 0
+	return g
+}
+
+// at mutates the generator's round to sequence seq and returns it.
+func (g *roundGen) at(seq int64) Round {
+	g.r.Seq = seq
+	g.r.Time = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(seq) * 30 * time.Second)
+	for i := range g.r.Samples {
+		g.r.Samples[i].Size = int64(10000*(i+1)) + 512*seq
+		g.r.Samples[i].Usage = seq * int64(100+i)
+		g.r.Samples[i].CPUSeconds = float64(seq) * 0.01 * float64(i+1)
+		g.r.Samples[i].Delta = 64 * seq
+	}
+	return g.r
+}
+
+// next advances and returns the following round.
+func (g *roundGen) next() Round { return g.at(g.r.Seq + 1) }
+
+// BenchmarkWirePublish measures shipping one steady-state round through
+// each wire transport (encode + write to a discarded connection), and
+// reports the steady-state frame size as bytes/round.
+func BenchmarkWirePublish(b *testing.B) {
+	for _, codec := range []string{"gob", "binary"} {
+		b.Run(codec, func(b *testing.B) {
+			var tr Transport
+			var measure func() int64
+			switch codec {
+			case "gob":
+				var counter countingConn
+				tr = NewWire(&counter)
+				measure = func() int64 { return counter.n }
+			case "binary":
+				var counter countingConn
+				tr = NewBinaryWire(&counter)
+				measure = func() int64 { return counter.n }
+			}
+			gen := newRoundGen("node1")
+			publish := func() {
+				if err := tr.Publish(gen.next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for gen.r.Seq < 32 { // warm: names interned, gob types sent
+				publish()
+			}
+			start := measure()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				publish()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(measure()-start)/float64(b.N), "wire-bytes/round")
+		})
+	}
+}
+
+// countingConn counts written bytes and discards them.
+type countingConn struct {
+	discardConn
+	n int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkWireDecode measures decoding one steady-state round with each
+// codec, from a pre-encoded stream (the serving loop's work per round,
+// minus the socket).
+func BenchmarkWireDecode(b *testing.B) {
+	const chunk = 512
+	b.Run("gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		gen := newRoundGen("node1")
+		for seq := int64(1); seq <= chunk; seq++ {
+			if err := enc.Encode(gen.next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stream := buf.Bytes()
+		var dec *gob.Decoder
+		var rd *bytes.Reader
+		reset := func() {
+			rd = bytes.NewReader(stream)
+			dec = gob.NewDecoder(rd)
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%chunk == 0 {
+				reset()
+			}
+			var r Round
+			if err := dec.Decode(&r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		enc := NewBinaryEncoder()
+		gen := newRoundGen("node1")
+		var stream []byte
+		for seq := int64(1); seq <= chunk; seq++ {
+			stream = enc.AppendRound(stream, gen.next())
+		}
+		var dec *BinaryDecoder
+		var pos int
+		reset := func() {
+			dec = NewBinaryDecoder()
+			pos = 4 // past the stream header
+		}
+		reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%chunk == 0 {
+				reset()
+			}
+			n, w := binary.Uvarint(stream[pos:])
+			if w <= 0 {
+				b.Fatal("bad frame")
+			}
+			if _, err := dec.DecodeFrame(stream[pos+w : pos+w+int(n)]); err != nil {
+				b.Fatal(err)
+			}
+			pos += w + int(n)
+		}
+	})
+}
+
+// BenchmarkAggregatorIngest measures folding one node round into the
+// aggregator: per-node detector banks, epoch fold, merged log — the
+// aggregator-side cost of one round at steady state.
+func BenchmarkAggregatorIngest(b *testing.B) {
+	for _, nodes := range []int{1, 3} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			a := New(Config{Detect: testDetect()})
+			names := make([]string, nodes)
+			for i := range names {
+				names[i] = fmt.Sprintf("node%d", i+1)
+			}
+			a.Expect(names...)
+			gens := make([]*roundGen, nodes)
+			for i, n := range names {
+				gens[i] = newRoundGen(n)
+			}
+			seq := int64(0)
+			round := func() {
+				seq++
+				for _, g := range gens {
+					a.Ingest(g.at(seq))
+				}
+			}
+			for seq < 64 { // past window fill and first epochs
+				round()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+			b.StopTimer()
+			if a.Epoch() < int64(64+b.N-4) {
+				b.Fatalf("epochs did not keep up: %d", a.Epoch())
+			}
+		})
+	}
+}
+
+// BenchmarkForwarderObserve measures the node-side cost of shipping a
+// sampling round: the forwarder wrapping the collector's borrowed batch
+// and the transport consuming it. The in-proc case includes the full
+// aggregator ingest; the wire cases are pure encode+write.
+func BenchmarkForwarderObserve(b *testing.B) {
+	cases := []struct {
+		name string
+		tr   func() Transport
+	}{
+		{"inproc", func() Transport {
+			a := New(Config{Detect: testDetect()})
+			a.Expect("node1")
+			return NewInProc(a)
+		}},
+		{"wire-gob", func() Transport { return NewWire(discardConn{}) }},
+		{"wire-binary", func() Transport { return NewBinaryWire(&countingConn{}) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			fw := NewForwarder("node1", tc.tr())
+			gen := newRoundGen("node1")
+			now := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+			observe := func() {
+				r := gen.at(fw.Rounds() + 1)
+				now = now.Add(30 * time.Second)
+				fw.ObserveSample(now, r.Samples)
+			}
+			for fw.Rounds() < 48 {
+				observe()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				observe()
+			}
+			if fw.Errors() > 0 {
+				b.Fatalf("%d publish errors", fw.Errors())
+			}
+		})
+	}
+}

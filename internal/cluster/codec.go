@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file implements the hand-rolled binary wire codec for sampling
+// rounds — the high-density alternative to the gob transport. The format
+// is specified in docs/architecture.md ("Binary wire format"); the golden
+// test in codec_test.go pins the bytes so the format cannot drift
+// silently between versions, and FuzzBinaryCodec exercises the round-trip
+// over arbitrary rounds.
+//
+// Design, in one paragraph: a stream starts with a 4-byte magic+version;
+// each round is one length-prefixed frame. Strings (node and component
+// names) are interned per stream — sent once, then referenced by dense
+// id — and every numeric field is delta-encoded against the previous
+// round of the same node: sequence numbers advance by one, sampling
+// instants by the sampling interval, and cumulative consumption counters
+// by their round delta, so the zigzag varints that carry them are one or
+// two bytes instead of eight. CPU seconds (a float64) are XOR-compressed
+// against the previous round's bits, Gorilla-style. A steady-state round
+// of N samples costs roughly 6 + 8·N bytes on the wire, several-fold
+// smaller than the equivalent gob frame — and both encoder and decoder
+// reuse their buffers, so neither end allocates at steady state.
+//
+// The codec deliberately carries less generality than gob: sampling
+// instants must be within the int64-nanosecond Unix range (years
+// 1678–2262; monitoring timestamps always are), and decoded times carry
+// the UTC location. Verdicts are unaffected — the aggregator consumes
+// instants, not locations — and TestClusterTransportParity holds the gob
+// and binary transports to byte-identical verdicts.
+
+// wireMagic opens every binary round stream: three identifying bytes and
+// one format version byte. Bump the version on any incompatible change;
+// the decoder refuses streams it does not speak so cross-version nodes
+// fail loudly at connect time, not subtly at fold time.
+var wireMagic = [4]byte{'A', 'G', 'M', 1}
+
+// prevSample is the per-component delta-encoding state: the previous
+// round's values for one component on one node.
+type prevSample struct {
+	size    int64
+	usage   int64
+	threads int64
+	delta   int64
+	cpuBits uint64
+}
+
+// nodeCodecState is one node's delta-encoding state on a stream. One
+// connection may multiplex several nodes' forwarders, so the state is
+// keyed by interned node id on both ends.
+type nodeCodecState struct {
+	prevSeq  int64
+	prevTime int64
+	prev     map[uint32]*prevSample // interned component id -> last values
+}
+
+func newNodeCodecState() *nodeCodecState {
+	return &nodeCodecState{prev: make(map[uint32]*prevSample)}
+}
+
+// sample flag bits.
+const (
+	flagSizeOK = 1 << 0
+)
+
+// BinaryEncoder encodes rounds into the binary wire format. It owns the
+// stream-level interning and delta state, so one encoder serves exactly
+// one stream; the returned frame buffer is reused by the next call. Not
+// safe for concurrent use (the BinaryWire transport serialises on its
+// publish mutex).
+type BinaryEncoder struct {
+	started bool
+	names   map[string]uint32
+	nodes   map[uint32]*nodeCodecState
+	buf     []byte
+}
+
+// NewBinaryEncoder creates an encoder for one fresh stream.
+func NewBinaryEncoder() *BinaryEncoder {
+	return &BinaryEncoder{
+		names: make(map[string]uint32),
+		nodes: make(map[uint32]*nodeCodecState),
+	}
+}
+
+// appendUvarint/appendZigzag are the primitive writers.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// appendString writes a string reference: uvarint(id+1) for an interned
+// name, or 0 followed by the raw bytes for a first sighting (which
+// implicitly assigns the next dense id on both ends).
+func (e *BinaryEncoder) appendString(dst []byte, s string) ([]byte, uint32) {
+	if id, ok := e.names[s]; ok {
+		return appendUvarint(dst, uint64(id)+1), id
+	}
+	id := uint32(len(e.names))
+	e.names[s] = id
+	dst = appendUvarint(dst, 0)
+	dst = appendUvarint(dst, uint64(len(s)))
+	dst = append(dst, s...)
+	return dst, id
+}
+
+// AppendRound appends one encoded frame (preceded by the stream header on
+// the first call) to dst and returns the extended slice.
+func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
+	if !e.started {
+		dst = append(dst, wireMagic[:]...)
+		e.started = true
+	}
+	// Build the payload in the encoder's scratch so the length prefix can
+	// be written first.
+	p := e.buf[:0]
+	var nodeID uint32
+	p, nodeID = e.appendString(p, r.Node)
+	st := e.nodes[nodeID]
+	if st == nil {
+		st = newNodeCodecState()
+		e.nodes[nodeID] = st
+	}
+	p = appendZigzag(p, r.Seq-st.prevSeq)
+	st.prevSeq = r.Seq
+	nanos := r.Time.UnixNano()
+	p = appendZigzag(p, nanos-st.prevTime)
+	st.prevTime = nanos
+	p = appendUvarint(p, uint64(len(r.Samples)))
+	for _, s := range r.Samples {
+		var compID uint32
+		p, compID = e.appendString(p, s.Component)
+		prev := st.prev[compID]
+		if prev == nil {
+			prev = &prevSample{}
+			st.prev[compID] = prev
+		}
+		var flags byte
+		if s.SizeOK {
+			flags |= flagSizeOK
+		}
+		p = append(p, flags)
+		p = appendZigzag(p, s.Size-prev.size)
+		p = appendZigzag(p, s.Usage-prev.usage)
+		p = appendZigzag(p, s.Threads-prev.threads)
+		p = appendZigzag(p, s.Delta-prev.delta)
+		cpuBits := math.Float64bits(s.CPUSeconds)
+		p = appendUvarint(p, cpuBits^prev.cpuBits)
+		prev.size, prev.usage, prev.threads, prev.delta, prev.cpuBits =
+			s.Size, s.Usage, s.Threads, s.Delta, cpuBits
+	}
+	e.buf = p
+	dst = appendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// byteParser is a bounds-checked cursor over one frame payload.
+type byteParser struct {
+	b []byte
+	i int
+}
+
+func (p *byteParser) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.i:])
+	if n <= 0 {
+		return 0, fmt.Errorf("cluster: truncated uvarint at offset %d", p.i)
+	}
+	p.i += n
+	return v, nil
+}
+
+func (p *byteParser) zigzag() (int64, error) {
+	v, n := binary.Varint(p.b[p.i:])
+	if n <= 0 {
+		return 0, fmt.Errorf("cluster: truncated varint at offset %d", p.i)
+	}
+	p.i += n
+	return v, nil
+}
+
+func (p *byteParser) byte() (byte, error) {
+	if p.i >= len(p.b) {
+		return 0, fmt.Errorf("cluster: truncated frame at offset %d", p.i)
+	}
+	b := p.b[p.i]
+	p.i++
+	return b, nil
+}
+
+func (p *byteParser) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(p.b)-p.i) {
+		return nil, fmt.Errorf("cluster: string of %d bytes overruns frame", n)
+	}
+	out := p.b[p.i : p.i+int(n)]
+	p.i += int(n)
+	return out, nil
+}
+
+// BinaryDecoder decodes frames produced by a BinaryEncoder over one
+// stream. The returned Round's Samples slice is owned by the decoder and
+// valid until the next Decode — exactly the borrow contract
+// Aggregator.Ingest honours by copying what it retains. Not safe for
+// concurrent use.
+type BinaryDecoder struct {
+	names   []string
+	nodes   map[uint32]*nodeCodecState
+	samples []core.ComponentSample
+}
+
+// NewBinaryDecoder creates a decoder for one fresh stream.
+func NewBinaryDecoder() *BinaryDecoder {
+	return &BinaryDecoder{nodes: make(map[uint32]*nodeCodecState)}
+}
+
+// readString resolves a string reference, interning first sightings.
+func (d *BinaryDecoder) readString(p *byteParser) (string, uint32, error) {
+	ref, err := p.uvarint()
+	if err != nil {
+		return "", 0, err
+	}
+	if ref == 0 {
+		n, err := p.uvarint()
+		if err != nil {
+			return "", 0, err
+		}
+		raw, err := p.bytes(n)
+		if err != nil {
+			return "", 0, err
+		}
+		id := uint32(len(d.names))
+		d.names = append(d.names, string(raw))
+		return d.names[id], id, nil
+	}
+	id := ref - 1
+	if id >= uint64(len(d.names)) {
+		return "", 0, fmt.Errorf("cluster: dangling string reference %d", id)
+	}
+	return d.names[id], uint32(id), nil
+}
+
+// DecodeFrame decodes one frame payload (without its length prefix). The
+// result's Samples slice is reused by the next call.
+func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
+	p := &byteParser{b: payload}
+	var r Round
+	node, nodeID, err := d.readString(p)
+	if err != nil {
+		return r, err
+	}
+	r.Node = node
+	st := d.nodes[nodeID]
+	if st == nil {
+		st = newNodeCodecState()
+		d.nodes[nodeID] = st
+	}
+	dseq, err := p.zigzag()
+	if err != nil {
+		return r, err
+	}
+	st.prevSeq += dseq
+	r.Seq = st.prevSeq
+	dt, err := p.zigzag()
+	if err != nil {
+		return r, err
+	}
+	st.prevTime += dt
+	r.Time = time.Unix(0, st.prevTime).UTC()
+	n, err := p.uvarint()
+	if err != nil {
+		return r, err
+	}
+	if n > uint64(len(payload)) {
+		// Each sample needs at least a handful of bytes; a count larger
+		// than the frame is corruption, not a big round.
+		return r, fmt.Errorf("cluster: sample count %d exceeds frame size", n)
+	}
+	samples := d.samples[:0]
+	for i := uint64(0); i < n; i++ {
+		comp, compID, err := d.readString(p)
+		if err != nil {
+			return r, err
+		}
+		prev := st.prev[compID]
+		if prev == nil {
+			prev = &prevSample{}
+			st.prev[compID] = prev
+		}
+		flags, err := p.byte()
+		if err != nil {
+			return r, err
+		}
+		ds, err := p.zigzag()
+		if err != nil {
+			return r, err
+		}
+		du, err := p.zigzag()
+		if err != nil {
+			return r, err
+		}
+		dth, err := p.zigzag()
+		if err != nil {
+			return r, err
+		}
+		dd, err := p.zigzag()
+		if err != nil {
+			return r, err
+		}
+		cpuXor, err := p.uvarint()
+		if err != nil {
+			return r, err
+		}
+		prev.size += ds
+		prev.usage += du
+		prev.threads += dth
+		prev.delta += dd
+		prev.cpuBits ^= cpuXor
+		samples = append(samples, core.ComponentSample{
+			Component:  comp,
+			Size:       prev.size,
+			SizeOK:     flags&flagSizeOK != 0,
+			Usage:      prev.usage,
+			CPUSeconds: math.Float64frombits(prev.cpuBits),
+			Threads:    prev.threads,
+			Delta:      prev.delta,
+		})
+	}
+	if p.i != len(payload) {
+		return r, fmt.Errorf("cluster: %d trailing bytes in frame", len(payload)-p.i)
+	}
+	d.samples = samples
+	r.Samples = samples
+	return r, nil
+}

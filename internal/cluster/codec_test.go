@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// decodeStream decodes a whole encoded byte stream (header + frames) with
+// one decoder, failing the test on any error.
+func decodeStream(t *testing.T, stream []byte) []Round {
+	t.Helper()
+	if len(stream) < 4 || [4]byte(stream[:4]) != wireMagic {
+		t.Fatalf("stream does not open with the wire magic: %x", stream[:min(8, len(stream))])
+	}
+	dec := NewBinaryDecoder()
+	rest := stream[4:]
+	var out []Round
+	for len(rest) > 0 {
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)-w) {
+			t.Fatalf("bad frame length prefix at offset %d", len(stream)-len(rest))
+		}
+		r, err := dec.DecodeFrame(rest[w : w+int(n)])
+		if err != nil {
+			t.Fatalf("decode frame: %v", err)
+		}
+		// The decoder reuses its samples buffer; keep a copy like Ingest.
+		r.Samples = append([]core.ComponentSample(nil), r.Samples...)
+		out = append(out, r)
+		rest = rest[w+int(n):]
+	}
+	return out
+}
+
+func sampleRounds() []Round {
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(node string, seq int64, leak int64) Round {
+		at := t0.Add(time.Duration(seq) * 30 * time.Second)
+		return Round{
+			Node: node, Seq: seq, Time: at,
+			Samples: []core.ComponentSample{
+				{Component: "leaky", Size: 1 << 20, SizeOK: true, Usage: 100 * seq,
+					CPUSeconds: 0.25 * float64(seq), Threads: 3, Delta: leak * seq},
+				{Component: "steady", Size: 4096, SizeOK: true, Usage: 240 * seq,
+					CPUSeconds: 0.5 * float64(seq), Threads: 5},
+				{Component: "unsized", Usage: 7 * seq},
+			},
+		}
+	}
+	return []Round{
+		mk("node1", 1, 0), mk("node2", 1, 4096),
+		mk("node1", 2, 0), mk("node2", 2, 4096),
+		mk("node1", 3, 0),
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	enc := NewBinaryEncoder()
+	var stream []byte
+	rounds := sampleRounds()
+	for _, r := range rounds {
+		stream = append(stream, enc.AppendRound(nil, r)...)
+	}
+	got := decodeStream(t, stream)
+	if len(got) != len(rounds) {
+		t.Fatalf("decoded %d rounds, want %d", len(got), len(rounds))
+	}
+	for i, want := range rounds {
+		g := got[i]
+		if g.Node != want.Node || g.Seq != want.Seq || !g.Time.Equal(want.Time) {
+			t.Fatalf("round %d header mismatch: %+v", i, g)
+		}
+		if len(g.Samples) != len(want.Samples) {
+			t.Fatalf("round %d: %d samples, want %d", i, len(g.Samples), len(want.Samples))
+		}
+		for j, ws := range want.Samples {
+			if g.Samples[j] != ws {
+				t.Fatalf("round %d sample %d: %+v, want %+v", i, j, g.Samples[j], ws)
+			}
+		}
+	}
+}
+
+// TestBinaryCodecSteadyStateDensity pins the codec's reason to exist: at
+// steady state (names interned, deltas small) a round must cost a small
+// fraction of its gob equivalent — the acceptance bar is 2×, the codec
+// does far better.
+func TestBinaryCodecSteadyStateDensity(t *testing.T) {
+	enc := NewBinaryEncoder()
+	var gobBytes, binBytes int
+	var gobBuf bytes.Buffer
+	gobEnc := gob.NewEncoder(&gobBuf)
+	rounds := manyRounds("node1", 50, 14)
+	for i, r := range rounds {
+		frame := enc.AppendRound(nil, r)
+		if err := gobEnc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 25 { // steady state: second half of the run
+			binBytes += len(frame)
+			gobBytes += gobBuf.Len()
+		}
+		gobBuf.Reset()
+	}
+	if binBytes*2 > gobBytes {
+		t.Fatalf("binary codec not ≥2× denser than gob at steady state: %d vs %d bytes over 25 rounds",
+			binBytes, gobBytes)
+	}
+	t.Logf("steady-state bytes per round: binary %d, gob %d (%.1fx)",
+		binBytes/25, gobBytes/25, float64(gobBytes)/float64(binBytes))
+}
+
+// TestBinaryCodecGolden pins the wire format byte for byte, so a future
+// change that would break cross-version node/aggregator pairs fails
+// loudly here instead of silently at decode time. If you change the
+// format intentionally, bump the version byte in wireMagic and re-pin.
+func TestBinaryCodecGolden(t *testing.T) {
+	enc := NewBinaryEncoder()
+	var stream []byte
+	for _, r := range sampleRounds()[:3] {
+		stream = append(stream, enc.AppendRound(nil, r)...)
+	}
+	// The stream: 4-byte header (magic "AGM", version 1), then one
+	// length-prefixed frame per round. The first frame carries every
+	// name verbatim (first sightings); names intern per stream, so the
+	// node2 frame already references the component names by 1-byte id
+	// and only introduces "node2" itself; the third frame is pure steady
+	// state — interned ids and small deltas throughout.
+	const want = "41474d015200056e6f6465310280b08dabf9b4cd84230300056c65616b79018080" +
+		"8001c801060080808080808080e83f0006737465616479018040e0030a00808080" +
+		"80808080f03f0007756e73697a656400000e0000003e00056e6f6465320280b08d" +
+		"abf9b4cd842303020180808001c80106804080808080808080e83f03018040e003" +
+		"0a0080808080808080f03f0400000e0000002e010280b09dc2df0103020100c801" +
+		"00008080808080808018030100e003000080808080808080080400000e000000"
+	got := hex.EncodeToString(stream)
+	if got != normalizeHex(want) {
+		t.Fatalf("wire format drifted.\n got: %s\nwant: %s", got, normalizeHex(want))
+	}
+}
+
+func normalizeHex(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' || c == ' ' {
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// manyRounds builds a deterministic steady-state stream: cumulative
+// counters grow by fixed per-round deltas.
+func manyRounds(node string, rounds, comps int) []Round {
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	names := make([]string, comps)
+	for c := range names {
+		names[c] = "component-" + string(rune('a'+c))
+	}
+	out := make([]Round, 0, rounds)
+	for seq := int64(1); seq <= int64(rounds); seq++ {
+		r := Round{Node: node, Seq: seq, Time: t0.Add(time.Duration(seq) * 30 * time.Second)}
+		for c := 0; c < comps; c++ {
+			r.Samples = append(r.Samples, core.ComponentSample{
+				Component:  names[c],
+				Size:       int64(10000*(c+1)) + 512*seq,
+				SizeOK:     true,
+				Usage:      seq * int64(100+c),
+				CPUSeconds: float64(seq) * 0.01 * float64(c+1),
+				Threads:    int64(2 + c%3),
+				Delta:      64 * seq,
+			})
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// failingConn writes successfully until told to fail.
+type failingConn struct {
+	discardConn
+	fail bool
+}
+
+func (c *failingConn) Write(p []byte) (int, error) {
+	if c.fail {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+// TestBinaryWireFailStopsAfterWriteError pins the codec's loss
+// discipline: a lost frame desynchronises the delta/XOR chains, so after
+// one failed write the wire must refuse every further publish (the owner
+// reconnects with fresh codec state) instead of silently shipping
+// undecodable-as-intended rounds.
+func TestBinaryWireFailStopsAfterWriteError(t *testing.T) {
+	c := &failingConn{}
+	w := NewBinaryWire(c)
+	gen := newRoundGen("node1")
+	if err := w.Publish(gen.next()); err != nil {
+		t.Fatalf("healthy publish failed: %v", err)
+	}
+	c.fail = true
+	if err := w.Publish(gen.next()); err == nil {
+		t.Fatal("failed write not surfaced")
+	}
+	c.fail = false
+	if err := w.Publish(gen.next()); err == nil {
+		t.Fatal("wire did not latch the broken state after a lost frame")
+	}
+}
+
+func TestBinaryDecoderRejectsCorruption(t *testing.T) {
+	enc := NewBinaryEncoder()
+	frame := enc.AppendRound(nil, sampleRounds()[0])
+	payloadStart := 4 // skip magic
+	n, w := binary.Uvarint(frame[payloadStart:])
+	payload := frame[payloadStart+w : payloadStart+w+int(n)]
+
+	dec := NewBinaryDecoder()
+	if _, err := dec.DecodeFrame(payload[:len(payload)/2]); err == nil {
+		t.Fatal("truncated frame decoded without error")
+	}
+	// A dangling string reference: id 200 was never defined.
+	bad := binary.AppendUvarint(nil, 201)
+	if _, err := NewBinaryDecoder().DecodeFrame(bad); err == nil {
+		t.Fatal("dangling string reference decoded without error")
+	}
+	// Trailing garbage after a valid frame.
+	full := append(append([]byte(nil), payload...), 0xFF)
+	if _, err := NewBinaryDecoder().DecodeFrame(full); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fuzzReader derives structured values from the fuzzer's byte stream,
+// yielding zeros once exhausted so every input maps to a valid (possibly
+// trivial) round sequence.
+type fuzzReader struct {
+	b []byte
+	i int
+}
+
+func (f *fuzzReader) byte() byte {
+	if f.i >= len(f.b) {
+		return 0
+	}
+	v := f.b[f.i]
+	f.i++
+	return v
+}
+
+func (f *fuzzReader) u64() uint64 {
+	var v uint64
+	for k := 0; k < 8; k++ {
+		v = v<<8 | uint64(f.byte())
+	}
+	return v
+}
+
+func (f *fuzzReader) name(prefix string) string {
+	n := int(f.byte() % 8)
+	out := make([]byte, n)
+	for k := range out {
+		out[k] = f.byte()
+	}
+	return prefix + string(out)
+}
+
+// roundsFromFuzz builds an arbitrary round sequence from fuzz bytes: up
+// to 16 rounds over up to 4 nodes, each with up to 8 samples of arbitrary
+// names and values. Sampling instants are arbitrary int64 nanoseconds —
+// the codec's documented domain.
+func roundsFromFuzz(data []byte) []Round {
+	f := &fuzzReader{b: data}
+	nRounds := int(f.byte()%16) + 1
+	out := make([]Round, 0, nRounds)
+	for i := 0; i < nRounds; i++ {
+		r := Round{
+			Node: f.name("n"),
+			Seq:  int64(f.u64()),
+			Time: time.Unix(0, int64(f.u64())),
+		}
+		nSamples := int(f.byte() % 8)
+		for j := 0; j < nSamples; j++ {
+			r.Samples = append(r.Samples, core.ComponentSample{
+				Component:  f.name("c"),
+				Size:       int64(f.u64()),
+				SizeOK:     f.byte()%2 == 0,
+				Usage:      int64(f.u64()),
+				CPUSeconds: math.Float64frombits(f.u64()),
+				Threads:    int64(f.u64()),
+				Delta:      int64(f.u64()),
+			})
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// FuzzBinaryCodec drives the binary codec with arbitrary round sequences:
+// every encode→decode round trip must reproduce the rounds exactly
+// (field for field, CPU bits included), through the stream's full
+// interning and delta state.
+func FuzzBinaryCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2})
+	// A seed resembling real traffic: same node, advancing seq/time.
+	seed := []byte{4}
+	for i := 0; i < 4; i++ {
+		seed = append(seed, 2, 'n', '1')
+		seed = append(seed, 0, 0, 0, 0, 0, 0, 0, byte(i+1)) // seq
+		seed = append(seed, 0, 0, 0, 30, 0, 0, 0, byte(i))  // time
+		seed = append(seed, 2)                              // two samples
+		for j := 0; j < 2; j++ {
+			seed = append(seed, 1, byte('a'+j))
+			seed = append(seed, 0, 0, 0, 0, 0, 1, 0, byte(i)) // size
+			seed = append(seed, 0)                            // SizeOK
+			seed = append(seed, 0, 0, 0, 0, 0, 0, 1, byte(i)) // usage
+			seed = append(seed, 63, 200, 0, 0, 0, 0, 0, 0)    // cpu bits
+			seed = append(seed, 0, 0, 0, 0, 0, 0, 0, 3)       // threads
+			seed = append(seed, 0, 0, 0, 0, 0, 0, 0, 0)       // delta
+		}
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rounds := roundsFromFuzz(data)
+		enc := NewBinaryEncoder()
+		dec := NewBinaryDecoder()
+		var stream []byte
+		for _, r := range rounds {
+			stream = enc.AppendRound(stream, r)
+		}
+		if len(rounds) > 0 && [4]byte(stream[:4]) != wireMagic {
+			t.Fatal("stream does not start with the wire magic")
+		}
+		rest := stream
+		if len(rounds) > 0 {
+			rest = rest[4:]
+		}
+		for i, want := range rounds {
+			n, w := binary.Uvarint(rest)
+			if w <= 0 || n > uint64(len(rest)-w) {
+				t.Fatalf("round %d: bad frame length", i)
+			}
+			got, err := dec.DecodeFrame(rest[w : w+int(n)])
+			if err != nil {
+				t.Fatalf("round %d: decode: %v", i, err)
+			}
+			rest = rest[w+int(n):]
+			if got.Node != want.Node || got.Seq != want.Seq {
+				t.Fatalf("round %d: header %q/%d, want %q/%d", i, got.Node, got.Seq, want.Node, want.Seq)
+			}
+			if got.Time.UnixNano() != want.Time.UnixNano() {
+				t.Fatalf("round %d: time %d, want %d", i, got.Time.UnixNano(), want.Time.UnixNano())
+			}
+			if len(got.Samples) != len(want.Samples) {
+				t.Fatalf("round %d: %d samples, want %d", i, len(got.Samples), len(want.Samples))
+			}
+			for j, ws := range want.Samples {
+				gs := got.Samples[j]
+				if gs.Component != ws.Component || gs.Size != ws.Size || gs.SizeOK != ws.SizeOK ||
+					gs.Usage != ws.Usage || gs.Threads != ws.Threads || gs.Delta != ws.Delta ||
+					math.Float64bits(gs.CPUSeconds) != math.Float64bits(ws.CPUSeconds) {
+					t.Fatalf("round %d sample %d: %+v, want %+v", i, j, gs, ws)
+				}
+			}
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing stream bytes", len(rest))
+		}
+	})
+}
+
+// FuzzBinaryDecoderRobustness throws arbitrary bytes at the frame
+// decoder: it must reject or accept them without panicking, whatever the
+// input (the serving loop turns any error into a dropped connection).
+func FuzzBinaryDecoderRobustness(f *testing.F) {
+	enc := NewBinaryEncoder()
+	frame := enc.AppendRound(nil, Round{Node: "n", Seq: 1, Time: time.Unix(0, 0), Samples: []core.ComponentSample{{Component: "c", Usage: 1}}})
+	f.Add(frame[4:]) // a valid payload (sans stream header) as the seed
+	f.Add([]byte{0x00, 0x01, 0x61, 0x02, 0x02, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewBinaryDecoder()
+		_, _ = dec.DecodeFrame(data)
+		// Feeding a second arbitrary frame exercises carried stream state.
+		_, _ = dec.DecodeFrame(data)
+	})
+}

@@ -30,6 +30,12 @@ import (
 // node identity, the node-local 1-based sequence number, the node-local
 // sampling instant, and the per-component measurements. All fields are
 // exported so rounds cross process boundaries unchanged (gob over net).
+//
+// Samples is borrowed along the whole shipping path: the forwarder passes
+// the collector's round buffer through Publish, and the wire decoders
+// hand the aggregator a reused decode buffer — a Round's samples are only
+// valid for the duration of the call that delivers them, and every
+// retainer (the aggregator, a custom Transport that buffers) copies.
 type Round struct {
 	// Node is the reporting node's identity.
 	Node string
@@ -76,13 +82,21 @@ func Attach(f *core.Framework, tr Transport) *Forwarder {
 // Round and publishes it. Publish errors are counted, not propagated —
 // a node must keep sampling locally even when its aggregator link is
 // down.
+//
+// The batch is the collector's borrowed round buffer and is handed to the
+// transport as-is, without a copy: every Transport consumes the round
+// before Publish returns (the in-proc transport ingests synchronously and
+// the aggregator copies what it retains; the wire transports finish
+// encoding the frame inside Publish), so the forwarder ships a round with
+// zero per-round garbage. An out-of-tree Transport that buffers rounds
+// for later must copy Samples itself — see Transport's contract.
 func (f *Forwarder) ObserveSample(now time.Time, batch []core.ComponentSample) {
 	f.seq++
 	r := Round{
 		Node:    f.node,
 		Seq:     f.seq,
 		Time:    now,
-		Samples: append([]core.ComponentSample(nil), batch...),
+		Samples: batch,
 	}
 	if err := f.tr.Publish(r); err != nil {
 		f.errs.Add(1)

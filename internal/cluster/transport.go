@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -17,10 +20,36 @@ import (
 // noticing.
 type Transport interface {
 	// Publish ships one round. It may block briefly (wire flow control)
-	// but must not be called concurrently for the same node.
+	// but must not be called concurrently for the same node. The round's
+	// Samples are borrowed from the publishing collector: Publish must
+	// finish consuming them (encode the frame, or ingest in-process)
+	// before returning, and must copy if it buffers the round for later.
 	Publish(Round) error
 	// Close releases the transport. Publishing after Close fails.
 	Close() error
+}
+
+// WireCodec names a wire serialisation for callers that assemble
+// clusters generically (the experiment stack, the simulator front-end).
+type WireCodec int
+
+// Available wire codecs.
+const (
+	// CodecGob is the reflective stdlib codec: self-describing, format-
+	// stable across field additions, ~2.5× the bytes and an order of
+	// magnitude more decode work than the binary codec.
+	CodecGob WireCodec = iota
+	// CodecBinary is the hand-rolled delta codec of codec.go.
+	CodecBinary
+)
+
+func (c WireCodec) String() string {
+	switch c {
+	case CodecBinary:
+		return "binary"
+	default:
+		return "gob"
+	}
 }
 
 // InProc is the zero-copy transport for nodes living in the aggregator's
@@ -119,10 +148,167 @@ func (w *Wire) Publish(r Round) error {
 // Close implements Transport.
 func (w *Wire) Close() error { return w.conn.Close() }
 
+// BinaryWire ships rounds as delta-encoded binary frames (see codec.go)
+// over a net.Conn — the high-density counterpart of the gob Wire, behind
+// the same Transport interface, for deployments where bytes-on-wire and
+// per-round garbage matter: names are interned per connection and every
+// numeric field rides as a small varint delta, cutting a steady-state
+// round several-fold versus gob, and Publish reuses one frame buffer so
+// it allocates nothing. Like Wire, the publish mutex admits several
+// forwarders multiplexed onto one connection, and a timed-out write may
+// leave a partial frame after which the receiver errors and drops the
+// connection — fail-stop, never wedged.
+type BinaryWire struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *BinaryEncoder
+	frame   []byte
+	timeout time.Duration
+	broken  bool
+}
+
+// NewBinaryWire wraps an established connection as a binary-codec
+// publishing transport with the default write timeout. The peer must
+// serve it with ServeBinaryConn/ServeBinary — the gob and binary stream
+// formats are not interchangeable (the stream header makes a mismatch
+// fail at connect time).
+func NewBinaryWire(conn net.Conn) *BinaryWire {
+	return &BinaryWire{conn: conn, enc: NewBinaryEncoder(), timeout: DefaultWireTimeout}
+}
+
+// DialBinaryWire connects to an aggregator's binary listener and returns
+// the publishing end.
+func DialBinaryWire(network, addr string) (*BinaryWire, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewBinaryWire(conn), nil
+}
+
+// SetTimeout overrides the per-publish write bound (0 disables it).
+func (w *BinaryWire) SetTimeout(d time.Duration) {
+	w.mu.Lock()
+	w.timeout = d
+	w.mu.Unlock()
+}
+
+// Publish implements Transport: one length-prefixed binary frame, bounded
+// by the write timeout. The frame buffer is reused across publishes.
+//
+// A failed or short write breaks the transport permanently: unlike gob
+// (whose fields are absolute, so the receiver survives a lost frame),
+// the binary codec's deltas and XOR chains assume the decoder saw every
+// frame the encoder produced — the encoder's state already reflects the
+// lost round, so continuing would make every later round decode to
+// silently wrong values. The wire latches the error, closes the
+// connection, and fails every subsequent Publish; the owner reconnects
+// with a fresh wire (and therefore fresh codec state on both ends).
+func (w *BinaryWire) Publish(r Round) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken {
+		return errors.New("cluster: binary wire broken by an earlier failed write")
+	}
+	w.frame = w.enc.AppendRound(w.frame[:0], r)
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+		defer func() { _ = w.conn.SetWriteDeadline(time.Time{}) }()
+	}
+	if _, err := w.conn.Write(w.frame); err != nil {
+		w.broken = true
+		_ = w.conn.Close()
+		return err
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (w *BinaryWire) Close() error { return w.conn.Close() }
+
+// maxBinaryFrame bounds one decoded frame; a length prefix beyond it is
+// stream corruption, not a huge round (a 16 MB frame would be ~500k
+// samples).
+const maxBinaryFrame = 16 << 20
+
+// ServeBinaryConn decodes binary-codec rounds from conn into the
+// aggregator until the connection closes. It returns nil on a clean EOF
+// and an error on a stream it does not speak (wrong magic or version) or
+// a corrupt frame — and then closes the connection, so a publisher
+// behind a broken stream fail-stops on its next write instead of
+// wedging against a reader that gave up. Run it on its own goroutine,
+// one per node connection. The decode buffers are reused; Ingest copies
+// what it retains.
+func (a *Aggregator) ServeBinaryConn(conn net.Conn) (err error) {
+	defer func() {
+		if err != nil {
+			_ = conn.Close()
+		}
+	}()
+	br := bufio.NewReader(conn)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	if magic != wireMagic {
+		return fmt.Errorf("cluster: not a binary round stream (magic %x)", magic)
+	}
+	dec := NewBinaryDecoder()
+	var payload []byte
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if n > maxBinaryFrame {
+			return fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+		}
+		if uint64(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		r, err := dec.DecodeFrame(payload)
+		if err != nil {
+			return err
+		}
+		a.Ingest(r)
+	}
+}
+
+// ServeBinary accepts binary-codec node connections from ln and serves
+// each on its own goroutine until the listener closes, closing each
+// connection when its serving loop ends. It blocks; run it on a
+// goroutine.
+func (a *Aggregator) ServeBinary(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			_ = a.ServeBinaryConn(conn)
+		}()
+	}
+}
+
 // ServeConn decodes rounds from conn into the aggregator until the
-// connection closes. It returns nil on a clean EOF. Run it on its own
-// goroutine, one per node connection — per-node ordering is then the
-// connection's byte order.
+// connection closes. It returns nil on a clean EOF; on a decode error it
+// closes the connection (fail-stop for the publisher) and returns the
+// error. Run it on its own goroutine, one per node connection — per-node
+// ordering is then the connection's byte order.
 func (a *Aggregator) ServeConn(conn net.Conn) error {
 	dec := gob.NewDecoder(conn)
 	for {
@@ -131,6 +317,7 @@ func (a *Aggregator) ServeConn(conn net.Conn) error {
 			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
 				return nil
 			}
+			_ = conn.Close()
 			return err
 		}
 		a.Ingest(r)
@@ -138,13 +325,17 @@ func (a *Aggregator) ServeConn(conn net.Conn) error {
 }
 
 // Serve accepts node connections from ln and serves each on its own
-// goroutine until the listener closes. It blocks; run it on a goroutine.
+// goroutine until the listener closes, closing each connection when its
+// serving loop ends. It blocks; run it on a goroutine.
 func (a *Aggregator) Serve(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go func() { _ = a.ServeConn(conn) }()
+		go func() {
+			defer conn.Close()
+			_ = a.ServeConn(conn)
+		}()
 	}
 }

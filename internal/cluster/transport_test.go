@@ -61,10 +61,11 @@ func clusterVerdictsOf(rep *ClusterReport) any {
 }
 
 // TestWireAndInProcProduceIdenticalVerdicts runs the same three-node
-// round set through the in-process transport and through gob-over-net
-// pipes with concurrent per-node publishers, and requires byte-identical
-// cluster and per-node verdicts: the epoch fold must absorb arbitrary
-// cross-node interleaving.
+// round set through the in-process transport and through both wire
+// codecs (gob and binary) over net pipes with concurrent per-node
+// publishers, and requires byte-identical cluster and per-node verdicts:
+// the epoch fold must absorb arbitrary cross-node interleaving, and the
+// codec choice must be invisible to detection.
 func TestWireAndInProcProduceIdenticalVerdicts(t *testing.T) {
 	nodes := []string{"node1", "node2", "node3"}
 	leaks := map[string]int64{"node1": 0, "node2": 4096, "node3": 0}
@@ -83,44 +84,89 @@ func TestWireAndInProcProduceIdenticalVerdicts(t *testing.T) {
 		}
 	}
 
-	wired := New(Config{Detect: testDetect()})
-	wired.Expect(nodes...)
+	for _, codec := range []string{"gob", "binary"} {
+		t.Run(codec, func(t *testing.T) {
+			wired := New(Config{Detect: testDetect()})
+			wired.Expect(nodes...)
+			trs := make(map[string]Transport, len(nodes))
+			for _, n := range nodes {
+				client, server := net.Pipe()
+				if codec == "gob" {
+					go func() { _ = wired.ServeConn(server) }()
+					w := NewWire(client)
+					defer w.Close()
+					trs[n] = w
+				} else {
+					go func() { _ = wired.ServeBinaryConn(server) }()
+					w := NewBinaryWire(client)
+					defer w.Close()
+					trs[n] = w
+				}
+			}
+			feedCluster(t, wired, trs, leaks, rounds)
+
+			for _, res := range core.DetectorResources {
+				a, b := clusterVerdictsOf(inproc.Report(res)), clusterVerdictsOf(wired.Report(res))
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s cluster reports differ:\ninproc: %+v\nwire:   %+v", res, a, b)
+				}
+			}
+			// Per-node verdict streams must agree too.
+			for _, n := range nodes {
+				for _, res := range core.DetectorResources {
+					ra, rb := inproc.NodeReport(n, res), wired.NodeReport(n, res)
+					if (ra == nil) != (rb == nil) {
+						t.Fatalf("%s/%s: one transport missing a report", n, res)
+					}
+					if ra == nil {
+						continue
+					}
+					va, vb := ra.Components, rb.Components
+					if !reflect.DeepEqual(va, vb) {
+						t.Fatalf("%s/%s verdicts differ:\ninproc: %+v\nwire:   %+v", n, res, va, vb)
+					}
+				}
+			}
+			// And the wire run must still name the sick pair.
+			top, ok := wired.Report(core.ResourceMemory).Top()
+			if !ok || top.Pair() != "node2/leaky" {
+				t.Fatalf("wire top = %+v", top)
+			}
+		})
+	}
+}
+
+// TestBinaryWireOverTCP exercises the binary codec on a real socket: an
+// aggregator serving a TCP listener with ServeBinary, three dialed node
+// connections.
+func TestBinaryWireOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer ln.Close()
+
+	agg := New(Config{Detect: testDetect()})
+	nodes := []string{"node1", "node2", "node3"}
+	agg.Expect(nodes...)
+	go agg.ServeBinary(ln)
+
+	const rounds = 12
 	trs := make(map[string]Transport, len(nodes))
 	for _, n := range nodes {
-		client, server := net.Pipe()
-		go func() { _ = wired.ServeConn(server) }()
-		w := NewWire(client)
+		w, err := DialBinaryWire("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
 		defer w.Close()
 		trs[n] = w
 	}
-	feedCluster(t, wired, trs, leaks, rounds)
+	feedCluster(t, agg, trs, map[string]int64{"node1": 4096, "node2": 4096, "node3": 4096}, rounds)
 
-	for _, res := range core.DetectorResources {
-		a, b := clusterVerdictsOf(inproc.Report(res)), clusterVerdictsOf(wired.Report(res))
-		if !reflect.DeepEqual(a, b) {
-			t.Fatalf("%s cluster reports differ:\ninproc: %+v\nwire:   %+v", res, a, b)
-		}
-	}
-	// Per-node verdict streams must agree too.
-	for _, n := range nodes {
-		for _, res := range core.DetectorResources {
-			ra, rb := inproc.NodeReport(n, res), wired.NodeReport(n, res)
-			if (ra == nil) != (rb == nil) {
-				t.Fatalf("%s/%s: one transport missing a report", n, res)
-			}
-			if ra == nil {
-				continue
-			}
-			va, vb := ra.Components, rb.Components
-			if !reflect.DeepEqual(va, vb) {
-				t.Fatalf("%s/%s verdicts differ:\ninproc: %+v\nwire:   %+v", n, res, va, vb)
-			}
-		}
-	}
-	// And the wire run must still name the sick pair.
-	top, ok := wired.Report(core.ResourceMemory).Top()
-	if !ok || top.Pair() != "node2/leaky" {
-		t.Fatalf("wire top = %+v", top)
+	rep := agg.Report(core.ResourceMemory)
+	top, ok := rep.Top()
+	if !ok || top.Component != "leaky" || !top.ClusterWide {
+		t.Fatalf("binary TCP cluster verdict wrong: %v", rep)
 	}
 }
 

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/metrics"
-	"repro/internal/monitor"
 )
 
 // componentRecord holds the collector's per-component series. The series
@@ -49,10 +48,20 @@ type Collector struct {
 	recsMu     sync.RWMutex
 	components map[string]*componentRecord
 	order      []string
+	recsGen    atomic.Int64 // bumped on every registry change
 
 	sampleMu     sync.Mutex
 	heapRetained *metrics.Series
 	samples      atomic.Int64
+
+	// Round scratch, owned by sampleMu. The record snapshot is cached
+	// against the registry generation (instrument/uninstrument are rare)
+	// and the measurement/sample buffers are reused, so a steady-state
+	// round allocates nothing.
+	roundRecs    []*componentRecord
+	roundRecsGen int64
+	roundBatch   []measured
+	roundSamples []ComponentSample
 
 	// observers receive each round's batch; the slice is copy-on-write
 	// behind an atomic pointer so Sample reads it without locking, and
@@ -87,8 +96,28 @@ type ComponentSample struct {
 // unsynchronised per-round state; it must not call Sample re-entrantly and
 // should stay cheap — it adds latency to the round, though never to
 // recording.
+//
+// Ownership: the batch is borrowed, not given. It is valid only for the
+// duration of the ObserveSample call — the collector reclaims and rewrites
+// the backing array on the next round — so an observer that retains
+// samples beyond the call must copy them. Both in-tree observers comply:
+// the detector bank projects the batch into its own window state
+// synchronously, and the cluster forwarder's transports either ingest
+// synchronously (in-proc) or finish encoding the frame before Publish
+// returns (wire codecs).
 type SampleObserver interface {
 	ObserveSample(now time.Time, batch []ComponentSample)
+}
+
+// measured is one component's raw measurements inside a sampling round.
+type measured struct {
+	rec        *componentRecord
+	size       int64
+	usage      int64
+	cpuSeconds float64
+	threads    int64
+	delta      int64
+	sizeOK     bool
 }
 
 func newCollector(f *Framework, node string) *Collector {
@@ -135,6 +164,7 @@ func (c *Collector) addComponent(name string, target any) error {
 	}
 	c.order = append(c.order, name)
 	sort.Strings(c.order)
+	c.recsGen.Add(1)
 	return nil
 }
 
@@ -148,6 +178,7 @@ func (c *Collector) removeComponent(name string) {
 			break
 		}
 	}
+	c.recsGen.Add(1)
 }
 
 func (c *Collector) target(name string) (any, bool) {
@@ -181,14 +212,52 @@ func (c *Collector) records() []*componentRecord {
 	return out
 }
 
+// snapshotRecords rebuilds dst into the name-ordered record snapshot and
+// returns it alongside the registry generation it reflects. It is the
+// one registry-iteration helper behind every generation-cached snapshot
+// (the sampling round's, the manager's suspect check's): per-round
+// callers keep their own (slice, generation) cache under their own lock
+// and call this only when the generation moved.
+func (c *Collector) snapshotRecords(dst []*componentRecord) ([]*componentRecord, int64) {
+	gen := c.recsGen.Load()
+	c.recsMu.RLock()
+	dst = dst[:0]
+	for _, name := range c.order {
+		dst = append(dst, c.components[name])
+	}
+	c.recsMu.RUnlock()
+	return dst, gen
+}
+
+// roundRecords returns the sampling round's record snapshot, in name
+// order. Caller holds sampleMu. The snapshot is cached against the
+// registry generation: instrument/uninstrument are rare cold-path events,
+// so the common round reuses the previous snapshot without touching the
+// registry lock or allocating.
+func (c *Collector) roundRecords() []*componentRecord {
+	if gen := c.recsGen.Load(); gen == c.roundRecsGen && c.roundRecs != nil {
+		return c.roundRecs
+	}
+	c.roundRecs, c.roundRecsGen = c.snapshotRecords(c.roundRecs)
+	return c.roundRecs
+}
+
 // Sample performs one collection round at the given instant: for every
-// instrumented component it asks the object-size agent (via the
-// MBeanServer, as the paper's ACs do) for the current retained size and
-// reads the invocation/CPU/thread agents, batching the measurements and
-// then appending to the series. Rounds are serialised against each other
-// (so the series stay time-ordered) but the round holds no lock that
-// invocation recording or root-cause queries take: ingestion appends go
-// straight to the per-record lock-free series.
+// instrumented component it asks the object-size agent for the current
+// retained size and reads the invocation/CPU/thread agents, batching the
+// measurements and then appending to the series. The agents stay
+// registered on the MBeanServer — that is the management plane's surface
+// for discovering and operating them — but the round calls the resolved
+// agents directly: one sampling round per interval, forever, must not pay
+// per-call object-name formatting and argument boxing, and the paper's
+// decoupling (replace an agent without touching an AC) lives in the agent
+// object either way. Rounds are serialised against each other (so the
+// series stay time-ordered) but the round holds no lock that invocation
+// recording or root-cause queries take: ingestion appends go straight to
+// the per-record lock-free series. At steady state the round allocates
+// nothing: the record snapshot, the measurement batch and the observer
+// sample batch are all collector-owned and reused (see SampleObserver for
+// the borrow contract).
 //
 // Rounds must be sampled at non-decreasing instants of the collector's own
 // clock; cross-node clock disagreement is normalised downstream by the
@@ -196,21 +265,15 @@ func (c *Collector) records() []*componentRecord {
 func (c *Collector) Sample(now time.Time) {
 	c.sampleMu.Lock()
 
-	recs := c.records()
-	type measured struct {
-		rec        *componentRecord
-		size       int64
-		usage      int64
-		cpuSeconds float64
-		threads    int64
-		delta      int64
-		sizeOK     bool
+	recs := c.roundRecords()
+	if cap(c.roundBatch) < len(recs) {
+		c.roundBatch = make([]measured, 0, len(recs))
 	}
-	batch := make([]measured, 0, len(recs))
+	batch := c.roundBatch[:0]
 	for _, rec := range recs {
 		r := measured{rec: rec}
-		if v, err := c.f.server.Invoke(monitor.AgentName("ObjectSize"), "Measure", rec.name); err == nil {
-			r.size = v.(int64)
+		if v, err := c.f.objSize.Measure(rec.name); err == nil {
+			r.size = v
 			r.sizeOK = true
 		}
 		r.usage = c.f.invocations.StatsOf(rec.name).Count
@@ -221,6 +284,7 @@ func (c *Collector) Sample(now time.Time) {
 		}
 		batch = append(batch, r)
 	}
+	c.roundBatch = batch
 
 	for _, r := range batch {
 		rec := r.rec
@@ -245,9 +309,13 @@ func (c *Collector) Sample(now time.Time) {
 	// cluster-transport forwarder live here). Still under sampleMu: rounds
 	// are totally ordered for observers, which lets them keep single-owner
 	// state — and sampleMu is not on the recording or query paths, so
-	// nothing contends.
+	// nothing contends. Observers borrow the batch for the duration of the
+	// call; the collector reclaims and rewrites it next round.
 	if p := c.observers.Load(); p != nil && len(*p) > 0 {
-		samples := make([]ComponentSample, len(batch))
+		if cap(c.roundSamples) < len(batch) {
+			c.roundSamples = make([]ComponentSample, 0, len(batch))
+		}
+		samples := c.roundSamples[:len(batch)]
 		for i, r := range batch {
 			samples[i] = ComponentSample{
 				Component:  r.rec.name,
@@ -259,6 +327,7 @@ func (c *Collector) Sample(now time.Time) {
 				Delta:      r.delta,
 			}
 		}
+		c.roundSamples = samples
 		for _, o := range *p {
 			o.ObserveSample(now, samples)
 		}

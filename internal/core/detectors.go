@@ -34,6 +34,10 @@ type DetectorBank struct {
 	// bit-reproducible like everything else driven by the engine).
 	resources []string
 	monitors  map[string]*detect.Monitor
+	// obsScratch is the per-round observation buffer, reused across
+	// rounds and resources; it is owned by the sampling goroutine like
+	// the monitors themselves.
+	obsScratch []detect.Observation
 
 	mu       sync.Mutex
 	alarmed  map[string]map[string]bool // resource -> component -> alarming
@@ -141,7 +145,15 @@ func (b *DetectorBank) Verdicts(resource string) []rootcause.LiveVerdict {
 // aggregator's per-node banks both use it, so per-node cluster verdicts
 // carry exactly single-node semantics.
 func ObservationsFor(resource string, batch []ComponentSample) []detect.Observation {
-	obs := make([]detect.Observation, 0, len(batch))
+	return AppendObservations(nil, resource, batch)
+}
+
+// AppendObservations is ObservationsFor into a caller-owned buffer: it
+// appends one observation per applicable sample to dst and returns the
+// extended slice, so per-round callers (the detector bank, the cluster
+// aggregator's per-node banks) can project every round without
+// allocating.
+func AppendObservations(dst []detect.Observation, resource string, batch []ComponentSample) []detect.Observation {
 	for _, s := range batch {
 		o := detect.Observation{Component: s.Component, Usage: float64(s.Usage)}
 		switch resource {
@@ -155,18 +167,21 @@ func ObservationsFor(resource string, batch []ComponentSample) []detect.Observat
 		case ResourceThreads:
 			o.Value = float64(s.Threads)
 		}
-		obs = append(obs, o)
+		dst = append(dst, o)
 	}
-	return obs
+	return dst
 }
 
 // ObserveSample implements SampleObserver: it fans the round's batch out
 // to the per-resource monitors and queues notifications for alarm
 // transitions. It runs on the sampling goroutine, serialised by the
 // manager's sampleMu, which is what the single-owner detectors require.
+// The borrowed batch is fully projected before the call returns, honouring
+// the SampleObserver ownership contract.
 func (b *DetectorBank) ObserveSample(now time.Time, batch []ComponentSample) {
 	for _, resource := range b.resources {
-		rep := b.monitors[resource].Observe(now, ObservationsFor(resource, batch))
+		b.obsScratch = AppendObservations(b.obsScratch[:0], resource, batch)
+		rep := b.monitors[resource].Observe(now, b.obsScratch)
 		b.queueTransitions(rep)
 	}
 }

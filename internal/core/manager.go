@@ -42,6 +42,11 @@ type Manager struct {
 
 	suspectMu   sync.Mutex
 	lastSuspect string
+	// suspectRecs caches the record snapshot the per-round suspect-change
+	// check walks, keyed by the registry generation and guarded by
+	// suspectMu, so the check stays garbage-free.
+	suspectRecs []*componentRecord
+	suspectGen  int64
 
 	detectors atomic.Pointer[DetectorBank]
 }
@@ -65,26 +70,82 @@ func (m *Manager) Sample(now time.Time) {
 	m.notifyIfSuspectChanged()
 }
 
+// suspectRecords returns the suspect check's record snapshot, cached by
+// registry generation. Caller holds suspectMu.
+func (m *Manager) suspectRecords() []*componentRecord {
+	if gen := m.recsGen.Load(); gen == m.suspectGen && m.suspectRecs != nil {
+		return m.suspectRecs
+	}
+	m.suspectRecs, m.suspectGen = m.snapshotRecords(m.suspectRecs)
+	return m.suspectRecs
+}
+
+// memEvidence returns a record's accumulated memory consumption (size net
+// of baseline, clamped at zero) and its latest usage count.
+func memEvidence(rec *componentRecord) (consumption float64, usage float64) {
+	if last, ok := rec.size.Last(); ok {
+		consumption = math.Max(0, last.V-float64(rec.baseline.Load()))
+	}
+	if last, ok := rec.usage.Last(); ok {
+		usage = last.V
+	}
+	return consumption, usage
+}
+
 // notifyIfSuspectChanged emits an aging.suspect notification when the
-// most suspicious component changes and its score is meaningful.
+// most suspicious component changes and its score is meaningful. It runs
+// after every sampling round, so it must be garbage-free: it applies the
+// PaperMap scoring rule (normalised consumption weighted by usage)
+// directly over the latest levels instead of building a full ranking —
+// the Data path would copy every component's whole series each round,
+// O(rounds²) garbage over a run's lifetime for a check that reads two
+// numbers per component. The scoring and the (score desc, name asc)
+// tie-break replicate rootcause.PaperMap exactly; the strategy tests hold
+// the two implementations together.
 func (m *Manager) notifyIfSuspectChanged() {
-	ranking := m.Rank(ResourceMemory, rootcause.PaperMap{})
-	top, ok := ranking.Top()
-	if !ok || top.Score < 0.1 {
+	m.suspectMu.Lock()
+	recs := m.suspectRecords()
+	var maxC, maxU float64
+	for _, rec := range recs {
+		c, u := memEvidence(rec)
+		if c > maxC {
+			maxC = c
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	var topName string
+	var topScore float64
+	for _, rec := range recs {
+		c, u := memEvidence(rec)
+		var normC, normU float64
+		if maxC > 0 {
+			normC = c / maxC
+		}
+		if maxU > 0 {
+			normU = u / maxU
+		}
+		score := normC * (0.6 + 0.4*normU)
+		if score > topScore || (score == topScore && topName != "" && rec.name < topName) {
+			topName, topScore = rec.name, score
+		}
+	}
+	if topName == "" || topScore < 0.1 {
+		m.suspectMu.Unlock()
 		return
 	}
-	m.suspectMu.Lock()
-	changed := top.Name != m.lastSuspect
+	changed := topName != m.lastSuspect
 	if changed {
-		m.lastSuspect = top.Name
+		m.lastSuspect = topName
 	}
 	m.suspectMu.Unlock()
 	if changed {
 		m.f.server.Emit(jmx.Notification{
 			Type:    NotifSuspect,
 			Source:  ManagerName(),
-			Message: fmt.Sprintf("top aging suspect: %s (score %.3f)", top.Name, top.Score),
-			Data:    top,
+			Message: fmt.Sprintf("top aging suspect: %s (score %.3f)", topName, topScore),
+			Data:    rootcause.Ranked{Name: topName, Score: topScore},
 		})
 	}
 }

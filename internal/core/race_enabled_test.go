@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops items (to widen race
+// windows) and alloc-count assertions are meaningless.
+const raceEnabled = true

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestMonitorObserveSteadyStateAllocs is the zero-garbage contract of the
+// monitoring plane: once every component has been seen and the windows
+// are warm, a Monitor.Observe round must not allocate — the round
+// scratch, the detector windows, the slope multisets and the published
+// report ring are all reused. The long-run soak below keeps cycling a
+// window-saturated monitor (with an alarming component present, so the
+// significant-trend path is exercised too) and fails on any per-round
+// garbage.
+func TestMonitorObserveSteadyStateAllocs(t *testing.T) {
+	const comps = 14
+	m := NewMonitor("memory", Config{})
+	obs := make([]Observation, comps)
+	now := sim.Epoch
+	round := 0
+	step := func() {
+		round++
+		now = now.Add(30 * time.Second)
+		for c := range obs {
+			obs[c] = Observation{
+				Component: names[c],
+				Value:     float64(round) * float64(c+1),
+				Usage:     float64(round) * 10,
+			}
+		}
+		m.Observe(now, obs)
+	}
+	// Warm up past the window size so every ring buffer, tie table and
+	// slope store has reached steady state, and alarms are live.
+	for round < 3*m.Config().Window {
+		step()
+	}
+	if rep := m.Latest(); len(rep.Alarms()) == 0 {
+		t.Fatalf("soak premise broken: no component alarming at round %d\n%s", round, rep)
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs > 0 {
+		t.Fatalf("steady-state Observe allocates %.2f objects per round", allocs)
+	}
+}
+
+// TestMonitorObserveShiftResetAllocs drives the guard through a workload
+// shift mid-soak: the entropy window reset and the suppression path must
+// reuse state as well (Reset keeps buffers), so even shifting rounds stay
+// allocation-free at steady state.
+func TestMonitorObserveShiftResetAllocs(t *testing.T) {
+	m := NewMonitor("cpu", Config{PerInvocation: true})
+	now := sim.Epoch
+	round := 0
+	var cumA, cumB, usageA, usageB float64
+	step := func() {
+		round++
+		now = now.Add(30 * time.Second)
+		ua, ub := 90.0, 10.0
+		if round%40 >= 20 { // mix flips every 20 rounds: the guard stays busy
+			ua, ub = 10.0, 90.0
+		}
+		usageA += ua
+		usageB += ub
+		cumA += ua * 0.010
+		cumB += ub * 0.020
+		m.Observe(now, []Observation{
+			{Component: "a", Value: cumA, Usage: usageA},
+			{Component: "b", Value: cumB, Usage: usageB},
+		})
+	}
+	for round < 120 {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs > 0 {
+		t.Fatalf("shifting-state Observe allocates %.2f objects per round", allocs)
+	}
+}
+
+// TestReportRetentionRing pins the recycling contract: a report stays
+// intact for ReportRetention-1 rounds after publication and is rewritten
+// by the ring afterwards, and Clone detaches a kept copy.
+func TestReportRetentionRing(t *testing.T) {
+	m := NewMonitor("memory", Config{ReportRetention: 3})
+	now := sim.Epoch
+	push := func() *Report {
+		now = now.Add(30 * time.Second)
+		return m.Observe(now, []Observation{{Component: "c", Value: float64(m.Rounds()) * 100, Usage: 1}})
+	}
+	first := push()
+	firstRound := first.Round
+	kept := first.Clone()
+	push() // retention 3: first survives this round and the next...
+	if first.Round != firstRound {
+		t.Fatalf("report rewritten within its retention window (round %d)", first.Round)
+	}
+	push()
+	push() // ...but the ring has now cycled back over it.
+	if first.Round == firstRound {
+		t.Fatal("ring did not recycle the report buffer after retention expired")
+	}
+	if kept.Round != firstRound {
+		t.Fatal("Clone did not detach the kept report from the ring")
+	}
+}

@@ -14,12 +14,13 @@
 // goroutine surface is the published *Report behind an atomic.Pointer:
 // Latest never blocks and never observes a half-built report, so live
 // root-cause queries read verdicts concurrently with sampling at zero
-// contention.
+// contention. Reports are recycled through a fixed ring so a steady-state
+// round produces zero garbage; see Report for the retention contract a
+// long-holding consumer must respect.
 package detect
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -86,7 +87,19 @@ type Config struct {
 	// PHWarmup is the number of samples the Page-Hinkley baseline is
 	// estimated over (default DefaultPHWarmup).
 	PHWarmup int
+	// ReportRetention is how many sampling rounds a *Report obtained from
+	// Latest (or returned by Observe) remains valid after publication.
+	// Reports are recycled through a ring of this size so a steady-state
+	// round produces zero garbage; a consumer that holds a report for
+	// longer than ReportRetention-1 subsequent rounds must Clone it
+	// (default DefaultReportRetention, minimum 2).
+	ReportRetention int
 }
+
+// DefaultReportRetention is the default size of the recycled report ring.
+// At the default 30s sampling cadence it gives consumers ~3.5 minutes to
+// read a published report before its buffer is rewritten.
+const DefaultReportRetention = 8
 
 func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
@@ -114,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShiftNoiseMargin <= 0 {
 		c.ShiftNoiseMargin = DefaultShiftNoiseMargin
+	}
+	if c.ReportRetention <= 0 {
+		c.ReportRetention = DefaultReportRetention
+	}
+	if c.ReportRetention < 2 {
+		c.ReportRetention = 2
 	}
 	return c
 }
@@ -161,6 +180,13 @@ type Verdict struct {
 }
 
 // Report is the Monitor's published state after a sampling round.
+//
+// Reports are recycled: the Monitor publishes from a ring of
+// Config.ReportRetention buffers, so a *Report stays valid for at least
+// ReportRetention-1 rounds after it was published and is then rewritten in
+// place by a later round. Consumers that read the latest report promptly
+// (the detector bank, live queries, the cluster fold) never notice;
+// consumers that retain one across many rounds must Clone it.
 type Report struct {
 	// Resource names the watched resource.
 	Resource string
@@ -190,6 +216,14 @@ type Report struct {
 	EntropySuspect string
 	// Components holds one verdict per component, highest score first.
 	Components []Verdict
+}
+
+// Clone returns an independent copy of the report, for consumers that
+// keep it beyond the recycled ring's retention window.
+func (r *Report) Clone() *Report {
+	c := *r
+	c.Components = append([]Verdict(nil), r.Components...)
+	return &c
 }
 
 // Alarms returns the verdicts currently alarming, highest score first.
@@ -251,6 +285,12 @@ type componentState struct {
 // Monitor composes the trend, entropy and shift detectors for one
 // resource. Observe is single-owner (the sampling round); Latest is safe
 // from any goroutine.
+//
+// A steady-state Observe round allocates nothing: the round's delta
+// scratch, the guard's distributions, every detector's window state and
+// the published Report itself are all reused (reports cycle through a
+// ring of Config.ReportRetention buffers — see Report for the retention
+// contract). The alloc soak test in this package pins that property.
 type Monitor struct {
 	resource string
 	cfg      Config
@@ -262,6 +302,14 @@ type Monitor struct {
 	rounds        int64
 	shiftRounds   int64
 
+	// Round scratch, reused across Observe calls.
+	usageDeltas map[string]float64
+	valueDeltas []float64
+
+	// ring holds the recycled report buffers Observe publishes from.
+	ring    []Report
+	ringIdx int
+
 	report atomic.Pointer[Report]
 }
 
@@ -269,11 +317,13 @@ type Monitor struct {
 func NewMonitor(resource string, cfg Config) *Monitor {
 	cfg = cfg.withDefaults()
 	return &Monitor{
-		resource: resource,
-		cfg:      cfg,
-		comps:    make(map[string]*componentState),
-		entropy:  NewEntropyDetector(cfg.Window, cfg.Alpha),
-		guard:    NewShiftGuardMargin(cfg.ShiftThreshold, cfg.ShiftHold, cfg.ShiftEWMA, cfg.ShiftNoiseMargin),
+		resource:    resource,
+		cfg:         cfg,
+		comps:       make(map[string]*componentState),
+		entropy:     NewEntropyDetector(cfg.Window, cfg.Alpha),
+		guard:       NewShiftGuardMargin(cfg.ShiftThreshold, cfg.ShiftHold, cfg.ShiftEWMA, cfg.ShiftNoiseMargin),
+		usageDeltas: make(map[string]float64),
+		ring:        make([]Report, cfg.ReportRetention),
 	}
 }
 
@@ -287,9 +337,20 @@ func (m *Monitor) Config() Config { return m.cfg }
 func (m *Monitor) Rounds() int64 { return m.rounds }
 
 // Latest returns the most recently published report (nil before the first
-// round). It never blocks: the report is an immutable snapshot behind an
-// atomic pointer.
+// round). It never blocks; the pointer is published atomically, and the
+// report behind it stays valid for Config.ReportRetention-1 further
+// rounds (Clone to keep it longer).
 func (m *Monitor) Latest() *Report { return m.report.Load() }
+
+// nextReport takes the next recycled report buffer from the ring and
+// resets it for this round, keeping the Components backing array.
+func (m *Monitor) nextReport() *Report {
+	rep := &m.ring[m.ringIdx]
+	m.ringIdx = (m.ringIdx + 1) % len(m.ring)
+	comps := rep.Components[:0]
+	*rep = Report{Components: comps}
+	return rep
+}
 
 // Observe absorbs one sampling round and publishes a fresh Report. It
 // must be called from a single goroutine (the manager's sampling round).
@@ -297,9 +358,17 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 	m.rounds++
 
 	// Round deltas feed the shift guard (usage) and the entropy
-	// detector (consumption).
-	usageDeltas := make(map[string]float64, len(obs))
-	valueDeltas := make([]float64, len(obs))
+	// detector (consumption). Both scratch structures are monitor-owned
+	// and reused round over round.
+	clear(m.usageDeltas)
+	usageDeltas := m.usageDeltas
+	if cap(m.valueDeltas) < len(obs) {
+		m.valueDeltas = make([]float64, len(obs))
+	}
+	valueDeltas := m.valueDeltas[:len(obs)]
+	for i := range valueDeltas {
+		valueDeltas[i] = 0
+	}
 	var totalDelta float64
 	for i, o := range obs {
 		st := m.comps[o.Component]
@@ -369,14 +438,13 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 	if suppressed {
 		m.shiftRounds++
 	}
-	rep := &Report{
-		Resource:      m.resource,
-		Round:         m.rounds,
-		Time:          now,
-		Suppressed:    suppressed,
-		ShiftDistance: m.guard.Distance(),
-		ShiftRounds:   m.shiftRounds,
-	}
+	rep := m.nextReport()
+	rep.Resource = m.resource
+	rep.Round = m.rounds
+	rep.Time = now
+	rep.Suppressed = suppressed
+	rep.ShiftDistance = m.guard.Distance()
+	rep.ShiftRounds = m.shiftRounds
 	if h, ok := m.entropy.Last(); ok {
 		rep.Entropy = h
 		rep.EntropyObserved = true
@@ -435,13 +503,27 @@ func (m *Monitor) Observe(now time.Time, obs []Observation) *Report {
 		v.FirstAlarmRound = st.firstAlarm
 		rep.Components = append(rep.Components, v)
 	}
-	sort.SliceStable(rep.Components, func(i, j int) bool {
-		if rep.Components[i].Score != rep.Components[j].Score {
-			return rep.Components[i].Score > rep.Components[j].Score
-		}
-		return rep.Components[i].Component < rep.Components[j].Component
-	})
+	sortVerdicts(rep.Components)
 
 	m.report.Store(rep)
 	return rep
+}
+
+// sortVerdicts orders verdicts highest score first, ties by component
+// name. It is a stable insertion sort: the slices are small (one entry
+// per component) and mostly ordered round over round, and unlike
+// sort.SliceStable it allocates nothing.
+func sortVerdicts(vs []Verdict) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && verdictBefore(&vs[j], &vs[j-1]); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+func verdictBefore(a, b *Verdict) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Component < b.Component
 }

@@ -35,6 +35,7 @@ type ShiftGuard struct {
 	margin    float64
 
 	ref       map[string]float64 // reference share distribution
+	shares    map[string]float64 // round scratch, reused
 	lastDist  float64
 	lastThr   float64 // effective threshold of the latest non-idle round
 	calmLeft  int     // rounds of calm still required before unsuppressing
@@ -75,7 +76,13 @@ func NewShiftGuardMargin(threshold float64, hold int, ewma, margin float64) *Shi
 	if margin <= 0 {
 		margin = DefaultShiftNoiseMargin
 	}
-	return &ShiftGuard{threshold: threshold, hold: hold, ewma: ewma, margin: margin}
+	return &ShiftGuard{
+		threshold: threshold,
+		hold:      hold,
+		ewma:      ewma,
+		margin:    margin,
+		shares:    make(map[string]float64),
+	}
 }
 
 // Observe absorbs one round of per-component usage deltas and reports
@@ -93,14 +100,20 @@ func (g *ShiftGuard) Observe(usageDeltas map[string]float64) bool {
 		// An idle round says nothing about the mix.
 		return g.Suppressing()
 	}
-	shares := make(map[string]float64, len(usageDeltas))
+	clear(g.shares)
+	shares := g.shares
 	for c, d := range usageDeltas {
 		if d > 0 {
 			shares[c] = d / total
 		}
 	}
 	if g.ref == nil {
-		g.ref = shares
+		// Seed the reference with a copy — shares is round scratch that
+		// the next Observe will clear.
+		g.ref = make(map[string]float64, len(shares))
+		for c, s := range shares {
+			g.ref[c] = s
+		}
 		return false
 	}
 	g.lastDist = totalVariation(g.ref, shares)

@@ -10,10 +10,17 @@ import (
 // OnlineTrend is an incremental Mann-Kendall trend detector over a sliding
 // window of the most recent Window observations. Where
 // metrics.MannKendall re-scans the whole series in O(n²) per query, this
-// detector maintains the S statistic and the tie table across pushes and
-// evictions, so absorbing one sample costs O(Window) comparisons and a
-// verdict costs O(1) (plus an O(Window²) Sen-slope estimate that is only
-// computed when the test is significant).
+// detector maintains the S statistic, the tie table AND the sorted
+// multiset of pairwise slopes (metrics.SlopeStore) across pushes and
+// evictions, so absorbing one sample costs O(Window) slope updates and a
+// verdict — Sen slope included — costs O(1). Earlier revisions recomputed
+// the O(Window²) Sen estimate from scratch on every significant round;
+// that recompute (and its scratch allocations) was the dominant cost of a
+// monitoring round and is gone.
+//
+// Steady-state pushes allocate nothing: the ring buffers and the slope
+// store are pre-sized at construction and the tie table only grows while
+// new distinct values appear.
 //
 // It is not safe for concurrent use: one goroutine — in this repo the
 // manager's sampling round — owns it. Consumers that need the verdict from
@@ -27,12 +34,20 @@ type OnlineTrend struct {
 	head int       // index of the oldest element
 	n    int       // current fill
 
-	s     int64             // Mann-Kendall S over the window
-	ties  map[float64]int64 // value -> multiplicity, for the variance correction
-	t0    time.Time
-	seen  int64 // total samples ever absorbed
-	dirty bool  // Sen slope cache invalid
-	slope float64
+	s    int64             // Mann-Kendall S over the window
+	ties map[float64]int64 // value -> multiplicity, for the variance correction
+	// tieCorr is Σ t·(t-1)·(2t+5) over tie groups, maintained exactly in
+	// integer arithmetic as multiplicities change, so Result never has to
+	// iterate the tie table.
+	tieCorr int64
+	slopes  *metrics.SlopeStore
+	t0      time.Time
+	seen    int64 // total samples ever absorbed
+
+	// Per-push batches for the slope store's merge pass, reused across
+	// pushes so steady-state maintenance allocates nothing.
+	removals []float64
+	inserts  []float64
 }
 
 // NewOnlineTrend creates a detector with the given window size (minimum 4,
@@ -47,11 +62,14 @@ func NewOnlineTrend(window int, alpha float64) *OnlineTrend {
 		alpha = 0.05
 	}
 	return &OnlineTrend{
-		window: window,
-		alpha:  alpha,
-		xs:     make([]float64, window),
-		ys:     make([]float64, window),
-		ties:   make(map[float64]int64),
+		window:   window,
+		alpha:    alpha,
+		xs:       make([]float64, window),
+		ys:       make([]float64, window),
+		ties:     make(map[float64]int64),
+		slopes:   metrics.NewSlopeStore(window),
+		removals: make([]float64, 0, window),
+		inserts:  make([]float64, 0, window),
 	}
 }
 
@@ -65,11 +83,27 @@ func (o *OnlineTrend) Len() int { return o.n }
 func (o *OnlineTrend) Seen() int64 { return o.seen }
 
 // Reset discards the window, e.g. after a workload shift invalidated the
-// history the trend was estimated against.
+// history the trend was estimated against. The buffers, the tie table and
+// the slope store are kept, so a reset-refill cycle allocates nothing.
 func (o *OnlineTrend) Reset() {
-	o.head, o.n, o.s = 0, 0, 0
-	o.ties = make(map[float64]int64)
-	o.dirty = true
+	o.head, o.n, o.s, o.tieCorr = 0, 0, 0, 0
+	clear(o.ties)
+	o.slopes.Reset()
+}
+
+// tieTerm is one tie group's contribution to the variance correction.
+func tieTerm(t int64) int64 { return t * (t - 1) * (2*t + 5) }
+
+// retie moves value v's multiplicity from m to m' = m+d, keeping the
+// correction sum exact.
+func (o *OnlineTrend) retie(v float64, d int64) {
+	m := o.ties[v]
+	o.tieCorr += tieTerm(m+d) - tieTerm(m)
+	if m+d > 0 {
+		o.ties[v] = m + d
+	} else {
+		delete(o.ties, v)
+	}
 }
 
 // at returns the i-th oldest buffered sample, i in [0, n).
@@ -79,57 +113,62 @@ func (o *OnlineTrend) at(i int) (x, y float64) {
 }
 
 // Push absorbs one observation. When the window is full the oldest
-// observation is evicted first; S is maintained incrementally through both
-// halves, which is what makes the update O(Window) instead of O(Window²).
+// observation is evicted first; S and the slope multiset are maintained
+// incrementally through both halves, which is what makes the update
+// O(Window) instead of O(Window²).
 func (o *OnlineTrend) Push(t time.Time, v float64) {
 	if o.seen == 0 {
 		o.t0 = t
 	}
 	o.seen++
+	o.removals = o.removals[:0]
+	o.inserts = o.inserts[:0]
 	if o.n == o.window {
 		// Evict the oldest: remove its sign contributions against every
-		// survivor (it was the earlier element of each of those pairs).
-		_, oldest := o.at(0)
+		// survivor (it was the earlier element of each of those pairs),
+		// and batch the pairwise slopes it participated in for removal.
+		// Each slope value is recomputed from the very same operands that
+		// inserted it, so the float64 is bit-identical and the multiset
+		// removal exact.
+		oldestX, oldest := o.at(0)
 		for i := 1; i < o.n; i++ {
-			_, yi := o.at(i)
+			xi, yi := o.at(i)
 			o.s -= sign(yi - oldest)
+			if dx := xi - oldestX; dx != 0 {
+				o.removals = append(o.removals, (yi-oldest)/dx)
+			}
 		}
-		if c := o.ties[oldest] - 1; c > 0 {
-			o.ties[oldest] = c
-		} else {
-			delete(o.ties, oldest)
-		}
+		o.retie(oldest, -1)
 		o.head = (o.head + 1) % o.window
 		o.n--
 	}
 	// Insert the newest: it is the later element of every new pair.
+	x := t.Sub(o.t0).Seconds()
 	for i := 0; i < o.n; i++ {
-		_, yi := o.at(i)
+		xi, yi := o.at(i)
 		o.s += sign(v - yi)
+		if dx := x - xi; dx != 0 {
+			o.inserts = append(o.inserts, (v-yi)/dx)
+		}
 	}
+	o.slopes.Update(o.removals, o.inserts)
 	j := (o.head + o.n) % o.window
-	o.xs[j] = t.Sub(o.t0).Seconds()
+	o.xs[j] = x
 	o.ys[j] = v
 	o.n++
-	o.ties[v]++
-	o.dirty = true
+	o.retie(v, 1)
 }
 
 // Result computes the Mann-Kendall verdict over the current window. The
-// Sen slope is estimated only when the trend is significant; otherwise the
-// cached (possibly stale) slope is reported with the direction TrendNone.
+// Sen slope is the median of the incrementally maintained slope multiset,
+// so reporting it costs O(1) regardless of significance.
 func (o *OnlineTrend) Result() metrics.TrendResult {
 	res := metrics.TrendResult{S: o.s}
 	n := o.n
 	if n < 4 {
 		return res
 	}
-	varS := float64(n*(n-1)*(2*n+5)) / 18
-	for _, t := range o.ties {
-		if t > 1 {
-			varS -= float64(t*(t-1)*(2*t+5)) / 18
-		}
-	}
+	varS := float64(int64(n*(n-1)*(2*n+5))-o.tieCorr) / 18
 	if varS <= 0 {
 		return res
 	}
@@ -140,52 +179,35 @@ func (o *OnlineTrend) Result() metrics.TrendResult {
 		res.Z = float64(o.s+1) / math.Sqrt(varS)
 	}
 	res.P = 2 * (1 - metrics.StdNormalCDF(math.Abs(res.Z)))
+	res.SenSlope = o.slopes.Median()
 	if res.P < o.alpha {
 		if o.s > 0 {
 			res.Direction = metrics.TrendIncreasing
 		} else {
 			res.Direction = metrics.TrendDecreasing
 		}
-		if o.dirty {
-			o.slope = o.senSlope()
-			if o.slope == 0 {
-				// Staircase fallback: a resource that grows in sparse
-				// jumps (a leak hit once per many sampling rounds — the
-				// signature of a lightly loaded cluster replica) yields a
-				// significant Mann-Kendall verdict whose *median*
-				// pairwise slope is still exactly zero, because most
-				// pairs lie on the same tread. The endpoint slope over
-				// the window is the average growth rate and is safe here
-				// precisely because the test already confirmed a
-				// significant monotone trend — but only when the total
-				// rise is material relative to the level, so the
-				// floating-point jitter of a genuinely constant series
-				// (~1e-16 relative) never masquerades as growth.
-				x0, y0 := o.at(0)
-				xn, yn := o.at(o.n - 1)
-				rise := yn - y0
-				if xn > x0 && math.Abs(rise) > 1e-9*math.Max(math.Abs(y0), math.Abs(yn)) {
-					o.slope = rise / (xn - x0)
-				}
+		if res.SenSlope == 0 {
+			// Staircase fallback: a resource that grows in sparse
+			// jumps (a leak hit once per many sampling rounds — the
+			// signature of a lightly loaded cluster replica) yields a
+			// significant Mann-Kendall verdict whose *median*
+			// pairwise slope is still exactly zero, because most
+			// pairs lie on the same tread. The endpoint slope over
+			// the window is the average growth rate and is safe here
+			// precisely because the test already confirmed a
+			// significant monotone trend — but only when the total
+			// rise is material relative to the level, so the
+			// floating-point jitter of a genuinely constant series
+			// (~1e-16 relative) never masquerades as growth.
+			x0, y0 := o.at(0)
+			xn, yn := o.at(o.n - 1)
+			rise := yn - y0
+			if xn > x0 && math.Abs(rise) > 1e-9*math.Max(math.Abs(y0), math.Abs(yn)) {
+				res.SenSlope = rise / (xn - x0)
 			}
-			o.dirty = false
 		}
 	}
-	res.SenSlope = o.slope
 	return res
-}
-
-// senSlope estimates the median pairwise slope over the window, units
-// per second, via the shared metrics.SenSlope estimator. O(Window²) —
-// called only on significant trends, where a slopes buffer of that size
-// is allocated anyway.
-func (o *OnlineTrend) senSlope() float64 {
-	xs := make([]float64, o.n)
-	ys := make([]float64, o.n)
-	for i := 0; i < o.n; i++ {
-		xs[i], ys[i] = o.at(i)
-	}
-	return metrics.SenSlope(xs, ys)
 }
 
 func sign(d float64) int64 {

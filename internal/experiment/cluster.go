@@ -46,10 +46,13 @@ type ClusterConfig struct {
 	Policy cluster.Policy
 	// Quorum overrides the aggregator's cluster-wide quorum fraction.
 	Quorum float64
-	// WireTransport ships rounds as gob over net.Pipe connections
-	// instead of in-process calls, exercising the real serialisation
-	// path; verdicts must not depend on the choice.
+	// WireTransport ships rounds over net.Pipe connections instead of
+	// in-process calls, exercising a real serialisation path; verdicts
+	// must not depend on the choice.
 	WireTransport bool
+	// WireCodec selects the serialisation when WireTransport is set:
+	// gob (the default) or the delta-encoded binary codec.
+	WireCodec cluster.WireCodec
 }
 
 // ClusterNode is one application-server node of a ClusterStack.
@@ -190,8 +193,14 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 	var tr cluster.Transport
 	if cfg.WireTransport {
 		client, server := net.Pipe()
-		go func() { _ = cs.Aggregator.ServeConn(server) }()
-		tr = cluster.NewWire(client)
+		switch cfg.WireCodec {
+		case cluster.CodecBinary:
+			go func() { _ = cs.Aggregator.ServeBinaryConn(server) }()
+			tr = cluster.NewBinaryWire(client)
+		default:
+			go func() { _ = cs.Aggregator.ServeConn(server) }()
+			tr = cluster.NewWire(client)
+		}
 	} else {
 		tr = cluster.NewInProc(cs.Aggregator)
 	}

@@ -22,8 +22,9 @@ import (
 // alarms.
 
 // clusterScenarioStack assembles an N-node cluster with the scenario
-// detector tuning and a cluster-alarm log.
-func clusterScenarioStack(cfg Config, nodes, spares int, policy cluster.Policy, wire bool) (*ClusterStack, *alarmLog, error) {
+// detector tuning and a cluster-alarm log. codec selects the wire
+// serialisation when wire is set (pass cluster.CodecGob otherwise).
+func clusterScenarioStack(cfg Config, nodes, spares int, policy cluster.Policy, wire bool, codec cluster.WireCodec) (*ClusterStack, *alarmLog, error) {
 	cs, err := NewClusterStack(ClusterConfig{
 		Nodes:         nodes,
 		Spares:        spares,
@@ -33,6 +34,7 @@ func clusterScenarioStack(cfg Config, nodes, spares int, policy cluster.Policy, 
 		Detect:        scenarioDetectConfig(),
 		Policy:        policy,
 		WireTransport: wire,
+		WireCodec:     codec,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -62,7 +64,7 @@ func clusterEpochBound() int64 {
 // within the epoch bound, with the healthy replicas staying clean.
 func S5SingleNodeLeak(cfg Config) Result {
 	cfg = cfg.withDefaults()
-	cs, log, err := clusterScenarioStack(cfg, 3, 0, cluster.RoundRobin, false)
+	cs, log, err := clusterScenarioStack(cfg, 3, 0, cluster.RoundRobin, false, cluster.CodecGob)
 	if err != nil {
 		return errorResult("S5", err)
 	}
@@ -110,7 +112,7 @@ func S5SingleNodeLeak(cfg Config) Result {
 // component to a cluster-wide verdict (quorum), not blame one replica.
 func S6UniformLeak(cfg Config) Result {
 	cfg = cfg.withDefaults()
-	cs, log, err := clusterScenarioStack(cfg, 3, 0, cluster.RoundRobin, false)
+	cs, log, err := clusterScenarioStack(cfg, 3, 0, cluster.RoundRobin, false, cluster.CodecGob)
 	if err != nil {
 		return errorResult("S6", err)
 	}
@@ -153,7 +155,7 @@ func S6UniformLeak(cfg Config) Result {
 // correct final membership.
 func S7NodeChurn(cfg Config) Result {
 	cfg = cfg.withDefaults()
-	cs, log, err := clusterScenarioStack(cfg, 3, 1, cluster.RoundRobin, false)
+	cs, log, err := clusterScenarioStack(cfg, 3, 1, cluster.RoundRobin, false, cluster.CodecGob)
 	if err != nil {
 		return errorResult("S7", err)
 	}
@@ -201,7 +203,7 @@ func S7NodeChurn(cfg Config) Result {
 // the skew (it engages, and no verdict or alarm survives to the end).
 func S8SkewedBalancer(cfg Config) Result {
 	cfg = cfg.withDefaults()
-	cs, log, err := clusterScenarioStack(cfg, 3, 0, cluster.Weighted, false)
+	cs, log, err := clusterScenarioStack(cfg, 3, 0, cluster.Weighted, false, cluster.CodecGob)
 	if err != nil {
 		return errorResult("S8", err)
 	}

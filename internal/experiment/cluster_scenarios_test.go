@@ -67,15 +67,16 @@ func TestClusterScenariosFullScale(t *testing.T) {
 }
 
 // TestClusterTransportParity is the transport-independence contract: the
-// same three-node leak scenario over the in-process transport and over
-// gob-on-net-pipes must produce identical cluster and per-node verdicts.
+// same three-node leak scenario over the in-process transport, over
+// gob-on-net-pipes and over the delta-encoded binary codec must produce
+// identical cluster and per-node verdicts.
 func TestClusterTransportParity(t *testing.T) {
 	type outcome struct {
 		clusterReports map[string]cluster.ClusterReport
 		nodeVerdicts   map[string]any
 	}
-	run := func(wire bool) outcome {
-		cs, _, err := clusterScenarioStack(scenarioCfg, 3, 0, cluster.RoundRobin, wire)
+	run := func(wire bool, codec cluster.WireCodec) outcome {
+		cs, _, err := clusterScenarioStack(scenarioCfg, 3, 0, cluster.RoundRobin, wire, codec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,23 +100,26 @@ func TestClusterTransportParity(t *testing.T) {
 			}
 			for _, n := range []string{"node1", "node2", "node3"} {
 				if nr := cs.Aggregator.NodeReport(n, res); nr != nil {
-					out.nodeVerdicts[n+"/"+res] = nr.Components
+					// Clone: node reports are recycled ring buffers.
+					out.nodeVerdicts[n+"/"+res] = nr.Clone().Components
 				}
 			}
 		}
 		return out
 	}
 
-	inproc := run(false)
-	wired := run(true)
-	if !reflect.DeepEqual(inproc.clusterReports, wired.clusterReports) {
-		t.Fatalf("cluster reports differ between transports:\ninproc: %+v\nwire:   %+v",
-			inproc.clusterReports, wired.clusterReports)
+	inproc := run(false, cluster.CodecGob)
+	for _, codec := range []cluster.WireCodec{cluster.CodecGob, cluster.CodecBinary} {
+		wired := run(true, codec)
+		if !reflect.DeepEqual(inproc.clusterReports, wired.clusterReports) {
+			t.Fatalf("cluster reports differ between in-proc and %v wire:\ninproc: %+v\nwire:   %+v",
+				codec, inproc.clusterReports, wired.clusterReports)
+		}
+		if !reflect.DeepEqual(inproc.nodeVerdicts, wired.nodeVerdicts) {
+			t.Fatalf("per-node verdicts differ between in-proc and %v wire", codec)
+		}
 	}
-	if !reflect.DeepEqual(inproc.nodeVerdicts, wired.nodeVerdicts) {
-		t.Fatalf("per-node verdicts differ between transports")
-	}
-	// And the scenario's point holds on both: the sick pair is named.
+	// And the scenario's point holds everywhere: the sick pair is named.
 	memRep := inproc.clusterReports[core.ResourceMemory]
 	top, ok := (&memRep).Top()
 	if !ok || top.Pair() != "node2/"+ComponentA {

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"slices"
+	"sort"
+)
+
+// SlopeStore maintains the sorted multiset of pairwise slopes of a sliding
+// window, so Sen's slope — the median of that multiset — reads in O(1)
+// instead of the O(n² log n) collect-and-sort of the batch SenSlope. The
+// online trend detector (internal/detect) owns one per component: when a
+// sample enters the window it inserts the n-1 slopes the sample forms with
+// the survivors, and when a sample is evicted it removes the n-1 slopes
+// that sample participated in. Each insert or remove is a binary search
+// plus a memmove over the slope buffer — for the default window of 40 that
+// buffer is 780 float64s, small enough that the memmove is cheaper than a
+// single map operation.
+//
+// The store is exact, not approximate: it holds the same multiset the
+// batch estimator would collect, so Median returns bit-identical results
+// to SenSlope over the same window (the detect test suite pins this
+// sample-for-sample). Inserting NaN is a caller bug — binary search over
+// a slice with NaNs is meaningless — and pairs with dx == 0 must be
+// skipped by the caller, mirroring the batch estimator.
+//
+// Not safe for concurrent use; the single-owner contract of the online
+// detectors covers it.
+type SlopeStore struct {
+	sorted  []float64
+	scratch []float64 // swap buffer for Update's merge pass
+}
+
+// NewSlopeStore returns a store pre-sized for a window of n samples, so
+// steady-state maintenance never grows the buffer. The capacity is
+// n·(n-1)/2 + (n-1): Update's merge pass peaks at the full pair count
+// plus one push's insertions before the matching removals land.
+func NewSlopeStore(window int) *SlopeStore {
+	if window < 2 {
+		window = 2
+	}
+	peak := window*(window-1)/2 + window - 1
+	return &SlopeStore{
+		sorted:  make([]float64, 0, peak),
+		scratch: make([]float64, 0, peak),
+	}
+}
+
+// Len returns the number of slopes held.
+func (s *SlopeStore) Len() int { return len(s.sorted) }
+
+// Reset discards every slope but keeps the buffer.
+func (s *SlopeStore) Reset() { s.sorted = s.sorted[:0] }
+
+// Insert adds one slope to the multiset.
+func (s *SlopeStore) Insert(v float64) {
+	i := sort.SearchFloat64s(s.sorted, v)
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = v
+}
+
+// Remove deletes one instance of v from the multiset. It reports whether
+// the value was present; removing an absent value is a maintenance bug in
+// the caller (an evicted pair whose slope was never inserted).
+func (s *SlopeStore) Remove(v float64) bool {
+	i := sort.SearchFloat64s(s.sorted, v)
+	if i >= len(s.sorted) || s.sorted[i] != v {
+		return false
+	}
+	s.sorted = append(s.sorted[:i], s.sorted[i+1:]...)
+	return true
+}
+
+// Update applies one window step as a batch: every slope in removals
+// leaves the multiset (one instance each; absent values are ignored) and
+// every slope in inserts enters it. Both argument slices are sorted in
+// place. Where per-element Insert/Remove each pay an O(n) memmove — 2·W
+// of them per window step — Update is a single merge pass over the slope
+// buffer, which for the default window is one 6 KB sequential copy. This
+// is the entry point the online trend detector uses every push.
+func (s *SlopeStore) Update(removals, inserts []float64) {
+	slices.Sort(removals)
+	slices.Sort(inserts)
+	src := s.sorted
+	out := s.scratch[:cap(s.scratch)]
+	if need := len(src) + len(inserts); cap(out) < need {
+		out = make([]float64, need)
+	}
+	k, i, r, ins := 0, 0, 0, 0
+	n := len(src)
+	for r < len(removals) || ins < len(inserts) {
+		// The next event; removals fire before equal-valued inserts so a
+		// remove+insert of the same value nets out instead of drifting.
+		var ev float64
+		removal := false
+		if r < len(removals) && (ins >= len(inserts) || removals[r] <= inserts[ins]) {
+			ev, removal = removals[r], true
+		} else {
+			ev = inserts[ins]
+		}
+		// Copy the untouched run strictly below the event value. This
+		// tight loop is the whole cost of the pass; everything else is
+		// O(changes).
+		for i < n && src[i] < ev {
+			out[k] = src[i]
+			k++
+			i++
+		}
+		if removal {
+			if i < n && src[i] == ev {
+				i++ // drop exactly one instance; absent values are ignored
+			}
+			r++
+		} else {
+			out[k] = ev
+			k++
+			ins++
+		}
+	}
+	k += copy(out[k:], src[i:])
+	s.scratch = src
+	s.sorted = out[:k]
+}
+
+// Median returns the median slope with the same convention as SenSlope:
+// the middle element for odd counts, the mean of the two middle elements
+// for even counts, and 0 for an empty store.
+func (s *SlopeStore) Median() float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s.sorted[n/2]
+	}
+	return (s.sorted[n/2-1] + s.sorted[n/2]) / 2
+}

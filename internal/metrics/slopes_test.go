@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// TestSlopeStoreMatchesBatchSenSlope maintains a store over a sliding
+// window exactly as the online trend detector does — insert the new
+// sample's pairs, remove the evicted sample's pairs — and requires the
+// median to equal the batch SenSlope over the same window, bit for bit,
+// at every step.
+func TestSlopeStoreMatchesBatchSenSlope(t *testing.T) {
+	const window = 12
+	gens := map[string]func(i int) float64{
+		"trend": func(i int) float64 { return float64(i) * 0.5 },
+		"saw":   func(i int) float64 { return float64(i % 5) },
+		"mix":   func(i int) float64 { return float64(i)*0.25 + float64((i*7)%11) },
+		"flat":  func(i int) float64 { return 3.25 },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			st := NewSlopeStore(window)
+			var xs, ys []float64
+			for i := 0; i < 60; i++ {
+				x, y := float64(i)*30, gen(i)
+				if len(xs) == window {
+					// Evict the oldest: remove its pairs with every survivor.
+					for k := 1; k < len(xs); k++ {
+						if dx := xs[k] - xs[0]; dx != 0 {
+							if !st.Remove((ys[k] - ys[0]) / dx) {
+								t.Fatalf("i=%d: evicted slope missing from store", i)
+							}
+						}
+					}
+					xs, ys = xs[1:], ys[1:]
+				}
+				for k := range xs {
+					if dx := x - xs[k]; dx != 0 {
+						st.Insert((y - ys[k]) / dx)
+					}
+				}
+				xs, ys = append(xs, x), append(ys, y)
+
+				want := SenSlope(xs, ys)
+				if got := st.Median(); got != want {
+					t.Fatalf("i=%d: median %g, batch SenSlope %g", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSlopeStoreRemoveAbsent(t *testing.T) {
+	st := NewSlopeStore(4)
+	st.Insert(1.5)
+	if st.Remove(2.5) {
+		t.Fatal("removed a slope that was never inserted")
+	}
+	if !st.Remove(1.5) || st.Len() != 0 {
+		t.Fatalf("remove of present slope failed (len=%d)", st.Len())
+	}
+	if st.Median() != 0 {
+		t.Fatal("empty store must report median 0")
+	}
+}
+
+func TestSlopeStoreSteadyStateAllocs(t *testing.T) {
+	const window = 16
+	st := NewSlopeStore(window)
+	xs := make([]float64, 0, window)
+	ys := make([]float64, 0, window)
+	i := 0
+	step := func() {
+		x, y := float64(i)*30, float64(i%7)+float64(i)*0.1
+		if len(xs) == window {
+			for k := 1; k < len(xs); k++ {
+				if dx := xs[k] - xs[0]; dx != 0 {
+					st.Remove((ys[k] - ys[0]) / dx)
+				}
+			}
+			copy(xs, xs[1:])
+			copy(ys, ys[1:])
+			xs, ys = xs[:window-1], ys[:window-1]
+		}
+		for k := range xs {
+			if dx := x - xs[k]; dx != 0 {
+				st.Insert((y - ys[k]) / dx)
+			}
+		}
+		xs, ys = append(xs, x), append(ys, y)
+		i++
+	}
+	for i < 2*window { // fill and cycle once
+		step()
+	}
+	if allocs := testing.AllocsPerRun(200, step); allocs > 0 {
+		t.Fatalf("steady-state slope maintenance allocates %.1f/op", allocs)
+	}
+}

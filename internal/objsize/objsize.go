@@ -80,13 +80,26 @@ func New(policy Policy) *Sizer { return &Sizer{policy: policy} }
 // Policy returns the sizer's policy.
 func (s *Sizer) Policy() Policy { return s.policy }
 
+// walkerPool recycles the cycle-detection state between measurements.
+// The sampling round measures every instrumented component once per
+// round, forever; allocating a fresh visited table per measurement was
+// the last steady-state garbage on that path. Entries are cleared on
+// put, which keeps the map's buckets.
+var walkerPool = sync.Pool{
+	New: func() any { return &walker{visited: make(map[visit]bool)} },
+}
+
 // Of returns the estimated retained size of v in bytes under the sizer's
 // policy. A nil value measures zero.
 func (s *Sizer) Of(v any) int64 {
 	if v == nil {
 		return 0
 	}
-	w := walker{visited: make(map[visit]bool)}
+	w := walkerPool.Get().(*walker)
+	defer func() {
+		clear(w.visited)
+		walkerPool.Put(w)
+	}()
 	rv := reflect.ValueOf(v)
 	// The interface passed in is a transparency device, not part of the
 	// object: measuring starts at the dynamic value without charging an

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# benchdiff.sh — compare a fresh benchmark run against BENCH_baseline.json.
+#
+# Usage: scripts/benchdiff.sh [-t pct] [-b benchtime] [bench_regex]
+#
+#   -t pct        allowed ns/op regression over the recorded baseline, in
+#                 percent (default 200: fail only when a benchmark runs at
+#                 more than 3x its recorded time — CI containers are noisy
+#                 and share cores, so this is a smoke gate against
+#                 order-of-magnitude regressions, not a perf lab)
+#   -b benchtime  go test -benchtime (default 2000x — enough iterations to
+#                 amortise cold starts like gob's type descriptors while
+#                 staying a few seconds of CI time)
+#   bench_regex   which benchmarks to run (default: the monitoring-plane and
+#                 request-path set; the sub-10ns aspect fast-path benches are
+#                 excluded because a fixed-iteration run of a nanosecond op
+#                 measures timer overhead, not the op)
+#
+# For each benchmark in the fresh run that has an entry in
+# BENCH_baseline.json, the script compares ns/op against the *most recent*
+# recorded figure for that benchmark (the last sub-entry carrying ns_op —
+# "after", "with_cluster_tier", ... in recording order) and fails with a
+# per-benchmark report when the regression threshold is exceeded.
+# Benchmarks without a baseline entry are reported as informational.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT=200
+BENCHTIME=2000x
+while getopts "t:b:" opt; do
+  case "$opt" in
+    t) THRESHOLD_PCT="$OPTARG" ;;
+    b) BENCHTIME="$OPTARG" ;;
+    *) echo "usage: $0 [-t pct] [-b benchtime] [bench_regex]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+REGEX="${1:-BenchmarkMonitorObserve|BenchmarkWirePublish|BenchmarkWireDecode|BenchmarkAggregatorIngest|BenchmarkForwarderObserve|BenchmarkRequestMonitoredParallel}"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+echo "running: go test -run '^$' -bench \"$REGEX\" -benchtime $BENCHTIME ./..." >&2
+go test -run '^$' -bench "$REGEX" -benchtime "$BENCHTIME" ./... 2>/dev/null | tee "$OUT" >&2
+
+python3 - "$OUT" "$THRESHOLD_PCT" <<'PYEOF'
+import json, re, sys
+
+out_path, threshold = sys.argv[1], float(sys.argv[2])
+base = json.load(open("BENCH_baseline.json"))["benchmarks"]
+
+# Most recent recorded ns_op per benchmark: the last sub-entry that has one.
+recorded = {}
+for name, entries in base.items():
+    for sub in entries.values():
+        if isinstance(sub, dict) and "ns_op" in sub:
+            recorded[name] = float(sub["ns_op"])
+
+line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
+failures, checked, info = [], 0, 0
+for line in open(out_path):
+    m = line_re.match(line.strip())
+    if not m:
+        continue
+    name, ns = m.group(1), float(m.group(2))
+    if name not in recorded:
+        info += 1
+        print(f"  (no baseline) {name}: {ns:.0f} ns/op")
+        continue
+    checked += 1
+    baseline = recorded[name]
+    delta = (ns / baseline - 1.0) * 100.0
+    status = "ok"
+    if delta > threshold:
+        status = "REGRESSION"
+        failures.append((name, baseline, ns, delta))
+    print(f"  [{status}] {name}: {ns:.0f} ns/op vs {baseline:.0f} recorded ({delta:+.1f}%)")
+
+if checked == 0:
+    print("benchdiff: no benchmark in the run matches a baseline entry", file=sys.stderr)
+    sys.exit(2)
+if failures:
+    print(f"\nbenchdiff: {len(failures)} benchmark(s) regressed beyond {threshold:.0f}%:", file=sys.stderr)
+    for name, baseline, ns, delta in failures:
+        print(f"  {name}: {ns:.0f} ns/op vs {baseline:.0f} ({delta:+.1f}%)", file=sys.stderr)
+    sys.exit(1)
+print(f"benchdiff: {checked} benchmark(s) within {threshold:.0f}% of BENCH_baseline.json")
+PYEOF
