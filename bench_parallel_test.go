@@ -95,15 +95,16 @@ func benchRequestsParallel(b *testing.B, monitored bool) {
 	b.RunParallel(func(pb *testing.PB) {
 		session := fmt.Sprintf("bench-%d", sessions.Add(1))
 		for pb.Next() {
-			req := &servlet.Request{
-				Interaction: tpcw.CompHome,
-				SessionID:   session,
-				Params:      map[string]string{"I_ID": "5"},
-			}
+			req := servlet.AcquireRequest()
+			req.Interaction = tpcw.CompHome
+			req.SessionID = session
+			req.SetInt64Param("I_ID", 5)
 			resp, _ := container.Invoke(req)
 			if !resp.OK() {
 				b.Fatalf("request failed: %v", resp.Err)
 			}
+			servlet.ReleaseRequest(req)
+			servlet.ReleaseResponse(resp)
 		}
 	})
 }

@@ -168,8 +168,8 @@ func BenchmarkAspectAdvisedDisabled(b *testing.B) {
 }
 
 // benchStack assembles a direct-mode TPC-W container for real-request
-// benchmarks.
-func benchStack(b *testing.B, monitored bool) *servlet.Container {
+// benchmarks and the request-path allocation soak tests.
+func benchStack(b testing.TB, monitored bool) *servlet.Container {
 	b.Helper()
 	engine := sim.NewEngine()
 	weaver := aspect.NewWeaver(engine.Clock())
@@ -212,15 +212,16 @@ func benchRequests(b *testing.B, monitored bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := &servlet.Request{
-			Interaction: tpcw.CompHome,
-			SessionID:   "bench",
-			Params:      map[string]string{"I_ID": "5"},
-		}
+		req := servlet.AcquireRequest()
+		req.Interaction = tpcw.CompHome
+		req.SessionID = "bench"
+		req.SetInt64Param("I_ID", 5)
 		resp, _ := container.Invoke(req)
 		if !resp.OK() {
 			b.Fatalf("request failed: %v", resp.Err)
 		}
+		servlet.ReleaseRequest(req)
+		servlet.ReleaseResponse(resp)
 	}
 }
 

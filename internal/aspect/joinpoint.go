@@ -18,6 +18,12 @@
 // handle observes a configuration change on its very next call. Advice
 // bodies themselves must be safe for concurrent execution; the weaver
 // gives them no serialisation.
+//
+// JoinPoint lifetime contract: the JoinPoint passed to advice is pooled
+// and recycled as soon as the advised execution completes — exactly
+// AspectJ's thisJoinPoint semantics, which is only meaningful during the
+// advised execution. Advice must not retain the JoinPoint (or its Args
+// slice) past its own return; copy out whatever outlives the execution.
 package aspect
 
 import (

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -41,6 +42,12 @@ type Weaver struct {
 	// from every dispatching goroutine, so a single atomic cell would be
 	// the last contended cache line on the hot path.
 	joinPoints *metrics.StripedCounter
+
+	// jpPool recycles JoinPoint values across advised executions so the
+	// steady-state dispatch path allocates nothing. Advice bodies receive
+	// the pooled value and must not retain it past their own return — see
+	// the JoinPoint lifetime contract in the package comment.
+	jpPool sync.Pool
 }
 
 // snapshot is the weaver's immutable copy-on-write configuration. Never
@@ -73,6 +80,7 @@ func NewWeaver(clock sim.Clock) *Weaver {
 		regSeq:     make(map[*Aspect]int),
 		joinPoints: metrics.NewStripedCounter(),
 	}
+	w.jpPool.New = func() any { return new(JoinPoint) }
 	w.snap.Store(&snapshot{disabled: map[string]bool{}})
 	return w
 }
@@ -242,15 +250,23 @@ func (h *handle) dispatch(args []any, depth int) (any, error) {
 			break
 		}
 	}
-	jp := &JoinPoint{
-		Component: h.component,
-		Method:    h.method,
-		Args:      args,
-		Start:     w.clock.Now(),
-		Depth:     depth,
-	}
+	jp := w.jpPool.Get().(*JoinPoint)
+	jp.Component = h.component
+	jp.Method = h.method
+	jp.Args = args
+	jp.Start = w.clock.Now()
+	jp.End = time.Time{}
+	jp.Result, jp.Err = nil, nil
+	jp.Depth = depth
 	res, err := w.runChain(jp, rc.chain, 0, h.fn)
 	jp.End = w.clock.Now()
+	// Recycle: every advice body has returned by now (After advice runs
+	// inside runChain), so the join point is dead. Clear what it references
+	// so the pool does not pin arguments or results. A panicking advice
+	// body skips the recycle — the join point is simply collected.
+	jp.Args = nil
+	jp.Result, jp.Err = nil, nil
+	w.jpPool.Put(jp)
 	return res, err
 }
 
@@ -296,13 +312,15 @@ func (w *Weaver) runChain(jp *JoinPoint, chain []*Aspect, i int, fn Func) (res a
 	if a.Before != nil {
 		a.Before(jp)
 	}
-	proceed := func() (any, error) {
-		return w.runChain(jp, chain, i+1, fn)
-	}
+	// The proceed closure is only materialised for around advice — the
+	// before/after-only chain (the AC's shape) must not allocate per
+	// execution.
 	if a.Around != nil {
-		res, err = a.Around(jp, proceed)
+		res, err = a.Around(jp, func() (any, error) {
+			return w.runChain(jp, chain, i+1, fn)
+		})
 	} else {
-		res, err = proceed()
+		res, err = w.runChain(jp, chain, i+1, fn)
 	}
 	jp.Result, jp.Err = res, err
 	if err == nil {

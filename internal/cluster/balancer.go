@@ -183,6 +183,10 @@ func (b *Balancer) Submit(req *servlet.Request, done servlet.Completion) {
 		if done != nil {
 			done(req, &servlet.Response{Status: servlet.StatusUnavailable})
 		}
+		// The balancer owns a pooled request from Submit on, exactly like
+		// the container it stands in for: end the borrow once the
+		// completion has run.
+		servlet.ReleaseRequest(req)
 		return
 	}
 	m.inflight++

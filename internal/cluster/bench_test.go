@@ -46,7 +46,7 @@ func (g *roundGen) at(seq int64) Round {
 	for i := range g.r.Samples {
 		g.r.Samples[i].Size = int64(10000*(i+1)) + 512*seq
 		g.r.Samples[i].Usage = seq * int64(100+i)
-		g.r.Samples[i].CPUSeconds = float64(seq) * 0.01 * float64(i+1)
+		g.r.Samples[i].CPUSeconds = (time.Duration(seq) * time.Duration(i+1) * 10 * time.Millisecond).Seconds()
 		g.r.Samples[i].Delta = 64 * seq
 	}
 	return g.r

@@ -20,14 +20,21 @@ import (
 // each round is one length-prefixed frame. Strings (node and component
 // names) are interned per stream — sent once, then referenced by dense
 // id — and every numeric field is delta-encoded against the previous
-// round of the same node: sequence numbers advance by one, sampling
-// instants by the sampling interval, and cumulative consumption counters
-// by their round delta, so the zigzag varints that carry them are one or
-// two bytes instead of eight. CPU seconds (a float64) are XOR-compressed
-// against the previous round's bits, Gorilla-style. A steady-state round
-// of N samples costs roughly 6 + 8·N bytes on the wire, several-fold
-// smaller than the equivalent gob frame — and both encoder and decoder
-// reuse their buffers, so neither end allocates at steady state.
+// round of the same node, to second order (delta-of-delta, Gorilla's
+// timestamp trick): a steady-state monitoring stream advances every field
+// at a constant rate — sequence numbers by one, sampling instants by the
+// interval, cumulative consumption counters by their per-round growth —
+// so the residual after subtracting the previous round's delta is
+// (near-)zero and its zigzag varint is one byte where the raw value costs
+// eight. CPU seconds (a float64) are quantised to integer nanoseconds and
+// ride the same double-delta chain whenever the quantisation is bit-exact
+// — which it is for every duration-derived consumption figure — with a
+// per-sample flag falling back to XOR-against-previous raw bits for
+// floats outside the nanosecond grid, so the codec stays lossless over
+// the full float64 domain. A steady-state round of N samples costs
+// roughly 4 + 7·N bytes on the wire, an order of magnitude under the
+// equivalent gob frame — and both encoder and decoder reuse their
+// buffers, so neither end allocates at steady state.
 //
 // The codec deliberately carries less generality than gob: sampling
 // instants must be within the int64-nanosecond Unix range (years
@@ -40,16 +47,84 @@ import (
 // one format version byte. Bump the version on any incompatible change;
 // the decoder refuses streams it does not speak so cross-version nodes
 // fail loudly at connect time, not subtly at fold time.
-var wireMagic = [4]byte{'A', 'G', 'M', 1}
+//
+// Version history: 1 — initial first-order delta/XOR format; 2 — all
+// integer chains move to second-order deltas (delta-of-delta), and CPU
+// seconds ride the same chain as zigzag-encoded nanosecond residuals when
+// the quantisation is bit-exact (flagCPUNanos), falling back to the XOR'd
+// raw bits otherwise.
+var wireMagic = [4]byte{'A', 'G', 'M', 2}
 
 // prevSample is the per-component delta-encoding state: the previous
-// round's values for one component on one node.
+// round's values for one component on one node, plus the previous deltas
+// the second-order encoding subtracts.
 type prevSample struct {
-	size    int64
-	usage   int64
-	threads int64
-	delta   int64
-	cpuBits uint64
+	size     int64
+	usage    int64
+	threads  int64
+	delta    int64
+	cpuBits  uint64
+	cpuNanos int64
+
+	dSize     int64
+	dUsage    int64
+	dThreads  int64
+	dDelta    int64
+	dCPUNanos int64
+}
+
+// step advances one double-delta chain: given the new value, it returns
+// the second-order residual to encode and updates value and delta state.
+// The decoder runs the inverse (unstep). Overflow wraps identically on
+// both ends, so the chain stays lossless over the full int64 domain.
+func step(value, delta *int64, v int64) int64 {
+	d := v - *value
+	res := d - *delta
+	*value, *delta = v, d
+	return res
+}
+
+// unstep is step's decoding inverse: it folds a received residual into
+// the chain and returns the reconstructed value.
+func unstep(value, delta *int64, res int64) int64 {
+	*delta += res
+	*value += *delta
+	return *value
+}
+
+// cpuNanosBound bounds the quantisable CPU range: beyond it v*1e9 cannot
+// be held in an int64 (≈292 years of CPU time, far past any monitoring
+// horizon — such values take the raw-bits fallback).
+const cpuNanosBound = 9.0e18
+
+const nanosPerSecond = int64(1e9)
+
+// cpuFromNanos reconstructs CPU seconds from integer nanoseconds with
+// exactly time.Duration.Seconds' arithmetic (split at the second, divide
+// the remainder) — the computation every live consumption figure was
+// born from, so quantise-then-reconstruct reproduces the original float
+// bit for bit.
+func cpuFromNanos(n int64) float64 {
+	return float64(n/nanosPerSecond) + float64(n%nanosPerSecond)/1e9
+}
+
+// cpuNanos quantises CPU seconds to integer nanoseconds, reporting
+// whether the round trip is bit-exact. Real consumption figures are
+// duration-derived (Duration.Seconds), so the check passes for
+// essentially every live sample and the mantissa-dense XOR fallback is
+// reserved for adversarial inputs (fuzzing, hand-built rounds). Both
+// codec ends derive the delta state through this same function, so a
+// fallback sample never desynchronises the nanosecond chain.
+func cpuNanos(v float64) (int64, bool) {
+	scaled := v * 1e9
+	if !(scaled > -cpuNanosBound && scaled < cpuNanosBound) { // NaN and ±Inf fail too
+		return 0, false
+	}
+	n := int64(math.Round(scaled))
+	if math.Float64bits(cpuFromNanos(n)) != math.Float64bits(v) {
+		return 0, false
+	}
+	return n, true
 }
 
 // nodeCodecState is one node's delta-encoding state on a stream. One
@@ -58,6 +133,8 @@ type prevSample struct {
 type nodeCodecState struct {
 	prevSeq  int64
 	prevTime int64
+	dSeq     int64
+	dTime    int64
 	prev     map[uint32]*prevSample // interned component id -> last values
 }
 
@@ -67,7 +144,8 @@ func newNodeCodecState() *nodeCodecState {
 
 // sample flag bits.
 const (
-	flagSizeOK = 1 << 0
+	flagSizeOK   = 1 << 0
+	flagCPUNanos = 1 << 1 // CPU field is a zigzag nanosecond delta, not XOR'd bits
 )
 
 // BinaryEncoder encodes rounds into the binary wire format. It owns the
@@ -131,11 +209,8 @@ func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
 		st = newNodeCodecState()
 		e.nodes[nodeID] = st
 	}
-	p = appendZigzag(p, r.Seq-st.prevSeq)
-	st.prevSeq = r.Seq
-	nanos := r.Time.UnixNano()
-	p = appendZigzag(p, nanos-st.prevTime)
-	st.prevTime = nanos
+	p = appendZigzag(p, step(&st.prevSeq, &st.dSeq, r.Seq))
+	p = appendZigzag(p, step(&st.prevTime, &st.dTime, r.Time.UnixNano()))
 	p = appendUvarint(p, uint64(len(r.Samples)))
 	for _, s := range r.Samples {
 		var compID uint32
@@ -149,15 +224,31 @@ func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
 		if s.SizeOK {
 			flags |= flagSizeOK
 		}
+		nanos, quantised := cpuNanos(s.CPUSeconds)
+		if quantised {
+			flags |= flagCPUNanos
+		}
 		p = append(p, flags)
-		p = appendZigzag(p, s.Size-prev.size)
-		p = appendZigzag(p, s.Usage-prev.usage)
-		p = appendZigzag(p, s.Threads-prev.threads)
-		p = appendZigzag(p, s.Delta-prev.delta)
+		p = appendZigzag(p, step(&prev.size, &prev.dSize, s.Size))
+		p = appendZigzag(p, step(&prev.usage, &prev.dUsage, s.Usage))
+		p = appendZigzag(p, step(&prev.threads, &prev.dThreads, s.Threads))
+		p = appendZigzag(p, step(&prev.delta, &prev.dDelta, s.Delta))
 		cpuBits := math.Float64bits(s.CPUSeconds)
-		p = appendUvarint(p, cpuBits^prev.cpuBits)
-		prev.size, prev.usage, prev.threads, prev.delta, prev.cpuBits =
-			s.Size, s.Usage, s.Threads, s.Delta, cpuBits
+		if quantised {
+			// Steady-state CPU advances by a near-constant per-round
+			// nanosecond delta: the second-order residual is a one-byte
+			// zigzag where the XOR of two entropy-dense mantissas costs
+			// 8-10 bytes.
+			p = appendZigzag(p, step(&prev.cpuNanos, &prev.dCPUNanos, nanos))
+		} else {
+			p = appendUvarint(p, cpuBits^prev.cpuBits)
+			// Reset the nanosecond chain at the (identically derived)
+			// fallback base so a later quantised sample deltas against the
+			// same state on both ends.
+			prev.cpuNanos, _ = cpuNanos(s.CPUSeconds)
+			prev.dCPUNanos = 0
+		}
+		prev.cpuBits = cpuBits
 	}
 	e.buf = p
 	dst = appendUvarint(dst, uint64(len(p)))
@@ -267,14 +358,12 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 	if err != nil {
 		return r, err
 	}
-	st.prevSeq += dseq
-	r.Seq = st.prevSeq
+	r.Seq = unstep(&st.prevSeq, &st.dSeq, dseq)
 	dt, err := p.zigzag()
 	if err != nil {
 		return r, err
 	}
-	st.prevTime += dt
-	r.Time = time.Unix(0, st.prevTime).UTC()
+	r.Time = time.Unix(0, unstep(&st.prevTime, &st.dTime, dt)).UTC()
 	n, err := p.uvarint()
 	if err != nil {
 		return r, err
@@ -315,23 +404,34 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 		if err != nil {
 			return r, err
 		}
-		cpuXor, err := p.uvarint()
-		if err != nil {
-			return r, err
+		var cpu float64
+		if flags&flagCPUNanos != 0 {
+			dn, err := p.zigzag()
+			if err != nil {
+				return r, err
+			}
+			cpu = cpuFromNanos(unstep(&prev.cpuNanos, &prev.dCPUNanos, dn))
+			prev.cpuBits = math.Float64bits(cpu)
+		} else {
+			cpuXor, err := p.uvarint()
+			if err != nil {
+				return r, err
+			}
+			prev.cpuBits ^= cpuXor
+			cpu = math.Float64frombits(prev.cpuBits)
+			// Mirror the encoder's state transition so a later quantised
+			// sample deltas against the same nanosecond base on both ends.
+			prev.cpuNanos, _ = cpuNanos(cpu)
+			prev.dCPUNanos = 0
 		}
-		prev.size += ds
-		prev.usage += du
-		prev.threads += dth
-		prev.delta += dd
-		prev.cpuBits ^= cpuXor
 		samples = append(samples, core.ComponentSample{
 			Component:  comp,
-			Size:       prev.size,
+			Size:       unstep(&prev.size, &prev.dSize, ds),
 			SizeOK:     flags&flagSizeOK != 0,
-			Usage:      prev.usage,
-			CPUSeconds: math.Float64frombits(prev.cpuBits),
-			Threads:    prev.threads,
-			Delta:      prev.delta,
+			Usage:      unstep(&prev.usage, &prev.dUsage, du),
+			CPUSeconds: cpu,
+			Threads:    unstep(&prev.threads, &prev.dThreads, dth),
+			Delta:      unstep(&prev.delta, &prev.dDelta, dd),
 		})
 	}
 	if p.i != len(payload) {

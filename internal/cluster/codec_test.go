@@ -127,18 +127,23 @@ func TestBinaryCodecGolden(t *testing.T) {
 	for _, r := range sampleRounds()[:3] {
 		stream = append(stream, enc.AppendRound(nil, r)...)
 	}
-	// The stream: 4-byte header (magic "AGM", version 1), then one
+	// The stream: 4-byte header (magic "AGM", version 2), then one
 	// length-prefixed frame per round. The first frame carries every
-	// name verbatim (first sightings); names intern per stream, so the
-	// node2 frame already references the component names by 1-byte id
-	// and only introduces "node2" itself; the third frame is pure steady
-	// state — interned ids and small deltas throughout.
-	const want = "41474d015200056e6f6465310280b08dabf9b4cd84230300056c65616b79018080" +
-		"8001c801060080808080808080e83f0006737465616479018040e0030a00808080" +
-		"80808080f03f0007756e73697a656400000e0000003e00056e6f6465320280b08d" +
-		"abf9b4cd842303020180808001c80106804080808080808080e83f03018040e003" +
-		"0a0080808080808080f03f0400000e0000002e010280b09dc2df0103020100c801" +
-		"00008080808080808018030100e003000080808080808080080400000e000000"
+	// name verbatim (first sightings) and full values (the double-delta
+	// chains start at zero); names intern per stream, so the node2 frame
+	// already references the component names by 1-byte id and only
+	// introduces "node2" itself; the third frame is node1's second —
+	// linear counters collapse to zero second-order residuals (single
+	// 0x00 bytes) and the time chain pays its one-time large residual.
+	// The sample CPU figures (multiples of 0.25s) quantise exactly, so
+	// every sample carries flagCPUNanos and rides the nanosecond
+	// double-delta chain instead of the v1 XOR'd float bits.
+	const want = "41474d024a00056e6f6465310280b08dabf9b4cd84230300056c65616b79038080" +
+		"8001c801060080cab5ee010006737465616479038040e0030a008094ebdc030007" +
+		"756e73697a656402000e0000003600056e6f6465320280b08dabf9b4cd84230302" +
+		"0380808001c80106804080cab5ee0103038040e0030a008094ebdc030402000e00" +
+		"0000240100ffffefe899b3cd8423030203ffff7f000500000303ff3f0009000004" +
+		"020000000000"
 	got := hex.EncodeToString(stream)
 	if got != normalizeHex(want) {
 		t.Fatalf("wire format drifted.\n got: %s\nwant: %s", got, normalizeHex(want))
@@ -158,7 +163,10 @@ func normalizeHex(s string) string {
 }
 
 // manyRounds builds a deterministic steady-state stream: cumulative
-// counters grow by fixed per-round deltas.
+// counters grow by fixed per-round deltas. CPU figures are derived the
+// way the CPU agent derives them — Duration.Seconds over an accumulated
+// nanosecond count — so the stream exercises the codec's quantised CPU
+// path exactly as live rounds do.
 func manyRounds(node string, rounds, comps int) []Round {
 	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
 	names := make([]string, comps)
@@ -169,12 +177,13 @@ func manyRounds(node string, rounds, comps int) []Round {
 	for seq := int64(1); seq <= int64(rounds); seq++ {
 		r := Round{Node: node, Seq: seq, Time: t0.Add(time.Duration(seq) * 30 * time.Second)}
 		for c := 0; c < comps; c++ {
+			cpu := time.Duration(seq) * time.Duration(c+1) * 10 * time.Millisecond
 			r.Samples = append(r.Samples, core.ComponentSample{
 				Component:  names[c],
 				Size:       int64(10000*(c+1)) + 512*seq,
 				SizeOK:     true,
 				Usage:      seq * int64(100+c),
-				CPUSeconds: float64(seq) * 0.01 * float64(c+1),
+				CPUSeconds: cpu.Seconds(),
 				Threads:    int64(2 + c%3),
 				Delta:      64 * seq,
 			})

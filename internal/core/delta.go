@@ -25,15 +25,28 @@ import (
 // framework) also keeps the object-size sampling path; the recorder's
 // accumulated deltas converge to the right per-component attribution over
 // many requests because unrelated allocations cancel out in expectation.
-// Recording is lock-free on both advice sides: open flows live in a
-// sync.Map keyed by flow (stored on before, LoadAndDelete on after) and
-// the per-component accumulators are atomic cells, so concurrent requests
-// never serialise on the recorder.
+// Recording is lock-free on both advice sides, and allocation-free for
+// the container's flows: the request and its bound connection implement
+// flowMarker, so the before-advice snapshot lives in an inline slot on
+// the flow object itself instead of a per-execution map entry (boxing the
+// key and level into a sync.Map on every request is exactly the kind of
+// monitoring-plane garbage the framework must not produce). Flows whose
+// key carries no mark slot fall back to the keyed sync.Map; the
+// per-component accumulators are atomic cells either way, so concurrent
+// requests never serialise on the recorder.
 type DeltaRecorder struct {
 	heap *jvmheap.Heap
 
-	open  sync.Map // flow key -> int64 retained bytes at before-advice
+	open  sync.Map // markless flow key -> int64 retained bytes at before-advice
 	cells sync.Map // component name -> *deltaCell
+}
+
+// flowMarker is the inline per-flow scratch slot contract; servlet.Request
+// and sqldb.Conn implement it.
+type flowMarker interface {
+	SetFlowMark(int64)
+	FlowMark() (int64, bool)
+	ClearFlowMark()
 }
 
 type deltaCell struct {
@@ -51,6 +64,10 @@ func (d *DeltaRecorder) before(key any) {
 	if key == nil {
 		return
 	}
+	if m, ok := key.(flowMarker); ok {
+		m.SetFlowMark(d.heap.Stats().Retained)
+		return
+	}
 	d.open.Store(key, d.heap.Stats().Retained)
 }
 
@@ -60,12 +77,23 @@ func (d *DeltaRecorder) after(component string, key any) {
 		return
 	}
 	retained := d.heap.Stats().Retained
-	v, ok := d.open.LoadAndDelete(key)
-	if !ok {
-		return
+	var before int64
+	if m, ok := key.(flowMarker); ok {
+		v, set := m.FlowMark()
+		if !set {
+			return
+		}
+		m.ClearFlowMark()
+		before = v
+	} else {
+		v, ok := d.open.LoadAndDelete(key)
+		if !ok {
+			return
+		}
+		before = v.(int64)
 	}
 	c := metrics.LoadOrCreate(&d.cells, component, func() *deltaCell { return &deltaCell{} })
-	c.total.Add(retained - v.(int64))
+	c.total.Add(retained - before)
 	c.count.Add(1)
 }
 

@@ -14,6 +14,16 @@ import (
 // subject word).
 var searchTerms = []string{"Book", "Title", "COMPUTERS", "HISTORY", "ROMANCE", "1"}
 
+// authorTerms is the author-search vocabulary, precomputed so the issue
+// loop never formats a term string per request.
+var authorTerms = func() [20]string {
+	var out [20]string
+	for i := range out {
+		out[i] = "AuthorL" + strconv.Itoa(i+1)
+	}
+	return out
+}()
+
 // Browser is one emulated browser: it holds session state, walks the
 // transition matrix and fabricates request parameters the way the TPC-W
 // remote browser emulator does (Zipf-skewed item popularity, subject and
@@ -26,11 +36,19 @@ type Browser struct {
 	matrix    Matrix
 	items     int
 	customers int
+	uname     string // assigned customer identity, formatted once
 
 	current   string
 	lastItems []int64
+	weights   []float64 // pickNext scratch, reused across transitions
 	requests  int64
 	failures  int64
+
+	// done and stepFn are the driver-installed completion and think-time
+	// callbacks: allocated once per browser so the issue loop schedules
+	// requests without building closures per interaction.
+	done   servlet.Completion
+	stepFn sim.Event
 }
 
 // NewBrowser creates browser id with its own derived random stream.
@@ -44,6 +62,7 @@ func NewBrowser(id int, seed uint64, matrix Matrix, items, customers int) *Brows
 		matrix:    matrix,
 		items:     items,
 		customers: customers,
+		uname:     tpcw.Uname(id%customers + 1),
 		current:   tpcw.CompHome,
 	}
 }
@@ -69,7 +88,9 @@ func (b *Browser) Current() string { return b.current }
 func (b *Browser) SetMatrix(m Matrix) { b.matrix = m }
 
 // NextRequest advances the state machine and fabricates the next request.
-// The first request of a session is always the home page.
+// The first request of a session is always the home page. The request is
+// borrowed from the servlet package's pool; in simulation mode the
+// container recycles it after the completion callback returns.
 func (b *Browser) NextRequest() *servlet.Request {
 	next := b.current
 	if b.requests > 0 {
@@ -77,23 +98,24 @@ func (b *Browser) NextRequest() *servlet.Request {
 	}
 	b.current = next
 	b.requests++
-	return &servlet.Request{
-		Interaction: next,
-		SessionID:   b.sessionID,
-		Params:      b.paramsFor(next),
-	}
+	req := servlet.AcquireRequest()
+	req.Interaction = next
+	req.SessionID = b.sessionID
+	b.paramsInto(req, next)
+	return req
 }
 
 // Observe feeds the response back so the browser can follow page links
-// (item ids) like a real user, and restart from home after failures.
+// (item ids) like a real user, and restart from home after failures. The
+// ids are copied out — the response's buffer is recycled with it.
 func (b *Browser) Observe(resp *servlet.Response) {
 	if !resp.OK() {
 		b.failures++
 		b.current = tpcw.CompHome
 		return
 	}
-	if ids, ok := resp.Get("item_ids").([]int64); ok && len(ids) > 0 {
-		b.lastItems = ids
+	if ids := resp.ItemIDs(); len(ids) > 0 {
+		b.lastItems = append(b.lastItems[:0], ids...)
 	}
 }
 
@@ -102,10 +124,11 @@ func (b *Browser) pickNext() string {
 	if !ok || len(row) == 0 {
 		return tpcw.CompHome
 	}
-	weights := make([]float64, len(row))
-	for i, tr := range row {
-		weights[i] = tr.Weight
+	weights := b.weights[:0]
+	for _, tr := range row {
+		weights = append(weights, tr.Weight)
 	}
+	b.weights = weights
 	return row[b.rng.PickWeighted(weights)].To
 }
 
@@ -118,39 +141,36 @@ func (b *Browser) pickItem() int64 {
 	return int64(b.zipf.Next())
 }
 
-// uname returns the customer identity assigned to this browser.
-func (b *Browser) uname() string {
-	return tpcw.Uname(b.id%b.customers + 1)
-}
-
-func (b *Browser) paramsFor(interaction string) map[string]string {
-	p := make(map[string]string, 4)
+// paramsInto fabricates the interaction's parameters directly into the
+// pooled request's inline stores: numeric ids stay typed (no strconv) and
+// string values come from fixed vocabularies, so parameter fabrication is
+// allocation-free.
+func (b *Browser) paramsInto(req *servlet.Request, interaction string) {
 	switch interaction {
 	case tpcw.CompHome:
-		p["I_ID"] = strconv.FormatInt(b.pickItem(), 10)
+		req.SetInt64Param("I_ID", b.pickItem())
 	case tpcw.CompNewProducts, tpcw.CompBestSellers:
-		p["SUBJECT"] = tpcw.Subjects[b.rng.IntN(len(tpcw.Subjects))]
+		req.SetParam("SUBJECT", tpcw.Subjects[b.rng.IntN(len(tpcw.Subjects))])
 	case tpcw.CompProductDetail, tpcw.CompAdminRequest, tpcw.CompAdminConfirm:
-		p["I_ID"] = strconv.FormatInt(b.pickItem(), 10)
+		req.SetInt64Param("I_ID", b.pickItem())
 	case tpcw.CompSearchResults:
 		if b.rng.Float64() < 0.8 {
-			p["FIELD"] = "title"
-			p["TERM"] = searchTerms[b.rng.IntN(len(searchTerms))]
+			req.SetParam("FIELD", "title")
+			req.SetParam("TERM", searchTerms[b.rng.IntN(len(searchTerms))])
 		} else {
-			p["FIELD"] = "author"
-			p["TERM"] = "AuthorL" + strconv.Itoa(1+b.rng.IntN(20))
+			req.SetParam("FIELD", "author")
+			req.SetParam("TERM", authorTerms[b.rng.IntN(20)])
 		}
 	case tpcw.CompShoppingCart:
-		p["ACTION"] = "add"
-		p["I_ID"] = strconv.FormatInt(b.pickItem(), 10)
-		p["QTY"] = strconv.Itoa(1 + b.rng.IntN(3))
+		req.SetParam("ACTION", "add")
+		req.SetInt64Param("I_ID", b.pickItem())
+		req.SetInt64Param("QTY", 1+int64(b.rng.IntN(3)))
 	case tpcw.CompBuyRequest:
 		// Returning customers log in; 20% register fresh accounts.
 		if b.rng.Float64() < 0.8 {
-			p["UNAME"] = b.uname()
+			req.SetParam("UNAME", b.uname)
 		}
 	case tpcw.CompOrderDisplay:
-		p["UNAME"] = b.uname()
+		req.SetParam("UNAME", b.uname)
 	}
-	return p
 }

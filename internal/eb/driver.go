@@ -229,8 +229,22 @@ func (d *Driver) setPopulation(n int) {
 
 func (d *Driver) browserFor(id int) *Browser {
 	for id >= len(d.browsers) {
-		d.browsers = append(d.browsers,
-			NewBrowser(len(d.browsers), d.cfg.Seed, d.matrix, d.cfg.Items, d.cfg.Customers))
+		b := NewBrowser(len(d.browsers), d.cfg.Seed, d.matrix, d.cfg.Items, d.cfg.Customers)
+		// The completion and think-time callbacks are bound once per
+		// browser: the issue loop then schedules every subsequent request
+		// through them without allocating closures per interaction.
+		b.stepFn = func(time.Time) { d.step(b) }
+		b.done = func(_ *servlet.Request, resp *servlet.Response) {
+			d.completed.Inc()
+			if !resp.OK() {
+				d.failed.Inc()
+			}
+			b.Observe(resp)
+			think := time.Duration(b.rng.TruncExp(
+				d.cfg.ThinkMean.Seconds(), d.cfg.ThinkCap.Seconds()) * float64(time.Second))
+			d.engine.ScheduleAfter(think, b.stepFn)
+		}
+		d.browsers = append(d.browsers, b)
 	}
 	return d.browsers[id]
 }
@@ -239,21 +253,12 @@ func (d *Driver) browserFor(id int) *Browser {
 func (d *Driver) Matrix() Matrix { return d.matrix }
 
 // step issues one request for browser b and schedules the next one after
-// the think time, unless the population shrank below b's id.
+// the think time (through the browser's pre-bound completion callback),
+// unless the population shrank below b's id.
 func (d *Driver) step(b *Browser) {
 	if b.ID() >= d.target {
 		delete(d.active, b.ID())
 		return
 	}
-	req := b.NextRequest()
-	d.backend.Submit(req, func(_ *servlet.Request, resp *servlet.Response) {
-		d.completed.Inc()
-		if !resp.OK() {
-			d.failed.Inc()
-		}
-		b.Observe(resp)
-		think := time.Duration(b.rng.TruncExp(
-			d.cfg.ThinkMean.Seconds(), d.cfg.ThinkCap.Seconds()) * float64(time.Second))
-		d.engine.ScheduleAfter(think, func(time.Time) { d.step(b) })
-	})
+	d.backend.Submit(b.NextRequest(), b.done)
 }

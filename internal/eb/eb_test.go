@@ -103,9 +103,10 @@ func TestBrowserFollowsPageLinks(t *testing.T) {
 	linked := 0
 	for i := 0; i < 200; i++ {
 		req := b.NextRequest()
-		if req.Params["I_ID"] == "77" {
+		if id, ok := req.Int64Param("I_ID"); ok && id == 77 {
 			linked++
 		}
+		servlet.ReleaseRequest(req)
 	}
 	if linked == 0 {
 		t.Fatal("browser never followed a page link")

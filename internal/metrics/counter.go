@@ -42,20 +42,35 @@ func (g *Gauge) Add(delta float64) { addFloatBits(&g.bits, delta) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// rateBuckets is the time resolution of a RateWindow: the window is
+// divided into this many fixed buckets, so counting is O(buckets) and
+// recording is O(1) with zero allocation — an event list would grow
+// without bound when many events share one instant (the virtual clock
+// stands still during direct-mode request execution).
+const rateBuckets = 128
+
 // RateWindow converts a stream of event timestamps into a rate (events per
 // second) over a sliding window. The throughput curves of Fig. 3 are
-// produced by sampling one of these. Observations land on per-shard event
-// lists (each with its own short-lived lock) so concurrent recorders do
-// not serialise on one mutex; reads trim and merge the shards.
+// produced by sampling one of these. Observations land on per-shard bucket
+// rings (each with its own short-lived lock) so concurrent recorders do
+// not serialise on one mutex; reads merge the in-window buckets. Counts
+// are bucketed at window/128 resolution: an event is attributed to its
+// bucket's start instant, so expiry at the trailing edge of the window is
+// accurate to one bucket width.
 type RateWindow struct {
 	window time.Duration
+	gran   int64 // bucket width in nanoseconds
 	shards []rateShard
 }
 
+type rateBucket struct {
+	period int64 // bucket start = period * gran
+	count  int64
+}
+
 type rateShard struct {
-	mu     sync.Mutex
-	events []time.Time
-	_      [cacheLine - 32]byte
+	mu      sync.Mutex
+	buckets [rateBuckets]rateBucket
 }
 
 // NewRateWindow creates a sliding window of the given width.
@@ -63,16 +78,35 @@ func NewRateWindow(window time.Duration) *RateWindow {
 	if window <= 0 {
 		panic("metrics: non-positive rate window")
 	}
-	return &RateWindow{window: window, shards: make([]rateShard, defaultShards())}
+	gran := int64(window) / rateBuckets
+	if gran <= 0 {
+		gran = 1
+	}
+	return &RateWindow{window: window, gran: gran, shards: make([]rateShard, defaultShards())}
 }
 
-// Observe records one event at time t. Events must be recorded in
-// non-decreasing time order per recording goroutine.
+// period maps an instant to its bucket period (floor division, so
+// pre-epoch instants bucket consistently too).
+func (r *RateWindow) period(t time.Time) int64 {
+	n := t.UnixNano()
+	p := n / r.gran
+	if n < 0 && n%r.gran != 0 {
+		p--
+	}
+	return p
+}
+
+// Observe records one event at time t.
 func (r *RateWindow) Observe(t time.Time) {
+	p := r.period(t)
 	s := &r.shards[shardHint(len(r.shards))]
 	s.mu.Lock()
-	s.events = append(s.events, t)
-	s.trim(t.Add(-r.window))
+	b := &s.buckets[uint64(p)%rateBuckets]
+	if b.period != p {
+		b.period = p
+		b.count = 0
+	}
+	b.count++
 	s.mu.Unlock()
 }
 
@@ -81,31 +115,21 @@ func (r *RateWindow) Rate(now time.Time) float64 {
 	return float64(r.Count(now)) / r.window.Seconds()
 }
 
-// Count returns the number of events inside the window ending at now.
+// Count returns the number of events inside the window ending at now:
+// all buckets whose start lies after now-window. Events in the bucket
+// straddling the trailing edge expire together with their bucket start.
 func (r *RateWindow) Count(now time.Time) int {
-	cut := now.Add(-r.window)
-	n := 0
+	cutP := r.period(now.Add(-r.window))
+	var n int64
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.Lock()
-		s.trim(cut)
-		n += len(s.events)
+		for j := range s.buckets {
+			if b := &s.buckets[j]; b.period > cutP {
+				n += b.count
+			}
+		}
 		s.mu.Unlock()
 	}
-	return n
-}
-
-// trim drops the expired prefix (events at or before cut). Shards
-// interleave events from goroutines whose clocks may be read slightly out
-// of order, but the prefix scan stops at the first in-window event, so an
-// interleaved straggler only delays its own expiry by one window — and
-// the common nothing-to-trim case stays O(1) per observation.
-func (s *rateShard) trim(cut time.Time) {
-	i := 0
-	for i < len(s.events) && !s.events[i].After(cut) {
-		i++
-	}
-	if i > 0 {
-		s.events = append(s.events[:0], s.events[i:]...)
-	}
+	return int(n)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aspect"
@@ -52,17 +53,60 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Completion receives the outcome of a submitted request.
+// Completion receives the outcome of a submitted request. For a pooled
+// request (AcquireRequest) the callback is the end of the borrow: the
+// container recycles the request and response as soon as it returns, so
+// the callback must not retain either (copy out what survives).
 type Completion func(req *Request, resp *Response)
 
 type deployed struct {
 	servlet Servlet
 	woven   func(depth int, args ...any) (any, error)
+	// completions counts this interaction's completed requests. It lives
+	// on the deployed entry (shared with the perInter map) so completion
+	// accounting needs no per-request map lookup or counter allocation.
+	completions *metrics.Counter
 }
 
 type pending struct {
 	req  *Request
 	done Completion
+}
+
+// pendingQueue is a growable ring buffer of queued requests. The accept
+// queue churns on every saturated instant; a ring reuses its backing
+// array instead of the append-and-reslice pattern that re-allocates the
+// whole queue as it slides. Engine-goroutine only, like all simulation
+// worker state.
+type pendingQueue struct {
+	buf  []pending
+	head int
+	n    int
+}
+
+func (q *pendingQueue) len() int { return q.n }
+
+func (q *pendingQueue) push(p pending) {
+	if q.n == len(q.buf) {
+		grown := make([]pending, max(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pendingQueue) pop() (pending, bool) {
+	if q.n == 0 {
+		return pending{}, false
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = pending{} // release references while the slot idles
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p, true
 }
 
 // Container hosts servlets. See the package comment for the two execution
@@ -83,11 +127,21 @@ type Container struct {
 	servlets map[string]*deployed
 	started  bool
 
+	// names is the cached sorted servlet listing, rebuilt on deploy and
+	// undeploy: ServletNames sits on management-plane polling loops, so a
+	// fresh sorted slice per call would be steady garbage for an answer
+	// that changes only on (rare) deployment events.
+	names atomic.Pointer[[]string]
+
 	filterReg filterRegistry
 
 	// Simulation-mode worker state (engine goroutine only).
 	busyWorkers int
-	queue       []pending
+	queue       pendingQueue
+
+	// cePool recycles the completion events startJob schedules, so a
+	// simulated request costs no closure allocation on its way out.
+	cePool sync.Pool
 
 	completed  metrics.Counter
 	failed     metrics.Counter
@@ -122,6 +176,12 @@ func NewContainer(engine *sim.Engine, weaver *aspect.Weaver, db *sqldb.DB, heap 
 		servlets:   make(map[string]*deployed),
 		respTimes:  metrics.NewHistogram(metrics.ExponentialBounds(0.0005, 2, 16)),
 		throughput: metrics.NewRateWindow(10 * time.Second),
+	}
+	c.names.Store(&[]string{})
+	c.cePool.New = func() any {
+		ce := &completionEvent{c: c}
+		ce.fire = func(time.Time) { ce.run() }
+		return ce
 	}
 	return c
 }
@@ -172,9 +232,13 @@ func (c *Container) Deploy(name string, s Servlet) error {
 		req.serviceTime = c.cfg.Cost.ServiceTime(cost, jps, req.extraCost)
 		return nil, err
 	}
+	// The per-interaction counter is shared with the perInter map and
+	// survives redeployment, so InteractionCount keeps its full history.
+	v, _ := c.perInter.LoadOrStore(name, &metrics.Counter{})
 	d := &deployed{
-		servlet: s,
-		woven:   c.weaver.WeaveDepth(name, "Service", inner),
+		servlet:     s,
+		woven:       c.weaver.WeaveDepth(name, "Service", inner),
+		completions: v.(*metrics.Counter),
 	}
 	if c.started {
 		if err := s.Init(c.context()); err != nil {
@@ -182,6 +246,7 @@ func (c *Container) Deploy(name string, s Servlet) error {
 		}
 	}
 	c.servlets[name] = d
+	c.publishNamesLocked()
 	return nil
 }
 
@@ -190,6 +255,9 @@ func (c *Container) Undeploy(name string) bool {
 	c.mu.Lock()
 	d, ok := c.servlets[name]
 	delete(c.servlets, name)
+	if ok {
+		c.publishNamesLocked()
+	}
 	c.mu.Unlock()
 	if ok {
 		d.servlet.Destroy()
@@ -197,16 +265,22 @@ func (c *Container) Undeploy(name string) bool {
 	return ok
 }
 
-// ServletNames lists deployed servlet component names, sorted.
-func (c *Container) ServletNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, 0, len(c.servlets))
+// publishNamesLocked rebuilds the cached sorted name listing; the caller
+// holds c.mu.
+func (c *Container) publishNamesLocked() {
+	names := make([]string, 0, len(c.servlets))
 	for n := range c.servlets {
-		out = append(out, n)
+		names = append(names, n)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(names)
+	c.names.Store(&names)
+}
+
+// ServletNames lists deployed servlet component names, sorted. The
+// returned slice is a shared snapshot rebuilt on deployment changes;
+// callers must not mutate it.
+func (c *Container) ServletNames() []string {
+	return *c.names.Load()
 }
 
 // Servlet returns the deployed servlet instance for name.
@@ -269,28 +343,67 @@ func (c *Container) Started() bool {
 	return c.started
 }
 
+// responseFor pairs a request with a response of matching lifecycle:
+// pooled requests are served from the response pool (recycled after the
+// completion returns), literal requests get a fresh response their owner
+// may keep.
+func responseFor(req *Request) *Response {
+	if req.pooled {
+		return AcquireResponse()
+	}
+	return &Response{Status: StatusOK}
+}
+
 // Submit enqueues a request at the current virtual instant; done fires
 // when it completes (same instant semantics as the event engine). It must
-// be called from the engine goroutine (an EB event).
+// be called from the engine goroutine (an EB event). Pooled requests are
+// owned by the container from this call on; see the package comment.
 func (c *Container) Submit(req *Request, done Completion) {
 	if c.engine == nil {
 		panic("servlet: Submit on a container without an engine")
 	}
 	if !c.Started() {
-		c.finish(req, &Response{Status: StatusUnavailable, Err: ErrStopped}, done)
+		resp := responseFor(req)
+		resp.Status, resp.Err = StatusUnavailable, ErrStopped
+		c.finish(req, resp, done)
 		return
 	}
 	req.submitted = c.clock.Now()
 	if c.busyWorkers >= c.cfg.Workers {
-		if len(c.queue) >= c.cfg.QueueCapacity {
+		if c.queue.len() >= c.cfg.QueueCapacity {
 			c.rejected.Inc()
-			c.finish(req, &Response{Status: StatusUnavailable, Err: ErrOverloaded}, done)
+			resp := responseFor(req)
+			resp.Status, resp.Err = StatusUnavailable, ErrOverloaded
+			c.finish(req, resp, done)
 			return
 		}
-		c.queue = append(c.queue, pending{req: req, done: done})
+		c.queue.push(pending{req: req, done: done})
 		return
 	}
 	c.startJob(pending{req: req, done: done})
+}
+
+// completionEvent carries one in-flight request's completion through the
+// engine. The fire closure is bound to the event once at pool-insertion
+// time, so scheduling a completion allocates nothing at steady state.
+type completionEvent struct {
+	c    *Container
+	p    pending
+	resp *Response
+	fire sim.Event
+}
+
+func (ce *completionEvent) run() {
+	c, p, resp := ce.c, ce.p, ce.resp
+	ce.p, ce.resp = pending{}, nil
+	c.cePool.Put(ce)
+	c.busyWorkers--
+	c.finish(p.req, resp, p.done)
+	if c.busyWorkers < c.cfg.Workers {
+		if next, ok := c.queue.pop(); ok {
+			c.startJob(next)
+		}
+	}
 }
 
 // startJob executes the request now (in real code), then schedules its
@@ -298,20 +411,16 @@ func (c *Container) Submit(req *Request, done Completion) {
 func (c *Container) startJob(p pending) {
 	c.busyWorkers++
 	resp, serviceTime := c.execute(p.req)
-	c.engine.ScheduleAfter(serviceTime, func(time.Time) {
-		c.busyWorkers--
-		c.finish(p.req, resp, p.done)
-		if len(c.queue) > 0 && c.busyWorkers < c.cfg.Workers {
-			next := c.queue[0]
-			c.queue = c.queue[1:]
-			c.startJob(next)
-		}
-	})
+	ce := c.cePool.Get().(*completionEvent)
+	ce.p, ce.resp = p, resp
+	c.engine.ScheduleAfter(serviceTime, ce.fire)
 }
 
 // Invoke executes a request synchronously (direct mode): no queueing, no
 // virtual time. The response and the real execution duration are returned.
-// This is what the wall-clock overhead benchmarks drive.
+// This is what the wall-clock overhead benchmarks drive. For a pooled
+// request the response is pooled too: the caller releases both with
+// ReleaseRequest and ReleaseResponse when done with them.
 func (c *Container) Invoke(req *Request) (*Response, time.Duration) {
 	start := time.Now()
 	resp, _ := c.execute(req)
@@ -327,7 +436,8 @@ func (c *Container) execute(req *Request) (*Response, time.Duration) {
 	c.mu.RLock()
 	d, ok := c.servlets[req.Interaction]
 	c.mu.RUnlock()
-	resp := &Response{Status: StatusOK}
+	resp := responseFor(req)
+	req.dep = d
 	if !ok {
 		resp.Status = StatusServerError
 		resp.Err = fmt.Errorf("%w: %q", ErrNoSuchServlet, req.Interaction)
@@ -339,11 +449,8 @@ func (c *Container) execute(req *Request) (*Response, time.Duration) {
 	conn := c.pool.Acquire()
 	req.Conn = conn
 	req.joinPoints = 0
-	chain := c.newChain(func(req *Request, resp *Response) error {
-		_, err := d.woven(0, req, resp)
-		return err
-	})
-	if err := c.safeChain(chain, req, resp); err != nil {
+	req.chain = FilterChain{filters: c.filterReg.snapshot().filters, container: c, target: d}
+	if err := c.safeChain(&req.chain, req, resp); err != nil {
 		resp.Status = StatusServerError
 		resp.Err = err
 	}
@@ -354,8 +461,18 @@ func (c *Container) execute(req *Request) (*Response, time.Duration) {
 		serviceTime = c.cfg.Cost.ServiceTime(sqldb.QueryCost{}, 0, req.extraCost)
 	}
 	req.Conn = nil
+	req.args[0], req.args[1] = nil, nil
 	c.pool.Release(conn)
 	return resp, serviceTime
+}
+
+// invokeServlet is the filter chain's final hop: it dispatches the woven
+// servlet with the request's argument scratch, so the variadic call
+// builds no per-request slice.
+func (c *Container) invokeServlet(d *deployed, req *Request, resp *Response) error {
+	req.args[0], req.args[1] = req, resp
+	_, err := d.woven(0, req.args[:]...)
+	return err
 }
 
 // safeChain runs the filter chain converting servlet/filter panics into
@@ -370,11 +487,17 @@ func (c *Container) safeChain(chain *FilterChain, req *Request, resp *Response) 
 	return chain.Next(req, resp)
 }
 
+// finish accounts a completed simulated request, runs its completion and
+// ends the borrow of pooled requests and responses.
 func (c *Container) finish(req *Request, resp *Response, done Completion) {
 	elapsed := c.clock.Now().Sub(req.submitted)
 	c.account(req, resp, elapsed)
 	if done != nil {
 		done(req, resp)
+	}
+	ReleaseRequest(req)
+	if resp.pooled {
+		ReleaseResponse(resp)
 	}
 }
 
@@ -385,6 +508,11 @@ func (c *Container) account(req *Request, resp *Response, elapsed time.Duration)
 	}
 	c.respTimes.Observe(elapsed.Seconds())
 	c.throughput.Observe(c.clock.Now())
+	if d := req.dep; d != nil {
+		d.completions.Inc()
+		return
+	}
+	// Unknown interaction (dispatch error path): fall back to the map.
 	v, _ := c.perInter.LoadOrStore(req.Interaction, &metrics.Counter{})
 	v.(*metrics.Counter).Inc()
 }
@@ -407,7 +535,7 @@ func (c *Container) Stats() Stats {
 		Failed:       c.failed.Value(),
 		Rejected:     c.rejected.Value(),
 		BusyWorkers:  c.busyWorkers,
-		QueueLength:  len(c.queue),
+		QueueLength:  c.queue.len(),
 		LiveSessions: c.sessions.Live(),
 	}
 }

@@ -23,11 +23,15 @@ type Filter interface {
 }
 
 // FilterChain advances processing to the next filter or, at the end, the
-// servlet itself.
+// servlet itself. Each request's chain lives inline in the pooled request
+// (no per-request chain allocation); it references the registry's
+// immutable filter snapshot, so registration changes are observed by the
+// next request without the serve path copying the filter list.
 type FilterChain struct {
-	filters []registeredFilter
-	index   int
-	final   func(req *Request, resp *Response) error
+	filters   []registeredFilter
+	index     int
+	container *Container
+	target    *deployed
 }
 
 // Next continues the chain.
@@ -37,7 +41,7 @@ func (c *FilterChain) Next(req *Request, resp *Response) error {
 		c.index++
 		return f.filter.DoFilter(req, resp, c)
 	}
-	return c.final(req, resp)
+	return c.container.invokeServlet(c.target, req, resp)
 }
 
 type registeredFilter struct {
@@ -45,12 +49,42 @@ type registeredFilter struct {
 	filter Filter
 }
 
-// filterRegistry is the container-side bookkeeping.
-type filterRegistry struct {
-	mu      sync.RWMutex
+// filterSnapshot is the immutable published view of the filter chain:
+// the registered filters in chain order and their (equally immutable)
+// name listing. Never mutated after Store.
+type filterSnapshot struct {
 	filters []registeredFilter
+	names   []string
+}
+
+// filterRegistry is the container-side bookkeeping. Mutations rebuild and
+// swap the snapshot under mu; the per-request read path and the listing
+// accessors only load the pointer. started mirrors the container's
+// lifecycle under the registry's own lock, so the "init filters added
+// after Start immediately" decision is made against the same state
+// initFilters publishes — AddFilter never touches the container mutex,
+// which also keeps the lock order acyclic (Start holds c.mu while
+// calling initFilters).
+type filterRegistry struct {
+	mu      sync.Mutex
 	started bool
-	ctx     *Context
+	snap    atomic.Pointer[filterSnapshot]
+}
+
+func (r *filterRegistry) snapshot() *filterSnapshot {
+	if s := r.snap.Load(); s != nil {
+		return s
+	}
+	return &filterSnapshot{}
+}
+
+// publishLocked stores a rebuilt snapshot; the caller holds r.mu.
+func (r *filterRegistry) publishLocked(filters []registeredFilter) {
+	names := make([]string, len(filters))
+	for i, rf := range filters {
+		names[i] = rf.name
+	}
+	r.snap.Store(&filterSnapshot{filters: filters, names: names})
 }
 
 // AddFilter appends a filter to the container's chain. Filters added after
@@ -61,17 +95,21 @@ func (c *Container) AddFilter(name string, f Filter) error {
 	}
 	c.filterReg.mu.Lock()
 	defer c.filterReg.mu.Unlock()
-	for _, rf := range c.filterReg.filters {
+	cur := c.filterReg.snapshot().filters
+	for _, rf := range cur {
 		if rf.name == name {
 			return fmt.Errorf("servlet: filter %q already registered", name)
 		}
 	}
-	if c.Started() {
+	if c.filterReg.started {
 		if err := f.Init(c.context()); err != nil {
 			return fmt.Errorf("servlet: init filter %q: %w", name, err)
 		}
 	}
-	c.filterReg.filters = append(c.filterReg.filters, registeredFilter{name: name, filter: f})
+	next := make([]registeredFilter, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, registeredFilter{name: name, filter: f})
+	c.filterReg.publishLocked(next)
 	return nil
 }
 
@@ -80,9 +118,13 @@ func (c *Container) AddFilter(name string, f Filter) error {
 func (c *Container) RemoveFilter(name string) bool {
 	c.filterReg.mu.Lock()
 	defer c.filterReg.mu.Unlock()
-	for i, rf := range c.filterReg.filters {
+	cur := c.filterReg.snapshot().filters
+	for i, rf := range cur {
 		if rf.name == name {
-			c.filterReg.filters = append(c.filterReg.filters[:i], c.filterReg.filters[i+1:]...)
+			next := make([]registeredFilter, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			c.filterReg.publishLocked(next)
 			rf.filter.Destroy()
 			return true
 		}
@@ -90,43 +132,36 @@ func (c *Container) RemoveFilter(name string) bool {
 	return false
 }
 
-// FilterNames lists registered filters in chain order.
+// FilterNames lists registered filters in chain order. The returned slice
+// is a shared snapshot rebuilt on registration changes; callers must not
+// mutate it.
 func (c *Container) FilterNames() []string {
-	c.filterReg.mu.RLock()
-	defer c.filterReg.mu.RUnlock()
-	out := make([]string, len(c.filterReg.filters))
-	for i, rf := range c.filterReg.filters {
-		out[i] = rf.name
-	}
-	return out
+	return c.filterReg.snapshot().names
 }
 
-// newChain builds a chain snapshot ending at final.
-func (c *Container) newChain(final func(req *Request, resp *Response) error) *FilterChain {
-	c.filterReg.mu.RLock()
-	filters := append([]registeredFilter(nil), c.filterReg.filters...)
-	c.filterReg.mu.RUnlock()
-	return &FilterChain{filters: filters, final: final}
-}
-
-// initFilters runs Init on all filters (called from Start).
+// initFilters runs Init on all filters (called from Start). It holds the
+// registry lock so a concurrent AddFilter either lands before the loop
+// (and is initialised here) or observes started and initialises itself —
+// a filter can never be published uninitialised.
 func (c *Container) initFilters() error {
-	c.filterReg.mu.RLock()
-	defer c.filterReg.mu.RUnlock()
+	c.filterReg.mu.Lock()
+	defer c.filterReg.mu.Unlock()
 	ctx := c.context()
-	for _, rf := range c.filterReg.filters {
+	for _, rf := range c.filterReg.snapshot().filters {
 		if err := rf.filter.Init(ctx); err != nil {
 			return fmt.Errorf("servlet: init filter %q: %w", rf.name, err)
 		}
 	}
+	c.filterReg.started = true
 	return nil
 }
 
 // destroyFilters runs Destroy on all filters (called from Stop).
 func (c *Container) destroyFilters() {
-	c.filterReg.mu.RLock()
-	defer c.filterReg.mu.RUnlock()
-	for _, rf := range c.filterReg.filters {
+	c.filterReg.mu.Lock()
+	defer c.filterReg.mu.Unlock()
+	c.filterReg.started = false
+	for _, rf := range c.filterReg.snapshot().filters {
 		rf.filter.Destroy()
 	}
 }

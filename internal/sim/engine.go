@@ -51,6 +51,7 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	clock     *VirtualClock
 	queue     eventQueue
+	free      []*scheduled // recycled entries; Schedule reuses before allocating
 	seq       uint64
 	nextID    uint64
 	cancelled map[uint64]bool
@@ -90,7 +91,14 @@ func (e *Engine) Schedule(at time.Time, fn Event) uint64 {
 	}
 	e.seq++
 	e.nextID++
-	heap.Push(&e.queue, &scheduled{at: at, seq: e.seq, fn: fn, id: e.nextID})
+	var it *scheduled
+	if n := len(e.free); n > 0 {
+		it, e.free = e.free[n-1], e.free[:n-1]
+		*it = scheduled{at: at, seq: e.seq, fn: fn, id: e.nextID}
+	} else {
+		it = &scheduled{at: at, seq: e.seq, fn: fn, id: e.nextID}
+	}
+	heap.Push(&e.queue, it)
 	return e.nextID
 }
 
@@ -125,14 +133,26 @@ func (e *Engine) Step() bool {
 		it := heap.Pop(&e.queue).(*scheduled)
 		if e.cancelled[it.id] {
 			delete(e.cancelled, it.id)
+			e.recycle(it)
 			continue
 		}
 		e.clock.SetNow(it.at)
 		e.executed++
-		it.fn(it.at)
+		fn, at := it.fn, it.at
+		// Recycle before running: the event may schedule follow-ups (the
+		// completion → next-job chain), which can then reuse this entry.
+		e.recycle(it)
+		fn(at)
 		return true
 	}
 	return false
+}
+
+// recycle returns a popped queue entry to the free list, dropping its
+// closure reference so the list pins no callback state.
+func (e *Engine) recycle(it *scheduled) {
+	it.fn = nil
+	e.free = append(e.free, it)
 }
 
 // RunUntil executes events in order until the queue is empty, Stop is

@@ -76,7 +76,7 @@ func TestSelectMatchesReference(t *testing.T) {
 		}
 		q = q.Ordered("i_cost", sp.Desc).Limited(int(sp.Limit % 8))
 
-		got, _, err := tb.selectRows(q)
+		got, _, err := tb.selectRows(q, nil)
 		if err != nil {
 			return false
 		}
@@ -144,11 +144,11 @@ func TestIndexInvariant(t *testing.T) {
 			}
 		}
 		for _, subj := range subjects {
-			a, _, err := ti.selectRows(Where("i_subject", Eq, subj).Ordered("i_id", false))
+			a, _, err := ti.selectRows(Where("i_subject", Eq, subj).Ordered("i_id", false), nil)
 			if err != nil {
 				return false
 			}
-			b, _, err := tp.selectRows(Where("i_subject", Eq, subj).Ordered("i_id", false))
+			b, _, err := tp.selectRows(Where("i_subject", Eq, subj).Ordered("i_id", false), nil)
 			if err != nil {
 				return false
 			}

@@ -76,21 +76,22 @@ func (t *Table) Insert(row Row) (any, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if row[t.pkIdx] == nil && t.schema.Columns[t.pkIdx].Type == Int64 {
+	// One copy serves both the autoincrement fill-in and the table's
+	// ownership of the stored row.
+	stored := append(Row(nil), row...)
+	if stored[t.pkIdx] == nil && t.schema.Columns[t.pkIdx].Type == Int64 {
 		t.autoinc++
-		row = append(Row(nil), row...)
-		row[t.pkIdx] = t.autoinc
+		stored[t.pkIdx] = t.autoinc
 	}
 	for i, c := range t.schema.Columns {
-		if err := checkValue(c.Type, row[i]); err != nil {
+		if err := checkValue(c.Type, stored[i]); err != nil {
 			return nil, fmt.Errorf("column %q: %w", c.Name, err)
 		}
 	}
-	key := row[t.pkIdx]
+	key := stored[t.pkIdx]
 	if _, dup := t.rows[key]; dup {
 		return nil, fmt.Errorf("%w: %v in %q", ErrDuplicateKey, key, t.schema.Name)
 	}
-	stored := append(Row(nil), row...)
 	t.rows[key] = stored
 	t.order = append(t.order, key)
 	for col, idx := range t.indexes {
@@ -106,13 +107,52 @@ func (t *Table) Insert(row Row) (any, error) {
 
 // Get returns a copy of the row with the given primary key.
 func (t *Table) Get(pk any) (Row, bool) {
+	return t.getRow(pk, nil)
+}
+
+// getRow copies the row with the given primary key into buf (reusing its
+// capacity) and returns it. Conn.Get passes its connection-owned buffer
+// here, which is what makes point reads allocation-free at steady state.
+func (t *Table) getRow(pk any, buf Row) (Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	r, ok := t.rows[pk]
 	if !ok {
 		return nil, false
 	}
-	return append(Row(nil), r...), true
+	return append(buf[:0], r...), true
+}
+
+// UpdateCol applies a single column=value assignment to the row with the
+// given primary key — the allocation-free form hot write paths use
+// instead of building a one-entry map.
+func (t *Table) UpdateCol(pk any, col string, val any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rows[pk]
+	if !ok {
+		return fmt.Errorf("%w: %v in %q", ErrNoSuchRow, pk, t.schema.Name)
+	}
+	ci := t.schema.colIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("%w: %q in %q", ErrNoSuchColumn, col, t.schema.Name)
+	}
+	if ci == t.pkIdx {
+		return fmt.Errorf("sqldb: cannot update primary key of %q", t.schema.Name)
+	}
+	if err := checkValue(t.schema.Columns[ci].Type, val); err != nil {
+		return fmt.Errorf("column %q: %w", col, err)
+	}
+	if idx, ok := t.indexes[col]; ok {
+		old := r[ci]
+		idx[old] = removeKey(idx[old], pk)
+		if len(idx[old]) == 0 {
+			delete(idx, old)
+		}
+		idx[val] = append(idx[val], pk)
+	}
+	r[ci] = val
+	return nil
 }
 
 // Update applies the column=value assignments in set to the row with the
@@ -186,17 +226,36 @@ func removeKey(keys []any, pk any) []any {
 	return keys
 }
 
+// queryScratch is the reusable storage one Select fills: the candidate
+// key buffer, the result row headers and the flat value arena the rows
+// point into. A Conn owns one and passes it to every selectRows, so the
+// per-query make-and-copy of the result set amortises to zero once the
+// buffers have grown to the connection's working set.
+type queryScratch struct {
+	keys   []any
+	rows   []Row
+	arena  []any
+	sorter rowSorter
+}
+
 // selectRows evaluates q and returns copies of the matching rows plus the
 // number of rows scanned (the cost driver). An Eq predicate on the primary
 // key or an indexed column narrows the scan; otherwise the whole table is
-// walked in insertion order.
-func (t *Table) selectRows(q Query) ([]Row, int64, error) {
+// walked in insertion order. The returned rows live in sc's buffers and
+// are valid until sc is next reused (the Conn borrow contract); a nil sc
+// falls back to fresh allocations.
+func (t *Table) selectRows(q Query, sc *queryScratch) ([]Row, int64, error) {
+	if sc == nil {
+		sc = &queryScratch{}
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 
-	candidates := t.candidatesLocked(q)
+	candidates := t.candidatesLocked(q, sc.keys[:0])
+	sc.keys = candidates[:0]
 	var scanned int64
-	var out []Row
+	out := sc.rows[:0]
+	arena := sc.arena[:0]
 	for _, key := range candidates {
 		r, ok := t.rows[key]
 		if !ok {
@@ -205,32 +264,33 @@ func (t *Table) selectRows(q Query) ([]Row, int64, error) {
 		scanned++
 		match, err := q.matches(t.schema, r)
 		if err != nil {
+			sc.rows, sc.arena = out[:0], arena[:0]
 			return nil, scanned, err
 		}
 		if match {
-			out = append(out, append(Row(nil), r...))
+			// Copy the row into the arena. A grow may move the arena to a
+			// new backing array; rows appended earlier keep pointing at the
+			// old one, which still holds their (already copied) values —
+			// correctness is unaffected, and the arena reaches a stable
+			// capacity after the first few queries.
+			base := len(arena)
+			arena = append(arena, r...)
+			out = append(out, arena[base:len(arena):len(arena)])
 		}
 	}
+	sc.rows, sc.arena = out, arena
 	if q.OrderBy != "" {
 		ci := t.schema.colIndex(q.OrderBy)
 		if ci < 0 {
 			return nil, scanned, fmt.Errorf("%w: order by %q in %q", ErrNoSuchColumn, q.OrderBy, t.schema.Name)
 		}
-		ct := t.schema.Columns[ci].Type
-		var sortErr error
-		sort.SliceStable(out, func(i, j int) bool {
-			c, err := compare(ct, out[i][ci], out[j][ci])
-			if err != nil && sortErr == nil {
-				sortErr = err
-			}
-			if q.Desc {
-				return c > 0
-			}
-			return c < 0
-		})
-		if sortErr != nil {
-			return nil, scanned, sortErr
+		sc.sorter = rowSorter{rows: out, ci: ci, ct: t.schema.Columns[ci].Type, desc: q.Desc}
+		sort.Stable(&sc.sorter)
+		if err := sc.sorter.err; err != nil {
+			sc.sorter.rows = nil
+			return nil, scanned, err
 		}
+		sc.sorter.rows = nil
 	}
 	if q.Limit > 0 && len(out) > q.Limit {
 		out = out[:q.Limit]
@@ -238,16 +298,43 @@ func (t *Table) selectRows(q Query) ([]Row, int64, error) {
 	return out, scanned, nil
 }
 
-// candidatesLocked picks the narrowest key set for the query: an Eq
-// predicate on the primary key, then an Eq predicate on an indexed column,
-// then the full table.
-func (t *Table) candidatesLocked(q Query) []any {
+// rowSorter orders result rows by one column without the per-call
+// closure and reflection machinery of sort.Slice. It records the first
+// comparison error instead of failing mid-sort, as the closure-based
+// sort did.
+type rowSorter struct {
+	rows []Row
+	ci   int
+	ct   ColType
+	desc bool
+	err  error
+}
+
+func (s *rowSorter) Len() int { return len(s.rows) }
+
+func (s *rowSorter) Swap(i, j int) { s.rows[i], s.rows[j] = s.rows[j], s.rows[i] }
+
+func (s *rowSorter) Less(i, j int) bool {
+	c, err := compare(s.ct, s.rows[i][s.ci], s.rows[j][s.ci])
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.desc {
+		return c > 0
+	}
+	return c < 0
+}
+
+// candidatesLocked picks the narrowest key set for the query, appending
+// into buf: an Eq predicate on the primary key, then an Eq predicate on
+// an indexed column, then the full table.
+func (t *Table) candidatesLocked(q Query, buf []any) []any {
 	for _, p := range q.Where {
 		if p.Op == Eq && p.Col == t.schema.PrimaryKey {
 			if _, ok := t.rows[p.Val]; ok {
-				return []any{p.Val}
+				return append(buf, p.Val)
 			}
-			return nil
+			return buf
 		}
 	}
 	for _, p := range q.Where {
@@ -255,8 +342,8 @@ func (t *Table) candidatesLocked(q Query) []any {
 			continue
 		}
 		if idx, ok := t.indexes[p.Col]; ok {
-			return append([]any(nil), idx[p.Val]...)
+			return append(buf, idx[p.Val]...)
 		}
 	}
-	return append([]any(nil), t.order...)
+	return append(buf, t.order...)
 }

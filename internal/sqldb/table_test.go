@@ -143,7 +143,7 @@ func TestDelete(t *testing.T) {
 
 func TestSelectFullScan(t *testing.T) {
 	tb := newBookTable(t, 9)
-	rows, scanned, err := tb.selectRows(Where("i_subject", Eq, "ARTS"))
+	rows, scanned, err := tb.selectRows(Where("i_subject", Eq, "ARTS"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestSelectIndexNarrowsScan(t *testing.T) {
 	if err := tb.CreateIndex("i_subject"); err != nil {
 		t.Fatal(err)
 	}
-	rows, scanned, err := tb.selectRows(Where("i_subject", Eq, "ARTS"))
+	rows, scanned, err := tb.selectRows(Where("i_subject", Eq, "ARTS"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestSelectIndexNarrowsScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	tb.Delete(int64(4))
-	rows, _, _ = tb.selectRows(Where("i_subject", Eq, "ARTS"))
+	rows, _, _ = tb.selectRows(Where("i_subject", Eq, "ARTS"), nil)
 	if len(rows) != 1 {
 		t.Fatalf("after update+delete: rows = %d, want 1", len(rows))
 	}
@@ -187,14 +187,14 @@ func TestSelectIndexNarrowsScan(t *testing.T) {
 
 func TestSelectPrimaryKeyShortcut(t *testing.T) {
 	tb := newBookTable(t, 100)
-	rows, scanned, err := tb.selectRows(Where("i_id", Eq, int64(50)))
+	rows, scanned, err := tb.selectRows(Where("i_id", Eq, int64(50)), nil)
 	if err != nil || len(rows) != 1 {
 		t.Fatalf("rows = %v, err = %v", rows, err)
 	}
 	if scanned != 1 {
 		t.Fatalf("scanned = %d, want 1 via pk", scanned)
 	}
-	rows, scanned, _ = tb.selectRows(Where("i_id", Eq, int64(9999)))
+	rows, scanned, _ = tb.selectRows(Where("i_id", Eq, int64(9999)), nil)
 	if len(rows) != 0 || scanned != 0 {
 		t.Fatalf("missing pk: rows=%d scanned=%d", len(rows), scanned)
 	}
@@ -202,7 +202,7 @@ func TestSelectPrimaryKeyShortcut(t *testing.T) {
 
 func TestSelectOrderAndLimit(t *testing.T) {
 	tb := newBookTable(t, 10)
-	rows, _, err := tb.selectRows(Query{}.Ordered("i_cost", true).Limited(3))
+	rows, _, err := tb.selectRows(Query{}.Ordered("i_cost", true).Limited(3), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +212,11 @@ func TestSelectOrderAndLimit(t *testing.T) {
 	if rows[0][3].(float64) != 19 || rows[2][3].(float64) != 17 {
 		t.Fatalf("desc order wrong: %v, %v", rows[0][3], rows[2][3])
 	}
-	asc, _, _ := tb.selectRows(Query{}.Ordered("i_cost", false).Limited(1))
+	asc, _, _ := tb.selectRows(Query{}.Ordered("i_cost", false).Limited(1), nil)
 	if asc[0][3].(float64) != 10 {
 		t.Fatalf("asc order wrong: %v", asc[0][3])
 	}
-	if _, _, err := tb.selectRows(Query{}.Ordered("ghost", false)); !errors.Is(err, ErrNoSuchColumn) {
+	if _, _, err := tb.selectRows(Query{}.Ordered("ghost", false), nil); !errors.Is(err, ErrNoSuchColumn) {
 		t.Fatalf("order by ghost err = %v", err)
 	}
 }
@@ -237,7 +237,7 @@ func TestSelectOperators(t *testing.T) {
 		{Where("i_subject", Eq, "ARTS").And("i_cost", Gt, 12.0), 3},
 	}
 	for i, tc := range cases {
-		rows, _, err := tb.selectRows(tc.q)
+		rows, _, err := tb.selectRows(tc.q, nil)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -249,13 +249,13 @@ func TestSelectOperators(t *testing.T) {
 
 func TestSelectErrors(t *testing.T) {
 	tb := newBookTable(t, 2)
-	if _, _, err := tb.selectRows(Where("ghost", Eq, int64(1))); err == nil {
+	if _, _, err := tb.selectRows(Where("ghost", Eq, int64(1)), nil); err == nil {
 		t.Fatal("unknown predicate column accepted")
 	}
-	if _, _, err := tb.selectRows(Where("i_cost", Contains, "x")); err == nil {
+	if _, _, err := tb.selectRows(Where("i_cost", Contains, "x"), nil); err == nil {
 		t.Fatal("Contains on float accepted")
 	}
-	if _, _, err := tb.selectRows(Where("i_cost", Eq, "notafloat")); !errors.Is(err, ErrBadValue) {
+	if _, _, err := tb.selectRows(Where("i_cost", Eq, "notafloat"), nil); !errors.Is(err, ErrBadValue) {
 		t.Fatal("type-mismatched predicate accepted")
 	}
 }

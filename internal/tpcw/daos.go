@@ -33,6 +33,62 @@ func weave(w *aspect.Weaver, comp, method string, fn aspect.Func) func(args ...a
 	return func(args ...any) (any, error) { return h(1, args...) }
 }
 
+// daoScratch is the reusable result storage of the TPC-W DAOs, stashed on
+// the database connection they execute through (one scratch per pooled
+// connection, so its buffers warm up once and serve every request that
+// later borrows the connection). Result slices and structs returned by
+// DAO methods point into this scratch and follow the connection's borrow
+// contract: they are valid until the next DAO call on the same
+// connection. Inner (woven) DAO functions return pointers into the
+// scratch, which keeps the any-typed advice boundary from boxing a fresh
+// copy of every result.
+type daoScratch struct {
+	items  []Item
+	ids    []int64
+	sold   map[int64]int64
+	sorter soldSorter
+	item   Item
+	cust   Customer
+	order  OrderWithLines
+	id64   int64
+}
+
+// soldSorter orders the best-sellers id list by quantity sold (desc, id
+// asc on ties) without sort.Slice's per-call closure and reflection
+// swapper — the same move as sqldb's rowSorter, kept in the scratch so
+// the interface conversion costs nothing.
+type soldSorter struct {
+	ids  []int64
+	sold map[int64]int64
+}
+
+func (s *soldSorter) Len() int      { return len(s.ids) }
+func (s *soldSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+func (s *soldSorter) Less(i, j int) bool {
+	if s.sold[s.ids[i]] != s.sold[s.ids[j]] {
+		return s.sold[s.ids[i]] > s.sold[s.ids[j]]
+	}
+	return s.ids[i] < s.ids[j]
+}
+
+// OrderWithLines bundles an order and its lines — the result unit of
+// OrderDAO.MostRecentByCustomer.
+type OrderWithLines struct {
+	Order Order
+	Lines []OrderLine
+}
+
+// scratchFor returns the connection's DAO scratch, attaching one on first
+// use.
+func scratchFor(conn *sqldb.Conn) *daoScratch {
+	if sc, ok := conn.Stash().(*daoScratch); ok {
+		return sc
+	}
+	sc := &daoScratch{sold: make(map[int64]int64)}
+	conn.SetStash(sc)
+	return sc
+}
+
 // CatalogDAO reads the item catalogue.
 type CatalogDAO struct {
 	itemByID    func(args ...any) (any, error)
@@ -53,7 +109,9 @@ func NewCatalogDAO(w *aspect.Weaver) *CatalogDAO {
 		if !ok {
 			return nil, fmt.Errorf("%w: item %d", ErrNotFound, id)
 		}
-		return itemFromRow(row), nil
+		sc := scratchFor(conn)
+		sc.item = itemFromRow(row)
+		return &sc.item, nil
 	})
 	d.newProducts = weave(w, CompCatalogDAO, "NewProducts", func(args ...any) (any, error) {
 		conn, subject := args[0].(*sqldb.Conn), args[1].(string)
@@ -62,7 +120,9 @@ func NewCatalogDAO(w *aspect.Weaver) *CatalogDAO {
 		if err != nil {
 			return nil, err
 		}
-		return itemsFromRows(rows), nil
+		sc := scratchFor(conn)
+		itemsFromRows(&sc.items, rows)
+		return &sc.items, nil
 	})
 	d.bestSellers = weave(w, CompCatalogDAO, "BestSellers", func(args ...any) (any, error) {
 		conn, subject := args[0].(*sqldb.Conn), args[1].(string)
@@ -77,79 +137,86 @@ func NewCatalogDAO(w *aspect.Weaver) *CatalogDAO {
 
 // ItemByID fetches one item.
 func (d *CatalogDAO) ItemByID(conn *sqldb.Conn, id int64) (Item, error) {
-	v, err := d.itemByID(conn, id)
+	v, err := d.itemByID(conn.Args2(conn, id)...)
 	if err != nil {
 		return Item{}, err
 	}
-	return v.(Item), nil
+	return *v.(*Item), nil
 }
 
-// NewProducts returns the newest items of a subject.
+// NewProducts returns the newest items of a subject. The returned slice
+// is borrowed from the connection's scratch: valid until the next DAO
+// call on conn.
 func (d *CatalogDAO) NewProducts(conn *sqldb.Conn, subject string) ([]Item, error) {
-	v, err := d.newProducts(conn, subject)
+	v, err := d.newProducts(conn.Args2(conn, subject)...)
 	if err != nil {
 		return nil, err
 	}
-	return v.([]Item), nil
+	return *v.(*[]Item), nil
 }
 
 // BestSellers aggregates recent order lines into the subject's top sellers
-// — deliberately the most expensive interaction, as in TPC-W.
+// — deliberately the most expensive interaction, as in TPC-W. The
+// returned slice is borrowed (see NewProducts).
 func (d *CatalogDAO) BestSellers(conn *sqldb.Conn, subject string) ([]Item, error) {
-	v, err := d.bestSellers(conn, subject)
+	v, err := d.bestSellers(conn.Args2(conn, subject)...)
 	if err != nil {
 		return nil, err
 	}
-	return v.([]Item), nil
+	return *v.(*[]Item), nil
 }
 
-// Search finds items by "title" or "author" term.
+// Search finds items by "title" or "author" term. The returned slice is
+// borrowed (see NewProducts).
 func (d *CatalogDAO) Search(conn *sqldb.Conn, field, term string) ([]Item, error) {
-	v, err := d.search(conn, field, term)
+	v, err := d.search(conn.Args3(conn, field, term)...)
 	if err != nil {
 		return nil, err
 	}
-	return v.([]Item), nil
+	return *v.(*[]Item), nil
 }
 
-func itemsFromRows(rows []sqldb.Row) []Item {
-	out := make([]Item, len(rows))
-	for i, r := range rows {
-		out[i] = itemFromRow(r)
+// itemsFromRows decodes rows into *dst, reusing its capacity.
+func itemsFromRows(dst *[]Item, rows []sqldb.Row) {
+	out := (*dst)[:0]
+	for _, r := range rows {
+		out = append(out, itemFromRow(r))
 	}
-	return out
+	*dst = out
 }
 
-func bestSellers(conn *sqldb.Conn, subject string) ([]Item, error) {
+func bestSellers(conn *sqldb.Conn, subject string) (*[]Item, error) {
 	// Latest order id bounds the window.
 	latest, err := conn.Select(TableOrders, sqldb.Query{}.Ordered("o_id", true).Limited(1))
 	if err != nil {
 		return nil, err
 	}
+	sc := scratchFor(conn)
+	sc.items = sc.items[:0]
 	if len(latest) == 0 {
-		return nil, nil
+		return &sc.items, nil
 	}
 	minOrder := latest[0][0].(int64) - bestSellerWindow
 	lines, err := conn.Select(TableOrderLine, sqldb.Where("ol_o_id", sqldb.Gt, minOrder))
 	if err != nil {
 		return nil, err
 	}
-	sold := make(map[int64]int64)
+	sold := sc.sold
+	clear(sold)
 	for _, l := range lines {
 		sold[l[2].(int64)] += l[3].(int64)
 	}
-	ids := make([]int64, 0, len(sold))
+	ids := sc.ids[:0]
 	for id := range sold {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if sold[ids[i]] != sold[ids[j]] {
-			return sold[ids[i]] > sold[ids[j]]
-		}
-		return ids[i] < ids[j]
-	})
-	var out []Item
+	sc.ids = ids
+	sc.sorter = soldSorter{ids: ids, sold: sold}
+	sort.Sort(&sc.sorter)
+	sc.sorter.ids, sc.sorter.sold = nil, nil
 	for _, id := range ids {
+		// Point reads reuse the connection's row buffer; itemFromRow copies
+		// what it keeps before the next read.
 		row, ok, err := conn.Get(TableItem, id)
 		if err != nil {
 			return nil, err
@@ -161,15 +228,16 @@ func bestSellers(conn *sqldb.Conn, subject string) ([]Item, error) {
 		if subject != "" && it.Subject != subject {
 			continue
 		}
-		out = append(out, it)
-		if len(out) == 50 {
+		sc.items = append(sc.items, it)
+		if len(sc.items) == 50 {
 			break
 		}
 	}
-	return out, nil
+	return &sc.items, nil
 }
 
-func searchItems(conn *sqldb.Conn, field, term string) ([]Item, error) {
+func searchItems(conn *sqldb.Conn, field, term string) (*[]Item, error) {
+	sc := scratchFor(conn)
 	switch field {
 	case "title":
 		rows, err := conn.Select(TableItem,
@@ -177,27 +245,37 @@ func searchItems(conn *sqldb.Conn, field, term string) ([]Item, error) {
 		if err != nil {
 			return nil, err
 		}
-		return itemsFromRows(rows), nil
+		itemsFromRows(&sc.items, rows)
+		return &sc.items, nil
 	case "author":
 		authors, err := conn.Select(TableAuthor,
 			sqldb.Where("a_lname", sqldb.Contains, term).Limited(10))
 		if err != nil {
 			return nil, err
 		}
-		var out []Item
+		// The author rows live in the connection's select scratch, which
+		// the per-author item queries below reuse — extract the ids first.
+		ids := sc.ids[:0]
 		for _, a := range authors {
+			ids = append(ids, a[0].(int64))
+		}
+		sc.ids = ids
+		sc.items = sc.items[:0]
+		for _, aid := range ids {
 			rows, err := conn.Select(TableItem,
-				sqldb.Where("i_a_id", sqldb.Eq, a[0].(int64)).Limited(50))
+				sqldb.Where("i_a_id", sqldb.Eq, aid).Limited(50))
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, itemsFromRows(rows)...)
-			if len(out) >= 50 {
-				out = out[:50]
+			for _, r := range rows {
+				sc.items = append(sc.items, itemFromRow(r))
+			}
+			if len(sc.items) >= 50 {
+				sc.items = sc.items[:50]
 				break
 			}
 		}
-		return out, nil
+		return &sc.items, nil
 	default:
 		return nil, fmt.Errorf("tpcw: unknown search field %q", field)
 	}
@@ -222,7 +300,9 @@ func NewCustomerDAO(w *aspect.Weaver) *CustomerDAO {
 		if len(rows) == 0 {
 			return nil, fmt.Errorf("%w: customer %q", ErrNotFound, uname)
 		}
-		return customerFromRow(rows[0]), nil
+		sc := scratchFor(conn)
+		sc.cust = customerFromRow(rows[0])
+		return &sc.cust, nil
 	})
 	d.byID = weave(w, CompCustomerDAO, "ByID", func(args ...any) (any, error) {
 		conn, id := args[0].(*sqldb.Conn), args[1].(int64)
@@ -233,7 +313,9 @@ func NewCustomerDAO(w *aspect.Weaver) *CustomerDAO {
 		if !ok {
 			return nil, fmt.Errorf("%w: customer %d", ErrNotFound, id)
 		}
-		return customerFromRow(row), nil
+		sc := scratchFor(conn)
+		sc.cust = customerFromRow(row)
+		return &sc.cust, nil
 	})
 	d.register = weave(w, CompCustomerDAO, "Register", func(args ...any) (any, error) {
 		conn, uname := args[0].(*sqldb.Conn), args[1].(string)
@@ -243,36 +325,38 @@ func NewCustomerDAO(w *aspect.Weaver) *CustomerDAO {
 		if err != nil {
 			return nil, err
 		}
-		return pk.(int64), nil
+		sc := scratchFor(conn)
+		sc.id64 = pk.(int64)
+		return &sc.id64, nil
 	})
 	return d
 }
 
 // ByUname fetches a customer by user name.
 func (d *CustomerDAO) ByUname(conn *sqldb.Conn, uname string) (Customer, error) {
-	v, err := d.byUname(conn, uname)
+	v, err := d.byUname(conn.Args2(conn, uname)...)
 	if err != nil {
 		return Customer{}, err
 	}
-	return v.(Customer), nil
+	return *v.(*Customer), nil
 }
 
 // ByID fetches a customer by id.
 func (d *CustomerDAO) ByID(conn *sqldb.Conn, id int64) (Customer, error) {
-	v, err := d.byID(conn, id)
+	v, err := d.byID(conn.Args2(conn, id)...)
 	if err != nil {
 		return Customer{}, err
 	}
-	return v.(Customer), nil
+	return *v.(*Customer), nil
 }
 
 // Register creates a new customer and returns its id.
 func (d *CustomerDAO) Register(conn *sqldb.Conn, uname string) (int64, error) {
-	v, err := d.register(conn, uname)
+	v, err := d.register(conn.Args2(conn, uname)...)
 	if err != nil {
 		return 0, err
 	}
-	return v.(int64), nil
+	return *v.(*int64), nil
 }
 
 // OrderDAO reads and writes orders.
@@ -294,19 +378,18 @@ func NewOrderDAO(w *aspect.Weaver) *OrderDAO {
 		if len(rows) == 0 {
 			return nil, fmt.Errorf("%w: no orders for customer %d", ErrNotFound, cid)
 		}
-		order := orderFromRow(rows[0])
-		lineRows, err := conn.Select(TableOrderLine, sqldb.Where("ol_o_id", sqldb.Eq, order.ID))
+		sc := scratchFor(conn)
+		sc.order.Order = orderFromRow(rows[0])
+		lineRows, err := conn.Select(TableOrderLine, sqldb.Where("ol_o_id", sqldb.Eq, sc.order.Order.ID))
 		if err != nil {
 			return nil, err
 		}
-		lines := make([]OrderLine, len(lineRows))
-		for i, r := range lineRows {
-			lines[i] = orderLineFromRow(r)
+		lines := sc.order.Lines[:0]
+		for _, r := range lineRows {
+			lines = append(lines, orderLineFromRow(r))
 		}
-		return struct {
-			Order Order
-			Lines []OrderLine
-		}{order, lines}, nil
+		sc.order.Lines = lines
+		return &sc.order, nil
 	})
 	d.create = weave(w, CompOrderDAO, "Create", func(args ...any) (any, error) {
 		conn := args[0].(*sqldb.Conn)
@@ -331,7 +414,7 @@ func NewOrderDAO(w *aspect.Weaver) *OrderDAO {
 			if stock < 0 {
 				stock += 21
 			}
-			if err := conn.Update(TableItem, l.ItemID, map[string]any{"i_stock": stock}); err != nil {
+			if err := conn.UpdateCol(TableItem, l.ItemID, "i_stock", stock); err != nil {
 				return nil, err
 			}
 		}
@@ -339,31 +422,32 @@ func NewOrderDAO(w *aspect.Weaver) *OrderDAO {
 			sqldb.Row{nil, oid.(int64), "VISA", cart.Total(), date}); err != nil {
 			return nil, err
 		}
-		return oid.(int64), nil
+		sc := scratchFor(conn)
+		sc.id64 = oid.(int64)
+		return &sc.id64, nil
 	})
 	return d
 }
 
 // MostRecentByCustomer returns the customer's latest order and its lines.
+// The lines slice is borrowed from the connection's scratch: valid until
+// the next DAO call on conn.
 func (d *OrderDAO) MostRecentByCustomer(conn *sqldb.Conn, cid int64) (Order, []OrderLine, error) {
-	v, err := d.mostRecent(conn, cid)
+	v, err := d.mostRecent(conn.Args2(conn, cid)...)
 	if err != nil {
 		return Order{}, nil, err
 	}
-	res := v.(struct {
-		Order Order
-		Lines []OrderLine
-	})
+	res := v.(*OrderWithLines)
 	return res.Order, res.Lines, nil
 }
 
 // Create persists the cart as a new order and returns the order id.
 func (d *OrderDAO) Create(conn *sqldb.Conn, cid int64, cart *Cart, date int64) (int64, error) {
-	v, err := d.create(conn, cid, cart, date)
+	v, err := d.create(conn.Args4(conn, cid, cart, date)...)
 	if err != nil {
 		return 0, err
 	}
-	return v.(int64), nil
+	return *v.(*int64), nil
 }
 
 // PromoSvc computes the promotional slate shown on the home and product
@@ -378,34 +462,37 @@ func NewPromoSvc(w *aspect.Weaver) *PromoSvc {
 	s := &PromoSvc{}
 	s.related = weave(w, CompPromoSvc, "Related", func(args ...any) (any, error) {
 		conn, itemID := args[0].(*sqldb.Conn), args[1].(int64)
+		sc := scratchFor(conn)
+		sc.items = sc.items[:0]
 		row, ok, err := conn.Get(TableItem, itemID)
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
-			return []Item{}, nil
+			return &sc.items, nil
 		}
 		it := itemFromRow(row)
-		var out []Item
-		for _, rid := range []int64{it.Related1, it.Related2} {
+		for _, rid := range [2]int64{it.Related1, it.Related2} {
 			rrow, ok, err := conn.Get(TableItem, rid)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				out = append(out, itemFromRow(rrow))
+				sc.items = append(sc.items, itemFromRow(rrow))
 			}
 		}
-		return out, nil
+		return &sc.items, nil
 	})
 	return s
 }
 
-// Related returns the promotional items for the given anchor item.
+// Related returns the promotional items for the given anchor item. The
+// returned slice is borrowed from the connection's scratch: valid until
+// the next DAO call on conn.
 func (s *PromoSvc) Related(conn *sqldb.Conn, itemID int64) ([]Item, error) {
-	v, err := s.related(conn, itemID)
+	v, err := s.related(conn.Args2(conn, itemID)...)
 	if err != nil {
 		return nil, err
 	}
-	return v.([]Item), nil
+	return *v.(*[]Item), nil
 }

@@ -72,13 +72,13 @@ func (b *base) customerID(req *servlet.Request) (int64, bool) {
 	return id, ok
 }
 
-// itemParam parses the I_ID parameter, falling back to a deterministic
-// rotating id so parameterless probes still exercise the catalogue.
+// itemParam reads the I_ID parameter (typed fast path first, so requests
+// built with SetInt64Param never touch strconv), falling back to a
+// deterministic rotating id so parameterless probes still exercise the
+// catalogue.
 func (b *base) itemParam(req *servlet.Request) int64 {
-	if s := req.Param("I_ID"); s != "" {
-		if id, err := strconv.ParseInt(s, 10, 64); err == nil {
-			return id
-		}
+	if id, ok := req.Int64Param("I_ID"); ok {
+		return id
 	}
 	return b.app.nextFallbackItem()
 }
@@ -90,13 +90,12 @@ func (b *base) subjectParam(req *servlet.Request) string {
 	return Subjects[0]
 }
 
-// setItems publishes navigable item ids on the response for the EBs.
+// setItems publishes navigable item ids on the response for the EBs,
+// through the response's typed (recycled) id store — no per-request slice.
 func setItems(resp *servlet.Response, items []Item) {
-	ids := make([]int64, len(items))
-	for i, it := range items {
-		ids[i] = it.ID
+	for i := range items {
+		resp.AddItemID(items[i].ID)
 	}
-	resp.Set("item_ids", ids)
 }
 
 // homeServlet is the entry page: greets the customer and shows promotions.
@@ -153,7 +152,8 @@ func (s *productDetailServlet) Service(req *servlet.Request, resp *servlet.Respo
 		return err
 	}
 	resp.Set("item", it.ID)
-	resp.Set("item_ids", []int64{it.Related1, it.Related2})
+	resp.AddItemID(it.Related1)
+	resp.AddItemID(it.Related2)
 	return nil
 }
 
@@ -198,19 +198,15 @@ func (s *shoppingCartServlet) Service(req *servlet.Request, resp *servlet.Respon
 			return err
 		}
 		qty := int64(1)
-		if q := req.Param("QTY"); q != "" {
-			if v, err := strconv.ParseInt(q, 10, 64); err == nil && v > 0 {
-				qty = v
-			}
+		if v, ok := req.Int64Param("QTY"); ok && v > 0 {
+			qty = v
 		}
 		cart.Add(it.ID, qty, it.Cost)
 	case "update":
 		id := s.itemParam(req)
 		qty := int64(0)
-		if q := req.Param("QTY"); q != "" {
-			if v, err := strconv.ParseInt(q, 10, 64); err == nil {
-				qty = v
-			}
+		if v, ok := req.Int64Param("QTY"); ok {
+			qty = v
 		}
 		cart.Update(id, qty)
 	case "refresh":

@@ -22,6 +22,11 @@
 # "after", "with_cluster_tier", ... in recording order) and fails with a
 # per-benchmark report when the regression threshold is exceeded.
 # Benchmarks without a baseline entry are reported as informational.
+#
+# allocs/op is gated separately and absolutely: the run uses -benchmem and
+# ANY increase over the recorded allocs_op fails. Allocation counts are
+# deterministic (no timing noise), so unlike ns/op there is no tolerance —
+# this is what locks the zero-alloc request and monitoring paths in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,12 +40,12 @@ while getopts "t:b:" opt; do
   esac
 done
 shift $((OPTIND - 1))
-REGEX="${1:-BenchmarkMonitorObserve|BenchmarkWirePublish|BenchmarkWireDecode|BenchmarkAggregatorIngest|BenchmarkForwarderObserve|BenchmarkRequestMonitoredParallel}"
+REGEX="${1:-BenchmarkMonitorObserve|BenchmarkWirePublish|BenchmarkWireDecode|BenchmarkAggregatorIngest|BenchmarkForwarderObserve|BenchmarkRequestMonitoredParallel|BenchmarkRequestMonitored|BenchmarkRequestUnmonitored}"
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
-echo "running: go test -run '^$' -bench \"$REGEX\" -benchtime $BENCHTIME ./..." >&2
-go test -run '^$' -bench "$REGEX" -benchtime "$BENCHTIME" ./... 2>/dev/null | tee "$OUT" >&2
+echo "running: go test -run '^$' -bench \"$REGEX\" -benchtime $BENCHTIME -benchmem ./..." >&2
+go test -run '^$' -bench "$REGEX" -benchtime "$BENCHTIME" -benchmem ./... 2>/dev/null | tee "$OUT" >&2
 
 python3 - "$OUT" "$THRESHOLD_PCT" <<'PYEOF'
 import json, re, sys
@@ -48,40 +53,58 @@ import json, re, sys
 out_path, threshold = sys.argv[1], float(sys.argv[2])
 base = json.load(open("BENCH_baseline.json"))["benchmarks"]
 
-# Most recent recorded ns_op per benchmark: the last sub-entry that has one.
+# Most recent recorded figures per benchmark: the last sub-entry that has
+# an ns_op (allocs_op rides the same entry when present).
 recorded = {}
 for name, entries in base.items():
     for sub in entries.values():
         if isinstance(sub, dict) and "ns_op" in sub:
-            recorded[name] = float(sub["ns_op"])
+            recorded[name] = (float(sub["ns_op"]), sub.get("allocs_op"))
 
-line_re = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op")
-failures, checked, info = [], 0, 0
+line_re = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:.*?\s(\d+) allocs/op)?")
+failures, alloc_failures, checked, info = [], [], 0, 0
 for line in open(out_path):
     m = line_re.match(line.strip())
     if not m:
         continue
     name, ns = m.group(1), float(m.group(2))
+    allocs = int(m.group(3)) if m.group(3) is not None else None
     if name not in recorded:
         info += 1
         print(f"  (no baseline) {name}: {ns:.0f} ns/op")
         continue
     checked += 1
-    baseline = recorded[name]
+    baseline, base_allocs = recorded[name]
     delta = (ns / baseline - 1.0) * 100.0
     status = "ok"
     if delta > threshold:
         status = "REGRESSION"
         failures.append((name, baseline, ns, delta))
-    print(f"  [{status}] {name}: {ns:.0f} ns/op vs {baseline:.0f} recorded ({delta:+.1f}%)")
+    alloc_note = ""
+    if base_allocs is not None and allocs is not None:
+        alloc_note = f", {allocs} vs {base_allocs} allocs/op"
+        if allocs > base_allocs:
+            status = "ALLOC-REGRESSION"
+            alloc_failures.append((name, base_allocs, allocs))
+    print(f"  [{status}] {name}: {ns:.0f} ns/op vs {baseline:.0f} recorded ({delta:+.1f}%{alloc_note})")
 
 if checked == 0:
     print("benchdiff: no benchmark in the run matches a baseline entry", file=sys.stderr)
     sys.exit(2)
+failed = False
 if failures:
+    failed = True
     print(f"\nbenchdiff: {len(failures)} benchmark(s) regressed beyond {threshold:.0f}%:", file=sys.stderr)
     for name, baseline, ns, delta in failures:
         print(f"  {name}: {ns:.0f} ns/op vs {baseline:.0f} ({delta:+.1f}%)", file=sys.stderr)
+if alloc_failures:
+    failed = True
+    print(f"\nbenchdiff: {len(alloc_failures)} benchmark(s) allocate more than recorded (any increase fails):", file=sys.stderr)
+    for name, base_allocs, allocs in alloc_failures:
+        print(f"  {name}: {allocs} allocs/op vs {base_allocs} recorded", file=sys.stderr)
+if failed:
     sys.exit(1)
-print(f"benchdiff: {checked} benchmark(s) within {threshold:.0f}% of BENCH_baseline.json")
+print(f"benchdiff: {checked} benchmark(s) within {threshold:.0f}% of BENCH_baseline.json and at-or-under recorded allocs/op")
 PYEOF
