@@ -32,6 +32,25 @@
 // -transport picks how rounds travel from the nodes to the aggregator:
 // inproc (direct calls), gob, or binary (the delta-encoded wire codec) —
 // verdicts are transport-independent by construction.
+//
+// With -load the command runs the million-session load tier instead of
+// the monitored testbed: a struct-of-arrays session population over
+// per-core event-engine shards, closed-loop (TPC-W think times) or
+// open-loop (Poisson arrivals):
+//
+//	tpcwsim -load -sessions 1000000 -shards 4 -duration 2m
+//	tpcwsim -load -arrival open -rate 5000 -duration 2m
+//
+// A fleet splits the load over K driver processes paced by a coordinator
+// (sessions are owned by id mod K, so any K produces identical merged
+// results):
+//
+//	tpcwsim -load -role coordinator -drivers 2 -coord :9991 -duration 2m &
+//	tpcwsim -load -role driver -driver-index 0 -drivers 2 -coord localhost:9991 -sessions 1000000 -duration 2m &
+//	tpcwsim -load -role driver -driver-index 1 -drivers 2 -coord localhost:9991 -sessions 1000000 -duration 2m
+//
+// -drivers K with the default -role local runs the same K-way fleet
+// in-process over pipes — the protocol without the deployment.
 package main
 
 import (
@@ -67,8 +86,36 @@ func main() {
 		nodes    = flag.Int("nodes", 1, "cluster size (1 = the paper's single-node testbed)")
 		leakNode = flag.String("leaknode", "node2", "node to arm the leak on in cluster mode")
 		trans    = flag.String("transport", "inproc", "cluster round transport: inproc, gob or binary")
+
+		load     = flag.Bool("load", false, "run the million-session load tier instead of the monitored testbed")
+		sessions = flag.Int("sessions", 100000, "load tier: closed-loop session population")
+		shards   = flag.Int("shards", 1, "load tier: per-core event-engine shards per process")
+		arrival  = flag.String("arrival", "closed", "load tier: arrival discipline, closed or open")
+		rate     = flag.Float64("rate", 1000, "load tier: open-loop arrival rate (sessions/second)")
+		backend  = flag.String("backend", "model", "load tier: backend, model or container")
+		drivers  = flag.Int("drivers", 1, "load tier: driver process fleet size K")
+		role     = flag.String("role", "local", "load tier: local, coordinator or driver")
+		coord    = flag.String("coord", ":9991", "load tier: coordinator address (listen or dial)")
+		drvIndex = flag.Int("driver-index", 0, "load tier: this driver's index in the fleet")
 	)
 	flag.Parse()
+
+	if *load {
+		runLoad(loadOptions{
+			duration: *duration,
+			sessions: *sessions,
+			shards:   *shards,
+			arrival:  *arrival,
+			rate:     *rate,
+			backend:  *backend,
+			drivers:  *drivers,
+			role:     *role,
+			coord:    *coord,
+			index:    *drvIndex,
+			seed:     *seed,
+		})
+		return
+	}
 
 	if *nodes > 1 {
 		if !*doDetect {

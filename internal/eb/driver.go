@@ -112,9 +112,10 @@ type Driver struct {
 	cfg     Config
 	matrix  Matrix
 
-	target   int
-	browsers []*Browser
-	active   map[int]bool
+	target      int
+	browsers    []*Browser
+	active      []bool // indexed by browser id; reused across phases
+	activeCount int
 
 	completed metrics.Counter
 	failed    metrics.Counter
@@ -133,7 +134,6 @@ func NewDriver(engine *sim.Engine, target Target, cfg Config) *Driver {
 		backend: target,
 		cfg:     cfg,
 		matrix:  m,
-		active:  make(map[int]bool),
 		wips:    metrics.NewSeries("wips"),
 	}
 }
@@ -148,7 +148,7 @@ func (d *Driver) Completed() int64 { return d.completed.Value() }
 func (d *Driver) Failed() int64 { return d.failed.Value() }
 
 // ActiveEBs returns the current concurrent browser population.
-func (d *Driver) ActiveEBs() int { return len(d.active) }
+func (d *Driver) ActiveEBs() int { return d.activeCount }
 
 // SetMix swaps the workload mix at runtime: requests issued after the
 // call follow the new transition matrix. Live browsers pick it up on
@@ -204,9 +204,13 @@ func (d *Driver) RunMixed(phases []MixedPhase) time.Duration {
 	end := d.engine.Now().Add(offset)
 	d.engine.RunUntil(end)
 	// Quiesce: browsers frozen mid-think will see the zero target if the
-	// engine ever resumes, and the driver reports an empty population.
+	// engine ever resumes, and the driver reports an empty population. The
+	// active slice is cleared in place so repeated schedules reuse it.
 	d.target = 0
-	d.active = make(map[int]bool)
+	for i := range d.active {
+		d.active[i] = false
+	}
+	d.activeCount = 0
 	return offset
 }
 
@@ -215,15 +219,20 @@ func (d *Driver) RunMixed(phases []MixedPhase) time.Duration {
 // browsers finish their in-flight request and then stop.
 func (d *Driver) setPopulation(n int) {
 	d.target = n
+	for len(d.active) < n {
+		d.active = append(d.active, false)
+	}
 	for id := 0; id < n; id++ {
 		if d.active[id] {
 			continue
 		}
 		d.active[id] = true
+		d.activeCount++
 		b := d.browserFor(id)
-		// Stagger session starts across one mean think time.
+		// Stagger session starts across one mean think time. The browser's
+		// pre-bound step callback keeps re-activation closure-free.
 		delay := time.Duration(b.rng.Float64() * float64(d.cfg.ThinkMean))
-		d.engine.ScheduleAfter(delay, func(time.Time) { d.step(b) })
+		d.engine.ScheduleAfter(delay, b.stepFn)
 	}
 }
 
@@ -257,7 +266,10 @@ func (d *Driver) Matrix() Matrix { return d.matrix }
 // unless the population shrank below b's id.
 func (d *Driver) step(b *Browser) {
 	if b.ID() >= d.target {
-		delete(d.active, b.ID())
+		if id := b.ID(); id < len(d.active) && d.active[id] {
+			d.active[id] = false
+			d.activeCount--
+		}
 		return
 	}
 	d.backend.Submit(b.NextRequest(), b.done)

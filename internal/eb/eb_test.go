@@ -231,6 +231,30 @@ func TestDriverDeterminism(t *testing.T) {
 	}
 }
 
+func TestDriverPopulationChurnAllocFree(t *testing.T) {
+	// Regression for the per-phase churn: growing and quiescing the
+	// population repeatedly must reuse the active set (formerly a map
+	// reallocated every quiesce) and the engine's recycled timer entries.
+	engine, c := newLoadedStack(t)
+	d := NewDriver(engine, c, Config{Mix: Shopping, Seed: 9, Items: 100, Customers: 50})
+	d.Run([]Phase{{Duration: 2 * time.Minute, EBs: 30}})
+
+	churn := func() {
+		d.setPopulation(30)
+		// Shrink to zero; the staggered start events fire as deactivating
+		// no-ops, clearing the active set without submitting requests.
+		d.target = 0
+		engine.RunFor(2 * d.cfg.ThinkMean)
+	}
+	churn() // warm: grow the active slice and timer arena to steady state
+	if allocs := testing.AllocsPerRun(10, churn); allocs != 0 {
+		t.Fatalf("population churn allocated %.1f allocs/cycle, want 0", allocs)
+	}
+	if d.ActiveEBs() != 0 {
+		t.Fatalf("active EBs after churn = %d", d.ActiveEBs())
+	}
+}
+
 func TestDriverPanicsOnBadSchedule(t *testing.T) {
 	engine, c := newLoadedStack(t)
 	d := NewDriver(engine, c, Config{})

@@ -1,0 +1,5 @@
+//go:build !race
+
+package eb
+
+const raceEnabled = false

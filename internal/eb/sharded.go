@@ -1,0 +1,666 @@
+package eb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/servlet"
+	"repro/internal/sim"
+)
+
+// ShardedDriver is the million-session load tier: a session-table
+// population partitioned across the per-core engines of a sim.ShardGroup.
+// Each shard owns a disjoint set of session ids and a private Target, so a
+// window never contends on shared state; telemetry is integer per-second
+// completion buckets merged exactly at the end. Two arrival disciplines:
+//
+//   - ClosedLoop: a fixed population of Sessions browsers, each cycling
+//     request → think → request — the TPC-W discipline the paper drives
+//     its testbed with, scaled from 200 EBs to 10^6.
+//   - OpenLoop: sessions arrive in a Poisson stream at Rate/sec and run a
+//     geometric number of interactions. Open-loop arrival keeps offered
+//     load independent of server latency, which the closed-loop discipline
+//     cannot (slow responses throttle a closed population) — the standard
+//     criticism of closed-loop aging experiments.
+//
+// Determinism: every session's walk is a pure function of (Seed, session
+// id); arrivals are pure functions of (Seed, lane); sessions and lanes map
+// to shards by modulo. Shard count changes which engine runs a session,
+// never what the session does, so the merged completion trace and WIPS
+// buckets are byte-identical across shard counts — pinned by the golden
+// test in sharded_test.go.
+
+// ArrivalMode selects the load discipline.
+type ArrivalMode uint8
+
+const (
+	// ClosedLoop holds a fixed think-time population (TPC-W EBs).
+	ClosedLoop ArrivalMode = iota
+	// OpenLoop draws session arrivals from a Poisson process.
+	OpenLoop
+)
+
+// arrivalLanes fixes the number of independent Poisson arrival streams.
+// Lanes exist so arrivals stay deterministic under sharding: lane l is a
+// thinned Poisson stream of rate Rate/arrivalLanes owned by shard
+// l % Shards, and the superposition of the lanes is the configured
+// process. The count is a constant — not Shards — so the arrival sequence
+// is identical no matter how many shards run it.
+const arrivalLanes = 256
+
+// ShardedConfig parameterises a ShardedDriver.
+type ShardedConfig struct {
+	// Shards is the engine count (default 1).
+	Shards int
+	// Window is the bounded-lag pacing window (default 100ms).
+	Window time.Duration
+	// Seed derives every session and lane stream.
+	Seed uint64
+	// Mix selects the transition matrix.
+	Mix Mix
+	// ThinkMean / ThinkCap are the TPC-W think-time parameters
+	// (defaults 7s / 70s).
+	ThinkMean time.Duration
+	ThinkCap  time.Duration
+	// Items / Customers mirror the database scale (defaults 1000 / 1440).
+	Items     int
+	Customers int
+
+	// Sessions is the closed-loop population.
+	Sessions int
+
+	// Arrival selects the discipline.
+	Arrival ArrivalMode
+	// Rate is the open-loop arrival rate in sessions/second.
+	Rate float64
+	// MeanSessionLength is the mean interactions per open-loop session,
+	// geometrically distributed (default 20).
+	MeanSessionLength int
+	// MaxSessions caps concurrent open-loop sessions (default 65536),
+	// split into per-lane admission budgets (laneCapacity). An arrival on
+	// a lane at its budget is dropped and counted. Because budget, live
+	// count and arrival stream are all lane-local, shedding is itself
+	// deterministic across shard and driver counts — a saturated sweep
+	// produces the same drops and the same checksum for any N and K.
+	MaxSessions int
+
+	// RecordTrace keeps the (time, session) completion log for golden
+	// comparisons. Off for the million-session benchmark: the log is the
+	// only per-completion allocation in the driver.
+	RecordTrace bool
+
+	// DriverIndex / DriverCount place this driver process in a K-way
+	// multi-process fleet: it owns sessions with id ≡ DriverIndex (mod
+	// DriverCount) and arrival lanes likewise. Defaults to the whole load
+	// (0 of 1). Ownership is by global id, so the union of K partitions
+	// runs exactly the sessions one driver would — the K-parity test pins
+	// the merged telemetry equal.
+	DriverIndex int
+	DriverCount int
+}
+
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 7 * time.Second
+	}
+	if c.ThinkCap <= 0 {
+		c.ThinkCap = 70 * time.Second
+	}
+	if c.Items <= 0 {
+		c.Items = 1000
+	}
+	if c.Customers <= 0 {
+		c.Customers = 1440
+	}
+	if c.MeanSessionLength <= 0 {
+		c.MeanSessionLength = 20
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 65536
+	}
+	if c.DriverCount <= 0 {
+		c.DriverCount = 1
+	}
+	return c
+}
+
+// TargetFactory builds the per-shard backend: shard i's sessions submit
+// only to targets[i], so a factory returning independent stacks keeps the
+// whole run contention-free. A nil factory gets a default ModelTarget.
+type TargetFactory func(shard int, engine *sim.Engine) Target
+
+// traceEvent is one completion in the golden log.
+type traceEvent struct {
+	atNs int64
+	id   int64
+}
+
+// driverShard is the per-engine slice of the driver.
+type driverShard struct {
+	d      *ShardedDriver
+	idx    int
+	engine *sim.Engine
+	target Target
+	table  *sessionTable
+
+	stepFn  func(time.Time, int64)
+	doneFns []servlet.Completion
+	free    []int32 // idle slot stack (open loop)
+
+	laneFn     func(time.Time, int64)
+	laneRng    []sim.Rand64 // by local lane index
+	laneNextID []int64
+	lanes      []int64 // global lane number by local index
+	laneCap    []int32 // per-lane admission budget, by local index
+	laneLive   []int32 // per-lane live session count, by local index
+	slotLane   []int32 // bound slot -> local lane index
+
+	completed uint64
+	failed    uint64
+	dropped   uint64
+	checksum  uint64
+	buckets   []uint32
+	trace     []traceEvent
+	endNs     int64
+}
+
+// ShardedDriver drives the sharded session population. Create with
+// NewShardedDriver, run once with Run, then read the merged telemetry.
+type ShardedDriver struct {
+	cfg    ShardedConfig
+	group  *sim.ShardGroup
+	shards []*driverShard
+	ran    bool
+
+	thinkMeanSec float64
+	thinkCapSec  float64
+	stopProb     float64 // open loop: P(session ends | completion)
+}
+
+// NewShardedDriver builds the group, tables and per-shard targets. The
+// construction cost is O(capacity) once; steady-state driving allocates
+// nothing.
+func NewShardedDriver(cfg ShardedConfig, factory TargetFactory) *ShardedDriver {
+	cfg = cfg.withDefaults()
+	if cfg.Arrival == ClosedLoop && cfg.Sessions <= 0 {
+		panic("eb: closed-loop ShardedDriver needs Sessions > 0")
+	}
+	if cfg.Arrival == OpenLoop && cfg.Rate <= 0 {
+		panic("eb: open-loop ShardedDriver needs Rate > 0")
+	}
+	if cfg.DriverIndex < 0 || cfg.DriverIndex >= cfg.DriverCount {
+		panic(fmt.Sprintf("eb: driver %d of %d", cfg.DriverIndex, cfg.DriverCount))
+	}
+	if factory == nil {
+		factory = func(_ int, engine *sim.Engine) Target {
+			return NewModelTarget(engine, cfg.Seed, 5*time.Millisecond, 20*time.Millisecond, cfg.Items)
+		}
+	}
+
+	zipf := sim.NewZipfTable(cfg.Items, 0.8)
+	matrix := compileMatrix(TransitionMatrix(cfg.Mix))
+	unames := unameVocabulary(cfg.Customers)
+
+	d := &ShardedDriver{
+		cfg:          cfg,
+		group:        sim.NewShardGroup(cfg.Shards, cfg.Window),
+		shards:       make([]*driverShard, cfg.Shards),
+		thinkMeanSec: cfg.ThinkMean.Seconds(),
+		thinkCapSec:  cfg.ThinkCap.Seconds(),
+		stopProb:     1 / float64(cfg.MeanSessionLength),
+	}
+
+	for i := range d.shards {
+		sh := &driverShard{
+			d:   d,
+			idx: i,
+		}
+		if cfg.Arrival == OpenLoop {
+			// Of the lanes this driver process owns (lane ≡ DriverIndex mod
+			// DriverCount), shard i takes every Shards-th one. Each lane
+			// carries its own admission budget — a pure function of
+			// (MaxSessions, lane) — so the shard's slot capacity is the sum
+			// over its lanes and a lane under budget always finds a slot.
+			owned := 0
+			for lane := int64(cfg.DriverIndex); lane < arrivalLanes; lane += int64(cfg.DriverCount) {
+				if owned%cfg.Shards == i {
+					sh.lanes = append(sh.lanes, lane)
+					// Lane labels live above 2^32 so they never collide with
+					// session labels (id+1).
+					sh.laneRng = append(sh.laneRng, sim.DeriveRand64(cfg.Seed, 1<<32+uint64(lane)))
+					sh.laneNextID = append(sh.laneNextID, lane)
+					sh.laneCap = append(sh.laneCap, laneCapacity(cfg.MaxSessions, lane))
+				}
+				owned++
+			}
+			sh.laneLive = make([]int32, len(sh.lanes))
+			sh.laneFn = sh.arrive
+		}
+		capacity := d.shardCapacity(i, sh)
+		sh.engine = d.group.Shard(i)
+		sh.table = newSessionTable(capacity, cfg.Seed, zipf, matrix, unames)
+		// Reserve the event arena for the steady-state live population: one
+		// timer or in-flight completion per session, plus lane/inflight slack.
+		sh.engine.Reserve(capacity + capacity/8 + 1024)
+		sh.target = factory(i, sh.engine)
+		sh.stepFn = sh.step
+		sh.doneFns = make([]servlet.Completion, capacity)
+		for slot := 0; slot < capacity; slot++ {
+			slot := slot
+			sh.doneFns[slot] = func(_ *servlet.Request, resp *servlet.Response) {
+				sh.complete(slot, resp)
+			}
+		}
+		if cfg.Arrival == OpenLoop {
+			sh.free = make([]int32, 0, capacity)
+			for slot := capacity - 1; slot >= 0; slot-- {
+				sh.free = append(sh.free, int32(slot))
+			}
+			sh.slotLane = make([]int32, capacity)
+		}
+		d.shards[i] = sh
+	}
+	return d
+}
+
+// laneCapacity is lane's share of the MaxSessions admission budget:
+// a pure function of (MaxSessions, lane), so whether an arrival is
+// admitted or shed never depends on shard or driver count.
+func laneCapacity(maxSessions int, lane int64) int32 {
+	c := int32(maxSessions / arrivalLanes)
+	if lane < int64(maxSessions%arrivalLanes) {
+		c++
+	}
+	return c
+}
+
+// shardCapacity returns shard i's table size: its share of this driver
+// process's slice of the closed population, or — open loop — the sum of
+// its lanes' admission budgets (so a lane under budget always finds a
+// free slot).
+func (d *ShardedDriver) shardCapacity(i int, sh *driverShard) int {
+	if d.cfg.Arrival == OpenLoop {
+		capacity := 0
+		for _, c := range sh.laneCap {
+			capacity += int(c)
+		}
+		if capacity < 1 {
+			capacity = 1
+		}
+		return capacity
+	}
+	owned := (d.cfg.Sessions - d.cfg.DriverIndex + d.cfg.DriverCount - 1) / d.cfg.DriverCount
+	if owned < 0 {
+		owned = 0
+	}
+	capacity := owned / d.cfg.Shards
+	if i < owned%d.cfg.Shards {
+		capacity++
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return capacity
+}
+
+// Group exposes the shard group (shard engines, window) for composition —
+// the experiment layer hangs monitoring on it.
+func (d *ShardedDriver) Group() *sim.ShardGroup { return d.group }
+
+// Shards reports the per-process engine count.
+func (d *ShardedDriver) Shards() int { return len(d.shards) }
+
+// Start arms the load for a run of the given duration — binds and
+// staggers the closed population or primes the arrival lanes — without
+// advancing time. Pair with AdvanceTo for externally-paced runs (the
+// multi-process wire); Run wraps both. Single use: the per-second buckets
+// are indexed from the epoch.
+func (d *ShardedDriver) Start(duration time.Duration) {
+	if d.ran {
+		panic("eb: ShardedDriver runs are single-use")
+	}
+	d.ran = true
+	end := d.group.Now().Add(duration)
+	endNs := end.Sub(sim.Epoch).Nanoseconds()
+	seconds := int(duration/time.Second) + 2
+
+	for _, sh := range d.shards {
+		sh.endNs = endNs
+		sh.buckets = make([]uint32, seconds)
+	}
+
+	switch d.cfg.Arrival {
+	case ClosedLoop:
+		// Of the ids this driver process owns (id ≡ DriverIndex mod
+		// DriverCount), shards take turns: owned-index → shard by modulo,
+		// slot by division. Dense per-shard tables, shard- and driver-count
+		// independent global ids.
+		k, kn := int64(d.cfg.DriverIndex), int64(d.cfg.DriverCount)
+		shards := int64(d.cfg.Shards)
+		for id := k; id < int64(d.cfg.Sessions); id += kn {
+			j := (id - k) / kn
+			sh := d.shards[j%shards]
+			slot := int(j / shards)
+			sh.table.bind(slot, id)
+			// Stagger starts across one mean think time, drawn from the
+			// session's own stream so the ramp is id-deterministic.
+			delay := time.Duration(sh.table.rng[slot].Float64() * float64(d.cfg.ThinkMean))
+			sh.engine.ScheduleArgAfter(delay, sh.stepFn, int64(slot))
+		}
+	case OpenLoop:
+		for _, sh := range d.shards {
+			for li := range sh.lanes {
+				sh.engine.ScheduleArgAfter(sh.gap(li), sh.laneFn, int64(li))
+			}
+		}
+	}
+}
+
+// AdvanceTo drives all shards to the given virtual instant (a barrier per
+// pacing window). The multi-process coordinator calls this once per
+// granted window.
+func (d *ShardedDriver) AdvanceTo(now time.Time) {
+	d.group.RunUntil(now, nil)
+}
+
+// Run drives the load for the given duration.
+func (d *ShardedDriver) Run(duration time.Duration, onWindow func(now time.Time)) {
+	d.Start(duration)
+	d.group.RunUntil(d.group.Now().Add(duration), onWindow)
+}
+
+// Completed returns total completed interactions across shards.
+func (d *ShardedDriver) Completed() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.completed }) }
+
+// Failed returns total failed interactions across shards.
+func (d *ShardedDriver) Failed() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.failed }) }
+
+// Dropped returns open-loop arrivals shed for want of a session slot.
+func (d *ShardedDriver) Dropped() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.dropped }) }
+
+// Checksum returns the commutative completion fingerprint: the sum over
+// all completions of a hash of (instant, session id). Equal sums across
+// shard or driver-process counts certify equal merged schedules without
+// shipping traces.
+func (d *ShardedDriver) Checksum() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.checksum }) }
+
+func (d *ShardedDriver) sum(f func(*driverShard) uint64) uint64 {
+	var total uint64
+	for _, sh := range d.shards {
+		total += f(sh)
+	}
+	return total
+}
+
+// WIPSBuckets returns the merged per-second completion counts — integer
+// WIPS, exact under any shard count.
+func (d *ShardedDriver) WIPSBuckets() []uint32 {
+	if len(d.shards) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(d.shards[0].buckets))
+	for _, sh := range d.shards {
+		for i, v := range sh.buckets {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// TraceHash folds the merged completion trace — sorted by (time, session),
+// a total order since a session never completes twice in one instant —
+// into an FNV-1a fingerprint. Equal hashes across shard counts mean equal
+// merged schedules, which is the determinism contract in one number.
+func (d *ShardedDriver) TraceHash() uint64 {
+	var merged []traceEvent
+	for _, sh := range d.shards {
+		merged = append(merged, sh.trace...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].atNs != merged[j].atNs {
+			return merged[i].atNs < merged[j].atNs
+		}
+		return merged[i].id < merged[j].id
+	})
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, ev := range merged {
+		mix(uint64(ev.atNs))
+		mix(uint64(ev.id))
+	}
+	return h
+}
+
+// TraceLen returns the merged trace length (0 unless RecordTrace).
+func (d *ShardedDriver) TraceLen() int {
+	n := 0
+	for _, sh := range d.shards {
+		n += len(sh.trace)
+	}
+	return n
+}
+
+// step issues the next interaction for a bound slot. Fired by the shard
+// engine via the pre-bound stepFn — no per-event closure.
+func (sh *driverShard) step(_ time.Time, arg int64) {
+	slot := int(arg)
+	if sh.table.idle(slot) {
+		return
+	}
+	sh.target.Submit(sh.table.buildRequest(slot), sh.doneFns[slot])
+}
+
+// complete is the per-slot completion: account, observe, and either think
+// and go again (closed loop / surviving open-loop session) or release the
+// slot (geometric session end).
+func (sh *driverShard) complete(slot int, resp *servlet.Response) {
+	now := sh.engine.Now()
+	nowNs := now.Sub(sim.Epoch).Nanoseconds()
+	sh.completed++
+	if !resp.OK() {
+		sh.failed++
+	}
+	if idx := int(nowNs / int64(time.Second)); idx >= 0 && idx < len(sh.buckets) {
+		sh.buckets[idx]++
+	}
+	// The checksum folds (instant, session) commutatively, so partial sums
+	// merge by addition across shards and driver processes — the wire's
+	// K-parity fingerprint.
+	x := uint64(nowNs)*0x9e3779b97f4a7c15 ^ uint64(sh.table.id[slot])*0xff51afd7ed558ccd
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	sh.checksum += x ^ (x >> 27)
+	if sh.d.cfg.RecordTrace {
+		sh.trace = append(sh.trace, traceEvent{
+			atNs: nowNs,
+			id:   sh.table.id[slot],
+		})
+	}
+	sh.table.observe(slot, resp)
+
+	if sh.d.cfg.Arrival == OpenLoop && sh.table.rng[slot].Float64() < sh.d.stopProb {
+		sh.table.release(slot)
+		sh.laneLive[sh.slotLane[slot]]--
+		sh.free = append(sh.free, int32(slot))
+		return
+	}
+	think := time.Duration(sh.table.think(slot, sh.d.thinkMeanSec, sh.d.thinkCapSec) * float64(time.Second))
+	sh.engine.ScheduleArgAfter(think, sh.stepFn, int64(slot))
+}
+
+// gap draws lane li's next interarrival: exponential with the lane's share
+// of the configured rate.
+func (sh *driverShard) gap(li int) time.Duration {
+	mean := float64(arrivalLanes) / sh.d.cfg.Rate // seconds between arrivals on this lane
+	return time.Duration(sh.laneRng[li].Exp(mean) * float64(time.Second))
+}
+
+// arrive admits one open-loop session on lane li and schedules the lane's
+// next arrival. Session ids are lane-strided (lane + k·arrivalLanes):
+// globally unique and independent of shard count.
+func (sh *driverShard) arrive(now time.Time, arg int64) {
+	li := int(arg)
+	if nowNs := now.Sub(sim.Epoch).Nanoseconds(); nowNs < sh.endNs {
+		sh.engine.ScheduleArgAfter(sh.gap(li), sh.laneFn, arg)
+	}
+
+	id := sh.laneNextID[li]
+	sh.laneNextID[li] += arrivalLanes
+
+	// Admission is lane-local: the lane's budget, live count and rng are
+	// all pure functions of (seed, lane), so shedding behaves identically
+	// for any shard or driver count — the determinism contract holds in
+	// the saturated regime too, not just when nothing is shed.
+	if sh.laneLive[li] >= sh.laneCap[li] {
+		sh.dropped++
+		return
+	}
+	sh.laneLive[li]++
+	slot := int(sh.free[len(sh.free)-1])
+	sh.free = sh.free[:len(sh.free)-1]
+	sh.slotLane[slot] = int32(li)
+	sh.table.bind(slot, id)
+	sh.step(now, int64(slot))
+}
+
+// ModelTarget is a contention-free synthetic backend: it completes every
+// request after a deterministic pseudo-random service time, publishing a
+// few navigable item ids. One per shard gives the load tier a closed
+// system to exercise a million sessions against without dragging in the
+// full container stack — the golden determinism tests and the
+// million-session benchmark run over it. Service times are a pure function
+// of (seed, interaction, submit instant), so they are identical under any
+// shard count.
+type ModelTarget struct {
+	engine *sim.Engine
+	seed   uint64
+	baseNs int64
+	spanNs int64
+	items  int64
+
+	fireFn func(time.Time, int64)
+	pend   []mtPending
+	free   []int32
+
+	completed uint64
+	curSec    int64
+	curCount  uint32
+	prevCount uint32
+}
+
+type mtPending struct {
+	req  *servlet.Request
+	done servlet.Completion
+}
+
+// NewModelTarget builds a model backend on a shard's engine. Service time
+// is base plus a hash-spread jitter in [0, jitter).
+func NewModelTarget(engine *sim.Engine, seed uint64, base, jitter time.Duration, items int) *ModelTarget {
+	if base <= 0 {
+		panic("eb: ModelTarget needs base service time > 0")
+	}
+	if items <= 0 {
+		items = 1000
+	}
+	t := &ModelTarget{
+		engine: engine,
+		seed:   seed,
+		baseNs: base.Nanoseconds(),
+		spanNs: jitter.Nanoseconds(),
+		items:  int64(items),
+	}
+	t.fireFn = t.fire
+	return t
+}
+
+// Submit schedules the request's completion after its service time.
+func (t *ModelTarget) Submit(req *servlet.Request, done servlet.Completion) {
+	nowNs := t.engine.Now().Sub(sim.Epoch).Nanoseconds()
+	h := t.hash(req, nowNs)
+	svc := t.baseNs
+	if t.spanNs > 0 {
+		svc += int64(h % uint64(t.spanNs))
+	}
+
+	var slot int32
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		slot = int32(len(t.pend))
+		t.pend = append(t.pend, mtPending{})
+	}
+	t.pend[slot] = mtPending{req: req, done: done}
+	t.engine.ScheduleArg(t.engine.Now().Add(time.Duration(svc)), t.fireFn, int64(slot)<<32|int64(uint32(h)))
+}
+
+// hash mixes the service-time entropy: seed, interaction and the submit
+// instant — all shard-count independent.
+func (t *ModelTarget) hash(req *servlet.Request, nowNs int64) uint64 {
+	x := t.seed ^ uint64(nowNs)*0x9e3779b97f4a7c15 ^ uint64(interIndex[req.Interaction])<<56
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fire completes one pending request: a pooled OK response carrying a few
+// hash-derived item ids, released after the completion returns.
+func (t *ModelTarget) fire(now time.Time, arg int64) {
+	slot := int32(arg >> 32)
+	h := uint64(uint32(arg))
+	p := t.pend[slot]
+	t.pend[slot] = mtPending{}
+	t.free = append(t.free, slot)
+
+	resp := servlet.AcquireResponse()
+	for i := uint64(0); i < 3; i++ {
+		resp.AddItemID(1 + int64((h+i*0x9e3779b9)%uint64(t.items)))
+	}
+	t.completed++
+	if sec := now.Sub(sim.Epoch).Nanoseconds() / int64(time.Second); sec != t.curSec {
+		if sec == t.curSec+1 {
+			t.prevCount = t.curCount
+		} else {
+			t.prevCount = 0
+		}
+		t.curSec = sec
+		t.curCount = 0
+	}
+	t.curCount++
+
+	p.done(p.req, resp)
+	servlet.ReleaseResponse(resp)
+	servlet.ReleaseRequest(p.req)
+}
+
+// Throughput reports the completion count of the last full second —
+// enough signal for the Target interface's WIPS sampling.
+func (t *ModelTarget) Throughput() float64 { return float64(t.prevCount) }
+
+// Completed returns the total completions served.
+func (t *ModelTarget) Completed() uint64 { return t.completed }
+
+var _ Target = (*ModelTarget)(nil)
+
+// String implements fmt.Stringer for debugging.
+func (t *ModelTarget) String() string {
+	return fmt.Sprintf("ModelTarget{completed=%d inflight=%d}", t.completed, len(t.pend)-len(t.free))
+}

@@ -1,0 +1,380 @@
+package eb
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/tpcw"
+)
+
+// runSharded runs one load-tier configuration to completion and returns
+// the driver for inspection.
+func runSharded(t *testing.T, cfg ShardedConfig, d time.Duration) *ShardedDriver {
+	t.Helper()
+	drv := NewShardedDriver(cfg, nil)
+	drv.Run(d, nil)
+	return drv
+}
+
+// goldenClosedCfg is the pinned closed-loop determinism workload.
+func goldenClosedCfg(shards int) ShardedConfig {
+	return ShardedConfig{
+		Shards:      shards,
+		Seed:        42,
+		Mix:         Shopping,
+		Sessions:    120,
+		RecordTrace: true,
+	}
+}
+
+// TestShardedDriverGoldenAcrossShardCounts is the determinism contract of
+// the load tier: the same seed must produce a byte-identical merged
+// completion schedule and WIPS series under any shard count. The trace
+// hash is additionally pinned to a constant so an accidental change to any
+// draw path (matrix compilation, Zipf table, think-time stream, model
+// service times) fails loudly rather than silently shifting results.
+func TestShardedDriverGoldenAcrossShardCounts(t *testing.T) {
+	ref := runSharded(t, goldenClosedCfg(1), 2*time.Minute)
+	if ref.Completed() == 0 {
+		t.Fatal("reference run completed nothing")
+	}
+	refHash := ref.TraceHash()
+	refBuckets := ref.WIPSBuckets()
+
+	for _, shards := range []int{2, 3, 8} {
+		got := runSharded(t, goldenClosedCfg(shards), 2*time.Minute)
+		if got.Completed() != ref.Completed() || got.Failed() != ref.Failed() {
+			t.Fatalf("shards=%d: completed/failed %d/%d, want %d/%d",
+				shards, got.Completed(), got.Failed(), ref.Completed(), ref.Failed())
+		}
+		if h := got.TraceHash(); h != refHash {
+			t.Fatalf("shards=%d: trace hash %#x, want %#x", shards, h, refHash)
+		}
+		gb := got.WIPSBuckets()
+		if len(gb) != len(refBuckets) {
+			t.Fatalf("shards=%d: %d buckets, want %d", shards, len(gb), len(refBuckets))
+		}
+		for i := range gb {
+			if gb[i] != refBuckets[i] {
+				t.Fatalf("shards=%d: bucket %d = %d, want %d", shards, i, gb[i], refBuckets[i])
+			}
+		}
+	}
+
+	// The pinned constant: math.Log/Pow keep the trace arch-dependent in
+	// principle, so the literal is asserted only on the architecture it was
+	// recorded on; the cross-shard equality above holds everywhere.
+	const goldenHash = uint64(0xa8cd087da7fea35a) // recorded on linux/amd64
+	if runtime.GOARCH == "amd64" {
+		if refHash != goldenHash {
+			t.Errorf("golden trace hash drifted: got %#x, want %#x (re-pin only with an intentional workload change)", refHash, goldenHash)
+		}
+	}
+}
+
+// TestShardedDriverOpenLoopDeterministic extends the golden contract to
+// Poisson arrivals: lanes, not shards, own the arrival streams, so the
+// admitted session sequence is shard-count independent as long as no
+// arrival is shed.
+func TestShardedDriverOpenLoopDeterministic(t *testing.T) {
+	cfg := func(shards int) ShardedConfig {
+		return ShardedConfig{
+			Shards:            shards,
+			Seed:              7,
+			Mix:               Browsing,
+			Arrival:           OpenLoop,
+			Rate:              40,
+			MeanSessionLength: 10,
+			MaxSessions:       8192,
+			RecordTrace:       true,
+		}
+	}
+	ref := NewShardedDriver(cfg(1), nil)
+	ref.Run(90*time.Second, nil)
+	if ref.Dropped() != 0 {
+		t.Fatalf("reference shed %d arrivals; size MaxSessions up", ref.Dropped())
+	}
+	if ref.Completed() == 0 {
+		t.Fatal("reference run completed nothing")
+	}
+	for _, shards := range []int{2, 5} {
+		got := NewShardedDriver(cfg(shards), nil)
+		got.Run(90*time.Second, nil)
+		if got.Dropped() != 0 {
+			t.Fatalf("shards=%d shed %d arrivals", shards, got.Dropped())
+		}
+		if got.Completed() != ref.Completed() {
+			t.Fatalf("shards=%d completed %d, want %d", shards, got.Completed(), ref.Completed())
+		}
+		if got.TraceHash() != ref.TraceHash() {
+			t.Fatalf("shards=%d trace hash %#x, want %#x", shards, got.TraceHash(), ref.TraceHash())
+		}
+	}
+}
+
+// TestShardedDriverOpenLoopShedsWhenFull pins the overload behaviour:
+// arrivals beyond the slot budget are dropped and counted, never queued.
+// TestShardedDriverOpenLoopShedDeterministic pins determinism in the
+// saturated regime: admission budgets are lane-local (laneCapacity), so
+// an overloaded run sheds the same arrivals — same drops, same
+// completions, same checksum — for any shard count. A shard-local free
+// pool would break this: whether an arrival finds a slot would depend on
+// how sessions happened to be spread over shards.
+func TestShardedDriverOpenLoopShedDeterministic(t *testing.T) {
+	cfg := func(shards int) ShardedConfig {
+		return ShardedConfig{
+			Shards:            shards,
+			Seed:              11,
+			Mix:               Shopping,
+			Arrival:           OpenLoop,
+			Rate:              2000,
+			MeanSessionLength: 20,
+			MaxSessions:       4096,
+		}
+	}
+	ref := NewShardedDriver(cfg(1), nil)
+	ref.Run(90*time.Second, nil)
+	if ref.Dropped() == 0 {
+		t.Fatal("reference did not saturate; raise Rate or shrink MaxSessions")
+	}
+	for _, shards := range []int{2, 5} {
+		got := NewShardedDriver(cfg(shards), nil)
+		got.Run(90*time.Second, nil)
+		if got.Dropped() != ref.Dropped() || got.Completed() != ref.Completed() {
+			t.Fatalf("shards=%d completed/dropped %d/%d, want %d/%d",
+				shards, got.Completed(), got.Dropped(), ref.Completed(), ref.Dropped())
+		}
+		if got.Checksum() != ref.Checksum() {
+			t.Fatalf("shards=%d checksum %#x, want %#x", shards, got.Checksum(), ref.Checksum())
+		}
+	}
+}
+
+func TestShardedDriverOpenLoopShedsWhenFull(t *testing.T) {
+	d := NewShardedDriver(ShardedConfig{
+		Seed:              3,
+		Arrival:           OpenLoop,
+		Rate:              200,
+		MeanSessionLength: 50,
+		MaxSessions:       8,
+	}, nil)
+	d.Run(60*time.Second, nil)
+	if d.Dropped() == 0 {
+		t.Fatal("overloaded open loop dropped nothing")
+	}
+	if d.Completed() == 0 {
+		t.Fatal("overloaded open loop completed nothing")
+	}
+}
+
+// TestShardedDriverSteadyStateAllocFree is the load-tier memory claim in
+// miniature: after construction, driving sessions — schedule, submit,
+// complete, think, reschedule, and open-loop slot recycling — allocates
+// nothing per event. Total run-side mallocs are bounded by a constant
+// (bucket slices, a few amortised arena doublings), not by event count.
+func TestShardedDriverSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; malloc counting is meaningless")
+	}
+	d := NewShardedDriver(ShardedConfig{
+		Seed:     11,
+		Sessions: 400,
+	}, nil)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	d.Run(5*time.Minute, nil)
+	runtime.ReadMemStats(&after)
+
+	events := d.group.Shard(0).Executed()
+	if events < 10000 {
+		t.Fatalf("run executed only %d events; not a steady-state sample", events)
+	}
+	mallocs := after.Mallocs - before.Mallocs
+	// A per-event allocation would show up as >=10k mallocs here.
+	if mallocs > 500 {
+		t.Fatalf("run performed %d mallocs over %d events; hot path is allocating", mallocs, events)
+	}
+}
+
+// TestSessionTableMatchesIDNotSlot pins the identity rule that makes slot
+// recycling safe: a session's request stream is a function of its id, not
+// of the slot or table it lands in.
+func TestSessionTableMatchesIDNotSlot(t *testing.T) {
+	zipf := sim.NewZipfTable(1000, 0.8)
+	matrix := compileMatrix(TransitionMatrix(Shopping))
+	unames := unameVocabulary(1440)
+
+	a := newSessionTable(4, 42, zipf, matrix, unames)
+	b := newSessionTable(16, 42, zipf, matrix, unames)
+	a.bind(0, 77)
+	b.bind(9, 77)
+
+	ok := &servlet.Response{Status: servlet.StatusOK}
+	for i := 0; i < 200; i++ {
+		ra := a.buildRequest(0)
+		rb := b.buildRequest(9)
+		if ra.Interaction != rb.Interaction {
+			t.Fatalf("step %d: interactions diverged: %s vs %s", i, ra.Interaction, rb.Interaction)
+		}
+		for _, p := range []string{"SUBJECT", "FIELD", "TERM", "ACTION", "UNAME"} {
+			if ra.Param(p) != rb.Param(p) {
+				t.Fatalf("step %d %s: %q vs %q", i, p, ra.Param(p), rb.Param(p))
+			}
+		}
+		for _, p := range []string{"I_ID", "QTY"} {
+			va, oka := ra.Int64Param(p)
+			vb, okb := rb.Int64Param(p)
+			if va != vb || oka != okb {
+				t.Fatalf("step %d %s: %d/%v vs %d/%v", i, p, va, oka, vb, okb)
+			}
+		}
+		a.observe(0, ok)
+		b.observe(9, ok)
+		servlet.ReleaseRequest(ra)
+		servlet.ReleaseRequest(rb)
+	}
+}
+
+// TestSessionTableWalksLikeBrowser drives a table slot and a Browser with
+// the same matrix over many steps and checks the visit distributions
+// roughly agree — the SoA walk is a re-representation of Browser, not a
+// new workload. (Exact trace equality is impossible: Browser's *Stream
+// and the table's Rand64 are different generators by design.)
+func TestSessionTableWalksLikeBrowser(t *testing.T) {
+	const steps = 60000
+	matrix := TransitionMatrix(Shopping)
+
+	browserVisits := map[string]int{}
+	br := NewBrowser(1, 9, matrix, 1000, 1440)
+	ok := &servlet.Response{Status: servlet.StatusOK}
+	for i := 0; i < steps; i++ {
+		req := br.NextRequest()
+		browserVisits[req.Interaction]++
+		br.Observe(ok)
+		servlet.ReleaseRequest(req)
+	}
+
+	tableVisits := map[string]int{}
+	tb := newSessionTable(1, 9, sim.NewZipfTable(1000, 0.8), compileMatrix(matrix), unameVocabulary(1440))
+	tb.bind(0, 1)
+	for i := 0; i < steps; i++ {
+		req := tb.buildRequest(0)
+		tableVisits[req.Interaction]++
+		tb.observe(0, ok)
+		servlet.ReleaseRequest(req)
+	}
+
+	for _, name := range tpcw.Interactions {
+		bf := float64(browserVisits[name]) / steps
+		tf := float64(tableVisits[name]) / steps
+		if diff := bf - tf; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: browser %.4f vs table %.4f", name, bf, tf)
+		}
+	}
+}
+
+// TestCompiledMatrixCoversSource checks the lowering is lossless: every
+// row's targets and cumulative total match the source matrix.
+func TestCompiledMatrixCoversSource(t *testing.T) {
+	for _, mix := range []Mix{Browsing, Shopping, Ordering} {
+		src := TransitionMatrix(mix)
+		cm := compileMatrix(src)
+		for from, row := range src {
+			cr := cm.rows[interIndex[from]]
+			if len(cr.to) != len(row) {
+				t.Fatalf("%v/%s: %d targets, want %d", mix, from, len(cr.to), len(row))
+			}
+			var total float64
+			for i, tr := range row {
+				if tpcw.Interactions[cr.to[i]] != tr.To {
+					t.Fatalf("%v/%s[%d]: target %s, want %s", mix, from, i, tpcw.Interactions[cr.to[i]], tr.To)
+				}
+				total += tr.Weight
+			}
+			if got := cr.cum[len(cr.cum)-1]; got < total-1e-9 || got > total+1e-9 {
+				t.Fatalf("%v/%s: cumulative %v, want %v", mix, from, got, total)
+			}
+		}
+	}
+}
+
+// TestModelTargetRecyclesRequests pins the pooling contract: requests and
+// responses flow back to the servlet pools after completion, so a fixed
+// in-flight population reuses a fixed working set.
+func TestModelTargetRecyclesRequests(t *testing.T) {
+	engine := sim.NewEngine()
+	mt := NewModelTarget(engine, 1, time.Millisecond, 0, 100)
+	var completions int
+	for i := 0; i < 100; i++ {
+		req := servlet.AcquireRequest()
+		req.Interaction = tpcw.CompHome
+		mt.Submit(req, func(_ *servlet.Request, resp *servlet.Response) {
+			if !resp.OK() {
+				t.Error("model response not OK")
+			}
+			if len(resp.ItemIDs()) == 0 {
+				t.Error("model response has no item ids")
+			}
+			completions++
+		})
+		engine.RunFor(2 * time.Millisecond)
+	}
+	if completions != 100 {
+		t.Fatalf("completions = %d", completions)
+	}
+	if mt.Completed() != 100 {
+		t.Fatalf("target counted %d", mt.Completed())
+	}
+	if inflight := len(mt.pend) - len(mt.free); inflight != 0 {
+		t.Fatalf("%d requests still pending", inflight)
+	}
+}
+
+// BenchmarkDriverMillionSessions is the headline load-tier benchmark: one
+// million concurrent closed-loop sessions on the session table, driven
+// against per-shard model targets. Timed region is the steady-state run;
+// construction (tables, arena reservation, vocabulary) is untimed. Run
+// with -benchtime=1x as a smoke test; allocs/op stays bounded by the
+// per-run bucket slice, not by the ~10^5 events driven.
+func BenchmarkDriverMillionSessions(b *testing.B) {
+	benchmarkDriverSessions(b, 1_000_000, 2*time.Second)
+}
+
+// BenchmarkDriverSessions100k is the continuously-gated sibling: big
+// enough to exercise the table at scale, cheap enough for benchdiff runs.
+func BenchmarkDriverSessions100k(b *testing.B) {
+	benchmarkDriverSessions(b, 100_000, 2*time.Second)
+}
+
+func benchmarkDriverSessions(b *testing.B, sessions int, horizon time.Duration) {
+	b.ReportAllocs()
+	var events uint64
+	var perSession float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		d := NewShardedDriver(ShardedConfig{
+			Seed:     1,
+			Sessions: sessions,
+		}, nil)
+		runtime.ReadMemStats(&after)
+		perSession = float64(after.HeapAlloc-before.HeapAlloc) / float64(sessions)
+		b.StartTimer()
+		d.Run(horizon, nil)
+		b.StopTimer()
+		for s := 0; s < d.group.N(); s++ {
+			events += d.group.Shard(s).Executed()
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(perSession, "B/session")
+}

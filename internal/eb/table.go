@@ -1,0 +1,266 @@
+package eb
+
+import (
+	"strconv"
+
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/tpcw"
+)
+
+// This file holds the million-session representation of browser state: a
+// struct-of-arrays session table over a compiled (integer-indexed)
+// transition matrix. A *Browser is ~200 bytes of its own fields plus a
+// *Stream (two heap objects), a *Zipf (an O(items) zetan sum computed per
+// browser) and a per-browser session-id string — fine for the paper's 200
+// EBs, untenable for the load tier's 10^6. A table slot is ~60 bytes flat
+// across a handful of parallel arrays, draws from an 8-byte value-type
+// Rand64, and shares one ZipfTable and one uname vocabulary across every
+// session, so populating a million sessions costs megabytes and arriving
+// sessions (open loop) cost zero allocations.
+//
+// Behavioural contract: slots walk the same fourteen-interaction graph
+// with the same parameter fabrication rules as Browser.paramsInto —
+// Zipf-skewed item picks with page-link affinity, subject and search-term
+// vocabularies, an assigned customer identity. Sequences are a pure
+// function of (seed, session id), never of shard count or arrival order,
+// which is what the shards=1 vs shards=N golden test pins.
+
+// interCount is the number of TPC-W interactions (indices into
+// tpcw.Interactions).
+const interCount = 14
+
+// interIndex maps interaction names to their stable index.
+var interIndex = func() map[string]uint8 {
+	m := make(map[string]uint8, len(tpcw.Interactions))
+	for i, name := range tpcw.Interactions {
+		m[name] = uint8(i)
+	}
+	if len(m) != interCount {
+		panic("eb: interaction count drifted")
+	}
+	return m
+}()
+
+// compiledRow is one matrix row in integer form: cumulative weights over
+// target indices, so a transition is one uniform draw and a short scan.
+type compiledRow struct {
+	to  []uint8
+	cum []float64 // cumulative; cum[len-1] is the row total
+}
+
+// compiledMatrix is a Matrix resolved to interaction indices, built once
+// per mix and shared by every session.
+type compiledMatrix struct {
+	rows [interCount]compiledRow
+}
+
+// compileMatrix validates and lowers a transition matrix. Rows absent from
+// the source matrix stay empty; transitions out of them fall back to home,
+// matching Browser.pickNext.
+func compileMatrix(m Matrix) *compiledMatrix {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	cm := &compiledMatrix{}
+	for from, row := range m {
+		fi := interIndex[from]
+		cr := compiledRow{
+			to:  make([]uint8, len(row)),
+			cum: make([]float64, len(row)),
+		}
+		var total float64
+		for i, tr := range row {
+			cr.to[i] = interIndex[tr.To]
+			total += tr.Weight
+			cr.cum[i] = total
+		}
+		cm.rows[fi] = cr
+	}
+	return cm
+}
+
+// next picks the successor of interaction cur using one uniform draw.
+func (cm *compiledMatrix) next(cur uint8, u float64) uint8 {
+	row := &cm.rows[cur]
+	if len(row.to) == 0 {
+		return interIndex[tpcw.CompHome]
+	}
+	x := u * row.cum[len(row.cum)-1]
+	for i, c := range row.cum {
+		if x < c {
+			return row.to[i]
+		}
+	}
+	return row.to[len(row.to)-1]
+}
+
+// maxPageLinks bounds the page links a slot remembers (Browser keeps the
+// whole slice; six covers every response the tpcw servlets emit and keeps
+// the array inline).
+const maxPageLinks = 6
+
+// sessionTable is the struct-of-arrays browser state for one shard's
+// sessions. Index = slot. In closed-loop mode a slot is one session for
+// the whole run; in open-loop mode slots are recycled across arriving
+// sessions (the slot's identity fields are re-derived from the new
+// session's id, so reuse never couples two sessions' draws).
+type sessionTable struct {
+	// Immutable per-table collaborators, shared across slots.
+	zipf   *sim.ZipfTable
+	matrix *compiledMatrix
+	unames []string // uname vocabulary, indexed by customer number
+
+	// Per-slot state, parallel arrays.
+	id        []int64 // global session id; -1 when the slot is idle
+	rng       []sim.Rand64
+	current   []uint8
+	issued    []uint32
+	failures  []uint32
+	unameIdx  []int32
+	lastItems [][maxPageLinks]int64
+	lastN     []uint8
+
+	// sessionID strings are built once at construction and reused across
+	// slot generations: the wire/container session key tracks the slot, not
+	// the logical session. (A recycled slot therefore reuses the
+	// server-side HTTP session; see docs/architecture.md's load-tier
+	// notes.) Building them up front keeps bind — which runs on the
+	// open-loop arrival path — allocation-free.
+	sessionID []string
+
+	seed uint64
+}
+
+// newSessionTable sizes a table for capacity slots.
+func newSessionTable(capacity int, seed uint64, zipf *sim.ZipfTable, matrix *compiledMatrix, unames []string) *sessionTable {
+	tb := &sessionTable{
+		zipf:      zipf,
+		matrix:    matrix,
+		unames:    unames,
+		seed:      seed,
+		id:        make([]int64, capacity),
+		rng:       make([]sim.Rand64, capacity),
+		current:   make([]uint8, capacity),
+		issued:    make([]uint32, capacity),
+		failures:  make([]uint32, capacity),
+		unameIdx:  make([]int32, capacity),
+		lastItems: make([][maxPageLinks]int64, capacity),
+		lastN:     make([]uint8, capacity),
+		sessionID: make([]string, capacity),
+	}
+	for i := range tb.id {
+		tb.id[i] = -1
+		tb.sessionID[i] = "ebs-" + strconv.Itoa(i)
+	}
+	return tb
+}
+
+// capacity returns the slot count.
+func (tb *sessionTable) capacity() int { return len(tb.id) }
+
+// bind assigns a session id to a slot, deriving its stream and identity.
+// All state a session draws from is a function of (seed, id) alone.
+func (tb *sessionTable) bind(slot int, id int64) {
+	tb.id[slot] = id
+	tb.rng[slot] = sim.DeriveRand64(tb.seed, uint64(id)+1)
+	tb.current[slot] = interIndex[tpcw.CompHome]
+	tb.issued[slot] = 0
+	tb.failures[slot] = 0
+	tb.unameIdx[slot] = int32(id % int64(len(tb.unames)))
+	tb.lastN[slot] = 0
+}
+
+// release frees a slot (open-loop session end).
+func (tb *sessionTable) release(slot int) { tb.id[slot] = -1 }
+
+// idle reports whether a slot is unbound.
+func (tb *sessionTable) idle(slot int) bool { return tb.id[slot] < 0 }
+
+// think draws the slot's next think time in seconds (TPC-W truncated
+// exponential).
+func (tb *sessionTable) think(slot int, mean, cap float64) float64 {
+	return tb.rng[slot].TruncExp(mean, cap)
+}
+
+// buildRequest advances the slot's walk and fabricates the request,
+// borrowing from the servlet pool — the container (or ModelTarget)
+// recycles it after completion. Mirrors Browser.NextRequest + paramsInto.
+func (tb *sessionTable) buildRequest(slot int) *servlet.Request {
+	rng := &tb.rng[slot]
+	cur := tb.current[slot]
+	if tb.issued[slot] > 0 {
+		cur = tb.matrix.next(cur, rng.Float64())
+		tb.current[slot] = cur
+	}
+	tb.issued[slot]++
+
+	req := servlet.AcquireRequest()
+	name := tpcw.Interactions[cur]
+	req.Interaction = name
+	req.SessionID = tb.sessionID[slot]
+
+	switch name {
+	case tpcw.CompHome, tpcw.CompProductDetail, tpcw.CompAdminRequest, tpcw.CompAdminConfirm:
+		req.SetInt64Param("I_ID", tb.pickItem(slot))
+	case tpcw.CompNewProducts, tpcw.CompBestSellers:
+		req.SetParam("SUBJECT", tpcw.Subjects[rng.IntN(len(tpcw.Subjects))])
+	case tpcw.CompSearchResults:
+		if rng.Float64() < 0.8 {
+			req.SetParam("FIELD", "title")
+			req.SetParam("TERM", searchTerms[rng.IntN(len(searchTerms))])
+		} else {
+			req.SetParam("FIELD", "author")
+			req.SetParam("TERM", authorTerms[rng.IntN(20)])
+		}
+	case tpcw.CompShoppingCart:
+		req.SetParam("ACTION", "add")
+		req.SetInt64Param("I_ID", tb.pickItem(slot))
+		req.SetInt64Param("QTY", 1+int64(rng.IntN(3)))
+	case tpcw.CompBuyRequest:
+		if rng.Float64() < 0.8 {
+			req.SetParam("UNAME", tb.unames[tb.unameIdx[slot]])
+		}
+	case tpcw.CompOrderDisplay:
+		req.SetParam("UNAME", tb.unames[tb.unameIdx[slot]])
+	}
+	return req
+}
+
+// pickItem prefers a link from the last page, otherwise draws a
+// Zipf-popular item — Browser.pickItem over table state.
+func (tb *sessionTable) pickItem(slot int) int64 {
+	rng := &tb.rng[slot]
+	if n := int(tb.lastN[slot]); n > 0 && rng.Float64() < 0.7 {
+		return tb.lastItems[slot][rng.IntN(n)]
+	}
+	return int64(tb.zipf.Next(rng.Float64()))
+}
+
+// observe feeds a response back: failures restart the walk at home, page
+// links are copied inline for pickItem affinity.
+func (tb *sessionTable) observe(slot int, resp *servlet.Response) {
+	if !resp.OK() {
+		tb.failures[slot]++
+		tb.current[slot] = interIndex[tpcw.CompHome]
+		return
+	}
+	if ids := resp.ItemIDs(); len(ids) > 0 {
+		n := len(ids)
+		if n > maxPageLinks {
+			n = maxPageLinks
+		}
+		copy(tb.lastItems[slot][:n], ids[:n])
+		tb.lastN[slot] = uint8(n)
+	}
+}
+
+// unameVocabulary precomputes the customer identity strings shared by all
+// sessions (Browser formats one per browser).
+func unameVocabulary(customers int) []string {
+	out := make([]string, customers)
+	for i := range out {
+		out[i] = tpcw.Uname(i + 1)
+	}
+	return out
+}

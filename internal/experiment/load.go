@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/eb"
+	"repro/internal/jvmheap"
+	"repro/internal/servlet"
+	"repro/internal/sim"
+	"repro/internal/sqldb"
+	"repro/internal/tpcw"
+)
+
+// LoadBackend selects what the load tier's sessions submit to.
+type LoadBackend int
+
+const (
+	// BackendModel completes requests after deterministic hash-derived
+	// service times (eb.ModelTarget): the contention-free backend for
+	// scale benchmarks and the shards=1-vs-N golden runs.
+	BackendModel LoadBackend = iota
+	// BackendContainer builds a full application stack per shard — TPC-W
+	// over the servlet container with its own DB, heap and weaver — so
+	// the million-session tier exercises the real serve path. Shard
+	// stacks are independent (one per core), so runs stay contention-free
+	// but are only deterministic per shard count: sessions sharing a
+	// container interact through its heap and caches.
+	BackendContainer
+)
+
+// LoadConfig sizes the load tier: the million-session counterpart of
+// StackConfig. The zero value of Arrival fields selects the closed-loop
+// TPC-W discipline.
+type LoadConfig struct {
+	// Seed derives every session, lane and service stream.
+	Seed uint64
+	// Sessions is the closed-loop population.
+	Sessions int
+	// Shards is the per-process engine count (default 1).
+	Shards int
+	// Window is the bounded-lag pacing window (default 100ms).
+	Window time.Duration
+	// Mix is the TPC-W transition mix.
+	Mix eb.Mix
+	// OpenLoop switches to Poisson arrivals at Rate sessions/second.
+	OpenLoop bool
+	Rate     float64
+	// MeanSessionLength / MaxSessions parameterise open-loop sessions
+	// (defaults per eb.ShardedConfig).
+	MeanSessionLength int
+	MaxSessions       int
+	// DriverIndex / DriverCount place this process in a K-way fleet
+	// (defaults 0 of 1).
+	DriverIndex int
+	DriverCount int
+	// Backend picks the target; Scale sizes the container backend's
+	// database.
+	Backend LoadBackend
+	Scale   tpcw.Scale
+}
+
+// LoadStack is the assembled load tier of one process: a sharded driver
+// and its per-shard backends.
+type LoadStack struct {
+	Driver *eb.ShardedDriver
+	// Containers holds the per-shard application stacks
+	// (BackendContainer only; empty for the model backend).
+	Containers []*servlet.Container
+}
+
+// NewLoadStack assembles (but does not run) a load tier process.
+func NewLoadStack(cfg LoadConfig) (*LoadStack, error) {
+	if cfg.Scale.Seed == 0 {
+		cfg.Scale.Seed = cfg.Seed + 1
+	}
+	ls := &LoadStack{}
+	var factory eb.TargetFactory
+	var buildErr error
+	switch cfg.Backend {
+	case BackendModel:
+		factory = nil // ShardedDriver builds ModelTargets
+	case BackendContainer:
+		factory = func(_ int, engine *sim.Engine) eb.Target {
+			weaver := aspect.NewWeaver(engine.Clock())
+			db := sqldb.NewDB()
+			app, err := tpcw.NewApp(db, weaver, engine.Clock(), cfg.Scale)
+			if err != nil {
+				buildErr = err
+				return nil
+			}
+			heap := jvmheap.New(jvmheap.DefaultCapacity, engine.Clock())
+			container := servlet.NewContainer(engine, weaver, db, heap, servlet.Config{})
+			if err := app.DeployAll(container); err != nil {
+				buildErr = err
+				return nil
+			}
+			if err := container.Start(); err != nil {
+				buildErr = err
+				return nil
+			}
+			ls.Containers = append(ls.Containers, container)
+			return container
+		}
+	default:
+		return nil, fmt.Errorf("experiment: unknown load backend %d", cfg.Backend)
+	}
+
+	shardedCfg := eb.ShardedConfig{
+		Shards:            cfg.Shards,
+		Window:            cfg.Window,
+		Seed:              cfg.Seed,
+		Mix:               cfg.Mix,
+		Items:             cfg.Scale.Items,
+		Customers:         cfg.Scale.Customers,
+		Sessions:          cfg.Sessions,
+		Rate:              cfg.Rate,
+		MeanSessionLength: cfg.MeanSessionLength,
+		MaxSessions:       cfg.MaxSessions,
+		DriverIndex:       cfg.DriverIndex,
+		DriverCount:       cfg.DriverCount,
+	}
+	if cfg.OpenLoop {
+		shardedCfg.Arrival = eb.OpenLoop
+	}
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil && buildErr == nil {
+				buildErr = fmt.Errorf("experiment: load stack: %v", r)
+			}
+		}()
+		ls.Driver = eb.NewShardedDriver(shardedCfg, factory)
+	}()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return ls, nil
+}
+
+// Node wraps the stack as a wire-paced fleet member for the given run
+// duration (the -role driver process of cmd/tpcwsim).
+func (ls *LoadStack) Node(duration time.Duration) *eb.DriverNode {
+	return eb.NodeForDriver(ls.Driver, duration)
+}
+
+// Run drives the whole load locally (single-process mode).
+func (ls *LoadStack) Run(duration time.Duration) {
+	ls.Driver.Run(duration, nil)
+}
+
+// PeakWIPS returns the maximum per-second completion count of the run.
+func (ls *LoadStack) PeakWIPS() uint32 {
+	var peak uint32
+	for _, v := range ls.Driver.WIPSBuckets() {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Close stops the per-shard containers (no-op for the model backend).
+func (ls *LoadStack) Close() {
+	for _, c := range ls.Containers {
+		c.Stop()
+	}
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/eb"
+)
+
+func TestLoadStackModelBackend(t *testing.T) {
+	ls, err := NewLoadStack(LoadConfig{
+		Seed:     5,
+		Sessions: 300,
+		Shards:   2,
+		Mix:      eb.Shopping,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	ls.Run(2 * time.Minute)
+	if ls.Driver.Completed() == 0 {
+		t.Fatal("model-backed load tier completed nothing")
+	}
+	if ls.PeakWIPS() == 0 {
+		t.Fatal("no WIPS recorded")
+	}
+	if len(ls.Containers) != 0 {
+		t.Fatalf("model backend built %d containers", len(ls.Containers))
+	}
+}
+
+// TestLoadStackContainerBackend drives the session table against full
+// per-shard application stacks: the load tier exercising the real TPC-W
+// serve path, one container per core.
+func TestLoadStackContainerBackend(t *testing.T) {
+	ls, err := NewLoadStack(LoadConfig{
+		Seed:     5,
+		Sessions: 120,
+		Shards:   2,
+		Mix:      eb.Shopping,
+		Backend:  BackendContainer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if len(ls.Containers) != 2 {
+		t.Fatalf("built %d containers, want one per shard", len(ls.Containers))
+	}
+	ls.Run(2 * time.Minute)
+	if ls.Driver.Completed() == 0 {
+		t.Fatal("container-backed load tier completed nothing")
+	}
+	if ls.Driver.Failed() != 0 {
+		t.Fatalf("%d of %d interactions failed against the real stack",
+			ls.Driver.Failed(), ls.Driver.Completed())
+	}
+}
+
+// TestLoadStackOpenLoop smoke-tests Poisson arrivals through the
+// experiment-layer configuration surface.
+func TestLoadStackOpenLoop(t *testing.T) {
+	ls, err := NewLoadStack(LoadConfig{
+		Seed:     9,
+		OpenLoop: true,
+		Rate:     30,
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	ls.Run(time.Minute)
+	if ls.Driver.Completed() == 0 {
+		t.Fatal("open-loop load tier completed nothing")
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -10,61 +9,30 @@ import (
 // engine goroutine; they may schedule further events.
 type Event func(now time.Time)
 
-// scheduled is one pending event. seq breaks ties between events scheduled
-// for the same instant so execution order is deterministic (FIFO within an
-// instant), which the reproducibility of every experiment depends on.
-type scheduled struct {
-	at  time.Time
-	seq uint64
-	fn  Event
-	id  uint64
-}
-
-type eventQueue []*scheduled
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
 // Engine is a single-threaded discrete-event executor over a VirtualClock.
 // It is intentionally not safe for concurrent scheduling: all experiment
 // logic runs inside event callbacks on one goroutine, which is what makes
 // runs deterministic.
+//
+// Timers are kept in a hierarchical timing wheel (see wheel.go), so
+// Schedule and Cancel are O(1) and the steady-state event path allocates
+// nothing. Execution order is strictly (instant, schedule-sequence): FIFO
+// within an instant, which the reproducibility of every experiment depends
+// on.
 type Engine struct {
-	clock     *VirtualClock
-	queue     eventQueue
-	free      []*scheduled // recycled entries; Schedule reuses before allocating
-	seq       uint64
-	nextID    uint64
-	cancelled map[uint64]bool
-	executed  uint64
-	stopped   bool
+	clock    *VirtualClock
+	wheel    wheel
+	seq      uint64
+	live     int
+	executed uint64
+	stopped  bool
 }
 
 // NewEngine returns an engine driving a fresh VirtualClock set to Epoch.
 func NewEngine() *Engine {
-	return &Engine{
-		clock:     NewVirtualClock(),
-		cancelled: make(map[uint64]bool),
-	}
+	e := &Engine{clock: NewVirtualClock()}
+	e.wheel.init()
+	return e
 }
 
 // Clock returns the engine's virtual clock.
@@ -74,32 +42,28 @@ func (e *Engine) Clock() *VirtualClock { return e.clock }
 func (e *Engine) Now() time.Time { return e.clock.Now() }
 
 // Len reports the number of pending (non-cancelled) events.
-func (e *Engine) Len() int { return len(e.queue) - len(e.cancelled) }
+func (e *Engine) Len() int { return e.live }
 
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// Reserve pre-sizes the event arena for an expected live-event population,
+// so bulk scheduling (a million session timers) grows the arena once at
+// setup instead of doubling through the run.
+func (e *Engine) Reserve(n int) { e.wheel.reserve(n) }
 
 // Schedule runs fn at the given absolute virtual instant and returns a
 // handle that can cancel it. Scheduling in the past panics — it would be a
 // logic bug in the caller, not a recoverable condition.
 func (e *Engine) Schedule(at time.Time, fn Event) uint64 {
-	if at.Before(e.clock.Now()) {
-		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.clock.Now()))
-	}
 	if fn == nil {
 		panic("sim: Schedule with nil event")
 	}
-	e.seq++
-	e.nextID++
-	var it *scheduled
-	if n := len(e.free); n > 0 {
-		it, e.free = e.free[n-1], e.free[:n-1]
-		*it = scheduled{at: at, seq: e.seq, fn: fn, id: e.nextID}
-	} else {
-		it = &scheduled{at: at, seq: e.seq, fn: fn, id: e.nextID}
-	}
-	heap.Push(&e.queue, it)
-	return e.nextID
+	idx := e.scheduleEntry(at)
+	e.wheel.entries[idx].fn = fn
+	id := e.wheel.handle(idx)
+	e.wheel.insert(idx)
+	return id
 }
 
 // ScheduleAfter runs fn after delay d from the current instant. A negative
@@ -111,16 +75,69 @@ func (e *Engine) ScheduleAfter(d time.Duration, fn Event) uint64 {
 	return e.Schedule(e.clock.Now().Add(d), fn)
 }
 
-// Cancel prevents the event with the given handle from running. Cancelling
-// an already-run or unknown handle is a no-op and reports false.
-func (e *Engine) Cancel(id uint64) bool {
-	for _, s := range e.queue {
-		if s.id == id && !e.cancelled[id] {
-			e.cancelled[id] = true
-			return true
-		}
+// ScheduleArg runs fn(now, arg) at the given absolute instant. It exists
+// for high-fan-out callers (a million sessions each scheduling their next
+// fire): the callback is shared and the distinguishing state rides in arg,
+// so no per-event closure is ever allocated.
+func (e *Engine) ScheduleArg(at time.Time, fn func(now time.Time, arg int64), arg int64) uint64 {
+	if fn == nil {
+		panic("sim: ScheduleArg with nil event")
 	}
-	return false
+	idx := e.scheduleEntry(at)
+	en := &e.wheel.entries[idx]
+	en.argFn = fn
+	en.arg = arg
+	id := e.wheel.handle(idx)
+	e.wheel.insert(idx)
+	return id
+}
+
+// ScheduleArgAfter is ScheduleArg with a delay relative to the current
+// instant. A negative delay is clamped to zero.
+func (e *Engine) ScheduleArgAfter(d time.Duration, fn func(now time.Time, arg int64), arg int64) uint64 {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleArg(e.clock.Now().Add(d), fn, arg)
+}
+
+// scheduleEntry validates the instant, allocates an arena entry stamped
+// with it, and counts it live. The caller sets the callback and inserts.
+func (e *Engine) scheduleEntry(at time.Time) int32 {
+	if at.Before(e.clock.Now()) {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.clock.Now()))
+	}
+	e.seq++
+	idx := e.wheel.alloc()
+	en := &e.wheel.entries[idx]
+	en.atNs = at.Sub(Epoch).Nanoseconds()
+	en.seq = e.seq
+	en.state = entryPending
+	e.live++
+	return idx
+}
+
+// Cancel prevents the event with the given handle from running. Cancelling
+// an already-run or unknown handle is a no-op and reports false. Cost is
+// O(1): a wheel-resident entry is unlinked from its (doubly linked) slot
+// chain and reclaimed on the spot; batch- and overflow-resident entries
+// are marked dead and skipped on drain.
+func (e *Engine) Cancel(id uint64) bool {
+	idx, ok := e.wheel.resolve(id)
+	if !ok {
+		return false
+	}
+	en := &e.wheel.entries[idx]
+	e.live--
+	if en.level >= 0 {
+		e.wheel.unlink(idx)
+		e.wheel.free(idx)
+		return true
+	}
+	en.state = entryCancelled
+	en.fn = nil
+	en.argFn = nil
+	return true
 }
 
 // Stop makes the current Run return after the in-flight event completes.
@@ -129,30 +146,39 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event, advancing the clock to
 // its instant. It reports whether an event ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		it := heap.Pop(&e.queue).(*scheduled)
-		if e.cancelled[it.id] {
-			delete(e.cancelled, it.id)
-			e.recycle(it)
-			continue
-		}
-		e.clock.SetNow(it.at)
-		e.executed++
-		fn, at := it.fn, it.at
-		// Recycle before running: the event may schedule follow-ups (the
-		// completion → next-job chain), which can then reuse this entry.
-		e.recycle(it)
-		fn(at)
-		return true
+	idx, ok := e.next()
+	if !ok {
+		return false
 	}
-	return false
+	e.wheel.batchHead++
+	en := &e.wheel.entries[idx]
+	at := Epoch.Add(time.Duration(en.atNs))
+	fn, argFn, arg := en.fn, en.argFn, en.arg
+	// Recycle before running: the event may schedule follow-ups (the
+	// completion → next-job chain), which can then reuse this entry.
+	e.wheel.free(idx)
+	e.live--
+	e.clock.SetNow(at)
+	e.executed++
+	if fn != nil {
+		fn(at)
+	} else {
+		argFn(at, arg)
+	}
+	return true
 }
 
-// recycle returns a popped queue entry to the free list, dropping its
-// closure reference so the list pins no callback state.
-func (e *Engine) recycle(it *scheduled) {
-	it.fn = nil
-	e.free = append(e.free, it)
+// next exposes the earliest pending entry, advancing the wheel cursor as
+// needed. The entry stays at the batch head until Step consumes it.
+func (e *Engine) next() (int32, bool) {
+	for {
+		if idx, ok := e.wheel.batchNext(); ok {
+			return idx, true
+		}
+		if e.live == 0 || !e.wheel.loadNext() {
+			return 0, false
+		}
+	}
 }
 
 // RunUntil executes events in order until the queue is empty, Stop is
@@ -161,12 +187,13 @@ func (e *Engine) recycle(it *scheduled) {
 // time-series recorded against the clock have a well-defined end.
 func (e *Engine) RunUntil(deadline time.Time) {
 	e.stopped = false
+	deadlineNs := deadline.Sub(Epoch).Nanoseconds()
 	for !e.stopped {
-		next, ok := e.peek()
+		idx, ok := e.next()
 		if !ok {
 			break
 		}
-		if next.After(deadline) {
+		if e.wheel.entries[idx].atNs > deadlineNs {
 			e.clock.SetNow(deadline)
 			return
 		}
@@ -189,28 +216,17 @@ func (e *Engine) Drain() {
 	}
 }
 
-func (e *Engine) peek() (time.Time, bool) {
-	for len(e.queue) > 0 {
-		it := e.queue[0]
-		if e.cancelled[it.id] {
-			heap.Pop(&e.queue)
-			delete(e.cancelled, it.id)
-			continue
-		}
-		return it.at, true
-	}
-	return time.Time{}, false
-}
-
 // Every schedules fn to run at the given period until the returned stop
 // function is invoked or the engine drains. The first firing happens one
 // period from now. It is the virtual-time analogue of time.Ticker and is
-// used by sampling monitors.
+// used by sampling monitors. Stopping cancels the pending tick, so a
+// stopped ticker holds no queue slot.
 func (e *Engine) Every(period time.Duration, fn Event) (stop func()) {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
 	stopped := false
+	var id uint64
 	var tick Event
 	tick = func(now time.Time) {
 		if stopped {
@@ -218,9 +234,15 @@ func (e *Engine) Every(period time.Duration, fn Event) (stop func()) {
 		}
 		fn(now)
 		if !stopped {
-			e.ScheduleAfter(period, tick)
+			id = e.ScheduleAfter(period, tick)
 		}
 	}
-	e.ScheduleAfter(period, tick)
-	return func() { stopped = true }
+	id = e.ScheduleAfter(period, tick)
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		e.Cancel(id)
+	}
 }

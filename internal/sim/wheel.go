@@ -1,0 +1,579 @@
+package sim
+
+import (
+	"math/bits"
+	"time"
+)
+
+// This file implements the engine's hierarchical timing wheel — the O(1)
+// replacement for the binary heap the event queue started life as. The
+// workload it is shaped for is the load tier's: millions of think-time
+// timers clustering around TPC-W's 7-second mean, scheduled and fired (or
+// cancelled) at a rate that made the heap's O(log n) pushes and the
+// O(queue) Cancel scan the dominant cost of driving large populations.
+//
+// Layout: virtual time is measured in ticks of 2^20 ns (~1.05 ms) since
+// Epoch. Four levels of 256 slots each cover spans of 2^8, 2^16, 2^24 and
+// 2^32 ticks (~268 ms, ~69 s, ~4.9 h, ~52 d): an event lands in the level
+// whose span covers its distance from the cursor, in the slot indexed by
+// its tick's bits for that level. Think times land in level 1; only
+// far-future events (beyond ~52 days) spill into a small overflow heap.
+// Scheduling is therefore O(1): pick level by delta, prepend to an
+// intrusive slot chain. Cancellation is O(1): entries live in a
+// generation-stamped arena, so a handle resolves to its entry directly and
+// cancellation just marks it dead (lazy removal on drain, exactly like the
+// heap engine's skip-on-pop).
+//
+// Execution order is unchanged from the heap engine: strictly (instant,
+// schedule-sequence), FIFO within an instant. Slot chains are unordered,
+// so when the cursor reaches a level-0 slot its entries are drained into
+// a sorted "batch" (sorted by (at, seq)); higher-level slots cascade their
+// entries down a level as the cursor enters their window. Each entry
+// cascades at most numLevels-1 times in its life, so amortised cost per
+// event stays O(1).
+//
+// The cursor may run ahead of the engine clock (peeking for the next event
+// jumps it to that event's tick while RunUntil may leave the clock at an
+// earlier deadline). Events scheduled into that gap — legal, since only
+// the clock bounds Schedule — go straight into the sorted batch, which
+// always holds everything at or before the cursor. The invariant that
+// makes ordering correct: batch entries ≤ cursor ≤ every wheel entry.
+//
+// Everything here is single-goroutine by the Engine's contract, and
+// allocation-free at steady state: entries recycle through the arena's
+// free list, slot chains are intrusive, and the batch reuses its backing.
+
+const (
+	// tickShiftNs sets the wheel resolution: one tick = 2^20 ns ≈ 1.05 ms.
+	// Events inside the same tick are still executed in exact (at, seq)
+	// order — the tick only decides slot placement, the batch sort decides
+	// execution order.
+	tickShiftNs = 20
+	levelBits   = 8
+	levelSlots  = 1 << levelBits
+	levelMask   = levelSlots - 1
+	numLevels   = 4
+	occWords    = levelSlots / 64
+	// wheelSpanTicks is the horizon the wheel covers; events further out
+	// wait in the overflow heap until the cursor draws within range.
+	wheelSpanTicks = int64(1) << (levelBits * numLevels)
+)
+
+// Entry lifecycle states.
+const (
+	entryFree uint8 = iota
+	entryPending
+	entryCancelled
+)
+
+// Entry locations: which container currently holds a pending entry.
+// Values ≥ 0 name a wheel level (with slot below); the slot chains there
+// are doubly linked, so cancellation unlinks and reclaims immediately.
+// Batch and overflow entries are cancelled lazily (marked, skipped on
+// drain) — both containers are transient or tiny, so nothing accumulates.
+const (
+	locBatch int8 = -1
+	locHeap  int8 = -2
+)
+
+// wentry is one scheduled event in the arena. next/prev thread the
+// intrusive slot chains (next alone threads the free list). gen stamps
+// handles: a Cancel with a stale generation (the slot was recycled) is a
+// no-op, which is what makes O(1) cancel safe against handle reuse.
+type wentry struct {
+	atNs  int64 // virtual instant, nanoseconds since Epoch
+	seq   uint64
+	fn    Event
+	argFn func(time.Time, int64)
+	arg   int64
+	next  int32
+	prev  int32
+	gen   uint32
+	level int8
+	slot  uint8
+	state uint8
+}
+
+// wheel is the engine's timer store. It is embedded in Engine; all methods
+// run on the engine goroutine.
+type wheel struct {
+	entries  []wentry
+	freeHead int32
+
+	slots [numLevels][levelSlots]int32
+	occ   [numLevels][occWords]uint64
+
+	// batch holds due (and gap) entries sorted ascending by (at, seq);
+	// batch[batchHead:] is the live window, consumed from the front.
+	batch     []int32
+	batchHead int
+
+	// overflow is a min-heap (by (at, seq)) of entries beyond the wheel
+	// span.
+	overflow []int32
+
+	// curTick is the cursor: every tick before it has been drained. It
+	// never moves past an undrained event and may run ahead of the clock.
+	curTick int64
+
+	// scratch is reused by level-0 drains.
+	scratch []int32
+}
+
+func (w *wheel) init() {
+	w.freeHead = -1
+	for l := range w.slots {
+		for s := range w.slots[l] {
+			w.slots[l][s] = -1
+		}
+	}
+}
+
+// reserve grows the arena's backing capacity so the next n-len(entries)
+// allocations append without reallocating. Entries are index-addressed, so
+// moving the backing array between events is safe.
+func (w *wheel) reserve(n int) {
+	if n <= cap(w.entries) {
+		return
+	}
+	grown := make([]wentry, len(w.entries), n)
+	copy(grown, w.entries)
+	w.entries = grown
+}
+
+// alloc takes an entry from the free list (or grows the arena) and returns
+// its index. The entry keeps its generation from previous lives.
+func (w *wheel) alloc() int32 {
+	if w.freeHead >= 0 {
+		idx := w.freeHead
+		w.freeHead = w.entries[idx].next
+		return idx
+	}
+	w.entries = append(w.entries, wentry{gen: 1})
+	return int32(len(w.entries) - 1)
+}
+
+// free recycles an entry: bump the generation so stale handles miss, drop
+// callback references so the arena pins no closure state, and push it onto
+// the free list.
+func (w *wheel) free(idx int32) {
+	en := &w.entries[idx]
+	en.gen++
+	en.state = entryFree
+	en.fn = nil
+	en.argFn = nil
+	en.next = w.freeHead
+	w.freeHead = idx
+}
+
+// handle packs an entry reference into the public uint64 id.
+func (w *wheel) handle(idx int32) uint64 {
+	return uint64(w.entries[idx].gen)<<32 | uint64(uint32(idx))
+}
+
+// resolve returns the entry index for a handle if it still names a pending
+// entry.
+func (w *wheel) resolve(id uint64) (int32, bool) {
+	idx := int32(uint32(id))
+	if idx < 0 || int(idx) >= len(w.entries) {
+		return 0, false
+	}
+	en := &w.entries[idx]
+	if en.gen != uint32(id>>32) || en.state != entryPending {
+		return 0, false
+	}
+	return idx, true
+}
+
+// insert places a pending entry by its distance from the cursor: into the
+// sorted batch when at or behind it, into the level whose span covers the
+// delta, or into the overflow heap beyond the wheel horizon.
+func (w *wheel) insert(idx int32) {
+	tick := w.entries[idx].atNs >> tickShiftNs
+	delta := tick - w.curTick
+	switch {
+	case delta <= 0:
+		w.batchInsert(idx)
+	case delta < 1<<levelBits:
+		w.slotPush(0, int(tick&levelMask), idx)
+	case delta < 1<<(2*levelBits):
+		w.slotPush(1, int((tick>>levelBits)&levelMask), idx)
+	case delta < 1<<(3*levelBits):
+		w.slotPush(2, int((tick>>(2*levelBits))&levelMask), idx)
+	case delta < wheelSpanTicks:
+		w.slotPush(3, int((tick>>(3*levelBits))&levelMask), idx)
+	default:
+		w.heapPush(idx)
+	}
+}
+
+func (w *wheel) slotPush(level, slot int, idx int32) {
+	en := &w.entries[idx]
+	head := w.slots[level][slot]
+	en.next = head
+	en.prev = -1
+	en.level = int8(level)
+	en.slot = uint8(slot)
+	if head >= 0 {
+		w.entries[head].prev = idx
+	}
+	w.slots[level][slot] = idx
+	w.occ[level][slot>>6] |= 1 << uint(slot&63)
+}
+
+// unlink removes a wheel-resident entry from its slot chain in O(1),
+// clearing the occupancy bit when the chain empties. The caller must have
+// checked the entry's level is ≥ 0.
+func (w *wheel) unlink(idx int32) {
+	en := &w.entries[idx]
+	level, slot := int(en.level), int(en.slot)
+	if en.prev >= 0 {
+		w.entries[en.prev].next = en.next
+	} else {
+		w.slots[level][slot] = en.next
+	}
+	if en.next >= 0 {
+		w.entries[en.next].prev = en.prev
+	}
+	if w.slots[level][slot] < 0 {
+		w.occ[level][slot>>6] &^= 1 << uint(slot&63)
+	}
+}
+
+// batchInsert places an entry into the sorted batch at its (at, seq)
+// position. The batch is small (one tick's worth of events, plus whatever
+// lands in the clock/cursor gap), so the memmove is cheap.
+func (w *wheel) batchInsert(idx int32) {
+	en := &w.entries[idx]
+	en.level = locBatch
+	lo, hi := w.batchHead, len(w.batch)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := &w.entries[w.batch[mid]]
+		if m.atNs < en.atNs || (m.atNs == en.atNs && m.seq < en.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.batch = append(w.batch, 0)
+	copy(w.batch[lo+1:], w.batch[lo:])
+	w.batch[lo] = idx
+}
+
+// batchNext returns the index of the earliest live batched entry, freeing
+// cancelled ones as it passes them. It reports false when the batch is
+// exhausted (and resets it so the backing array is reused).
+func (w *wheel) batchNext() (int32, bool) {
+	for w.batchHead < len(w.batch) {
+		idx := w.batch[w.batchHead]
+		if w.entries[idx].state == entryCancelled {
+			w.batchHead++
+			w.free(idx)
+			continue
+		}
+		return idx, true
+	}
+	w.batch = w.batch[:0]
+	w.batchHead = 0
+	return 0, false
+}
+
+// nextOccupied scans level l's occupancy ring for the first set slot at or
+// after from, wrapping. wrapped reports that the found slot lies before
+// from (i.e. in the level's next window epoch).
+func (w *wheel) nextOccupied(l, from int) (slot int, wrapped, ok bool) {
+	occ := &w.occ[l]
+	word := from >> 6
+	b := occ[word] &^ ((1 << uint(from&63)) - 1)
+	for {
+		if b != 0 {
+			s := word<<6 + bits.TrailingZeros64(b)
+			return s, false, true
+		}
+		word++
+		if word == occWords {
+			break
+		}
+		b = occ[word]
+	}
+	for word = 0; word <= from>>6; word++ {
+		b = occ[word]
+		if word == from>>6 {
+			b &= (1 << uint(from&63)) - 1
+		}
+		if b != 0 {
+			s := word<<6 + bits.TrailingZeros64(b)
+			return s, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// loadNext advances the cursor to the next pending event and loads its
+// level-0 slot into the sorted batch. It reports false when no events
+// remain anywhere. Higher-level slots encountered on the way cascade their
+// entries down; overflow entries are pulled into the wheel as the cursor
+// brings them within span.
+func (w *wheel) loadNext() bool {
+	for {
+		// Pull overflow entries that the cursor's progress brought within
+		// the wheel horizon.
+		for len(w.overflow) > 0 {
+			top := w.overflow[0]
+			if w.entries[top].atNs>>tickShiftNs-w.curTick >= wheelSpanTicks {
+				break
+			}
+			w.heapPop()
+			if w.entries[top].state == entryCancelled {
+				w.free(top)
+				continue
+			}
+			w.insert(top)
+		}
+		// Draining overflow can land entries directly in the batch (their
+		// tick equals the cursor after a jump); that already is progress.
+		if w.batchHead < len(w.batch) {
+			return true
+		}
+
+		// Candidate next tick from every level. Level 0 scans from the
+		// cursor's own slot (drained slots clear their bit, and no new
+		// entry can land in the cursor's current-window slot); higher
+		// levels scan from the slot after the cursor's (their cursor slot
+		// cascaded when the window was entered). A wrapped hit belongs to
+		// the level's next window epoch.
+		best := int64(-1)
+		bestLevel := -1
+		for l := 0; l < numLevels; l++ {
+			shift := uint(levelBits * l)
+			curL := w.curTick >> shift
+			from := int(curL & levelMask)
+			if l > 0 {
+				from++
+				if from == levelSlots {
+					// Cursor sits in this level's last slot: the whole
+					// window is behind it, every live entry is wrapped.
+					from = 0
+					if s, _, ok := w.nextOccupied(l, 0); ok {
+						cand := ((curL &^ int64(levelMask)) + int64(levelSlots) + int64(s)) << shift
+						if best < 0 || cand <= best {
+							best, bestLevel = cand, l
+						}
+					}
+					continue
+				}
+			}
+			if s, wrapped, ok := w.nextOccupied(l, from); ok {
+				slotTick := (curL &^ int64(levelMask)) + int64(s)
+				if wrapped {
+					slotTick += int64(levelSlots)
+				}
+				cand := slotTick << shift
+				// <= : a coarser level tying a finer one must win, so its
+				// slot cascades before the finer slot drains. Jumping into
+				// a coarse slot's span without cascading it would strand
+				// that slot's entries for a full wheel revolution.
+				if best < 0 || cand <= best {
+					best, bestLevel = cand, l
+				}
+			}
+		}
+		// The overflow heap can undercut a wrapped high-level candidate,
+		// so it competes too; winning just moves the cursor so the next
+		// iteration drains it into the wheel.
+		if len(w.overflow) > 0 {
+			if t := w.entries[w.overflow[0]].atNs >> tickShiftNs; best < 0 || t < best {
+				w.jumpTo(t)
+				continue
+			}
+		}
+		if bestLevel < 0 {
+			return false
+		}
+		// jumpTo cascades every cursor slot the jump enters — including
+		// (bestLevel, bestSlot) itself when bestLevel > 0, and any coarser
+		// slot that tied it. Entries landing exactly on the new cursor
+		// tick go straight to the batch. The level-0 slot at the cursor
+		// tick (if occupied, its entries are exactly at the cursor tick)
+		// must merge into the batch before returning, or a cascade-batched
+		// entry could fire ahead of an earlier same-tick wheel entry.
+		w.jumpTo(best)
+		if s0 := int(w.curTick & levelMask); w.slots[0][s0] >= 0 {
+			w.drainSlot0(s0)
+		}
+		if w.batchHead < len(w.batch) {
+			return true
+		}
+	}
+}
+
+// jumpTo moves the cursor and re-establishes the invariant the scans rely
+// on: at every level, the slot the cursor now occupies holds only
+// next-window entries. Any current-window entries that were waiting there
+// (the jump entered their span) cascade downward immediately; processing
+// levels coarse-to-fine lets each cascade's output be caught by the next.
+// Without this, a jump triggered by one level (or the overflow heap) would
+// strand another level's entries for a full wheel revolution.
+func (w *wheel) jumpTo(tick int64) {
+	w.curTick = tick
+	for l := numLevels - 1; l >= 1; l-- {
+		s := int((tick >> uint(levelBits*l)) & levelMask)
+		if w.slots[l][s] >= 0 {
+			w.cascade(l, s)
+		}
+	}
+}
+
+// drainSlot0 empties a level-0 slot into the batch in (at, seq) order,
+// freeing cancelled entries on the way. It merges with whatever the batch
+// already holds (a preceding cascade may have batched same-tick entries).
+func (w *wheel) drainSlot0(slot int) {
+	idx := w.slots[0][slot]
+	w.slots[0][slot] = -1
+	w.occ[0][slot>>6] &^= 1 << uint(slot&63)
+	w.scratch = w.scratch[:0]
+	for idx >= 0 {
+		next := w.entries[idx].next
+		if w.entries[idx].state == entryCancelled {
+			w.free(idx)
+		} else {
+			w.entries[idx].level = locBatch
+			w.scratch = append(w.scratch, idx)
+		}
+		idx = next
+	}
+	if len(w.scratch) == 0 {
+		return
+	}
+	w.sortScratch()
+	if w.batchHead == len(w.batch) {
+		w.batch = append(w.batch[:0], w.scratch...)
+		w.batchHead = 0
+		return
+	}
+	for _, id := range w.scratch {
+		w.batchInsert(id)
+	}
+}
+
+// cascade redistributes a higher-level slot's entries now that the cursor
+// has entered their window; each lands a level (or more) down, or in the
+// batch when its tick equals the cursor's.
+func (w *wheel) cascade(level, slot int) {
+	idx := w.slots[level][slot]
+	w.slots[level][slot] = -1
+	w.occ[level][slot>>6] &^= 1 << uint(slot&63)
+	for idx >= 0 {
+		next := w.entries[idx].next
+		if w.entries[idx].state == entryCancelled {
+			w.free(idx)
+		} else {
+			w.insert(idx)
+		}
+		idx = next
+	}
+}
+
+// sortScratch orders the drained slot by (at, seq) with a hand-rolled
+// insertion/quick hybrid: the stdlib's closure-taking sorts are avoided so
+// the drain path provably never allocates.
+func (w *wheel) sortScratch() {
+	w.quickSort(0, len(w.scratch)-1)
+}
+
+func (w *wheel) entryLess(a, b int32) bool {
+	ea, eb := &w.entries[a], &w.entries[b]
+	return ea.atNs < eb.atNs || (ea.atNs == eb.atNs && ea.seq < eb.seq)
+}
+
+func (w *wheel) quickSort(lo, hi int) {
+	for hi-lo > 12 {
+		// Median-of-three pivot, then partition.
+		mid := int(uint(lo+hi) >> 1)
+		s := w.scratch
+		if w.entryLess(s[mid], s[lo]) {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if w.entryLess(s[hi], s[mid]) {
+			s[hi], s[mid] = s[mid], s[hi]
+			if w.entryLess(s[mid], s[lo]) {
+				s[mid], s[lo] = s[lo], s[mid]
+			}
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for w.entryLess(s[i], pivot) {
+				i++
+			}
+			for w.entryLess(pivot, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			w.quickSort(lo, j)
+			lo = i
+		} else {
+			w.quickSort(i, hi)
+			hi = j
+		}
+	}
+	// Insertion sort for small ranges.
+	s := w.scratch
+	for i := lo + 1; i <= hi; i++ {
+		v := s[i]
+		j := i - 1
+		for j >= lo && w.entryLess(v, s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// heapPush / heapPop maintain the far-future overflow min-heap by
+// (at, seq) without container/heap's interface boxing.
+func (w *wheel) heapPush(idx int32) {
+	w.entries[idx].level = locHeap
+	w.overflow = append(w.overflow, idx)
+	i := len(w.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.entryLess(w.overflow[i], w.overflow[parent]) {
+			break
+		}
+		w.overflow[i], w.overflow[parent] = w.overflow[parent], w.overflow[i]
+		i = parent
+	}
+}
+
+func (w *wheel) heapPop() int32 {
+	top := w.overflow[0]
+	last := len(w.overflow) - 1
+	w.overflow[0] = w.overflow[last]
+	w.overflow = w.overflow[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < last && w.entryLess(w.overflow[right], w.overflow[left]) {
+			smallest = right
+		}
+		if !w.entryLess(w.overflow[smallest], w.overflow[i]) {
+			break
+		}
+		w.overflow[i], w.overflow[smallest] = w.overflow[smallest], w.overflow[i]
+		i = smallest
+	}
+	return top
+}

@@ -47,6 +47,18 @@ trap 'rm -f "$OUT"' EXIT
 echo "running: go test -run '^$' -bench \"$REGEX\" -benchtime $BENCHTIME -benchmem ./..." >&2
 go test -run '^$' -bench "$REGEX" -benchtime "$BENCHTIME" -benchmem ./... 2>/dev/null | tee "$OUT" >&2
 
+# The load tier is gated with its own iteration counts: the timing-wheel
+# ops are sub-microsecond (2000 iterations would measure loop overhead),
+# and one DriverSessions100k iteration is a full 100k-session run, so
+# 2000 of them would take minutes. Only run when no custom regex was
+# given — a targeted invocation should run exactly what it asked for.
+if [[ -z "${1:-}" ]]; then
+  echo "running: go test -run '^$' -bench 'BenchmarkEngineSchedule|BenchmarkEngineCancel' -benchtime 200000x -benchmem ./internal/sim/" >&2
+  go test -run '^$' -bench 'BenchmarkEngineSchedule|BenchmarkEngineCancel' -benchtime 200000x -benchmem ./internal/sim/ 2>/dev/null | tee -a "$OUT" >&2
+  echo "running: go test -run '^$' -bench BenchmarkDriverSessions100k -benchtime 5x -benchmem ./internal/eb/" >&2
+  go test -run '^$' -bench 'BenchmarkDriverSessions100k' -benchtime 5x -benchmem ./internal/eb/ 2>/dev/null | tee -a "$OUT" >&2
+fi
+
 python3 - "$OUT" "$THRESHOLD_PCT" <<'PYEOF'
 import json, re, sys
 
