@@ -26,6 +26,9 @@
 //	reboot <component>           micro-reboot a component
 //	tte                          time-to-exhaustion estimate (seconds)
 //	notifications [since-seq]    poll buffered JMX notifications
+//	accuracy <report.json>       render a scenario-matrix accuracy report
+//	                             (written by experiments -accuracy); local,
+//	                             no server needed
 //
 // Cluster commands (against a tpcwsim -nodes N management plane, which
 // serves the aggregator bean):
@@ -38,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/experiment"
 	"repro/internal/jmxhttp"
 )
 
@@ -281,9 +286,32 @@ func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 	case "cluster-watch":
 		return clusterWatch(client, resourceArg(rest), w)
 
+	case "accuracy":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: accuracy <report.json>")
+		}
+		return printAccuracyFile(rest[0], w)
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printAccuracyFile renders an accuracy report written by
+// `experiments -accuracy` (or by scripts/scenariomatrix.sh). It reads a
+// local artifact, so unlike every other command it never touches the
+// management plane.
+func printAccuracyFile(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep experiment.AccuracyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	_, err = io.WriteString(w, rep.String())
+	return err
 }
 
 // resourceArg reads the optional trailing resource argument ("memory"

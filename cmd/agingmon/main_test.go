@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -220,6 +221,65 @@ func TestParseValue(t *testing.T) {
 	} {
 		if got := parseValue(in); got != want {
 			t.Fatalf("parseValue(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestAccuracyCommand renders a scenario-matrix accuracy artifact: the
+// command reads a local file, so no management plane is needed (a nil
+// client must be fine).
+func TestAccuracyCommand(t *testing.T) {
+	rep := experiment.AccuracyReport{
+		Scale: 0.35,
+		Seed:  42,
+		Scenarios: []experiment.ScenarioAccuracy{
+			{ID: "S2", Passed: true, Truth: []string{"tpcw.home"},
+				Flagged: []string{"tpcw.home"}, TP: 1, Precision: 1, Recall: 1, TTDRounds: 10},
+			{ID: "S7", Passed: true, Precision: 1, Recall: 1},
+		},
+		TP: 1, Precision: 1, Recall: 1, MeanTTDRounds: 10,
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/report.json"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"accuracy", path}, []string{
+			"scale 0.35, seed 42", "S2", "tpcw.home", "S7", "(none)",
+			"precision 1.000", "recall 1.000", "mean TTD 10.0 rounds"}},
+	} {
+		out := run(t, nil, tc.args...)
+		for _, want := range tc.want {
+			if !strings.Contains(out, want) {
+				t.Fatalf("agingmon %s: output lacks %q:\n%s", strings.Join(tc.args, " "), want, out)
+			}
+		}
+	}
+}
+
+// TestAccuracyCommandErrors pins the failure modes: wrong arity, a
+// missing file and a malformed artifact.
+func TestAccuracyCommandErrors(t *testing.T) {
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"accuracy"},
+		{"accuracy", "/nonexistent/report.json"},
+		{"accuracy", bad},
+	} {
+		var out bytes.Buffer
+		if err := dispatch(nil, args, &out); err == nil {
+			t.Fatalf("agingmon %s: expected error", strings.Join(args, " "))
 		}
 	}
 }

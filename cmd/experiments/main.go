@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-run all|T1,F3,F4,...] [-scale 1.0] [-seed 42] [-ebs 50]
+//	experiments [-run all|T1,F3,F4,...] [-scale 1.0] [-seed 42] [-ebs 50] [-accuracy report.json]
 //
 // -scale 1.0 runs the paper's full one-hour scenarios in virtual time;
-// smaller factors shorten them proportionally.
+// smaller factors shorten them proportionally. -accuracy writes the
+// machine-readable precision/recall/time-to-detect report built from the
+// S-series scenarios' fault-injection ground truth (the scenario-matrix
+// CI gate consumes it).
 package main
 
 import (
@@ -21,14 +24,17 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.Float64("scale", 1.0, "time scale factor for scenario durations")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		ebs   = flag.Int("ebs", 50, "emulated browsers for single-phase experiments")
+		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "time scale factor for scenario durations")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		ebs       = flag.Int("ebs", 50, "emulated browsers for single-phase experiments")
+		items     = flag.Int("items", 0, "TPC-W item scale (0 selects the package default)")
+		customers = flag.Int("customers", 0, "TPC-W customer scale (0 selects the package default)")
+		accuracy  = flag.String("accuracy", "", "write the S-series accuracy report (JSON) to this path")
 	)
 	flag.Parse()
 
-	cfg := experiment.Config{TimeScale: *scale, Seed: *seed, EBs: *ebs}
+	cfg := experiment.Config{TimeScale: *scale, Seed: *seed, EBs: *ebs, Items: *items, Customers: *customers}
 	runners := map[string]func(experiment.Config) experiment.Result{
 		"T1":  experiment.TableI,
 		"F2":  experiment.Fig2,
@@ -48,8 +54,21 @@ func main() {
 		"S2":  experiment.S2OnlineLeakDetection,
 		"S3":  experiment.S3DiurnalCycle,
 		"S4":  experiment.S4BurstWithLeak,
+		"S5":  experiment.S5SingleNodeLeak,
+		"S6":  experiment.S6UniformLeak,
+		"S7":  experiment.S7NodeChurn,
+		"S8":  experiment.S8SkewedBalancer,
+		"S9":  experiment.S9PoolExhaustion,
+		"S10": experiment.S10HandleLeak,
+		"S11": experiment.S11LockContention,
+		"S12": experiment.S12FragmentationBloat,
+		"S13": experiment.S13StaleCacheDecay,
+		"S14": experiment.S14NodeKill,
+		"S15": experiment.S15TransportPartition,
+		"S16": experiment.S16ClockSkew,
 	}
-	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "S1", "S2", "S3", "S4"}
+	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3",
+		"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16"}
 
 	var ids []string
 	if *run == "all" {
@@ -67,11 +86,13 @@ func main() {
 
 	failures := 0
 	var verdicts []string
+	var results []experiment.Result
 	for _, id := range ids {
 		fmt.Printf("running %s (scale %.2f)...\n", id, *scale)
 		res := runners[id](cfg)
 		fmt.Println(res.String())
 		verdicts = append(verdicts, res.Verdict())
+		results = append(results, res)
 		if !res.Pass {
 			failures++
 		}
@@ -79,6 +100,19 @@ func main() {
 	fmt.Println("==== summary ====")
 	for _, v := range verdicts {
 		fmt.Println(v)
+	}
+	if *accuracy != "" {
+		report := experiment.BuildAccuracyReport(cfg, results)
+		data, err := report.JSON()
+		if err == nil {
+			err = os.WriteFile(*accuracy, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing accuracy report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report.String())
+		fmt.Printf("accuracy report written to %s\n", *accuracy)
 	}
 	if failures > 0 {
 		fmt.Printf("%d of %d experiments did not reproduce\n", failures, len(ids))

@@ -33,7 +33,7 @@ func TestEndToEndFrontend(t *testing.T) {
 
 	// Discover the management plane.
 	agents, err := client.Names("monitoring:*")
-	if err != nil || len(agents) != 6 {
+	if err != nil || len(agents) != 7 {
 		t.Fatalf("agents over HTTP = %v, %v", agents, err)
 	}
 	proxies, err := client.Names("aging:type=ACProxy,*")

@@ -230,6 +230,17 @@ type Aggregator struct {
 
 	reports map[string]*ClusterReport
 
+	// reportRing recycles the published per-resource ClusterReports the
+	// way detect.Monitor recycles its Reports: foldEpoch rotates each
+	// resource's reports through a fixed ring instead of allocating one
+	// per epoch, which keeps the fold allocation-free no matter how many
+	// detector streams the bank carries. A *ClusterReport from Report
+	// stays valid for retention-1 further epochs; a consumer keeping one
+	// longer must copy it. Owned by a.mu.
+	reportRing map[string][]*ClusterReport
+	ringIdx    map[string]int
+	retention  int
+
 	// samplePool recycles the owned per-round sample copies that cycle
 	// through the merged log: Ingest borrows a buffer for the round's
 	// copy, the log eviction reclaims it. Owned by a.mu.
@@ -272,15 +283,46 @@ type latchedAlarm struct {
 func New(cfg Config) *Aggregator {
 	cfg = cfg.withDefaults()
 	d := cfg.Detect
-	return &Aggregator{
-		cfg:       cfg,
-		resources: append([]string(nil), core.DetectorResources...),
-		configs:   core.ResourceDetectorConfigs(d),
-		nodes:     make(map[string]*nodeState),
-		guard:     detect.NewShiftGuardMargin(d.ShiftThreshold, d.ShiftHold, d.ShiftEWMA, d.ShiftNoiseMargin),
-		reports:   make(map[string]*ClusterReport),
-		alarmed:   make(map[string]map[string]*latchedAlarm),
+	// Cluster reports recycle on the same retention terms as the node
+	// monitors' rings (see newNodeState).
+	retention := d.ReportRetention
+	if retention <= 0 {
+		retention = detect.DefaultReportRetention
 	}
+	if min := cfg.StaleEpochs + 3; retention < min {
+		retention = min
+	}
+	return &Aggregator{
+		cfg:        cfg,
+		resources:  append([]string(nil), core.DetectorResources...),
+		configs:    core.ResourceDetectorConfigs(d),
+		nodes:      make(map[string]*nodeState),
+		guard:      detect.NewShiftGuardMargin(d.ShiftThreshold, d.ShiftHold, d.ShiftEWMA, d.ShiftNoiseMargin),
+		reports:    make(map[string]*ClusterReport),
+		reportRing: make(map[string][]*ClusterReport),
+		ringIdx:    make(map[string]int),
+		retention:  retention,
+		alarmed:    make(map[string]map[string]*latchedAlarm),
+	}
+}
+
+// nextReport rotates a resource's report ring and returns the next slot
+// reset for the coming epoch (the Verdicts buffer is kept). Caller holds
+// a.mu.
+func (a *Aggregator) nextReport(res string) *ClusterReport {
+	ring := a.reportRing[res]
+	if ring == nil {
+		ring = make([]*ClusterReport, a.retention)
+		for i := range ring {
+			ring[i] = &ClusterReport{}
+		}
+		a.reportRing[res] = ring
+	}
+	i := a.ringIdx[res]
+	a.ringIdx[res] = (i + 1) % len(ring)
+	rep := ring[i]
+	*rep = ClusterReport{Resource: res, Verdicts: rep.Verdicts[:0]}
+	return rep
 }
 
 // newNodeState creates the aggregator's state for one node. Caller holds
@@ -525,17 +567,15 @@ func (a *Aggregator) foldEpoch(k int64) {
 	}
 
 	for ri, res := range a.resources {
-		rep := &ClusterReport{
-			Resource:      res,
-			Epoch:         k,
-			Time:          a.lastMerged,
-			Active:        active,
-			Total:         total,
-			Suppressed:    suppressed,
-			ShiftDistance: a.guard.Distance(),
-			ShiftEpochs:   a.shiftEp,
-			Churning:      churning,
-		}
+		rep := a.nextReport(res)
+		rep.Epoch = k
+		rep.Time = a.lastMerged
+		rep.Active = active
+		rep.Total = total
+		rep.Suppressed = suppressed
+		rep.ShiftDistance = a.guard.Distance()
+		rep.ShiftEpochs = a.shiftEp
+		rep.Churning = churning
 		type agg struct {
 			nodes       []string
 			score       float64
@@ -754,7 +794,10 @@ func (a *Aggregator) Nodes() []NodeStatus {
 }
 
 // Report returns the latest cluster report for a resource (nil before the
-// first completed epoch).
+// first completed epoch). Reports publish from a recycled ring sized like
+// the node monitors' (Config.Detect.ReportRetention, floored at
+// StaleEpochs+3): the returned pointer stays valid for retention-1
+// further epochs, and a consumer that keeps one longer must copy it.
 func (a *Aggregator) Report(resource string) *ClusterReport {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -849,6 +892,10 @@ func (a *Aggregator) LiveRank(resource string) rootcause.Ranking {
 				d.Consumption = s.CPUSeconds
 			case core.ResourceThreads:
 				d.Consumption = float64(s.Threads)
+			case core.ResourceLatency:
+				d.Consumption = s.LatencySeconds
+			case core.ResourceHandles:
+				d.Consumption = float64(s.Handles)
 			}
 			data = append(data, d)
 		}

@@ -52,8 +52,11 @@ import (
 // integer chains move to second-order deltas (delta-of-delta), and CPU
 // seconds ride the same chain as zigzag-encoded nanosecond residuals when
 // the quantisation is bit-exact (flagCPUNanos), falling back to the XOR'd
-// raw bits otherwise.
-var wireMagic = [4]byte{'A', 'G', 'M', 2}
+// raw bits otherwise; 3 — samples carry the live handle count (a
+// double-delta int64 chain) and cumulative latency seconds (quantised
+// nanoseconds under flagLatNanos, XOR fallback otherwise, exactly the CPU
+// scheme) for the non-heap aging indicators.
+var wireMagic = [4]byte{'A', 'G', 'M', 3}
 
 // prevSample is the per-component delta-encoding state: the previous
 // round's values for one component on one node, plus the previous deltas
@@ -62,15 +65,20 @@ type prevSample struct {
 	size     int64
 	usage    int64
 	threads  int64
+	handles  int64
 	delta    int64
 	cpuBits  uint64
 	cpuNanos int64
+	latBits  uint64
+	latNanos int64
 
 	dSize     int64
 	dUsage    int64
 	dThreads  int64
+	dHandles  int64
 	dDelta    int64
 	dCPUNanos int64
+	dLatNanos int64
 }
 
 // step advances one double-delta chain: given the new value, it returns
@@ -146,6 +154,7 @@ func newNodeCodecState() *nodeCodecState {
 const (
 	flagSizeOK   = 1 << 0
 	flagCPUNanos = 1 << 1 // CPU field is a zigzag nanosecond delta, not XOR'd bits
+	flagLatNanos = 1 << 2 // latency field is a zigzag nanosecond delta, not XOR'd bits
 )
 
 // BinaryEncoder encodes rounds into the binary wire format. It owns the
@@ -228,10 +237,15 @@ func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
 		if quantised {
 			flags |= flagCPUNanos
 		}
+		latN, latQuantised := cpuNanos(s.LatencySeconds)
+		if latQuantised {
+			flags |= flagLatNanos
+		}
 		p = append(p, flags)
 		p = appendZigzag(p, step(&prev.size, &prev.dSize, s.Size))
 		p = appendZigzag(p, step(&prev.usage, &prev.dUsage, s.Usage))
 		p = appendZigzag(p, step(&prev.threads, &prev.dThreads, s.Threads))
+		p = appendZigzag(p, step(&prev.handles, &prev.dHandles, s.Handles))
 		p = appendZigzag(p, step(&prev.delta, &prev.dDelta, s.Delta))
 		cpuBits := math.Float64bits(s.CPUSeconds)
 		if quantised {
@@ -249,6 +263,15 @@ func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
 			prev.dCPUNanos = 0
 		}
 		prev.cpuBits = cpuBits
+		latBits := math.Float64bits(s.LatencySeconds)
+		if latQuantised {
+			p = appendZigzag(p, step(&prev.latNanos, &prev.dLatNanos, latN))
+		} else {
+			p = appendUvarint(p, latBits^prev.latBits)
+			prev.latNanos, _ = cpuNanos(s.LatencySeconds)
+			prev.dLatNanos = 0
+		}
+		prev.latBits = latBits
 	}
 	e.buf = p
 	dst = appendUvarint(dst, uint64(len(p)))
@@ -400,6 +423,10 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 		if err != nil {
 			return r, err
 		}
+		dh, err := p.zigzag()
+		if err != nil {
+			return r, err
+		}
 		dd, err := p.zigzag()
 		if err != nil {
 			return r, err
@@ -424,14 +451,34 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 			prev.cpuNanos, _ = cpuNanos(cpu)
 			prev.dCPUNanos = 0
 		}
+		var lat float64
+		if flags&flagLatNanos != 0 {
+			dn, err := p.zigzag()
+			if err != nil {
+				return r, err
+			}
+			lat = cpuFromNanos(unstep(&prev.latNanos, &prev.dLatNanos, dn))
+			prev.latBits = math.Float64bits(lat)
+		} else {
+			latXor, err := p.uvarint()
+			if err != nil {
+				return r, err
+			}
+			prev.latBits ^= latXor
+			lat = math.Float64frombits(prev.latBits)
+			prev.latNanos, _ = cpuNanos(lat)
+			prev.dLatNanos = 0
+		}
 		samples = append(samples, core.ComponentSample{
-			Component:  comp,
-			Size:       unstep(&prev.size, &prev.dSize, ds),
-			SizeOK:     flags&flagSizeOK != 0,
-			Usage:      unstep(&prev.usage, &prev.dUsage, du),
-			CPUSeconds: cpu,
-			Threads:    unstep(&prev.threads, &prev.dThreads, dth),
-			Delta:      unstep(&prev.delta, &prev.dDelta, dd),
+			Component:      comp,
+			Size:           unstep(&prev.size, &prev.dSize, ds),
+			SizeOK:         flags&flagSizeOK != 0,
+			Usage:          unstep(&prev.usage, &prev.dUsage, du),
+			CPUSeconds:     cpu,
+			Threads:        unstep(&prev.threads, &prev.dThreads, dth),
+			Handles:        unstep(&prev.handles, &prev.dHandles, dh),
+			LatencySeconds: lat,
+			Delta:          unstep(&prev.delta, &prev.dDelta, dd),
 		})
 	}
 	if p.i != len(payload) {

@@ -47,9 +47,11 @@ func sampleRounds() []Round {
 			Node: node, Seq: seq, Time: at,
 			Samples: []core.ComponentSample{
 				{Component: "leaky", Size: 1 << 20, SizeOK: true, Usage: 100 * seq,
-					CPUSeconds: 0.25 * float64(seq), Threads: 3, Delta: leak * seq},
+					CPUSeconds: 0.25 * float64(seq), Threads: 3, Handles: 2 + seq,
+					LatencySeconds: 0.5 * float64(seq), Delta: leak * seq},
 				{Component: "steady", Size: 4096, SizeOK: true, Usage: 240 * seq,
-					CPUSeconds: 0.5 * float64(seq), Threads: 5},
+					CPUSeconds: 0.5 * float64(seq), Threads: 5, Handles: 2,
+					LatencySeconds: 0.75 * float64(seq)},
 				{Component: "unsized", Usage: 7 * seq},
 			},
 		}
@@ -127,7 +129,7 @@ func TestBinaryCodecGolden(t *testing.T) {
 	for _, r := range sampleRounds()[:3] {
 		stream = append(stream, enc.AppendRound(nil, r)...)
 	}
-	// The stream: 4-byte header (magic "AGM", version 2), then one
+	// The stream: 4-byte header (magic "AGM", version 3), then one
 	// length-prefixed frame per round. The first frame carries every
 	// name verbatim (first sightings) and full values (the double-delta
 	// chains start at zero); names intern per stream, so the node2 frame
@@ -135,15 +137,17 @@ func TestBinaryCodecGolden(t *testing.T) {
 	// introduces "node2" itself; the third frame is node1's second —
 	// linear counters collapse to zero second-order residuals (single
 	// 0x00 bytes) and the time chain pays its one-time large residual.
-	// The sample CPU figures (multiples of 0.25s) quantise exactly, so
-	// every sample carries flagCPUNanos and rides the nanosecond
-	// double-delta chain instead of the v1 XOR'd float bits.
-	const want = "41474d024a00056e6f6465310280b08dabf9b4cd84230300056c65616b79038080" +
-		"8001c801060080cab5ee010006737465616479038040e0030a008094ebdc030007" +
-		"756e73697a656402000e0000003600056e6f6465320280b08dabf9b4cd84230302" +
-		"0380808001c80106804080cab5ee0103038040e0030a008094ebdc030402000e00" +
-		"0000240100ffffefe899b3cd8423030203ffff7f000500000303ff3f0009000004" +
-		"020000000000"
+	// The sample CPU and latency figures (multiples of 0.25s) quantise
+	// exactly, so every sample carries flagCPUNanos|flagLatNanos and
+	// rides the nanosecond double-delta chains instead of the v1 XOR'd
+	// float bits.
+	const want = "41474d035800056e6f6465310280b08dabf9b4cd84230300056c65616b79078080" +
+		"8001c80106060080cab5ee018094ebdc030006737465616479078040e0030a0400" +
+		"8094ebdc0380dea0cb050007756e73697a656406000e00000000004400056e6f64" +
+		"65320280b08dabf9b4cd842303020780808001c8010606804080cab5ee018094eb" +
+		"dc0303078040e0030a04008094ebdc0380dea0cb050406000e00000000002a0100" +
+		"ffffefe899b3cd8423030207ffff7f0005030000000307ff3f0009030000000406" +
+		"00000000000000"
 	got := hex.EncodeToString(stream)
 	if got != normalizeHex(want) {
 		t.Fatalf("wire format drifted.\n got: %s\nwant: %s", got, normalizeHex(want))
@@ -178,14 +182,17 @@ func manyRounds(node string, rounds, comps int) []Round {
 		r := Round{Node: node, Seq: seq, Time: t0.Add(time.Duration(seq) * 30 * time.Second)}
 		for c := 0; c < comps; c++ {
 			cpu := time.Duration(seq) * time.Duration(c+1) * 10 * time.Millisecond
+			lat := time.Duration(seq) * time.Duration(c+1) * 15 * time.Millisecond
 			r.Samples = append(r.Samples, core.ComponentSample{
-				Component:  names[c],
-				Size:       int64(10000*(c+1)) + 512*seq,
-				SizeOK:     true,
-				Usage:      seq * int64(100+c),
-				CPUSeconds: cpu.Seconds(),
-				Threads:    int64(2 + c%3),
-				Delta:      64 * seq,
+				Component:      names[c],
+				Size:           int64(10000*(c+1)) + 512*seq,
+				SizeOK:         true,
+				Usage:          seq * int64(100+c),
+				CPUSeconds:     cpu.Seconds(),
+				Threads:        int64(2 + c%3),
+				Handles:        int64(1 + c%2),
+				LatencySeconds: lat.Seconds(),
+				Delta:          64 * seq,
 			})
 		}
 		out = append(out, r)

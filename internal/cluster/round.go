@@ -52,6 +52,14 @@ type Round struct {
 	Samples []core.ComponentSample
 }
 
+// Shifted returns the round with its timestamp displaced by d (the
+// Samples are shared, not copied). Chaos harnesses use it to model a
+// skewed node clock without reaching into the struct.
+func (r Round) Shifted(d time.Duration) Round {
+	r.Time = r.Time.Add(d)
+	return r
+}
+
 // Forwarder ships a collector's sampling rounds to a transport. It
 // implements core.SampleObserver, so wiring a node into a cluster is one
 // Subscribe call (see Attach); it runs under the collector's round lock

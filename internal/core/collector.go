@@ -21,6 +21,8 @@ type componentRecord struct {
 	usage    *metrics.Series // cumulative invocations
 	cpu      *metrics.Series // cumulative CPU seconds
 	threads  *metrics.Series // live threads
+	handles  *metrics.Series // live resource handles
+	latency  *metrics.Series // cumulative response-latency seconds
 	delta    *metrics.Series // accumulated per-invocation heap deltas
 	baseline atomic.Int64    // first measured size
 	hasBase  atomic.Bool
@@ -86,6 +88,10 @@ type ComponentSample struct {
 	CPUSeconds float64
 	// Threads is the live thread count.
 	Threads int64
+	// Handles is the live resource-handle count.
+	Handles int64
+	// LatencySeconds is the cumulative attributed response latency.
+	LatencySeconds float64
 	// Delta is the accumulated per-invocation heap delta.
 	Delta int64
 }
@@ -116,6 +122,8 @@ type measured struct {
 	usage      int64
 	cpuSeconds float64
 	threads    int64
+	handles    int64
+	latSeconds float64
 	delta      int64
 	sizeOK     bool
 }
@@ -160,6 +168,8 @@ func (c *Collector) addComponent(name string, target any) error {
 		usage:   metrics.NewSeries(name + ".usage"),
 		cpu:     metrics.NewSeries(name + ".cpu"),
 		threads: metrics.NewSeries(name + ".threads"),
+		handles: metrics.NewSeries(name + ".handles"),
+		latency: metrics.NewSeries(name + ".latency"),
 		delta:   metrics.NewSeries(name + ".delta"),
 	}
 	c.order = append(c.order, name)
@@ -279,6 +289,8 @@ func (c *Collector) Sample(now time.Time) {
 		r.usage = c.f.invocations.StatsOf(rec.name).Count
 		r.cpuSeconds = c.f.cpu.TimeOf(rec.name).Seconds()
 		r.threads = c.f.threads.LiveOf(rec.name)
+		r.handles = c.f.handles.LiveOf(rec.name)
+		r.latSeconds = c.f.invocations.LatencyOf(rec.name).Seconds()
 		if c.f.deltas != nil {
 			r.delta, _ = c.f.deltas.DeltaOf(rec.name)
 		}
@@ -298,6 +310,8 @@ func (c *Collector) Sample(now time.Time) {
 		rec.usage.Append(now, float64(r.usage))
 		rec.cpu.Append(now, r.cpuSeconds)
 		rec.threads.Append(now, float64(r.threads))
+		rec.handles.Append(now, float64(r.handles))
+		rec.latency.Append(now, r.latSeconds)
 		rec.delta.Append(now, float64(r.delta))
 	}
 	if c.f.heap != nil {
@@ -318,13 +332,15 @@ func (c *Collector) Sample(now time.Time) {
 		samples := c.roundSamples[:len(batch)]
 		for i, r := range batch {
 			samples[i] = ComponentSample{
-				Component:  r.rec.name,
-				Size:       r.size,
-				SizeOK:     r.sizeOK,
-				Usage:      r.usage,
-				CPUSeconds: r.cpuSeconds,
-				Threads:    r.threads,
-				Delta:      r.delta,
+				Component:      r.rec.name,
+				Size:           r.size,
+				SizeOK:         r.sizeOK,
+				Usage:          r.usage,
+				CPUSeconds:     r.cpuSeconds,
+				Threads:        r.threads,
+				Handles:        r.handles,
+				LatencySeconds: r.latSeconds,
+				Delta:          r.delta,
 			}
 		}
 		c.roundSamples = samples

@@ -55,27 +55,45 @@ type DetectorBank struct {
 // while far below what a runaway computational bug produces.
 const DefaultCPUMinSlope = 5e-4
 
+// DefaultLatencyMinSlope is the Sen-slope floor applied to the latency
+// detector when the caller leaves Config.MinSlope at zero, in (seconds
+// per invocation) per second. Per-invocation latency inherits the CPU
+// stream's secular drift (latency contains the service time) plus
+// queueing noise around load transitions, so it gets the same floor:
+// only degradation faster than +30ms of mean response time per minute
+// counts as aging.
+const DefaultLatencyMinSlope = 5e-4
+
 // DetectorResources is the fixed, deterministic order in which the
 // detector bank (and the cluster aggregator's per-node banks) process the
 // watched resources each round.
-var DetectorResources = []string{ResourceMemory, ResourceCPU, ResourceThreads}
+var DetectorResources = []string{ResourceMemory, ResourceCPU, ResourceThreads, ResourceLatency, ResourceHandles}
 
 // ResourceDetectorConfigs derives the per-resource detector configuration
-// from one base config: memory and threads are watched as raw levels; CPU
-// is watched per invocation (cumulative CPU grows with traffic whether or
-// not anything ages, so it needs the workload normalisation) and gets the
-// DefaultCPUMinSlope floor unless the config sets its own. The cluster
-// aggregator reuses this so per-node verdicts carry single-node semantics.
+// from one base config: memory, threads and handles are watched as raw
+// levels; CPU and latency are watched per invocation (their cumulative
+// series grow with traffic whether or not anything ages, so they need the
+// workload normalisation) and get the DefaultCPUMinSlope /
+// DefaultLatencyMinSlope floor unless the config sets its own. The
+// cluster aggregator reuses this so per-node verdicts carry single-node
+// semantics.
 func ResourceDetectorConfigs(cfg detect.Config) map[string]detect.Config {
 	cpuCfg := cfg
 	cpuCfg.PerInvocation = true
 	if cpuCfg.MinSlope == 0 {
 		cpuCfg.MinSlope = DefaultCPUMinSlope
 	}
+	latCfg := cfg
+	latCfg.PerInvocation = true
+	if latCfg.MinSlope == 0 {
+		latCfg.MinSlope = DefaultLatencyMinSlope
+	}
 	return map[string]detect.Config{
 		ResourceMemory:  cfg,
 		ResourceCPU:     cpuCfg,
 		ResourceThreads: cfg,
+		ResourceLatency: latCfg,
+		ResourceHandles: cfg,
 	}
 }
 
@@ -166,6 +184,10 @@ func AppendObservations(dst []detect.Observation, resource string, batch []Compo
 			o.Value = s.CPUSeconds
 		case ResourceThreads:
 			o.Value = float64(s.Threads)
+		case ResourceLatency:
+			o.Value = s.LatencySeconds
+		case ResourceHandles:
+			o.Value = float64(s.Handles)
 		}
 		dst = append(dst, o)
 	}

@@ -73,6 +73,15 @@ type costReporter interface {
 	ReportedCost() time.Duration
 }
 
+// latencyReporter is the contract through which the AC learns the
+// response latency of an execution — service time plus injected wait.
+// When an argument reports a latency above its cost, the gap is
+// contention or queueing: CPU accounting charges the cost, latency
+// accounting records the full wait.
+type latencyReporter interface {
+	ReportedLatency() time.Duration
+}
+
 // Options configures a Framework.
 type Options struct {
 	// Weaver is the aspect weaver the application's components are
@@ -110,6 +119,7 @@ type Framework struct {
 	objSize     *monitor.ObjectSizeAgent
 	cpu         *monitor.CPUAgent
 	threads     *monitor.ThreadAgent
+	handles     *monitor.HandleAgent
 	invocations *monitor.InvocationAgent
 	memory      *monitor.MemoryAgent
 	deltas      *DeltaRecorder
@@ -159,10 +169,11 @@ func New(opts Options) (*Framework, error) {
 		objSize:     monitor.NewObjectSizeAgent(policy),
 		cpu:         monitor.NewCPUAgent(),
 		threads:     monitor.NewThreadAgent(),
+		handles:     monitor.NewHandleAgent(),
 		invocations: monitor.NewInvocationAgent(),
 		interval:    interval,
 	}
-	agents := []monitor.Agent{f.objSize, f.cpu, f.threads, f.invocations}
+	agents := []monitor.Agent{f.objSize, f.cpu, f.threads, f.handles, f.invocations}
 	if opts.Heap != nil {
 		f.memory = monitor.NewMemoryAgent(opts.Heap)
 		f.deltas = NewDeltaRecorder(opts.Heap)
@@ -196,15 +207,23 @@ func New(opts Options) (*Framework, error) {
 				f.deltas.after(jp.Component, jp.Key())
 			}
 			cost := jp.Duration()
+			latency := time.Duration(0)
 			for _, arg := range jp.Args {
 				if r, ok := arg.(costReporter); ok {
 					if d := r.ReportedCost(); d > 0 {
 						cost = d
 					}
+					if lr, ok := arg.(latencyReporter); ok {
+						latency = lr.ReportedLatency()
+					}
 					break
 				}
 			}
+			if latency < cost {
+				latency = cost
+			}
 			f.invocations.Record(jp.Component, cost, jp.Err != nil)
+			f.invocations.RecordLatency(jp.Component, latency)
 			if jp.Depth == 0 && cost > 0 {
 				f.cpu.AddTime(jp.Component, cost)
 			}
@@ -244,6 +263,9 @@ func (f *Framework) CPUAgent() *monitor.CPUAgent { return f.cpu }
 
 // ThreadAgent exposes the thread monitoring agent.
 func (f *Framework) ThreadAgent() *monitor.ThreadAgent { return f.threads }
+
+// HandleAgent exposes the resource-handle monitoring agent.
+func (f *Framework) HandleAgent() *monitor.HandleAgent { return f.handles }
 
 // ObjectSizeAgent exposes the object-size monitoring agent.
 func (f *Framework) ObjectSizeAgent() *monitor.ObjectSizeAgent { return f.objSize }

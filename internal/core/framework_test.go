@@ -34,8 +34,8 @@ func TestFrameworkRegistersEverything(t *testing.T) {
 		t.Fatal("manager bean not registered")
 	}
 	found := f.Server().Query(monitor.QueryAllAgents())
-	if len(found) != 6 {
-		t.Fatalf("agents registered = %d, want 6 (incl. memory and heap-delta)", len(found))
+	if len(found) != 7 {
+		t.Fatalf("agents registered = %d, want 7 (incl. memory and heap-delta)", len(found))
 	}
 	if _, ok := w.Find(ACAspectName); !ok {
 		t.Fatal("AC aspect not registered on weaver")
@@ -47,8 +47,8 @@ func TestFrameworkWithoutHeapSkipsMemoryAgent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(f.Server().Query(monitor.QueryAllAgents())); got != 4 {
-		t.Fatalf("agents = %d, want 4 without heap", got)
+	if got := len(f.Server().Query(monitor.QueryAllAgents())); got != 5 {
+		t.Fatalf("agents = %d, want 5 without heap", got)
 	}
 }
 

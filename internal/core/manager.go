@@ -22,6 +22,14 @@ const (
 	ResourceMemory  = "memory"
 	ResourceCPU     = "cpu"
 	ResourceThreads = "threads"
+	// ResourceLatency tracks per-invocation response latency — service
+	// time plus contention wait. It is the indicator for latency-only
+	// aging (lock contention, pool queueing) where no resource level
+	// grows; the CHAOS catalogue lists it next to the handle leaks.
+	ResourceLatency = "latency"
+	// ResourceHandles tracks live resource handles (connections, fds,
+	// session handles) per component — the non-heap leak vector.
+	ResourceHandles = "handles"
 	// ResourceMemoryDelta ranks on the per-invocation heap deltas the
 	// AC's before/after advice accumulates (§III.B.1), the paper's
 	// original measurement path; available when a heap is attached.
@@ -155,7 +163,7 @@ func (m *Manager) notifyIfSuspectChanged() {
 // net of the component's first-sample baseline.
 func (m *Manager) Data(resource string) ([]rootcause.ComponentData, error) {
 	switch resource {
-	case ResourceMemory, ResourceCPU, ResourceThreads, ResourceMemoryDelta:
+	case ResourceMemory, ResourceCPU, ResourceThreads, ResourceLatency, ResourceHandles, ResourceMemoryDelta:
 	default:
 		return nil, fmt.Errorf("core: unknown resource %q", resource)
 	}
@@ -182,6 +190,16 @@ func (m *Manager) Data(resource string) ([]rootcause.ComponentData, error) {
 				d.Consumption = last.V
 			}
 			d.Series = rec.threads.Points()
+		case ResourceLatency:
+			if last, ok := rec.latency.Last(); ok {
+				d.Consumption = last.V
+			}
+			d.Series = rec.latency.Points()
+		case ResourceHandles:
+			if last, ok := rec.handles.Last(); ok {
+				d.Consumption = last.V
+			}
+			d.Series = rec.handles.Points()
 		case ResourceMemoryDelta:
 			if last, ok := rec.delta.Last(); ok {
 				d.Consumption = math.Max(0, last.V)

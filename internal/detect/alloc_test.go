@@ -105,3 +105,50 @@ func TestReportRetentionRing(t *testing.T) {
 		t.Fatal("Clone did not detach the kept report from the ring")
 	}
 }
+
+// TestMonitorObserveLatencyHandleAllocs extends the soak to the two
+// streams the chaos catalog added to the bank: a latency-shaped monitor
+// (per-invocation with the DefaultLatencyMinSlope-style floor, fed a
+// cumulative-seconds series whose per-invocation mean degrades past the
+// floor) and a handles-shaped monitor (raw level, fed the integer
+// plateau staircase a countdown handle leak produces — the Sen-median
+// staircase fallback path). Both must be alarming and both must stay
+// zero-alloc at steady state, so growing the bank from three monitors to
+// five cannot reopen the per-round garbage the Observe contract closed.
+func TestMonitorObserveLatencyHandleAllocs(t *testing.T) {
+	lat := NewMonitor("latency", Config{PerInvocation: true, MinSlope: 5e-4})
+	hnd := NewMonitor("handles", Config{})
+	now := sim.Epoch
+	round := 0
+	var cumLat, usage float64
+	latObs := make([]Observation, 2)
+	hndObs := make([]Observation, 2)
+	step := func() {
+		round++
+		now = now.Add(30 * time.Second)
+		// Component "slow" degrades by 20ms of mean latency per round
+		// (6.7e-4 s/inv per second, above the 5e-4 floor); "ok" is flat.
+		usage += 10
+		cumLat += 10 * (0.010 + 0.020*float64(round))
+		latObs[0] = Observation{Component: "slow", Value: cumLat, Usage: usage}
+		latObs[1] = Observation{Component: "ok", Value: 0.015 * usage, Usage: usage}
+		lat.Observe(now, latObs)
+		// The leaking component's live-handle level is an integer
+		// staircase: one more handle every third round.
+		hndObs[0] = Observation{Component: "leaky", Value: float64(round / 3), Usage: usage}
+		hndObs[1] = Observation{Component: "ok", Value: 4, Usage: usage}
+		hnd.Observe(now, hndObs)
+	}
+	for round < 3*lat.Config().Window {
+		step()
+	}
+	if rep := lat.Latest(); len(rep.Alarms()) != 1 || rep.Alarms()[0].Component != "slow" {
+		t.Fatalf("soak premise broken: latency stream not alarming on slow at round %d\n%s", round, rep)
+	}
+	if rep := hnd.Latest(); len(rep.Alarms()) != 1 || rep.Alarms()[0].Component != "leaky" {
+		t.Fatalf("soak premise broken: handle stream not alarming on leaky at round %d\n%s", round, rep)
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs > 0 {
+		t.Fatalf("latency/handle steady-state Observe allocates %.2f objects per round", allocs)
+	}
+}

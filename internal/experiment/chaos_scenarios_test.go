@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// The chaos-catalog scenario tests pin the litmus contract at the quick
+// scale: a verified steady phase (zero pre-injection alarms), a pinned
+// verdict on the right indicator stream, and silence on the streams the
+// fault must not touch. The full-scale runs live in
+// TestChaosScenariosFullScale below.
+
+func TestS9PoolExhaustionNamesAOnHandles(t *testing.T) {
+	res := S9PoolExhaustion(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("pool-exhaustion scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "names "+ComponentA) {
+		t.Fatalf("handle verdict does not name %s: %s", ComponentA, res.Observed)
+	}
+}
+
+func TestS10HandleLeakNamesBOnHandles(t *testing.T) {
+	res := S10HandleLeak(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("handle-leak scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "names "+ComponentB) {
+		t.Fatalf("handle verdict does not name %s: %s", ComponentB, res.Observed)
+	}
+}
+
+func TestS11LockContentionIsLatencyOnly(t *testing.T) {
+	res := S11LockContention(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("lock-contention scenario failed:\n%s", res)
+	}
+	// The litmus half that matters most: every other stream stayed quiet.
+	if !strings.Contains(res.Observed, "quiet streams clean: true") {
+		t.Fatalf("latency-only fault disturbed another stream: %s", res.Observed)
+	}
+}
+
+func TestS12FragmentationBloatNamesBOnMemory(t *testing.T) {
+	res := S12FragmentationBloat(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("fragmentation-bloat scenario failed:\n%s", res)
+	}
+}
+
+func TestS13StaleCacheDecayNamesAOnCPU(t *testing.T) {
+	res := S13StaleCacheDecay(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("stale-cache-decay scenario failed:\n%s", res)
+	}
+}
+
+func TestS14NodeKillRaisesNoAlarm(t *testing.T) {
+	res := S14NodeKill(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("node-kill scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "0 alarms") {
+		t.Fatalf("expected zero alarms: %s", res.Observed)
+	}
+}
+
+func TestS15TransportPartitionEvictsAndRecovers(t *testing.T) {
+	res := S15TransportPartition(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("transport-partition scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "evicted during partition: true") ||
+		!strings.Contains(res.Observed, "rejoined after heal: true") {
+		t.Fatalf("partition detection/recovery not observed: %s", res.Observed)
+	}
+}
+
+func TestS16ClockSkewStillPinsNodeAndComponent(t *testing.T) {
+	res := S16ClockSkew(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("clock-skew scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "node1/"+ComponentA) {
+		t.Fatalf("verdict does not pin (node1, %s): %s", ComponentA, res.Observed)
+	}
+}
+
+// TestChaosScenariosFullScale runs the whole catalog at the paper's full
+// one-hour TimeScale — the acceptance contract requires both scales to
+// hold. Skipped under -short like the cluster full-scale run.
+func TestChaosScenariosFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale chaos scenarios skipped with -short")
+	}
+	cfg := scenarioCfg
+	cfg.TimeScale = 1.0
+	for _, run := range []func(Config) Result{
+		S9PoolExhaustion, S10HandleLeak, S11LockContention,
+		S12FragmentationBloat, S13StaleCacheDecay,
+		S14NodeKill, S15TransportPartition, S16ClockSkew,
+	} {
+		if res := run(cfg); !res.Pass {
+			t.Fatalf("full-scale chaos scenario failed:\n%s", res)
+		}
+	}
+}

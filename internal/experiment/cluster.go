@@ -53,6 +53,12 @@ type ClusterConfig struct {
 	// WireCodec selects the serialisation when WireTransport is set:
 	// gob (the default) or the delta-encoded binary codec.
 	WireCodec cluster.WireCodec
+	// Chaos, when non-nil, may wrap each node's monitoring transport
+	// (e.g. in a faultinject.ChaosTransport for partition or clock-skew
+	// faults). It is applied above the framing codec, per the chaos
+	// transport's loss-discipline contract. Returning the transport
+	// unchanged leaves the node untouched.
+	Chaos func(node string, tr cluster.Transport) cluster.Transport
 }
 
 // ClusterNode is one application-server node of a ClusterStack.
@@ -204,6 +210,9 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 	} else {
 		tr = cluster.NewInProc(cs.Aggregator)
 	}
+	if cfg.Chaos != nil {
+		tr = cfg.Chaos(name, tr)
+	}
 	node := &ClusterNode{
 		Name:      name,
 		Weaver:    weaver,
@@ -325,11 +334,18 @@ func (cs *ClusterStack) Sync() error {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	// Flush any notifications the final rounds queued.
+	cs.FlushNotifications()
+	return nil
+}
+
+// FlushNotifications emits any queued aggregator notifications without
+// Sync's round barrier — the barrier counts every round the forwarders
+// handed to their transports, which a deliberately lossy chaos transport
+// (partition faults) would stall forever.
+func (cs *ClusterStack) FlushNotifications() {
 	for _, n := range cs.Aggregator.DrainNotifications() {
 		cs.Server.Emit(n)
 	}
-	return nil
 }
 
 // Close stops sampling, the notification pump, the transports and the

@@ -104,6 +104,11 @@ func S5SingleNodeLeak(cfg Config) Result {
 		Observed: observed,
 		Pass:     pass,
 		Text:     clusterReportText(rep),
+		Accuracy: &Accuracy{
+			Truth:     []string{"node2/" + ComponentA},
+			Flagged:   flaggedPairs(cs),
+			TTDRounds: top.FirstEpoch, // injected at epoch 0
+		},
 	}
 }
 
@@ -145,6 +150,11 @@ func S6UniformLeak(cfg Config) Result {
 		Observed: observed,
 		Pass:     pass,
 		Text:     clusterReportText(rep),
+		Accuracy: &Accuracy{
+			Truth:     []string{"cluster/" + ComponentA},
+			Flagged:   flaggedPairs(cs),
+			TTDRounds: top.FirstEpoch, // injected at epoch 0
+		},
 	}
 }
 
@@ -194,6 +204,10 @@ func S7NodeChurn(cfg Config) Result {
 			len(alarms), activeNames(cs), cs.Driver.Completed()),
 		Pass: pass,
 		Text: clusterReportText(rep) + strings.Join(alarms, "\n"),
+		Accuracy: &Accuracy{
+			Flagged:            flaggedPairs(cs),
+			PreInjectionAlarms: len(alarms),
+		},
 	}
 }
 
@@ -233,6 +247,10 @@ func S8SkewedBalancer(cfg Config) Result {
 		Observed: observed,
 		Pass:     pass,
 		Text:     clusterReportText(rep) + strings.Join(alarms, "\n"),
+		Accuracy: &Accuracy{
+			Flagged:            flaggedPairs(cs),
+			PreInjectionAlarms: len(alarms),
+		},
 	}
 }
 

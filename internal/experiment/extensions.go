@@ -472,5 +472,13 @@ func All(cfg Config) []Result {
 		S6UniformLeak(cfg),
 		S7NodeChurn(cfg),
 		S8SkewedBalancer(cfg),
+		S9PoolExhaustion(cfg),
+		S10HandleLeak(cfg),
+		S11LockContention(cfg),
+		S12FragmentationBloat(cfg),
+		S13StaleCacheDecay(cfg),
+		S14NodeKill(cfg),
+		S15TransportPartition(cfg),
+		S16ClockSkew(cfg),
 	}
 }

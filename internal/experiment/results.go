@@ -19,6 +19,10 @@ type Result struct {
 	Pass bool
 	// Text is the full rendered report (tables, series, maps).
 	Text string
+	// Accuracy, when non-nil, carries the scenario's fault-injection
+	// ground truth and detection outcome for the accuracy harness
+	// (BuildAccuracyReport). Only the S-series scenarios fill it.
+	Accuracy *Accuracy
 }
 
 // Verdict renders the one-line pass/fail summary.

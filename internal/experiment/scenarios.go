@@ -112,6 +112,10 @@ func S1WorkloadShift(cfg Config) Result {
 		Observed: observed,
 		Pass:     pass,
 		Text:     b.String(),
+		Accuracy: &Accuracy{
+			Flagged:            flaggedComponents(s.Detectors),
+			PreInjectionAlarms: len(alarms),
+		},
 	}
 }
 
@@ -163,6 +167,11 @@ func S2OnlineLeakDetection(cfg Config) Result {
 		Observed: observed,
 		Pass:     pass,
 		Text:     text,
+		Accuracy: &Accuracy{
+			Truth:     []string{ComponentA},
+			Flagged:   flaggedComponents(s.Detectors),
+			TTDRounds: first, // injected at round 0
+		},
 	}
 }
 
@@ -192,6 +201,10 @@ func S3DiurnalCycle(cfg Config) Result {
 			len(alarms), s.Driver.Completed(), cfg.EBs, cfg.EBs/2),
 		Pass: pass,
 		Text: strings.Join(alarms, "\n"),
+		Accuracy: &Accuracy{
+			Flagged:            flaggedComponents(s.Detectors),
+			PreInjectionAlarms: len(alarms),
+		},
 	}
 }
 
@@ -233,6 +246,11 @@ func S4BurstWithLeak(cfg Config) Result {
 			first, reportRound(rep), suspectOK, len(log.raised())),
 		Pass: pass,
 		Text: reportText(rep),
+		Accuracy: &Accuracy{
+			Truth:     []string{ComponentB},
+			Flagged:   flaggedComponents(s.Detectors),
+			TTDRounds: first, // injected at round 0
+		},
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/eb"
 	"repro/internal/faultinject"
 	"repro/internal/jvmheap"
+	"repro/internal/monitor"
 	"repro/internal/rootcause"
 	"repro/internal/servlet"
 	"repro/internal/sim"
@@ -142,13 +143,9 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 // InjectLeak arms the paper's memory-leak error in a component and
 // returns the injector for inspection.
 func (s *Stack) InjectLeak(component string, size, n int, seed uint64) (*faultinject.MemoryLeak, error) {
-	target, ok := s.App.Servlet(component)
-	if !ok {
-		return nil, fmt.Errorf("experiment: no servlet %q", component)
-	}
-	retainer, ok := target.(faultinject.Retainer)
-	if !ok {
-		return nil, fmt.Errorf("experiment: servlet %q is not injectable", component)
+	retainer, err := s.servletRetainer(component)
+	if err != nil {
+		return nil, err
 	}
 	leak := &faultinject.MemoryLeak{
 		Component: component,
@@ -162,6 +159,120 @@ func (s *Stack) InjectLeak(component string, size, n int, seed uint64) (*faultin
 		return nil, err
 	}
 	return leak, nil
+}
+
+// servletRetainer resolves a component's servlet as an injection target.
+func (s *Stack) servletRetainer(component string) (faultinject.Retainer, error) {
+	target, ok := s.App.Servlet(component)
+	if !ok {
+		return nil, fmt.Errorf("experiment: no servlet %q", component)
+	}
+	retainer, ok := target.(faultinject.Retainer)
+	if !ok {
+		return nil, fmt.Errorf("experiment: servlet %q is not injectable", component)
+	}
+	return retainer, nil
+}
+
+// handleAgent resolves the handle agent the handle-based injectors
+// report to (monitored stacks only).
+func (s *Stack) handleAgent() (*monitor.HandleAgent, error) {
+	if s.Framework == nil {
+		return nil, fmt.Errorf("experiment: handle injection needs a monitored stack")
+	}
+	return s.Framework.HandleAgent(), nil
+}
+
+// InjectPoolExhaustion arms connection-pool exhaustion in a component:
+// leaked pool handles on the handle agent plus growing queueing wait.
+func (s *Stack) InjectPoolExhaustion(component string, n int, perHandleWait time.Duration, seed uint64) (*faultinject.PoolExhaustion, error) {
+	agent, err := s.handleAgent()
+	if err != nil {
+		return nil, err
+	}
+	inj := &faultinject.PoolExhaustion{
+		Component:     component,
+		N:             n,
+		PerHandleWait: perHandleWait,
+		Agent:         agent,
+		Seed:          seed,
+	}
+	if err := s.Weaver.Register(inj.Aspect()); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// InjectHandleLeak arms a file-descriptor/session-handle leak in a
+// component.
+func (s *Stack) InjectHandleLeak(component string, n int, seed uint64) (*faultinject.HandleLeak, error) {
+	agent, err := s.handleAgent()
+	if err != nil {
+		return nil, err
+	}
+	inj := &faultinject.HandleLeak{
+		Component: component,
+		N:         n,
+		Agent:     agent,
+		Heap:      s.Heap,
+		Seed:      seed,
+	}
+	if err := s.Weaver.Register(inj.Aspect()); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// InjectLockContention arms contention aging in a component: latency
+// creeps one step per growth executions with no resource growth.
+func (s *Stack) InjectLockContention(component string, step time.Duration, growth int, jitter time.Duration, seed uint64) (*faultinject.LockContention, error) {
+	inj := &faultinject.LockContention{
+		Component: component,
+		Step:      step,
+		Growth:    growth,
+		Jitter:    jitter,
+		Seed:      seed,
+	}
+	if err := s.Weaver.Register(inj.Aspect()); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// InjectFragmentationBloat arms fragmentation-style slow bloat in a
+// component: jitter-sized fragments retained every [0,N] requests.
+func (s *Stack) InjectFragmentationBloat(component string, base, n int, seed uint64) (*faultinject.FragmentationBloat, error) {
+	retainer, err := s.servletRetainer(component)
+	if err != nil {
+		return nil, err
+	}
+	inj := &faultinject.FragmentationBloat{
+		Component: component,
+		Target:    retainer,
+		Base:      base,
+		N:         n,
+		Heap:      s.Heap,
+		Seed:      seed,
+	}
+	if err := s.Weaver.Register(inj.Aspect()); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// InjectStaleCacheDecay arms cache-decay aging in a component: the miss
+// probability climbs to 1 over decay requests, each miss costing CPU.
+func (s *Stack) InjectStaleCacheDecay(component string, missCost time.Duration, decay int, seed uint64) (*faultinject.StaleCacheDecay, error) {
+	inj := &faultinject.StaleCacheDecay{
+		Component: component,
+		MissCost:  missCost,
+		Decay:     decay,
+		Seed:      seed,
+	}
+	if err := s.Weaver.Register(inj.Aspect()); err != nil {
+		return nil, err
+	}
+	return inj, nil
 }
 
 // Close stops background sampling.

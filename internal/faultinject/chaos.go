@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Cluster chaos primitives — the litmus-style harness's environment
+// faults, as opposed to the component faults above: a killed node, a
+// partitioned monitoring transport, a skewed node clock. Each is
+// deterministic (kill instants derive from sim.Rand64; partitions and
+// skew are switched by the scenario at scheduled virtual instants) so a
+// chaos scenario replays bit-identically. The steady-state hypothesis the
+// scenarios verify is the detection plane's: infrastructure chaos alone
+// must raise no aging alarm, and attribution must survive it.
+
+// ChaosTransport wraps a collector→aggregator transport with partition
+// and clock-skew faults. While partitioned, published rounds are silently
+// dropped — the node keeps sampling, the aggregator just stops hearing
+// from it, exactly what a network partition looks like from both ends.
+// Skew shifts the timestamps the node stamps on its rounds, modelling a
+// drifting node clock (the aggregator's skew normalisation is the
+// defence under test).
+//
+// Wrap the transport ABOVE any framing codec (around cluster.InProc, or
+// around a whole Wire), never between a wire and its connection: the
+// binary codec's delta chains assume no frame is lost in the middle of a
+// stream.
+//
+// The wrapper is generic over the round type rather than naming
+// cluster.Round: core's tests import this package and cluster imports
+// core, so a direct cluster dependency would be an import cycle.
+// Instantiate as ChaosTransport[cluster.Round]; the transport and
+// shiftable constraints mirror cluster.Transport and Round.Shifted
+// structurally.
+type ChaosTransport[R shiftable[R]] struct {
+	inner transport[R]
+
+	mu          sync.Mutex
+	partitioned bool
+	skew        time.Duration
+	dropped     int64
+}
+
+// transport is the wrapped transport's method set (structurally,
+// cluster.Transport).
+type transport[R any] interface {
+	Publish(R) error
+	Close() error
+}
+
+// shiftable is a round whose timestamp can be displaced by the clock
+// skew (structurally, cluster.Round's Shifted method).
+type shiftable[R any] interface {
+	Shifted(time.Duration) R
+}
+
+// NewChaosTransport wraps a transport with chaos controls (all initially
+// inactive: the wrapper is transparent until a fault is switched on).
+func NewChaosTransport[R shiftable[R]](inner transport[R]) *ChaosTransport[R] {
+	if inner == nil {
+		panic("faultinject: NewChaosTransport needs a transport")
+	}
+	return &ChaosTransport[R]{inner: inner}
+}
+
+// SetPartitioned opens or heals the partition.
+func (c *ChaosTransport[R]) SetPartitioned(on bool) {
+	c.mu.Lock()
+	c.partitioned = on
+	c.mu.Unlock()
+}
+
+// SetSkew sets the clock skew added to every published round's timestamp.
+func (c *ChaosTransport[R]) SetSkew(d time.Duration) {
+	c.mu.Lock()
+	c.skew = d
+	c.mu.Unlock()
+}
+
+// Dropped returns how many rounds the partition has swallowed.
+func (c *ChaosTransport[R]) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Publish implements cluster.Transport.
+func (c *ChaosTransport[R]) Publish(r R) error {
+	c.mu.Lock()
+	if c.partitioned {
+		c.dropped++
+		c.mu.Unlock()
+		return nil
+	}
+	skew := c.skew
+	c.mu.Unlock()
+	if skew != 0 {
+		r = r.Shifted(skew)
+	}
+	return c.inner.Publish(r)
+}
+
+// Close implements cluster.Transport.
+func (c *ChaosTransport[R]) Close() error { return c.inner.Close() }
+
+// NodeKill plans a deterministic node-kill: the kill instant is drawn
+// uniformly in [0, Window) from the (Seed, node-label) stream, so a chaos
+// scenario kills the same node at the same virtual instant on every run.
+// The scenario schedules the actual removal (ClusterStack.Leave) at the
+// planned instant; the primitive only owns the draw.
+type NodeKill struct {
+	// Node is the victim node name.
+	Node string
+	// Window bounds the kill instant offset.
+	Window time.Duration
+	// Seed derives the draw.
+	Seed uint64
+}
+
+// Offset returns the kill instant's offset from the chaos epoch.
+func (k NodeKill) Offset() time.Duration {
+	if k.Node == "" || k.Window <= 0 {
+		panic("faultinject: NodeKill needs Node and positive Window")
+	}
+	label := uint64(0xdead)
+	for _, b := range []byte(k.Node) {
+		label = label*131 + uint64(b)
+	}
+	rng := sim.DeriveRand64(k.Seed, label)
+	return time.Duration(rng.IntN(int(k.Window)))
+}
+
+// At resolves the kill instant against a start time.
+func (k NodeKill) At(start time.Time) time.Time {
+	return start.Add(k.Offset())
+}

@@ -32,6 +32,7 @@ type invocationCell struct {
 	count    atomic.Int64
 	failures atomic.Int64
 	durNanos atomic.Int64
+	latNanos atomic.Int64
 }
 
 // InvocationAgent counts component executions and their outcomes. Its
@@ -77,6 +78,26 @@ func (a *InvocationAgent) Record(component string, d time.Duration, failed bool)
 		c.failures.Add(1)
 	}
 	c.durNanos.Add(int64(d))
+}
+
+// RecordLatency notes the response latency of one execution of component.
+// Latency is recorded separately from Record's duration: duration is the
+// CPU cost the execution consumed, latency is the wall time the caller
+// waited — contention and queueing widen the gap, which is exactly the
+// aging signal the latency-trend detector watches.
+func (a *InvocationAgent) RecordLatency(component string, d time.Duration) {
+	c := metrics.LoadOrCreate(&a.stats, component, func() *invocationCell { return &invocationCell{} })
+	c.latNanos.Add(int64(d))
+}
+
+// LatencyOf returns the cumulative response latency recorded for
+// component. Like the CPU agent's cumulative time, the collector samples
+// it per round and the detector normalises by the usage delta.
+func (a *InvocationAgent) LatencyOf(component string) time.Duration {
+	if v, ok := a.stats.Load(component); ok {
+		return time.Duration(v.(*invocationCell).latNanos.Load())
+	}
+	return 0
 }
 
 // StatsOf returns a copy of the stats of component.

@@ -17,6 +17,44 @@ type Evaluation struct {
 	K int
 }
 
+// PrecisionRecall scores a flagged suspect set against the injected
+// ground truth — the set form of Evaluate, used by the scenario-matrix
+// accuracy harness where the detection plane emits an unordered set of
+// suspects (components, or node/component pairs) rather than a ranking.
+// Both sets are deduplicated. An empty truth with an empty flagged set
+// scores perfect (a no-fault scenario correctly kept quiet).
+func PrecisionRecall(flagged, truth []string) (tp, fp, fn int, precision, recall float64) {
+	isTruth := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		isTruth[t] = true
+	}
+	seen := make(map[string]bool, len(flagged))
+	for _, f := range flagged {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		if isTruth[f] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for t := range isTruth {
+		if !seen[t] {
+			fn++
+		}
+	}
+	precision, recall = 1, 1
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return tp, fp, fn, precision, recall
+}
+
 // Evaluate scores ranking against the ground-truth faulty set.
 func Evaluate(r Ranking, truth []string, k int) Evaluation {
 	isFaulty := make(map[string]bool, len(truth))

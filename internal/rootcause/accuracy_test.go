@@ -79,3 +79,32 @@ func TestEvaluateBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPrecisionRecall pins the set-form scoring the scenario-matrix
+// harness uses: duplicates in the flagged set collapse (a component
+// flagged on two indicator streams is one verdict), and empty
+// denominators score perfect — a no-fault scenario that stayed quiet is
+// a correct outcome, not a divide-by-zero.
+func TestPrecisionRecall(t *testing.T) {
+	for _, tc := range []struct {
+		name              string
+		flagged, truth    []string
+		tp, fp, fn        int
+		precision, recall float64
+	}{
+		{"exact match", []string{"a"}, []string{"a"}, 1, 0, 0, 1, 1},
+		{"both empty", nil, nil, 0, 0, 0, 1, 1},
+		{"false positive", []string{"a", "b"}, []string{"a"}, 1, 1, 0, 0.5, 1},
+		{"missed fault", nil, []string{"a"}, 0, 0, 1, 1, 0},
+		{"duplicate flags collapse", []string{"a", "a", "a"}, []string{"a"}, 1, 0, 0, 1, 1},
+		{"quiet scenario with noise", []string{"b"}, nil, 0, 1, 0, 0, 1},
+		{"pair vocabulary", []string{"node2/a", "node3/a"}, []string{"node2/a"}, 1, 1, 1 - 1, 0.5, 1},
+	} {
+		tp, fp, fn, p, r := PrecisionRecall(tc.flagged, tc.truth)
+		if tp != tc.tp || fp != tc.fp || fn != tc.fn || p != tc.precision || r != tc.recall {
+			t.Errorf("%s: PrecisionRecall(%v, %v) = %d,%d,%d,%.2f,%.2f want %d,%d,%d,%.2f,%.2f",
+				tc.name, tc.flagged, tc.truth, tp, fp, fn, p, r,
+				tc.tp, tc.fp, tc.fn, tc.precision, tc.recall)
+		}
+	}
+}

@@ -96,6 +96,7 @@ type Request struct {
 
 	submitted   time.Time
 	extraCost   time.Duration
+	extraWait   time.Duration
 	serviceTime time.Duration
 	joinPoints  int64 // advised executions this request crossed, for overhead accounting
 
@@ -150,6 +151,7 @@ func (r *Request) reset() {
 	r.Session = nil
 	r.submitted = time.Time{}
 	r.extraCost = 0
+	r.extraWait = 0
 	r.serviceTime = 0
 	r.joinPoints = 0
 	r.params = r.params[:0]
@@ -233,12 +235,31 @@ func (r *Request) AddCost(d time.Duration) {
 	r.extraCost += d
 }
 
+// AddWait charges additional simulated wait time to this request: time
+// the caller spends blocked without consuming CPU (lock contention, pool
+// queueing). It stretches the response latency the container schedules
+// and the latency agents record, but — unlike AddCost — leaves the
+// reported CPU cost untouched, so latency-only aging shows no resource
+// growth. The lock-contention and pool-exhaustion fault injectors use it.
+func (r *Request) AddWait(d time.Duration) {
+	if d < 0 {
+		panic("servlet: negative AddWait")
+	}
+	r.extraWait += d
+}
+
 // ReportedCost returns the simulated service time of the completed
 // request. It implements the cost-reporting contract the monitoring
 // aspects look for on join point arguments, which is how virtual durations
 // reach the CPU and invocation agents even though the virtual clock stands
 // still during component execution.
 func (r *Request) ReportedCost() time.Duration { return r.serviceTime }
+
+// ReportedLatency returns the simulated response latency of the completed
+// request: the service time plus any injected wait. It implements the
+// latency-reporting contract the monitoring aspects look for next to
+// ReportedCost; for a healthy request the two coincide.
+func (r *Request) ReportedLatency() time.Duration { return r.serviceTime + r.extraWait }
 
 // Submitted returns when the request entered the container.
 func (r *Request) Submitted() time.Time { return r.submitted }

@@ -463,7 +463,11 @@ func (c *Container) execute(req *Request) (*Response, time.Duration) {
 	req.Conn = nil
 	req.args[0], req.args[1] = nil, nil
 	c.pool.Release(conn)
-	return resp, serviceTime
+	// Injected wait (lock contention, pool queueing) stretches the
+	// scheduled completion — the worker stays busy and response times
+	// genuinely degrade — without entering serviceTime, so the reported
+	// CPU cost stays honest.
+	return resp, serviceTime + req.extraWait
 }
 
 // invokeServlet is the filter chain's final hop: it dispatches the woven
