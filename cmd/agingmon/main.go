@@ -34,6 +34,8 @@
 // serves the aggregator bean):
 //
 //	nodes                        list cluster nodes with status and epochs
+//	cluster-stats                aggregation-plane counters: epoch, rounds
+//	                             ingested, verdict (fold) latency
 //	cluster [resource]           print the cluster verdict report
 //	node-verdicts <node> [res]   print one node's detection report
 //	cluster-live [resource]      rank (node, component) pairs live
@@ -250,6 +252,28 @@ func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 			return err
 		}
 		printNodes(w, v)
+		return nil
+
+	case "cluster-stats":
+		epoch, err := client.Get(aggregatorName, "Epoch")
+		if err != nil {
+			return err
+		}
+		rounds, err := client.Get(aggregatorName, "TotalRounds")
+		if err != nil {
+			return err
+		}
+		lat, err := client.Get(aggregatorName, "FoldLatency")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "epoch=%v rounds=%v\n", epoch, rounds)
+		if m, ok := lat.(map[string]any); ok {
+			fmt.Fprintf(w, "verdict latency: last=%v max=%v\n",
+				nanosDuration(m["LastNanos"]), nanosDuration(m["MaxNanos"]))
+		} else {
+			fmt.Fprintf(w, "verdict latency: %v\n", lat)
+		}
 		return nil
 
 	case "cluster":
@@ -498,6 +522,12 @@ func printClusterReport(w io.Writer, v any) {
 		fmt.Fprintf(w, "%2d. %-24v on %-20s %-12s score=%8.4v since-epoch=%v\n",
 			i+1, vm["Component"], strings.Join(names, "+"), scope, vm["Score"], vm["FirstEpoch"])
 	}
+}
+
+// nanosDuration renders a JSON-decoded nanosecond count as a duration.
+func nanosDuration(v any) time.Duration {
+	f, _ := v.(float64)
+	return time.Duration(int64(f))
 }
 
 // parseValue turns a CLI literal into a JSON-compatible value.

@@ -31,7 +31,11 @@
 //
 // -transport picks how rounds travel from the nodes to the aggregator:
 // inproc (direct calls), gob, or binary (the delta-encoded wire codec) —
-// verdicts are transport-independent by construction.
+// verdicts are transport-independent by construction. With -batch K
+// (binary transport only) each node's forwarder packs K rounds into one
+// v4 BATCH frame before writing; -lanes and -foldworkers size the
+// aggregator's sharded ingest plane and parallel fold pool (0 = package
+// defaults).
 //
 // With -load the command runs the million-session load tier instead of
 // the monitored testbed: a struct-of-arrays session population over
@@ -51,6 +55,19 @@
 //
 // -drivers K with the default -role local runs the same K-way fleet
 // in-process over pipes — the protocol without the deployment.
+//
+// -load -monitor (container backend, local single-driver role) attaches
+// the full monitoring plane to the load tier: each shard's framework
+// samples its container stack and ships rounds over a batched binary
+// wire into the sharded aggregator, and the run prints rounds ingested,
+// ingest rate and verdict (fold) latency — the fleet-scale measurement
+// the aggregation plane exists for. Size -workers for the offered load
+// (a 50-worker default container sheds almost everything a fleet-scale
+// population throws at it), and optionally arm the leak on one shard so
+// the verdict has something to name:
+//
+//	tpcwsim -load -backend container -monitor -sessions 1000000 -shards 4 \
+//	        -workers 1000 -leakshard 1 -monitor-interval 5s -duration 2m
 package main
 
 import (
@@ -86,6 +103,9 @@ func main() {
 		nodes    = flag.Int("nodes", 1, "cluster size (1 = the paper's single-node testbed)")
 		leakNode = flag.String("leaknode", "node2", "node to arm the leak on in cluster mode")
 		trans    = flag.String("transport", "inproc", "cluster round transport: inproc, gob or binary")
+		batch    = flag.Int("batch", 0, "rounds per v4 BATCH frame on the binary transport (0/1 = one round per frame)")
+		lanes    = flag.Int("lanes", 0, "aggregator ingest lanes (0 = package default)")
+		foldWork = flag.Int("foldworkers", 0, "aggregator fold worker pool size (0 = package default)")
 
 		load     = flag.Bool("load", false, "run the million-session load tier instead of the monitored testbed")
 		sessions = flag.Int("sessions", 100000, "load tier: closed-loop session population")
@@ -97,6 +117,10 @@ func main() {
 		role     = flag.String("role", "local", "load tier: local, coordinator or driver")
 		coord    = flag.String("coord", ":9991", "load tier: coordinator address (listen or dial)")
 		drvIndex = flag.Int("driver-index", 0, "load tier: this driver's index in the fleet")
+		monitor   = flag.Bool("monitor", false, "load tier: attach the monitoring plane (container backend only)")
+		workers   = flag.Int("workers", 0, "load tier: container workers per shard (0 = servlet default of 50; size for the offered load at large populations)")
+		leakShard = flag.Int("leakshard", -1, "load tier: arm the -leak injection on this shard index (-1 = no injection)")
+		monIntvl = flag.Duration("monitor-interval", 30*time.Second, "load tier: sampling cadence of the monitoring plane")
 	)
 	flag.Parse()
 
@@ -113,6 +137,16 @@ func main() {
 			coord:    *coord,
 			index:    *drvIndex,
 			seed:     *seed,
+			monitor:   *monitor,
+			interval:  *monIntvl,
+			workers:   *workers,
+			leak:      *leak,
+			leakShard: *leakShard,
+			leakSize:  *leakSize,
+			leakN:     *leakN,
+			batch:    *batch,
+			lanes:    *lanes,
+			foldWork: *foldWork,
 		})
 		return
 	}
@@ -123,7 +157,7 @@ func main() {
 			// detector banks; a cluster without them has no output.
 			log.Printf("-detect=false has no effect with -nodes > 1: the aggregator always runs per-node detectors")
 		}
-		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold, *trans)
+		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold, *trans, *batch, *lanes, *foldWork)
 		return
 	}
 
@@ -178,11 +212,13 @@ func main() {
 
 // runCluster is the -nodes N mode: a full cluster behind a balancer with
 // the aggregator's bean on the management plane.
-func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool, transport string) {
+func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool, transport string, batch, lanes, foldWorkers int) {
 	cfg := experiment.ClusterConfig{
-		Nodes: nodes,
-		Seed:  seed,
-		Mix:   eb.Shopping,
+		Nodes:       nodes,
+		Seed:        seed,
+		Mix:         eb.Shopping,
+		IngestLanes: lanes,
+		FoldWorkers: foldWorkers,
 	}
 	switch transport {
 	case "inproc", "":
@@ -193,6 +229,15 @@ func runCluster(addr string, duration time.Duration, ebs int, leak string, leakS
 		cfg.WireCodec = cluster.CodecBinary
 	default:
 		log.Fatalf("unknown -transport %q (want inproc, gob or binary)", transport)
+	}
+	if batch > 1 {
+		if transport != "binary" {
+			log.Fatalf("-batch needs -transport binary (got %q)", transport)
+		}
+		cfg.WireBatchRounds = batch
+		// A full batch lets the flushing node run `batch` epochs ahead of
+		// buffering peers; widen the staleness window so none is evicted.
+		cfg.StaleEpochs = 2 * batch
 	}
 	cs, err := experiment.NewClusterStack(cfg)
 	if err != nil {

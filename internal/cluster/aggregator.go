@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -40,6 +43,17 @@ type Config struct {
 	ChurnHold int
 	// MergedLogCap bounds the retained merged-round log (default 256).
 	MergedLogCap int
+	// IngestLanes is how many hash-striped ingest lanes node state is
+	// spread over (default 32). Concurrent publishers contend only when
+	// their nodes share a lane; 1 degenerates to a single ingest lock,
+	// the serial reference configuration for parity tests. Verdicts do
+	// not depend on the lane count.
+	IngestLanes int
+	// FoldWorkers bounds the worker pool the epoch fold spreads its
+	// per-resource verdict assembly over (default GOMAXPROCS, capped at
+	// the resource count). 1 folds inline on the completing publisher's
+	// goroutine. Verdicts do not depend on the worker count.
+	FoldWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,17 +69,40 @@ func (c Config) withDefaults() Config {
 	if c.MergedLogCap <= 0 {
 		c.MergedLogCap = 256
 	}
+	if c.IngestLanes <= 0 {
+		c.IngestLanes = 32
+	}
+	if c.FoldWorkers <= 0 {
+		c.FoldWorkers = runtime.GOMAXPROCS(0)
+	}
+	if n := len(core.DetectorResources); c.FoldWorkers > n {
+		c.FoldWorkers = n
+	}
 	return c
 }
 
+// ingestLane is one stripe of the sharded ingest plane: the node states
+// whose names hash onto it, behind the lane lock their rounds are folded
+// in under. Publishes for nodes on different lanes never contend.
+type ingestLane struct {
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+}
+
 // nodeState is the aggregator's view of one node.
+//
+// Ownership: fields in the first block are written only during the
+// node's own Ingest under the owning lane's lock (the fold stage takes
+// the lane lock too when it reads or releases per-seq snapshots); fields
+// in the second block are written only under the aggregator's fold lock;
+// the atomics publish the node's externally visible counters to lock-free
+// readers.
 type nodeState struct {
-	name   string
-	active bool
-	seq    int64 // highest node-local round ingested
-	// epochBase aligns the node's local sequence with the cluster epoch
-	// counter: node round s carries cluster epoch epochBase + s.
-	epochBase int64
+	name string
+	lane *ingestLane
+
+	// Lane-owned (written by the node's Ingest under lane.mu).
+	seq int64 // highest node-local round ingested
 	// offset normalises the node's local clock onto the aggregator's
 	// merged timeline; it is fixed at the node's first round.
 	offset     time.Duration
@@ -85,23 +122,38 @@ type nodeState struct {
 	// usageAtSeq records the round's total cumulative usage, the input
 	// to the cluster-level node-mix guard.
 	usageAtSeq map[int64]float64
-	prevUsage  float64 // usage total at the last completed epoch
 
 	// lastSamples is the node's reusable copy of its latest round;
-	// obsScratch is the per-round observation projection buffer. Both
-	// are owned by a.mu.
+	// obsScratch is the per-round observation projection buffer.
 	lastSamples []core.ComponentSample
 	obsScratch  []detect.Observation
 	firstSize   map[string]int64 // per-component size baseline
-	// firstAlarmEpoch latches, per resource and component, the cluster
-	// epoch at which the node's verdict first alarmed — recorded at fold
-	// time, because deriving it from the detector's round counter breaks
-	// whenever the epoch base moves (rejoin) or the sequence gaps
-	// (publish failures).
-	firstAlarmEpoch map[string]map[string]int64
-}
 
-func (n *nodeState) epoch() int64 { return n.epochBase + n.seq }
+	// Fold-owned (written only under the aggregator's foldMu).
+	//
+	// epochBase aligns the node's local sequence with the cluster epoch
+	// counter: node round s carries cluster epoch epochBase + s. It is
+	// written under foldMu AND the lane lock (join/rejoin happen on the
+	// slow ingest path, which holds both), so either lock alone makes it
+	// safe to read.
+	epochBase int64
+	prevUsage float64 // usage total at the last completed epoch
+	// firstAlarm latches, per resource (aggregator resource order) and
+	// component, the cluster epoch at which the node's verdict first
+	// alarmed — recorded at fold time, because deriving it from the
+	// detector's round counter breaks whenever the epoch base moves
+	// (rejoin) or the sequence gaps (publish failures). Indexed by
+	// resource so parallel fold workers touch disjoint maps.
+	firstAlarm []map[string]int64
+
+	// Lock-free views for read paths and the epoch watermark check.
+	// active flips only under foldMu (join/rejoin on the slow ingest
+	// path, Leave, staleness eviction); seqA/epochA publish at the end
+	// of each ingested round, after the round's snapshots are recorded.
+	active atomic.Bool
+	seqA   atomic.Int64
+	epochA atomic.Int64
+}
 
 // NodeStatus is one node's externally visible state.
 type NodeStatus struct {
@@ -206,56 +258,130 @@ func (r *ClusterReport) String() string {
 
 // Aggregator merges sampling rounds from N node collectors into per-node
 // and cluster-level aging verdicts. See the package comment for the
-// concurrency contract; everything below one mutex, nothing on any hot
-// path.
+// concurrency contract.
+//
+// Lock hierarchy (acquire strictly downward, release before acquiring a
+// peer):
+//
+//	foldMu > lane.mu > tlMu
+//	foldMu > regMu(W)
+//	regMu(R) > lane.mu (read paths only; nothing holding a lane lock
+//	                    ever waits on regMu)
+//
+// The steady-state ingest path touches only its node's lane lock and the
+// short tlMu merged-timeline section; foldMu is taken only by the round
+// that completes an epoch (the watermark gate), by joins/leaves, and by
+// staleness eviction.
 type Aggregator struct {
 	cfg       Config
 	resources []string
 	configs   map[string]detect.Config
 
-	mu    sync.Mutex
-	nodes map[string]*nodeState
-	order []string
+	lanes    []ingestLane
+	laneSeed maphash.Seed
 
+	// regMu guards the read-side membership registry (sorted order and
+	// name lookup). Written only at node creation (under foldMu).
+	regMu  sync.RWMutex
+	byName map[string]*nodeState
+	order  []string
+
+	// foldMu serialises epoch-watermark advancement: completing epochs,
+	// folding them into cluster reports, and every membership
+	// transition (join, rejoin, leave, eviction). all is the fold's
+	// sorted mirror of the registry — foldMu-owned, so the fold loop
+	// iterates it without touching regMu.
+	foldMu      sync.Mutex
+	all         []*nodeState
+	epochFolded int64
+	guard       *detect.ShiftGuard
+	churnLeft   int
+	shiftEp     int64
+	foldNodes   []foldNode     // per-epoch scratch: active nodes' snapshots
+	foldDeltas  map[string]float64
+	foldScratch []resourceFold // per-resource reusable verdict-assembly state
+
+	// Lock-free counters for the read paths and the watermark gate.
+	epoch atomic.Int64 // latest folded epoch (mirrors epochFolded)
+	total atomic.Int64 // rounds ingested
+
+	// Verdict-publication latency: wall nanoseconds from an epoch's
+	// completion to its reports being published (one foldEpoch call).
+	// Written only under foldMu; read lock-free by FoldLatency.
+	foldLastNanos atomic.Int64
+	foldMaxNanos  atomic.Int64
+
+	// tlMu guards the merged timeline: the normalisation base, the
+	// high-water merged instant, and the bounded merged-round log with
+	// its recycled sample buffers.
+	tlMu       sync.Mutex
 	base       time.Time // merged-timeline origin (first round's instant)
 	haveBase   bool
 	lastMerged time.Time
 	mergedLog  []Round
-	total      int64
+	samplePool [][]core.ComponentSample
 
-	epoch     int64
-	guard     *detect.ShiftGuard
-	churnLeft int
-	shiftEp   int64
-
+	// repMu guards the published per-resource report map. The rings the
+	// reports recycle through are foldMu-owned.
+	repMu   sync.RWMutex
 	reports map[string]*ClusterReport
 
 	// reportRing recycles the published per-resource ClusterReports the
 	// way detect.Monitor recycles its Reports: foldEpoch rotates each
 	// resource's reports through a fixed ring instead of allocating one
-	// per epoch, which keeps the fold allocation-free no matter how many
-	// detector streams the bank carries. A *ClusterReport from Report
-	// stays valid for retention-1 further epochs; a consumer keeping one
-	// longer must copy it. Owned by a.mu.
-	reportRing map[string][]*ClusterReport
-	ringIdx    map[string]int
+	// per epoch. A *ClusterReport from Report stays valid for
+	// retention-1 further epochs; a consumer keeping one longer must
+	// copy it. Indexed by resource index so parallel fold workers touch
+	// disjoint slots. Owned by foldMu.
+	reportRing [][]*ClusterReport
+	ringIdx    []int
 	retention  int
-
-	// samplePool recycles the owned per-round sample copies that cycle
-	// through the merged log: Ingest borrows a buffer for the round's
-	// copy, the log eviction reclaims it. Owned by a.mu.
-	samplePool [][]core.ComponentSample
 
 	// alarm bookkeeping for notification transitions: resource ->
 	// component -> latched scope. Latched by component, not by the
 	// alarming node set — the set of flagged nodes may churn while the
 	// component keeps aging, and that must not read as clear/raise.
+	// Owned by foldMu (the outer map is pre-populated per resource so
+	// parallel fold workers touch disjoint inner maps); the pending
+	// queue has its own mutex so DrainNotifications never blocks on a
+	// fold in progress.
 	alarmed map[string]map[string]*latchedAlarm
+
+	notifMu sync.Mutex
 	pending []jmx.Notification
 }
 
+// foldNode is one active node's snapshot for the epoch being folded.
+type foldNode struct {
+	st   *nodeState
+	seq  int64
+	reps []*detect.Report
+}
+
+// verdictAgg accumulates one component's per-node alarms during verdict
+// assembly. Recycled per resource via resourceFold.
+type verdictAgg struct {
+	nodes       []string
+	score       float64
+	firstEpoch  int64
+	changePoint bool
+}
+
+// resourceFold is one resource's reusable verdict-assembly scratch, so
+// the steady-state fold allocates nothing beyond the verdicts it
+// publishes.
+type resourceFold struct {
+	byComponent map[string]*verdictAgg
+	aggFree     []*verdictAgg
+	compOrder   []string
+	seen        map[string]bool
+	cleared     []string
+	notifs      []jmx.Notification
+	rep         *ClusterReport // the report this epoch's fold assembled
+}
+
 // borrowSamples takes a pooled sample buffer of length n (caller holds
-// a.mu).
+// a.tlMu).
 func (a *Aggregator) borrowSamples(n int) []core.ComponentSample {
 	if k := len(a.samplePool); k > 0 {
 		buf := a.samplePool[k-1]
@@ -267,7 +393,8 @@ func (a *Aggregator) borrowSamples(n int) []core.ComponentSample {
 	return make([]core.ComponentSample, n)
 }
 
-// reclaimSamples returns a sample buffer to the pool (caller holds a.mu).
+// reclaimSamples returns a sample buffer to the pool (caller holds
+// a.tlMu).
 func (a *Aggregator) reclaimSamples(buf []core.ComponentSample) {
 	if cap(buf) > 0 {
 		a.samplePool = append(a.samplePool, buf[:0])
@@ -292,49 +419,71 @@ func New(cfg Config) *Aggregator {
 	if min := cfg.StaleEpochs + 3; retention < min {
 		retention = min
 	}
-	return &Aggregator{
-		cfg:        cfg,
-		resources:  append([]string(nil), core.DetectorResources...),
-		configs:    core.ResourceDetectorConfigs(d),
-		nodes:      make(map[string]*nodeState),
-		guard:      detect.NewShiftGuardMargin(d.ShiftThreshold, d.ShiftHold, d.ShiftEWMA, d.ShiftNoiseMargin),
-		reports:    make(map[string]*ClusterReport),
-		reportRing: make(map[string][]*ClusterReport),
-		ringIdx:    make(map[string]int),
-		retention:  retention,
-		alarmed:    make(map[string]map[string]*latchedAlarm),
+	a := &Aggregator{
+		cfg:       cfg,
+		resources: append([]string(nil), core.DetectorResources...),
+		configs:   core.ResourceDetectorConfigs(d),
+		lanes:     make([]ingestLane, cfg.IngestLanes),
+		laneSeed:  maphash.MakeSeed(),
+		byName:    make(map[string]*nodeState),
+		guard:     detect.NewShiftGuardMargin(d.ShiftThreshold, d.ShiftHold, d.ShiftEWMA, d.ShiftNoiseMargin),
+		reports:   make(map[string]*ClusterReport),
+		retention: retention,
+		alarmed:   make(map[string]map[string]*latchedAlarm),
 	}
+	for i := range a.lanes {
+		a.lanes[i].nodes = make(map[string]*nodeState)
+	}
+	a.foldDeltas = make(map[string]float64)
+	a.reportRing = make([][]*ClusterReport, len(a.resources))
+	a.ringIdx = make([]int, len(a.resources))
+	a.foldScratch = make([]resourceFold, len(a.resources))
+	for ri, res := range a.resources {
+		ring := make([]*ClusterReport, retention)
+		for i := range ring {
+			ring[i] = &ClusterReport{}
+		}
+		a.reportRing[ri] = ring
+		a.alarmed[res] = make(map[string]*latchedAlarm)
+		a.foldScratch[ri] = resourceFold{
+			byComponent: make(map[string]*verdictAgg),
+			seen:        make(map[string]bool),
+		}
+	}
+	return a
+}
+
+// laneFor maps a node name onto its ingest lane.
+func (a *Aggregator) laneFor(node string) *ingestLane {
+	h := maphash.String(a.laneSeed, node)
+	return &a.lanes[h%uint64(len(a.lanes))]
 }
 
 // nextReport rotates a resource's report ring and returns the next slot
 // reset for the coming epoch (the Verdicts buffer is kept). Caller holds
-// a.mu.
-func (a *Aggregator) nextReport(res string) *ClusterReport {
-	ring := a.reportRing[res]
-	if ring == nil {
-		ring = make([]*ClusterReport, a.retention)
-		for i := range ring {
-			ring[i] = &ClusterReport{}
-		}
-		a.reportRing[res] = ring
-	}
-	i := a.ringIdx[res]
-	a.ringIdx[res] = (i + 1) % len(ring)
+// a.foldMu; parallel fold workers call it for disjoint resource indices.
+func (a *Aggregator) nextReport(ri int) *ClusterReport {
+	ring := a.reportRing[ri]
+	i := a.ringIdx[ri]
+	a.ringIdx[ri] = (i + 1) % len(ring)
 	rep := ring[i]
-	*rep = ClusterReport{Resource: res, Verdicts: rep.Verdicts[:0]}
+	*rep = ClusterReport{Resource: a.resources[ri], Verdicts: rep.Verdicts[:0]}
 	return rep
 }
 
-// newNodeState creates the aggregator's state for one node. Caller holds
-// a.mu.
+// newNodeState creates and registers the aggregator's state for one
+// node. Caller holds a.foldMu (and not the node's lane lock — the
+// registry and lane insertions take their own locks here).
 func (a *Aggregator) newNodeState(name string) *nodeState {
+	lane := a.laneFor(name)
 	st := &nodeState{
-		name:            name,
-		monitors:        make(map[string]*detect.Monitor, len(a.resources)),
-		reportsAtSeq:    make(map[int64][]*detect.Report),
-		usageAtSeq:      make(map[int64]float64),
-		firstSize:       make(map[string]int64),
-		firstAlarmEpoch: make(map[string]map[string]int64),
+		name:         name,
+		lane:         lane,
+		monitors:     make(map[string]*detect.Monitor, len(a.resources)),
+		reportsAtSeq: make(map[int64][]*detect.Report),
+		usageAtSeq:   make(map[int64]float64),
+		firstSize:    make(map[string]int64),
+		firstAlarm:   make([]map[string]int64, len(a.resources)),
 	}
 	for _, res := range a.resources {
 		cfg := a.configs[res]
@@ -349,9 +498,21 @@ func (a *Aggregator) newNodeState(name string) *nodeState {
 		}
 		st.monitors[res] = detect.NewMonitor(res, cfg)
 	}
-	a.nodes[name] = st
-	a.order = append(a.order, name)
-	sort.Strings(a.order)
+	i := sort.SearchStrings(a.order, name)
+	a.all = append(a.all, nil)
+	copy(a.all[i+1:], a.all[i:])
+	a.all[i] = st
+
+	a.regMu.Lock()
+	a.byName[name] = st
+	a.order = append(a.order, "")
+	copy(a.order[i+1:], a.order[i:])
+	a.order[i] = name
+	a.regMu.Unlock()
+
+	lane.mu.Lock()
+	lane.nodes[name] = st
+	lane.mu.Unlock()
 	return st
 }
 
@@ -364,45 +525,91 @@ func (a *Aggregator) newNodeState(name string) *nodeState {
 // function of the rounds, not of transport timing. Call it before the
 // first round arrives; expecting an already-known node is a no-op.
 func (a *Aggregator) Expect(nodes ...string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
 	for _, name := range nodes {
-		if name == "" || a.nodes[name] != nil {
+		if name == "" {
+			continue
+		}
+		a.regMu.RLock()
+		known := a.byName[name] != nil
+		a.regMu.RUnlock()
+		if known {
 			continue
 		}
 		st := a.newNodeState(name)
-		st.active = true
+		st.active.Store(true)
 	}
 }
 
 // Ingest absorbs one node round: it normalises the node's clock onto the
 // merged timeline, feeds the node's detector bank, and completes any
-// cluster epochs the round finishes. Safe for concurrent use; per-node
-// rounds must arrive in order (stale sequence numbers are dropped).
+// cluster epochs the round finishes. Safe for concurrent use across
+// nodes; per-node rounds must arrive in order (stale sequence numbers
+// are dropped). The steady-state path runs entirely on the node's
+// ingest lane; only the round that completes an epoch takes the fold
+// lock.
 func (a *Aggregator) Ingest(r Round) {
 	if r.Node == "" || r.Seq <= 0 {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-
-	st := a.nodes[r.Node]
-	if st == nil {
-		st = a.newNodeState(r.Node)
-	}
-	if r.Seq <= st.seq {
+	lane := a.laneFor(r.Node)
+	lane.mu.Lock()
+	st := lane.nodes[r.Node]
+	if st != nil && r.Seq <= st.seq {
 		// Duplicate or reordered round; per-node order is the contract.
 		// Checked before the rejoin branch so a stale frame can never
 		// undo a Leave.
+		lane.mu.Unlock()
 		return
 	}
-	if !st.active {
+	if st == nil || !st.active.Load() {
+		lane.mu.Unlock()
+		a.ingestSlow(lane, r)
+		return
+	}
+	epoch := a.ingestLocked(st, r)
+	lane.mu.Unlock()
+	a.maybeFold(epoch)
+}
+
+// ingestSlow handles the rare ingest cases that change membership — a
+// node's first-ever round, or a round that rejoins a left/evicted node —
+// under the fold lock, since epoch alignment and the churn hold are fold
+// state.
+func (a *Aggregator) ingestSlow(lane *ingestLane, r Round) {
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+
+	lane.mu.Lock()
+	st := lane.nodes[r.Node]
+	lane.mu.Unlock()
+	if st == nil {
+		st = a.newNodeState(r.Node)
+	}
+
+	lane.mu.Lock()
+	if r.Seq <= st.seq {
+		lane.mu.Unlock()
+		return
+	}
+	if !st.active.Load() {
 		// Join (or rejoin): align the node's sequence with the current
 		// epoch and hold cluster promotion down while traffic resettles.
-		st.active = true
-		st.epochBase = a.epoch - st.seq
+		st.active.Store(true)
+		st.epochBase = a.epochFolded - st.seq
 		a.churnLeft = a.cfg.ChurnHold
 	}
+	a.ingestLocked(st, r)
+	lane.mu.Unlock()
+	a.completeEpochs()
+}
+
+// ingestLocked folds one in-order round into the node's lane state and
+// returns the cluster epoch the round carries. Caller holds the node's
+// lane lock; the foldMu-owned epochBase is stable here because
+// join/rejoin (its only writers) hold this lane lock too.
+func (a *Aggregator) ingestLocked(st *nodeState, r Round) int64 {
 	st.seq = r.Seq
 
 	// Clock normalisation: the node's first round pins its offset to the
@@ -410,31 +617,28 @@ func (a *Aggregator) Ingest(r Round) {
 	// which its own monotone clock carries it. A defensive clamp keeps
 	// both the per-node and the merged sequences ordered even if a node
 	// clock misbehaves.
-	if !a.haveBase {
-		a.base = r.Time
-		a.lastMerged = r.Time
-		a.haveBase = true
-	}
 	if !st.haveOffset {
+		a.tlMu.Lock()
+		if !a.haveBase {
+			a.base = r.Time
+			a.lastMerged = r.Time
+			a.haveBase = true
+		}
 		st.offset = r.Time.Sub(a.lastMerged)
 		st.haveOffset = true
 		st.lastNorm = a.lastMerged
+		a.tlMu.Unlock()
 	}
 	norm := r.Time.Add(-st.offset)
 	if !norm.After(st.lastNorm) {
 		norm = st.lastNorm.Add(time.Millisecond)
 	}
 	st.lastNorm = norm
-	merged := norm
-	if merged.Before(a.lastMerged) {
-		merged = a.lastMerged
-	}
-	a.lastMerged = merged
 
 	// Feed the node's detectors and snapshot the reports for the epoch
 	// that will consume this round. The report-slice snapshots and the
-	// observation projection recycle through node/aggregator-owned
-	// buffers; the monitors themselves are allocation-free per round.
+	// observation projection recycle through node-owned buffers; the
+	// monitors themselves are allocation-free per round.
 	var reps []*detect.Report
 	if k := len(st.repsFree); k > 0 {
 		reps = st.repsFree[k-1][:0]
@@ -464,6 +668,13 @@ func (a *Aggregator) Ingest(r Round) {
 	// the merged log, and once into the node's reusable last-round
 	// snapshot. The pooled copy is reclaimed when the log evicts it.
 	st.lastSamples = append(st.lastSamples[:0], r.Samples...)
+
+	a.tlMu.Lock()
+	merged := norm
+	if merged.Before(a.lastMerged) {
+		merged = a.lastMerged
+	}
+	a.lastMerged = merged
 	logged := r
 	logged.Time = merged
 	logged.Samples = a.borrowSamples(len(r.Samples))
@@ -475,37 +686,68 @@ func (a *Aggregator) Ingest(r Round) {
 		}
 		a.mergedLog = a.mergedLog[n:]
 	}
-	a.total++
+	a.tlMu.Unlock()
 
-	a.completeEpochs()
+	a.total.Add(1)
+
+	// Publish the node's epoch watermark last, after the round's
+	// snapshots are recorded: a fold that sees the new epoch will also
+	// find the snapshots it implies (it re-synchronises on this lane's
+	// lock before reading them).
+	epoch := st.epochBase + r.Seq
+	st.seqA.Store(r.Seq)
+	st.epochA.Store(epoch)
+	return epoch
 }
 
-// completeEpochs folds finished epochs, under a.mu. Epoch k is complete
-// when every active node has delivered its round for k; nodes lagging
-// more than StaleEpochs behind the most advanced node are marked inactive
-// so a dead node never stalls the cluster.
+// maybeFold takes the fold lock and completes epochs only when the round
+// that just ingested can have made an epoch completable: it carries the
+// epoch right after the watermark, or it has run far enough ahead to
+// trigger staleness eviction. Everything else returns without touching
+// shared fold state — the gate is what shrinks the old global mutex to
+// epoch-watermark advancement.
+//
+// The gate is race-free without the lock: the publisher stores its
+// node's epochA before loading the watermark, and the folder stores the
+// watermark before re-scanning the nodes' epochA values, so for any
+// interleaving at least one side observes the other (both are
+// sequentially consistent atomics) and no completable epoch is ever
+// left unfolded.
+func (a *Aggregator) maybeFold(epoch int64) {
+	next := a.epoch.Load() + 1
+	if epoch != next && epoch-next < int64(a.cfg.StaleEpochs) {
+		return
+	}
+	a.foldMu.Lock()
+	a.completeEpochs()
+	a.foldMu.Unlock()
+}
+
+// completeEpochs folds finished epochs, under a.foldMu. Epoch k is
+// complete when every active node has delivered its round for k; nodes
+// lagging more than StaleEpochs behind the most advanced node are marked
+// inactive so a dead node never stalls the cluster.
 func (a *Aggregator) completeEpochs() {
 	for {
-		next := a.epoch + 1
+		next := a.epochFolded + 1
 		var maxEpoch int64
 		ready := true
-		for _, name := range a.order {
-			st := a.nodes[name]
-			if !st.active {
+		for _, st := range a.all {
+			if !st.active.Load() {
 				continue
 			}
-			if e := st.epoch(); e > maxEpoch {
+			e := st.epochA.Load()
+			if e > maxEpoch {
 				maxEpoch = e
 			}
-			if st.epoch() < next {
+			if e < next {
 				ready = false
 			}
 		}
 		if !ready && maxEpoch-next >= int64(a.cfg.StaleEpochs) {
 			// Evict laggards and re-check: the cluster has moved on.
-			for _, name := range a.order {
-				st := a.nodes[name]
-				if st.active && st.epoch() < next {
+			for _, st := range a.all {
+				if st.active.Load() && st.epochA.Load() < next {
 					a.deactivate(st)
 				}
 			}
@@ -519,36 +761,60 @@ func (a *Aggregator) completeEpochs() {
 }
 
 // deactivate marks a node inactive (leave or staleness eviction) and
-// starts the churn hold-down. Caller holds a.mu.
+// starts the churn hold-down. Caller holds a.foldMu.
 func (a *Aggregator) deactivate(st *nodeState) {
-	if !st.active {
+	if !st.active.Load() {
 		return
 	}
-	st.active = false
+	st.active.Store(false)
 	a.churnLeft = a.cfg.ChurnHold
 }
 
 // foldEpoch completes cluster epoch k: feeds the node-mix guard with the
 // per-node usage deltas, advances the churn hold, and publishes fresh
-// cluster reports. Caller holds a.mu.
+// cluster reports, assembling the per-resource verdicts on the bounded
+// worker pool. Caller holds a.foldMu. The fold reads each node's per-seq
+// snapshots under that node's lane lock, so it never races the node's
+// next ingest; everything else it touches is fold-owned.
 func (a *Aggregator) foldEpoch(k int64) {
-	a.epoch = k
+	foldStart := time.Now()
+	defer func() {
+		d := time.Since(foldStart).Nanoseconds()
+		a.foldLastNanos.Store(d)
+		if d > a.foldMaxNanos.Load() { // single writer under foldMu
+			a.foldMaxNanos.Store(d)
+		}
+	}()
+	a.epochFolded = k
+	a.epoch.Store(k)
 
-	deltas := make(map[string]float64)
-	for _, name := range a.order {
-		st := a.nodes[name]
-		if !st.active {
+	// Snapshot the epoch's inputs from the lanes: each active node's
+	// report bank for k and its usage total (consumed here, so the
+	// guard's delta baseline advances exactly once per epoch).
+	nodes := a.foldNodes[:0]
+	deltas := a.foldDeltas
+	clear(deltas)
+	for _, st := range a.all {
+		if !st.active.Load() {
 			continue
 		}
 		seq := k - st.epochBase
-		usage, ok := st.usageAtSeq[seq]
-		if !ok {
-			continue
+		st.lane.mu.Lock()
+		if usage, ok := st.usageAtSeq[seq]; ok {
+			deltas[st.name] = usage - st.prevUsage
+			st.prevUsage = usage
+			delete(st.usageAtSeq, seq)
 		}
-		deltas[name] = usage - st.prevUsage
-		st.prevUsage = usage
-		delete(st.usageAtSeq, seq)
+		reps := st.reportsAtSeq[seq]
+		st.lane.mu.Unlock()
+		// The report snapshots stay readable without the lane lock: their
+		// ring slots cannot recycle until the node runs retention rounds
+		// ahead, and the watermark gate blocks any node from outrunning
+		// the fold by more than StaleEpochs (< retention) epochs.
+		nodes = append(nodes, foldNode{st: st, seq: seq, reps: reps})
 	}
+	a.foldNodes = nodes
+
 	guardSuppressed := a.guard.Observe(deltas)
 	churning := a.churnLeft > 0
 	if churning {
@@ -559,108 +825,62 @@ func (a *Aggregator) foldEpoch(k int64) {
 		a.shiftEp++
 	}
 
-	active, total := 0, len(a.order)
-	for _, name := range a.order {
-		if a.nodes[name].active {
-			active++
+	active := len(nodes)
+	total := len(a.all)
+
+	a.tlMu.Lock()
+	at := a.lastMerged
+	a.tlMu.Unlock()
+
+	shared := foldEpochState{
+		k: k, at: at, active: active, total: total,
+		suppressed: suppressed, churning: churning,
+		shiftDistance: a.guard.Distance(), shiftEpochs: a.shiftEp,
+	}
+	if w := a.cfg.FoldWorkers; w > 1 {
+		var wg sync.WaitGroup
+		var cursor atomic.Int64
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					ri := int(cursor.Add(1)) - 1
+					if ri >= len(a.resources) {
+						return
+					}
+					a.foldResource(ri, shared)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for ri := range a.resources {
+			a.foldResource(ri, shared)
 		}
 	}
 
+	// Publish the fresh reports and queued notification transitions in
+	// resource order — identical to the serial fold's output order.
+	a.repMu.Lock()
 	for ri, res := range a.resources {
-		rep := a.nextReport(res)
-		rep.Epoch = k
-		rep.Time = a.lastMerged
-		rep.Active = active
-		rep.Total = total
-		rep.Suppressed = suppressed
-		rep.ShiftDistance = a.guard.Distance()
-		rep.ShiftEpochs = a.shiftEp
-		rep.Churning = churning
-		type agg struct {
-			nodes       []string
-			score       float64
-			firstEpoch  int64
-			changePoint bool
-		}
-		byComponent := make(map[string]*agg)
-		var compOrder []string
-		for _, name := range a.order {
-			st := a.nodes[name]
-			if !st.active {
-				continue
-			}
-			seq := k - st.epochBase
-			reps := st.reportsAtSeq[seq]
-			if ri >= len(reps) {
-				continue
-			}
-			nodeRep := reps[ri]
-			if nodeRep == nil {
-				continue
-			}
-			for _, v := range nodeRep.Components {
-				if !v.Alarm {
-					continue
-				}
-				c := byComponent[v.Component]
-				if c == nil {
-					c = &agg{}
-					byComponent[v.Component] = c
-					compOrder = append(compOrder, v.Component)
-				}
-				c.nodes = append(c.nodes, name)
-				if v.Score > c.score {
-					c.score = v.Score
-				}
-				firstByComp := st.firstAlarmEpoch[res]
-				if firstByComp == nil {
-					firstByComp = make(map[string]int64)
-					st.firstAlarmEpoch[res] = firstByComp
-				}
-				first, seen := firstByComp[v.Component]
-				if !seen {
-					first = k
-					firstByComp[v.Component] = k
-				}
-				if c.firstEpoch == 0 || first < c.firstEpoch {
-					c.firstEpoch = first
-				}
-				c.changePoint = c.changePoint || v.ChangePoint
-			}
-		}
-		for _, comp := range compOrder {
-			c := byComponent[comp]
-			v := ClusterVerdict{
-				Resource:    res,
-				Component:   comp,
-				Nodes:       c.nodes,
-				ActiveNodes: active,
-				Score:       c.score,
-				FirstEpoch:  c.firstEpoch,
-				ChangePoint: c.changePoint,
-			}
-			if !suppressed && active >= 2 &&
-				float64(len(c.nodes)) > a.cfg.Quorum*float64(active) {
-				v.ClusterWide = true
-			}
-			rep.Verdicts = append(rep.Verdicts, v)
-		}
-		sort.SliceStable(rep.Verdicts, func(i, j int) bool {
-			if rep.Verdicts[i].Score != rep.Verdicts[j].Score {
-				return rep.Verdicts[i].Score > rep.Verdicts[j].Score
-			}
-			return rep.Verdicts[i].Component < rep.Verdicts[j].Component
-		})
-		a.reports[res] = rep
-		a.queueTransitions(rep, suppressed)
+		a.reports[res] = a.foldScratch[ri].rep
 	}
+	a.repMu.Unlock()
+	a.notifMu.Lock()
+	for ri := range a.resources {
+		sc := &a.foldScratch[ri]
+		a.pending = append(a.pending, sc.notifs...)
+		sc.notifs = sc.notifs[:0]
+	}
+	a.notifMu.Unlock()
 
-	// Release the per-seq snapshots this epoch consumed (≤ guards against
-	// stale keys surviving an epoch-base change across a rejoin). The
-	// report slices go back on the node's freelist.
-	for _, name := range a.order {
-		st := a.nodes[name]
+	// Release the per-seq snapshots this epoch consumed (≤ guards
+	// against stale keys surviving an epoch-base change across a
+	// rejoin). The report slices go back on the node's freelist.
+	for _, st := range a.all {
 		seq := k - st.epochBase
+		st.lane.mu.Lock()
 		for s, reps := range st.reportsAtSeq {
 			if s <= seq {
 				st.repsFree = append(st.repsFree, reps[:0])
@@ -672,7 +892,116 @@ func (a *Aggregator) foldEpoch(k int64) {
 				delete(st.usageAtSeq, s)
 			}
 		}
+		st.lane.mu.Unlock()
 	}
+}
+
+// foldEpochState is the epoch-constant context shared by the
+// per-resource fold workers.
+type foldEpochState struct {
+	k             int64
+	at            time.Time
+	active, total int
+	suppressed    bool
+	churning      bool
+	shiftDistance float64
+	shiftEpochs   int64
+}
+
+// foldResource assembles one resource's cluster report and verdicts for
+// the epoch. Callers (the fold's worker pool) pass disjoint resource
+// indices, and everything touched is either indexed by ri or owned by
+// this node+resource pair, so workers never share mutable state.
+func (a *Aggregator) foldResource(ri int, ep foldEpochState) {
+	res := a.resources[ri]
+	rep := a.nextReport(ri)
+	rep.Epoch = ep.k
+	rep.Time = ep.at
+	rep.Active = ep.active
+	rep.Total = ep.total
+	rep.Suppressed = ep.suppressed
+	rep.ShiftDistance = ep.shiftDistance
+	rep.ShiftEpochs = ep.shiftEpochs
+	rep.Churning = ep.churning
+
+	sc := &a.foldScratch[ri]
+	for comp, agg := range sc.byComponent {
+		agg.nodes = agg.nodes[:0]
+		*agg = verdictAgg{nodes: agg.nodes}
+		sc.aggFree = append(sc.aggFree, agg)
+		delete(sc.byComponent, comp)
+	}
+	sc.compOrder = sc.compOrder[:0]
+
+	for _, fn := range a.foldNodes {
+		if ri >= len(fn.reps) {
+			continue
+		}
+		nodeRep := fn.reps[ri]
+		if nodeRep == nil {
+			continue
+		}
+		st := fn.st
+		for _, v := range nodeRep.Components {
+			if !v.Alarm {
+				continue
+			}
+			c := sc.byComponent[v.Component]
+			if c == nil {
+				if k := len(sc.aggFree); k > 0 {
+					c = sc.aggFree[k-1]
+					sc.aggFree = sc.aggFree[:k-1]
+				} else {
+					c = &verdictAgg{}
+				}
+				sc.byComponent[v.Component] = c
+				sc.compOrder = append(sc.compOrder, v.Component)
+			}
+			c.nodes = append(c.nodes, st.name)
+			if v.Score > c.score {
+				c.score = v.Score
+			}
+			firstByComp := st.firstAlarm[ri]
+			if firstByComp == nil {
+				firstByComp = make(map[string]int64)
+				st.firstAlarm[ri] = firstByComp
+			}
+			first, seen := firstByComp[v.Component]
+			if !seen {
+				first = ep.k
+				firstByComp[v.Component] = ep.k
+			}
+			if c.firstEpoch == 0 || first < c.firstEpoch {
+				c.firstEpoch = first
+			}
+			c.changePoint = c.changePoint || v.ChangePoint
+		}
+	}
+	for _, comp := range sc.compOrder {
+		c := sc.byComponent[comp]
+		v := ClusterVerdict{
+			Resource:    res,
+			Component:   comp,
+			Nodes:       append([]string(nil), c.nodes...),
+			ActiveNodes: ep.active,
+			Score:       c.score,
+			FirstEpoch:  c.firstEpoch,
+			ChangePoint: c.changePoint,
+		}
+		if !ep.suppressed && ep.active >= 2 &&
+			float64(len(c.nodes)) > a.cfg.Quorum*float64(ep.active) {
+			v.ClusterWide = true
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	sort.SliceStable(rep.Verdicts, func(i, j int) bool {
+		if rep.Verdicts[i].Score != rep.Verdicts[j].Score {
+			return rep.Verdicts[i].Score > rep.Verdicts[j].Score
+		}
+		return rep.Verdicts[i].Component < rep.Verdicts[j].Component
+	})
+	sc.rep = rep
+	a.queueTransitions(sc, rep, ep.suppressed)
 }
 
 // queueTransitions diffs a fresh report against the latched alarm set and
@@ -681,16 +1010,14 @@ func (a *Aggregator) foldEpoch(k int64) {
 // no node flags it any more. The alarming-node set may otherwise churn
 // without spamming the stream. New alarms and promotions are not
 // announced while suppressed (churn or node-mix shift); clears always
-// are. Caller holds a.mu.
-func (a *Aggregator) queueTransitions(rep *ClusterReport, suppressed bool) {
+// are. Caller is a fold worker: the latch map and scratch are owned by
+// this resource, and the notifications queue into the resource's scratch
+// so the fold can publish them in deterministic resource order.
+func (a *Aggregator) queueTransitions(sc *resourceFold, rep *ClusterReport, suppressed bool) {
 	was := a.alarmed[rep.Resource]
-	if was == nil {
-		was = make(map[string]*latchedAlarm)
-		a.alarmed[rep.Resource] = was
-	}
-	seen := make(map[string]bool)
+	clear(sc.seen)
 	for _, v := range rep.Verdicts {
-		seen[v.Component] = true
+		sc.seen[v.Component] = true
 		latch := was[v.Component]
 		if latch == nil {
 			if suppressed {
@@ -701,7 +1028,7 @@ func (a *Aggregator) queueTransitions(rep *ClusterReport, suppressed bool) {
 			if v.ClusterWide {
 				scope = "cluster-wide"
 			}
-			a.pending = append(a.pending, jmx.Notification{
+			sc.notifs = append(sc.notifs, jmx.Notification{
 				Type:   NotifClusterAlarm,
 				Source: AggregatorName(),
 				Message: fmt.Sprintf("%s aging: %s on %s (%d/%d nodes, score %.4g, epoch %d)",
@@ -712,7 +1039,7 @@ func (a *Aggregator) queueTransitions(rep *ClusterReport, suppressed bool) {
 		}
 		if v.ClusterWide && !latch.clusterWide && !suppressed {
 			latch.clusterWide = true
-			a.pending = append(a.pending, jmx.Notification{
+			sc.notifs = append(sc.notifs, jmx.Notification{
 				Type:   NotifClusterAlarm,
 				Source: AggregatorName(),
 				Message: fmt.Sprintf("aging on %s promoted to cluster-wide (%s on %d/%d nodes, epoch %d)",
@@ -721,16 +1048,16 @@ func (a *Aggregator) queueTransitions(rep *ClusterReport, suppressed bool) {
 			})
 		}
 	}
-	cleared := make([]string, 0)
+	sc.cleared = sc.cleared[:0]
 	for comp := range was {
-		if !seen[comp] {
-			cleared = append(cleared, comp)
+		if !sc.seen[comp] {
+			sc.cleared = append(sc.cleared, comp)
 		}
 	}
-	sort.Strings(cleared)
-	for _, comp := range cleared {
+	sort.Strings(sc.cleared)
+	for _, comp := range sc.cleared {
 		delete(was, comp)
-		a.pending = append(a.pending, jmx.Notification{
+		sc.notifs = append(sc.notifs, jmx.Notification{
 			Type:    NotifClusterAlarm,
 			Source:  AggregatorName(),
 			Message: fmt.Sprintf("cluster alarm cleared: %s (%s, epoch %d)", comp, rep.Resource, rep.Epoch),
@@ -740,10 +1067,11 @@ func (a *Aggregator) queueTransitions(rep *ClusterReport, suppressed bool) {
 
 // DrainNotifications returns and clears the queued cluster alarm
 // transitions; the owner (a cluster stack's notification pump, a serving
-// binary) emits them on its MBeanServer.
+// binary) emits them on its MBeanServer. It takes only the queue's own
+// mutex, so polling never contends with ingest or a fold in progress.
 func (a *Aggregator) DrainNotifications() []jmx.Notification {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.notifMu.Lock()
+	defer a.notifMu.Unlock()
 	out := a.pending
 	a.pending = nil
 	return out
@@ -754,40 +1082,46 @@ func (a *Aggregator) DrainNotifications() []jmx.Notification {
 // promotion quiet while the balancer redistributes its traffic. A node
 // that publishes again after Leave rejoins automatically.
 func (a *Aggregator) Leave(node string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if st := a.nodes[node]; st != nil {
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+	a.regMu.RLock()
+	st := a.byName[node]
+	a.regMu.RUnlock()
+	if st != nil {
 		a.deactivate(st)
 		a.completeEpochs()
 	}
 }
 
-// Epoch returns the latest completed cluster epoch.
-func (a *Aggregator) Epoch() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.epoch
+// Epoch returns the latest completed cluster epoch (lock-free).
+func (a *Aggregator) Epoch() int64 { return a.epoch.Load() }
+
+// TotalRounds returns how many rounds have been ingested (lock-free).
+func (a *Aggregator) TotalRounds() int64 { return a.total.Load() }
+
+// FoldLatency reports the verdict-publication latency — wall time from
+// an epoch's completion (its watermark-advancing round ingested) to its
+// reports and verdicts being published — for the most recent epoch and
+// the worst epoch so far. Zero until the first epoch folds. Lock-free.
+func (a *Aggregator) FoldLatency() (last, max time.Duration) {
+	return time.Duration(a.foldLastNanos.Load()), time.Duration(a.foldMaxNanos.Load())
 }
 
-// TotalRounds returns how many rounds have been ingested.
-func (a *Aggregator) TotalRounds() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.total
-}
-
-// Nodes returns the cluster membership, sorted by name.
+// Nodes returns the cluster membership, sorted by name. It reads the
+// registry and the nodes' published counters without touching any ingest
+// lane or the fold lock, so monitoring the membership never stalls
+// ingest.
 func (a *Aggregator) Nodes() []NodeStatus {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.regMu.RLock()
+	defer a.regMu.RUnlock()
 	out := make([]NodeStatus, 0, len(a.order))
 	for _, name := range a.order {
-		st := a.nodes[name]
+		st := a.byName[name]
 		out = append(out, NodeStatus{
 			Node:   name,
-			Active: st.active,
-			Rounds: st.seq,
-			Epoch:  st.epoch(),
+			Active: st.active.Load(),
+			Rounds: st.seqA.Load(),
+			Epoch:  st.epochA.Load(),
 		})
 	}
 	return out
@@ -799,36 +1133,48 @@ func (a *Aggregator) Nodes() []NodeStatus {
 // StaleEpochs+3): the returned pointer stays valid for retention-1
 // further epochs, and a consumer that keeps one longer must copy it.
 func (a *Aggregator) Report(resource string) *ClusterReport {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.repMu.RLock()
+	defer a.repMu.RUnlock()
 	return a.reports[resource]
 }
 
 // NodeReport returns a node's latest per-node detection report for a
 // resource (nil for unknown nodes or before the node's first round).
 // Unlike cluster verdicts it reflects every round ingested so far, not
-// just completed epochs.
+// just completed epochs. The returned report is a copy the caller owns:
+// the monitor's own reports recycle through a ring as rounds flow, and a
+// cluster's rounds keep flowing while monitoring reads — the copy is
+// taken under the node's lane lock, so it is a consistent snapshot.
 func (a *Aggregator) NodeReport(node, resource string) *detect.Report {
-	a.mu.Lock()
-	st := a.nodes[node]
-	a.mu.Unlock()
+	a.regMu.RLock()
+	st := a.byName[node]
+	a.regMu.RUnlock()
 	if st == nil {
 		return nil
 	}
-	if mon, ok := st.monitors[resource]; ok {
-		return mon.Latest()
+	mon, ok := st.monitors[resource]
+	if !ok {
+		return nil
 	}
-	return nil
+	st.lane.mu.Lock()
+	defer st.lane.mu.Unlock()
+	rep := mon.Latest()
+	if rep == nil {
+		return nil
+	}
+	return rep.Clone()
 }
 
 // MergedRounds returns a copy of the retained merged-round log, whose
 // times are normalised onto the aggregator's timeline and are guaranteed
 // non-decreasing regardless of node clock skew. The samples are deep
 // copies: the log's own buffers recycle as the log rolls, and a caller's
-// snapshot must not roll with them.
+// snapshot must not roll with them. It takes only the timeline mutex —
+// the short tail of the ingest path — never an ingest lane or the fold
+// lock.
 func (a *Aggregator) MergedRounds() []Round {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.tlMu.Lock()
+	defer a.tlMu.Unlock()
 	out := append([]Round(nil), a.mergedLog...)
 	for i := range out {
 		out[i].Samples = append([]core.ComponentSample(nil), out[i].Samples...)
@@ -837,32 +1183,34 @@ func (a *Aggregator) MergedRounds() []Round {
 }
 
 // Verdicts adapts the latest per-node reports to the live root-cause
-// strategy's verdict type: one entry per (node, component) pair.
+// strategy's verdict type: one entry per (node, component) pair. Each
+// node's report is read under its lane lock, so the projection never
+// races the node's next round.
 func (a *Aggregator) Verdicts(resource string) []rootcause.LiveVerdict {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.regMu.RLock()
+	defer a.regMu.RUnlock()
 	var out []rootcause.LiveVerdict
 	for _, name := range a.order {
-		st := a.nodes[name]
-		if !st.active {
+		st := a.byName[name]
+		if !st.active.Load() {
 			continue
 		}
 		mon, ok := st.monitors[resource]
 		if !ok {
 			continue
 		}
-		rep := mon.Latest()
-		if rep == nil {
-			continue
+		st.lane.mu.Lock()
+		if rep := mon.Latest(); rep != nil {
+			for _, v := range rep.Components {
+				out = append(out, rootcause.LiveVerdict{
+					Component: v.Component,
+					Node:      name,
+					Alarm:     v.Alarm,
+					Score:     v.Score,
+				})
+			}
 		}
-		for _, v := range rep.Components {
-			out = append(out, rootcause.LiveVerdict{
-				Component: v.Component,
-				Node:      name,
-				Alarm:     v.Alarm,
-				Score:     v.Score,
-			})
-		}
+		st.lane.mu.Unlock()
 	}
 	return out
 }
@@ -870,15 +1218,17 @@ func (a *Aggregator) Verdicts(resource string) []rootcause.LiveVerdict {
 // LiveRank ranks (node, component) pairs with the live strategy: detector
 // verdicts give scores and alarms, the latest round's measurements give
 // the map coordinates — so the Live strategy can say "component X on
-// node 2".
+// node 2". It briefly takes each node's lane lock to snapshot the
+// latest samples, never the fold lock.
 func (a *Aggregator) LiveRank(resource string) rootcause.Ranking {
-	a.mu.Lock()
+	a.regMu.RLock()
 	var data []rootcause.ComponentData
 	for _, name := range a.order {
-		st := a.nodes[name]
-		if !st.active {
+		st := a.byName[name]
+		if !st.active.Load() {
 			continue
 		}
+		st.lane.mu.Lock()
 		for _, s := range st.lastSamples {
 			d := rootcause.ComponentData{Name: s.Component, Node: name, Usage: s.Usage}
 			switch resource {
@@ -899,7 +1249,8 @@ func (a *Aggregator) LiveRank(resource string) rootcause.Ranking {
 			}
 			data = append(data, d)
 		}
+		st.lane.mu.Unlock()
 	}
-	a.mu.Unlock()
+	a.regMu.RUnlock()
 	return rootcause.Live{Source: a.Verdicts}.Rank(resource, data)
 }

@@ -20,6 +20,10 @@ func (a *Aggregator) Bean() *jmx.Bean {
 		Attr("Nodes", "cluster membership with per-node status", func() any { return a.Nodes() }).
 		Attr("Epoch", "latest completed cluster epoch", func() any { return a.Epoch() }).
 		Attr("TotalRounds", "rounds ingested across all nodes", func() any { return a.TotalRounds() }).
+		Attr("FoldLatency", "verdict latency: wall nanoseconds from epoch completion to published reports", func() any {
+			last, max := a.FoldLatency()
+			return map[string]int64{"LastNanos": last.Nanoseconds(), "MaxNanos": max.Nanoseconds()}
+		}).
 		Op("ClusterReport", "latest cluster verdict report for a resource", func(args ...any) (any, error) {
 			resource, err := oneString(args)
 			if err != nil {

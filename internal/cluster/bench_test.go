@@ -6,6 +6,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -57,21 +59,26 @@ func (g *roundGen) next() Round { return g.at(g.r.Seq + 1) }
 
 // BenchmarkWirePublish measures shipping one steady-state round through
 // each wire transport (encode + write to a discarded connection), and
-// reports the steady-state frame size as bytes/round.
+// reports the steady-state cost on the wire as bytes/round and
+// frames/round. The binary-batch8 case is the fleet fan-in flush policy
+// (8 rounds per BATCH frame), amortising the frame prefix and write
+// call across the batch.
 func BenchmarkWirePublish(b *testing.B) {
-	for _, codec := range []string{"gob", "binary"} {
+	for _, codec := range []string{"gob", "binary", "binary-batch8"} {
 		b.Run(codec, func(b *testing.B) {
+			var counter countingConn
 			var tr Transport
-			var measure func() int64
 			switch codec {
 			case "gob":
-				var counter countingConn
 				tr = NewWire(&counter)
-				measure = func() int64 { return counter.n }
 			case "binary":
-				var counter countingConn
 				tr = NewBinaryWire(&counter)
-				measure = func() int64 { return counter.n }
+			case "binary-batch8":
+				bw := NewBinaryWire(&counter)
+				if err := bw.SetBatch(8, 0); err != nil {
+					b.Fatal(err)
+				}
+				tr = bw
 			}
 			gen := newRoundGen("node1")
 			publish := func() {
@@ -82,26 +89,42 @@ func BenchmarkWirePublish(b *testing.B) {
 			for gen.r.Seq < 32 { // warm: names interned, gob types sent
 				publish()
 			}
-			start := measure()
+			if bw, ok := tr.(*BinaryWire); ok {
+				if err := bw.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			startBytes, startWrites := counter.n.Load(), counter.writes.Load()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				publish()
 			}
 			b.StopTimer()
-			b.ReportMetric(float64(measure()-start)/float64(b.N), "wire-bytes/round")
+			// Flush the tail so a partial batch's bytes are accounted.
+			if bw, ok := tr.(*BinaryWire); ok {
+				if err := bw.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(counter.n.Load()-startBytes)/float64(b.N), "wire-bytes/round")
+			b.ReportMetric(float64(counter.writes.Load()-startWrites)/float64(b.N), "frames/round")
 		})
 	}
 }
 
-// countingConn counts written bytes and discards them.
+// countingConn counts written bytes and write calls (frames) and
+// discards the data. Counters are atomic so tests can observe a
+// deadline flush from the wire's timer goroutine.
 type countingConn struct {
 	discardConn
-	n int64
+	n      atomic.Int64
+	writes atomic.Int64
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
-	c.n += int64(len(p))
+	c.n.Add(int64(len(p)))
+	c.writes.Add(1)
 	return len(p), nil
 }
 
@@ -175,7 +198,7 @@ func BenchmarkWireDecode(b *testing.B) {
 // aggregator: per-node detector banks, epoch fold, merged log — the
 // aggregator-side cost of one round at steady state.
 func BenchmarkAggregatorIngest(b *testing.B) {
-	for _, nodes := range []int{1, 3} {
+	for _, nodes := range []int{1, 3, 32, 128} {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
 			a := New(Config{Detect: testDetect()})
 			names := make([]string, nodes)
@@ -205,6 +228,62 @@ func BenchmarkAggregatorIngest(b *testing.B) {
 			b.StopTimer()
 			if a.Epoch() < int64(64+b.N-4) {
 				b.Fatalf("epochs did not keep up: %d", a.Epoch())
+			}
+		})
+	}
+}
+
+// BenchmarkAggregatorParallelIngest measures the aggregator under fleet
+// fan-in: one publisher goroutine per node (the shape a wire deployment
+// produces — one serving goroutine per node connection), all ingesting
+// their round for the same epoch concurrently. One benchmark op is one
+// full cluster round (N concurrent ingests plus the epoch fold they
+// complete); the per-round barrier models the shared sampling cadence
+// and keeps per-node drift below the staleness eviction window.
+func BenchmarkAggregatorParallelIngest(b *testing.B) {
+	for _, nodes := range []int{8, 32} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			a := New(Config{Detect: testDetect()})
+			names := make([]string, nodes)
+			for i := range names {
+				names[i] = fmt.Sprintf("node%d", i+1)
+			}
+			a.Expect(names...)
+			feeds := make([]chan int64, nodes)
+			var done sync.WaitGroup
+			for i, n := range names {
+				feeds[i] = make(chan int64, 1)
+				gen := newRoundGen(n)
+				go func(feed <-chan int64, g *roundGen) {
+					for seq := range feed {
+						a.Ingest(g.at(seq))
+						done.Done()
+					}
+				}(feeds[i], gen)
+			}
+			seq := int64(0)
+			round := func() {
+				seq++
+				done.Add(nodes)
+				for _, feed := range feeds {
+					feed <- seq
+				}
+				done.Wait()
+			}
+			for seq < 64 { // past window fill and first epochs
+				round()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+			b.StopTimer()
+			for _, feed := range feeds {
+				close(feed)
+			}
+			if a.Epoch() < seq-4 {
+				b.Fatalf("epochs did not keep up: %d of %d", a.Epoch(), seq)
 			}
 		})
 	}

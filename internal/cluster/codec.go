@@ -17,7 +17,9 @@ import (
 // over arbitrary rounds.
 //
 // Design, in one paragraph: a stream starts with a 4-byte magic+version;
-// each round is one length-prefixed frame. Strings (node and component
+// rounds travel in length-prefixed BATCH frames — a uvarint round count,
+// then that many rounds back to back, one per frame unless the publisher
+// batches (see BinaryWire.SetBatch). Strings (node and component
 // names) are interned per stream — sent once, then referenced by dense
 // id — and every numeric field is delta-encoded against the previous
 // round of the same node, to second order (delta-of-delta, Gorilla's
@@ -55,8 +57,12 @@ import (
 // raw bits otherwise; 3 — samples carry the live handle count (a
 // double-delta int64 chain) and cumulative latency seconds (quantised
 // nanoseconds under flagLatNanos, XOR fallback otherwise, exactly the CPU
-// scheme) for the non-heap aging indicators.
-var wireMagic = [4]byte{'A', 'G', 'M', 3}
+// scheme) for the non-heap aging indicators; 4 — every frame is a BATCH
+// frame: the payload opens with a uvarint round count and carries that
+// many encoded rounds back to back, so a publisher flushing every K
+// rounds amortises the frame prefix and the peer's read across the batch
+// at fleet fan-in (an unbatched publisher ships batches of one).
+var wireMagic = [4]byte{'A', 'G', 'M', 4}
 
 // prevSample is the per-component delta-encoding state: the previous
 // round's values for one component on one node, plus the previous deltas
@@ -159,14 +165,21 @@ const (
 
 // BinaryEncoder encodes rounds into the binary wire format. It owns the
 // stream-level interning and delta state, so one encoder serves exactly
-// one stream; the returned frame buffer is reused by the next call. Not
-// safe for concurrent use (the BinaryWire transport serialises on its
-// publish mutex).
+// one stream; the batch buffer is reused across frames. Not safe for
+// concurrent use (the BinaryWire transport serialises on its publish
+// mutex).
+//
+// Rounds accumulate with BufferRound and leave as one BATCH frame on
+// FlushFrame; AppendRound is the unbatched shorthand (buffer one round,
+// flush immediately — a batch of one). Buffering encodes eagerly: the
+// round's borrowed Samples are consumed before BufferRound returns, so
+// the publisher's borrow contract holds however long the batch lingers.
 type BinaryEncoder struct {
 	started bool
 	names   map[string]uint32
 	nodes   map[uint32]*nodeCodecState
-	buf     []byte
+	batch   []byte // encoded rounds of the pending frame
+	pending int    // rounds in batch
 }
 
 // NewBinaryEncoder creates an encoder for one fresh stream.
@@ -201,16 +214,22 @@ func (e *BinaryEncoder) appendString(dst []byte, s string) ([]byte, uint32) {
 	return dst, id
 }
 
-// AppendRound appends one encoded frame (preceded by the stream header on
-// the first call) to dst and returns the extended slice.
+// AppendRound appends one single-round frame (preceded by the stream
+// header on the first call) to dst and returns the extended slice — the
+// unbatched path, equivalent to BufferRound followed by FlushFrame.
 func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
-	if !e.started {
-		dst = append(dst, wireMagic[:]...)
-		e.started = true
-	}
-	// Build the payload in the encoder's scratch so the length prefix can
-	// be written first.
-	p := e.buf[:0]
+	e.BufferRound(r)
+	return e.FlushFrame(dst)
+}
+
+// PendingRounds reports how many buffered rounds the next FlushFrame
+// will ship.
+func (e *BinaryEncoder) PendingRounds() int { return e.pending }
+
+// BufferRound encodes one round onto the pending BATCH frame. The
+// round's Samples are fully consumed before it returns.
+func (e *BinaryEncoder) BufferRound(r Round) {
+	p := e.batch
 	var nodeID uint32
 	p, nodeID = e.appendString(p, r.Node)
 	st := e.nodes[nodeID]
@@ -273,9 +292,32 @@ func (e *BinaryEncoder) AppendRound(dst []byte, r Round) []byte {
 		}
 		prev.latBits = latBits
 	}
-	e.buf = p
-	dst = appendUvarint(dst, uint64(len(p)))
-	return append(dst, p...)
+	e.batch = p
+	e.pending++
+}
+
+// FlushFrame appends the pending BATCH frame — uvarint round count, then
+// the buffered rounds back to back, the whole payload length-prefixed
+// and preceded by the stream header on the first flush — to dst and
+// returns the extended slice. With nothing buffered it returns dst
+// unchanged (no empty frames on the wire). The batch buffer is reused by
+// subsequent rounds.
+func (e *BinaryEncoder) FlushFrame(dst []byte) []byte {
+	if e.pending == 0 {
+		return dst
+	}
+	if !e.started {
+		dst = append(dst, wireMagic[:]...)
+		e.started = true
+	}
+	var cnt [binary.MaxVarintLen64]byte
+	cn := binary.PutUvarint(cnt[:], uint64(e.pending))
+	dst = appendUvarint(dst, uint64(cn+len(e.batch)))
+	dst = append(dst, cnt[:cn]...)
+	dst = append(dst, e.batch...)
+	e.batch = e.batch[:0]
+	e.pending = 0
+	return dst
 }
 
 // byteParser is a bounds-checked cursor over one frame payload.
@@ -362,10 +404,60 @@ func (d *BinaryDecoder) readString(p *byteParser) (string, uint32, error) {
 	return d.names[id], uint32(id), nil
 }
 
-// DecodeFrame decodes one frame payload (without its length prefix). The
-// result's Samples slice is reused by the next call.
+// DecodeFrame decodes one frame payload (without its length prefix)
+// carrying exactly one round — the unbatched shorthand for DecodeBatch,
+// for peers that flush every round. The result's Samples slice is reused
+// by the next decode.
 func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
+	var out Round
+	got := false
+	err := d.DecodeBatch(payload, func(r Round) error {
+		if got {
+			return fmt.Errorf("cluster: BATCH frame carries several rounds; decode with DecodeBatch")
+		}
+		out, got = r, true
+		return nil
+	})
+	if err == nil && !got {
+		err = fmt.Errorf("cluster: empty BATCH frame")
+	}
+	return out, err
+}
+
+// DecodeBatch decodes one BATCH frame payload (without its length
+// prefix), calling emit once per round in publish order. Each round's
+// Samples slice is the decoder's reused buffer, valid only until emit
+// returns — exactly the borrow contract Aggregator.Ingest honours by
+// copying what it retains. A non-nil error from emit aborts the batch.
+func (d *BinaryDecoder) DecodeBatch(payload []byte, emit func(Round) error) error {
 	p := &byteParser{b: payload}
+	count, err := p.uvarint()
+	if err != nil {
+		return err
+	}
+	if count == 0 || count > uint64(len(payload)) {
+		// Empty batches are never sent, and a round costs well over one
+		// byte: either way the count is corruption, not a big batch.
+		return fmt.Errorf("cluster: BATCH round count %d is corrupt for a %d-byte frame", count, len(payload))
+	}
+	for i := uint64(0); i < count; i++ {
+		r, err := d.decodeRound(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	if p.i != len(payload) {
+		return fmt.Errorf("cluster: %d trailing bytes in frame", len(payload)-p.i)
+	}
+	return nil
+}
+
+// decodeRound decodes one round at the parser's cursor. The round's
+// Samples slice is reused by the next call.
+func (d *BinaryDecoder) decodeRound(p *byteParser) (Round, error) {
 	var r Round
 	node, nodeID, err := d.readString(p)
 	if err != nil {
@@ -391,9 +483,9 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 	if err != nil {
 		return r, err
 	}
-	if n > uint64(len(payload)) {
+	if n > uint64(len(p.b)-p.i) {
 		// Each sample needs at least a handful of bytes; a count larger
-		// than the frame is corruption, not a big round.
+		// than the frame's remaining bytes is corruption, not a big round.
 		return r, fmt.Errorf("cluster: sample count %d exceeds frame size", n)
 	}
 	samples := d.samples[:0]
@@ -480,9 +572,6 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 			LatencySeconds: lat,
 			Delta:          unstep(&prev.delta, &prev.dDelta, dd),
 		})
-	}
-	if p.i != len(payload) {
-		return r, fmt.Errorf("cluster: %d trailing bytes in frame", len(payload)-p.i)
 	}
 	d.samples = samples
 	r.Samples = samples

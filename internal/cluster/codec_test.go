@@ -27,13 +27,15 @@ func decodeStream(t *testing.T, stream []byte) []Round {
 		if w <= 0 || n > uint64(len(rest)-w) {
 			t.Fatalf("bad frame length prefix at offset %d", len(stream)-len(rest))
 		}
-		r, err := dec.DecodeFrame(rest[w : w+int(n)])
+		err := dec.DecodeBatch(rest[w:w+int(n)], func(r Round) error {
+			// The decoder reuses its samples buffer; keep a copy like Ingest.
+			r.Samples = append([]core.ComponentSample(nil), r.Samples...)
+			out = append(out, r)
+			return nil
+		})
 		if err != nil {
 			t.Fatalf("decode frame: %v", err)
 		}
-		// The decoder reuses its samples buffer; keep a copy like Ingest.
-		r.Samples = append([]core.ComponentSample(nil), r.Samples...)
-		out = append(out, r)
 		rest = rest[w+int(n):]
 	}
 	return out
@@ -126,28 +128,41 @@ func TestBinaryCodecSteadyStateDensity(t *testing.T) {
 func TestBinaryCodecGolden(t *testing.T) {
 	enc := NewBinaryEncoder()
 	var stream []byte
-	for _, r := range sampleRounds()[:3] {
+	rounds := sampleRounds()
+	for _, r := range rounds[:3] {
 		stream = append(stream, enc.AppendRound(nil, r)...)
 	}
-	// The stream: 4-byte header (magic "AGM", version 3), then one
-	// length-prefixed frame per round. The first frame carries every
-	// name verbatim (first sightings) and full values (the double-delta
-	// chains start at zero); names intern per stream, so the node2 frame
-	// already references the component names by 1-byte id and only
-	// introduces "node2" itself; the third frame is node1's second —
-	// linear counters collapse to zero second-order residuals (single
-	// 0x00 bytes) and the time chain pays its one-time large residual.
-	// The sample CPU and latency figures (multiples of 0.25s) quantise
-	// exactly, so every sample carries flagCPUNanos|flagLatNanos and
-	// rides the nanosecond double-delta chains instead of the v1 XOR'd
-	// float bits.
-	const want = "41474d035800056e6f6465310280b08dabf9b4cd84230300056c65616b79078080" +
-		"8001c80106060080cab5ee018094ebdc030006737465616479078040e0030a0400" +
-		"8094ebdc0380dea0cb050007756e73697a656406000e00000000004400056e6f64" +
-		"65320280b08dabf9b4cd842303020780808001c8010606804080cab5ee018094eb" +
-		"dc0303078040e0030a04008094ebdc0380dea0cb050406000e00000000002a0100" +
-		"ffffefe899b3cd8423030207ffff7f0005030000000307ff3f0009030000000406" +
-		"00000000000000"
+	// The last two rounds ship as one BATCH frame on the same stream,
+	// pinning the multi-round frame layout alongside the batch-of-one
+	// frames above.
+	enc.BufferRound(rounds[3])
+	enc.BufferRound(rounds[4])
+	stream = enc.FlushFrame(stream)
+	// The stream: 4-byte header (magic "AGM", version 4), then
+	// length-prefixed BATCH frames, each opening with its uvarint round
+	// count (0x01 for the unbatched frames, 0x02 for the final pair).
+	// The first frame carries every name verbatim (first sightings) and
+	// full values (the double-delta chains start at zero); names intern
+	// per stream, so the node2 frame already references the component
+	// names by 1-byte id and only introduces "node2" itself; the third
+	// frame is node1's second — linear counters collapse to zero
+	// second-order residuals (single 0x00 bytes) and the time chain pays
+	// its one-time large residual. The sample CPU and latency figures
+	// (multiples of 0.25s) quantise exactly, so every sample carries
+	// flagCPUNanos|flagLatNanos and rides the nanosecond double-delta
+	// chains instead of the v1 XOR'd float bits. The final frame (0x4a
+	// bytes, count 0x02) carries node2's second round — paying its
+	// one-time time residual like node1 did — and node1's third, fully
+	// steady round, whose linear chains are almost all single zero bytes.
+	const want = "41474d04590100056e6f6465310280b08dabf9b4cd84230300056c65616b790780" +
+		"808001c80106060080cab5ee018094ebdc030006737465616479078040e0030a04" +
+		"008094ebdc0380dea0cb050007756e73697a656406000e0000000000450100056e" +
+		"6f6465320280b08dabf9b4cd842303020780808001c8010606804080cab5ee0180" +
+		"94ebdc0303078040e0030a04008094ebdc0380dea0cb050406000e00000000002b" +
+		"010100ffffefe899b3cd8423030207ffff7f0005030000000307ff3f0009030000" +
+		"000406000000000000004a020500ffffefe899b3cd8423030207ffff7f00050300" +
+		"00000307ff3f0009030000000406000000000000000100000302070000000000000003" +
+		"0700000000000000040600000000000000"
 	got := hex.EncodeToString(stream)
 	if got != normalizeHex(want) {
 		t.Fatalf("wire format drifted.\n got: %s\nwant: %s", got, normalizeHex(want))
@@ -247,7 +262,7 @@ func TestBinaryDecoderRejectsCorruption(t *testing.T) {
 		t.Fatal("truncated frame decoded without error")
 	}
 	// A dangling string reference: id 200 was never defined.
-	bad := binary.AppendUvarint(nil, 201)
+	bad := append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, 201)...)
 	if _, err := NewBinaryDecoder().DecodeFrame(bad); err == nil {
 		t.Fatal("dangling string reference decoded without error")
 	}
@@ -256,4 +271,166 @@ func TestBinaryDecoderRejectsCorruption(t *testing.T) {
 	if _, err := NewBinaryDecoder().DecodeFrame(full); err == nil {
 		t.Fatal("trailing bytes decoded without error")
 	}
+	// Corrupt BATCH counts: zero rounds, and a count past the frame size.
+	if err := NewBinaryDecoder().DecodeBatch([]byte{0x00}, discardRound); err == nil {
+		t.Fatal("zero-round batch decoded without error")
+	}
+	huge := append(binary.AppendUvarint(nil, 1<<20), payload[1:]...)
+	if err := NewBinaryDecoder().DecodeBatch(huge, discardRound); err == nil {
+		t.Fatal("oversized batch count decoded without error")
+	}
+	// A multi-round batch must be rejected by the single-round shorthand.
+	enc2 := NewBinaryEncoder()
+	rounds := sampleRounds()
+	enc2.BufferRound(rounds[0])
+	enc2.BufferRound(rounds[2])
+	batch := enc2.FlushFrame(nil)
+	n, w = binary.Uvarint(batch[payloadStart:])
+	if _, err := NewBinaryDecoder().DecodeFrame(batch[payloadStart+w : payloadStart+w+int(n)]); err == nil {
+		t.Fatal("DecodeFrame accepted a multi-round batch")
+	}
+}
+
+func discardRound(Round) error { return nil }
+
+// TestBinaryCodecBatchRoundTrip drives the BATCH path across flush sizes
+// that tile the stream unevenly: every grouping must reproduce the same
+// round sequence, because batching only repackages frames — the
+// interning and delta chains run over the stream, not the frame.
+func TestBinaryCodecBatchRoundTrip(t *testing.T) {
+	rounds := append(sampleRounds(), manyRounds("node3", 10, 5)...)
+	for _, k := range []int{2, 3, len(rounds)} {
+		enc := NewBinaryEncoder()
+		var stream []byte
+		for i, r := range rounds {
+			enc.BufferRound(r)
+			if (i+1)%k == 0 {
+				stream = enc.FlushFrame(stream)
+			}
+		}
+		stream = enc.FlushFrame(stream)
+		if enc.PendingRounds() != 0 {
+			t.Fatalf("k=%d: %d rounds left buffered after flush", k, enc.PendingRounds())
+		}
+		if extra := enc.FlushFrame(nil); len(extra) != 0 {
+			t.Fatalf("k=%d: empty flush produced %d bytes", k, len(extra))
+		}
+		got := decodeStream(t, stream)
+		if len(got) != len(rounds) {
+			t.Fatalf("k=%d: decoded %d rounds, want %d", k, len(got), len(rounds))
+		}
+		for i, want := range rounds {
+			g := got[i]
+			if g.Node != want.Node || g.Seq != want.Seq || !g.Time.Equal(want.Time) {
+				t.Fatalf("k=%d round %d header mismatch: %+v", k, i, g)
+			}
+			for j, ws := range want.Samples {
+				if g.Samples[j] != ws {
+					t.Fatalf("k=%d round %d sample %d: %+v, want %+v", k, i, j, g.Samples[j], ws)
+				}
+			}
+		}
+	}
+}
+
+// TestBinaryWireBatchFlushPolicy pins the transport-side flush triggers:
+// count, explicit Flush, deadline, and Close — and that a partial batch
+// never hits the wire before one of them fires.
+func TestBinaryWireBatchFlushPolicy(t *testing.T) {
+	c := &countingConn{}
+	w := NewBinaryWire(c)
+	if err := w.SetBatch(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	gen := newRoundGen("node1")
+	publish := func() {
+		t.Helper()
+		if err := w.Publish(gen.next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish()
+	publish()
+	if got := c.writes.Load(); got != 0 {
+		t.Fatalf("partial batch hit the wire: %d writes", got)
+	}
+	publish() // third round: count trigger
+	if got := c.writes.Load(); got != 1 {
+		t.Fatalf("count flush: %d writes, want 1", got)
+	}
+	publish()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.writes.Load(); got != 2 {
+		t.Fatalf("explicit flush: %d writes, want 2", got)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.writes.Load(); got != 2 {
+		t.Fatalf("empty flush wrote a frame: %d writes", got)
+	}
+
+	// Deadline trigger: one buffered round must ship without further
+	// publishes once the delay elapses.
+	if err := w.SetBatch(8, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	publish()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.writes.Load() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("deadline flush never fired: %d writes", c.writes.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Close ships the remainder.
+	if err := w.SetBatch(8, 0); err != nil {
+		t.Fatal(err)
+	}
+	publish()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.writes.Load(); got != 4 {
+		t.Fatalf("close flush: %d writes, want 4", got)
+	}
+}
+
+// TestBinaryWireBatchReducesOverhead pins the acceptance bar for the
+// BATCH frame: at fan-in flush sizes, batching must cut both the frames
+// and the bytes a round costs on the wire versus flush-every-round.
+func TestBinaryWireBatchReducesOverhead(t *testing.T) {
+	const rounds = 64
+	run := func(batch int) (wireBytes, frames int64) {
+		c := &countingConn{}
+		w := NewBinaryWire(c)
+		if batch > 1 {
+			if err := w.SetBatch(batch, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gen := newRoundGen("node1")
+		for i := 0; i < rounds; i++ {
+			if err := w.Publish(gen.next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return c.n.Load(), c.writes.Load()
+	}
+	plainBytes, plainFrames := run(1)
+	batchBytes, batchFrames := run(8)
+	if batchFrames != plainFrames/8 {
+		t.Fatalf("batch=8 shipped %d frames for %d rounds (unbatched: %d)", batchFrames, rounds, plainFrames)
+	}
+	if batchBytes >= plainBytes {
+		t.Fatalf("batching did not reduce bytes: %d vs %d", batchBytes, plainBytes)
+	}
+	t.Logf("%d rounds: unbatched %d bytes / %d frames, batch=8 %d bytes / %d frames",
+		rounds, plainBytes, plainFrames, batchBytes, batchFrames)
 }

@@ -74,10 +74,36 @@ func roundsFromFuzz(data []byte) []Round {
 	return out
 }
 
+// sameRound fails the test unless got reproduces want exactly (field for
+// field, float bits included).
+func sameRound(t *testing.T, tag string, i int, got, want Round) {
+	t.Helper()
+	if got.Node != want.Node || got.Seq != want.Seq {
+		t.Fatalf("%s round %d: header %q/%d, want %q/%d", tag, i, got.Node, got.Seq, want.Node, want.Seq)
+	}
+	if got.Time.UnixNano() != want.Time.UnixNano() {
+		t.Fatalf("%s round %d: time %d, want %d", tag, i, got.Time.UnixNano(), want.Time.UnixNano())
+	}
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("%s round %d: %d samples, want %d", tag, i, len(got.Samples), len(want.Samples))
+	}
+	for j, ws := range want.Samples {
+		gs := got.Samples[j]
+		if gs.Component != ws.Component || gs.Size != ws.Size || gs.SizeOK != ws.SizeOK ||
+			gs.Usage != ws.Usage || gs.Threads != ws.Threads || gs.Delta != ws.Delta ||
+			gs.Handles != ws.Handles ||
+			math.Float64bits(gs.LatencySeconds) != math.Float64bits(ws.LatencySeconds) ||
+			math.Float64bits(gs.CPUSeconds) != math.Float64bits(ws.CPUSeconds) {
+			t.Fatalf("%s round %d sample %d: %+v, want %+v", tag, i, j, gs, ws)
+		}
+	}
+}
+
 // FuzzBinaryCodec drives the binary codec with arbitrary round sequences:
 // every encode→decode round trip must reproduce the rounds exactly
 // (field for field, CPU bits included), through the stream's full
-// interning and delta state.
+// interning and delta state — both one frame per round and regrouped
+// into v4 BATCH frames of every shape the flush policy can produce.
 func FuzzBinaryCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2})
@@ -125,26 +151,51 @@ func FuzzBinaryCodec(f *testing.F) {
 				t.Fatalf("round %d: decode: %v", i, err)
 			}
 			rest = rest[w+int(n):]
-			if got.Node != want.Node || got.Seq != want.Seq {
-				t.Fatalf("round %d: header %q/%d, want %q/%d", i, got.Node, got.Seq, want.Node, want.Seq)
-			}
-			if got.Time.UnixNano() != want.Time.UnixNano() {
-				t.Fatalf("round %d: time %d, want %d", i, got.Time.UnixNano(), want.Time.UnixNano())
-			}
-			if len(got.Samples) != len(want.Samples) {
-				t.Fatalf("round %d: %d samples, want %d", i, len(got.Samples), len(want.Samples))
-			}
-			for j, ws := range want.Samples {
-				gs := got.Samples[j]
-				if gs.Component != ws.Component || gs.Size != ws.Size || gs.SizeOK != ws.SizeOK ||
-					gs.Usage != ws.Usage || gs.Threads != ws.Threads || gs.Delta != ws.Delta ||
-					math.Float64bits(gs.CPUSeconds) != math.Float64bits(ws.CPUSeconds) {
-					t.Fatalf("round %d sample %d: %+v, want %+v", i, j, gs, ws)
-				}
-			}
+			sameRound(t, "frame", i, got, want)
 		}
 		if len(rest) != 0 {
 			t.Fatalf("%d trailing stream bytes", len(rest))
+		}
+
+		// The same sequence regrouped into BATCH frames — a fuzz-derived
+		// flush size, pairs, and one frame for the whole run — must decode
+		// to the identical rounds: batching repackages frames, it never
+		// touches the stream-level interning or delta chains.
+		kFuzz := 2
+		if len(data) > 0 {
+			kFuzz = int(data[len(data)/2]%5) + 1
+		}
+		for _, k := range []int{kFuzz, 3, len(rounds)} {
+			benc := NewBinaryEncoder()
+			var stream []byte
+			for i, r := range rounds {
+				benc.BufferRound(r)
+				if (i+1)%k == 0 {
+					stream = benc.FlushFrame(stream)
+				}
+			}
+			stream = benc.FlushFrame(stream)
+			bdec := NewBinaryDecoder()
+			brest := stream[4:]
+			idx := 0
+			for len(brest) > 0 {
+				n, w := binary.Uvarint(brest)
+				if w <= 0 || n > uint64(len(brest)-w) {
+					t.Fatalf("batch k=%d: bad frame length at round %d", k, idx)
+				}
+				err := bdec.DecodeBatch(brest[w:w+int(n)], func(got Round) error {
+					sameRound(t, "batch", idx, got, rounds[idx])
+					idx++
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("batch k=%d: decode: %v", k, err)
+				}
+				brest = brest[w+int(n):]
+			}
+			if idx != len(rounds) {
+				t.Fatalf("batch k=%d: decoded %d rounds, want %d", k, idx, len(rounds))
+			}
 		}
 	})
 }
@@ -155,12 +206,24 @@ func FuzzBinaryCodec(f *testing.F) {
 func FuzzBinaryDecoderRobustness(f *testing.F) {
 	enc := NewBinaryEncoder()
 	frame := enc.AppendRound(nil, Round{Node: "n", Seq: 1, Time: time.Unix(0, 0), Samples: []core.ComponentSample{{Component: "c", Usage: 1}}})
-	f.Add(frame[4:]) // a valid payload (sans stream header) as the seed
+	f.Add(frame[4:]) // a valid single-round payload (sans stream header)
+	// A valid multi-round BATCH payload, and corrupt count prefixes (zero
+	// rounds; count far past the frame size).
+	benc := NewBinaryEncoder()
+	for seq := int64(1); seq <= 3; seq++ {
+		benc.BufferRound(Round{Node: "n", Seq: seq, Time: time.Unix(0, seq), Samples: []core.ComponentSample{{Component: "c", Usage: seq}}})
+	}
+	batch := benc.FlushFrame(nil)
+	f.Add(batch[4:])
+	f.Add(append([]byte{0x00}, frame[4:]...))
+	f.Add(append([]byte{0xFF, 0xFF, 0x03}, frame[4:]...))
 	f.Add([]byte{0x00, 0x01, 0x61, 0x02, 0x02, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewBinaryDecoder()
 		_, _ = dec.DecodeFrame(data)
-		// Feeding a second arbitrary frame exercises carried stream state.
+		// Feeding a second arbitrary frame exercises carried stream state,
+		// and the batch entry point must hold up on the same bytes.
 		_, _ = dec.DecodeFrame(data)
+		_ = dec.DecodeBatch(data, func(Round) error { return nil })
 	})
 }

@@ -8,15 +8,22 @@
 // the nodes' servlet containers so the existing emulated-browser load
 // generator drives the whole cluster unchanged.
 //
-// Concurrency contract: the Aggregator serialises ingestion and queries
-// on one mutex — rounds arrive at sampling cadence (seconds apart), never
-// on any per-invocation hot path, so there is nothing to shard. Wire
-// transports deliver each node's rounds in order on a dedicated
-// goroutine; cross-node interleaving is absorbed by the epoch logic,
-// which folds rounds by per-node sequence number and therefore produces
-// transport-independent verdicts. The Balancer takes its own small mutex
-// per request; requests are emulated-browser interactions (think-time
-// scale), not join points.
+// Concurrency contract: the Aggregator shards ingestion across
+// hash-striped per-node lanes — concurrent Publish calls from N
+// forwarder connections contend only when their nodes share a lane, and
+// the former global mutex survives only as the fold lock, taken by the
+// one round per epoch that advances the watermark (plus joins, leaves
+// and staleness eviction). Epoch folding runs off the ingest critical
+// section on a bounded worker pool, and the read paths (Epoch,
+// TotalRounds, Nodes, Report, DrainNotifications) ride atomics and
+// snapshots so monitoring the monitor never stalls ingest; see the lock
+// hierarchy on Aggregator. Wire transports deliver each node's rounds in
+// order on a dedicated goroutine; cross-node interleaving is absorbed by
+// the epoch logic, which folds rounds by per-node sequence number and
+// therefore produces transport-independent verdicts — byte-identical
+// whatever the lane count, worker count or transport. The Balancer takes
+// its own small mutex per request; requests are emulated-browser
+// interactions (think-time scale), not join points.
 package cluster
 
 import (

@@ -154,10 +154,11 @@ func (w *Wire) Close() error { return w.conn.Close() }
 // per-round garbage matter: names are interned per connection and every
 // numeric field rides as a small varint delta, cutting a steady-state
 // round several-fold versus gob, and Publish reuses one frame buffer so
-// it allocates nothing. Like Wire, the publish mutex admits several
-// forwarders multiplexed onto one connection, and a timed-out write may
-// leave a partial frame after which the receiver errors and drops the
-// connection — fail-stop, never wedged.
+// it allocates nothing. SetBatch turns on multi-round BATCH frames with
+// a count/deadline flush policy for fleet fan-in. Like Wire, the publish
+// mutex admits several forwarders multiplexed onto one connection, and a
+// timed-out write may leave a partial frame after which the receiver
+// errors and drops the connection — fail-stop, never wedged.
 type BinaryWire struct {
 	mu      sync.Mutex
 	conn    net.Conn
@@ -165,6 +166,11 @@ type BinaryWire struct {
 	frame   []byte
 	timeout time.Duration
 	broken  bool
+
+	batchRounds int           // flush when this many rounds are buffered (<=1: every round)
+	batchDelay  time.Duration // flush a partial batch this long after its first round (0: never)
+	timer       *time.Timer   // pending deadline flush, nil when none armed
+	gen         uint64        // flush generation; a stale deadline flush no-ops
 }
 
 // NewBinaryWire wraps an established connection as a binary-codec
@@ -193,8 +199,33 @@ func (w *BinaryWire) SetTimeout(d time.Duration) {
 	w.mu.Unlock()
 }
 
-// Publish implements Transport: one length-prefixed binary frame, bounded
-// by the write timeout. The frame buffer is reused across publishes.
+// SetBatch sets the BATCH flush policy: buffer up to rounds rounds per
+// frame, flushing earlier when a partial batch has waited delay since
+// its first round (delay 0 means only the count flushes). rounds <= 1
+// restores the unbatched one-frame-per-round behaviour. Any currently
+// buffered rounds are flushed first, so the policy change never reorders
+// the stream.
+//
+// Batching trades verdict latency for wire efficiency: the aggregator
+// sees a buffered round only when its frame flushes, so delay bounds the
+// staleness a batch can add and should stay well under the sampling
+// interval times the aggregator's staleness window.
+func (w *BinaryWire) SetBatch(rounds int, delay time.Duration) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	w.batchRounds = rounds
+	w.batchDelay = delay
+	return nil
+}
+
+// Publish implements Transport: the round is encoded onto the pending
+// BATCH frame immediately (consuming the borrowed Samples before
+// returning), and the frame ships when the batch policy says so — at
+// once when unbatched, else on the count or deadline trigger. The frame
+// buffer is reused across publishes.
 //
 // A failed or short write breaks the transport permanently: unlike gob
 // (whose fields are absolute, so the receiver survives a lost frame),
@@ -204,13 +235,59 @@ func (w *BinaryWire) SetTimeout(d time.Duration) {
 // silently wrong values. The wire latches the error, closes the
 // connection, and fails every subsequent Publish; the owner reconnects
 // with a fresh wire (and therefore fresh codec state on both ends).
+// Under batching a write error surfaces on the Publish (or Flush, or
+// deadline flush) that ships the frame; earlier buffering publishes have
+// already returned nil, and the latch fails everything after.
 func (w *BinaryWire) Publish(r Round) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken {
 		return errors.New("cluster: binary wire broken by an earlier failed write")
 	}
-	w.frame = w.enc.AppendRound(w.frame[:0], r)
+	w.enc.BufferRound(r)
+	if w.batchRounds > 1 && w.enc.PendingRounds() < w.batchRounds {
+		if w.batchDelay > 0 && w.timer == nil {
+			gen := w.gen
+			w.timer = time.AfterFunc(w.batchDelay, func() { w.deadlineFlush(gen) })
+		}
+		return nil
+	}
+	return w.flushLocked()
+}
+
+// Flush ships any buffered rounds now, regardless of the batch policy.
+func (w *BinaryWire) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken {
+		return errors.New("cluster: binary wire broken by an earlier failed write")
+	}
+	return w.flushLocked()
+}
+
+// deadlineFlush is the timer callback: it ships the batch the deadline
+// was armed for, unless a count flush (or Flush, or Close) already did.
+func (w *BinaryWire) deadlineFlush(gen uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.gen != gen || w.broken {
+		return
+	}
+	_ = w.flushLocked() // a write error is latched in broken for the next Publish
+}
+
+// flushLocked ships the pending frame under w.mu, disarming any deadline
+// timer. No-op when nothing is buffered.
+func (w *BinaryWire) flushLocked() error {
+	w.gen++
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	if w.enc.PendingRounds() == 0 {
+		return nil
+	}
+	w.frame = w.enc.FlushFrame(w.frame[:0])
 	if w.timeout > 0 {
 		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 		defer func() { _ = w.conn.SetWriteDeadline(time.Time{}) }()
@@ -223,8 +300,21 @@ func (w *BinaryWire) Publish(r Round) error {
 	return nil
 }
 
-// Close implements Transport.
-func (w *BinaryWire) Close() error { return w.conn.Close() }
+// Close implements Transport, flushing any buffered rounds first (best
+// effort — a flush failure is reported after the connection is closed).
+func (w *BinaryWire) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var flushErr error
+	if !w.broken {
+		flushErr = w.flushLocked()
+	}
+	err := w.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return err
+}
 
 // maxBinaryFrame bounds one decoded frame; a length prefix beyond it is
 // stream corruption, not a huge round (a 16 MB frame would be ~500k
@@ -279,11 +369,13 @@ func (a *Aggregator) ServeBinaryConn(conn net.Conn) (err error) {
 			}
 			return err
 		}
-		r, err := dec.DecodeFrame(payload)
+		err = dec.DecodeBatch(payload, func(r Round) error {
+			a.Ingest(r)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		a.Ingest(r)
 	}
 }
 

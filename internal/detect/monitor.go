@@ -284,7 +284,11 @@ type componentState struct {
 
 // Monitor composes the trend, entropy and shift detectors for one
 // resource. Observe is single-owner (the sampling round); Latest is safe
-// from any goroutine.
+// from any goroutine. "Single-owner" is a contract, not a serial-world
+// assumption: owners may move between goroutines as long as calls never
+// overlap — the cluster aggregator's parallel fold pool drives many
+// monitors concurrently, one worker per node's bank at a time, and is
+// exactly such an owner.
 //
 // A steady-state Observe round allocates nothing: the round's delta
 // scratch, the guard's distributions, every detector's window state and

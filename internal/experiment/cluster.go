@@ -53,6 +53,24 @@ type ClusterConfig struct {
 	// WireCodec selects the serialisation when WireTransport is set:
 	// gob (the default) or the delta-encoded binary codec.
 	WireCodec cluster.WireCodec
+	// WireBatchRounds, when > 1 with the binary codec, buffers that many
+	// rounds per BATCH frame on each node's wire (the fleet fan-in flush
+	// policy). Verdicts must not depend on it — Sync flushes partial
+	// batches before its round barrier. A node that flushes a full batch
+	// runs up to WireBatchRounds epochs ahead of peers still buffering,
+	// so StaleEpochs must exceed the batch or laggards evict spuriously.
+	WireBatchRounds int
+	// WireBatchDelay bounds how long a partial batch may wait for its
+	// count trigger (0: only the count and Sync flush).
+	WireBatchDelay time.Duration
+	// StaleEpochs overrides the aggregator's laggard-eviction window
+	// (0 = its default). Size it above WireBatchRounds when batching.
+	StaleEpochs int
+	// IngestLanes and FoldWorkers tune the aggregator's sharded ingest
+	// plane (0 = defaults; 1/1 = the serial reference configuration).
+	// Verdicts must not depend on either.
+	IngestLanes int
+	FoldWorkers int
 	// Chaos, when non-nil, may wrap each node's monitoring transport
 	// (e.g. in a faultinject.ChaosTransport for partition or clock-skew
 	// faults). It is applied above the framing codec, per the chaos
@@ -73,6 +91,7 @@ type ClusterNode struct {
 
 	transport    cluster.Transport
 	forwarder    *cluster.Forwarder
+	flushWire    func() error // ships a partial BATCH now (nil when unbatched)
 	stopSampling func()
 	inCluster    bool
 }
@@ -108,7 +127,13 @@ func NewClusterStack(cfg ClusterConfig) (*ClusterStack, error) {
 		cfg.Scale.Seed = cfg.Seed + 1
 	}
 	engine := sim.NewEngine()
-	agg := cluster.New(cluster.Config{Detect: cfg.Detect, Quorum: cfg.Quorum})
+	agg := cluster.New(cluster.Config{
+		Detect:      cfg.Detect,
+		Quorum:      cfg.Quorum,
+		StaleEpochs: cfg.StaleEpochs,
+		IngestLanes: cfg.IngestLanes,
+		FoldWorkers: cfg.FoldWorkers,
+	})
 	clusterServer := jmx.NewServer(engine.Clock())
 	if err := clusterServer.Register(cluster.AggregatorName(), agg.Bean()); err != nil {
 		return nil, err
@@ -197,12 +222,22 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 	}
 
 	var tr cluster.Transport
+	var flushWire func() error
 	if cfg.WireTransport {
 		client, server := net.Pipe()
 		switch cfg.WireCodec {
 		case cluster.CodecBinary:
 			go func() { _ = cs.Aggregator.ServeBinaryConn(server) }()
-			tr = cluster.NewBinaryWire(client)
+			bw := cluster.NewBinaryWire(client)
+			if cfg.WireBatchRounds > 1 {
+				if err := bw.SetBatch(cfg.WireBatchRounds, cfg.WireBatchDelay); err != nil {
+					return nil, err
+				}
+				// Keep the raw wire in hand: Chaos may wrap the transport,
+				// but Sync's barrier still needs to flush partial batches.
+				flushWire = bw.Flush
+			}
+			tr = bw
 		default:
 			go func() { _ = cs.Aggregator.ServeConn(server) }()
 			tr = cluster.NewWire(client)
@@ -222,6 +257,7 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 		Container: container,
 		Framework: f,
 		transport: tr,
+		flushWire: flushWire,
 		forwarder: cluster.Attach(f, tr),
 	}
 	return node, nil
@@ -318,10 +354,19 @@ func (cs *ClusterStack) InjectLeak(nodeName, component string, size, n int, seed
 // Sync blocks until every published round has been ingested — a no-op
 // for the in-process transport, and the wire transports' drain barrier
 // (gob decoding happens on reader goroutines, so the engine can finish a
-// schedule a few rounds before the aggregator does).
+// schedule a few rounds before the aggregator does). Batched binary
+// wires flush their partial frames first, so a buffered round cannot
+// stall the barrier.
 func (cs *ClusterStack) Sync() error {
 	var want int64
 	for _, n := range cs.Nodes {
+		if n.flushWire != nil {
+			// A flush error means the wire is broken; its lost rounds
+			// surface as forwarder errors on later publishes, and the
+			// barrier below already tolerates what never arrived only via
+			// the deadline — fail loudly there with the ingest count.
+			_ = n.flushWire()
+		}
 		if n.forwarder != nil {
 			want += n.forwarder.Rounds() - n.forwarder.Errors()
 		}

@@ -66,63 +66,120 @@ func TestClusterScenariosFullScale(t *testing.T) {
 	}
 }
 
-// TestClusterTransportParity is the transport-independence contract: the
-// same three-node leak scenario over the in-process transport, over
-// gob-on-net-pipes and over the delta-encoded binary codec must produce
-// identical cluster and per-node verdicts.
-func TestClusterTransportParity(t *testing.T) {
-	type outcome struct {
-		clusterReports map[string]cluster.ClusterReport
-		nodeVerdicts   map[string]any
-	}
-	run := func(wire bool, codec cluster.WireCodec) outcome {
-		cs, _, err := clusterScenarioStack(scenarioCfg, 3, 0, cluster.RoundRobin, wire, codec)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer cs.Close()
-		if _, err := cs.InjectLeak("node2", ComponentA, 100*KB, 100, scenarioCfg.Seed); err != nil {
-			t.Fatal(err)
-		}
-		cs.Driver.Run([]eb.Phase{{Duration: scaleDuration(time.Hour, scenarioCfg.TimeScale), EBs: scenarioCfg.EBs}})
-		if err := cs.Sync(); err != nil {
-			t.Fatal(err)
-		}
-		out := outcome{
-			clusterReports: make(map[string]cluster.ClusterReport),
-			nodeVerdicts:   make(map[string]any),
-		}
-		for _, res := range core.DetectorResources {
-			if rep := cs.Aggregator.Report(res); rep != nil {
-				c := *rep
-				c.Time = time.Time{} // merged-timeline stamps may differ by clamp millis
-				out.clusterReports[res] = c
-			}
-			for _, n := range []string{"node1", "node2", "node3"} {
-				if nr := cs.Aggregator.NodeReport(n, res); nr != nil {
-					// Clone: node reports are recycled ring buffers.
-					out.nodeVerdicts[n+"/"+res] = nr.Clone().Components
-				}
-			}
-		}
-		return out
-	}
+// parityOutcome is everything a parity run compares: final cluster
+// reports (times stripped — the merged timeline's stamp may differ by
+// clamp millis) and per-node verdict components.
+type parityOutcome struct {
+	clusterReports map[string]cluster.ClusterReport
+	nodeVerdicts   map[string]any
+}
 
-	inproc := run(false, cluster.CodecGob)
-	for _, codec := range []cluster.WireCodec{cluster.CodecGob, cluster.CodecBinary} {
-		wired := run(true, codec)
-		if !reflect.DeepEqual(inproc.clusterReports, wired.clusterReports) {
-			t.Fatalf("cluster reports differ between in-proc and %v wire:\ninproc: %+v\nwire:   %+v",
-				codec, inproc.clusterReports, wired.clusterReports)
+// runParityScenario drives the three-node sick-replica scenario on a
+// cluster assembled from cc (scenario scale/detect tuning applied on
+// top) and returns the outcome.
+func runParityScenario(t *testing.T, cfg Config, cc ClusterConfig) parityOutcome {
+	t.Helper()
+	cc.Nodes = 3
+	cc.Seed = cfg.Seed
+	cc.Scale = scenarioScale(cfg)
+	cc.Mix = eb.Shopping
+	cc.Detect = scenarioDetectConfig()
+	cc.Policy = cluster.RoundRobin
+	cs, err := NewClusterStack(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	if _, err := cs.InjectLeak("node2", ComponentA, 100*KB, 100, cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	cs.Driver.Run([]eb.Phase{{Duration: scaleDuration(time.Hour, cfg.TimeScale), EBs: cfg.EBs}})
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	out := parityOutcome{
+		clusterReports: make(map[string]cluster.ClusterReport),
+		nodeVerdicts:   make(map[string]any),
+	}
+	for _, res := range core.DetectorResources {
+		if rep := cs.Aggregator.Report(res); rep != nil {
+			c := *rep
+			c.Time = time.Time{} // merged-timeline stamps may differ by clamp millis
+			out.clusterReports[res] = c
 		}
-		if !reflect.DeepEqual(inproc.nodeVerdicts, wired.nodeVerdicts) {
-			t.Fatalf("per-node verdicts differ between in-proc and %v wire", codec)
+		for _, n := range []string{"node1", "node2", "node3"} {
+			if nr := cs.Aggregator.NodeReport(n, res); nr != nil {
+				out.nodeVerdicts[n+"/"+res] = nr.Components
+			}
+		}
+	}
+	return out
+}
+
+// parityVariants is the transport × aggregator-plane matrix every parity
+// run must agree across: the serial reference aggregator in-process,
+// then the sharded/parallel-fold aggregator over every transport —
+// in-process, gob on net pipes, the delta-encoded binary codec, and the
+// binary codec with the v4 BATCH flush policy (4 rounds per frame with a
+// short deadline).
+var parityVariants = []struct {
+	name string
+	cc   ClusterConfig
+}{
+	{"inproc-sharded", ClusterConfig{IngestLanes: 8, FoldWorkers: 4}},
+	{"gob-sharded", ClusterConfig{WireTransport: true, IngestLanes: 8, FoldWorkers: 4}},
+	{"binary-sharded", ClusterConfig{WireTransport: true, WireCodec: cluster.CodecBinary, IngestLanes: 8, FoldWorkers: 4}},
+	// Batching lets the flushing node run WireBatchRounds epochs ahead,
+	// so the staleness window widens with it (StaleEpochs > batch) — the
+	// deployment rule ClusterConfig documents. Eviction never fires in
+	// any parity run, so the widened window changes no verdict.
+	{"binary-batched-sharded", ClusterConfig{WireTransport: true, WireCodec: cluster.CodecBinary,
+		WireBatchRounds: 4, WireBatchDelay: 2 * time.Millisecond, StaleEpochs: 8,
+		IngestLanes: 8, FoldWorkers: 4}},
+}
+
+// TestClusterTransportParity is the transport- and plane-independence
+// contract: the same three-node leak scenario must produce identical
+// cluster and per-node verdicts whatever carries the rounds (in-process
+// calls, gob frames, binary v4 frames, batched binary v4 frames) and
+// whatever folds them (the serial reference aggregator or the sharded
+// ingest plane with a parallel fold pool).
+func TestClusterTransportParity(t *testing.T) {
+	serial := runParityScenario(t, scenarioCfg, ClusterConfig{IngestLanes: 1, FoldWorkers: 1})
+	for _, v := range parityVariants {
+		got := runParityScenario(t, scenarioCfg, v.cc)
+		if !reflect.DeepEqual(serial.clusterReports, got.clusterReports) {
+			t.Fatalf("cluster reports differ between serial in-proc and %s:\nserial: %+v\ngot:    %+v",
+				v.name, serial.clusterReports, got.clusterReports)
+		}
+		if !reflect.DeepEqual(serial.nodeVerdicts, got.nodeVerdicts) {
+			t.Fatalf("per-node verdicts differ between serial in-proc and %s", v.name)
 		}
 	}
 	// And the scenario's point holds everywhere: the sick pair is named.
-	memRep := inproc.clusterReports[core.ResourceMemory]
+	memRep := serial.clusterReports[core.ResourceMemory]
 	top, ok := (&memRep).Top()
 	if !ok || top.Pair() != "node2/"+ComponentA {
 		t.Fatalf("parity run lost the verdict: %+v", top)
+	}
+}
+
+// TestClusterTransportParityFullScale re-runs the parity contract at the
+// paper's full one-hour TimeScale against the deployment-shaped variant
+// (sharded aggregator, batched binary wire). Skipped under -short.
+func TestClusterTransportParityFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale parity skipped with -short")
+	}
+	cfg := scenarioCfg
+	cfg.TimeScale = 1.0
+	serial := runParityScenario(t, cfg, ClusterConfig{IngestLanes: 1, FoldWorkers: 1})
+	batched := runParityScenario(t, cfg, parityVariants[len(parityVariants)-1].cc)
+	if !reflect.DeepEqual(serial.clusterReports, batched.clusterReports) {
+		t.Fatalf("full-scale cluster reports differ:\nserial:  %+v\nbatched: %+v",
+			serial.clusterReports, batched.clusterReports)
+	}
+	if !reflect.DeepEqual(serial.nodeVerdicts, batched.nodeVerdicts) {
+		t.Fatal("full-scale per-node verdicts differ")
 	}
 }

@@ -4,7 +4,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/eb"
+	"repro/internal/tpcw"
 )
 
 func TestLoadStackModelBackend(t *testing.T) {
@@ -55,6 +58,65 @@ func TestLoadStackContainerBackend(t *testing.T) {
 	if ls.Driver.Failed() != 0 {
 		t.Fatalf("%d of %d interactions failed against the real stack",
 			ls.Driver.Failed(), ls.Driver.Completed())
+	}
+}
+
+// TestLoadStackMonitoredCluster closes the ROADMAP gap at test scale:
+// the sharded driver's sessions hammer per-shard container stacks while
+// each shard's monitoring framework forwards real sampling rounds over
+// batched binary wires into one sharded-ingest aggregator, which must
+// name the one sick shard. The million-session run in docs uses the
+// same wiring with the population turned up.
+func TestLoadStackMonitoredCluster(t *testing.T) {
+	ls, err := NewLoadStack(LoadConfig{
+		Seed:     5,
+		Sessions: 240,
+		Shards:   4,
+		Mix:      eb.Shopping,
+		Backend:  BackendContainer,
+		Scale:    tpcw.Scale{Items: 500, Customers: 300},
+
+		Monitor:            true,
+		MonitorInterval:    30 * time.Second,
+		Detect:             detect.Config{Window: 20, MinSamples: 6, Consecutive: 3},
+		MonitorWire:        true,
+		MonitorBatchRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if len(ls.Shards) != 4 || ls.Aggregator == nil {
+		t.Fatalf("monitored stack incomplete: %d shards, aggregator=%v", len(ls.Shards), ls.Aggregator != nil)
+	}
+	if _, err := ls.InjectLeak(1, ComponentA, 100*KB, 100, 5); err != nil {
+		t.Fatal(err)
+	}
+	const duration = 30 * time.Minute // 60 epochs at the 30s cadence
+	ls.Run(duration)
+	if err := ls.SyncMonitor(); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Driver.Completed() == 0 || ls.Driver.Failed() != 0 {
+		t.Fatalf("load tier: %d completed, %d failed", ls.Driver.Completed(), ls.Driver.Failed())
+	}
+	epochs := int64(duration / (30 * time.Second))
+	if got := ls.Aggregator.Epoch(); got != epochs {
+		t.Fatalf("aggregator folded %d epochs, want %d", got, epochs)
+	}
+	if got := ls.Aggregator.TotalRounds(); got != epochs*int64(len(ls.Shards)) {
+		t.Fatalf("aggregator ingested %d rounds, want %d", got, epochs*int64(len(ls.Shards)))
+	}
+	rep := ls.Aggregator.Report(core.ResourceMemory)
+	if rep == nil || !rep.Alarming() {
+		t.Fatalf("no memory verdict from the monitored load tier: %+v", rep)
+	}
+	top, _ := rep.Top()
+	if top.Pair() != "shard02/"+ComponentA {
+		t.Fatalf("top verdict = %q, want shard02/%s", top.Pair(), ComponentA)
+	}
+	if last, max := ls.Aggregator.FoldLatency(); last <= 0 || max < last {
+		t.Fatalf("fold latency not recorded: last=%v max=%v", last, max)
 	}
 }
 

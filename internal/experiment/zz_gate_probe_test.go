@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eb"
+)
+
+func TestGateProbe(t *testing.T) {
+	cfg := scenarioCfg
+	cfg.TimeScale = 1.0
+	cc := ClusterConfig{WireTransport: true, WireCodec: cluster.CodecBinary,
+		WireBatchRounds: 4, WireBatchDelay: 2 * time.Millisecond, StaleEpochs: 8,
+		IngestLanes: 8, FoldWorkers: 4}
+	cc.Nodes = 3
+	cc.Seed = cfg.Seed
+	cc.Scale = scenarioScale(cfg)
+	cc.Mix = eb.Shopping
+	cc.Detect = scenarioDetectConfig()
+	cc.Policy = cluster.RoundRobin
+	cs, err := NewClusterStack(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	if _, err := cs.InjectLeak("node2", ComponentA, 100*KB, 100, cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	cs.Driver.Run([]eb.Phase{{Duration: scaleDuration(time.Hour, cfg.TimeScale), EBs: cfg.EBs}})
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	e0 := cs.Aggregator.Epoch()
+	time.Sleep(500 * time.Millisecond)
+	e1 := cs.Aggregator.Epoch()
+	var tops []int64
+	for _, n := range cs.Aggregator.Nodes() {
+		tops = append(tops, n.Epoch)
+	}
+	t.Logf("epoch after Sync=%d, after 500ms=%d, rounds=%d, nodeEpochs=%v", e0, e1, cs.Aggregator.TotalRounds(), tops)
+}

@@ -40,7 +40,11 @@ while getopts "t:b:" opt; do
   esac
 done
 shift $((OPTIND - 1))
-REGEX="${1:-BenchmarkMonitorObserve|BenchmarkWirePublish|BenchmarkWireDecode|BenchmarkAggregatorIngest|BenchmarkForwarderObserve|BenchmarkRequestMonitoredParallel|BenchmarkRequestMonitored|BenchmarkRequestUnmonitored}"
+# BenchmarkAggregatorIngest is not in the default regex: go test splits
+# -bench patterns on every slash, so a sub-benchmark filter cannot ride
+# one top-level alternation. The aggregation-plane set runs in its own
+# blocks below with per-size iteration counts.
+REGEX="${1:-BenchmarkMonitorObserve|BenchmarkWirePublish|BenchmarkWireDecode|BenchmarkForwarderObserve|BenchmarkRequestMonitoredParallel|BenchmarkRequestMonitored|BenchmarkRequestUnmonitored}"
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
@@ -53,6 +57,16 @@ go test -run '^$' -bench "$REGEX" -benchtime "$BENCHTIME" -benchmem ./... 2>/dev
 # 2000 of them would take minutes. Only run when no custom regex was
 # given — a targeted invocation should run exactly what it asked for.
 if [[ -z "${1:-}" ]]; then
+  # Aggregation plane, small clusters: one epoch is a few hundred µs, so
+  # 300 iterations amortise pool warm-up without dragging CI.
+  echo "running: go test -run '^$' -bench 'BenchmarkAggregatorIngest/nodes=(1|3)$' -benchtime 300x -benchmem ./internal/cluster/" >&2
+  go test -run '^$' -bench 'BenchmarkAggregatorIngest/nodes=(1|3)$' -benchtime 300x -benchmem ./internal/cluster/ 2>/dev/null | tee -a "$OUT" >&2
+  # Fleet scale: one nodes=128 epoch is ~19 ms and one parallel round
+  # fans in from dozens of goroutines, so these run at their own low
+  # iteration count — 2000x of nodes=128 would be most of a minute of
+  # CI time for no extra signal.
+  echo "running: go test -run '^$' -bench 'BenchmarkAggregatorIngest/nodes=(32|128)$|BenchmarkAggregatorParallelIngest' -benchtime 50x -benchmem ./internal/cluster/" >&2
+  go test -run '^$' -bench 'BenchmarkAggregatorIngest/nodes=(32|128)$|BenchmarkAggregatorParallelIngest' -benchtime 50x -benchmem ./internal/cluster/ 2>/dev/null | tee -a "$OUT" >&2
   echo "running: go test -run '^$' -bench 'BenchmarkEngineSchedule|BenchmarkEngineCancel' -benchtime 200000x -benchmem ./internal/sim/" >&2
   go test -run '^$' -bench 'BenchmarkEngineSchedule|BenchmarkEngineCancel' -benchtime 200000x -benchmem ./internal/sim/ 2>/dev/null | tee -a "$OUT" >&2
   echo "running: go test -run '^$' -bench BenchmarkDriverSessions100k -benchtime 5x -benchmem ./internal/eb/" >&2
