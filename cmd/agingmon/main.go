@@ -40,6 +40,9 @@
 //	node-verdicts <node> [res]   print one node's detection report
 //	cluster-live [resource]      rank (node, component) pairs live
 //	cluster-watch [resource]     live-watch the cluster verdicts + alarms
+//	rejuv                        actuation plane: per-node rejuvenation FSM
+//	                             state and cumulative counters
+//	rejuv-history                actuation state-machine transition log
 package main
 
 import (
@@ -59,6 +62,7 @@ import (
 const (
 	managerName    = "aging:type=Manager"
 	aggregatorName = "aging:type=Aggregator"
+	rejuvName      = "aging:type=Rejuvenator"
 )
 
 var (
@@ -310,6 +314,30 @@ func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 	case "cluster-watch":
 		return clusterWatch(client, resourceArg(rest), w)
 
+	case "rejuv":
+		epoch, err := client.Get(rejuvName, "Epoch")
+		if err != nil {
+			return rejuvUnavailable(err)
+		}
+		status, err := client.Get(rejuvName, "Status")
+		if err != nil {
+			return err
+		}
+		counters, err := client.Get(rejuvName, "Counters")
+		if err != nil {
+			return err
+		}
+		printRejuvStatus(w, epoch, status, counters)
+		return nil
+
+	case "rejuv-history":
+		v, err := client.Invoke(rejuvName, "History")
+		if err != nil {
+			return rejuvUnavailable(err)
+		}
+		printRejuvHistory(w, v)
+		return nil
+
 	case "accuracy":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: accuracy <report.json>")
@@ -521,6 +549,62 @@ func printClusterReport(w io.Writer, v any) {
 		}
 		fmt.Fprintf(w, "%2d. %-24v on %-20s %-12s score=%8.4v since-epoch=%v\n",
 			i+1, vm["Component"], strings.Join(names, "+"), scope, vm["Score"], vm["FirstEpoch"])
+	}
+}
+
+// rejuvUnavailable decorates a missing-Rejuvenator error with the flag
+// that enables the actuation plane.
+func rejuvUnavailable(err error) error {
+	if strings.Contains(err.Error(), "not registered") {
+		return fmt.Errorf("%w (the actuation plane needs tpcwsim -nodes N -rejuvenate)", err)
+	}
+	return err
+}
+
+// printRejuvStatus renders the Rejuvenator bean's Status and Counters
+// attributes: one row per node's state machine, then the totals.
+func printRejuvStatus(w io.Writer, epoch, status, counters any) {
+	fmt.Fprintf(w, "epoch=%v\n", epoch)
+	if list, ok := status.([]any); ok {
+		fmt.Fprintf(w, "%-12s %-13s %-24s %4s %8s %9s %6s %12s\n",
+			"node", "state", "suspect", "hold", "since", "cooldown", "cycles", "freed")
+		for _, item := range list {
+			m, _ := item.(map[string]any)
+			suspect := fmt.Sprint(m["Component"])
+			if suspect == "" {
+				suspect = "-"
+			}
+			fmt.Fprintf(w, "%-12v %-13v %-24s %4v %8v %9v %6v %12v\n",
+				m["Node"], m["State"], suspect, m["Hold"], m["SinceEpoch"],
+				m["CooldownUntil"], m["Cycles"], m["FreedBytes"])
+		}
+	} else {
+		fmt.Fprintln(w, status)
+	}
+	if m, ok := counters.(map[string]any); ok {
+		fmt.Fprintf(w, "rejuvenations=%v freed=%v rollbacks=%v control-lost=%v forced-drains=%v vetoes=%v\n",
+			m["Rejuvenations"], m["FreedBytes"], m["Rollbacks"],
+			m["ControlLost"], m["ForcedDrains"], m["ClusterWideVetoes"])
+	} else {
+		fmt.Fprintln(w, counters)
+	}
+}
+
+// printRejuvHistory renders the Rejuvenator's transition log.
+func printRejuvHistory(w io.Writer, v any) {
+	list, ok := v.([]any)
+	if !ok {
+		fmt.Fprintln(w, v)
+		return
+	}
+	if len(list) == 0 {
+		fmt.Fprintln(w, "no actuation yet")
+		return
+	}
+	for _, item := range list {
+		m, _ := item.(map[string]any)
+		fmt.Fprintf(w, "epoch %6v  %-12v %-12v -> %-12v %v\n",
+			m["Epoch"], m["Node"], m["From"], m["To"], m["Note"])
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/eb"
 	"repro/internal/experiment"
 	"repro/internal/jmxhttp"
+	"repro/internal/rejuv"
 	"repro/internal/tpcw"
 )
 
@@ -72,6 +73,40 @@ func newClusterPlane(t *testing.T) *jmxhttp.Client {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(jmxhttp.NewHandlerWithNotifications(cs.Server, buf))
+	t.Cleanup(srv.Close)
+	return jmxhttp.NewClient(srv.URL, nil)
+}
+
+// newRejuvPlane is newClusterPlane with the rejuvenation controller
+// armed and a tuning tight enough that the leaking node2 completes at
+// least one drain/reboot cycle within the run.
+func newRejuvPlane(t *testing.T) *jmxhttp.Client {
+	t.Helper()
+	cs, err := experiment.NewClusterStack(experiment.ClusterConfig{
+		Nodes:  3,
+		Seed:   7,
+		Scale:  tpcw.Scale{Items: 200, Customers: 144, Seed: 8},
+		Mix:    eb.Shopping,
+		Detect: detect.Config{Window: 20, MinSamples: 4, Consecutive: 2},
+		Policy: cluster.RoundRobin,
+		Rejuv: &rejuv.Config{
+			HoldDownEpochs: 2, DrainEpochs: 2, RebootEpochs: 2,
+			ProbationEpochs: 3, ProbationWeight: 1, HealthyWeight: 1,
+			CooldownEpochs: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cs.Close)
+	if _, err := cs.InjectLeak("node2", tpcw.CompHome, 100<<10, 20, 7); err != nil {
+		t.Fatal(err)
+	}
+	cs.Driver.Run([]eb.Phase{{Duration: 15 * time.Minute, EBs: 30}})
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(jmxhttp.NewHandler(cs.Server))
 	t.Cleanup(srv.Close)
 	return jmxhttp.NewClient(srv.URL, nil)
 }
@@ -170,6 +205,45 @@ func TestClusterCommands(t *testing.T) {
 	out = run(t, client, "cluster-live", "memory")
 	if !strings.Contains(out, "node2/"+tpcw.CompHome) {
 		t.Fatalf("cluster-live lacks the (node, component) pair:\n%s", out)
+	}
+}
+
+func TestRejuvCommands(t *testing.T) {
+	client := newRejuvPlane(t)
+	for _, tc := range []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"rejuv"}, []string{
+			"epoch=", "node1", "node2", "node3", "rejuvenations="}},
+		{[]string{"rejuv-history"}, []string{
+			"node2", "draining", "rejuvenating", "micro-reboot"}},
+	} {
+		out := run(t, client, tc.args...)
+		for _, want := range tc.want {
+			if !strings.Contains(out, want) {
+				t.Fatalf("agingmon %s: output lacks %q:\n%s", strings.Join(tc.args, " "), want, out)
+			}
+		}
+	}
+	// The only node that ever actuated is the leaking one.
+	out := run(t, client, "rejuv-history")
+	if strings.Contains(out, "node1") || strings.Contains(out, "node3") {
+		t.Fatalf("healthy nodes appear in the actuation history:\n%s", out)
+	}
+}
+
+func TestRejuvCommandsNeedActuationPlane(t *testing.T) {
+	client := newManagerPlane(t)
+	for _, args := range [][]string{{"rejuv"}, {"rejuv-history"}} {
+		var out bytes.Buffer
+		err := dispatch(client, args, &out)
+		if err == nil {
+			t.Fatalf("agingmon %s: expected an error without a Rejuvenator bean", strings.Join(args, " "))
+		}
+		if !strings.Contains(err.Error(), "-rejuvenate") {
+			t.Fatalf("agingmon %s: error does not point at the enabling flag: %v", strings.Join(args, " "), err)
+		}
 	}
 }
 

@@ -66,9 +66,13 @@ func main() {
 		"S14": experiment.S14NodeKill,
 		"S15": experiment.S15TransportPartition,
 		"S16": experiment.S16ClockSkew,
+		"S17": experiment.S17RejuvenateSickReplica,
+		"S18": experiment.S18FlappingDetectorHeld,
+		"S19": experiment.S19ControlLossDuringDrain,
 	}
 	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3",
-		"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16"}
+		"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16",
+		"S17", "S18", "S19"}
 
 	var ids []string
 	if *run == "all" {

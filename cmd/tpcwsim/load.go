@@ -15,17 +15,17 @@ import (
 
 // loadOptions carries the -load flag set into runLoad.
 type loadOptions struct {
-	duration time.Duration
-	sessions int
-	shards   int
-	arrival  string
-	rate     float64
-	backend  string
-	drivers  int
-	role     string
-	coord    string
-	index    int
-	seed     uint64
+	duration  time.Duration
+	sessions  int
+	shards    int
+	arrival   string
+	rate      float64
+	backend   string
+	drivers   int
+	role      string
+	coord     string
+	index     int
+	seed      uint64
 	monitor   bool
 	interval  time.Duration
 	workers   int

@@ -7,7 +7,7 @@
 //
 //	tpcwsim [-addr :9990] [-duration 1h] [-ebs 50] [-leak tpcw.home]
 //	        [-leaksize 102400] [-leakn 100] [-scenario steady] [-hold]
-//	        [-nodes 1] [-leaknode node2] [-transport inproc]
+//	        [-nodes 1] [-leaknode node2] [-transport inproc] [-rejuvenate]
 //
 // The -scenario flag picks the workload shape the detectors are exposed
 // to: steady (one flat phase), shift (the mix walks browsing → shopping →
@@ -29,11 +29,20 @@
 //	agingmon cluster memory
 //	agingmon cluster-watch memory
 //
+// -rejuvenate (cluster mode) closes the loop: the rejuvenation
+// controller subscribes to the aggregator's verdicts and drains,
+// micro-reboots and re-admits the flagged node through the balancer and
+// the control channel, while the run keeps serving. Inspect it live:
+//
+//	tpcwsim -nodes 3 -leaknode node2 -rejuvenate &
+//	agingmon rejuv
+//	agingmon rejuv-history
+//
 // -transport picks how rounds travel from the nodes to the aggregator:
 // inproc (direct calls), gob, or binary (the delta-encoded wire codec) —
 // verdicts are transport-independent by construction. With -batch K
 // (binary transport only) each node's forwarder packs K rounds into one
-// v4 BATCH frame before writing; -lanes and -foldworkers size the
+// v5 BATCH frame before writing; -lanes and -foldworkers size the
 // aggregator's sharded ingest plane and parallel fold pool (0 = package
 // defaults).
 //
@@ -84,6 +93,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/jmx"
 	"repro/internal/jmxhttp"
+	"repro/internal/rejuv"
 	"repro/internal/sim"
 	"repro/internal/tpcw"
 )
@@ -103,40 +113,41 @@ func main() {
 		nodes    = flag.Int("nodes", 1, "cluster size (1 = the paper's single-node testbed)")
 		leakNode = flag.String("leaknode", "node2", "node to arm the leak on in cluster mode")
 		trans    = flag.String("transport", "inproc", "cluster round transport: inproc, gob or binary")
-		batch    = flag.Int("batch", 0, "rounds per v4 BATCH frame on the binary transport (0/1 = one round per frame)")
+		rejuvOn  = flag.Bool("rejuvenate", false, "cluster mode: actuate verdicts — drain, micro-reboot, probation, re-admit")
+		batch    = flag.Int("batch", 0, "rounds per v5 BATCH frame on the binary transport (0/1 = one round per frame)")
 		lanes    = flag.Int("lanes", 0, "aggregator ingest lanes (0 = package default)")
 		foldWork = flag.Int("foldworkers", 0, "aggregator fold worker pool size (0 = package default)")
 
-		load     = flag.Bool("load", false, "run the million-session load tier instead of the monitored testbed")
-		sessions = flag.Int("sessions", 100000, "load tier: closed-loop session population")
-		shards   = flag.Int("shards", 1, "load tier: per-core event-engine shards per process")
-		arrival  = flag.String("arrival", "closed", "load tier: arrival discipline, closed or open")
-		rate     = flag.Float64("rate", 1000, "load tier: open-loop arrival rate (sessions/second)")
-		backend  = flag.String("backend", "model", "load tier: backend, model or container")
-		drivers  = flag.Int("drivers", 1, "load tier: driver process fleet size K")
-		role     = flag.String("role", "local", "load tier: local, coordinator or driver")
-		coord    = flag.String("coord", ":9991", "load tier: coordinator address (listen or dial)")
-		drvIndex = flag.Int("driver-index", 0, "load tier: this driver's index in the fleet")
+		load      = flag.Bool("load", false, "run the million-session load tier instead of the monitored testbed")
+		sessions  = flag.Int("sessions", 100000, "load tier: closed-loop session population")
+		shards    = flag.Int("shards", 1, "load tier: per-core event-engine shards per process")
+		arrival   = flag.String("arrival", "closed", "load tier: arrival discipline, closed or open")
+		rate      = flag.Float64("rate", 1000, "load tier: open-loop arrival rate (sessions/second)")
+		backend   = flag.String("backend", "model", "load tier: backend, model or container")
+		drivers   = flag.Int("drivers", 1, "load tier: driver process fleet size K")
+		role      = flag.String("role", "local", "load tier: local, coordinator or driver")
+		coord     = flag.String("coord", ":9991", "load tier: coordinator address (listen or dial)")
+		drvIndex  = flag.Int("driver-index", 0, "load tier: this driver's index in the fleet")
 		monitor   = flag.Bool("monitor", false, "load tier: attach the monitoring plane (container backend only)")
 		workers   = flag.Int("workers", 0, "load tier: container workers per shard (0 = servlet default of 50; size for the offered load at large populations)")
 		leakShard = flag.Int("leakshard", -1, "load tier: arm the -leak injection on this shard index (-1 = no injection)")
-		monIntvl = flag.Duration("monitor-interval", 30*time.Second, "load tier: sampling cadence of the monitoring plane")
+		monIntvl  = flag.Duration("monitor-interval", 30*time.Second, "load tier: sampling cadence of the monitoring plane")
 	)
 	flag.Parse()
 
 	if *load {
 		runLoad(loadOptions{
-			duration: *duration,
-			sessions: *sessions,
-			shards:   *shards,
-			arrival:  *arrival,
-			rate:     *rate,
-			backend:  *backend,
-			drivers:  *drivers,
-			role:     *role,
-			coord:    *coord,
-			index:    *drvIndex,
-			seed:     *seed,
+			duration:  *duration,
+			sessions:  *sessions,
+			shards:    *shards,
+			arrival:   *arrival,
+			rate:      *rate,
+			backend:   *backend,
+			drivers:   *drivers,
+			role:      *role,
+			coord:     *coord,
+			index:     *drvIndex,
+			seed:      *seed,
 			monitor:   *monitor,
 			interval:  *monIntvl,
 			workers:   *workers,
@@ -144,9 +155,9 @@ func main() {
 			leakShard: *leakShard,
 			leakSize:  *leakSize,
 			leakN:     *leakN,
-			batch:    *batch,
-			lanes:    *lanes,
-			foldWork: *foldWork,
+			batch:     *batch,
+			lanes:     *lanes,
+			foldWork:  *foldWork,
 		})
 		return
 	}
@@ -157,8 +168,11 @@ func main() {
 			// detector banks; a cluster without them has no output.
 			log.Printf("-detect=false has no effect with -nodes > 1: the aggregator always runs per-node detectors")
 		}
-		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold, *trans, *batch, *lanes, *foldWork)
+		runCluster(*addr, *duration, *ebs, *leak, *leakSize, *leakN, *seed, *scenario, *leakNode, *nodes, *hold, *trans, *batch, *lanes, *foldWork, *rejuvOn)
 		return
+	}
+	if *rejuvOn {
+		log.Printf("-rejuvenate needs a cluster (-nodes > 1): a single node cannot be drained")
 	}
 
 	stack, err := experiment.NewStack(experiment.StackConfig{
@@ -212,13 +226,18 @@ func main() {
 
 // runCluster is the -nodes N mode: a full cluster behind a balancer with
 // the aggregator's bean on the management plane.
-func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool, transport string, batch, lanes, foldWorkers int) {
+func runCluster(addr string, duration time.Duration, ebs int, leak string, leakSize, leakN int, seed uint64, scenario, leakNode string, nodes int, hold bool, transport string, batch, lanes, foldWorkers int, rejuvenate bool) {
 	cfg := experiment.ClusterConfig{
 		Nodes:       nodes,
 		Seed:        seed,
 		Mix:         eb.Shopping,
 		IngestLanes: lanes,
 		FoldWorkers: foldWorkers,
+	}
+	if rejuvenate {
+		// Package defaults; HealthyWeight 1 matches the balancer's
+		// registration weight so a re-admitted node is not over-weighted.
+		cfg.Rejuv = &rejuv.Config{HealthyWeight: 1}
 	}
 	switch transport {
 	case "inproc", "":
@@ -266,6 +285,14 @@ func runCluster(addr string, duration time.Duration, ebs int, leak string, leakS
 		cs.Driver.Completed(), cs.Driver.Failed(), time.Since(start).Truncate(time.Millisecond),
 		cs.Balancer.Spread())
 
+	if cs.Rejuv != nil {
+		st := cs.Rejuv.Stats()
+		fmt.Printf("actuation: %d micro-reboots freed %dB, %d rollbacks, %d control losses, %d forced drains, %d cluster-wide vetoes\n",
+			st.Rejuvenations, st.FreedBytes, st.Rollbacks, st.ControlLost, st.ForcedDrains, st.ClusterWideVetoes)
+		for _, ev := range cs.Rejuv.History() {
+			fmt.Printf("  epoch %4d  %-8s %s -> %s  %s\n", ev.Epoch, ev.Node, ev.From, ev.To, ev.Note)
+		}
+	}
 	if rep := cs.Aggregator.Report(core.ResourceMemory); rep != nil {
 		fmt.Println(rep.String())
 		if top, ok := rep.Top(); ok {

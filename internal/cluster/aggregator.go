@@ -263,10 +263,14 @@ func (r *ClusterReport) String() string {
 // Lock hierarchy (acquire strictly downward, release before acquiring a
 // peer):
 //
+//	epochDeliverMu > foldMu (epoch events deliver after the fold lock is
+//	                         released, so a subscriber may re-enter the
+//	                         aggregator — ResetNode, SendControl)
 //	foldMu > lane.mu > tlMu
 //	foldMu > regMu(W)
 //	regMu(R) > lane.mu (read paths only; nothing holding a lane lock
 //	                    ever waits on regMu)
+//	ctlMu and epochSubMu are leaves: nothing is acquired under them
 //
 // The steady-state ingest path touches only its node's lane lock and the
 // short tlMu merged-timeline section; foldMu is taken only by the round
@@ -297,7 +301,7 @@ type Aggregator struct {
 	guard       *detect.ShiftGuard
 	churnLeft   int
 	shiftEp     int64
-	foldNodes   []foldNode     // per-epoch scratch: active nodes' snapshots
+	foldNodes   []foldNode // per-epoch scratch: active nodes' snapshots
 	foldDeltas  map[string]float64
 	foldScratch []resourceFold // per-resource reusable verdict-assembly state
 
@@ -349,6 +353,23 @@ type Aggregator struct {
 
 	notifMu sync.Mutex
 	pending []jmx.Notification
+
+	// Epoch-event subscription: the actuation controller's verdict feed.
+	// Events queue under foldMu — only when subscribers exist, so plain
+	// deployments' folds stay allocation-free — and deliver after foldMu
+	// is released, in epoch order under the delivery mutex.
+	epochSubMu     sync.Mutex
+	epochSubs      []func(EpochEvent)
+	epochPending   []EpochEvent
+	epochDeliverMu sync.Mutex
+
+	// Control plane (control.go): command sequencing, local handler
+	// bindings, learned wire routes and in-flight wire commands.
+	ctlMu      sync.Mutex
+	ctlSeq     uint64
+	ctlLocal   map[string]ControlHandler
+	ctlConns   map[string]*controlConn
+	ctlPending map[uint64]*pendingControl
 }
 
 // foldNode is one active node's snapshot for the epoch being folded.
@@ -430,6 +451,10 @@ func New(cfg Config) *Aggregator {
 		reports:   make(map[string]*ClusterReport),
 		retention: retention,
 		alarmed:   make(map[string]map[string]*latchedAlarm),
+
+		ctlLocal:   make(map[string]ControlHandler),
+		ctlConns:   make(map[string]*controlConn),
+		ctlPending: make(map[uint64]*pendingControl),
 	}
 	for i := range a.lanes {
 		a.lanes[i].nodes = make(map[string]*nodeState)
@@ -471,6 +496,20 @@ func (a *Aggregator) nextReport(ri int) *ClusterReport {
 	return rep
 }
 
+// monitorConfig returns one resource's detector config with the report
+// retention floored so the epoch fold can still read snapshots up to
+// StaleEpochs rounds old when they are consumed.
+func (a *Aggregator) monitorConfig(res string) detect.Config {
+	cfg := a.configs[res]
+	if cfg.ReportRetention <= 0 {
+		cfg.ReportRetention = detect.DefaultReportRetention
+	}
+	if min := a.cfg.StaleEpochs + 3; cfg.ReportRetention < min {
+		cfg.ReportRetention = min
+	}
+	return cfg
+}
+
 // newNodeState creates and registers the aggregator's state for one
 // node. Caller holds a.foldMu (and not the node's lane lock — the
 // registry and lane insertions take their own locks here).
@@ -486,17 +525,7 @@ func (a *Aggregator) newNodeState(name string) *nodeState {
 		firstAlarm:   make([]map[string]int64, len(a.resources)),
 	}
 	for _, res := range a.resources {
-		cfg := a.configs[res]
-		// The epoch fold reads reports snapshotted up to StaleEpochs
-		// rounds ago; size the monitors' recycled report rings so those
-		// snapshots are still within their retention window at fold time.
-		if cfg.ReportRetention <= 0 {
-			cfg.ReportRetention = detect.DefaultReportRetention
-		}
-		if min := a.cfg.StaleEpochs + 3; cfg.ReportRetention < min {
-			cfg.ReportRetention = min
-		}
-		st.monitors[res] = detect.NewMonitor(res, cfg)
+		st.monitors[res] = detect.NewMonitor(res, a.monitorConfig(res))
 	}
 	i := sort.SearchStrings(a.order, name)
 	a.all = append(a.all, nil)
@@ -579,8 +608,12 @@ func (a *Aggregator) Ingest(r Round) {
 // state.
 func (a *Aggregator) ingestSlow(lane *ingestLane, r Round) {
 	a.foldMu.Lock()
-	defer a.foldMu.Unlock()
+	a.ingestSlowLocked(lane, r)
+	a.foldMu.Unlock()
+	a.deliverEpochEvents()
+}
 
+func (a *Aggregator) ingestSlowLocked(lane *ingestLane, r Round) {
 	lane.mu.Lock()
 	st := lane.nodes[r.Node]
 	lane.mu.Unlock()
@@ -721,6 +754,7 @@ func (a *Aggregator) maybeFold(epoch int64) {
 	a.foldMu.Lock()
 	a.completeEpochs()
 	a.foldMu.Unlock()
+	a.deliverEpochEvents()
 }
 
 // completeEpochs folds finished epochs, under a.foldMu. Epoch k is
@@ -874,6 +908,21 @@ func (a *Aggregator) foldEpoch(k int64) {
 		sc.notifs = sc.notifs[:0]
 	}
 	a.notifMu.Unlock()
+
+	// Queue the epoch for verdict subscribers (the rejuvenation
+	// controller). Skipped entirely with no subscribers, keeping plain
+	// deployments' folds allocation-free; delivery happens once foldMu is
+	// released (deliverEpochEvents), so a subscriber can call back into
+	// the aggregator.
+	a.epochSubMu.Lock()
+	if len(a.epochSubs) > 0 {
+		ev := EpochEvent{Epoch: k, Suppressed: suppressed, Active: active}
+		for ri := range a.resources {
+			ev.Verdicts = append(ev.Verdicts, a.foldScratch[ri].rep.Verdicts...)
+		}
+		a.epochPending = append(a.epochPending, ev)
+	}
+	a.epochSubMu.Unlock()
 
 	// Release the per-seq snapshots this epoch consumed (≤ guards
 	// against stale keys surviving an epoch-base change across a
@@ -1083,7 +1132,6 @@ func (a *Aggregator) DrainNotifications() []jmx.Notification {
 // that publishes again after Leave rejoins automatically.
 func (a *Aggregator) Leave(node string) {
 	a.foldMu.Lock()
-	defer a.foldMu.Unlock()
 	a.regMu.RLock()
 	st := a.byName[node]
 	a.regMu.RUnlock()
@@ -1091,6 +1139,91 @@ func (a *Aggregator) Leave(node string) {
 		a.deactivate(st)
 		a.completeEpochs()
 	}
+	a.foldMu.Unlock()
+	a.deliverEpochEvents()
+}
+
+// EpochEvent is one completed cluster epoch as delivered to verdict
+// subscribers: every resource's verdicts for the epoch, flattened in
+// resource order. The event is the subscriber's to keep — the verdict
+// values are copies and their Nodes slices are freshly allocated per
+// fold, never recycled.
+type EpochEvent struct {
+	Epoch      int64
+	Suppressed bool // churn hold or workload-shift guard active
+	Active     int  // nodes contributing to the epoch
+	Verdicts   []ClusterVerdict
+}
+
+// SubscribeEpochs registers fn on the epoch-event feed: it is called
+// once per completed epoch, in epoch order, on the goroutine whose
+// ingest completed the epoch — after the fold lock is released, so fn
+// may call back into the aggregator (ResetNode, SendControl, reports).
+// fn must not block: it runs on the ingest path of whichever node's
+// round completed the epoch. Subscribe before rounds flow; there is no
+// unsubscribe.
+func (a *Aggregator) SubscribeEpochs(fn func(EpochEvent)) {
+	a.epochSubMu.Lock()
+	a.epochSubs = append(a.epochSubs, fn)
+	a.epochSubMu.Unlock()
+}
+
+// deliverEpochEvents drains queued epoch events to the subscribers. It
+// runs with foldMu released; the delivery mutex keeps events in epoch
+// order when two ingests complete epochs back to back.
+func (a *Aggregator) deliverEpochEvents() {
+	a.epochDeliverMu.Lock()
+	defer a.epochDeliverMu.Unlock()
+	for {
+		a.epochSubMu.Lock()
+		events := a.epochPending
+		a.epochPending = nil
+		subs := a.epochSubs
+		a.epochSubMu.Unlock()
+		if len(events) == 0 {
+			return
+		}
+		for _, ev := range events {
+			for _, fn := range subs {
+				fn(ev)
+			}
+		}
+	}
+}
+
+// ResetNode clears a node's detection history — monitors, first-alarm
+// latches and pending per-seq snapshots — while keeping its sequence
+// numbering and epoch alignment. The rejuvenation controller calls it
+// right after a micro-reboot: the component restarts from a fresh
+// baseline, and trend state accumulated before the reboot would misread
+// the recovery cliff as signal (or keep the old alarm latched through
+// probation). Reports false for unknown nodes.
+func (a *Aggregator) ResetNode(node string) bool {
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+	a.regMu.RLock()
+	st := a.byName[node]
+	a.regMu.RUnlock()
+	if st == nil {
+		return false
+	}
+	for ri := range st.firstAlarm {
+		st.firstAlarm[ri] = nil
+	}
+	st.lane.mu.Lock()
+	for res := range st.monitors {
+		st.monitors[res] = detect.NewMonitor(res, a.monitorConfig(res))
+	}
+	for s, reps := range st.reportsAtSeq {
+		st.repsFree = append(st.repsFree, reps[:0])
+		delete(st.reportsAtSeq, s)
+	}
+	for s := range st.usageAtSeq {
+		delete(st.usageAtSeq, s)
+	}
+	clear(st.firstSize)
+	st.lane.mu.Unlock()
+	return true
 }
 
 // Epoch returns the latest completed cluster epoch (lock-free).

@@ -51,6 +51,10 @@ type member struct {
 	weight   int
 	current  int // smooth-WRR accumulator
 	inflight int
+	// draining: no new sticky assignments; existing sessions still route
+	// here until CompleteDrain unpins them (or they go idle). Set by the
+	// rejuvenation controller before a micro-reboot.
+	draining bool
 }
 
 // Balancer fronts a set of servlet containers the way a load balancer
@@ -115,6 +119,107 @@ func (b *Balancer) RemoveNode(name string) bool {
 		}
 	}
 	return false
+}
+
+// Drain marks a node draining: pick() stops assigning new sessions to
+// it, while already-pinned sessions keep routing there — session state
+// (carts, logins) lives in the node's container, so draining honours it
+// instead of severing it. It reports whether the node is present.
+func (b *Balancer) Drain(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.byName(name)
+	if m == nil {
+		return false
+	}
+	m.draining = true
+	return true
+}
+
+// CompleteDrain force-unpins the sessions still stuck to a draining
+// node (their next request is assigned a fresh node by policy; session
+// state on the drained node is lost, as with RemoveNode) and returns
+// how many were unpinned. The node stays draining until Readmit.
+func (b *Balancer) CompleteDrain(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.byName(name)
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for sid, owner := range b.sessions {
+		if owner == m {
+			delete(b.sessions, sid)
+			n++
+		}
+	}
+	return n
+}
+
+// Readmit clears a node's draining state and sets its weight (minimum
+// 1) — probation re-admits at reduced weight, a clean probation
+// restores the full one. It reports whether the node is present.
+func (b *Balancer) Readmit(name string, weight int) bool {
+	if weight < 1 {
+		weight = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.byName(name)
+	if m == nil {
+		return false
+	}
+	m.draining = false
+	m.weight = weight
+	return true
+}
+
+// Draining reports whether a node is currently draining.
+func (b *Balancer) Draining(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.byName(name)
+	return m != nil && m.draining
+}
+
+// PinnedSessions counts the sessions currently stuck to a node — the
+// drain-progress signal the rejuvenation controller watches.
+func (b *Balancer) PinnedSessions(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.byName(name)
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, owner := range b.sessions {
+		if owner == m {
+			n++
+		}
+	}
+	return n
+}
+
+// Inflight reports a node's requests currently in its backend.
+func (b *Balancer) Inflight(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.byName(name)
+	if m == nil {
+		return 0
+	}
+	return m.inflight
+}
+
+// byName finds a member. Caller holds b.mu.
+func (b *Balancer) byName(name string) *member {
+	for _, m := range b.members {
+		if m.name == name {
+			return m
+		}
+	}
+	return nil
 }
 
 // SetWeights updates per-node weights (Weighted policy). Unknown names
@@ -223,14 +328,27 @@ func (b *Balancer) route(sessionID string) *member {
 	return m
 }
 
-// pick selects a member by policy. Caller holds b.mu.
+// pick selects a member by policy, skipping draining members. When
+// every member is draining it routes anyway — a drain steers sessions
+// away from a node, it never turns the balancer into a 503 wall. Caller
+// holds b.mu.
 func (b *Balancer) pick() *member {
+	skipDraining := false
+	for _, m := range b.members {
+		if !m.draining {
+			skipDraining = true
+			break
+		}
+	}
 	switch b.policy {
 	case LeastLoaded:
 		n := len(b.members)
 		best := -1
 		for i := 0; i < n; i++ {
 			idx := (b.nextLL + i) % n
+			if skipDraining && b.members[idx].draining {
+				continue
+			}
 			if best < 0 || b.members[idx].inflight < b.members[best].inflight {
 				best = idx
 			}
@@ -243,6 +361,9 @@ func (b *Balancer) pick() *member {
 		var total int
 		var best *member
 		for _, m := range b.members {
+			if skipDraining && m.draining {
+				continue
+			}
 			w := m.weight
 			if b.policy == RoundRobin {
 				w = 1

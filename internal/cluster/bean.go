@@ -60,6 +60,13 @@ func (a *Aggregator) Bean() *jmx.Bean {
 			}
 			a.Leave(node)
 			return true, nil
+		}).
+		Op("ResetNode", "clear a node's detection history after a rejuvenation", func(args ...any) (any, error) {
+			node, err := oneString(args)
+			if err != nil {
+				return nil, err
+			}
+			return a.ResetNode(node), nil
 		})
 }
 

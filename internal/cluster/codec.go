@@ -61,8 +61,24 @@ import (
 // frame: the payload opens with a uvarint round count and carries that
 // many encoded rounds back to back, so a publisher flushing every K
 // rounds amortises the frame prefix and the peer's read across the batch
-// at fleet fan-in (an unbatched publisher ships batches of one).
-var wireMagic = [4]byte{'A', 'G', 'M', 4}
+// at fleet fan-in (an unbatched publisher ships batches of one); 5 —
+// every frame payload opens with a one-byte frame type discriminating
+// BATCH round frames from the CONTROL command/ack frames of the actuation
+// plane (control.go), which makes the stream bidirectional: rounds and
+// acks flow node→aggregator, drain/rejuvenate/re-admit commands flow
+// aggregator→node on the same connection.
+var wireMagic = [4]byte{'A', 'G', 'M', 5}
+
+// Frame types: the first byte of every v5 frame payload.
+const (
+	// frameBatch carries sampling rounds (uvarint count + rounds).
+	frameBatch = 0x00
+	// frameControl carries one actuation command (aggregator → node).
+	frameControl = 0x01
+	// frameControlAck carries one command acknowledgement (node →
+	// aggregator).
+	frameControlAck = 0x02
+)
 
 // prevSample is the per-component delta-encoding state: the previous
 // round's values for one component on one node, plus the previous deltas
@@ -296,12 +312,12 @@ func (e *BinaryEncoder) BufferRound(r Round) {
 	e.pending++
 }
 
-// FlushFrame appends the pending BATCH frame — uvarint round count, then
-// the buffered rounds back to back, the whole payload length-prefixed
-// and preceded by the stream header on the first flush — to dst and
-// returns the extended slice. With nothing buffered it returns dst
-// unchanged (no empty frames on the wire). The batch buffer is reused by
-// subsequent rounds.
+// FlushFrame appends the pending BATCH frame — frame-type byte, uvarint
+// round count, then the buffered rounds back to back, the whole payload
+// length-prefixed and preceded by the stream header on the first flush —
+// to dst and returns the extended slice. With nothing buffered it returns
+// dst unchanged (no empty frames on the wire). The batch buffer is reused
+// by subsequent rounds.
 func (e *BinaryEncoder) FlushFrame(dst []byte) []byte {
 	if e.pending == 0 {
 		return dst
@@ -312,7 +328,8 @@ func (e *BinaryEncoder) FlushFrame(dst []byte) []byte {
 	}
 	var cnt [binary.MaxVarintLen64]byte
 	cn := binary.PutUvarint(cnt[:], uint64(e.pending))
-	dst = appendUvarint(dst, uint64(cn+len(e.batch)))
+	dst = appendUvarint(dst, uint64(1+cn+len(e.batch)))
+	dst = append(dst, frameBatch)
 	dst = append(dst, cnt[:cn]...)
 	dst = append(dst, e.batch...)
 	e.batch = e.batch[:0]
@@ -425,12 +442,19 @@ func (d *BinaryDecoder) DecodeFrame(payload []byte) (Round, error) {
 }
 
 // DecodeBatch decodes one BATCH frame payload (without its length
-// prefix), calling emit once per round in publish order. Each round's
-// Samples slice is the decoder's reused buffer, valid only until emit
-// returns — exactly the borrow contract Aggregator.Ingest honours by
-// copying what it retains. A non-nil error from emit aborts the batch.
+// prefix, including its leading frame-type byte), calling emit once per
+// round in publish order. Each round's Samples slice is the decoder's
+// reused buffer, valid only until emit returns — exactly the borrow
+// contract Aggregator.Ingest honours by copying what it retains. A
+// non-nil error from emit aborts the batch.
 func (d *BinaryDecoder) DecodeBatch(payload []byte, emit func(Round) error) error {
-	p := &byteParser{b: payload}
+	if len(payload) == 0 {
+		return fmt.Errorf("cluster: empty frame")
+	}
+	if payload[0] != frameBatch {
+		return fmt.Errorf("cluster: frame type %d is not a BATCH frame", payload[0])
+	}
+	p := &byteParser{b: payload, i: 1}
 	count, err := p.uvarint()
 	if err != nil {
 		return err

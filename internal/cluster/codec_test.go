@@ -138,9 +138,11 @@ func TestBinaryCodecGolden(t *testing.T) {
 	enc.BufferRound(rounds[3])
 	enc.BufferRound(rounds[4])
 	stream = enc.FlushFrame(stream)
-	// The stream: 4-byte header (magic "AGM", version 4), then
-	// length-prefixed BATCH frames, each opening with its uvarint round
-	// count (0x01 for the unbatched frames, 0x02 for the final pair).
+	// The stream: 4-byte header (magic "AGM", version 5), then
+	// length-prefixed frames, each opening with its frame-type byte (0x00
+	// = BATCH; CONTROL/ACK frames are pinned in control_test.go) and its
+	// uvarint round count (0x01 for the unbatched frames, 0x02 for the
+	// final pair).
 	// The first frame carries every name verbatim (first sightings) and
 	// full values (the double-delta chains start at zero); names intern
 	// per stream, so the node2 frame already references the component
@@ -150,19 +152,19 @@ func TestBinaryCodecGolden(t *testing.T) {
 	// its one-time large residual. The sample CPU and latency figures
 	// (multiples of 0.25s) quantise exactly, so every sample carries
 	// flagCPUNanos|flagLatNanos and rides the nanosecond double-delta
-	// chains instead of the v1 XOR'd float bits. The final frame (0x4a
-	// bytes, count 0x02) carries node2's second round — paying its
-	// one-time time residual like node1 did — and node1's third, fully
+	// chains instead of the v1 XOR'd float bits. The final frame (0x4b
+	// bytes, type 0x00, count 0x02) carries node2's second round — paying
+	// its one-time time residual like node1 did — and node1's third, fully
 	// steady round, whose linear chains are almost all single zero bytes.
-	const want = "41474d04590100056e6f6465310280b08dabf9b4cd84230300056c65616b790780" +
-		"808001c80106060080cab5ee018094ebdc030006737465616479078040e0030a04" +
-		"008094ebdc0380dea0cb050007756e73697a656406000e0000000000450100056e" +
-		"6f6465320280b08dabf9b4cd842303020780808001c8010606804080cab5ee0180" +
-		"94ebdc0303078040e0030a04008094ebdc0380dea0cb050406000e00000000002b" +
-		"010100ffffefe899b3cd8423030207ffff7f0005030000000307ff3f0009030000" +
-		"000406000000000000004a020500ffffefe899b3cd8423030207ffff7f00050300" +
-		"00000307ff3f0009030000000406000000000000000100000302070000000000000003" +
-		"0700000000000000040600000000000000"
+	const want = "41474d055a000100056e6f6465310280b08dabf9b4cd84230300056c65616b7907" +
+		"80808001c80106060080cab5ee018094ebdc030006737465616479078040e0030a" +
+		"04008094ebdc0380dea0cb050007756e73697a656406000e000000000046000100" +
+		"056e6f6465320280b08dabf9b4cd842303020780808001c8010606804080cab5ee" +
+		"018094ebdc0303078040e0030a04008094ebdc0380dea0cb050406000e00000000" +
+		"002c00010100ffffefe899b3cd8423030207ffff7f0005030000000307ff3f0009" +
+		"030000000406000000000000004b00020500ffffefe899b3cd8423030207ffff7f" +
+		"0005030000000307ff3f0009030000000406000000000000000100000302070000" +
+		"0000000000030700000000000000040600000000000000"
 	got := hex.EncodeToString(stream)
 	if got != normalizeHex(want) {
 		t.Fatalf("wire format drifted.\n got: %s\nwant: %s", got, normalizeHex(want))
@@ -262,7 +264,8 @@ func TestBinaryDecoderRejectsCorruption(t *testing.T) {
 		t.Fatal("truncated frame decoded without error")
 	}
 	// A dangling string reference: id 200 was never defined.
-	bad := append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, 201)...)
+	bad := append([]byte{frameBatch}, binary.AppendUvarint(nil, 1)...)
+	bad = append(bad, binary.AppendUvarint(nil, 201)...)
 	if _, err := NewBinaryDecoder().DecodeFrame(bad); err == nil {
 		t.Fatal("dangling string reference decoded without error")
 	}
@@ -271,11 +274,23 @@ func TestBinaryDecoderRejectsCorruption(t *testing.T) {
 	if _, err := NewBinaryDecoder().DecodeFrame(full); err == nil {
 		t.Fatal("trailing bytes decoded without error")
 	}
-	// Corrupt BATCH counts: zero rounds, and a count past the frame size.
-	if err := NewBinaryDecoder().DecodeBatch([]byte{0x00}, discardRound); err == nil {
+	// A frame whose type byte names no known frame kind.
+	if _, err := NewBinaryDecoder().DecodeFrame(append([]byte{0x7F}, payload[1:]...)); err == nil {
+		t.Fatal("unknown frame type decoded without error")
+	}
+	// Corrupt BATCH counts: empty payload, missing count, zero rounds,
+	// and a count past the frame size.
+	if err := NewBinaryDecoder().DecodeBatch(nil, discardRound); err == nil {
+		t.Fatal("empty frame decoded without error")
+	}
+	if err := NewBinaryDecoder().DecodeBatch([]byte{frameBatch}, discardRound); err == nil {
+		t.Fatal("countless batch decoded without error")
+	}
+	if err := NewBinaryDecoder().DecodeBatch([]byte{frameBatch, 0x00}, discardRound); err == nil {
 		t.Fatal("zero-round batch decoded without error")
 	}
-	huge := append(binary.AppendUvarint(nil, 1<<20), payload[1:]...)
+	huge := append([]byte{frameBatch}, binary.AppendUvarint(nil, 1<<20)...)
+	huge = append(huge, payload[2:]...)
 	if err := NewBinaryDecoder().DecodeBatch(huge, discardRound); err == nil {
 		t.Fatal("oversized batch count decoded without error")
 	}

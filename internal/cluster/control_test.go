@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestControlFrameRoundTrip pins that commands and acks survive the wire
+// byte for byte, across all kinds and field shapes.
+func TestControlFrameRoundTrip(t *testing.T) {
+	cmds := []ControlCommand{
+		{Seq: 1, Kind: ControlDrain, Node: "node1"},
+		{Seq: 7, Kind: ControlRejuvenate, Node: "node2", Component: "home"},
+		{Seq: 1 << 40, Kind: ControlReadmit, Node: "n", Weight: 4},
+		{Seq: 0, Kind: ControlReadmit, Node: "", Component: "", Weight: -3},
+	}
+	for _, want := range cmds {
+		frame := AppendControlFrame(nil, want)
+		n, w := binary.Uvarint(frame)
+		if w <= 0 || int(n) != len(frame)-w {
+			t.Fatalf("%+v: bad length prefix", want)
+		}
+		got, err := DecodeControlCommand(frame[w:])
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("command round trip: got %+v, want %+v", got, want)
+		}
+	}
+	acks := []ControlAck{
+		{Seq: 1, Kind: ControlDrain, OK: true},
+		{Seq: 7, Kind: ControlRejuvenate, OK: true, Freed: 1 << 33},
+		{Seq: 9, Kind: ControlRejuvenate, OK: false, Err: "no such component"},
+		{Seq: 0, Kind: ControlReadmit, Freed: -1},
+	}
+	for _, want := range acks {
+		frame := AppendControlAckFrame(nil, want)
+		n, w := binary.Uvarint(frame)
+		if w <= 0 || int(n) != len(frame)-w {
+			t.Fatalf("%+v: bad length prefix", want)
+		}
+		got, err := DecodeControlAck(frame[w:])
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("ack round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestControlFrameGolden pins the CONTROL/ACK frame layout byte for byte,
+// the counterpart of TestBinaryCodecGolden for the actuation direction.
+func TestControlFrameGolden(t *testing.T) {
+	cmd := ControlCommand{Seq: 7, Kind: ControlRejuvenate, Node: "node2", Component: "home"}
+	if got := hex.EncodeToString(AppendControlFrame(nil, cmd)); got != "0f010207056e6f64653204686f6d6500" {
+		t.Fatalf("CONTROL frame drifted: %s", got)
+	}
+	ack := ControlAck{Seq: 7, Kind: ControlRejuvenate, OK: true, Freed: 4096}
+	if got := hex.EncodeToString(AppendControlAckFrame(nil, ack)); got != "0702020701804000" {
+		t.Fatalf("ACK frame drifted: %s", got)
+	}
+}
+
+// TestControlFrameRejectsCorruption drives the control decoders with
+// malformed payloads; every one must error, never panic or mis-decode.
+func TestControlFrameRejectsCorruption(t *testing.T) {
+	frame := AppendControlFrame(nil, ControlCommand{Seq: 3, Kind: ControlDrain, Node: "node1"})
+	_, w := binary.Uvarint(frame)
+	payload := frame[w:]
+
+	cases := map[string][]byte{
+		"empty":           nil,
+		"wrong type":      append([]byte{frameBatch}, payload[1:]...),
+		"unknown kind":    {frameControl, 0x09, 0x01, 0x00, 0x00, 0x00},
+		"truncated":       payload[:len(payload)-2],
+		"trailing":        append(append([]byte(nil), payload...), 0x00),
+		"oversize string": {frameControl, 0x01, 0x01, 0xFF, 0xFF, 0x03},
+	}
+	for name, b := range cases {
+		if _, err := DecodeControlCommand(b); err == nil {
+			t.Fatalf("%s command decoded without error", name)
+		}
+	}
+
+	ackFrame := AppendControlAckFrame(nil, ControlAck{Seq: 3, Kind: ControlDrain, OK: true})
+	_, w = binary.Uvarint(ackFrame)
+	ackPayload := ackFrame[w:]
+	badFlag := append([]byte(nil), ackPayload...)
+	badFlag[3] = 0x07 // the ok byte
+	ackCases := map[string][]byte{
+		"empty":     nil,
+		"batch":     append([]byte{frameBatch}, ackPayload[1:]...),
+		"bad flag":  badFlag,
+		"truncated": ackPayload[:2],
+		"trailing":  append(append([]byte(nil), ackPayload...), 0x01),
+	}
+	for name, b := range ackCases {
+		if _, err := DecodeControlAck(b); err == nil {
+			t.Fatalf("%s ack decoded without error", name)
+		}
+	}
+}
+
+// TestLocalControlBinding pins the in-process route: a bound handler runs
+// synchronously inside SendControl, and an unbound node fails immediately
+// with a route error instead of hanging.
+func TestLocalControlBinding(t *testing.T) {
+	agg := New(Config{Detect: testDetect()})
+	var got ControlCommand
+	agg.BindLocalControl("node1", func(cmd ControlCommand) ControlAck {
+		got = cmd
+		return ControlAck{OK: true, Freed: 123}
+	})
+
+	var ack ControlAck
+	var ackErr error
+	fired := false
+	agg.SendControl("node1", ControlRejuvenate, "home", 0, func(a ControlAck, err error) {
+		ack, ackErr, fired = a, err, true
+	})
+	if !fired {
+		t.Fatal("local control did not complete synchronously")
+	}
+	if ackErr != nil || !ack.OK || ack.Freed != 123 {
+		t.Fatalf("local ack = %+v err=%v", ack, ackErr)
+	}
+	if ack.Seq == 0 || ack.Kind != ControlRejuvenate {
+		t.Fatalf("plumbing did not stamp seq/kind: %+v", ack)
+	}
+	if got.Node != "node1" || got.Component != "home" || got.Kind != ControlRejuvenate {
+		t.Fatalf("handler saw %+v", got)
+	}
+
+	agg.BindLocalControl("node1", nil) // unbind
+	fired = false
+	agg.SendControl("node1", ControlDrain, "", 0, func(a ControlAck, err error) {
+		ackErr, fired = err, true
+	})
+	if !fired || ackErr == nil || !strings.Contains(ackErr.Error(), "no control route") {
+		t.Fatalf("unrouted command: fired=%v err=%v", fired, ackErr)
+	}
+}
+
+// TestWireControlRoundTrip drives the full actuation path over a pipe:
+// the aggregator learns the node's route from its published rounds, sends
+// a rejuvenate command down the same connection, the node's ServeControl
+// executes it and acks, and round publishing keeps working with ACK
+// frames interleaved in the stream.
+func TestWireControlRoundTrip(t *testing.T) {
+	agg := New(Config{Detect: testDetect()})
+	agg.Expect("node1")
+	client, server := net.Pipe()
+	go func() { _ = agg.ServeBinaryConn(server) }()
+	w := NewBinaryWire(client)
+	defer w.Close()
+
+	handled := make(chan ControlCommand, 1)
+	go func() {
+		_ = w.ServeControl(func(cmd ControlCommand) ControlAck {
+			handled <- cmd
+			return ControlAck{OK: true, Freed: 2048}
+		})
+	}()
+
+	gen := newRoundGen("node1")
+	if err := w.Publish(gen.next()); err != nil {
+		t.Fatal(err)
+	}
+	// The route is learned when the aggregator decodes the round; poll
+	// until the command stops failing with "no route".
+	acks := make(chan ControlAck, 1)
+	deadline := time.After(5 * time.Second)
+	for {
+		sent := make(chan error, 1)
+		agg.SendControl("node1", ControlRejuvenate, "leaky", 0, func(a ControlAck, err error) {
+			if err != nil {
+				sent <- err
+				return
+			}
+			sent <- nil
+			acks <- a
+		})
+		var err error
+		select {
+		case err = <-sent:
+		case <-deadline:
+			t.Fatal("command never completed")
+		}
+		if err == nil {
+			break
+		}
+		if !strings.Contains(err.Error(), "no control route") {
+			t.Fatalf("send failed: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case cmd := <-handled:
+		if cmd.Node != "node1" || cmd.Component != "leaky" || cmd.Kind != ControlRejuvenate {
+			t.Fatalf("node handled %+v", cmd)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node never saw the command")
+	}
+	select {
+	case ack := <-acks:
+		if !ack.OK || ack.Freed != 2048 {
+			t.Fatalf("ack = %+v", ack)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("aggregator never saw the ack")
+	}
+	// The round direction survives the interleaved ACK frame.
+	for i := 0; i < 3; i++ {
+		if err := w.Publish(gen.next()); err != nil {
+			t.Fatalf("publish after ack: %v", err)
+		}
+	}
+}
+
+// TestWireControlConnCloseFailsPending pins that commands in flight on a
+// dying connection fail loudly instead of waiting forever for an ack the
+// node can never send.
+func TestWireControlConnCloseFailsPending(t *testing.T) {
+	agg := New(Config{Detect: testDetect()})
+	agg.Expect("node1")
+	client, server := net.Pipe()
+	served := make(chan struct{})
+	go func() { _ = agg.ServeBinaryConn(server); close(served) }()
+	w := NewBinaryWire(client)
+
+	// The node side drains control frames without ever acking.
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() { defer drain.Done(); _, _ = io.Copy(io.Discard, client) }()
+
+	gen := newRoundGen("node1")
+	if err := w.Publish(gen.next()); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	deadline := time.After(5 * time.Second)
+	for {
+		sent := make(chan error, 1)
+		agg.SendControl("node1", ControlRejuvenate, "leaky", 0, func(a ControlAck, err error) {
+			sent <- err
+		})
+		select {
+		case err := <-sent:
+			if err == nil {
+				t.Fatal("ack arrived from a node that never acks")
+			}
+			if strings.Contains(err.Error(), "no control route") {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			errs <- err
+		case <-time.After(100 * time.Millisecond):
+			// Command written, pending: now kill the connection.
+			_ = client.Close()
+			select {
+			case err := <-sent:
+				errs <- err
+			case <-time.After(5 * time.Second):
+				t.Fatal("pending command never failed after connection close")
+			}
+		case <-deadline:
+			t.Fatal("command never reached the pending state")
+		}
+		break
+	}
+	err := <-errs
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("pending command error = %v, want a closed-connection error", err)
+	}
+	<-served
+	drain.Wait()
+}
+
+// TestServeBinaryConnRejectsUnknownFrame pins that a frame with an
+// unassigned type byte drops the connection instead of being skipped —
+// skipping would hide a version mismatch.
+func TestServeBinaryConnRejectsUnknownFrame(t *testing.T) {
+	agg := New(Config{})
+	client, server := net.Pipe()
+	errs := make(chan error, 1)
+	go func() { errs <- agg.ServeBinaryConn(server) }()
+	var stream []byte
+	stream = append(stream, wireMagic[:]...)
+	stream = append(stream, 0x03, 0x7F, 0x00, 0x00) // 3-byte frame, type 0x7F
+	if _, err := client.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err == nil || !strings.Contains(err.Error(), "frame type") {
+			t.Fatalf("serve returned %v, want a frame-type error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serving loop did not reject the unknown frame")
+	}
+	_ = client.Close()
+}
+
+// errAfterConn fails writes after the first n bytes have been accepted.
+type errAfterConn struct {
+	discardConn
+	accepted int
+	limit    int
+}
+
+func (c *errAfterConn) Write(p []byte) (int, error) {
+	if c.accepted >= c.limit {
+		return 0, errors.New("sink full")
+	}
+	c.accepted += len(p)
+	return len(p), nil
+}
+
+// TestSendControlAckWriteFailureLatchesWire pins that a failed ACK write
+// breaks the wire like a failed round write: a lost ack means the
+// controller's deadline fires and the stream owner reconnects fresh.
+func TestSendControlAckWriteFailureLatchesWire(t *testing.T) {
+	c := &errAfterConn{limit: 0} // every write fails
+	w := NewBinaryWire(c)
+	if err := w.sendControlAck(ControlAck{Seq: 1, Kind: ControlDrain, OK: true}); err == nil {
+		t.Fatal("ack write failure not surfaced")
+	}
+	gen := newRoundGen("node1")
+	if err := w.Publish(gen.next()); err == nil {
+		t.Fatal("wire did not latch broken after a failed ack write")
+	}
+}

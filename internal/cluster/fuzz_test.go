@@ -103,7 +103,7 @@ func sameRound(t *testing.T, tag string, i int, got, want Round) {
 // every encode→decode round trip must reproduce the rounds exactly
 // (field for field, CPU bits included), through the stream's full
 // interning and delta state — both one frame per round and regrouped
-// into v4 BATCH frames of every shape the flush policy can produce.
+// into v5 BATCH frames of every shape the flush policy can produce.
 func FuzzBinaryCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{3, 1, 'a', 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2})
@@ -218,6 +218,15 @@ func FuzzBinaryDecoderRobustness(f *testing.F) {
 	f.Add(append([]byte{0x00}, frame[4:]...))
 	f.Add(append([]byte{0xFF, 0xFF, 0x03}, frame[4:]...))
 	f.Add([]byte{0x00, 0x01, 0x61, 0x02, 0x02, 0x00})
+	// Valid v5 CONTROL and CONTROL-ACK payloads (sans length prefix): the
+	// round decoders must reject the foreign frame types cleanly, and the
+	// control decoders must survive round payloads just the same.
+	ctl := AppendControlFrame(nil, ControlCommand{Seq: 9, Kind: ControlRejuvenate, Node: "node2", Component: "home"})
+	_, cw := binary.Uvarint(ctl)
+	f.Add(ctl[cw:])
+	ack := AppendControlAckFrame(nil, ControlAck{Seq: 9, Kind: ControlRejuvenate, OK: true, Freed: 4096})
+	_, aw := binary.Uvarint(ack)
+	f.Add(ack[aw:])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewBinaryDecoder()
 		_, _ = dec.DecodeFrame(data)
@@ -225,5 +234,60 @@ func FuzzBinaryDecoderRobustness(f *testing.F) {
 		// and the batch entry point must hold up on the same bytes.
 		_, _ = dec.DecodeFrame(data)
 		_ = dec.DecodeBatch(data, func(Round) error { return nil })
+		// The stateless control decoders share the wire: same robustness bar.
+		_, _ = DecodeControlCommand(data)
+		_, _ = DecodeControlAck(data)
+	})
+}
+
+// FuzzControlCodec round-trips arbitrary control commands and acks
+// through the v5 CONTROL/CONTROL-ACK frames: whatever the field values,
+// encode→decode must reproduce them exactly, and the length prefix must
+// cover the payload precisely.
+func FuzzControlCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendControlFrame(nil, ControlCommand{Seq: 7, Kind: ControlRejuvenate, Node: "node2", Component: "home"}))
+	f.Add(AppendControlAckFrame(nil, ControlAck{Seq: 7, Kind: ControlRejuvenate, OK: true, Freed: 4096}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := &fuzzReader{b: data}
+		cmd := ControlCommand{
+			Seq:       fz.u64(),
+			Kind:      ControlKind(fz.byte()%3 + 1),
+			Node:      fz.name("n"),
+			Component: fz.name("c"),
+			Weight:    int64(fz.u64()),
+		}
+		frame := AppendControlFrame(nil, cmd)
+		n, w := binary.Uvarint(frame)
+		if w <= 0 || int(n) != len(frame)-w {
+			t.Fatalf("command length prefix %d does not cover the %d payload bytes", n, len(frame)-w)
+		}
+		got, err := DecodeControlCommand(frame[w:])
+		if err != nil {
+			t.Fatalf("decode command: %v", err)
+		}
+		if got != cmd {
+			t.Fatalf("command round trip: %+v, want %+v", got, cmd)
+		}
+
+		ack := ControlAck{
+			Seq:   fz.u64(),
+			Kind:  ControlKind(fz.byte()%3 + 1),
+			OK:    fz.byte()%2 == 0,
+			Freed: int64(fz.u64()),
+			Err:   fz.name("e"),
+		}
+		aframe := AppendControlAckFrame(nil, ack)
+		an, aw := binary.Uvarint(aframe)
+		if aw <= 0 || int(an) != len(aframe)-aw {
+			t.Fatalf("ack length prefix %d does not cover the %d payload bytes", an, len(aframe)-aw)
+		}
+		gotAck, err := DecodeControlAck(aframe[aw:])
+		if err != nil {
+			t.Fatalf("decode ack: %v", err)
+		}
+		if gotAck != ack {
+			t.Fatalf("ack round trip: %+v, want %+v", gotAck, ack)
+		}
 	})
 }

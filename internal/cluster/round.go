@@ -24,6 +24,14 @@
 // whatever the lane count, worker count or transport. The Balancer takes
 // its own small mutex per request; requests are emulated-browser
 // interactions (think-time scale), not join points.
+//
+// The wire also carries the actuation direction (codec v5, control.go):
+// the aggregator pushes drain/rejuvenate/re-admit CONTROL frames down
+// the connection a node publishes rounds on, and the node's BinaryWire
+// answers with ACK frames interleaved between its BATCH frames. Control
+// traffic is command-rate (epochs, not rounds), stateless on the wire,
+// and never touches the ingest lanes — SendControl and the ack dispatch
+// ride their own leaf mutex.
 package cluster
 
 import (
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jmx"
 )
 
 // Round is one node's sampling round as shipped to the aggregator: the
@@ -123,3 +132,33 @@ func (f *Forwarder) Errors() int64 { return f.errs.Load() }
 
 // Rounds returns how many rounds the forwarder has published (attempted).
 func (f *Forwarder) Rounds() int64 { return f.seq }
+
+// roundDropper is the optional transport facet reporting rounds the
+// transport accepted but never delivered (both wire transports implement
+// it; see RetryPolicy).
+type roundDropper interface {
+	DroppedRounds() int64
+}
+
+// Dropped returns how many rounds the underlying transport dropped after
+// exhausting its write retries (0 for transports without the counter).
+func (f *Forwarder) Dropped() int64 {
+	if d, ok := f.tr.(roundDropper); ok {
+		return d.DroppedRounds()
+	}
+	return 0
+}
+
+// ForwarderName returns the JMX object name of a node's forwarder bean.
+func ForwarderName(node string) jmx.ObjectName {
+	return jmx.MustObjectName("aging:type=Forwarder,node=" + node)
+}
+
+// Bean exposes the forwarder's publish counters — rounds attempted,
+// publish errors, and rounds dropped by the transport's retry policy.
+func (f *Forwarder) Bean() *jmx.Bean {
+	return jmx.NewBean("cluster round forwarder: publish and drop counters").
+		Attr("Rounds", "rounds published (attempted)", func() any { return f.Rounds() }).
+		Attr("Errors", "rounds that failed to publish", func() any { return f.Errors() }).
+		Attr("DroppedRounds", "rounds dropped after the transport exhausted its retries", func() any { return f.Dropped() })
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -92,28 +94,117 @@ func (p *InProc) Close() error {
 // its aggregator link is down, which requires Publish to fail, not hang.
 const DefaultWireTimeout = 5 * time.Second
 
+// RetryPolicy bounds how a wire publish retries transient connection
+// errors. A frame write that fails with zero bytes on the stream is
+// retried up to Attempts total tries, sleeping an exponentially growing,
+// jittered backoff between tries; the zero value (Attempts <= 1) keeps
+// the historical fail-on-first-error behaviour. Retrying is safe exactly
+// because nothing reached the peer — the identical frame goes out again,
+// so neither gob's type-definition stream nor the binary codec's delta
+// chains can desynchronise. A write that fails after placing bytes on
+// the stream is never retried: the peer's framing is already corrupt.
+type RetryPolicy struct {
+	Attempts int           // total write attempts per frame (<= 1: no retry)
+	Base     time.Duration // backoff before the first retry (default 10ms)
+	Max      time.Duration // backoff cap (default 1s)
+}
+
+// backoff computes the jittered exponential delay before retry number
+// attempt (0-based). The jitter rides a per-wire xorshift stream — no
+// global rand, no lock — and spreads a fleet of publishers retrying
+// against the same recovering aggregator over [d/2, d].
+func (p RetryPolicy) backoff(attempt int, rng *uint64) time.Duration {
+	d := p.Base
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	lim := p.Max
+	if lim <= 0 {
+		lim = time.Second
+	}
+	for i := 0; i < attempt && d < lim; i++ {
+		d *= 2
+	}
+	if d > lim {
+		d = lim
+	}
+	if *rng == 0 {
+		*rng = 0x9e3779b97f4a7c15
+	}
+	x := *rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	half := int64(d / 2)
+	return time.Duration(half + int64(x%uint64(half+1)))
+}
+
+// writeFrameRetry writes one whole frame under the policy. Only an error
+// with zero bytes written is retried — nothing reached the stream, so
+// the identical frame can go again. Once any byte is on the wire a retry
+// would corrupt the peer's framing: the write fails immediately with
+// partial=true and the caller must latch the stream broken.
+func writeFrameRetry(conn net.Conn, frame []byte, timeout time.Duration, p RetryPolicy, rng *uint64) (partial bool, err error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		if timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		n, werr := conn.Write(frame)
+		if timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Time{})
+		}
+		if werr == nil {
+			return false, nil
+		}
+		if n > 0 {
+			return true, werr
+		}
+		if attempt+1 >= attempts {
+			return false, werr
+		}
+		time.Sleep(p.backoff(attempt, rng))
+	}
+}
+
 // Wire ships rounds as gob frames over a net.Conn, so a node can live in
 // a different process (or host) from its aggregator. The encoder is
 // guarded by a mutex in case one process multiplexes several nodes'
 // forwarders onto one connection; per-node ordering is then the caller's
 // sampling order, which the collector already serialises.
 //
-// A write that exceeds Timeout fails the Publish; note a timed-out
-// encode may leave a partial frame on the stream, after which the
-// receiving decoder errors and drops the connection — fail-stop, never
-// wedged.
+// Each round gob-encodes into a staging buffer and ships as one whole
+// write, so a publish failure never leaves a partially encoded frame on
+// the stream. A zero-byte write failure retries under the RetryPolicy;
+// when retries exhaust, the frame is dropped and counted — gob fields
+// are absolute, so the receiver survives a lost frame — unless it was
+// the first frame (which carries the type definitions every later frame
+// references) or the write was partial, either of which latches the
+// wire broken.
 type Wire struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	enc     *gob.Encoder
-	timeout time.Duration
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	buf      bytes.Buffer // frame staging: enc writes here, Publish ships it whole
+	timeout  time.Duration
+	retry    RetryPolicy
+	rng      uint64
+	sentOnce bool
+	broken   bool
+	dropped  atomic.Int64
 }
 
 // NewWire wraps an established connection (one end of a net.Pipe, a
 // dialed TCP/unix socket, ...) as a publishing transport with the
 // default write timeout.
 func NewWire(conn net.Conn) *Wire {
-	return &Wire{conn: conn, enc: gob.NewEncoder(conn), timeout: DefaultWireTimeout}
+	w := &Wire{conn: conn, timeout: DefaultWireTimeout}
+	w.enc = gob.NewEncoder(&w.buf)
+	return w
 }
 
 // SetTimeout overrides the per-publish write bound (0 disables it).
@@ -122,6 +213,18 @@ func (w *Wire) SetTimeout(d time.Duration) {
 	w.timeout = d
 	w.mu.Unlock()
 }
+
+// SetRetry installs the transient-write retry policy.
+func (w *Wire) SetRetry(p RetryPolicy) {
+	w.mu.Lock()
+	w.retry = p
+	w.mu.Unlock()
+}
+
+// DroppedRounds reports rounds this wire accepted but never delivered:
+// frames dropped when a write exhausted its retries, plus every publish
+// refused after the broken latch.
+func (w *Wire) DroppedRounds() int64 { return w.dropped.Load() }
 
 // DialWire connects to an aggregator's wire listener and returns the
 // publishing end.
@@ -133,16 +236,39 @@ func DialWire(network, addr string) (*Wire, error) {
 	return NewWire(conn), nil
 }
 
-// Publish implements Transport: one gob frame per round, bounded by the
-// write timeout.
+// Publish implements Transport: one gob frame per round, staged in the
+// frame buffer and shipped as a single bounded write under the retry
+// policy.
 func (w *Wire) Publish(r Round) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.timeout > 0 {
-		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
-		defer func() { _ = w.conn.SetWriteDeadline(time.Time{}) }()
+	if w.broken {
+		w.dropped.Add(1)
+		return errors.New("cluster: wire broken by an earlier failed write")
 	}
-	return w.enc.Encode(r)
+	w.buf.Reset()
+	if err := w.enc.Encode(r); err != nil {
+		// The encoder's type-definition state may now disagree with what
+		// the buffer (and so the stream) will carry; nothing safe follows.
+		w.broken = true
+		w.dropped.Add(1)
+		_ = w.conn.Close()
+		return err
+	}
+	partial, err := writeFrameRetry(w.conn, w.buf.Bytes(), w.timeout, w.retry, &w.rng)
+	if err != nil {
+		w.dropped.Add(1)
+		if partial || !w.sentOnce {
+			// A partial write corrupts the peer's framing; a lost first
+			// frame loses the gob type definitions every later frame
+			// references. Either way the stream is unrecoverable.
+			w.broken = true
+			_ = w.conn.Close()
+		}
+		return err
+	}
+	w.sentOnce = true
+	return nil
 }
 
 // Close implements Transport.
@@ -165,7 +291,10 @@ type BinaryWire struct {
 	enc     *BinaryEncoder
 	frame   []byte
 	timeout time.Duration
+	retry   RetryPolicy
+	rng     uint64
 	broken  bool
+	dropped atomic.Int64
 
 	batchRounds int           // flush when this many rounds are buffered (<=1: every round)
 	batchDelay  time.Duration // flush a partial batch this long after its first round (0: never)
@@ -198,6 +327,22 @@ func (w *BinaryWire) SetTimeout(d time.Duration) {
 	w.timeout = d
 	w.mu.Unlock()
 }
+
+// SetRetry installs the transient-write retry policy. Only zero-byte
+// write failures retry; when retries exhaust, the batch is lost and the
+// wire latches broken — the encoder's delta state already reflects
+// rounds the decoder will never see, so no later frame could decode
+// correctly anyway.
+func (w *BinaryWire) SetRetry(p RetryPolicy) {
+	w.mu.Lock()
+	w.retry = p
+	w.mu.Unlock()
+}
+
+// DroppedRounds reports rounds this wire accepted (or was offered) but
+// never delivered: the batch lost when a flush exhausted its retries,
+// plus every publish refused after the broken latch.
+func (w *BinaryWire) DroppedRounds() int64 { return w.dropped.Load() }
 
 // SetBatch sets the BATCH flush policy: buffer up to rounds rounds per
 // frame, flushing earlier when a partial batch has waited delay since
@@ -242,6 +387,7 @@ func (w *BinaryWire) Publish(r Round) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken {
+		w.dropped.Add(1)
 		return errors.New("cluster: binary wire broken by an earlier failed write")
 	}
 	w.enc.BufferRound(r)
@@ -287,13 +433,11 @@ func (w *BinaryWire) flushLocked() error {
 	if w.enc.PendingRounds() == 0 {
 		return nil
 	}
+	rounds := int64(w.enc.PendingRounds())
 	w.frame = w.enc.FlushFrame(w.frame[:0])
-	if w.timeout > 0 {
-		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
-		defer func() { _ = w.conn.SetWriteDeadline(time.Time{}) }()
-	}
-	if _, err := w.conn.Write(w.frame); err != nil {
+	if _, err := writeFrameRetry(w.conn, w.frame, w.timeout, w.retry, &w.rng); err != nil {
 		w.broken = true
+		w.dropped.Add(rounds)
 		_ = w.conn.Close()
 		return err
 	}
@@ -321,16 +465,24 @@ func (w *BinaryWire) Close() error {
 // samples).
 const maxBinaryFrame = 16 << 20
 
-// ServeBinaryConn decodes binary-codec rounds from conn into the
-// aggregator until the connection closes. It returns nil on a clean EOF
-// and an error on a stream it does not speak (wrong magic or version) or
-// a corrupt frame — and then closes the connection, so a publisher
-// behind a broken stream fail-stops on its next write instead of
-// wedging against a reader that gave up. Run it on its own goroutine,
+// ServeBinaryConn decodes binary-codec frames from conn into the
+// aggregator until the connection closes: BATCH frames ingest their
+// rounds, ACK frames resolve pending control commands. Every node name
+// seen in a round registers conn as that node's control route, so the
+// aggregator can push drain/rejuvenate/re-admit commands back down the
+// same connection (see control.go); the routes are torn down — and any
+// in-flight commands failed — when the serving loop ends. It returns nil
+// on a clean EOF and an error on a stream it does not speak (wrong magic
+// or version) or a corrupt frame — and then closes the connection, so a
+// publisher behind a broken stream fail-stops on its next write instead
+// of wedging against a reader that gave up. Run it on its own goroutine,
 // one per node connection. The decode buffers are reused; Ingest copies
 // what it retains.
 func (a *Aggregator) ServeBinaryConn(conn net.Conn) (err error) {
+	cc := &controlConn{conn: conn}
+	routed := make(map[string]bool)
 	defer func() {
+		a.unregisterControlConn(cc, routed)
 		if err != nil {
 			_ = conn.Close()
 		}
@@ -369,12 +521,30 @@ func (a *Aggregator) ServeBinaryConn(conn net.Conn) (err error) {
 			}
 			return err
 		}
-		err = dec.DecodeBatch(payload, func(r Round) error {
-			a.Ingest(r)
-			return nil
-		})
-		if err != nil {
-			return err
+		if len(payload) == 0 {
+			return errors.New("cluster: empty frame")
+		}
+		switch payload[0] {
+		case frameBatch:
+			err = dec.DecodeBatch(payload, func(r Round) error {
+				a.Ingest(r)
+				if !routed[r.Node] {
+					routed[r.Node] = true
+					a.registerControlConn(r.Node, cc)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		case frameControlAck:
+			ack, aerr := DecodeControlAck(payload)
+			if aerr != nil {
+				return aerr
+			}
+			a.resolveControlAck(ack)
+		default:
+			return fmt.Errorf("cluster: unknown frame type %d", payload[0])
 		}
 	}
 }

@@ -33,6 +33,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/aspect"
@@ -127,6 +129,12 @@ type Framework struct {
 	manager  *Manager
 	acAspect *aspect.Aspect
 	interval time.Duration
+
+	// rejuvMu guards the micro-reboot counters — management-plane state,
+	// never touched by recording or sampling.
+	rejuvMu    sync.Mutex
+	rejuvCount map[string]int64
+	rejuvFreed map[string]int64
 }
 
 // New assembles a framework: it creates and registers the monitoring
@@ -172,6 +180,8 @@ func New(opts Options) (*Framework, error) {
 		handles:     monitor.NewHandleAgent(),
 		invocations: monitor.NewInvocationAgent(),
 		interval:    interval,
+		rejuvCount:  make(map[string]int64),
+		rejuvFreed:  make(map[string]int64),
 	}
 	agents := []monitor.Agent{f.objSize, f.cpu, f.threads, f.handles, f.invocations}
 	if opts.Heap != nil {
@@ -321,10 +331,15 @@ type releaser interface {
 	Release() int
 }
 
+// NotifRejuvenation is emitted through the MBeanServer every time a
+// component is micro-rebooted; Data carries the bytes reclaimed.
+const NotifRejuvenation = "aging.rejuvenation"
+
 // MicroReboot performs the surgical recovery the paper motivates with
 // micro-rebooting: it releases the named component's retained memory (its
 // leak store and its heap charge) without touching the rest of the
-// application, and returns the number of bytes reclaimed.
+// application, and returns the number of bytes reclaimed. Each reboot is
+// counted per component and announced as a NotifRejuvenation.
 func (f *Framework) MicroReboot(component string) int64 {
 	var freed int64
 	if target, ok := f.manager.target(component); ok {
@@ -335,5 +350,39 @@ func (f *Framework) MicroReboot(component string) int64 {
 	if f.heap != nil {
 		f.heap.FreeAll(component)
 	}
+	f.rejuvMu.Lock()
+	f.rejuvCount[component]++
+	f.rejuvFreed[component] += freed
+	n := f.rejuvCount[component]
+	f.rejuvMu.Unlock()
+	f.server.Emit(jmx.Notification{
+		Type:    NotifRejuvenation,
+		Source:  ManagerName(),
+		Message: fmt.Sprintf("micro-reboot #%d of %s freed %d bytes", n, component, freed),
+		Data:    freed,
+	})
 	return freed
+}
+
+// Rejuvenations returns a copy of the per-component micro-reboot
+// counters.
+func (f *Framework) Rejuvenations() map[string]int64 {
+	f.rejuvMu.Lock()
+	defer f.rejuvMu.Unlock()
+	out := make(map[string]int64, len(f.rejuvCount))
+	for c, n := range f.rejuvCount {
+		out[c] = n
+	}
+	return out
+}
+
+// RejuvenationCount returns the total micro-reboots across components.
+func (f *Framework) RejuvenationCount() int64 {
+	f.rejuvMu.Lock()
+	defer f.rejuvMu.Unlock()
+	var total int64
+	for _, n := range f.rejuvCount {
+		total += n
+	}
+	return total
 }

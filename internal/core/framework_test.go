@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -385,5 +386,59 @@ func TestFullStackFig5Miniature(t *testing.T) {
 		if d.Name == tpcw.CompAdminConfirm && d.Consumption > float64(2<<20) {
 			t.Fatalf("admin_confirm consumed %v bytes, expected near-flat", d.Consumption)
 		}
+	}
+}
+
+// TestMicroRebootCountersAndNotification pins the actuation bookkeeping:
+// every micro-reboot increments the per-component counter, accumulates
+// freed bytes, and emits an aging.rejuvenation notification — the audit
+// trail the cluster controller and agingmon read.
+func TestMicroRebootCountersAndNotification(t *testing.T) {
+	w := aspect.NewWeaver(nil)
+	heap := jvmheap.New(1<<24, nil)
+	f, err := New(Options{Weaver: w, Heap: heap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notifs []jmx.Notification
+	f.Server().AddListener(func(n jmx.Notification) {
+		if n.Type == NotifRejuvenation {
+			notifs = append(notifs, n)
+		}
+	})
+	comp := &leakyComponent{}
+	if err := f.InstrumentComponent("svc.A", comp); err != nil {
+		t.Fatal(err)
+	}
+	comp.Retain(1 << 10)
+	f.MicroReboot("svc.A")
+	comp.Retain(1 << 11)
+	f.MicroReboot("svc.A")
+	f.MicroReboot("svc.B") // unknown: counts, frees nothing
+
+	counts := f.Rejuvenations()
+	if counts["svc.A"] != 2 || counts["svc.B"] != 1 {
+		t.Fatalf("rejuvenation counts = %v", counts)
+	}
+	if got := f.RejuvenationCount(); got != 3 {
+		t.Fatalf("total rejuvenations = %d, want 3", got)
+	}
+	if len(notifs) != 3 {
+		t.Fatalf("%d rejuvenation notifications, want 3", len(notifs))
+	}
+	if freed, ok := notifs[1].Data.(int64); !ok || freed != 1<<11 {
+		t.Fatalf("notification data = %v, want freed bytes 2048", notifs[1].Data)
+	}
+	if !strings.Contains(notifs[1].Message, "micro-reboot #2 of svc.A") {
+		t.Fatalf("notification message = %q", notifs[1].Message)
+	}
+	// The counters mirror onto the manager bean for remote readers.
+	attr, err := f.Server().GetAttribute(ManagerName(), "Rejuvenations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	beanCounts, ok := attr.(map[string]int64)
+	if !ok || beanCounts["svc.A"] != 2 {
+		t.Fatalf("bean Rejuvenations = %v", attr)
 	}
 }

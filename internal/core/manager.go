@@ -252,6 +252,9 @@ func (m *Manager) bean() *jmx.Bean {
 		Attr("MonitoringEnabled", "whether the AC advice is active", func() any {
 			return m.f.MonitoringEnabled()
 		}).
+		Attr("Rejuvenations", "per-component micro-reboot counts", func() any {
+			return m.f.Rejuvenations()
+		}).
 		Op("Sample", "run one collection round now", func(...any) (any, error) {
 			m.Sample(m.f.clock.Now())
 			return m.Samples(), nil

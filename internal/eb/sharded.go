@@ -380,19 +380,27 @@ func (d *ShardedDriver) Run(duration time.Duration, onWindow func(now time.Time)
 }
 
 // Completed returns total completed interactions across shards.
-func (d *ShardedDriver) Completed() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.completed }) }
+func (d *ShardedDriver) Completed() uint64 {
+	return d.sum(func(sh *driverShard) uint64 { return sh.completed })
+}
 
 // Failed returns total failed interactions across shards.
-func (d *ShardedDriver) Failed() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.failed }) }
+func (d *ShardedDriver) Failed() uint64 {
+	return d.sum(func(sh *driverShard) uint64 { return sh.failed })
+}
 
 // Dropped returns open-loop arrivals shed for want of a session slot.
-func (d *ShardedDriver) Dropped() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.dropped }) }
+func (d *ShardedDriver) Dropped() uint64 {
+	return d.sum(func(sh *driverShard) uint64 { return sh.dropped })
+}
 
 // Checksum returns the commutative completion fingerprint: the sum over
 // all completions of a hash of (instant, session id). Equal sums across
 // shard or driver-process counts certify equal merged schedules without
 // shipping traces.
-func (d *ShardedDriver) Checksum() uint64 { return d.sum(func(sh *driverShard) uint64 { return sh.checksum }) }
+func (d *ShardedDriver) Checksum() uint64 {
+	return d.sum(func(sh *driverShard) uint64 { return sh.checksum })
+}
 
 func (d *ShardedDriver) sum(f func(*driverShard) uint64) uint64 {
 	var total uint64

@@ -32,6 +32,10 @@ type Accuracy struct {
 	// PreInjectionAlarms counts alarms raised while no fault was armed —
 	// the steady-state hypothesis requires zero.
 	PreInjectionAlarms int
+	// RecoveryEpochs is the time to recover, in cluster epochs from the
+	// injection instant to the sick node's re-admission at full weight
+	// (actuation scenarios only); zero when nothing was rejuvenated.
+	RecoveryEpochs int64
 }
 
 // ScenarioAccuracy is one scored matrix row.
@@ -45,6 +49,7 @@ type ScenarioAccuracy struct {
 	Recall             float64
 	TTDRounds          int64
 	PreInjectionAlarms int
+	RecoveryEpochs     int64
 }
 
 // AccuracyReport is the machine-readable matrix artifact
@@ -59,6 +64,9 @@ type AccuracyReport struct {
 	Recall     float64
 	// MeanTTDRounds averages TTD over the scenarios that detected.
 	MeanTTDRounds float64
+	// MeanRecoveryEpochs averages recovery-to-readmit over the scenarios
+	// that rejuvenated.
+	MeanRecoveryEpochs float64
 	// PreInjectionAlarms sums the steady-state violations (must be 0).
 	PreInjectionAlarms int
 }
@@ -69,8 +77,8 @@ type AccuracyReport struct {
 func BuildAccuracyReport(cfg Config, results []Result) AccuracyReport {
 	cfg = cfg.withDefaults()
 	rep := AccuracyReport{Scale: cfg.TimeScale, Seed: cfg.Seed}
-	var ttdSum float64
-	var ttdN int
+	var ttdSum, recSum float64
+	var ttdN, recN int
 	for _, r := range results {
 		if r.Accuracy == nil {
 			continue
@@ -83,6 +91,7 @@ func BuildAccuracyReport(cfg Config, results []Result) AccuracyReport {
 			TP: tp, FP: fp, FN: fn,
 			Precision: p, Recall: rc,
 			TTDRounds: a.TTDRounds, PreInjectionAlarms: a.PreInjectionAlarms,
+			RecoveryEpochs: a.RecoveryEpochs,
 		})
 		rep.TP += tp
 		rep.FP += fp
@@ -91,6 +100,10 @@ func BuildAccuracyReport(cfg Config, results []Result) AccuracyReport {
 		if a.TTDRounds > 0 {
 			ttdSum += float64(a.TTDRounds)
 			ttdN++
+		}
+		if a.RecoveryEpochs > 0 {
+			recSum += float64(a.RecoveryEpochs)
+			recN++
 		}
 	}
 	rep.Precision, rep.Recall = 1, 1
@@ -102,6 +115,9 @@ func BuildAccuracyReport(cfg Config, results []Result) AccuracyReport {
 	}
 	if ttdN > 0 {
 		rep.MeanTTDRounds = ttdSum / float64(ttdN)
+	}
+	if recN > 0 {
+		rep.MeanRecoveryEpochs = recSum / float64(recN)
 	}
 	return rep
 }
@@ -115,15 +131,15 @@ func (r AccuracyReport) JSON() ([]byte, error) {
 func (r AccuracyReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario matrix accuracy (scale %.2f, seed %d)\n", r.Scale, r.Seed)
-	t := NewTable("scenario", "pass", "truth", "flagged", "P", "R", "TTD", "pre-inj")
+	t := NewTable("scenario", "pass", "truth", "flagged", "P", "R", "TTD", "TTR", "pre-inj")
 	for _, s := range r.Scenarios {
 		t.Row(s.ID, s.Passed, setLabel(s.Truth), setLabel(s.Flagged),
 			fmt.Sprintf("%.2f", s.Precision), fmt.Sprintf("%.2f", s.Recall),
-			s.TTDRounds, s.PreInjectionAlarms)
+			s.TTDRounds, s.RecoveryEpochs, s.PreInjectionAlarms)
 	}
 	b.WriteString(t.String())
-	fmt.Fprintf(&b, "overall: precision %.3f (%d TP, %d FP), recall %.3f (%d FN), mean TTD %.1f rounds, %d pre-injection alarms\n",
-		r.Precision, r.TP, r.FP, r.Recall, r.FN, r.MeanTTDRounds, r.PreInjectionAlarms)
+	fmt.Fprintf(&b, "overall: precision %.3f (%d TP, %d FP), recall %.3f (%d FN), mean TTD %.1f rounds, mean TTR %.1f epochs, %d pre-injection alarms\n",
+		r.Precision, r.TP, r.FP, r.Recall, r.FN, r.MeanTTDRounds, r.MeanRecoveryEpochs, r.PreInjectionAlarms)
 	return b.String()
 }
 

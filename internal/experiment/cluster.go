@@ -13,6 +13,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/jmx"
 	"repro/internal/jvmheap"
+	"repro/internal/rejuv"
 	"repro/internal/servlet"
 	"repro/internal/sim"
 	"repro/internal/sqldb"
@@ -71,6 +72,16 @@ type ClusterConfig struct {
 	// Verdicts must not depend on either.
 	IngestLanes int
 	FoldWorkers int
+	// Rejuv, when non-nil, closes the loop: a rejuvenation controller
+	// subscribes to the aggregator's epoch verdicts and drives the
+	// drain / micro-reboot / probation / re-admit cycle against the
+	// balancer and the nodes' frameworks (wire control frames under
+	// WireTransport+CodecBinary, synchronous local handlers otherwise).
+	Rejuv *rejuv.Config
+	// RejuvControl, when set with Rejuv, wraps the controller's command
+	// channel — the hook chaos scenarios use to lose or delay actuation
+	// commands without touching the verdict path.
+	RejuvControl func(rejuv.CommandSender) rejuv.CommandSender
 	// Chaos, when non-nil, may wrap each node's monitoring transport
 	// (e.g. in a faultinject.ChaosTransport for partition or clock-skew
 	// faults). It is applied above the framing codec, per the chaos
@@ -107,6 +118,7 @@ type ClusterStack struct {
 	Aggregator *cluster.Aggregator
 	Server     *jmx.Server // cluster management plane
 	Driver     *eb.Driver
+	Rejuv      *rejuv.Controller // nil unless ClusterConfig.Rejuv was set
 
 	sampleInterval time.Duration
 	stopPump       func()
@@ -169,12 +181,26 @@ func NewClusterStack(cfg ClusterConfig) (*ClusterStack, error) {
 		cs.activate(node)
 	}
 
+	if cfg.Rejuv != nil {
+		var sender rejuv.CommandSender = agg
+		if cfg.RejuvControl != nil {
+			sender = cfg.RejuvControl(sender)
+		}
+		ctrl := rejuv.New(*cfg.Rejuv, balancer, sender)
+		ctrl.SetDetectorReset(agg)
+		ctrl.Track(initial...)
+		agg.SubscribeEpochs(ctrl.ObserveEpoch)
+		if err := clusterServer.Register(rejuv.Name(), ctrl.Bean()); err != nil {
+			cs.Close()
+			return nil, err
+		}
+		cs.Rejuv = ctrl
+	}
+
 	// The notification pump turns queued aggregator transitions into
 	// cluster-plane JMX notifications once per sampling period.
 	cs.stopPump = engine.Every(cfg.SampleInterval, func(time.Time) {
-		for _, n := range cs.Aggregator.DrainNotifications() {
-			cs.Server.Emit(n)
-		}
+		cs.FlushNotifications()
 	})
 
 	cs.Driver = eb.NewDriver(engine, balancer, eb.Config{
@@ -223,6 +249,7 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 
 	var tr cluster.Transport
 	var flushWire func() error
+	wireControl := false
 	if cfg.WireTransport {
 		client, server := net.Pipe()
 		switch cfg.WireCodec {
@@ -237,6 +264,10 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 				// but Sync's barrier still needs to flush partial batches.
 				flushWire = bw.Flush
 			}
+			// The actuation direction of the same connection: control
+			// frames in, ACK frames out, interleaved with BATCH frames.
+			go func() { _ = bw.ServeControl(cluster.FrameworkControlHandler(f)) }()
+			wireControl = true
 			tr = bw
 		default:
 			go func() { _ = cs.Aggregator.ServeConn(server) }()
@@ -244,6 +275,11 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 		}
 	} else {
 		tr = cluster.NewInProc(cs.Aggregator)
+	}
+	if !wireControl {
+		// Gob and in-process streams carry no control frames; actuation
+		// reaches the framework through a synchronous local binding.
+		cs.Aggregator.BindLocalControl(name, cluster.FrameworkControlHandler(f))
 	}
 	if cfg.Chaos != nil {
 		tr = cfg.Chaos(name, tr)
@@ -259,6 +295,9 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 		transport: tr,
 		flushWire: flushWire,
 		forwarder: cluster.Attach(f, tr),
+	}
+	if err := cs.Server.Register(cluster.ForwarderName(name), node.forwarder.Bean()); err != nil {
+		return nil, err
 	}
 	return node, nil
 }
@@ -293,6 +332,9 @@ func (cs *ClusterStack) Join(name string) error {
 		return fmt.Errorf("experiment: no node %q", name)
 	}
 	cs.activate(node)
+	if cs.Rejuv != nil {
+		cs.Rejuv.Track(name)
+	}
 	return nil
 }
 
@@ -390,6 +432,11 @@ func (cs *ClusterStack) Sync() error {
 func (cs *ClusterStack) FlushNotifications() {
 	for _, n := range cs.Aggregator.DrainNotifications() {
 		cs.Server.Emit(n)
+	}
+	if cs.Rejuv != nil {
+		for _, n := range cs.Rejuv.DrainNotifications() {
+			cs.Server.Emit(n)
+		}
 	}
 }
 

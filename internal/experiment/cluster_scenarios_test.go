@@ -120,7 +120,7 @@ func runParityScenario(t *testing.T, cfg Config, cc ClusterConfig) parityOutcome
 // run must agree across: the serial reference aggregator in-process,
 // then the sharded/parallel-fold aggregator over every transport —
 // in-process, gob on net pipes, the delta-encoded binary codec, and the
-// binary codec with the v4 BATCH flush policy (4 rounds per frame with a
+// binary codec with the v5 BATCH flush policy (4 rounds per frame with a
 // short deadline).
 var parityVariants = []struct {
 	name string
@@ -141,7 +141,7 @@ var parityVariants = []struct {
 // TestClusterTransportParity is the transport- and plane-independence
 // contract: the same three-node leak scenario must produce identical
 // cluster and per-node verdicts whatever carries the rounds (in-process
-// calls, gob frames, binary v4 frames, batched binary v4 frames) and
+// calls, gob frames, binary v5 frames, batched binary v5 frames) and
 // whatever folds them (the serial reference aggregator or the sharded
 // ingest plane with a parallel fold pool).
 func TestClusterTransportParity(t *testing.T) {

@@ -480,5 +480,8 @@ func All(cfg Config) []Result {
 		S14NodeKill(cfg),
 		S15TransportPartition(cfg),
 		S16ClockSkew(cfg),
+		S17RejuvenateSickReplica(cfg),
+		S18FlappingDetectorHeld(cfg),
+		S19ControlLossDuringDrain(cfg),
 	}
 }

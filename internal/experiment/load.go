@@ -87,7 +87,7 @@ type LoadConfig struct {
 	// Detect tunes the aggregator's per-shard detector banks.
 	Detect detect.Config
 	// MonitorWire ships rounds over per-shard binary net.Pipe wires with
-	// the v4 BATCH flush policy instead of in-process calls;
+	// the v5 BATCH flush policy instead of in-process calls;
 	// MonitorBatchRounds sets the rounds-per-frame flush count (default
 	// 8). The aggregator's staleness window is widened past the batch
 	// so a shard flushing a full frame never evicts its peers.

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestS17RejuvenateSickReplicaFullCycle(t *testing.T) {
+	res := S17RejuvenateSickReplica(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("sick-replica rejuvenation scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "0 failed requests") {
+		t.Fatalf("requests were dropped during actuation: %s", res.Observed)
+	}
+	if res.Accuracy == nil || res.Accuracy.RecoveryEpochs == 0 {
+		t.Fatal("S17 carries no recovery time")
+	}
+}
+
+func TestS18FlappingDetectorHeldByHysteresis(t *testing.T) {
+	res := S18FlappingDetectorHeld(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("flapping-detector scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "flap phase: 0 transitions, 0 control sends") {
+		t.Fatalf("flap phase actuated: %s", res.Observed)
+	}
+}
+
+func TestS19ControlLossDegradesSafely(t *testing.T) {
+	res := S19ControlLossDuringDrain(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("control-loss scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "0 failed requests") {
+		t.Fatalf("requests were dropped during degraded actuation: %s", res.Observed)
+	}
+}
+
+// TestRejuvScenariosFullScale re-runs the actuation litmus at the
+// paper's full TimeScale — the acceptance contract requires S17 to hold
+// at both scales. Skipped under -short.
+func TestRejuvScenariosFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale actuation scenarios skipped with -short")
+	}
+	cfg := scenarioCfg
+	cfg.TimeScale = 1.0
+	for _, run := range []func(Config) Result{
+		S17RejuvenateSickReplica, S18FlappingDetectorHeld, S19ControlLossDuringDrain,
+	} {
+		if res := run(cfg); !res.Pass {
+			t.Fatalf("full-scale actuation scenario failed:\n%s", res)
+		}
+	}
+}
+
+// TestScenarioRejuvConfigMatchesDetectTuning pins the arithmetic the
+// scenario tuning depends on: probation must complete before a re-armed
+// leak can re-alarm a freshly reset node.
+func TestScenarioRejuvConfigMatchesDetectTuning(t *testing.T) {
+	d := scenarioDetectConfig()
+	rc := scenarioRejuvConfig()
+	if rc.ProbationEpochs >= d.MinSamples+d.Consecutive {
+		t.Fatalf("probation (%d epochs) outlasts a fresh detection (%d epochs): rebooted nodes would roll back forever",
+			rc.ProbationEpochs, d.MinSamples+d.Consecutive)
+	}
+	if rc.HealthyWeight != 1 {
+		t.Fatalf("HealthyWeight %d skews scenario balancers registered at weight 1", rc.HealthyWeight)
+	}
+}

@@ -1,0 +1,22 @@
+package rejuv
+
+import (
+	"repro/internal/jmx"
+)
+
+// Name returns the controller's JMX object name.
+func Name() jmx.ObjectName {
+	return jmx.MustObjectName("aging:type=Rejuvenator")
+}
+
+// Bean exposes the controller over JMX, so agingmon and the HTTP adapter
+// reach the actuation plane the same way they reach the aggregator.
+func (c *Controller) Bean() *jmx.Bean {
+	return jmx.NewBean("Rejuvenation controller: verdict-driven drain / micro-reboot / probation / re-admit").
+		Attr("Epoch", "last cluster epoch observed", func() any { return c.Epoch() }).
+		Attr("Status", "per-node actuation state", func() any { return c.Status() }).
+		Attr("Counters", "cumulative actuation totals", func() any { return c.Stats() }).
+		Op("History", "state-machine transitions, oldest first", func(...any) (any, error) {
+			return c.History(), nil
+		})
+}

@@ -1,0 +1,445 @@
+package rejuv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// fakeBalancer records drain/readmit traffic and lets tests script the
+// pinned/inflight drain-progress signals.
+type fakeBalancer struct {
+	draining map[string]bool
+	weights  map[string]int
+	pinned   map[string]int
+	inflight map[string]int
+	calls    []string
+}
+
+func newFakeBalancer() *fakeBalancer {
+	return &fakeBalancer{
+		draining: map[string]bool{},
+		weights:  map[string]int{},
+		pinned:   map[string]int{},
+		inflight: map[string]int{},
+	}
+}
+
+func (b *fakeBalancer) Drain(node string) bool {
+	b.draining[node] = true
+	b.calls = append(b.calls, "drain:"+node)
+	return true
+}
+
+func (b *fakeBalancer) CompleteDrain(node string) int {
+	n := b.pinned[node]
+	b.pinned[node] = 0
+	b.calls = append(b.calls, fmt.Sprintf("complete:%s:%d", node, n))
+	return n
+}
+
+func (b *fakeBalancer) Readmit(node string, weight int) bool {
+	b.draining[node] = false
+	b.weights[node] = weight
+	b.calls = append(b.calls, fmt.Sprintf("readmit:%s:%d", node, weight))
+	return true
+}
+
+func (b *fakeBalancer) PinnedSessions(node string) int { return b.pinned[node] }
+func (b *fakeBalancer) Inflight(node string) int       { return b.inflight[node] }
+
+// fakeSender acks every command synchronously (like a local handler),
+// with optional scripted failures per node.
+type fakeSender struct {
+	sent  []cluster.ControlCommand
+	fail  map[string]bool // swallow rejuvenate: done never fires
+	errOn map[string]bool // rejuvenate acks with an error
+	freed int64
+}
+
+func (s *fakeSender) SendControl(node string, kind cluster.ControlKind, component string, weight int, done func(cluster.ControlAck, error)) {
+	s.sent = append(s.sent, cluster.ControlCommand{Kind: kind, Node: node, Component: component, Weight: int64(weight)})
+	if done == nil {
+		return
+	}
+	if s.fail[node] {
+		return // command lost in flight: no ack, no error
+	}
+	if s.errOn[node] {
+		done(cluster.ControlAck{}, errors.New("conn reset"))
+		return
+	}
+	done(cluster.ControlAck{OK: true, Freed: s.freed}, nil)
+}
+
+type fakeReset struct{ nodes []string }
+
+func (r *fakeReset) ResetNode(node string) bool {
+	r.nodes = append(r.nodes, node)
+	return true
+}
+
+// alarmEpoch builds an epoch event flagging component comp on the given
+// nodes (node-local).
+func alarmEpoch(epoch int64, comp string, nodes ...string) cluster.EpochEvent {
+	ev := cluster.EpochEvent{Epoch: epoch, Active: 3}
+	if len(nodes) > 0 {
+		ev.Verdicts = []cluster.ClusterVerdict{{
+			Resource: "memory", Component: comp, Nodes: nodes, ActiveNodes: 3, Score: 5,
+		}}
+	}
+	return ev
+}
+
+func quietEpoch(epoch int64) cluster.EpochEvent {
+	return cluster.EpochEvent{Epoch: epoch, Active: 3}
+}
+
+func newTestController(bal *fakeBalancer, snd *fakeSender) *Controller {
+	c := New(Config{
+		HoldDownEpochs:  3,
+		MaxConcurrent:   1,
+		DrainEpochs:     2,
+		RebootEpochs:    3,
+		ProbationEpochs: 4,
+		ProbationWeight: 1,
+		HealthyWeight:   4,
+		CooldownEpochs:  5,
+	}, bal, snd)
+	return c
+}
+
+// TestFullCycle drives one node through the complete
+// Healthy→Draining→Rejuvenating→Probation→Healthy cycle.
+func TestFullCycle(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{freed: 4096}
+	reset := &fakeReset{}
+	c := newTestController(bal, snd)
+	c.SetDetectorReset(reset)
+
+	epoch := int64(0)
+	// Hold-down: two alarming epochs are not enough.
+	for i := 0; i < 2; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node2"))
+	}
+	if got := c.NodeState("node2"); got != Healthy {
+		t.Fatalf("after 2 alarming epochs state = %v, want healthy", got)
+	}
+	// Third consecutive alarm: drain.
+	epoch++
+	bal.pinned["node2"] = 2 // sessions still stuck
+	c.ObserveEpoch(alarmEpoch(epoch, "home", "node2"))
+	if got := c.NodeState("node2"); got != Draining {
+		t.Fatalf("after hold-down state = %v, want draining", got)
+	}
+	if !bal.draining["node2"] {
+		t.Fatalf("balancer not draining node2")
+	}
+	// Sessions drain away: next epoch fires the micro-reboot, whose
+	// synchronous ack is consumed one epoch later.
+	bal.pinned["node2"] = 0
+	epoch++
+	c.ObserveEpoch(alarmEpoch(epoch, "home", "node2"))
+	if got := c.NodeState("node2"); got != Rejuvenating {
+		t.Fatalf("after idle drain state = %v, want rejuvenating", got)
+	}
+	epoch++
+	c.ObserveEpoch(quietEpoch(epoch))
+	if got := c.NodeState("node2"); got != Probation {
+		t.Fatalf("after acked reboot state = %v, want probation", got)
+	}
+	if bal.weights["node2"] != 1 {
+		t.Fatalf("probation weight = %d, want 1", bal.weights["node2"])
+	}
+	if len(reset.nodes) != 1 || reset.nodes[0] != "node2" {
+		t.Fatalf("detector resets = %v, want [node2]", reset.nodes)
+	}
+	// Clean probation: restored to full weight.
+	for i := 0; i < 4; i++ {
+		epoch++
+		c.ObserveEpoch(quietEpoch(epoch))
+	}
+	if got := c.NodeState("node2"); got != Healthy {
+		t.Fatalf("after clean probation state = %v, want healthy", got)
+	}
+	if bal.weights["node2"] != 4 {
+		t.Fatalf("restored weight = %d, want 4", bal.weights["node2"])
+	}
+	st := c.Stats()
+	if st.Rejuvenations != 1 || st.FreedBytes != 4096 {
+		t.Fatalf("counters = %+v, want 1 rejuvenation / 4096 freed", st)
+	}
+	// Rejuvenate command carried the suspect component.
+	var sawReboot bool
+	for _, cmd := range snd.sent {
+		if cmd.Kind == cluster.ControlRejuvenate {
+			sawReboot = true
+			if cmd.Node != "node2" || cmd.Component != "home" {
+				t.Fatalf("rejuvenate command = %+v, want node2/home", cmd)
+			}
+		}
+	}
+	if !sawReboot {
+		t.Fatalf("no rejuvenate command sent: %+v", snd.sent)
+	}
+}
+
+// TestFlappingAlarmHeldByHysteresis pins that an alarm flapping on/off
+// never accumulates the hold-down, so the node is never drained.
+func TestFlappingAlarmHeldByHysteresis(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{}
+	c := newTestController(bal, snd)
+	epoch := int64(0)
+	for i := 0; i < 20; i++ {
+		epoch++
+		if i%2 == 0 {
+			c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+		} else {
+			c.ObserveEpoch(quietEpoch(epoch))
+		}
+	}
+	if got := c.NodeState("node1"); got != Healthy {
+		t.Fatalf("flapping alarm drove state to %v, want healthy", got)
+	}
+	if len(bal.calls) != 0 {
+		t.Fatalf("flapping alarm touched the balancer: %v", bal.calls)
+	}
+	if len(snd.sent) != 0 {
+		t.Fatalf("flapping alarm sent commands: %v", snd.sent)
+	}
+}
+
+// TestSuppressedEpochsDoNotAccumulate pins that churn/shift-suppressed
+// epochs freeze (not grow, not reset) the hold-down.
+func TestSuppressedEpochsDoNotAccumulate(t *testing.T) {
+	bal := newFakeBalancer()
+	c := newTestController(bal, &fakeSender{})
+	epoch := int64(0)
+	for i := 0; i < 10; i++ {
+		epoch++
+		ev := alarmEpoch(epoch, "home", "node1")
+		ev.Suppressed = true
+		c.ObserveEpoch(ev)
+	}
+	if got := c.NodeState("node1"); got != Healthy {
+		t.Fatalf("suppressed alarms drove state to %v, want healthy", got)
+	}
+	// Two clean-signal alarming epochs: still below the hold-down of 3.
+	for i := 0; i < 2; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	if got := c.NodeState("node1"); got != Healthy {
+		t.Fatalf("state = %v after 2 unsuppressed alarms, want healthy", got)
+	}
+	epoch++
+	c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	if got := c.NodeState("node1"); got != Draining {
+		t.Fatalf("state = %v after 3 unsuppressed alarms, want draining", got)
+	}
+}
+
+// TestConcurrencyCap pins that with two nodes past hold-down only one is
+// taken out of rotation at a time (MaxConcurrent=1), and the second
+// follows once the first completes its cycle.
+func TestConcurrencyCap(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{freed: 100}
+	c := newTestController(bal, snd)
+	epoch := int64(0)
+	for i := 0; i < 3; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1", "node2"))
+	}
+	if got := c.NodeState("node1"); got != Draining {
+		t.Fatalf("node1 state = %v, want draining (first in name order)", got)
+	}
+	if got := c.NodeState("node2"); got != Healthy {
+		t.Fatalf("node2 state = %v, want healthy (cap respected)", got)
+	}
+	// Drive node1 through its cycle; node2 keeps alarming and must enter
+	// its own drain only after node1 leaves the busy set (enters
+	// probation).
+	for i := 0; i < 12 && c.NodeState("node1") != Probation; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node2"))
+	}
+	if got := c.NodeState("node1"); got != Probation {
+		t.Fatalf("node1 never reached probation")
+	}
+	// node2's hold-down was already met; the next unsuppressed alarming
+	// epoch with a free slot drains it.
+	epoch++
+	c.ObserveEpoch(alarmEpoch(epoch, "home", "node2"))
+	if got := c.NodeState("node2"); got != Draining {
+		t.Fatalf("node2 state = %v after slot freed, want draining", got)
+	}
+}
+
+// TestProbationRollback pins that the same component re-alarming during
+// probation rolls the node back to Draining.
+func TestProbationRollback(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{freed: 100}
+	c := newTestController(bal, snd)
+	epoch := int64(0)
+	for i := 0; i < 5 && c.NodeState("node1") != Probation; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	if got := c.NodeState("node1"); got != Probation {
+		t.Fatalf("node1 state = %v, want probation", got)
+	}
+	epoch++
+	c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	if got := c.NodeState("node1"); got != Draining {
+		t.Fatalf("probation re-alarm state = %v, want draining", got)
+	}
+	if st := c.Stats(); st.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+}
+
+// TestControlLossFallsBackBounded pins the control-loss path: a
+// rejuvenate command that never acks re-admits the node within
+// RebootEpochs instead of keeping it out of rotation forever.
+func TestControlLossFallsBackBounded(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{fail: map[string]bool{"node1": true}}
+	c := newTestController(bal, snd)
+	epoch := int64(0)
+	for i := 0; i < 5 && c.NodeState("node1") != Rejuvenating; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	if got := c.NodeState("node1"); got != Rejuvenating {
+		t.Fatalf("node1 state = %v, want rejuvenating", got)
+	}
+	// RebootEpochs=3 without an ack: fallback re-admission.
+	for i := 0; i < 3; i++ {
+		epoch++
+		c.ObserveEpoch(quietEpoch(epoch))
+	}
+	if got := c.NodeState("node1"); got != Probation {
+		t.Fatalf("state = %v after reboot deadline, want probation (fallback)", got)
+	}
+	st := c.Stats()
+	if st.ControlLost != 1 {
+		t.Fatalf("control lost = %d, want 1", st.ControlLost)
+	}
+	if st.Rejuvenations != 0 {
+		t.Fatalf("rejuvenations = %d, want 0 (command was lost)", st.Rejuvenations)
+	}
+	if bal.draining["node1"] {
+		t.Fatalf("node1 still draining after fallback re-admission")
+	}
+}
+
+// TestControlErrorFallsBack pins that an erroring control channel (not
+// just a silent one) takes the same safe fallback.
+func TestControlErrorFallsBack(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{errOn: map[string]bool{"node1": true}}
+	c := newTestController(bal, snd)
+	epoch := int64(0)
+	for i := 0; i < 6 && c.NodeState("node1") != Probation; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	if got := c.NodeState("node1"); got != Probation {
+		t.Fatalf("node1 state = %v, want probation via error fallback", got)
+	}
+	if st := c.Stats(); st.ControlLost != 1 {
+		t.Fatalf("control lost = %d, want 1", st.ControlLost)
+	}
+}
+
+// TestClusterWideVeto pins that a cluster-wide verdict actuates nothing
+// and surfaces a veto instead — mass micro-reboots are the outage.
+func TestClusterWideVeto(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{}
+	c := newTestController(bal, snd)
+	for epoch := int64(1); epoch <= 10; epoch++ {
+		c.ObserveEpoch(cluster.EpochEvent{Epoch: epoch, Active: 3, Verdicts: []cluster.ClusterVerdict{{
+			Resource: "memory", Component: "home", Nodes: []string{"node1", "node2", "node3"},
+			ActiveNodes: 3, ClusterWide: true, Score: 9,
+		}}})
+	}
+	if len(bal.calls) != 0 || len(snd.sent) != 0 {
+		t.Fatalf("cluster-wide verdict actuated: bal=%v sent=%v", bal.calls, snd.sent)
+	}
+	st := c.Stats()
+	if st.ClusterWideVetoes != 1 {
+		t.Fatalf("vetoes = %d, want 1 (latched, not per-epoch)", st.ClusterWideVetoes)
+	}
+	notifs := c.DrainNotifications()
+	if len(notifs) != 1 {
+		t.Fatalf("veto notifications = %d, want 1", len(notifs))
+	}
+}
+
+// TestDrainDeadlineForcesUnpin pins that sessions refusing to go idle
+// are force-unpinned at the drain deadline.
+func TestDrainDeadlineForcesUnpin(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{freed: 1}
+	c := newTestController(bal, snd)
+	bal.pinned["node1"] = 7 // never drains on its own
+	epoch := int64(0)
+	for i := 0; i < 3; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	if got := c.NodeState("node1"); got != Draining {
+		t.Fatalf("state = %v, want draining", got)
+	}
+	// DrainEpochs=2 past the transition: forced completion.
+	for i := 0; i < 2; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	if got := c.NodeState("node1"); got != Rejuvenating {
+		t.Fatalf("state = %v after drain deadline, want rejuvenating", got)
+	}
+	if st := c.Stats(); st.ForcedDrains != 1 {
+		t.Fatalf("forced drains = %d, want 1", st.ForcedDrains)
+	}
+	if bal.pinned["node1"] != 0 {
+		t.Fatalf("sessions still pinned after forced drain")
+	}
+}
+
+// TestHistoryAndStatus sanity-checks the observability surfaces.
+func TestHistoryAndStatus(t *testing.T) {
+	bal := newFakeBalancer()
+	snd := &fakeSender{freed: 10}
+	c := newTestController(bal, snd)
+	c.Track("node1", "node2")
+	st := c.Status()
+	if len(st) != 2 || st[0].Node != "node1" || st[0].State != Healthy {
+		t.Fatalf("tracked status = %+v", st)
+	}
+	epoch := int64(0)
+	for i := 0; i < 12 && c.NodeState("node1") != Probation; i++ {
+		epoch++
+		c.ObserveEpoch(alarmEpoch(epoch, "home", "node1"))
+	}
+	hist := c.History()
+	if len(hist) < 3 {
+		t.Fatalf("history has %d events, want >= 3 (drain, reboot, probation)", len(hist))
+	}
+	if hist[0].From != Healthy || hist[0].To != Draining {
+		t.Fatalf("first transition = %+v, want healthy→draining", hist[0])
+	}
+	for _, e := range hist {
+		if e.Node != "node1" {
+			t.Fatalf("transition for unexpected node: %+v", e)
+		}
+	}
+}

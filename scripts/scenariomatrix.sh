@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# scenariomatrix.sh — run the full S1-S16 scenario matrix against its
+# scenariomatrix.sh — run the full S1-S19 scenario matrix against its
 # fault-injected ground truth and gate the accuracy report against
 # ACCURACY_baseline.json.
 #
@@ -36,7 +36,7 @@ if [[ -z "$REPORT" ]]; then
   trap 'rm -f "$OUT"' EXIT
 fi
 
-SCENARIOS="S1,S2,S3,S4,S5,S6,S7,S8,S9,S10,S11,S12,S13,S14,S15,S16"
+SCENARIOS="S1,S2,S3,S4,S5,S6,S7,S8,S9,S10,S11,S12,S13,S14,S15,S16,S17,S18,S19"
 echo "running: go run ./cmd/experiments -run $SCENARIOS -scale 0.35 -seed 42 -items 500 -customers 300 -accuracy $OUT" >&2
 go run ./cmd/experiments -run "$SCENARIOS" -scale 0.35 -seed 42 -items 500 -customers 300 -accuracy "$OUT" >&2
 
@@ -63,6 +63,8 @@ for row in base["Scenarios"]:
         failures.append(f"{sid}: recall {got['Recall']:.2f} below recorded {row['Recall']:.2f}")
     if got["PreInjectionAlarms"] > 0:
         failures.append(f"{sid}: {got['PreInjectionAlarms']} pre-injection alarm(s)")
+    if row.get("RecoveryEpochs", 0) > 0 and got.get("RecoveryEpochs", 0) == 0:
+        failures.append(f"{sid}: actuation no longer recovers (recorded TTR {row['RecoveryEpochs']} epochs)")
 
 if fresh["Precision"] < 0.9:
     failures.append(f"overall precision {fresh['Precision']:.3f} below the 0.9 floor")
@@ -71,7 +73,8 @@ if fresh["Recall"] < 1.0:
 
 print(f"scenariomatrix: {len(base['Scenarios'])} scenarios checked, "
       f"precision {fresh['Precision']:.3f} recall {fresh['Recall']:.3f} "
-      f"mean TTD {fresh['MeanTTDRounds']:.1f} rounds")
+      f"mean TTD {fresh['MeanTTDRounds']:.1f} rounds, "
+      f"mean TTR {fresh.get('MeanRecoveryEpochs', 0):.1f} epochs")
 if failures:
     print(f"\nscenariomatrix: {len(failures)} regression(s) vs ACCURACY_baseline.json:", file=sys.stderr)
     for f in failures:
