@@ -33,9 +33,12 @@
 // Cluster commands (against a tpcwsim -nodes N management plane, which
 // serves the aggregator bean):
 //
-//	nodes                        list cluster nodes with status and epochs
+//	nodes                        list cluster nodes with status, epochs and
+//	                             wire counters (publish errors, rounds
+//	                             dropped after transport retries)
 //	cluster-stats                aggregation-plane counters: epoch, rounds
-//	                             ingested, verdict (fold) latency
+//	                             ingested, verdict (fold) latency, rounds
+//	                             shed under overload, notifications dropped
 //	cluster [resource]           print the cluster verdict report
 //	node-verdicts <node> [res]   print one node's detection report
 //	cluster-live [resource]      rank (node, component) pairs live
@@ -255,7 +258,7 @@ func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		printNodes(w, v)
+		printNodes(w, v, client)
 		return nil
 
 	case "cluster-stats":
@@ -278,6 +281,7 @@ func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 		} else {
 			fmt.Fprintf(w, "verdict latency: %v\n", lat)
 		}
+		printOverload(w, client)
 		return nil
 
 	case "cluster":
@@ -286,6 +290,7 @@ func dispatch(client *jmxhttp.Client, args []string, w io.Writer) error {
 			return err
 		}
 		printClusterReport(w, v)
+		printOverload(w, client)
 		return nil
 
 	case "node-verdicts":
@@ -504,22 +509,46 @@ func printMap(w io.Writer, v any) {
 	}
 }
 
-// printNodes renders the aggregator's membership attribute.
-func printNodes(w io.Writer, v any) {
+// printNodes renders the aggregator's membership attribute, joined with
+// each node's forwarder counters (publish errors and rounds the wire
+// dropped after exhausting its retries) when the node's forwarder bean is
+// on the same plane — "-" when it is not (e.g. a remote node's plane).
+func printNodes(w io.Writer, v any, client *jmxhttp.Client) {
 	list, ok := v.([]any)
 	if !ok {
 		fmt.Fprintln(w, v)
 		return
 	}
-	fmt.Fprintf(w, "%-12s %-8s %8s %8s\n", "node", "state", "rounds", "epoch")
+	fmt.Fprintf(w, "%-12s %-8s %8s %8s %8s %8s\n", "node", "state", "rounds", "epoch", "errors", "dropped")
 	for _, item := range list {
 		m, _ := item.(map[string]any)
 		state := "inactive"
 		if b, _ := m["Active"].(bool); b {
 			state = "active"
 		}
-		fmt.Fprintf(w, "%-12v %-8s %8v %8v\n", m["Node"], state, m["Rounds"], m["Epoch"])
+		errs, drops := any("-"), any("-")
+		forwarder := "aging:type=Forwarder,node=" + fmt.Sprint(m["Node"])
+		if v, err := client.Get(forwarder, "Errors"); err == nil {
+			errs = v
+		}
+		if v, err := client.Get(forwarder, "DroppedRounds"); err == nil {
+			drops = v
+		}
+		fmt.Fprintf(w, "%-12v %-8s %8v %8v %8v %8v\n", m["Node"], state, m["Rounds"], m["Epoch"], errs, drops)
 	}
+}
+
+// printOverload renders the aggregator's overload-protection counters:
+// rounds shed by the ingest admission gate and cluster-alarm
+// notifications dropped at the bounded pending queue. Best-effort — an
+// older plane without the attributes prints nothing.
+func printOverload(w io.Writer, client *jmxhttp.Client) {
+	shed, err1 := client.Get(aggregatorName, "ShedRounds")
+	drops, err2 := client.Get(aggregatorName, "DroppedNotifications")
+	if err1 != nil || err2 != nil {
+		return
+	}
+	fmt.Fprintf(w, "overload: shed-rounds=%v dropped-notifications=%v\n", shed, drops)
 }
 
 // printClusterReport renders the JSON form of a cluster.ClusterReport.

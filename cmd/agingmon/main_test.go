@@ -181,16 +181,29 @@ func TestClusterCommands(t *testing.T) {
 	client := newClusterPlane(t)
 
 	out := run(t, client, "nodes")
-	for _, want := range []string{"node1", "node2", "node3", "active"} {
+	for _, want := range []string{"node1", "node2", "node3", "active", "errors", "dropped"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("nodes output lacks %q:\n%s", want, out)
 		}
+	}
+	// The forwarder beans are on the plane, so the wire counters must be
+	// joined as numbers, not the "-" placeholder.
+	if strings.Contains(out, "-\n") || strings.Contains(out, " - ") {
+		t.Fatalf("nodes output shows placeholder wire counters despite forwarder beans:\n%s", out)
+	}
+
+	out = run(t, client, "cluster-stats")
+	if !strings.Contains(out, "shed-rounds=0") || !strings.Contains(out, "dropped-notifications=0") {
+		t.Fatalf("cluster-stats lacks the overload counters:\n%s", out)
 	}
 
 	out = run(t, client, "cluster", "memory")
 	if !strings.Contains(out, "resource=memory") || !strings.Contains(out, tpcw.CompHome) ||
 		!strings.Contains(out, "on node2") || !strings.Contains(out, "node-local") {
 		t.Fatalf("cluster report does not name (node2, %s):\n%s", tpcw.CompHome, out)
+	}
+	if !strings.Contains(out, "overload: shed-rounds=") {
+		t.Fatalf("cluster report lacks the overload counter line:\n%s", out)
 	}
 
 	out = run(t, client, "node-verdicts", "node2", "memory")

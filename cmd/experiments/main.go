@@ -69,10 +69,13 @@ func main() {
 		"S17": experiment.S17RejuvenateSickReplica,
 		"S18": experiment.S18FlappingDetectorHeld,
 		"S19": experiment.S19ControlLossDuringDrain,
+		"S20": experiment.S20KillAggregatorMidLeak,
+		"S21": experiment.S21FailoverMidDrain,
+		"S22": experiment.S22RoundStormOverload,
 	}
 	order := []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3",
 		"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16",
-		"S17", "S18", "S19"}
+		"S17", "S18", "S19", "S20", "S21", "S22"}
 
 	var ids []string
 	if *run == "all" {

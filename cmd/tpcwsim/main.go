@@ -285,6 +285,18 @@ func runCluster(addr string, duration time.Duration, ebs int, leak string, leakS
 		cs.Driver.Completed(), cs.Driver.Failed(), time.Since(start).Truncate(time.Millisecond),
 		cs.Balancer.Spread())
 
+	var published, pubErrs, dropped int64
+	for _, n := range cs.Nodes {
+		f := n.Forwarder()
+		published += f.Rounds()
+		pubErrs += f.Errors()
+		dropped += f.Dropped()
+	}
+	fmt.Printf("wire: %d rounds published, %d publish errors, %d dropped after retries\n",
+		published, pubErrs, dropped)
+	fmt.Printf("aggregator: %d rounds ingested, %d shed at the admission gate, %d notifications dropped\n",
+		cs.Aggregator.TotalRounds(), cs.Aggregator.ShedRounds(), cs.Aggregator.DroppedNotifications())
+
 	if cs.Rejuv != nil {
 		st := cs.Rejuv.Stats()
 		fmt.Printf("actuation: %d micro-reboots freed %dB, %d rollbacks, %d control losses, %d forced drains, %d cluster-wide vetoes\n",

@@ -1,0 +1,138 @@
+package binc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40)
+	b = AppendVarint(b, -12345)
+	b = AppendVarint(b, math.MaxInt64)
+	b = AppendFloat(b, math.Pi)
+	b = AppendFloat(b, math.NaN())
+	b = AppendString(b, "component.Ünïcode")
+	b = AppendString(b, "")
+	b = AppendBytes(b, []byte{0, 1, 2})
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+
+	p := NewParser(b)
+	if got := p.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := p.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := p.Varint(); got != -12345 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := p.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := p.Float(); got != math.Pi {
+		t.Errorf("float = %v", got)
+	}
+	if got := p.Float(); !math.IsNaN(got) {
+		t.Errorf("float = %v, want NaN", got)
+	}
+	if got := p.String(64); got != "component.Ünïcode" {
+		t.Errorf("string = %q", got)
+	}
+	if got := p.String(64); got != "" {
+		t.Errorf("string = %q", got)
+	}
+	if got := p.Bytes(8); len(got) != 3 || got[2] != 2 {
+		t.Errorf("bytes = %v", got)
+	}
+	if !p.Bool() || p.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if err := p.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestFloatBitExact(t *testing.T) {
+	// Snapshot parity depends on floats surviving bit-for-bit, including
+	// negative zero and NaN payloads.
+	for _, bits := range []uint64{0, 1, 1 << 63, 0x7ff8000000000001, 0xfff0000000000000} {
+		b := AppendFloat(nil, math.Float64frombits(bits))
+		p := NewParser(b)
+		if got := math.Float64bits(p.Float()); got != bits {
+			t.Errorf("bits %#x round-tripped to %#x", bits, got)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	p := NewParser([]byte{0x80}) // truncated uvarint
+	if p.Uvarint() != 0 || p.Err() == nil {
+		t.Fatal("want sticky error after bad uvarint")
+	}
+	// Every subsequent read is a zero value, same error.
+	first := p.Err()
+	if p.Float() != 0 || p.Bool() || p.String(8) != "" || p.Err() != first {
+		t.Error("sticky error not preserved")
+	}
+	if p.Done() != first {
+		t.Error("Done must surface the sticky error")
+	}
+}
+
+func TestCountBound(t *testing.T) {
+	b := AppendUvarint(nil, 1<<32)
+	if NewParser(b).Count(1024) != 0 {
+		t.Error("oversized count must fail, not allocate")
+	}
+	p := NewParser(b)
+	p.Count(1024)
+	if p.Err() == nil {
+		t.Error("oversized count must set the error")
+	}
+}
+
+func TestNonMinimalVarintRejected(t *testing.T) {
+	// 0x84 0x00 decodes to 4 under encoding/binary but is not the
+	// minimal encoding; canonical snapshots must reject it.
+	p := NewParser([]byte{0x84, 0x00})
+	if p.Uvarint() != 0 || p.Err() == nil {
+		t.Error("padded uvarint must be rejected")
+	}
+	p = NewParser([]byte{0x84, 0x00})
+	if p.Varint() != 0 || p.Err() == nil {
+		t.Error("padded varint must be rejected")
+	}
+	// The minimal encodings still round-trip.
+	p = NewParser(AppendVarint(AppendUvarint(nil, 4), -2))
+	if p.Uvarint() != 4 || p.Varint() != -2 || p.Done() != nil {
+		t.Error("minimal encodings must still parse")
+	}
+}
+
+func TestBadBool(t *testing.T) {
+	p := NewParser([]byte{2})
+	if p.Bool() || p.Err() == nil {
+		t.Error("bool byte 2 must be rejected (canonical encoding)")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	b := AppendBool(nil, true)
+	b = append(b, 0xff)
+	p := NewParser(b)
+	p.Bool()
+	if p.Done() == nil {
+		t.Error("trailing bytes must fail Done")
+	}
+}
+
+func TestStringTooLong(t *testing.T) {
+	b := AppendString(nil, "abcdefgh")
+	p := NewParser(b)
+	if p.String(4) != "" || p.Err() == nil {
+		t.Error("over-limit string must fail")
+	}
+}

@@ -54,6 +54,21 @@ type Config struct {
 	// the resource count). 1 folds inline on the completing publisher's
 	// goroutine. Verdicts do not depend on the worker count.
 	FoldWorkers int
+	// LaneQueueDepth bounds how many publishers may occupy one ingest
+	// lane at once — admitted and executing, or parked on the lane lock
+	// (default 1024). A round arriving at a full lane is shed and
+	// counted (ShedRounds) instead of parking another goroutine: under
+	// a round storm the monitoring plane's memory stays bounded, and a
+	// shed round looks to the rest of the plane exactly like a lost
+	// frame — the node's sequence gaps and the epoch folds without it.
+	LaneQueueDepth int
+	// NotifCap bounds the pending cluster-alarm notification queue
+	// (the DrainNotifications backlog, default 4096). When the owner
+	// stops draining, transitions beyond the cap are dropped newest
+	// and counted (DroppedNotifications) — the queue must never become
+	// the unbounded buffer that takes the monitor down with its
+	// consumer.
+	NotifCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +93,12 @@ func (c Config) withDefaults() Config {
 	if n := len(core.DetectorResources); c.FoldWorkers > n {
 		c.FoldWorkers = n
 	}
+	if c.LaneQueueDepth <= 0 {
+		c.LaneQueueDepth = 1024
+	}
+	if c.NotifCap <= 0 {
+		c.NotifCap = 4096
+	}
 	return c
 }
 
@@ -87,6 +108,12 @@ func (c Config) withDefaults() Config {
 type ingestLane struct {
 	mu    sync.Mutex
 	nodes map[string]*nodeState
+	// queued is the lane's admission counter: publishers currently
+	// admitted (executing or parked on mu). Ingest increments it before
+	// taking the lock and sheds the round when it would exceed
+	// Config.LaneQueueDepth, bounding how many goroutines a storm can
+	// pile onto one lane.
+	queued atomic.Int64
 }
 
 // nodeState is the aggregator's view of one node.
@@ -308,6 +335,13 @@ type Aggregator struct {
 	// Lock-free counters for the read paths and the watermark gate.
 	epoch atomic.Int64 // latest folded epoch (mirrors epochFolded)
 	total atomic.Int64 // rounds ingested
+
+	// Overload-protection counters: rounds shed at a full ingest lane
+	// and notifications dropped at a full pending queue. Transient
+	// operational stats, deliberately outside the snapshot format — a
+	// restored plane starts its overload history fresh.
+	shed         atomic.Int64
+	notifDropped atomic.Int64
 
 	// Verdict-publication latency: wall nanoseconds from an epoch's
 	// completion to its reports being published (one foldEpoch call).
@@ -583,6 +617,17 @@ func (a *Aggregator) Ingest(r Round) {
 		return
 	}
 	lane := a.laneFor(r.Node)
+	// Admission gate: bound the publishers one lane can absorb. The
+	// slot is held until this call returns — through a fold, if this
+	// round completes an epoch — so the counter reflects true
+	// occupancy, and a storm sheds instead of parking goroutines
+	// without bound.
+	if lane.queued.Add(1) > int64(a.cfg.LaneQueueDepth) {
+		lane.queued.Add(-1)
+		a.shed.Add(1)
+		return
+	}
+	defer lane.queued.Add(-1)
 	lane.mu.Lock()
 	st := lane.nodes[r.Node]
 	if st != nil && r.Seq <= st.seq {
@@ -904,7 +949,15 @@ func (a *Aggregator) foldEpoch(k int64) {
 	a.notifMu.Lock()
 	for ri := range a.resources {
 		sc := &a.foldScratch[ri]
-		a.pending = append(a.pending, sc.notifs...)
+		for i := range sc.notifs {
+			if len(a.pending) >= a.cfg.NotifCap {
+				// Undrained backlog at the cap: drop newest, keep the
+				// oldest transitions (the raise that started the story).
+				a.notifDropped.Add(int64(len(sc.notifs) - i))
+				break
+			}
+			a.pending = append(a.pending, sc.notifs[i])
+		}
 		sc.notifs = sc.notifs[:0]
 	}
 	a.notifMu.Unlock()
@@ -1113,6 +1166,30 @@ func (a *Aggregator) queueTransitions(sc *resourceFold, rep *ClusterReport, supp
 		})
 	}
 }
+
+// SyncFolds folds every epoch completable from the rounds already
+// ingested and blocks until any in-flight fold has published its
+// reports. The ingest path never needs it — maybeFold's gate guarantees
+// no completable epoch is left unfolded *eventually* — but a caller
+// that has just barriered on TotalRounds and is about to read reports
+// needs a synchronous point: a round is counted before the fold it
+// completes runs (and that fold may even be executed by another
+// publisher's in-flight completeEpochs loop), so "all rounds ingested"
+// does not mean "all epochs published" until this returns.
+func (a *Aggregator) SyncFolds() {
+	a.foldMu.Lock()
+	a.completeEpochs()
+	a.foldMu.Unlock()
+	a.deliverEpochEvents()
+}
+
+// ShedRounds reports how many rounds the admission gate shed at a full
+// ingest lane (Config.LaneQueueDepth).
+func (a *Aggregator) ShedRounds() int64 { return a.shed.Load() }
+
+// DroppedNotifications reports how many cluster-alarm notifications
+// were dropped at a full pending queue (Config.NotifCap).
+func (a *Aggregator) DroppedNotifications() int64 { return a.notifDropped.Load() }
 
 // DrainNotifications returns and clears the queued cluster alarm
 // transitions; the owner (a cluster stack's notification pump, a serving

@@ -167,3 +167,97 @@ func TestAggregatorConcurrentPublishersSoak(t *testing.T) {
 		t.Fatalf("top verdict = %q, want node3/leaky", top.Pair())
 	}
 }
+
+// TestLeaveResetRaceParallelFold hammers the administrative membership
+// surface — Leave and ResetNode, the operations a rejuvenation
+// controller or an operator issues — against in-flight parallel folds
+// and concurrent publishers. The race detector asserts the locking; the
+// test asserts the plane comes out coherent: nodes that kept publishing
+// rejoin, epochs advance, and every admission slot is released.
+func TestLeaveResetRaceParallelFold(t *testing.T) {
+	const nodes, rounds = 6, 80
+	a := New(Config{Detect: testDetect(), IngestLanes: 4, FoldWorkers: 4})
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i+1)
+	}
+	a.Expect(names...)
+
+	done := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			a.Leave(names[i%nodes])
+			a.ResetNode(names[(i+1)%nodes])
+			a.Nodes()
+			a.Report(core.ResourceMemory)
+		}
+	}()
+
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	var barrier sync.WaitGroup
+	feeds := make([]chan int64, nodes)
+	var pubs sync.WaitGroup
+	for i, n := range names {
+		feeds[i] = make(chan int64, 1)
+		pubs.Add(1)
+		go func(feed <-chan int64, node string) {
+			defer pubs.Done()
+			for seq := range feed {
+				// Publishing straight through Leave exercises the rejoin
+				// path against the fold in flight.
+				a.Ingest(syntheticRound(node, seq, t0.Add(time.Duration(seq)*30*time.Second), 0))
+				barrier.Done()
+			}
+		}(feeds[i], n)
+	}
+	for seq := int64(1); seq <= rounds; seq++ {
+		barrier.Add(nodes)
+		for _, feed := range feeds {
+			feed <- seq
+		}
+		barrier.Wait()
+	}
+	for _, feed := range feeds {
+		close(feed)
+	}
+	pubs.Wait()
+	close(done)
+	churn.Wait()
+
+	// Quiesce: everyone publishes a few more lockstep rounds with the
+	// churn stopped, after which the whole membership must be active
+	// and the epoch line moving again.
+	before := a.Epoch()
+	for seq := int64(rounds + 1); seq <= rounds+10; seq++ {
+		at := t0.Add(time.Duration(seq) * 30 * time.Second)
+		for _, n := range names {
+			a.Ingest(syntheticRound(n, seq, at, 0))
+		}
+	}
+	if got := a.Epoch(); got <= before {
+		t.Fatalf("epoch stuck at %d after churn stopped", got)
+	}
+	for _, st := range a.Nodes() {
+		if !st.Active {
+			t.Fatalf("node %s never rejoined after churn: %+v", st.Node, st)
+		}
+	}
+	for i := range a.lanes {
+		if got := a.lanes[i].queued.Load(); got != 0 {
+			t.Fatalf("lane %d admission counter = %d after quiesce, want 0", i, got)
+		}
+	}
+	if a.ShedRounds() != 0 {
+		// Publishers were barriered, never more than one in flight per
+		// node against the default 1024-deep lanes: nothing may shed.
+		t.Fatalf("ShedRounds = %d under a paced load", a.ShedRounds())
+	}
+}

@@ -20,6 +20,8 @@ func (a *Aggregator) Bean() *jmx.Bean {
 		Attr("Nodes", "cluster membership with per-node status", func() any { return a.Nodes() }).
 		Attr("Epoch", "latest completed cluster epoch", func() any { return a.Epoch() }).
 		Attr("TotalRounds", "rounds ingested across all nodes", func() any { return a.TotalRounds() }).
+		Attr("ShedRounds", "rounds shed by the ingest admission gate under overload", func() any { return a.ShedRounds() }).
+		Attr("DroppedNotifications", "cluster-alarm notifications dropped at the bounded pending queue", func() any { return a.DroppedNotifications() }).
 		Attr("FoldLatency", "verdict latency: wall nanoseconds from epoch completion to published reports", func() any {
 			last, max := a.FoldLatency()
 			return map[string]int64{"LastNanos": last.Nanoseconds(), "MaxNanos": max.Nanoseconds()}

@@ -66,10 +66,15 @@ import (
 // BATCH round frames from the CONTROL command/ack frames of the actuation
 // plane (control.go), which makes the stream bidirectional: rounds and
 // acks flow node→aggregator, drain/rejuvenate/re-admit commands flow
-// aggregator→node on the same connection.
-var wireMagic = [4]byte{'A', 'G', 'M', 5}
+// aggregator→node on the same connection; 6 — adds the SNAPSHOT frame
+// kind (standby.go): an active aggregator periodically ships its (and
+// its rejuvenation controller's) durable-state snapshot to a warm
+// standby, which can be promoted mid-epoch when the active dies.
+// SNAPSHOT frames travel only on dedicated standby connections, never on
+// node round streams.
+var wireMagic = [4]byte{'A', 'G', 'M', 6}
 
-// Frame types: the first byte of every v5 frame payload.
+// Frame types: the first byte of every v6 frame payload.
 const (
 	// frameBatch carries sampling rounds (uvarint count + rounds).
 	frameBatch = 0x00
@@ -78,6 +83,9 @@ const (
 	// frameControlAck carries one command acknowledgement (node →
 	// aggregator).
 	frameControlAck = 0x02
+	// frameSnapshot carries one durable-state snapshot (active
+	// aggregator → warm standby; see standby.go).
+	frameSnapshot = 0x03
 )
 
 // prevSample is the per-component delta-encoding state: the previous

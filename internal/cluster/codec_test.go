@@ -138,7 +138,7 @@ func TestBinaryCodecGolden(t *testing.T) {
 	enc.BufferRound(rounds[3])
 	enc.BufferRound(rounds[4])
 	stream = enc.FlushFrame(stream)
-	// The stream: 4-byte header (magic "AGM", version 5), then
+	// The stream: 4-byte header (magic "AGM", version 6), then
 	// length-prefixed frames, each opening with its frame-type byte (0x00
 	// = BATCH; CONTROL/ACK frames are pinned in control_test.go) and its
 	// uvarint round count (0x01 for the unbatched frames, 0x02 for the
@@ -156,7 +156,7 @@ func TestBinaryCodecGolden(t *testing.T) {
 	// bytes, type 0x00, count 0x02) carries node2's second round — paying
 	// its one-time time residual like node1 did — and node1's third, fully
 	// steady round, whose linear chains are almost all single zero bytes.
-	const want = "41474d055a000100056e6f6465310280b08dabf9b4cd84230300056c65616b7907" +
+	const want = "41474d065a000100056e6f6465310280b08dabf9b4cd84230300056c65616b7907" +
 		"80808001c80106060080cab5ee018094ebdc030006737465616479078040e0030a" +
 		"04008094ebdc0380dea0cb050007756e73697a656406000e000000000046000100" +
 		"056e6f6465320280b08dabf9b4cd842303020780808001c8010606804080cab5ee" +

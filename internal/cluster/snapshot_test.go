@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/binc"
+	"repro/internal/core"
+	"repro/internal/detect"
+)
+
+// feedSnap drives seqs [from, to] of the synthetic three-component
+// workload into a, all nodes in lockstep.
+func feedSnap(a *Aggregator, nodes []string, leaks map[string]int64, from, to int64) {
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for seq := from; seq <= to; seq++ {
+		at := t0.Add(time.Duration(seq) * 30 * time.Second)
+		for _, n := range nodes {
+			a.Ingest(syntheticRound(n, seq, at, leaks[n]))
+		}
+	}
+}
+
+// recordEpochs subscribes a renderer that captures every epoch event as
+// a string (the event's verdict slices recycle with the report rings,
+// so retaining them raw would alias).
+func recordEpochs(a *Aggregator, into *[]string) {
+	a.SubscribeEpochs(func(ev EpochEvent) {
+		*into = append(*into, fmt.Sprintf("%+v", ev))
+	})
+}
+
+// TestAggregatorSnapshotParity is the tentpole guarantee: run N epochs,
+// snapshot, restore into a fresh plane, run M more — every verdict,
+// report and epoch event must be identical to an uninterrupted N+M run,
+// and the final durable state must match bit for bit.
+func TestAggregatorSnapshotParity(t *testing.T) {
+	cfg := Config{Detect: testDetect(), IngestLanes: 4}
+	nodes := []string{"node1", "node2", "node3"}
+	leaks := map[string]int64{"node2": 4096}
+	const N, M = 25, 15
+
+	ref := New(cfg)
+	var refEvents []string
+	recordEpochs(ref, &refEvents)
+	ref.Expect(nodes...)
+	feedSnap(ref, nodes, leaks, 1, N+M)
+
+	live := New(cfg)
+	live.Expect(nodes...)
+	feedSnap(live, nodes, leaks, 1, N)
+	snap := live.Snapshot()
+
+	restored := New(cfg)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := restored.Epoch(); got != N {
+		t.Fatalf("restored epoch = %d, want %d", got, N)
+	}
+	if got := restored.TotalRounds(); got != int64(N*len(nodes)) {
+		t.Fatalf("restored rounds = %d, want %d", got, N*len(nodes))
+	}
+	var gotEvents []string
+	recordEpochs(restored, &gotEvents)
+	feedSnap(restored, nodes, leaks, N+1, N+M)
+
+	if len(refEvents) != N+M {
+		t.Fatalf("reference produced %d epoch events, want %d", len(refEvents), N+M)
+	}
+	if len(gotEvents) != M {
+		t.Fatalf("restored produced %d epoch events, want %d", len(gotEvents), M)
+	}
+	for i, want := range refEvents[N:] {
+		if gotEvents[i] != want {
+			t.Fatalf("epoch event %d diverged after restore:\n got %s\nwant %s", N+1+i, gotEvents[i], want)
+		}
+	}
+
+	for _, res := range core.DetectorResources {
+		if got, want := clusterVerdictsOf(restored.Report(res)), clusterVerdictsOf(ref.Report(res)); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s report diverged after restore:\n got %+v\nwant %+v", res, got, want)
+		}
+		for _, n := range nodes {
+			got, want := restored.NodeReport(n, res), ref.NodeReport(n, res)
+			if (got == nil) != (want == nil) || (got != nil && got.String() != want.String()) {
+				t.Errorf("%s/%s node report diverged after restore:\n got %v\nwant %v", n, res, got, want)
+			}
+		}
+	}
+	if got, want := restored.Nodes(), ref.Nodes(); !reflect.DeepEqual(got, want) {
+		t.Errorf("node status diverged: %+v vs %+v", got, want)
+	}
+
+	// The decisive check: the two planes' durable state is bit-identical.
+	if !bytes.Equal(restored.Snapshot(), ref.Snapshot()) {
+		t.Fatalf("final snapshots differ between restored and uninterrupted runs")
+	}
+}
+
+// TestAggregatorSnapshotParityMembership exercises restore with a left
+// node and a mid-stream joiner in the snapshot — churn hold, the
+// inactive node's retained state, and the joiner's epoch alignment must
+// all survive.
+func TestAggregatorSnapshotParityMembership(t *testing.T) {
+	cfg := Config{Detect: testDetect(), StaleEpochs: 4, ChurnHold: 3}
+	base := []string{"node1", "node2", "node3"}
+	leaks := map[string]int64{"node2": 4096}
+	const N, M = 22, 14
+
+	drive := func(a *Aggregator) func(from, to int64) {
+		return func(from, to int64) {
+			t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+			for seq := from; seq <= to; seq++ {
+				at := t0.Add(time.Duration(seq) * 30 * time.Second)
+				for _, n := range base {
+					if n == "node3" && seq > 15 {
+						continue // node3 dies at seq 15
+					}
+					a.Ingest(syntheticRound(n, seq, at, leaks[n]))
+				}
+				if seq > 18 { // node4 joins late
+					a.Ingest(syntheticRound("node4", seq-18, at, 0))
+				}
+			}
+		}
+	}
+
+	ref := New(cfg)
+	ref.Expect(base...)
+	drive(ref)(1, N+M)
+
+	live := New(cfg)
+	live.Expect(base...)
+	drive(live)(1, N)
+	snap := live.Snapshot()
+
+	restored := New(cfg)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	drive(restored)(N+1, N+M)
+
+	if !bytes.Equal(restored.Snapshot(), ref.Snapshot()) {
+		t.Fatalf("final snapshots differ with membership churn in play")
+	}
+	for _, res := range core.DetectorResources {
+		if got, want := clusterVerdictsOf(restored.Report(res)), clusterVerdictsOf(ref.Report(res)); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s report diverged: %+v vs %+v", res, got, want)
+		}
+	}
+}
+
+// TestAggregatorSnapshotCanonical pins Snapshot∘Restore∘Snapshot as the
+// identity on bytes.
+func TestAggregatorSnapshotCanonical(t *testing.T) {
+	a := New(Config{Detect: testDetect()})
+	nodes := []string{"node1", "node2", "node3"}
+	a.Expect(nodes...)
+	feedSnap(a, nodes, map[string]int64{"node2": 4096}, 1, 18)
+	a.Leave("node3")
+	snap := a.Snapshot()
+
+	restored := New(Config{Detect: testDetect()})
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if again := restored.Snapshot(); !bytes.Equal(again, snap) {
+		t.Fatalf("snapshot not canonical: %d vs %d bytes", len(again), len(snap))
+	}
+}
+
+// TestAggregatorSnapshotEmpty covers the degenerate fresh-to-fresh copy.
+func TestAggregatorSnapshotEmpty(t *testing.T) {
+	snap := New(Config{Detect: testDetect()}).Snapshot()
+	restored := New(Config{Detect: testDetect()})
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Fatal("empty snapshot not canonical")
+	}
+}
+
+func TestAggregatorRestoreRejectsUsedAggregator(t *testing.T) {
+	snap := New(Config{Detect: testDetect()}).Snapshot()
+
+	used := New(Config{Detect: testDetect()})
+	used.Expect("node1")
+	if err := used.Restore(snap); err == nil || !strings.Contains(err.Error(), "fresh") {
+		t.Fatalf("restore into expecting aggregator: %v", err)
+	}
+
+	fed := New(Config{Detect: testDetect()})
+	feedSnap(fed, []string{"node1"}, nil, 1, 2)
+	if err := fed.Restore(snap); err == nil || !strings.Contains(err.Error(), "fresh") {
+		t.Fatalf("restore into fed aggregator: %v", err)
+	}
+}
+
+func TestAggregatorRestoreRejectsConfigMismatch(t *testing.T) {
+	a := New(Config{Detect: testDetect()})
+	a.Expect("node1")
+	feedSnap(a, []string{"node1"}, nil, 1, 3)
+	snap := a.Snapshot()
+
+	other := New(Config{Detect: detect.Config{Window: 30, MinSamples: 4, Consecutive: 2}})
+	err := other.Restore(snap)
+	if err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("config mismatch not rejected: %v", err)
+	}
+}
+
+func TestAggregatorRestoreRejectsCorruption(t *testing.T) {
+	a := New(Config{Detect: testDetect()})
+	a.Expect("node1", "node2")
+	feedSnap(a, []string{"node1", "node2"}, map[string]int64{"node1": 2048}, 1, 6)
+	snap := a.Snapshot()
+
+	fresh := func() *Aggregator { return New(Config{Detect: testDetect()}) }
+
+	if err := fresh().Restore(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] = 'X'
+	if err := fresh().Restore(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), snap...)
+	bad[4] = 99
+	if err := fresh().Restore(bad); !errors.Is(err, binc.ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	for _, cut := range []int{5, len(snap) / 4, len(snap) / 2, len(snap) - 1} {
+		if err := fresh().Restore(snap[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if err := fresh().Restore(append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestAggregatorSnapshotGolden pins the on-disk format: if this breaks,
+// the format changed and aggSnapVersion must be bumped.
+func TestAggregatorSnapshotGolden(t *testing.T) {
+	a := New(Config{Detect: testDetect()})
+	a.Expect("n1")
+	feedSnap(a, []string{"n1"}, map[string]int64{"n1": 512}, 1, 3)
+	got := hex.EncodeToString(a.Snapshot())
+	want := strings.Join(aggSnapshotGoldenHex, "")
+	if got != want {
+		t.Fatalf("snapshot format changed — bump aggSnapVersion and re-pin.\ngot:\n%s", chunk80(got))
+	}
+}
+
+// chunk80 renders a hex string in 80-char lines for re-pinning.
+func chunk80(s string) string {
+	var b strings.Builder
+	for len(s) > 80 {
+		fmt.Fprintf(&b, "\t%q,\n", s[:80])
+		s = s[80:]
+	}
+	fmt.Fprintf(&b, "\t%q,\n", s)
+	return b.String()
+}
+
+var aggSnapshotGoldenHex = []string{
+	"4147534e0105066d656d6f7279036370750774687265616473076c6174656e63790768616e646c65",
+	"730606000001333333333333c33f059a9999999999c93f000000000000f83f0101026e3100000000",
+	"0000f03f0000000000000000333333333333c33f000006000180b08dabf9b4cd84238090c8afb8b8",
+	"cd842300000000000001026e31010601008090c8afb8b8cd8423000000000000c0824002056c6561",
+	"6b79d017026f6bd00f02056c65616b79d02701d804343333333333d33f0400000000000000000000",
+	"026f6bd00f01d804343333333333d33f0400000000000000000000000000000001066d656d6f7279",
+	"147b14ae47e17a843f0000000000000000040200333333333333c33f059a9999999999c93f000000",
+	"000000f83f0000000000000000000000000000000000000806000001333333333333c33f059a9999",
+	"999999c93f000000000000f83f0102056c65616b79000000000000e03f026f6b000000000000e03f",
+	"0000000000000000333333333333c33f000006000101147b14ae47e17a843f80e0aaedd8b6cd8423",
+	"0402000000000000000000000000000000000000000000003e400000000000000000000000000000",
+	"00000102056c65616b7901147b14ae47e17a843f80e0aaedd8b6cd84230402000000000000000000",
+	"00000000a09f400000000000003e400000000000d0a340000000000000d0a3400000000000c07240",
+	"0100000bd7a3703d0ad73f026f6b01147b14ae47e17a843f80e0aaedd8b6cd842304020000000000",
+	"0000000000000000408f400000000000003e400000000000408f40000000000000408f4000000000",
+	"00c0724001000000000000000000000103637075147b14ae47e17a843ffca9f1d24d62403f040201",
+	"333333333333c33f059a9999999999c93f000000000000f83f000000000000000000000000000000",
+	"0000000806000001333333333333c33f059a9999999999c93f000000000000f83f0102056c65616b",
+	"79000000000000e03f026f6b000000000000e03f0000000000000000333333333333c33f00000600",
+	"0101147b14ae47e17a843f80e0aaedd8b6cd842304020000000000000000000000000000f03f0000",
+	"000000003e40000000000000f03f000000000000f03f0102056c65616b7901147b14ae47e17a843f",
+	"80e0aaedd8b6cd842304020000000000000000fca9f1d24d62503f0000000000003e40fda9f1d24d",
+	"62503f00343333333333d33f0000000000c072400100000bd7a3703d0ac73f026f6b01147b14ae47",
+	"e17a843f80e0aaedd8b6cd842304020000000000000000fca9f1d24d62503f0000000000003e40fd",
+	"a9f1d24d62503f00343333333333d33f0000000000c072400100000bd7a3703d0ac73f0107746872",
+	"65616473147b14ae47e17a843f0000000000000000040200333333333333c33f059a9999999999c9",
+	"3f000000000000f83f0000000000000000000000000000000000000806000001333333333333c33f",
+	"059a9999999999c93f000000000000f83f0102056c65616b79000000000000e03f026f6b00000000",
+	"0000e03f0000000000000000333333333333c33f000006000101147b14ae47e17a843f0000000000",
+	"0000000000000002056c65616b7901147b14ae47e17a843f80e0aaedd8b6cd842304020000000000",
+	"00000000000000000000400000000000003e40000000000000004000000000000000004000000000",
+	"00c072400100000000000000000000026f6b01147b14ae47e17a843f80e0aaedd8b6cd8423040200",
+	"0000000000000000000000000000400000000000003e400000000000000040000000000000000040",
+	"0000000000c07240010000000000000000000001076c6174656e6379147b14ae47e17a843ffca9f1",
+	"d24d62403f040201333333333333c33f059a9999999999c93f000000000000f83f00000000000000",
+	"00000000000000000000000806000001333333333333c33f059a9999999999c93f000000000000f8",
+	"3f0102056c65616b79000000000000e03f026f6b000000000000e03f000000000000000033333333",
+	"3333c33f000006000101147b14ae47e17a843f00000000000000000000000002056c65616b790114",
+	"7b14ae47e17a843f80e0aaedd8b6cd84230402000000000000000000000000000000000000000000",
+	"003e4000000000000000000000000000000000000000000000c07240010000000000000000000002",
+	"6f6b01147b14ae47e17a843f80e0aaedd8b6cd842304020000000000000000000000000000000000",
+	"00000000003e4000000000000000000000000000000000000000000000c072400100000000000000",
+	"000000010768616e646c6573147b14ae47e17a843f0000000000000000040200333333333333c33f",
+	"059a9999999999c93f000000000000f83f0000000000000000000000000000000000000806000001",
+	"333333333333c33f059a9999999999c93f000000000000f83f0102056c65616b79000000000000e0",
+	"3f026f6b000000000000e03f0000000000000000333333333333c33f000006000101147b14ae47e1",
+	"7a843f00000000000000000000000002056c65616b7901147b14ae47e17a843f80e0aaedd8b6cd84",
+	"230402000000000000000000000000000000000000000000003e4000000000000000000000000000",
+	"000000000000000000c072400100000000000000000000026f6b01147b14ae47e17a843f80e0aaed",
+	"d8b6cd84230402000000000000000000000000000000000000000000003e40000000000000000000",
+	"00000000000000000000000000c0724001000000000000000000000000",
+}
+
+func FuzzAggregatorSnapshot(f *testing.F) {
+	seed := New(Config{Detect: testDetect()})
+	seed.Expect("node1", "node2")
+	feedSnap(seed, []string{"node1", "node2"}, map[string]int64{"node1": 2048}, 1, 6)
+	f.Add(seed.Snapshot())
+	f.Add(New(Config{Detect: testDetect()}).Snapshot())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := New(Config{Detect: testDetect()})
+		if err := a.Restore(data); err != nil {
+			return
+		}
+		// Accepted snapshots must be canonical and leave a servable plane.
+		if !bytes.Equal(a.Snapshot(), data) {
+			t.Fatal("accepted snapshot is not canonical")
+		}
+		t0 := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+		for _, ns := range a.Nodes() {
+			for i := int64(1); i <= 2; i++ {
+				a.Ingest(syntheticRound(ns.Node, ns.Rounds+i, t0.Add(time.Duration(i)*30*time.Second), 0))
+			}
+		}
+		a.Snapshot()
+	})
+}

@@ -331,6 +331,12 @@ func NewMonitor(resource string, cfg Config) *Monitor {
 	}
 }
 
+// Canonical returns the configuration with all defaults applied — the
+// form NewMonitor adopts and Config reports. Snapshot restores compare
+// configurations in canonical form, since a Config and its defaulted
+// twin construct identical monitors.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 // Resource returns the watched resource name.
 func (m *Monitor) Resource() string { return m.resource }
 

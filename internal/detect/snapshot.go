@@ -1,0 +1,675 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/binc"
+	"repro/internal/metrics"
+)
+
+// This file gives every detector exact-state binary snapshots, so the
+// aggregation plane can persist and restore its per-node detector banks
+// across a crash or a warm-standby failover with byte-identical future
+// verdicts (the parity tests in snapshot_test.go pin N-rounds +
+// snapshot/restore + M-rounds against an uninterrupted N+M run).
+//
+// Design rules shared by all formats here:
+//
+//   - Each format carries its own version byte and is fully
+//     self-describing (configuration included), so a snapshot restores
+//     without out-of-band context and version skew fails loudly.
+//   - The encoding is canonical: map-backed state is written key-sorted
+//     and derived state is never serialised, so Snapshot∘Restore∘Snapshot
+//     is byte-identical — the property the round-trip fuzz target leans
+//     on.
+//   - OnlineTrend serialises only its primary state (the (x, y) window,
+//     oldest first) and recomputes S, the tie table, the tie correction
+//     and the Sen slope multiset on restore. Every recomputed float is
+//     produced from the very same operands the incremental path used, so
+//     the restored state is bit-identical, not just approximately equal.
+//   - Times cross the boundary as UnixNano and come back UTC without a
+//     monotonic reading, exactly like the cluster wire codec's times.
+//   - Snapshotting is off the hot path (it rides the fold stage or an
+//     operator request, never Observe), so it may allocate freely.
+//
+// Not serialised on the Monitor: the recycled report ring and the
+// published report pointer. A restored Monitor reports Latest() == nil
+// until its first post-restore Observe — the same contract as a freshly
+// constructed one.
+
+// Snapshot format versions, one per detector type.
+const (
+	trendSnapVersion   = 1
+	phSnapVersion      = 1
+	entropySnapVersion = 1
+	guardSnapVersion   = 1
+	monSnapVersion     = 1
+	reportSnapVersion  = 1
+)
+
+// Decode bounds: a corrupt or adversarial snapshot may not drive
+// allocations past these.
+const (
+	maxSnapString = 4096
+	// maxSnapWindow bounds the trend window a snapshot may declare.
+	// Restore rebuilds the pairwise-slope multiset in O(window²), so this
+	// is a CPU bound as much as a memory bound (1024 → ~0.5M pairs);
+	// real windows are two orders of magnitude smaller.
+	maxSnapWindow  = 1 << 10
+	maxSnapComps   = 1 << 16
+	maxSnapCounter = 1 << 30
+	// maxSnapConfig bounds the small config integers (MinSamples,
+	// Consecutive, ShiftHold, PHWarmup) and maxSnapRetention the report
+	// ring size — the ring is allocated eagerly by NewMonitor, so an
+	// unbounded retention in a corrupt snapshot would be an allocation
+	// bomb (the fuzz corpus holds exactly that regression).
+	maxSnapConfig    = 1 << 20
+	maxSnapRetention = 1 << 12
+)
+
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// ---- OnlineTrend ----
+
+// AppendSnapshot appends the detector's versioned state: configuration,
+// time origin, lifetime counter and the raw (x, y) window oldest-first.
+// Derived state (S, ties, slope multiset) is recomputed on restore.
+func (o *OnlineTrend) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, trendSnapVersion)
+	dst = binc.AppendUvarint(dst, uint64(o.window))
+	dst = binc.AppendFloat(dst, o.alpha)
+	var t0 int64
+	if o.seen > 0 {
+		t0 = o.t0.UnixNano()
+	}
+	dst = binc.AppendVarint(dst, t0)
+	dst = binc.AppendVarint(dst, o.seen)
+	dst = binc.AppendUvarint(dst, uint64(o.n))
+	for i := 0; i < o.n; i++ {
+		x, y := o.at(i)
+		dst = binc.AppendFloat(dst, x)
+		dst = binc.AppendFloat(dst, y)
+	}
+	return dst
+}
+
+// Snapshot returns the detector's versioned binary state.
+func (o *OnlineTrend) Snapshot() []byte { return o.AppendSnapshot(nil) }
+
+// RestoreSnapshot replaces the receiver's state from a snapshot read off
+// p, adopting the snapshot's configuration. S, the tie table and the
+// slope multiset are rebuilt from the window pairs; each value is
+// computed from the same operands the incremental path used, so the
+// restored detector's future outputs are bit-identical to an
+// uninterrupted one's.
+func (o *OnlineTrend) RestoreSnapshot(p *binc.Parser) error {
+	if v := p.Byte(); p.Err() == nil && v != trendSnapVersion {
+		return fmt.Errorf("detect: trend snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	window := p.Count(maxSnapWindow)
+	alpha := p.Float()
+	t0 := p.Varint()
+	seen := p.Varint()
+	n := p.Count(maxSnapWindow)
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if window < 4 {
+		return fmt.Errorf("detect: trend snapshot window %d < 4", window)
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return fmt.Errorf("detect: trend snapshot alpha %v out of (0,1)", alpha)
+	}
+	if n > window {
+		return fmt.Errorf("detect: trend snapshot fill %d exceeds window %d", n, window)
+	}
+	if seen < int64(n) {
+		return fmt.Errorf("detect: trend snapshot seen %d < fill %d", seen, n)
+	}
+	if seen == 0 && t0 != 0 {
+		// The writer emits 0 for an unused time origin; anything else is
+		// a non-canonical encoding.
+		return fmt.Errorf("detect: trend snapshot time origin %d with no samples", t0)
+	}
+	if window != o.window {
+		o.window = window
+		o.xs = make([]float64, window)
+		o.ys = make([]float64, window)
+		o.slopes = metrics.NewSlopeStore(window)
+		o.removals = make([]float64, 0, window)
+		o.inserts = make([]float64, 0, window)
+	}
+	o.alpha = alpha
+	o.seen = seen
+	o.t0 = time.Time{}
+	if seen > 0 {
+		o.t0 = time.Unix(0, t0).UTC()
+	}
+	o.head = 0
+	o.n = n
+	for i := 0; i < n; i++ {
+		x, y := p.Float(), p.Float()
+		if p.Err() == nil && (!isFinite(x) || !isFinite(y)) {
+			return fmt.Errorf("detect: non-finite trend sample (%v, %v)", x, y)
+		}
+		o.xs[i], o.ys[i] = x, y
+	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	// Rebuild the derived state from the window pairs.
+	o.s, o.tieCorr = 0, 0
+	clear(o.ties)
+	o.slopes.Reset()
+	var all []float64
+	if n > 1 {
+		all = make([]float64, 0, n*(n-1)/2)
+	}
+	for j := 0; j < n; j++ {
+		xj, yj := o.xs[j], o.ys[j]
+		for i := 0; i < j; i++ {
+			o.s += sign(yj - o.ys[i])
+			if dx := xj - o.xs[i]; dx != 0 {
+				all = append(all, (yj-o.ys[i])/dx)
+			}
+		}
+		o.retie(yj, 1)
+	}
+	o.slopes.Update(nil, all)
+	return nil
+}
+
+// Restore replaces the detector's state from a Snapshot buffer.
+func (o *OnlineTrend) Restore(data []byte) error {
+	p := binc.NewParser(data)
+	if err := o.RestoreSnapshot(p); err != nil {
+		return err
+	}
+	return p.Done()
+}
+
+// ---- PageHinkley ----
+
+// AppendSnapshot appends the detector's versioned state (configuration,
+// Welford baseline estimate, excursion accumulator).
+func (ph *PageHinkley) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, phSnapVersion)
+	dst = binc.AppendFloat(dst, ph.delta)
+	dst = binc.AppendFloat(dst, ph.lambda)
+	dst = binc.AppendUvarint(dst, uint64(ph.warmup))
+	dst = binc.AppendUvarint(dst, uint64(ph.n))
+	dst = binc.AppendFloat(dst, ph.mean)
+	dst = binc.AppendFloat(dst, ph.m2)
+	dst = binc.AppendFloat(dst, ph.base)
+	dst = binc.AppendFloat(dst, ph.scale)
+	dst = binc.AppendBool(dst, ph.ready)
+	dst = binc.AppendFloat(dst, ph.cum)
+	dst = binc.AppendFloat(dst, ph.minCum)
+	dst = binc.AppendBool(dst, ph.tripped)
+	return dst
+}
+
+// Snapshot returns the detector's versioned binary state.
+func (ph *PageHinkley) Snapshot() []byte { return ph.AppendSnapshot(nil) }
+
+// RestoreSnapshot replaces the receiver's state from a snapshot read off
+// p, adopting the snapshot's configuration.
+func (ph *PageHinkley) RestoreSnapshot(p *binc.Parser) error {
+	if v := p.Byte(); p.Err() == nil && v != phSnapVersion {
+		return fmt.Errorf("detect: page-hinkley snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	delta := p.Float()
+	lambda := p.Float()
+	warmup := p.Count(maxSnapCounter)
+	n := p.Count(maxSnapCounter)
+	mean := p.Float()
+	m2 := p.Float()
+	base := p.Float()
+	scale := p.Float()
+	ready := p.Bool()
+	cum := p.Float()
+	minCum := p.Float()
+	tripped := p.Bool()
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if !(delta > 0) || !(lambda > 0) || warmup < 2 {
+		return fmt.Errorf("detect: page-hinkley snapshot config (delta=%v lambda=%v warmup=%d)", delta, lambda, warmup)
+	}
+	// n counts only warmup samples; it freezes at warmup when the
+	// baseline locks in.
+	if ready && n != warmup {
+		return fmt.Errorf("detect: page-hinkley snapshot ready with n=%d != warmup=%d", n, warmup)
+	}
+	if !ready && n >= warmup {
+		return fmt.Errorf("detect: page-hinkley snapshot not ready with n=%d >= warmup=%d", n, warmup)
+	}
+	ph.delta, ph.lambda, ph.warmup = delta, lambda, warmup
+	ph.n, ph.mean, ph.m2 = n, mean, m2
+	ph.base, ph.scale, ph.ready = base, scale, ready
+	ph.cum, ph.minCum, ph.tripped = cum, minCum, tripped
+	return nil
+}
+
+// Restore replaces the detector's state from a Snapshot buffer.
+func (ph *PageHinkley) Restore(data []byte) error {
+	p := binc.NewParser(data)
+	if err := ph.RestoreSnapshot(p); err != nil {
+		return err
+	}
+	return p.Done()
+}
+
+// ---- EntropyDetector ----
+
+// AppendSnapshot appends the detector's versioned state: the embedded
+// entropy trend plus the latest observation.
+func (e *EntropyDetector) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, entropySnapVersion)
+	dst = e.trend.AppendSnapshot(dst)
+	dst = binc.AppendFloat(dst, e.last)
+	dst = binc.AppendBool(dst, e.haveObs)
+	return dst
+}
+
+// Snapshot returns the detector's versioned binary state.
+func (e *EntropyDetector) Snapshot() []byte { return e.AppendSnapshot(nil) }
+
+// RestoreSnapshot replaces the receiver's state from a snapshot read off p.
+func (e *EntropyDetector) RestoreSnapshot(p *binc.Parser) error {
+	if v := p.Byte(); p.Err() == nil && v != entropySnapVersion {
+		return fmt.Errorf("detect: entropy snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	if err := e.trend.RestoreSnapshot(p); err != nil {
+		return err
+	}
+	e.last = p.Float()
+	e.haveObs = p.Bool()
+	return p.Err()
+}
+
+// Restore replaces the detector's state from a Snapshot buffer.
+func (e *EntropyDetector) Restore(data []byte) error {
+	p := binc.NewParser(data)
+	if err := e.RestoreSnapshot(p); err != nil {
+		return err
+	}
+	return p.Done()
+}
+
+// ---- ShiftGuard ----
+
+// AppendSnapshot appends the guard's versioned state: configuration, the
+// reference mix key-sorted, and the suppression bookkeeping.
+func (g *ShiftGuard) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, guardSnapVersion)
+	dst = binc.AppendFloat(dst, g.threshold)
+	dst = binc.AppendUvarint(dst, uint64(g.hold))
+	dst = binc.AppendFloat(dst, g.ewma)
+	dst = binc.AppendFloat(dst, g.margin)
+	dst = binc.AppendBool(dst, g.ref != nil)
+	if g.ref != nil {
+		keys := make([]string, 0, len(g.ref))
+		for k := range g.ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = binc.AppendUvarint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = binc.AppendString(dst, k)
+			dst = binc.AppendFloat(dst, g.ref[k])
+		}
+	}
+	dst = binc.AppendFloat(dst, g.lastDist)
+	dst = binc.AppendFloat(dst, g.lastThr)
+	dst = binc.AppendUvarint(dst, uint64(g.calmLeft))
+	dst = binc.AppendBool(dst, g.shifted)
+	dst = binc.AppendVarint(dst, g.rounds)
+	dst = binc.AppendVarint(dst, g.lastShift)
+	return dst
+}
+
+// Snapshot returns the guard's versioned binary state.
+func (g *ShiftGuard) Snapshot() []byte { return g.AppendSnapshot(nil) }
+
+// RestoreSnapshot replaces the receiver's state from a snapshot read off
+// p, adopting the snapshot's configuration. A nil reference mix is
+// preserved as nil — it means "next non-idle round seeds the baseline",
+// which is distinct from an empty reference.
+func (g *ShiftGuard) RestoreSnapshot(p *binc.Parser) error {
+	if v := p.Byte(); p.Err() == nil && v != guardSnapVersion {
+		return fmt.Errorf("detect: shift guard snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	threshold := p.Float()
+	hold := p.Count(maxSnapCounter)
+	ewma := p.Float()
+	margin := p.Float()
+	haveRef := p.Bool()
+	var ref map[string]float64
+	if p.Err() == nil && haveRef {
+		n := p.Count(maxSnapComps)
+		ref = make(map[string]float64, n)
+		prev := ""
+		for i := 0; i < n; i++ {
+			k := p.String(maxSnapString)
+			v := p.Float()
+			if p.Err() != nil {
+				break
+			}
+			if i > 0 && k <= prev {
+				return fmt.Errorf("detect: shift guard snapshot reference not key-sorted (%q after %q)", k, prev)
+			}
+			ref[k] = v
+			prev = k
+		}
+	}
+	lastDist := p.Float()
+	lastThr := p.Float()
+	calmLeft := p.Count(maxSnapCounter)
+	shifted := p.Bool()
+	rounds := p.Varint()
+	lastShift := p.Varint()
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if !(threshold > 0 && threshold < 1) || hold <= 0 || !(ewma > 0 && ewma <= 1) || !(margin > 0) {
+		return fmt.Errorf("detect: shift guard snapshot config (thr=%v hold=%d ewma=%v margin=%v)", threshold, hold, ewma, margin)
+	}
+	if calmLeft > hold {
+		return fmt.Errorf("detect: shift guard snapshot calmLeft %d > hold %d", calmLeft, hold)
+	}
+	g.threshold, g.hold, g.ewma, g.margin = threshold, hold, ewma, margin
+	g.ref = ref
+	g.lastDist, g.lastThr = lastDist, lastThr
+	g.calmLeft, g.shifted = calmLeft, shifted
+	g.rounds, g.lastShift = rounds, lastShift
+	return nil
+}
+
+// Restore replaces the guard's state from a Snapshot buffer.
+func (g *ShiftGuard) Restore(data []byte) error {
+	p := binc.NewParser(data)
+	if err := g.RestoreSnapshot(p); err != nil {
+		return err
+	}
+	return p.Done()
+}
+
+// ---- Monitor ----
+
+func appendConfigSnapshot(dst []byte, cfg Config) []byte {
+	dst = binc.AppendUvarint(dst, uint64(cfg.Window))
+	dst = binc.AppendFloat(dst, cfg.Alpha)
+	dst = binc.AppendFloat(dst, cfg.MinSlope)
+	dst = binc.AppendUvarint(dst, uint64(cfg.MinSamples))
+	dst = binc.AppendUvarint(dst, uint64(cfg.Consecutive))
+	dst = binc.AppendBool(dst, cfg.PerInvocation)
+	dst = binc.AppendFloat(dst, cfg.ShiftThreshold)
+	dst = binc.AppendUvarint(dst, uint64(cfg.ShiftHold))
+	dst = binc.AppendFloat(dst, cfg.ShiftEWMA)
+	dst = binc.AppendFloat(dst, cfg.ShiftNoiseMargin)
+	dst = binc.AppendBool(dst, cfg.ChangePoint)
+	dst = binc.AppendFloat(dst, cfg.PHDelta)
+	dst = binc.AppendFloat(dst, cfg.PHLambda)
+	dst = binc.AppendUvarint(dst, uint64(cfg.PHWarmup))
+	dst = binc.AppendUvarint(dst, uint64(cfg.ReportRetention))
+	return dst
+}
+
+func parseConfigSnapshot(p *binc.Parser) Config {
+	var cfg Config
+	cfg.Window = p.Count(maxSnapWindow)
+	cfg.Alpha = p.Float()
+	cfg.MinSlope = p.Float()
+	cfg.MinSamples = p.Count(maxSnapConfig)
+	cfg.Consecutive = p.Count(maxSnapConfig)
+	cfg.PerInvocation = p.Bool()
+	cfg.ShiftThreshold = p.Float()
+	cfg.ShiftHold = p.Count(maxSnapConfig)
+	cfg.ShiftEWMA = p.Float()
+	cfg.ShiftNoiseMargin = p.Float()
+	cfg.ChangePoint = p.Bool()
+	cfg.PHDelta = p.Float()
+	cfg.PHLambda = p.Float()
+	cfg.PHWarmup = p.Count(maxSnapConfig)
+	cfg.ReportRetention = p.Count(maxSnapRetention)
+	return cfg
+}
+
+// AppendSnapshot appends the monitor's versioned state: resource,
+// effective configuration, round counters, the shift guard, the entropy
+// detector and every component's detector state, key-sorted. The report
+// ring is not serialised; a restored monitor publishes its first report
+// on its next Observe.
+func (m *Monitor) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, monSnapVersion)
+	dst = binc.AppendString(dst, m.resource)
+	dst = appendConfigSnapshot(dst, m.cfg)
+	dst = binc.AppendVarint(dst, m.rounds)
+	dst = binc.AppendVarint(dst, m.shiftRounds)
+	dst = binc.AppendUvarint(dst, uint64(m.entropyStreak))
+	dst = m.guard.AppendSnapshot(dst)
+	dst = m.entropy.AppendSnapshot(dst)
+	names := make([]string, 0, len(m.comps))
+	for name := range m.comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	dst = binc.AppendUvarint(dst, uint64(len(names)))
+	for _, name := range names {
+		st := m.comps[name]
+		dst = binc.AppendString(dst, name)
+		dst = st.trend.AppendSnapshot(dst)
+		dst = binc.AppendBool(dst, st.ph != nil)
+		if st.ph != nil {
+			dst = st.ph.AppendSnapshot(dst)
+		}
+		dst = binc.AppendFloat(dst, st.prevValue)
+		dst = binc.AppendFloat(dst, st.prevUsage)
+		dst = binc.AppendBool(dst, st.havePrev)
+		dst = binc.AppendUvarint(dst, uint64(st.streak))
+		dst = binc.AppendVarint(dst, st.firstAlarm)
+		dst = binc.AppendFloat(dst, st.share)
+	}
+	return dst
+}
+
+// Snapshot returns the monitor's versioned binary state.
+func (m *Monitor) Snapshot() []byte { return m.AppendSnapshot(nil) }
+
+// RestoreMonitorSnapshot builds a Monitor from a snapshot read off p. The
+// snapshot's configuration must already be in canonical (defaulted) form
+// and every embedded detector must carry the configuration the monitor
+// would construct it with — both are what Monitor.AppendSnapshot writes,
+// so only corrupt or hand-altered snapshots fail these checks.
+func RestoreMonitorSnapshot(p *binc.Parser) (*Monitor, error) {
+	if v := p.Byte(); p.Err() == nil && v != monSnapVersion {
+		return nil, fmt.Errorf("detect: monitor snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	resource := p.String(maxSnapString)
+	cfg := parseConfigSnapshot(p)
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	if cfg != cfg.withDefaults() {
+		return nil, fmt.Errorf("detect: monitor snapshot config not canonical")
+	}
+	m := NewMonitor(resource, cfg)
+	// Probes carry the exact constructor-normalised configuration the
+	// monitor's own detectors run with, for validating embedded blobs.
+	probeTrend := NewOnlineTrend(cfg.Window, cfg.Alpha)
+	var probePH *PageHinkley
+	if cfg.ChangePoint {
+		probePH = NewPageHinkley(cfg.PHDelta, cfg.PHLambda, cfg.PHWarmup)
+	}
+	m.rounds = p.Varint()
+	m.shiftRounds = p.Varint()
+	m.entropyStreak = p.Count(maxSnapCounter)
+	if err := m.guard.RestoreSnapshot(p); err != nil {
+		return nil, err
+	}
+	if m.guard.threshold != cfg.ShiftThreshold || m.guard.hold != cfg.ShiftHold ||
+		m.guard.ewma != cfg.ShiftEWMA || m.guard.margin != cfg.ShiftNoiseMargin {
+		return nil, fmt.Errorf("detect: monitor snapshot shift guard config mismatch")
+	}
+	if err := m.entropy.RestoreSnapshot(p); err != nil {
+		return nil, err
+	}
+	if m.entropy.trend.window != probeTrend.window || m.entropy.trend.alpha != probeTrend.alpha {
+		return nil, fmt.Errorf("detect: monitor snapshot entropy window config mismatch")
+	}
+	nComps := p.Count(maxSnapComps)
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	prev := ""
+	for i := 0; i < nComps; i++ {
+		name := p.String(maxSnapString)
+		if p.Err() != nil {
+			return nil, p.Err()
+		}
+		if i > 0 && name <= prev {
+			return nil, fmt.Errorf("detect: monitor snapshot components not key-sorted (%q after %q)", name, prev)
+		}
+		prev = name
+		st := &componentState{trend: NewOnlineTrend(cfg.Window, cfg.Alpha)}
+		if err := st.trend.RestoreSnapshot(p); err != nil {
+			return nil, err
+		}
+		if st.trend.window != probeTrend.window || st.trend.alpha != probeTrend.alpha {
+			return nil, fmt.Errorf("detect: monitor snapshot trend config mismatch for %q", name)
+		}
+		hasPH := p.Bool()
+		if p.Err() == nil && hasPH != cfg.ChangePoint {
+			return nil, fmt.Errorf("detect: monitor snapshot change-point presence mismatch for %q", name)
+		}
+		if hasPH {
+			st.ph = NewPageHinkley(cfg.PHDelta, cfg.PHLambda, cfg.PHWarmup)
+			if err := st.ph.RestoreSnapshot(p); err != nil {
+				return nil, err
+			}
+			if st.ph.delta != probePH.delta || st.ph.lambda != probePH.lambda || st.ph.warmup != probePH.warmup {
+				return nil, fmt.Errorf("detect: monitor snapshot page-hinkley config mismatch for %q", name)
+			}
+		}
+		st.prevValue = p.Float()
+		st.prevUsage = p.Float()
+		st.havePrev = p.Bool()
+		st.streak = p.Count(maxSnapCounter)
+		st.firstAlarm = p.Varint()
+		st.share = p.Float()
+		if p.Err() != nil {
+			return nil, p.Err()
+		}
+		m.comps[name] = st
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RestoreMonitor builds a Monitor from a Snapshot buffer.
+func RestoreMonitor(data []byte) (*Monitor, error) {
+	p := binc.NewParser(data)
+	m, err := RestoreMonitorSnapshot(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---- Report ----
+
+// AppendSnapshot appends the report's versioned state. The aggregation
+// plane serialises pending per-round reports with this (rounds ingested
+// but not yet folded into an epoch), so a restored aggregator folds them
+// exactly as the original would have.
+func (r *Report) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, reportSnapVersion)
+	dst = binc.AppendString(dst, r.Resource)
+	dst = binc.AppendVarint(dst, r.Round)
+	dst = binc.AppendVarint(dst, r.Time.UnixNano())
+	dst = binc.AppendBool(dst, r.Suppressed)
+	dst = binc.AppendFloat(dst, r.ShiftDistance)
+	dst = binc.AppendVarint(dst, r.ShiftRounds)
+	dst = binc.AppendFloat(dst, r.Entropy)
+	dst = binc.AppendBool(dst, r.EntropyObserved)
+	dst = binc.AppendBool(dst, r.EntropyAlarm)
+	dst = binc.AppendString(dst, r.EntropySuspect)
+	dst = binc.AppendUvarint(dst, uint64(len(r.Components)))
+	for i := range r.Components {
+		v := &r.Components[i]
+		dst = binc.AppendString(dst, v.Component)
+		dst = binc.AppendBool(dst, v.Alarm)
+		dst = binc.AppendFloat(dst, v.Score)
+		dst = append(dst, byte(v.Trend.Direction))
+		dst = binc.AppendVarint(dst, v.Trend.S)
+		dst = binc.AppendFloat(dst, v.Trend.Z)
+		dst = binc.AppendFloat(dst, v.Trend.P)
+		dst = binc.AppendFloat(dst, v.Trend.SenSlope)
+		dst = binc.AppendUvarint(dst, uint64(v.Streak))
+		dst = binc.AppendUvarint(dst, uint64(v.Samples))
+		dst = binc.AppendFloat(dst, v.Share)
+		dst = binc.AppendVarint(dst, v.FirstAlarmRound)
+		dst = binc.AppendBool(dst, v.ChangePoint)
+	}
+	return dst
+}
+
+// RestoreReportSnapshot builds a freshly allocated Report from a snapshot
+// read off p.
+func RestoreReportSnapshot(p *binc.Parser) (*Report, error) {
+	if v := p.Byte(); p.Err() == nil && v != reportSnapVersion {
+		return nil, fmt.Errorf("detect: report snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	r := &Report{}
+	r.Resource = p.String(maxSnapString)
+	r.Round = p.Varint()
+	r.Time = time.Unix(0, p.Varint()).UTC()
+	r.Suppressed = p.Bool()
+	r.ShiftDistance = p.Float()
+	r.ShiftRounds = p.Varint()
+	r.Entropy = p.Float()
+	r.EntropyObserved = p.Bool()
+	r.EntropyAlarm = p.Bool()
+	r.EntropySuspect = p.String(maxSnapString)
+	n := p.Count(maxSnapComps)
+	if p.Err() != nil {
+		return nil, p.Err()
+	}
+	r.Components = make([]Verdict, 0, n)
+	for i := 0; i < n; i++ {
+		var v Verdict
+		v.Component = p.String(maxSnapString)
+		v.Alarm = p.Bool()
+		v.Score = p.Float()
+		dir := p.Byte()
+		if p.Err() == nil && dir > byte(metrics.TrendDecreasing) {
+			return nil, fmt.Errorf("detect: report snapshot trend direction %d", dir)
+		}
+		v.Trend.Direction = metrics.TrendDirection(dir)
+		v.Trend.S = p.Varint()
+		v.Trend.Z = p.Float()
+		v.Trend.P = p.Float()
+		v.Trend.SenSlope = p.Float()
+		v.Streak = p.Count(maxSnapCounter)
+		v.Samples = p.Count(maxSnapCounter)
+		v.Share = p.Float()
+		v.FirstAlarmRound = p.Varint()
+		v.ChangePoint = p.Bool()
+		if p.Err() != nil {
+			return nil, p.Err()
+		}
+		r.Components = append(r.Components, v)
+	}
+	return r, nil
+}

@@ -1,0 +1,429 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/binc"
+	"repro/internal/metrics"
+)
+
+// snapObs builds the round-r observation set for the snapshot parity
+// workload: two components (so every float accumulation inside the
+// monitor is order-independent), a steady one and a leaking one, with a
+// workload mix shift at round 30 and an idle round every 11th round.
+func snapObs(r int64) []Observation {
+	if r%11 == 0 {
+		// Idle round: no usage growth, no consumption growth.
+		r = (r/11)*11 - 1
+		return []Observation{
+			{Component: "steady", Value: 1e6 + float64(r)*100, Usage: float64(r) * 12},
+			{Component: "leaky", Value: 2e6 + float64(r)*4096, Usage: float64(r) * 4},
+		}
+	}
+	usageA, usageB := float64(r)*12, float64(r)*4
+	if r >= 30 {
+		usageA, usageB = 30*12+(float64(r)-30)*4, 30*4+(float64(r)-30)*12
+	}
+	return []Observation{
+		{Component: "steady", Value: 1e6 + float64(r)*100, Usage: usageA},
+		{Component: "leaky", Value: 2e6 + float64(r)*4096, Usage: usageB},
+	}
+}
+
+func snapTestConfig() Config {
+	return Config{Window: 20, MinSamples: 6, Consecutive: 3, ChangePoint: true}
+}
+
+func driveMonitor(m *Monitor, from, to int64, t0 time.Time) []string {
+	var out []string
+	for r := from; r <= to; r++ {
+		rep := m.Observe(t0.Add(time.Duration(r)*30*time.Second), snapObs(r))
+		out = append(out, rep.String())
+	}
+	return out
+}
+
+// TestMonitorSnapshotParity is the core exact-state contract: run N
+// rounds, snapshot, restore into a fresh monitor, run M more rounds on
+// both — every published report must be byte-identical, and the final
+// states must re-snapshot to identical bytes.
+func TestMonitorSnapshotParity(t *testing.T) {
+	const n, m = 35, 30
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{}},
+		{"tuned-changepoint", snapTestConfig()},
+		{"per-invocation", Config{Window: 16, MinSamples: 5, PerInvocation: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			full := NewMonitor("memory", tc.cfg)
+			cut := NewMonitor("memory", tc.cfg)
+			driveMonitor(full, 1, n, t0)
+			driveMonitor(cut, 1, n, t0)
+
+			snap := cut.Snapshot()
+			restored, err := RestoreMonitor(snap)
+			if err != nil {
+				t.Fatalf("RestoreMonitor: %v", err)
+			}
+			if restored.Latest() != nil {
+				t.Fatal("restored monitor must not publish a report before its first Observe")
+			}
+			if restored.Rounds() != full.Rounds() {
+				t.Fatalf("restored rounds = %d, want %d", restored.Rounds(), full.Rounds())
+			}
+
+			wantReps := driveMonitor(full, n+1, n+m, t0)
+			gotReps := driveMonitor(restored, n+1, n+m, t0)
+			for i := range wantReps {
+				if gotReps[i] != wantReps[i] {
+					t.Fatalf("round %d diverged after restore:\nuninterrupted:\n%s\nrestored:\n%s", int64(n)+int64(i)+1, wantReps[i], gotReps[i])
+				}
+			}
+			if !bytes.Equal(full.Snapshot(), restored.Snapshot()) {
+				t.Fatal("final snapshots diverged after identical post-restore rounds")
+			}
+		})
+	}
+}
+
+// TestMonitorSnapshotParityMonotonicClock repeats the parity run with a
+// wall clock that carries a monotonic reading (time.Now-derived), because
+// restored time origins come back wall-only: Add-derived times keep wall
+// and monotonic deltas equal, so the restored detector must still agree.
+func TestMonitorSnapshotParityMonotonicClock(t *testing.T) {
+	const n, m = 25, 20
+	t0 := time.Now()
+	full := NewMonitor("memory", snapTestConfig())
+	cut := NewMonitor("memory", snapTestConfig())
+	driveMonitor(full, 1, n, t0)
+	driveMonitor(cut, 1, n, t0)
+	restored, err := RestoreMonitor(cut.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveMonitor(full, n+1, n+m, t0)
+	got := driveMonitor(restored, n+1, n+m, t0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("monotonic-clock parity diverged at segment round %d:\n%s\nvs\n%s", i+1, want[i], got[i])
+		}
+	}
+}
+
+// TestMonitorSnapshotCanonical pins the canonical-encoding property the
+// round-trip fuzz target relies on: Snapshot∘Restore∘Snapshot is the
+// identity on bytes.
+func TestMonitorSnapshotCanonical(t *testing.T) {
+	m := NewMonitor("memory", snapTestConfig())
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	driveMonitor(m, 1, 37, t0)
+	snap := m.Snapshot()
+	restored, err := RestoreMonitor(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Fatal("snapshot encoding is not canonical")
+	}
+}
+
+func TestTrendSnapshotRoundTrip(t *testing.T) {
+	o := NewOnlineTrend(12, 0.05)
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		o.Push(t0.Add(time.Duration(i)*time.Second), float64(i*i%17))
+	}
+	snap := o.Snapshot()
+	r := NewOnlineTrend(4, 0.5) // different config: restore must adopt
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o.Result(), r.Result()) {
+		t.Fatalf("restored result %+v != %+v", r.Result(), o.Result())
+	}
+	if r.Seen() != o.Seen() || r.Len() != o.Len() || r.Window() != o.Window() {
+		t.Fatal("restored counters differ")
+	}
+	// Derived state must be rebuilt bit-exactly.
+	if r.s != o.s || r.tieCorr != o.tieCorr || !reflect.DeepEqual(r.ties, o.ties) {
+		t.Fatalf("derived state differs: s=%d/%d tieCorr=%d/%d", r.s, o.s, r.tieCorr, o.tieCorr)
+	}
+	if r.slopes.Median() != o.slopes.Median() || r.slopes.Len() != o.slopes.Len() {
+		t.Fatal("slope store differs after restore")
+	}
+	// Continued pushes stay identical.
+	for i := 30; i < 45; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		o.Push(at, float64(i*i%17))
+		r.Push(at, float64(i*i%17))
+	}
+	if !bytes.Equal(o.Snapshot(), r.Snapshot()) {
+		t.Fatal("trend snapshots diverged after continued pushes")
+	}
+}
+
+func TestTrendSnapshotEmpty(t *testing.T) {
+	o := NewOnlineTrend(8, 0.05)
+	r := NewOnlineTrend(8, 0.05)
+	if err := r.Restore(o.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seen() != 0 || r.Len() != 0 {
+		t.Fatal("restored empty trend not empty")
+	}
+}
+
+func TestSlopeStoreSnapshot(t *testing.T) {
+	s := metrics.NewSlopeStore(8)
+	for _, v := range []float64{3, -1, 2, 2, 0.5, -7} {
+		s.Insert(v)
+	}
+	r := metrics.NewSlopeStore(2)
+	if err := r.Restore(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != s.Len() || r.Median() != s.Median() {
+		t.Fatalf("restored store Len=%d Median=%v, want %d/%v", r.Len(), r.Median(), s.Len(), s.Median())
+	}
+	if !bytes.Equal(r.Snapshot(), s.Snapshot()) {
+		t.Fatal("slope store snapshot not canonical")
+	}
+	// Unsorted data must be rejected.
+	bad := append([]byte(nil), s.Snapshot()...)
+	bad[len(bad)-1] ^= 0x80 // flip the sign of the last slope
+	if err := r.Restore(bad); err == nil {
+		t.Fatal("unsorted snapshot accepted")
+	}
+}
+
+func TestPageHinkleySnapshotRoundTrip(t *testing.T) {
+	ph := NewPageHinkley(0.5, 8, 5)
+	for i := 0; i < 20; i++ {
+		v := 10.0
+		if i > 12 {
+			v = 25 // level shift
+		}
+		ph.Push(v)
+	}
+	if !ph.Tripped() {
+		t.Fatal("setup: detector should have tripped")
+	}
+	r := NewPageHinkley(0, 0, 0)
+	if err := r.Restore(ph.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tripped() || r.Magnitude() != ph.Magnitude() || !r.Ready() {
+		t.Fatalf("restored PH state differs: tripped=%v mag=%v/%v", r.Tripped(), r.Magnitude(), ph.Magnitude())
+	}
+	if !bytes.Equal(r.Snapshot(), ph.Snapshot()) {
+		t.Fatal("page-hinkley snapshot not canonical")
+	}
+}
+
+func TestShiftGuardSnapshotRoundTrip(t *testing.T) {
+	g := NewShiftGuard(0.15, 5, 0.2)
+	mix := map[string]float64{"a": 12, "b": 4}
+	for i := 0; i < 10; i++ {
+		g.Observe(mix)
+	}
+	g.Observe(map[string]float64{"a": 1, "b": 40}) // shift
+	r := NewShiftGuard(0.5, 2, 0.9)
+	if err := r.Restore(g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Suppressing() != g.Suppressing() || r.Distance() != g.Distance() ||
+		r.Shifted() != g.Shifted() || r.LastShiftRound() != g.LastShiftRound() {
+		t.Fatal("restored guard state differs")
+	}
+	// Continued observations agree.
+	for i := 0; i < 8; i++ {
+		a, b := g.Observe(mix), r.Observe(mix)
+		if a != b {
+			t.Fatalf("suppression diverged at continued round %d", i)
+		}
+	}
+	if !bytes.Equal(g.Snapshot(), r.Snapshot()) {
+		t.Fatal("guard snapshots diverged after continued rounds")
+	}
+}
+
+func TestShiftGuardSnapshotNilRef(t *testing.T) {
+	g := NewShiftGuard(0.15, 5, 0.2)
+	r := NewShiftGuard(0.15, 5, 0.2)
+	if err := r.Restore(g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if r.ref != nil {
+		t.Fatal("nil reference must restore as nil (next round seeds)")
+	}
+	// A seeded-but-calm guard restores its reference.
+	g.Observe(map[string]float64{"a": 5})
+	if err := r.Restore(g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if r.ref == nil {
+		t.Fatal("seeded reference lost in restore")
+	}
+}
+
+func TestEntropySnapshotRoundTrip(t *testing.T) {
+	e := NewEntropyDetector(16, 0.05)
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		e.Observe(t0.Add(time.Duration(i)*time.Second), []float64{4, float64(1 + i)})
+	}
+	r := NewEntropyDetector(4, 0.5)
+	if err := r.Restore(e.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lw, okw := e.Last()
+	lg, okg := r.Last()
+	if lw != lg || okw != okg || e.Alarming() != r.Alarming() {
+		t.Fatal("restored entropy state differs")
+	}
+}
+
+func TestReportSnapshotRoundTrip(t *testing.T) {
+	m := NewMonitor("memory", snapTestConfig())
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	var rep *Report
+	for r := int64(1); r <= 25; r++ {
+		rep = m.Observe(t0.Add(time.Duration(r)*30*time.Second), snapObs(r))
+	}
+	snap := rep.AppendSnapshot(nil)
+	p := binc.NewParser(snap)
+	got, err := RestoreReportSnapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep.Clone()) {
+		t.Fatalf("restored report differs:\n%+v\nvs\n%+v", got, rep)
+	}
+	if !bytes.Equal(got.AppendSnapshot(nil), snap) {
+		t.Fatal("report snapshot not canonical")
+	}
+}
+
+// TestMonitorSnapshotGolden pins the v1 monitor snapshot format byte for
+// byte. If this fails, the format changed: bump monSnapVersion and keep
+// decoding v1, or update the golden only with a deliberate format break.
+func TestMonitorSnapshotGolden(t *testing.T) {
+	m := NewMonitor("mem", Config{Window: 8, MinSamples: 4, Consecutive: 2})
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for r := int64(1); r <= 6; r++ {
+		m.Observe(t0.Add(time.Duration(r)*30*time.Second), []Observation{
+			{Component: "a", Value: float64(1000 + 64*r), Usage: float64(8 * r)},
+			{Component: "b", Value: float64(500 + 3*r), Usage: float64(2 * r)},
+		})
+	}
+	const want = "01036d656d087b14ae47e17a843f0000000000000000040200333333333333c33f059a9999999999" +
+		"c93f000000000000f83f000000000000000000000000000000000000080c000001333333333333c3" +
+		"3f059a9999999999c93f000000000000f83f010201619b9999999999e93f01629b9999999999c93f" +
+		"000000000000943c497568d6a920d13f00000c000101087b14ae47e17a843f80e0aaedd8b6cd8423" +
+		"0a050000000000000000cd8901c2bae1d03f0000000000003e40cd8901c2bae1d03f000000000000" +
+		"4e40cd8901c2bae1d03f0000000000805640cd8901c2bae1d03f0000000000005e40cd8901c2bae1" +
+		"d03fcd8901c2bae1d03f0102016101087b14ae47e17a843f80e0aaedd8b6cd84230a050000000000" +
+		"0000000000000000a091400000000000003e400000000000a092400000000000004e400000000000" +
+		"a0934000000000008056400000000000a094400000000000005e400000000000a095400000000000" +
+		"00a0954000000000000048400100006398b9d1088de43f016201087b14ae47e17a843f80e0aaedd8" +
+		"b6cd84230a0500000000000000000000000000a07f400000000000003e400000000000d07f400000" +
+		"000000004e400000000000008040000000000080564000000000001880400000000000005e400000" +
+		"00000030804000000000000030804000000000000028400100009664963a8dd39e3f"
+	got := hex.EncodeToString(m.Snapshot())
+	if got != want {
+		t.Fatalf("monitor snapshot bytes changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSnapshotRejectsBadVersion(t *testing.T) {
+	m := NewMonitor("mem", Config{})
+	snap := m.Snapshot()
+	snap[0] = 99
+	if _, err := RestoreMonitor(snap); err == nil {
+		t.Fatal("future version accepted")
+	}
+	o := NewOnlineTrend(8, 0.05)
+	ts := o.Snapshot()
+	ts[0] = 99
+	if err := o.Restore(ts); err == nil {
+		t.Fatal("future trend version accepted")
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	m := NewMonitor("memory", snapTestConfig())
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	driveMonitor(m, 1, 20, t0)
+	snap := m.Snapshot()
+	for _, cut := range []int{1, len(snap) / 4, len(snap) / 2, len(snap) - 1} {
+		if _, err := RestoreMonitor(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	if _, err := RestoreMonitor(append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTrendSnapshotRejectsNonFinite(t *testing.T) {
+	o := NewOnlineTrend(8, 0.05)
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	o.Push(t0, 1)
+	o.Push(t0.Add(time.Second), 2)
+	snap := o.Snapshot()
+	// Overwrite the last float (newest y) with NaN.
+	nan := binc.AppendFloat(nil, math.NaN())
+	copy(snap[len(snap)-8:], nan)
+	if err := o.Restore(snap); err == nil {
+		t.Fatal("NaN window sample accepted")
+	}
+}
+
+// FuzzSnapshotRoundTrip is the snapshot fuzz target CI smokes: any buffer
+// RestoreMonitor accepts must re-encode to the identical bytes (canonical
+// encoding), and the restored monitor must survive an Observe round.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	empty := NewMonitor("memory", Config{})
+	f.Add(empty.Snapshot())
+	seeded := NewMonitor("memory", snapTestConfig())
+	driveMonitor(seeded, 1, 24, t0)
+	f.Add(seeded.Snapshot())
+	perInv := NewMonitor("cpu", Config{Window: 12, PerInvocation: true})
+	driveMonitor(perInv, 1, 9, t0)
+	f.Add(perInv.Snapshot())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := RestoreMonitor(data)
+		if err != nil {
+			return
+		}
+		if got := m.Snapshot(); !bytes.Equal(got, data) {
+			t.Fatalf("accepted snapshot is not canonical:\n in %x\nout %x", data, got)
+		}
+		// The restored monitor must be fully operational.
+		rep := m.Observe(t0.Add(time.Hour), []Observation{
+			{Component: "steady", Value: 1, Usage: 1},
+			{Component: "fresh", Value: 2, Usage: 2},
+		})
+		if rep == nil {
+			t.Fatal("restored monitor returned nil report")
+		}
+		if _, err := RestoreMonitor(m.Snapshot()); err != nil {
+			t.Fatalf("re-snapshot after Observe not restorable: %v", err)
+		}
+	})
+}

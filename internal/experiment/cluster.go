@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/aspect"
@@ -88,6 +89,19 @@ type ClusterConfig struct {
 	// transport's loss-discipline contract. Returning the transport
 	// unchanged leaves the node untouched.
 	Chaos func(node string, tr cluster.Transport) cluster.Transport
+	// Standby arms warm-standby failover: the aggregator's durable
+	// state — and the rejuvenation controller's, when Rejuv is set —
+	// ships over a v6 SNAPSHOT stream (a real net.Pipe wire) to a
+	// standby receiver after every epoch, and FailOver kills the active
+	// plane and promotes the standby mid-run. Requires the in-process
+	// round transport (the per-node wire rebind is a deployment concern
+	// the simulation does not model).
+	Standby bool
+	// LaneQueueDepth and NotifCap pass through to the aggregator's
+	// overload protection (0 = defaults): the per-lane ingest admission
+	// bound and the pending-notification cap.
+	LaneQueueDepth int
+	NotifCap       int
 }
 
 // ClusterNode is one application-server node of a ClusterStack.
@@ -105,6 +119,45 @@ type ClusterNode struct {
 	flushWire    func() error // ships a partial BATCH now (nil when unbatched)
 	stopSampling func()
 	inCluster    bool
+	// Failover plumbing (Standby stacks only): the swappable transport
+	// the forwarder publishes through, and the node's control handler
+	// for re-binding on the promoted aggregator.
+	retarget *retargetTransport
+	control  cluster.ControlHandler
+}
+
+// Forwarder exposes the node's round forwarder, whose publish/error/drop
+// counters are the node-side half of the wire accounting (the aggregator
+// holds the ingest/shed half).
+func (n *ClusterNode) Forwarder() *cluster.Forwarder { return n.forwarder }
+
+// retargetTransport lets FailOver repoint a node's publish stream at the
+// promoted aggregator without touching the forwarder above it — the
+// simulation's stand-in for a node reconnecting to the standby's
+// address.
+type retargetTransport struct {
+	mu    sync.Mutex
+	inner cluster.Transport
+}
+
+func (t *retargetTransport) Publish(r cluster.Round) error {
+	t.mu.Lock()
+	tr := t.inner
+	t.mu.Unlock()
+	return tr.Publish(r)
+}
+
+func (t *retargetTransport) Close() error {
+	t.mu.Lock()
+	tr := t.inner
+	t.mu.Unlock()
+	return tr.Close()
+}
+
+func (t *retargetTransport) set(tr cluster.Transport) {
+	t.mu.Lock()
+	t.inner = tr
+	t.mu.Unlock()
 }
 
 // ClusterStack is a fully assembled simulated cluster: the nodes, the
@@ -122,6 +175,19 @@ type ClusterStack struct {
 
 	sampleInterval time.Duration
 	stopPump       func()
+
+	// Failover state (Standby stacks only). aggCfg/rejuvCfg/rejuvWrap
+	// are retained so a promotion builds the standby plane with the
+	// exact configuration the snapshots' Restore validates against.
+	aggCfg     cluster.Config
+	rejuvCfg   *rejuv.Config
+	rejuvWrap  func(rejuv.CommandSender) rejuv.CommandSender
+	shipper    *cluster.StandbyShipper
+	standby    *cluster.StandbyReceiver
+	standbyErr chan error
+	// lostRounds counts rounds the dead active ingested after its last
+	// shipped generation — lost with it, excluded from Sync's barrier.
+	lostRounds int64
 }
 
 // NewClusterStack builds and starts a cluster.
@@ -138,14 +204,20 @@ func NewClusterStack(cfg ClusterConfig) (*ClusterStack, error) {
 	if cfg.Scale.Seed == 0 {
 		cfg.Scale.Seed = cfg.Seed + 1
 	}
+	if cfg.Standby && cfg.WireTransport {
+		return nil, fmt.Errorf("experiment: Standby failover requires the in-process transport")
+	}
 	engine := sim.NewEngine()
-	agg := cluster.New(cluster.Config{
-		Detect:      cfg.Detect,
-		Quorum:      cfg.Quorum,
-		StaleEpochs: cfg.StaleEpochs,
-		IngestLanes: cfg.IngestLanes,
-		FoldWorkers: cfg.FoldWorkers,
-	})
+	aggCfg := cluster.Config{
+		Detect:         cfg.Detect,
+		Quorum:         cfg.Quorum,
+		StaleEpochs:    cfg.StaleEpochs,
+		IngestLanes:    cfg.IngestLanes,
+		FoldWorkers:    cfg.FoldWorkers,
+		LaneQueueDepth: cfg.LaneQueueDepth,
+		NotifCap:       cfg.NotifCap,
+	}
+	agg := cluster.New(aggCfg)
 	clusterServer := jmx.NewServer(engine.Clock())
 	if err := clusterServer.Register(cluster.AggregatorName(), agg.Bean()); err != nil {
 		return nil, err
@@ -158,6 +230,9 @@ func NewClusterStack(cfg ClusterConfig) (*ClusterStack, error) {
 		Aggregator:     agg,
 		Server:         clusterServer,
 		sampleInterval: cfg.SampleInterval,
+		aggCfg:         aggCfg,
+		rejuvCfg:       cfg.Rejuv,
+		rejuvWrap:      cfg.RejuvControl,
 	}
 
 	total := cfg.Nodes + cfg.Spares
@@ -195,6 +270,13 @@ func NewClusterStack(cfg ClusterConfig) (*ClusterStack, error) {
 			return nil, err
 		}
 		cs.Rejuv = ctrl
+	}
+
+	if cfg.Standby {
+		// Ship after the controller's subscription, so a generation
+		// reflects the controller's post-epoch state — the pairing the
+		// SNAPSHOT frame makes atomic.
+		cs.armStandby()
 	}
 
 	// The notification pump turns queued aggregator transitions into
@@ -276,13 +358,20 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 	} else {
 		tr = cluster.NewInProc(cs.Aggregator)
 	}
+	var control cluster.ControlHandler
 	if !wireControl {
 		// Gob and in-process streams carry no control frames; actuation
 		// reaches the framework through a synchronous local binding.
-		cs.Aggregator.BindLocalControl(name, cluster.FrameworkControlHandler(f))
+		control = cluster.FrameworkControlHandler(f)
+		cs.Aggregator.BindLocalControl(name, control)
 	}
 	if cfg.Chaos != nil {
 		tr = cfg.Chaos(name, tr)
+	}
+	var retarget *retargetTransport
+	if cfg.Standby {
+		retarget = &retargetTransport{inner: tr}
+		tr = retarget
 	}
 	node := &ClusterNode{
 		Name:      name,
@@ -295,6 +384,8 @@ func (cs *ClusterStack) buildNode(name string, cfg ClusterConfig) (*ClusterNode,
 		transport: tr,
 		flushWire: flushWire,
 		forwarder: cluster.Attach(f, tr),
+		retarget:  retarget,
+		control:   control,
 	}
 	if err := cs.Server.Register(cluster.ForwarderName(name), node.forwarder.Bean()); err != nil {
 		return nil, err
@@ -413,6 +504,8 @@ func (cs *ClusterStack) Sync() error {
 			want += n.forwarder.Rounds() - n.forwarder.Errors()
 		}
 	}
+	// Rounds that died with a failed-over aggregator can never arrive.
+	want -= cs.lostRounds
 	deadline := time.Now().Add(10 * time.Second)
 	for cs.Aggregator.TotalRounds() < want {
 		if time.Now().After(deadline) {
@@ -421,6 +514,9 @@ func (cs *ClusterStack) Sync() error {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	// Rounds are counted before the folds they complete publish; fold to
+	// the final watermark before callers read reports.
+	cs.Aggregator.SyncFolds()
 	cs.FlushNotifications()
 	return nil
 }
@@ -440,11 +536,108 @@ func (cs *ClusterStack) FlushNotifications() {
 	}
 }
 
+// armStandby wires a fresh standby receiver to the current aggregator
+// over a v6 SNAPSHOT pipe, shipping every epoch.
+func (cs *ClusterStack) armStandby() {
+	shipConn, recvConn := net.Pipe()
+	cs.standby = cluster.NewStandbyReceiver()
+	cs.standbyErr = make(chan error, 1)
+	recv, errs := cs.standby, cs.standbyErr
+	go func() { errs <- recv.Serve(recvConn) }()
+	var ctl cluster.Snapshotter
+	if cs.Rejuv != nil {
+		ctl = cs.Rejuv
+	}
+	cs.shipper = cluster.NewStandbyShipper(shipConn, cs.Aggregator, ctl, 1)
+	cs.Aggregator.SubscribeEpochs(cs.shipper.ObserveEpoch)
+}
+
+// FailOver kills the active monitoring plane mid-run — the aggregator
+// and, when armed, its rejuvenation controller die together — and
+// promotes the warm standby from the last shipped SNAPSHOT generation.
+// Every node's publish stream and control binding is repointed at the
+// promoted aggregator; the promoted controller reconciles any actuation
+// the dead plane left in flight; a fresh standby is armed so a later
+// failover remains possible. Rounds the dead active absorbed after its
+// last ship are lost with it (the failover window), and Sync's barrier
+// accounts for them.
+func (cs *ClusterStack) FailOver() error {
+	if cs.shipper == nil {
+		return fmt.Errorf("experiment: stack built without Standby")
+	}
+	_ = cs.shipper.Close()
+	if err := <-cs.standbyErr; err != nil {
+		return fmt.Errorf("experiment: standby stream: %w", err)
+	}
+	latest, ok := cs.standby.Latest()
+	if !ok {
+		return fmt.Errorf("experiment: no snapshot generation shipped before failover")
+	}
+
+	promoted := cluster.New(cs.aggCfg)
+	if err := promoted.Restore(latest.Aggregator); err != nil {
+		return fmt.Errorf("experiment: promote aggregator: %w", err)
+	}
+
+	// Account for the failover window before any new round arrives.
+	var published int64
+	for _, n := range cs.Nodes {
+		if n.forwarder != nil {
+			published += n.forwarder.Rounds() - n.forwarder.Errors()
+		}
+	}
+	cs.lostRounds += published - promoted.TotalRounds()
+
+	// Repoint every node at the promoted plane.
+	for _, n := range cs.Nodes {
+		if n.retarget != nil {
+			n.retarget.set(cluster.NewInProc(promoted))
+		}
+		if n.control != nil {
+			promoted.BindLocalControl(n.Name, n.control)
+		}
+	}
+	// The dead active keeps no wires; its epoch subscribers (the old
+	// controller, the old shipper) die with it.
+	cs.Aggregator = promoted
+	_ = cs.Server.Unregister(cluster.AggregatorName())
+	if err := cs.Server.Register(cluster.AggregatorName(), promoted.Bean()); err != nil {
+		return err
+	}
+
+	// The controller's twin restores from the same generation, then
+	// reconciles whatever actuation the dead plane left orphaned.
+	if cs.Rejuv != nil {
+		var sender rejuv.CommandSender = promoted
+		if cs.rejuvWrap != nil {
+			sender = cs.rejuvWrap(sender)
+		}
+		ctrl := rejuv.New(*cs.rejuvCfg, cs.Balancer, sender)
+		if err := ctrl.Restore(latest.Controller); err != nil {
+			return fmt.Errorf("experiment: promote controller: %w", err)
+		}
+		ctrl.SetDetectorReset(promoted)
+		promoted.SubscribeEpochs(ctrl.ObserveEpoch)
+		cs.Rejuv = ctrl
+		_ = cs.Server.Unregister(rejuv.Name())
+		if err := cs.Server.Register(rejuv.Name(), ctrl.Bean()); err != nil {
+			return err
+		}
+		ctrl.ReconcileOrphans()
+	}
+
+	cs.armStandby()
+	return nil
+}
+
 // Close stops sampling, the notification pump, the transports and the
 // containers.
 func (cs *ClusterStack) Close() {
 	if cs.stopPump != nil {
 		cs.stopPump()
+	}
+	if cs.shipper != nil {
+		_ = cs.shipper.Close()
 	}
 	for _, n := range cs.Nodes {
 		if n.stopSampling != nil {

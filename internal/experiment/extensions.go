@@ -483,5 +483,8 @@ func All(cfg Config) []Result {
 		S17RejuvenateSickReplica(cfg),
 		S18FlappingDetectorHeld(cfg),
 		S19ControlLossDuringDrain(cfg),
+		S20KillAggregatorMidLeak(cfg),
+		S21FailoverMidDrain(cfg),
+		S22RoundStormOverload(cfg),
 	}
 }

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestS20KillAggregatorMidLeakVerdictSurvives(t *testing.T) {
+	res := S20KillAggregatorMidLeak(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("aggregator-kill scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "0 failed requests") {
+		t.Fatalf("requests were dropped during failover: %s", res.Observed)
+	}
+	if res.Accuracy == nil || res.Accuracy.TTDRounds == 0 {
+		t.Fatal("S20 carries no detection latency")
+	}
+}
+
+func TestS21FailoverMidDrainSingleReboot(t *testing.T) {
+	res := S21FailoverMidDrain(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("mid-drain failover scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "micro-reboots: 1") {
+		t.Fatalf("node2 was not rebooted exactly once: %s", res.Observed)
+	}
+	if !strings.Contains(res.Observed, "0 failed requests") {
+		t.Fatalf("requests were dropped across the failover: %s", res.Observed)
+	}
+}
+
+func TestS22RoundStormExactAccounting(t *testing.T) {
+	res := S22RoundStormOverload(scenarioCfg)
+	if !res.Pass {
+		t.Fatalf("round-storm scenario failed:\n%s", res)
+	}
+	if !strings.Contains(res.Observed, "accounted: true") {
+		t.Fatalf("storm accounting did not balance: %s", res.Observed)
+	}
+}
+
+// TestRobustnessScenariosFullScale re-runs the failover and overload
+// litmus at the paper's full TimeScale — the acceptance contract
+// requires S20-S22 to hold at both scales. Skipped under -short.
+func TestRobustnessScenariosFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale robustness scenarios skipped with -short")
+	}
+	cfg := scenarioCfg
+	cfg.TimeScale = 1.0
+	for _, run := range []func(Config) Result{
+		S20KillAggregatorMidLeak, S21FailoverMidDrain, S22RoundStormOverload,
+	} {
+		if res := run(cfg); !res.Pass {
+			t.Fatalf("full-scale robustness scenario failed:\n%s", res)
+		}
+	}
+}

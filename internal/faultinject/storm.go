@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// RoundStorm is the monitoring plane's own overload fault: a burst of
+// phantom publishers hammering an aggregator's ingest surface at once,
+// the monitoring-traffic analogue of a request flood. The defence under
+// test is the aggregator's bounded-lane admission gate
+// (cluster.Config.LaneQueueDepth): under a storm it must shed and count
+// rounds rather than park publisher goroutines without bound, and the
+// verdicts folded from the admitted rounds must stay correct.
+//
+// Like ChaosTransport above, the storm is generic over the round type
+// rather than naming cluster.Round — core's tests import this package
+// and cluster imports core, so a direct cluster dependency would be an
+// import cycle. Instantiate as RoundStorm[cluster.Round] and point Fire
+// at the aggregator (its Ingest method matches ingestSink structurally).
+//
+// Each publisher draws from its own stream derived from (Seed, storm
+// ordinal, publisher ordinal), so the set of offered rounds is
+// bit-identical across runs; only the goroutine interleaving — which
+// rounds a full lane sheds — varies, exactly the nondeterminism a real
+// storm has.
+type RoundStorm[R any] struct {
+	// Publishers is how many concurrent phantom publishers each Fire
+	// launches (default 64).
+	Publishers int
+	// Rounds is how many rounds each publisher offers per Fire
+	// (default 32).
+	Rounds int
+	// Seed selects the deterministic storm; equal seeds offer equal
+	// round sets.
+	Seed uint64
+	// Make builds publisher p's i-th round of one storm (all 0-based:
+	// p in [0,Publishers), i in [0,Rounds), storm is the Fire
+	// ordinal), drawing any randomness from rng, the publisher's own
+	// stream.
+	Make func(storm, p, i int, rng *sim.Stream) R
+
+	mu      sync.Mutex
+	storms  int
+	offered atomic.Int64
+}
+
+// ingestSink is the storm's target surface (structurally,
+// *cluster.Aggregator's Ingest method).
+type ingestSink[R any] interface {
+	Ingest(R)
+}
+
+// Fire launches one storm and blocks until every publisher has offered
+// all its rounds, returning how many rounds this storm offered. The
+// sink's shed counter, sampled before and after, measures how many of
+// them the admission gate refused.
+func (s *RoundStorm[R]) Fire(sink ingestSink[R]) int64 {
+	if sink == nil {
+		panic("faultinject: RoundStorm needs a sink")
+	}
+	if s.Make == nil {
+		panic("faultinject: RoundStorm needs a Make round factory")
+	}
+	s.mu.Lock()
+	storm := s.storms
+	s.storms++
+	publishers := s.Publishers
+	if publishers <= 0 {
+		publishers = 64
+	}
+	rounds := s.Rounds
+	if rounds <= 0 {
+		rounds = 32
+	}
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(publishers)
+	for p := 0; p < publishers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			rng := sim.DeriveStable(s.Seed, uint64(storm)<<32|uint64(p)^0x570a)
+			for i := 0; i < rounds; i++ {
+				sink.Ingest(s.Make(storm, p, i, rng))
+				s.offered.Add(1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return int64(publishers * rounds)
+}
+
+// Offered reports rounds offered across all storms fired so far.
+func (s *RoundStorm[R]) Offered() int64 { return s.offered.Load() }
+
+// Storms reports how many storms have been fired.
+func (s *RoundStorm[R]) Storms() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storms
+}

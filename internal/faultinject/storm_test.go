@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// storeSink records everything offered to it, concurrently.
+type storeSink struct {
+	mu   sync.Mutex
+	got  []uint64
+	drop bool
+}
+
+func (s *storeSink) Ingest(v uint64) {
+	s.mu.Lock()
+	if !s.drop {
+		s.got = append(s.got, v)
+	}
+	s.mu.Unlock()
+}
+
+func stormValues(seed uint64) []uint64 {
+	sink := &storeSink{}
+	storm := &RoundStorm[uint64]{
+		Publishers: 4,
+		Rounds:     8,
+		Seed:       seed,
+		Make:       func(_, _, _ int, rng *sim.Stream) uint64 { return rng.Uint64() },
+	}
+	if n := storm.Fire(sink); n != 4*8 {
+		panic("short storm")
+	}
+	out := append([]uint64(nil), sink.got...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestRoundStormDeterministicOffers pins that equal seeds offer
+// bit-identical round sets (as a multiset — the interleaving is the
+// storm's only nondeterminism) and unequal seeds do not.
+func TestRoundStormDeterministicOffers(t *testing.T) {
+	a, b := stormValues(7), stormValues(7)
+	if len(a) != len(b) {
+		t.Fatalf("offer counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offered sets diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := stormValues(8)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds offered identical round sets")
+	}
+}
+
+// TestRoundStormCounters pins Offered/Storms across consecutive fires,
+// and that later storms draw fresh streams (the storm ordinal feeds the
+// derivation).
+func TestRoundStormCounters(t *testing.T) {
+	sink := &storeSink{}
+	storm := &RoundStorm[uint64]{
+		Publishers: 2,
+		Rounds:     3,
+		Seed:       1,
+		Make:       func(_, _, _ int, rng *sim.Stream) uint64 { return rng.Uint64() },
+	}
+	storm.Fire(sink)
+	storm.Fire(sink)
+	if storm.Storms() != 2 || storm.Offered() != 12 {
+		t.Fatalf("Storms=%d Offered=%d, want 2 and 12", storm.Storms(), storm.Offered())
+	}
+	seen := map[uint64]int{}
+	for _, v := range sink.got {
+		seen[v]++
+	}
+	if len(seen) != 12 {
+		t.Fatalf("consecutive storms reused draws: %d distinct of 12", len(seen))
+	}
+}
+
+// TestRoundStormDefaults pins the documented defaults and the config
+// panics.
+func TestRoundStormDefaults(t *testing.T) {
+	sink := &storeSink{drop: true}
+	storm := &RoundStorm[uint64]{Make: func(_, _, _ int, _ *sim.Stream) uint64 { return 0 }}
+	if n := storm.Fire(sink); n != 64*32 {
+		t.Fatalf("default storm offered %d, want %d", n, 64*32)
+	}
+
+	mustPanic(t, "nil sink", func() { storm.Fire(nil) })
+	bad := &RoundStorm[uint64]{}
+	mustPanic(t, "nil Make", func() { bad.Fire(sink) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/binc"
+)
+
+// slopeSnapVersion versions the SlopeStore snapshot format.
+const slopeSnapVersion = 1
+
+// maxSlopeSnapshot bounds the slope count a snapshot may declare
+// (window 1024 would need ~524k pairs; real windows are ≤ a few hundred).
+const maxSlopeSnapshot = 1 << 20
+
+// AppendSnapshot appends the store's exact state: a version byte, the
+// slope count, and every slope in sorted order. The encoding is
+// canonical — Snapshot∘Restore∘Snapshot is byte-identical — because the
+// sorted multiset is the store's whole state.
+func (s *SlopeStore) AppendSnapshot(dst []byte) []byte {
+	dst = append(dst, slopeSnapVersion)
+	dst = binc.AppendUvarint(dst, uint64(len(s.sorted)))
+	for _, v := range s.sorted {
+		dst = binc.AppendFloat(dst, v)
+	}
+	return dst
+}
+
+// Snapshot returns the store's versioned binary state.
+func (s *SlopeStore) Snapshot() []byte { return s.AppendSnapshot(nil) }
+
+// RestoreSnapshot replaces the store's state from a snapshot read off p.
+// The buffer capacity is kept (or grown to the snapshot's need), so a
+// restored store maintains the same steady-state no-alloc contract as a
+// freshly constructed one.
+func (s *SlopeStore) RestoreSnapshot(p *binc.Parser) error {
+	if v := p.Byte(); p.Err() == nil && v != slopeSnapVersion {
+		return fmt.Errorf("metrics: slope store snapshot v%d: %w", v, binc.ErrVersion)
+	}
+	n := p.Count(maxSlopeSnapshot)
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if cap(s.sorted) < n {
+		s.sorted = make([]float64, 0, n)
+		s.scratch = make([]float64, 0, n)
+	}
+	s.sorted = s.sorted[:0]
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		v := p.Float()
+		if p.Err() == nil {
+			if v != v {
+				return fmt.Errorf("metrics: NaN slope in snapshot")
+			}
+			if i > 0 && v < prev {
+				return fmt.Errorf("metrics: unsorted slope snapshot (%v after %v)", v, prev)
+			}
+		}
+		s.sorted = append(s.sorted, v)
+		prev = v
+	}
+	return p.Err()
+}
+
+// Restore replaces the store's state from a Snapshot buffer.
+func (s *SlopeStore) Restore(data []byte) error {
+	p := binc.NewParser(data)
+	if err := s.RestoreSnapshot(p); err != nil {
+		return err
+	}
+	return p.Done()
+}

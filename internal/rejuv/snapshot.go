@@ -1,0 +1,323 @@
+package rejuv
+
+// Durable actuation state. The controller is the second half of the
+// monitor's brain (the aggregator being the first): losing it mid-cycle
+// strands nodes out of rotation — a drain nobody completes, a reboot
+// nobody re-admits. Snapshot captures every per-node FSM (state,
+// suspect, hold-down streak, cooldown, ack landing zone), the cumulative
+// counters, the cluster-wide veto latches and the bounded transition
+// history, in the canonical binc encoding: snapshotting a restored
+// controller yields byte-identical output.
+//
+// Not captured, by design:
+//
+//   - pending notifications (transient; the promoted plane re-emits its
+//     own), and
+//   - the balancer / command-sender / detector-reset bindings — those
+//     belong to the plane the controller runs on, not to its state.
+//
+// After restoring on a promoted standby, call ReconcileOrphans to
+// re-anchor in-flight actuation against the new plane: the old
+// aggregator's control routes died with it, so a drain is re-asserted,
+// an unacked rejuvenate is treated as control lost (re-admit under
+// cooldown — never a second reboot), and a probation weight is
+// re-applied.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/binc"
+	"repro/internal/cluster"
+	"repro/internal/jmx"
+)
+
+// rejuvSnapMagic distinguishes a controller snapshot from the
+// aggregator's ("AGSN") when both ride the same SNAPSHOT frame.
+var rejuvSnapMagic = [4]byte{'R', 'J', 'S', 'N'}
+
+const rejuvSnapVersion = 1
+
+// Decode bounds: a corrupt or hostile snapshot can never drive an
+// allocation or a counter beyond these.
+const (
+	maxRejuvStr     = 4096
+	maxRejuvNodes   = 1 << 16
+	maxRejuvHold    = 1 << 20
+	maxRejuvHistory = 1 << 20
+	maxRejuvCounter = int64(1) << 40
+)
+
+// AppendSnapshot appends the controller's durable state to dst.
+func (c *Controller) AppendSnapshot(dst []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	dst = append(dst, rejuvSnapMagic[:]...)
+	dst = append(dst, rejuvSnapVersion)
+
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.HoldDownEpochs))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.MaxConcurrent))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.DrainEpochs))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.RebootEpochs))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.ProbationEpochs))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.ProbationWeight))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.HealthyWeight))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.CooldownEpochs))
+	dst = binc.AppendUvarint(dst, uint64(c.cfg.HistoryCap))
+
+	dst = binc.AppendVarint(dst, c.epoch)
+	dst = binc.AppendVarint(dst, c.counters.Rejuvenations)
+	dst = binc.AppendVarint(dst, c.counters.FreedBytes)
+	dst = binc.AppendVarint(dst, c.counters.Rollbacks)
+	dst = binc.AppendVarint(dst, c.counters.ControlLost)
+	dst = binc.AppendVarint(dst, c.counters.ForcedDrains)
+	dst = binc.AppendVarint(dst, c.counters.ClusterWideVetoes)
+
+	cw := make([]string, 0, len(c.cwSeen))
+	for comp := range c.cwSeen {
+		cw = append(cw, comp)
+	}
+	sort.Strings(cw)
+	dst = binc.AppendUvarint(dst, uint64(len(cw)))
+	for _, comp := range cw {
+		dst = binc.AppendString(dst, comp)
+	}
+
+	dst = binc.AppendUvarint(dst, uint64(len(c.order)))
+	for _, name := range c.order {
+		n := c.nodes[name]
+		dst = binc.AppendString(dst, n.name)
+		dst = append(dst, byte(n.state))
+		dst = binc.AppendString(dst, n.suspect)
+		dst = binc.AppendUvarint(dst, uint64(n.hold))
+		dst = binc.AppendVarint(dst, n.since)
+		dst = binc.AppendVarint(dst, n.cooldownUntil)
+		dst = binc.AppendVarint(dst, n.cycles)
+		dst = binc.AppendVarint(dst, n.freed)
+		dst = binc.AppendBool(dst, n.ackDone)
+		dst = binc.AppendBool(dst, n.ackOK)
+		dst = binc.AppendString(dst, n.ackErr)
+		dst = binc.AppendVarint(dst, n.ackFree)
+	}
+
+	dst = binc.AppendUvarint(dst, uint64(len(c.history)))
+	for _, ev := range c.history {
+		dst = binc.AppendVarint(dst, ev.Epoch)
+		dst = binc.AppendString(dst, ev.Node)
+		dst = binc.AppendString(dst, ev.Component)
+		dst = append(dst, byte(ev.From), byte(ev.To))
+		dst = binc.AppendString(dst, ev.Note)
+	}
+	return dst
+}
+
+// Snapshot returns the controller's durable state as a fresh buffer.
+func (c *Controller) Snapshot() []byte { return c.AppendSnapshot(nil) }
+
+// Restore loads a snapshot into a freshly constructed controller (same
+// Config, new plane bindings). On error the controller must be
+// discarded: state may be partially populated.
+func (c *Controller) Restore(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != 0 || len(c.nodes) != 0 || len(c.history) != 0 {
+		return errors.New("rejuv: restore target is not a fresh controller")
+	}
+
+	p := binc.NewParser(data)
+	var magic [4]byte
+	for i := range magic {
+		magic[i] = p.Byte()
+	}
+	if p.Err() == nil && magic != rejuvSnapMagic {
+		return fmt.Errorf("rejuv: bad snapshot magic %q", magic[:])
+	}
+	if v := p.Byte(); p.Err() == nil && v != rejuvSnapVersion {
+		return fmt.Errorf("rejuv: %w: %d", binc.ErrVersion, v)
+	}
+
+	var cfg Config
+	for _, f := range []*int{
+		&cfg.HoldDownEpochs, &cfg.MaxConcurrent, &cfg.DrainEpochs,
+		&cfg.RebootEpochs, &cfg.ProbationEpochs, &cfg.ProbationWeight,
+		&cfg.HealthyWeight, &cfg.CooldownEpochs, &cfg.HistoryCap,
+	} {
+		v := p.Uvarint()
+		if p.Err() != nil {
+			return p.Err()
+		}
+		if v == 0 || v > maxRejuvHold {
+			return fmt.Errorf("rejuv: snapshot config field %d out of range", v)
+		}
+		*f = int(v)
+	}
+	if cfg != c.cfg {
+		return fmt.Errorf("rejuv: snapshot config %+v does not match controller config %+v", cfg, c.cfg)
+	}
+
+	epoch := p.Varint()
+	var counters Counters
+	for _, f := range []*int64{
+		&counters.Rejuvenations, &counters.FreedBytes, &counters.Rollbacks,
+		&counters.ControlLost, &counters.ForcedDrains, &counters.ClusterWideVetoes,
+	} {
+		*f = p.Varint()
+		if p.Err() == nil && (*f < 0 || *f > maxRejuvCounter) {
+			return fmt.Errorf("rejuv: snapshot counter %d out of range", *f)
+		}
+	}
+	if p.Err() == nil && (epoch < 0 || epoch > maxRejuvCounter) {
+		return fmt.Errorf("rejuv: snapshot epoch %d out of range", epoch)
+	}
+
+	cwSeen := make(map[string]bool)
+	nCW := p.Count(maxRejuvNodes)
+	prev := ""
+	for i := 0; i < nCW; i++ {
+		comp := p.String(maxRejuvStr)
+		if p.Err() != nil {
+			return p.Err()
+		}
+		if comp == "" || (i > 0 && comp <= prev) {
+			return fmt.Errorf("rejuv: snapshot veto latches not canonical at %q", comp)
+		}
+		prev = comp
+		cwSeen[comp] = true
+	}
+
+	nNodes := p.Count(maxRejuvNodes)
+	nodes := make(map[string]*nodeFSM, nNodes)
+	order := make([]string, 0, nNodes)
+	prev = ""
+	for i := 0; i < nNodes; i++ {
+		n := &nodeFSM{}
+		n.name = p.String(maxRejuvStr)
+		n.state = State(p.Byte())
+		n.suspect = p.String(maxRejuvStr)
+		hold := p.Uvarint()
+		n.since = p.Varint()
+		n.cooldownUntil = p.Varint()
+		n.cycles = p.Varint()
+		n.freed = p.Varint()
+		n.ackDone = p.Bool()
+		n.ackOK = p.Bool()
+		n.ackErr = p.String(maxRejuvStr)
+		n.ackFree = p.Varint()
+		if p.Err() != nil {
+			return p.Err()
+		}
+		if n.name == "" || (i > 0 && n.name <= prev) {
+			return fmt.Errorf("rejuv: snapshot nodes not canonical at %q", n.name)
+		}
+		prev = n.name
+		if n.state > Probation {
+			return fmt.Errorf("rejuv: node %s has invalid state %d", n.name, n.state)
+		}
+		if hold > maxRejuvHold {
+			return fmt.Errorf("rejuv: node %s hold %d out of range", n.name, hold)
+		}
+		n.hold = int(hold)
+		for _, v := range []int64{n.since, n.cooldownUntil, n.cycles, n.freed, n.ackFree} {
+			if v < 0 || v > maxRejuvCounter {
+				return fmt.Errorf("rejuv: node %s counter %d out of range", n.name, v)
+			}
+		}
+		nodes[n.name] = n
+		order = append(order, n.name)
+	}
+
+	nHist := p.Count(maxRejuvHistory)
+	if p.Err() == nil && nHist > cfg.HistoryCap {
+		return fmt.Errorf("rejuv: snapshot history %d exceeds cap %d", nHist, cfg.HistoryCap)
+	}
+	history := make([]Event, 0, nHist)
+	for i := 0; i < nHist; i++ {
+		var ev Event
+		ev.Epoch = p.Varint()
+		ev.Node = p.String(maxRejuvStr)
+		ev.Component = p.String(maxRejuvStr)
+		ev.From = State(p.Byte())
+		ev.To = State(p.Byte())
+		ev.Note = p.String(maxRejuvStr)
+		if p.Err() != nil {
+			return p.Err()
+		}
+		if ev.Node == "" || ev.From > Probation || ev.To > Probation ||
+			ev.Epoch < 0 || ev.Epoch > maxRejuvCounter {
+			return fmt.Errorf("rejuv: snapshot history event %d not valid", i)
+		}
+		history = append(history, ev)
+	}
+	if err := p.Done(); err != nil {
+		return err
+	}
+
+	c.epoch = epoch
+	c.counters = counters
+	c.cwSeen = cwSeen
+	c.nodes = nodes
+	c.order = order
+	c.history = history
+	return nil
+}
+
+// ReconcileOrphans re-anchors in-flight actuation after a standby
+// promotion. The aggregator that issued this controller's outstanding
+// commands is dead, along with its control connections and any pending
+// acks, so every node caught mid-cycle is resolved against the new
+// plane:
+//
+//   - Draining: the drain is re-asserted on the balancer and re-sent to
+//     the node; the FSM resumes its drain deadline where it left off.
+//   - Rejuvenating without a recorded ack: whether the micro-reboot
+//     landed is unknowable, so the node takes the control-lost path —
+//     re-admitted un-rebooted at probation weight under a cooldown. A
+//     second rejuvenate is never sent: never double-reboot.
+//   - Rejuvenating with the ack already landed: the outcome is known;
+//     the next ObserveEpoch consumes it normally.
+//   - Probation: the reduced weight is re-asserted in case the balancer
+//     was promoted alongside the controller and lost it.
+//
+// Call once, after Restore and before the first ObserveEpoch.
+func (c *Controller) ReconcileOrphans() {
+	var sends []pendingCommand
+	c.mu.Lock()
+	for _, name := range c.order {
+		n := c.nodes[name]
+		switch n.state {
+		case Draining:
+			c.bal.Drain(name)
+			c.notify(jmx.Notification{
+				Type:    NotifRejuvAction,
+				Source:  Name(),
+				Message: fmt.Sprintf("%s: resuming drain of %s after failover (epoch %d)", name, n.suspect, c.epoch),
+				Data:    Event{Epoch: c.epoch, Node: name, Component: n.suspect, From: Draining, To: Draining, Note: "drain re-asserted after failover"},
+			})
+			sends = append(sends, pendingCommand{node: name, comp: n.suspect, kind: cluster.ControlDrain})
+		case Rejuvenating:
+			if n.ackDone {
+				break
+			}
+			c.counters.ControlLost++
+			n.cooldownUntil = c.epoch + int64(c.cfg.CooldownEpochs)
+			c.bal.Readmit(name, c.cfg.ProbationWeight)
+			c.transition(n, Probation, n.suspect,
+				"rejuvenate ack orphaned by failover; re-admitted un-rebooted (control lost)")
+		case Probation:
+			c.bal.Readmit(name, c.cfg.ProbationWeight)
+			c.notify(jmx.Notification{
+				Type:    NotifRejuvAction,
+				Source:  Name(),
+				Message: fmt.Sprintf("%s: probation weight %d re-asserted after failover (epoch %d)", name, c.cfg.ProbationWeight, c.epoch),
+				Data:    Event{Epoch: c.epoch, Node: name, Component: n.suspect, From: Probation, To: Probation, Note: "probation re-asserted after failover"},
+			})
+			sends = append(sends, pendingCommand{node: name, comp: "", kind: cluster.ControlReadmit, weight: c.cfg.ProbationWeight})
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range sends {
+		c.ctl.SendControl(s.node, s.kind, s.comp, s.weight, nil)
+	}
+}

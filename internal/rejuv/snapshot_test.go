@@ -1,0 +1,396 @@
+package rejuv
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/binc"
+	"repro/internal/cluster"
+)
+
+// scriptEpoch deterministically scripts a varied verdict stream: steady
+// node-local alarms with quiet gaps (full cycles for node1), a
+// periodically suppressed alarm on node2, and a recurring cluster-wide
+// verdict — every controller code path leaves state for the snapshot.
+func scriptEpoch(epoch int64) cluster.EpochEvent {
+	switch {
+	case epoch%17 == 0:
+		return cluster.EpochEvent{Epoch: epoch, Active: 3, Verdicts: []cluster.ClusterVerdict{{
+			Resource: "memory", Component: "shared.cache", Nodes: []string{"node1", "node2", "node3"},
+			ActiveNodes: 3, ClusterWide: true, Score: 9,
+		}}}
+	case epoch%11 == 5:
+		ev := alarmEpoch(epoch, "cart", "node2")
+		ev.Suppressed = true
+		return ev
+	case (epoch/4)%3 != 2:
+		return alarmEpoch(epoch, "home", "node1")
+	default:
+		return quietEpoch(epoch)
+	}
+}
+
+func driveScript(c *Controller, from, to int64) {
+	for e := from; e <= to; e++ {
+		c.ObserveEpoch(scriptEpoch(e))
+	}
+}
+
+// TestControllerSnapshotParity is the controller-side restart-parity
+// proof: run N epochs, snapshot, restore into a fresh controller on
+// fresh plane fakes, run M more on both — every transition, balancer
+// call, control command, status row and counter must match the
+// uninterrupted run, and the final snapshots must be byte-identical.
+func TestControllerSnapshotParity(t *testing.T) {
+	const n, m = 30, 25
+	balRef, sndRef := newFakeBalancer(), &fakeSender{freed: 2048}
+	ref := newTestController(balRef, sndRef)
+	driveScript(ref, 1, n)
+
+	snap := ref.Snapshot()
+	balCut, sndCut := len(balRef.calls), len(sndRef.sent)
+
+	bal2, snd2 := newFakeBalancer(), &fakeSender{freed: 2048}
+	restored := newTestController(bal2, snd2)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	driveScript(ref, n+1, n+m)
+	driveScript(restored, n+1, n+m)
+
+	if got, want := restored.Epoch(), ref.Epoch(); got != want {
+		t.Fatalf("epoch = %d, want %d", got, want)
+	}
+	if got, want := restored.Stats(), ref.Stats(); got != want {
+		t.Fatalf("counters diverged:\nrestored %+v\nref      %+v", got, want)
+	}
+	if got, want := restored.Status(), ref.Status(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("status diverged:\nrestored %+v\nref      %+v", got, want)
+	}
+	if got, want := restored.History(), ref.History(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("history diverged:\nrestored %+v\nref      %+v", got, want)
+	}
+	if got, want := bal2.calls, balRef.calls[balCut:]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("balancer calls diverged:\nrestored %v\nref tail %v", got, want)
+	}
+	if got, want := snd2.sent, sndRef.sent[sndCut:]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("control commands diverged:\nrestored %+v\nref tail %+v", got, want)
+	}
+	if !bytes.Equal(restored.Snapshot(), ref.Snapshot()) {
+		t.Fatal("final snapshots are not byte-identical")
+	}
+}
+
+// TestControllerSnapshotMidCycleParity snapshots at every epoch of a
+// full actuation cycle — mid-drain, mid-reboot, mid-probation — and
+// checks each restore converges identically.
+func TestControllerSnapshotMidCycleParity(t *testing.T) {
+	const total = 20
+	for cut := int64(1); cut < total; cut++ {
+		balRef, sndRef := newFakeBalancer(), &fakeSender{freed: 512}
+		ref := newTestController(balRef, sndRef)
+		driveScript(ref, 1, cut)
+		snap := ref.Snapshot()
+
+		restored := newTestController(newFakeBalancer(), &fakeSender{freed: 512})
+		if err := restored.Restore(snap); err != nil {
+			t.Fatalf("cut %d: Restore: %v", cut, err)
+		}
+		driveScript(ref, cut+1, total)
+		driveScript(restored, cut+1, total)
+		if !bytes.Equal(restored.Snapshot(), ref.Snapshot()) {
+			t.Errorf("cut %d: final snapshots diverge", cut)
+		}
+	}
+}
+
+// TestControllerSnapshotCanonical pins that restore→snapshot reproduces
+// the input bytes exactly.
+func TestControllerSnapshotCanonical(t *testing.T) {
+	c := newTestController(newFakeBalancer(), &fakeSender{freed: 64})
+	driveScript(c, 1, 40)
+	snap := c.Snapshot()
+
+	restored := newTestController(newFakeBalancer(), &fakeSender{})
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Fatal("snapshot of restored controller differs from input")
+	}
+}
+
+// TestControllerRestoreRejects pins the misuse and corruption guards.
+func TestControllerRestoreRejects(t *testing.T) {
+	c := newTestController(newFakeBalancer(), &fakeSender{freed: 64})
+	driveScript(c, 1, 12)
+	snap := c.Snapshot()
+
+	// Used controller.
+	used := newTestController(newFakeBalancer(), &fakeSender{})
+	used.ObserveEpoch(quietEpoch(1))
+	if err := used.Restore(snap); err == nil || !strings.Contains(err.Error(), "fresh") {
+		t.Fatalf("restore into used controller: %v", err)
+	}
+
+	// Config mismatch.
+	other := New(Config{HoldDownEpochs: 7}, newFakeBalancer(), &fakeSender{})
+	if err := other.Restore(snap); err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("restore with different config: %v", err)
+	}
+
+	// Corruption.
+	bad := append([]byte(nil), snap...)
+	bad[0] = 'X'
+	if err := newTestController(newFakeBalancer(), &fakeSender{}).Restore(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), snap...)
+	bad[4] = 99
+	if err := newTestController(newFakeBalancer(), &fakeSender{}).Restore(bad); !errors.Is(err, binc.ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	for _, cut := range []int{0, 3, len(snap) / 2, len(snap) - 1} {
+		if err := newTestController(newFakeBalancer(), &fakeSender{}).Restore(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := newTestController(newFakeBalancer(), &fakeSender{}).Restore(append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestReconcileDrainingOrphan pins that a node caught mid-drain at
+// failover resumes its drain on the new plane and still reboots exactly
+// once.
+func TestReconcileDrainingOrphan(t *testing.T) {
+	balRef, sndRef := newFakeBalancer(), &fakeSender{freed: 256}
+	ref := newTestController(balRef, sndRef)
+	balRef.pinned["node1"] = 3 // sessions hold the drain open
+	driveScript(ref, 1, 3)
+	if got := ref.NodeState("node1"); got != Draining {
+		t.Fatalf("setup: state = %v, want draining", got)
+	}
+	snap := ref.Snapshot()
+
+	bal2, snd2 := newFakeBalancer(), &fakeSender{freed: 256}
+	c := newTestController(bal2, snd2)
+	if err := c.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	c.ReconcileOrphans()
+
+	if got := c.NodeState("node1"); got != Draining {
+		t.Fatalf("state after reconcile = %v, want draining (resumed)", got)
+	}
+	if !bal2.draining["node1"] {
+		t.Fatal("drain not re-asserted on the new balancer")
+	}
+	if len(snd2.sent) != 1 || snd2.sent[0].Kind != cluster.ControlDrain || snd2.sent[0].Node != "node1" {
+		t.Fatalf("reconcile commands = %+v, want one drain for node1", snd2.sent)
+	}
+	if n := c.DrainNotifications(); len(n) == 0 {
+		t.Fatal("reconcile emitted no notification")
+	}
+
+	// The drain completes on the new plane (the alarm clears once the
+	// leak is gone): exactly one micro-reboot, issued by the promoted
+	// controller.
+	for e := int64(4); e <= 12; e++ {
+		c.ObserveEpoch(quietEpoch(e))
+	}
+	reboots := 0
+	for _, cmd := range snd2.sent {
+		if cmd.Kind == cluster.ControlRejuvenate {
+			reboots++
+		}
+	}
+	if reboots != 1 {
+		t.Fatalf("rejuvenate commands after failover = %d, want exactly 1", reboots)
+	}
+	if st := c.Stats(); st.Rejuvenations != 1 || st.ControlLost != 0 {
+		t.Fatalf("counters = %+v, want 1 rejuvenation, 0 control lost", st)
+	}
+}
+
+// TestReconcileRejuvenatingOrphanNeverDoubleReboots pins the critical
+// invariant: a node whose rejuvenate ack died with the old aggregator is
+// re-admitted under cooldown, and a second rejuvenate is never sent.
+func TestReconcileRejuvenatingOrphanNeverDoubleReboots(t *testing.T) {
+	// The old plane's command vanishes in flight: no ack ever lands.
+	balRef, sndRef := newFakeBalancer(), &fakeSender{fail: map[string]bool{"node1": true}}
+	ref := newTestController(balRef, sndRef)
+	driveScript(ref, 1, 4)
+	if got := ref.NodeState("node1"); got != Rejuvenating {
+		t.Fatalf("setup: state = %v, want rejuvenating", got)
+	}
+	snap := ref.Snapshot()
+
+	bal2, snd2 := newFakeBalancer(), &fakeSender{freed: 256}
+	c := newTestController(bal2, snd2)
+	if err := c.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	c.ReconcileOrphans()
+
+	if got := c.NodeState("node1"); got != Probation {
+		t.Fatalf("state after reconcile = %v, want probation (control lost)", got)
+	}
+	if st := c.Stats(); st.ControlLost != 1 || st.Rejuvenations != 0 {
+		t.Fatalf("counters = %+v, want 1 control lost, 0 rejuvenations", st)
+	}
+	if bal2.weights["node1"] != 1 {
+		t.Fatalf("probation weight = %d, want 1", bal2.weights["node1"])
+	}
+	for _, cmd := range snd2.sent {
+		if cmd.Kind == cluster.ControlRejuvenate {
+			t.Fatalf("reconcile sent a second rejuvenate: %+v", cmd)
+		}
+	}
+	// The cooldown invariant holds: the same alarm cannot re-drain the
+	// node until CooldownEpochs (5) pass.
+	st := c.Status()[0]
+	if st.CooldownUntil != c.Epoch()+5 {
+		t.Fatalf("cooldownUntil = %d, want epoch+5 = %d", st.CooldownUntil, c.Epoch()+5)
+	}
+}
+
+// TestReconcileAckedRejuvenationSurvives pins that an ack recorded
+// before the snapshot is consumed normally after failover: the reboot
+// happened, so it is counted, never repeated.
+func TestReconcileAckedRejuvenationSurvives(t *testing.T) {
+	balRef, sndRef := newFakeBalancer(), &fakeSender{freed: 4096}
+	ref := newTestController(balRef, sndRef)
+	driveScript(ref, 1, 4) // epoch 4: rejuvenate sent, synchronous ack lands
+	if got := ref.NodeState("node1"); got != Rejuvenating {
+		t.Fatalf("setup: state = %v, want rejuvenating", got)
+	}
+	snap := ref.Snapshot()
+
+	bal2, snd2 := newFakeBalancer(), &fakeSender{}
+	c := newTestController(bal2, snd2)
+	if err := c.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	c.ReconcileOrphans()
+	if got := c.NodeState("node1"); got != Rejuvenating {
+		t.Fatalf("acked node disturbed by reconcile: %v", got)
+	}
+	c.ObserveEpoch(quietEpoch(5))
+	if got := c.NodeState("node1"); got != Probation {
+		t.Fatalf("state = %v, want probation via recorded ack", got)
+	}
+	st := c.Stats()
+	if st.Rejuvenations != 1 || st.FreedBytes != 4096 || st.ControlLost != 0 {
+		t.Fatalf("counters = %+v, want the pre-failover reboot counted once", st)
+	}
+	for _, cmd := range snd2.sent {
+		if cmd.Kind == cluster.ControlRejuvenate {
+			t.Fatalf("recorded ack replayed as a new rejuvenate: %+v", cmd)
+		}
+	}
+}
+
+// TestReconcileProbationOrphan pins that probation weight is re-applied
+// on the new plane.
+func TestReconcileProbationOrphan(t *testing.T) {
+	balRef, sndRef := newFakeBalancer(), &fakeSender{freed: 128}
+	ref := newTestController(balRef, sndRef)
+	driveScript(ref, 1, 5)
+	if got := ref.NodeState("node1"); got != Probation {
+		t.Fatalf("setup: state = %v, want probation", got)
+	}
+	snap := ref.Snapshot()
+
+	bal2, snd2 := newFakeBalancer(), &fakeSender{}
+	c := newTestController(bal2, snd2)
+	if err := c.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	c.ReconcileOrphans()
+	if bal2.weights["node1"] != 1 {
+		t.Fatalf("probation weight = %d, want 1", bal2.weights["node1"])
+	}
+	if len(snd2.sent) != 1 || snd2.sent[0].Kind != cluster.ControlReadmit {
+		t.Fatalf("reconcile commands = %+v, want one readmit", snd2.sent)
+	}
+}
+
+// rejuvSnapshotGoldenHex pins the version-1 controller snapshot format:
+// one full cycle plus a cluster-wide veto. Regenerate (after a
+// deliberate, version-bumped format change) with the chunked hex the
+// failure message prints.
+var rejuvSnapshotGoldenHex = strings.Join([]string{
+	"524a534e01030102030401040580022208804006000002010c7368617265642e636163686502056e",
+	"6f6465310304686f6d650322000080100101008010056e6f64653200000000000000000000000c06",
+	"056e6f64653104686f6d6500012b686f6d6520616c61726d6564203320636f6e7365637574697665",
+	"2065706f6368733b20647261696e696e6708056e6f64653104686f6d65010222647261696e656420",
+	"69646c653b206d6963726f2d7265626f6f74696e6720686f6d650a056e6f64653104686f6d650203",
+	"346d6963726f2d7265626f6f7420667265656420313032342062797465733b2070726f626174696f",
+	"6e2061742077656967687420310c056e6f64653104686f6d65030137686f6d652072652d616c6172",
+	"6d656420647572696e672070726f626174696f6e3b20726f6c6c696e67206261636b20746f206472",
+	"61696e0e056e6f64653104686f6d65010222647261696e65642069646c653b206d6963726f2d7265",
+	"626f6f74696e6720686f6d6510056e6f64653104686f6d650203346d6963726f2d7265626f6f7420",
+	"667265656420313032342062797465733b2070726f626174696f6e20617420776569676874203118",
+	"056e6f64653104686f6d65030137686f6d652072652d616c61726d656420647572696e672070726f",
+	"626174696f6e3b20726f6c6c696e67206261636b20746f20647261696e1a056e6f64653104686f6d",
+	"65010222647261696e65642069646c653b206d6963726f2d7265626f6f74696e6720686f6d651c05",
+	"6e6f64653104686f6d650203346d6963726f2d7265626f6f74206672656564203130323420627974",
+	"65733b2070726f626174696f6e2061742077656967687420311e056e6f64653104686f6d65030137",
+	"686f6d652072652d616c61726d656420647572696e672070726f626174696f6e3b20726f6c6c696e",
+	"67206261636b20746f20647261696e20056e6f64653104686f6d65010222647261696e6564206964",
+	"6c653b206d6963726f2d7265626f6f74696e6720686f6d6522056e6f64653104686f6d650203346d",
+	"6963726f2d7265626f6f7420667265656420313032342062797465733b2070726f626174696f6e20",
+	"6174207765696768742031",
+}, "")
+
+// TestControllerSnapshotGolden drives a fixed script and compares
+// against the pinned bytes.
+func TestControllerSnapshotGolden(t *testing.T) {
+	c := newTestController(newFakeBalancer(), &fakeSender{freed: 1024})
+	driveScript(c, 1, 17)
+	got := hex.EncodeToString(c.Snapshot())
+	if got != rejuvSnapshotGoldenHex {
+		t.Fatalf("golden mismatch; if the format changed on purpose, bump the version and re-pin:\n%s", chunkHex80(got))
+	}
+}
+
+func chunkHex80(s string) string {
+	var b strings.Builder
+	for len(s) > 80 {
+		b.WriteString("\t\"" + s[:80] + "\",\n")
+		s = s[80:]
+	}
+	b.WriteString("\t\"" + s + "\",")
+	return b.String()
+}
+
+// FuzzControllerSnapshot feeds arbitrary bytes to Restore: accepted
+// inputs must be canonical (re-snapshot byte-identical) and leave a
+// controller that can keep observing epochs.
+func FuzzControllerSnapshot(f *testing.F) {
+	seed := newTestController(newFakeBalancer(), &fakeSender{freed: 640})
+	driveScript(seed, 1, 22)
+	f.Add(seed.Snapshot())
+	f.Add(newTestController(newFakeBalancer(), &fakeSender{}).Snapshot())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := newTestController(newFakeBalancer(), &fakeSender{})
+		if err := c.Restore(data); err != nil {
+			return
+		}
+		if !bytes.Equal(c.Snapshot(), data) {
+			t.Fatal("accepted snapshot is not canonical")
+		}
+		c.ReconcileOrphans()
+		e := c.Epoch()
+		for i := int64(1); i <= 3; i++ {
+			c.ObserveEpoch(alarmEpoch(e+i, "home", "node1"))
+		}
+	})
+}

@@ -108,15 +108,15 @@ func TestFacadeExperimentRunners(t *testing.T) {
 	results := RunAllExperiments(ExperimentConfig{
 		TimeScale: 0.05, Seed: 42, EBs: 20, Items: 200, Customers: 100,
 	})
-	if len(results) != 33 {
-		t.Fatalf("experiments = %d, want 33", len(results))
+	if len(results) != 36 {
+		t.Fatalf("experiments = %d, want 36", len(results))
 	}
 	ids := make([]string, len(results))
 	for i, r := range results {
 		ids[i] = r.ID
 	}
 	joined := strings.Join(ids, ",")
-	for _, want := range []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16", "S17", "S18", "S19"} {
+	for _, want := range []string{"T1", "F2", "F3", "F4", "F5", "F6", "F7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14", "S15", "S16", "S17", "S18", "S19", "S20", "S21", "S22"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("missing experiment %s in %v", want, ids)
 		}

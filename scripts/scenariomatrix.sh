@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# scenariomatrix.sh — run the full S1-S19 scenario matrix against its
+# scenariomatrix.sh — run the full S1-S22 scenario matrix against its
 # fault-injected ground truth and gate the accuracy report against
 # ACCURACY_baseline.json.
 #
@@ -36,7 +36,7 @@ if [[ -z "$REPORT" ]]; then
   trap 'rm -f "$OUT"' EXIT
 fi
 
-SCENARIOS="S1,S2,S3,S4,S5,S6,S7,S8,S9,S10,S11,S12,S13,S14,S15,S16,S17,S18,S19"
+SCENARIOS="S1,S2,S3,S4,S5,S6,S7,S8,S9,S10,S11,S12,S13,S14,S15,S16,S17,S18,S19,S20,S21,S22"
 echo "running: go run ./cmd/experiments -run $SCENARIOS -scale 0.35 -seed 42 -items 500 -customers 300 -accuracy $OUT" >&2
 go run ./cmd/experiments -run "$SCENARIOS" -scale 0.35 -seed 42 -items 500 -customers 300 -accuracy "$OUT" >&2
 
